@@ -1,0 +1,44 @@
+//! Fault-map generation and mask derivation at the paper's 256×256 scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reduce_systolic::{affected_weights, fap_mask, FaultMap, FaultModel};
+use std::hint::black_box;
+
+fn bench_fault_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_map");
+    group.bench_function("generate_random_256x256_2pct", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            FaultMap::generate(256, 256, 0.02, FaultModel::Random, black_box(seed))
+                .expect("valid rate")
+        })
+    });
+    group.bench_function("generate_clustered_256x256_2pct", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            FaultMap::generate(
+                256,
+                256,
+                0.02,
+                FaultModel::Clustered { clusters: 4, sigma: 12.0 },
+                black_box(seed),
+            )
+            .expect("valid rate")
+        })
+    });
+
+    let map = FaultMap::generate(256, 256, 0.02, FaultModel::Random, 9).expect("valid rate");
+    // VGG11 conv5: (512, 4608) GEMM weights.
+    group.bench_function("fap_mask_vgg_conv5", |b| {
+        b.iter(|| fap_mask(512, 4608, black_box(&map)).expect("nonzero dims"))
+    });
+    group.bench_function("affected_weights_closed_form", |b| {
+        b.iter(|| affected_weights(512, 4608, black_box(&map)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_map);
+criterion_main!(benches);

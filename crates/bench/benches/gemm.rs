@@ -1,0 +1,57 @@
+//! GEMM kernels: dense vs fault-masked vs bypass-level emulation.
+//!
+//! The key performance claim encoded here: applying a FAP mask costs one
+//! elementwise multiply, after which the masked GEMM runs at dense speed —
+//! while the per-element bypass emulation (the semantic oracle) is far
+//! slower, which is why training uses the mask path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reduce_systolic::{fap_mask, FaultMap, FaultModel, SystolicArray};
+use reduce_tensor::{ops, Tensor};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    let w = Tensor::rand_uniform([128, 128], -1.0, 1.0, 1);
+    let x = Tensor::rand_uniform([32, 128], -1.0, 1.0, 2);
+    let map = FaultMap::generate(32, 32, 0.05, FaultModel::Random, 3).expect("valid rate");
+    let mask = fap_mask(128, 128, &map).expect("nonzero dims");
+    let masked_w = (&w * &mask).expect("same shape");
+    let array = SystolicArray::new(map);
+
+    group.bench_function("dense_128x128_b32", |b| {
+        b.iter(|| ops::matmul_nt(black_box(&x), black_box(&w)).expect("conformable"))
+    });
+    group.bench_function("masked_128x128_b32", |b| {
+        b.iter(|| ops::matmul_nt(black_box(&x), black_box(&masked_w)).expect("conformable"))
+    });
+    group.bench_function("mask_derive_and_apply", |b| {
+        b.iter(|| {
+            let m = fap_mask(128, 128, array.fault_map()).expect("nonzero dims");
+            (black_box(&w) * &m).expect("same shape")
+        })
+    });
+    group.bench_function("bypass_emulation_128x128_b32", |b| {
+        b.iter(|| array.gemm(black_box(&w), black_box(&x)).expect("conformable"))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("gemm_variants");
+    let a = Tensor::rand_uniform([64, 96], -1.0, 1.0, 4);
+    let bmat = Tensor::rand_uniform([96, 48], -1.0, 1.0, 5);
+    group.bench_function("matmul", |b| {
+        b.iter(|| ops::matmul(black_box(&a), black_box(&bmat)).expect("conformable"))
+    });
+    let at = Tensor::rand_uniform([96, 64], -1.0, 1.0, 6);
+    group.bench_function("matmul_tn", |b| {
+        b.iter(|| ops::matmul_tn(black_box(&at), black_box(&bmat)).expect("conformable"))
+    });
+    let bt = Tensor::rand_uniform([48, 96], -1.0, 1.0, 7);
+    group.bench_function("matmul_nt", |b| {
+        b.iter(|| ops::matmul_nt(black_box(&a), black_box(&bt)).expect("conformable"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

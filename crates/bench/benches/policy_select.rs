@@ -1,0 +1,51 @@
+//! Step-② selection cost: resilience-table lookups are the *cheap* part of
+//! Reduce — nanoseconds per chip against minutes of retraining.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reduce_core::{ResilienceTable, RetrainPolicy, Statistic, TableEntry};
+use std::hint::black_box;
+
+fn table(points: usize) -> ResilienceTable {
+    let entries = (0..points)
+        .map(|i| {
+            let rate = 0.3 * i as f64 / (points - 1) as f64;
+            TableEntry {
+                rate,
+                mean_epochs: 40.0 * rate * rate * 10.0,
+                max_epochs: (60.0 * rate * rate * 10.0) as usize + 1,
+            }
+        })
+        .collect();
+    ResilienceTable::from_entries(entries, 64).expect("non-empty")
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_select");
+    for points in [4usize, 16, 64] {
+        let t = table(points);
+        group.bench_function(format!("interpolate_{points}pt_table"), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let rate = (i % 1000) as f64 / 1000.0 * 0.35;
+                t.epochs_for(black_box(rate), Statistic::Max).expect("valid rate")
+            })
+        });
+    }
+    let t = table(16);
+    group.bench_function("plan_100_chip_fleet", |b| {
+        let rates: Vec<f64> = (0..100).map(|i| 0.3 * i as f64 / 99.0).collect();
+        let policy = RetrainPolicy::Reduce(Statistic::Max);
+        b.iter(|| {
+            rates
+                .iter()
+                .map(|&r| policy.epochs_for_chip(Some(black_box(&t)), r).expect("valid rate"))
+                .map(|s| s.epochs)
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! One resilience-characterisation probe: mask a pre-trained model with a
+//! fresh fault map and evaluate it (the unit of work Step ① repeats
+//! `rates × repeats` times).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reduce_core::{FatRunner, Mitigation, StopRule, Workbench};
+use reduce_systolic::{FaultMap, FaultModel};
+use std::hint::black_box;
+
+fn bench_probe(c: &mut Criterion) {
+    let wb = Workbench::toy(1);
+    let (rows, cols) = wb.array_dims();
+    let pretrained = wb.pretrain(10).expect("valid workbench");
+    let runner = FatRunner::new(wb).expect("valid workbench");
+    let map = FaultMap::generate(rows, cols, 0.15, FaultModel::Random, 3).expect("valid rate");
+
+    let mut group = c.benchmark_group("resilience_probe");
+    group.sample_size(20);
+    group.bench_function("mask_and_evaluate", |b| {
+        b.iter(|| {
+            runner
+                .run(
+                    black_box(&pretrained),
+                    black_box(&map),
+                    0,
+                    StopRule::Exact,
+                    Mitigation::Fap,
+                    0,
+                )
+                .expect("valid run")
+        })
+    });
+    group.bench_function("mask_evaluate_one_fat_epoch", |b| {
+        b.iter(|| {
+            runner
+                .run(
+                    black_box(&pretrained),
+                    black_box(&map),
+                    1,
+                    StopRule::Exact,
+                    Mitigation::Fap,
+                    0,
+                )
+                .expect("valid run")
+        })
+    });
+    group.bench_function("fam_mask_and_evaluate", |b| {
+        b.iter(|| {
+            runner
+                .run(
+                    black_box(&pretrained),
+                    black_box(&map),
+                    0,
+                    StopRule::Exact,
+                    Mitigation::Fam,
+                    0,
+                )
+                .expect("valid run")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe);
+criterion_main!(benches);

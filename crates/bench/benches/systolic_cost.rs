@@ -1,0 +1,31 @@
+//! Cycle-model evaluation cost for full-network cost accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reduce_core::{ModelSpec, Workbench};
+use reduce_systolic::CostModel;
+use std::hint::black_box;
+
+fn bench_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("systolic_cost");
+    let cm = CostModel::paper();
+    let wb = Workbench::paper_scale(500, 500, 1);
+    let shapes = wb.model.gemm_shapes(32).expect("valid spec");
+
+    group.bench_function("vgg_nano_epoch_cycles", |b| {
+        b.iter(|| cm.epoch_cycles(black_box(&shapes), 500, 32).expect("valid"))
+    });
+
+    let full = ModelSpec::Vgg(reduce_nn::models::VggConfig::full(10));
+    let full_shapes = full.gemm_shapes(128).expect("valid spec");
+    group.bench_function("vgg11_full_epoch_cycles", |b| {
+        b.iter(|| cm.epoch_cycles(black_box(&full_shapes), 50_000, 128).expect("valid"))
+    });
+
+    group.bench_function("gemm_shapes_derivation", |b| {
+        b.iter(|| wb.model.gemm_shapes(black_box(32)).expect("valid spec"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost);
+criterion_main!(benches);

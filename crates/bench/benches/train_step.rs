@@ -1,0 +1,53 @@
+//! Training-step cost: masked vs unmasked epochs on the toy workbench —
+//! the per-epoch price every policy's "epochs" currency converts to.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reduce_core::Workbench;
+use reduce_systolic::{fap_mask, FaultMap, FaultModel};
+use std::hint::black_box;
+
+fn bench_train_step(c: &mut Criterion) {
+    let wb = Workbench::toy(1);
+    let (train, _) = wb.datasets().expect("valid workbench");
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(20);
+
+    group.bench_function("toy_epoch_unmasked", |b| {
+        let mut model = wb.model.build(wb.seed).expect("valid spec");
+        let mut trainer = wb.trainer(0);
+        b.iter(|| {
+            trainer
+                .train_epoch(&mut model, black_box(train.features()), train.labels())
+                .expect("valid data")
+        })
+    });
+
+    group.bench_function("toy_epoch_masked_20pct", |b| {
+        let mut model = wb.model.build(wb.seed).expect("valid spec");
+        let map = FaultMap::generate(8, 8, 0.2, FaultModel::Random, 2).expect("valid rate");
+        let masks: Vec<_> = model
+            .weight_params()
+            .iter()
+            .map(|p| {
+                let d = p.value().dims();
+                Some(fap_mask(d[0], d[1], &map).expect("nonzero dims"))
+            })
+            .collect();
+        model.set_weight_masks(&masks).expect("count matches");
+        let mut trainer = wb.fat_trainer(0);
+        b.iter(|| {
+            trainer
+                .train_epoch(&mut model, black_box(train.features()), train.labels())
+                .expect("valid data")
+        })
+    });
+
+    group.bench_function("toy_evaluate", |b| {
+        let mut model = wb.model.build(wb.seed).expect("valid spec");
+        b.iter(|| wb.evaluate(&mut model, black_box(&train)).expect("valid data"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step);
+criterion_main!(benches);

@@ -1,0 +1,345 @@
+//! Ablation studies for the design choices called out in DESIGN.md.
+//!
+//! ```text
+//! cargo run -p reduce-bench --release --bin ablation -- <study> [--scale smoke|default|full]
+//! ```
+//!
+//! Studies:
+//!
+//! * `fault-model` (A2) — random vs clustered fault maps: does spatial
+//!   clustering change the damage / retraining need at equal fault rate?
+//! * `grid` (A3) — characterisation-grid granularity: how much does a
+//!   coarse grid's interpolation mis-budget chips vs a fine grid?
+//! * `mitigation` (A4) — FAP vs FAM (SalvageDNN mapping) as the starting
+//!   point for retraining;
+//! * `margin` (A1) — max vs mean vs mean+margin selection statistics;
+//! * `early-stop` — epochs saved by stopping FAT at the constraint instead
+//!   of spending the whole budget.
+
+use reduce_bench::{arg_value, Scale};
+use reduce_core::{
+    FatRunner, Mitigation, Reduce, ResilienceConfig, RetrainPolicy, Statistic, StopRule,
+};
+use reduce_systolic::{generate_fleet, FaultMap, FaultModel};
+use std::error::Error;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let study = args.first().cloned().unwrap_or_else(|| "help".into());
+    let scale = Scale::parse(&arg_value(&args, "--scale").unwrap_or_else(|| "smoke".into()))?;
+    let t0 = Instant::now();
+    match study.as_str() {
+        "fault-model" => fault_model(scale)?,
+        "grid" => grid(scale)?,
+        "mitigation" => mitigation(scale)?,
+        "margin" => margin(scale)?,
+        "early-stop" => early_stop(scale)?,
+        "bn-recal" => bn_recal()?,
+        "unprotected" => unprotected(scale)?,
+        _ => {
+            eprintln!(
+                "usage: ablation \
+                 <fault-model|grid|mitigation|margin|early-stop|bn-recal|unprotected> \
+                 [--scale smoke|default|full]"
+            );
+            return Ok(());
+        }
+    }
+    println!("\ntotal wall time {:.1?}", t0.elapsed());
+    Ok(())
+}
+
+/// A2: random vs clustered fault maps at equal fault rates.
+fn fault_model(scale: Scale) -> Result<(), Box<dyn Error>> {
+    let wb = scale.workbench(1);
+    let (rows, cols) = wb.array_dims();
+    let pretrained = wb.pretrain(scale.pretrain_epochs())?;
+    let constraint = scale.constraint();
+    let runner = FatRunner::new(wb)?;
+    println!("A2 — fault model ablation (constraint {:.0}%)", constraint * 100.0);
+    println!("rate   model       pre_acc  epochs_to_constraint (3 maps)");
+    for rate in [0.1f64, 0.2, 0.3] {
+        for (name, model) in [
+            ("random", FaultModel::Random),
+            ("clustered", FaultModel::Clustered { clusters: 3, sigma: rows as f32 / 10.0 }),
+        ] {
+            let mut accs = Vec::new();
+            let mut epochs = Vec::new();
+            for seed in 0..3u64 {
+                let map = FaultMap::generate(rows, cols, rate, model, 500 + seed)?;
+                let out = runner.run(
+                    &pretrained,
+                    &map,
+                    16,
+                    StopRule::AtAccuracy(constraint),
+                    Mitigation::Fap,
+                    seed,
+                )?;
+                accs.push(out.pre_retrain_accuracy);
+                epochs.push(
+                    out.epochs_to_reach(constraint)
+                        .map_or("-".to_string(), |e| e.to_string()),
+                );
+            }
+            let mean_acc = accs.iter().sum::<f32>() / accs.len() as f32;
+            println!(
+                "{rate:.2}   {name:<10}  {:.3}    [{}]",
+                mean_acc,
+                epochs.join(", ")
+            );
+        }
+    }
+    println!(
+        "\nclustered faults concentrate damage in a few array columns, which\n\
+         changes which weights die but (at equal rate) typically similar totals."
+    );
+    Ok(())
+}
+
+/// A3: coarse vs fine characterisation grids.
+fn grid(scale: Scale) -> Result<(), Box<dyn Error>> {
+    let wb = scale.workbench(1);
+    let constraint = scale.constraint();
+    let mut reduce = Reduce::new(wb, constraint, scale.pretrain_epochs())?;
+    println!("A3 — characterisation-grid granularity");
+    let base = scale.resilience_config();
+    // Fine grid (the reference).
+    reduce.characterize(base.clone())?;
+    let fine = reduce.table()?;
+    // Coarse grid: only the endpoints.
+    let coarse_cfg = ResilienceConfig {
+        fault_rates: vec![
+            *base.fault_rates.first().expect("non-empty"),
+            *base.fault_rates.last().expect("non-empty"),
+        ],
+        ..base.clone()
+    };
+    reduce.characterize(coarse_cfg)?;
+    let coarse = reduce.table()?;
+    println!("rate    fine_max  coarse_max  delta");
+    let mut total_abs = 0i64;
+    let probes: Vec<f64> = (0..=12).map(|i| 0.3 * i as f64 / 12.0).collect();
+    for r in probes {
+        let f = fine.epochs_for(r, Statistic::Max)?.epochs as i64;
+        let c = coarse.epochs_for(r, Statistic::Max)?.epochs as i64;
+        total_abs += (f - c).abs();
+        println!("{r:.3}   {f:>8}  {c:>10}  {:>5}", c - f);
+    }
+    println!(
+        "\nsummed |budget error| of the 2-point grid vs the {}-point grid: {total_abs} epochs\n\
+         (a coarse grid linearises a convex epochs-vs-rate curve and over-budgets\n\
+         mid-range chips).",
+        base.fault_rates.len()
+    );
+    Ok(())
+}
+
+/// A4: FAP vs FAM as the retraining starting point.
+fn mitigation(scale: Scale) -> Result<(), Box<dyn Error>> {
+    let wb = scale.workbench(1);
+    let (rows, cols) = wb.array_dims();
+    let constraint = scale.constraint();
+    let pretrained = wb.pretrain(scale.pretrain_epochs())?;
+    let runner = FatRunner::new(wb)?;
+    println!("A4 — mitigation ablation: FAP vs FAM (constraint {:.0}%)", constraint * 100.0);
+    println!("rate   strategy  pre_acc  epochs_to_constraint (3 maps)");
+    for rate in [0.1f64, 0.2, 0.3] {
+        for (name, strategy) in [("FAP", Mitigation::Fap), ("FAM", Mitigation::Fam)] {
+            let mut accs = Vec::new();
+            let mut epochs = Vec::new();
+            for seed in 0..3u64 {
+                let map = FaultMap::generate(rows, cols, rate, FaultModel::Random, 700 + seed)?;
+                let out = runner.run(
+                    &pretrained,
+                    &map,
+                    16,
+                    StopRule::AtAccuracy(constraint),
+                    strategy,
+                    seed,
+                )?;
+                accs.push(out.pre_retrain_accuracy);
+                epochs.push(
+                    out.epochs_to_reach(constraint)
+                        .map_or("-".to_string(), |e| e.to_string()),
+                );
+            }
+            println!(
+                "{rate:.2}   {name:<8}  {:.3}    [{}]",
+                accs.iter().sum::<f32>() / accs.len() as f32,
+                epochs.join(", ")
+            );
+        }
+    }
+    println!(
+        "\nFAM starts retraining from a better operating point, so the same\n\
+         constraint is typically reached in the same or fewer epochs."
+    );
+    Ok(())
+}
+
+/// A1: max vs mean vs mean+margin selection statistics.
+fn margin(scale: Scale) -> Result<(), Box<dyn Error>> {
+    let wb = scale.workbench(1);
+    let array = wb.array_dims();
+    let constraint = scale.constraint();
+    let mut reduce = Reduce::new(wb, constraint, scale.pretrain_epochs())?;
+    reduce.characterize(scale.resilience_config())?;
+    let fleet = generate_fleet(&scale.fleet_config(array, Some(match scale {
+        Scale::Smoke => 12,
+        _ => 40,
+    })))?;
+    println!("A1 — selection statistic ablation ({} chips)", fleet.len());
+    println!("policy                satisfied  total_epochs");
+    for policy in [
+        RetrainPolicy::Reduce(Statistic::Mean),
+        RetrainPolicy::Reduce(Statistic::MeanPlusMargin(1.0)),
+        RetrainPolicy::Reduce(Statistic::MeanPlusMargin(2.0)),
+        RetrainPolicy::Reduce(Statistic::Max),
+    ] {
+        let r = reduce.deploy(&fleet, policy)?;
+        println!(
+            "{:<22} {:>6}/{:<3}  {:>12}",
+            r.policy,
+            r.satisfied,
+            r.chips.len(),
+            r.total_epochs
+        );
+    }
+    println!(
+        "\nthe margin interpolates between mean (cheap, undertrains) and max\n\
+         (robust, the paper's choice)."
+    );
+    Ok(())
+}
+
+/// Why FAP exists: unprotected stuck-at execution vs FAP bypass vs FAP+T.
+fn unprotected(scale: Scale) -> Result<(), Box<dyn Error>> {
+    let wb = scale.workbench(1);
+    let (rows, cols) = wb.array_dims();
+    let pretrained = wb.pretrain(scale.pretrain_epochs())?;
+    let runner = FatRunner::new(wb)?;
+    println!(
+        "motivation ablation — unprotected vs FAP vs FAP+T (baseline {:.2}%)",
+        pretrained.baseline_accuracy * 100.0
+    );
+    println!("rate    unprotected  FAP(no-retrain)  FAP+T(2 epochs)");
+    for rate in [0.01f64, 0.02, 0.05, 0.10] {
+        let (mut unp, mut fap, mut fat) = (0.0f32, 0.0f32, 0.0f32);
+        let repeats = 3u64;
+        for seed in 0..repeats {
+            let map = FaultMap::generate(rows, cols, rate, FaultModel::Random, 900 + seed)?;
+            // Stuck value: a saturated weight, far outside the trained range.
+            unp += runner.unprotected_accuracy(&pretrained, &map, 8.0)?;
+            let out =
+                runner.run(&pretrained, &map, 2, StopRule::Exact, Mitigation::Fap, seed)?;
+            fap += out.pre_retrain_accuracy;
+            fat += out.final_accuracy();
+        }
+        let r = repeats as f32;
+        println!(
+            "{rate:.2}   {:>10.2}%  {:>14.2}%  {:>14.2}%",
+            unp / r * 100.0,
+            fap / r * 100.0,
+            fat / r * 100.0
+        );
+    }
+    println!(
+        "\neven ~1-2% stuck-at faults are catastrophic without mitigation,\n\
+         FAP alone degrades gracefully, and FAP+T recovers the baseline —\n\
+         the accuracy hierarchy the paper's related-work section describes."
+    );
+    Ok(())
+}
+
+/// BN-recalibration extension: masked batch-normalised networks evaluated
+/// with stale running statistics vs after statistics recalibration.
+fn bn_recal() -> Result<(), Box<dyn Error>> {
+    use reduce_core::{ModelSpec, TaskSpec, Workbench};
+    use reduce_data::SynthImageConfig;
+    use reduce_nn::models::VggConfig;
+    // A batch-normalised nano-VGG (the default paper-scale model disables
+    // BN precisely because of this effect).
+    let vgg = VggConfig::nano(10); // batch_norm: true
+    let images = SynthImageConfig::cifar_like(400, 1);
+    let mut wb = Workbench::paper_scale(400, 400, 1);
+    wb.model = ModelSpec::Vgg(vgg);
+    wb.task = TaskSpec::SynthImages { config: images, train_samples: 400, test_samples: 400 };
+    let pretrained = wb.pretrain(15)?;
+    println!(
+        "BN-recalibration ablation (batch-normalised nano-VGG, baseline {:.2}%)",
+        pretrained.baseline_accuracy * 100.0
+    );
+    println!("rate   stale_stats_acc  recalibrated_acc");
+    let (rows, cols) = wb.array_dims();
+    let stale_runner = FatRunner::new(wb.clone())?;
+    wb.bn_recalibration_passes = 2;
+    let recal_runner = FatRunner::new(wb)?;
+    for rate in [0.02f64, 0.05, 0.1, 0.2] {
+        let map = FaultMap::generate(rows, cols, rate, FaultModel::Random, 42)?;
+        let stale =
+            stale_runner.run(&pretrained, &map, 0, StopRule::Exact, Mitigation::Fap, 0)?;
+        let recal =
+            recal_runner.run(&pretrained, &map, 0, StopRule::Exact, Mitigation::Fap, 0)?;
+        println!(
+            "{rate:.2}   {:>13.2}%  {:>15.2}%",
+            stale.pre_retrain_accuracy * 100.0,
+            recal.pre_retrain_accuracy * 100.0
+        );
+    }
+    println!(
+        "\nmasking shifts activation statistics; without recalibration a\n\
+         batch-normalised network collapses at any fault rate, which is why\n\
+         the headline experiments disable BN (see DESIGN.md) — with two\n\
+         recalibration passes the graceful-degradation shape returns."
+    );
+    Ok(())
+}
+
+/// Early-stop extension: epochs saved by evaluating during FAT.
+fn early_stop(scale: Scale) -> Result<(), Box<dyn Error>> {
+    let wb = scale.workbench(1);
+    let array = wb.array_dims();
+    let constraint = scale.constraint();
+    let mut reduce = Reduce::new(wb.clone(), constraint, scale.pretrain_epochs())?;
+    reduce.characterize(scale.resilience_config())?;
+    let table = reduce.table()?;
+    let fleet = generate_fleet(&scale.fleet_config(array, Some(match scale {
+        Scale::Smoke => 12,
+        _ => 30,
+    })))?;
+    println!("early-stop extension ({} chips, constraint {:.0}%)", fleet.len(), constraint * 100.0);
+    let runner = reduce.runner();
+    let pretrained = reduce.pretrained();
+    let (mut exact_total, mut stop_total, mut exact_sat, mut stop_sat) = (0usize, 0usize, 0, 0);
+    for chip in &fleet {
+        let budget = table.epochs_for(chip.fault_rate(), Statistic::Max)?.epochs;
+        let exact = runner.run(
+            pretrained,
+            chip.fault_map(),
+            budget,
+            StopRule::Exact,
+            Mitigation::Fap,
+            chip.id() as u64,
+        )?;
+        let stopped = runner.run(
+            pretrained,
+            chip.fault_map(),
+            budget,
+            StopRule::AtAccuracy(constraint),
+            Mitigation::Fap,
+            chip.id() as u64,
+        )?;
+        exact_total += exact.epochs_run();
+        stop_total += stopped.epochs_run();
+        exact_sat += usize::from(exact.final_accuracy() >= constraint);
+        stop_sat += usize::from(stopped.final_accuracy() >= constraint);
+    }
+    println!("Reduce(max), exact budget : {exact_total} epochs, {exact_sat} satisfied");
+    println!("Reduce(max) + early stop  : {stop_total} epochs, {stop_sat} satisfied");
+    println!(
+        "\nearly stopping trades per-epoch evaluation cost for epoch savings —\n\
+         a natural extension of the paper's fixed-amount Step 3."
+    );
+    Ok(())
+}

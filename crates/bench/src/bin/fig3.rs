@@ -1,0 +1,181 @@
+//! Regenerates **Fig. 3** of the paper: Reduce vs fixed-policy retraining
+//! over a fleet of faulty chips.
+//!
+//! * (a) Reduce with the max statistic; (b) Reduce with the mean statistic;
+//! * (c)–(e) fixed budgets (low/medium/high);
+//! * (f) the summary: chips meeting the constraint vs total retraining
+//!   epochs.
+//!
+//! ```text
+//! cargo run -p reduce-bench --release --bin fig3 -- \
+//!     [--scale smoke|default|full] [--policy reduce-max|reduce-mean|fixed:N|all] [--chips N]
+//! ```
+
+use reduce_bench::{arg_flag, arg_value, Scale};
+use reduce_core::{report, Reduce, ReduceError, RetrainPolicy, Statistic};
+use reduce_systolic::generate_fleet;
+use std::error::Error;
+use std::time::Instant;
+
+fn parse_policy(s: &str) -> Result<Vec<RetrainPolicy>, ReduceError> {
+    match s {
+        "reduce-max" => Ok(vec![RetrainPolicy::Reduce(Statistic::Max)]),
+        "reduce-mean" => Ok(vec![RetrainPolicy::Reduce(Statistic::Mean)]),
+        "all" => Ok(Vec::new()), // filled in per scale
+        other => {
+            if let Some(n) = other.strip_prefix("fixed:") {
+                let epochs = n.parse().map_err(|_| ReduceError::InvalidConfig {
+                    what: format!("bad fixed policy {other:?}"),
+                })?;
+                Ok(vec![RetrainPolicy::Fixed(epochs)])
+            } else {
+                Err(ReduceError::InvalidConfig {
+                    what: format!(
+                        "unknown policy {other:?} (reduce-max|reduce-mean|fixed:N|all)"
+                    ),
+                })
+            }
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::parse(&arg_value(&args, "--scale").unwrap_or_else(|| "default".into()))?;
+    let policy_arg = arg_value(&args, "--policy").unwrap_or_else(|| "all".into());
+    let chips: Option<usize> = match arg_value(&args, "--chips") {
+        Some(s) => Some(s.parse()?),
+        None => None,
+    };
+    let threads: usize = match arg_value(&args, "--threads") {
+        Some(s) => s.parse()?,
+        None => 1,
+    };
+
+    let mut policies = parse_policy(&policy_arg)?;
+    if policies.is_empty() {
+        let [lo, mid, hi] = scale.fixed_budgets();
+        policies = vec![
+            RetrainPolicy::Reduce(Statistic::Max),
+            RetrainPolicy::Reduce(Statistic::Mean),
+            RetrainPolicy::Fixed(lo),
+            RetrainPolicy::Fixed(mid),
+            RetrainPolicy::Fixed(hi),
+        ];
+    }
+
+    let workbench = scale.workbench(1);
+    let array = workbench.array_dims();
+    let constraint = scale.constraint();
+    println!(
+        "Fig. 3 — policy comparison over a fleet ({scale:?} scale, constraint {:.0}%)\n",
+        constraint * 100.0
+    );
+
+    let t0 = Instant::now();
+    println!("step 0: pre-training fault-free baseline…");
+    let mut reduce = Reduce::new(workbench, constraint, scale.pretrain_epochs())?;
+    println!(
+        "  baseline accuracy {:.2}%  [{:.1?}]",
+        reduce.pretrained().baseline_accuracy * 100.0,
+        t0.elapsed()
+    );
+
+    let needs_table = policies.iter().any(RetrainPolicy::needs_table);
+    let loaded_table = match arg_value(&args, "--table") {
+        Some(path) => {
+            let table = reduce_core::ResilienceTable::load(std::path::Path::new(&path))?;
+            println!("step 1: resilience table loaded from {path} (characterisation skipped)");
+            Some(table)
+        }
+        None => None,
+    };
+    if needs_table && loaded_table.is_none() {
+        println!("step 1: resilience characterisation…");
+        reduce.characterize(scale.resilience_config())?;
+        println!("  done  [{:.1?}]", t0.elapsed());
+    }
+
+    let fleet = generate_fleet(&scale.fleet_config(array, chips))?;
+    println!("steps 2+3: retraining {} chips per policy…\n", fleet.len());
+
+    let mut reports = Vec::new();
+    for policy in policies {
+        let tp = Instant::now();
+        let table = if policy.needs_table() {
+            match &loaded_table {
+                Some(t) => Some(t.clone()),
+                None => Some(reduce.table()?),
+            }
+        } else {
+            None
+        };
+        let mut config = reduce_core::FleetEvalConfig::new(policy, constraint);
+        if arg_flag(&args, "--cost") {
+            config.cost_model =
+                Some(reduce_systolic::CostModel::small(array.0, array.1));
+        }
+        config.early_stop = arg_flag(&args, "--early-stop");
+        let report = reduce_core::evaluate_fleet_parallel(
+            reduce.runner(),
+            reduce.pretrained(),
+            &fleet,
+            table.as_ref(),
+            &config,
+            threads.max(1),
+        )?;
+        println!(
+            "{:<22} satisfied {:>3}/{:<3}  total epochs {:>5}  [{:.1?}]",
+            report.policy,
+            report.satisfied,
+            report.chips.len(),
+            report.total_epochs,
+            tp.elapsed()
+        );
+        if arg_flag(&args, "--per-chip") {
+            println!("{}", report::render_fleet_chips(&report));
+        }
+        reports.push(report);
+    }
+
+    println!("\n— Fig. 3f summary —");
+    println!("{}", report::render_fleet_summary(&reports));
+    if arg_flag(&args, "--cost") {
+        let cm = reduce_systolic::CostModel::small(array.0, array.1);
+        println!("accelerator-side retraining cost (cost-model estimate):");
+        for r in &reports {
+            if let Some(cycles) = r.retrain_cycles {
+                println!(
+                    "  {:<22} {:>16} cycles  = {:>8.2} s on-chip",
+                    r.policy,
+                    cycles,
+                    cm.cycles_to_seconds(cycles)
+                );
+            }
+        }
+        println!();
+    }
+    println!("total retraining epochs (lower is better at equal yield):");
+    let bars: Vec<(String, f64)> =
+        reports.iter().map(|r| (r.policy.clone(), r.total_epochs as f64)).collect();
+    println!("{}", report::render_bars(&bars, 40));
+    println!("chips meeting the {:.0}% constraint:", constraint * 100.0);
+    let bars: Vec<(String, f64)> =
+        reports.iter().map(|r| (r.policy.clone(), r.satisfied as f64)).collect();
+    println!("{}", report::render_bars(&bars, 40));
+    if let Some(dir) = arg_value(&args, "--csv") {
+        for r in &reports {
+            let (header, rows) = report::fleet_csv(r);
+            let slug: String = r
+                .policy
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .collect();
+            let path = std::path::Path::new(&dir).join(format!("fig3_{slug}.csv"));
+            report::write_csv(&path, &header, &rows)?;
+            println!("per-chip rows written to {}", path.display());
+        }
+    }
+    println!("total wall time {:.1?}", t0.elapsed());
+    Ok(())
+}

@@ -1,0 +1,185 @@
+//! # reduce-bench
+//!
+//! Experiment drivers for the Reduce reproduction: the figure-regeneration
+//! binaries (`fig2`, `fig3`, `ablation`) and the Criterion micro-benchmarks
+//! share the presets and argument handling defined here.
+//!
+//! Every experiment runs at one of three [`Scale`]s:
+//!
+//! * `smoke` — the toy MLP workbench; seconds; used by CI and `--scale
+//!   smoke`;
+//! * `default` — the paper-scale nano-VGG workbench at sizes that finish in
+//!   minutes on a laptop CPU;
+//! * `full` — larger datasets/fleets for tighter statistics (tens of
+//!   minutes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use reduce_core::{ReduceError, ResilienceConfig, Workbench};
+use reduce_systolic::{FaultModel, FleetConfig, RateDistribution};
+
+/// Experiment scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Toy workbench, seconds.
+    Smoke,
+    /// Paper-scale workbench, minutes.
+    #[default]
+    Default,
+    /// Paper-scale workbench, tens of minutes.
+    Full,
+}
+
+impl Scale {
+    /// Parses `smoke`/`default`/`full`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReduceError::InvalidConfig`] for anything else.
+    pub fn parse(s: &str) -> Result<Self, ReduceError> {
+        match s {
+            "smoke" => Ok(Scale::Smoke),
+            "default" => Ok(Scale::Default),
+            "full" => Ok(Scale::Full),
+            other => Err(ReduceError::InvalidConfig {
+                what: format!("unknown scale {other:?} (expected smoke|default|full)"),
+            }),
+        }
+    }
+
+    /// The workbench this scale runs on.
+    pub fn workbench(&self, seed: u64) -> Workbench {
+        match self {
+            Scale::Smoke => Workbench::toy(seed),
+            Scale::Default => Workbench::paper_scale(500, 500, seed),
+            Scale::Full => Workbench::paper_scale(1500, 1000, seed),
+        }
+    }
+
+    /// Pre-training epochs for the fault-free baseline.
+    pub fn pretrain_epochs(&self) -> usize {
+        match self {
+            Scale::Smoke => 15,
+            Scale::Default => 40,
+            Scale::Full => 60,
+        }
+    }
+
+    /// The accuracy constraint (the paper uses 91 %).
+    pub fn constraint(&self) -> f32 {
+        match self {
+            Scale::Smoke => 0.90,
+            Scale::Default | Scale::Full => 0.91,
+        }
+    }
+
+    /// The Step-① characterisation grid.
+    pub fn resilience_config(&self) -> ResilienceConfig {
+        match self {
+            Scale::Smoke => ResilienceConfig {
+                repeats: 2,
+                ..ResilienceConfig::grid(0.3, 4, 8, self.constraint())
+            },
+            Scale::Default => ResilienceConfig {
+                fault_rates: vec![0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30],
+                max_epochs: 16,
+                repeats: 5,
+                constraint: self.constraint(),
+                fault_model: FaultModel::Random,
+                strategy: Default::default(),
+                seed: 0xC0FFEE,
+            },
+            Scale::Full => ResilienceConfig {
+                fault_rates: vec![0.0, 0.025, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30],
+                max_epochs: 20,
+                repeats: 5,
+                constraint: self.constraint(),
+                fault_model: FaultModel::Random,
+                strategy: Default::default(),
+                seed: 0xC0FFEE,
+            },
+        }
+    }
+
+    /// The Fig. 3 fleet (the paper evaluates 100 chips).
+    pub fn fleet_config(&self, array: (usize, usize), chips: Option<usize>) -> FleetConfig {
+        let default_chips = match self {
+            Scale::Smoke => 12,
+            Scale::Default | Scale::Full => 100,
+        };
+        FleetConfig {
+            chips: chips.unwrap_or(default_chips),
+            rows: array.0,
+            cols: array.1,
+            rates: RateDistribution::Uniform { lo: 0.0, hi: 0.3 },
+            model: FaultModel::Random,
+            seed: 0xF1EE7,
+        }
+    }
+
+    /// The fixed-policy epoch budgets compared in Fig. 3c–e
+    /// (low / medium / high).
+    pub fn fixed_budgets(&self) -> [usize; 3] {
+        match self {
+            Scale::Smoke => [1, 3, 8],
+            Scale::Default => [1, 5, 12],
+            Scale::Full => [1, 6, 16],
+        }
+    }
+}
+
+/// Extracts `--key value` from an argument list (first occurrence).
+pub fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether a bare `--flag` is present.
+pub fn arg_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("smoke").expect("known"), Scale::Smoke);
+        assert_eq!(Scale::parse("default").expect("known"), Scale::Default);
+        assert_eq!(Scale::parse("full").expect("known"), Scale::Full);
+        assert!(Scale::parse("big").is_err());
+    }
+
+    #[test]
+    fn presets_are_consistent() {
+        for scale in [Scale::Smoke, Scale::Default, Scale::Full] {
+            let wb = scale.workbench(1);
+            let rc = scale.resilience_config();
+            assert!(!rc.fault_rates.is_empty());
+            assert!(rc.max_epochs > 0);
+            assert!(scale.constraint() > 0.5);
+            let fc = scale.fleet_config(wb.array_dims(), None);
+            assert!(fc.chips > 0);
+            assert_eq!((fc.rows, fc.cols), wb.array_dims());
+            let budgets = scale.fixed_budgets();
+            assert!(budgets[0] < budgets[1] && budgets[1] < budgets[2]);
+        }
+    }
+
+    #[test]
+    fn arg_helpers() {
+        let args: Vec<String> =
+            ["--scale", "smoke", "--flag"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_value(&args, "--scale").as_deref(), Some("smoke"));
+        assert_eq!(arg_value(&args, "--missing"), None);
+        assert!(arg_flag(&args, "--flag"));
+        assert!(!arg_flag(&args, "--other"));
+    }
+
+    #[test]
+    fn fleet_chip_override() {
+        let fc = Scale::Default.fleet_config((32, 32), Some(7));
+        assert_eq!(fc.chips, 7);
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type for the Reduce framework.
+
+use reduce_data::DataError;
+use reduce_nn::NnError;
+use reduce_systolic::SystolicError;
+use reduce_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the Reduce framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReduceError {
+    /// A tensor-level operation failed.
+    Tensor(TensorError),
+    /// The NN substrate failed.
+    Nn(NnError),
+    /// The dataset substrate failed.
+    Data(DataError),
+    /// The accelerator model failed.
+    Systolic(SystolicError),
+    /// A framework-level configuration was rejected.
+    InvalidConfig {
+        /// What configuration was invalid.
+        what: String,
+    },
+    /// Step 2 was asked to select a retraining amount without (or outside)
+    /// a resilience characterisation.
+    MissingCharacterization {
+        /// Why the lookup failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ReduceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReduceError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ReduceError::Nn(e) => write!(f, "nn error: {e}"),
+            ReduceError::Data(e) => write!(f, "data error: {e}"),
+            ReduceError::Systolic(e) => write!(f, "systolic error: {e}"),
+            ReduceError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            ReduceError::MissingCharacterization { reason } => {
+                write!(f, "missing resilience characterisation: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ReduceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReduceError::Tensor(e) => Some(e),
+            ReduceError::Nn(e) => Some(e),
+            ReduceError::Data(e) => Some(e),
+            ReduceError::Systolic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for ReduceError {
+    fn from(e: TensorError) -> Self {
+        ReduceError::Tensor(e)
+    }
+}
+
+impl From<NnError> for ReduceError {
+    fn from(e: NnError) -> Self {
+        ReduceError::Nn(e)
+    }
+}
+
+impl From<DataError> for ReduceError {
+    fn from(e: DataError) -> Self {
+        ReduceError::Data(e)
+    }
+}
+
+impl From<SystolicError> for ReduceError {
+    fn from(e: SystolicError) -> Self {
+        ReduceError::Systolic(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ReduceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ReduceError = TensorError::LengthMismatch { expected: 1, actual: 2 }.into();
+        assert!(e.to_string().contains("tensor error"));
+        let e: ReduceError =
+            NnError::InvalidConfig { what: "x".into() }.into();
+        assert!(e.to_string().contains("nn error"));
+        let e = ReduceError::MissingCharacterization { reason: "no table".into() };
+        assert!(e.to_string().contains("characterisation"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error as _;
+        let e: ReduceError = SystolicError::InvalidConfig { what: "y".into() }.into();
+        assert!(e.source().is_some());
+        assert!(ReduceError::InvalidConfig { what: "z".into() }.source().is_none());
+    }
+}

@@ -1,0 +1,523 @@
+//! Step ③ at fleet scale — retraining every chip under a policy and
+//! accounting for the cost (the data behind Fig. 3).
+
+use crate::error::Result;
+use crate::fat::{FatRunner, Mitigation, StopRule};
+use crate::policy::RetrainPolicy;
+use crate::resilience::ResilienceTable;
+use crate::workbench::Pretrained;
+use reduce_systolic::{Chip, CostModel};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of retraining one chip under a policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipOutcome {
+    /// Chip identifier.
+    pub chip_id: usize,
+    /// The chip's fault rate (fraction of faulty PEs).
+    pub fault_rate: f64,
+    /// Epochs the policy budgeted for this chip.
+    pub epochs_budgeted: usize,
+    /// Epochs actually executed (equals the budget under
+    /// [`StopRule::Exact`]).
+    pub epochs_run: usize,
+    /// Test accuracy after masking, before retraining.
+    pub pre_retrain_accuracy: f32,
+    /// Deployed (post-FAT) test accuracy.
+    pub final_accuracy: f32,
+    /// Whether the deployed accuracy meets the constraint.
+    pub meets_constraint: bool,
+    /// Fraction of GEMM weights the chip's faults pruned.
+    pub pruned_fraction: f32,
+    /// Whether the chip's fault rate fell outside the characterised range.
+    pub clamped: bool,
+}
+
+/// Aggregate results of retraining a fleet under one policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Policy label (for tables/figures).
+    pub policy: String,
+    /// The accuracy constraint evaluated against.
+    pub constraint: f32,
+    /// Per-chip outcomes, in fleet order.
+    pub chips: Vec<ChipOutcome>,
+    /// Total retraining epochs spent across the fleet — the paper's
+    /// overhead metric.
+    pub total_epochs: usize,
+    /// Number of chips meeting the constraint — the paper's robustness
+    /// metric.
+    pub satisfied: usize,
+    /// Mean deployed accuracy.
+    pub mean_accuracy: f32,
+    /// Worst deployed accuracy.
+    pub min_accuracy: f32,
+    /// Estimated retraining cycles on the accelerator (cost-model based),
+    /// if a cost model was supplied.
+    pub retrain_cycles: Option<u64>,
+}
+
+impl FleetReport {
+    /// Fraction of chips meeting the constraint.
+    pub fn yield_fraction(&self) -> f32 {
+        if self.chips.is_empty() {
+            return 0.0;
+        }
+        self.satisfied as f32 / self.chips.len() as f32
+    }
+
+    /// Mean epochs per chip.
+    pub fn mean_epochs(&self) -> f32 {
+        if self.chips.is_empty() {
+            return 0.0;
+        }
+        self.total_epochs as f32 / self.chips.len() as f32
+    }
+}
+
+/// Configuration of a fleet evaluation run.
+#[derive(Debug, Clone)]
+pub struct FleetEvalConfig {
+    /// The retraining policy to apply.
+    pub policy: RetrainPolicy,
+    /// The user's accuracy constraint.
+    pub constraint: f32,
+    /// Mitigation strategy (FAP per the paper; FAM as ablation).
+    pub strategy: Mitigation,
+    /// Stop each chip's FAT as soon as its test accuracy reaches the
+    /// constraint instead of spending the whole budget (the early-stop
+    /// extension, ablation A5). The paper's Step ③ spends the budget
+    /// exactly, so this defaults to `false`.
+    pub early_stop: bool,
+    /// Optional accelerator cost model for cycle accounting.
+    pub cost_model: Option<CostModel>,
+    /// Per-chip run-seed base (decorrelates shuffling across chips).
+    pub seed: u64,
+}
+
+impl FleetEvalConfig {
+    /// A plain-FAP evaluation of `policy` against `constraint`.
+    pub fn new(policy: RetrainPolicy, constraint: f32) -> Self {
+        FleetEvalConfig {
+            policy,
+            constraint,
+            strategy: Mitigation::Fap,
+            early_stop: false,
+            cost_model: None,
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+/// Retrains every chip in `fleet` under the configured policy and collects
+/// the per-chip and aggregate statistics of Fig. 3.
+///
+/// # Errors
+///
+/// Propagates policy-selection and training errors.
+///
+/// # Examples
+///
+/// ```
+/// use reduce_core::{evaluate_fleet, FatRunner, FleetEvalConfig, RetrainPolicy, Workbench};
+/// use reduce_systolic::{generate_fleet, FaultModel, FleetConfig, RateDistribution};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let workbench = Workbench::toy(1);
+/// let pretrained = workbench.pretrain(5)?;
+/// let runner = FatRunner::new(workbench)?;
+/// let fleet = generate_fleet(&FleetConfig {
+///     chips: 3,
+///     rows: 8,
+///     cols: 8,
+///     rates: RateDistribution::Fixed(0.1),
+///     model: FaultModel::Random,
+///     seed: 2,
+/// })?;
+/// let config = FleetEvalConfig::new(RetrainPolicy::Fixed(1), 0.8);
+/// let report = evaluate_fleet(&runner, &pretrained, &fleet, None, &config)?;
+/// assert_eq!(report.total_epochs, 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate_fleet(
+    runner: &FatRunner,
+    pretrained: &Pretrained,
+    fleet: &[Chip],
+    table: Option<&ResilienceTable>,
+    config: &FleetEvalConfig,
+) -> Result<FleetReport> {
+    let mut chips = Vec::with_capacity(fleet.len());
+    let mut total_epochs = 0usize;
+    let mut gemm_units = 0u64; // epochs × (one epoch's GEMM shapes), summed
+    for chip in fleet {
+        let rate = chip.fault_rate();
+        let selection = config.policy.epochs_for_chip(table, rate)?;
+        let stop = if config.early_stop {
+            StopRule::AtAccuracy(config.constraint)
+        } else {
+            StopRule::Exact
+        };
+        let outcome = runner.run(
+            pretrained,
+            chip.fault_map(),
+            selection.epochs,
+            stop,
+            config.strategy,
+            config.seed.wrapping_add(chip.id() as u64),
+        )?;
+        let final_accuracy = outcome.final_accuracy();
+        total_epochs += outcome.epochs_run();
+        gemm_units += outcome.epochs_run() as u64;
+        chips.push(ChipOutcome {
+            chip_id: chip.id(),
+            fault_rate: rate,
+            epochs_budgeted: selection.epochs,
+            epochs_run: outcome.epochs_run(),
+            pre_retrain_accuracy: outcome.pre_retrain_accuracy,
+            final_accuracy,
+            meets_constraint: final_accuracy >= config.constraint,
+            pruned_fraction: outcome.pruned_fraction,
+            clamped: selection.clamped,
+        });
+    }
+    let satisfied = chips.iter().filter(|c| c.meets_constraint).count();
+    let mean_accuracy = if chips.is_empty() {
+        0.0
+    } else {
+        chips.iter().map(|c| c.final_accuracy).sum::<f32>() / chips.len() as f32
+    };
+    let min_accuracy =
+        chips.iter().map(|c| c.final_accuracy).fold(f32::INFINITY, f32::min);
+    let retrain_cycles = match &config.cost_model {
+        Some(cm) => {
+            let wb = runner.workbench();
+            let shapes = wb.model.gemm_shapes(wb.train.batch_size)?;
+            let samples = runner.train_data().len();
+            let per_epoch = cm.epoch_cycles(&shapes, samples, wb.train.batch_size)?;
+            Some(per_epoch * gemm_units)
+        }
+        None => None,
+    };
+    Ok(FleetReport {
+        policy: config.policy.label(),
+        constraint: config.constraint,
+        chips,
+        total_epochs,
+        satisfied,
+        mean_accuracy,
+        min_accuracy: if min_accuracy.is_finite() { min_accuracy } else { 0.0 },
+        retrain_cycles,
+    })
+}
+
+/// Parallel variant of [`evaluate_fleet`]: chips are distributed over
+/// `threads` workers (each chip's FAT run is fully self-contained and
+/// seeded, so the report is identical to the sequential one regardless of
+/// thread count).
+///
+/// # Errors
+///
+/// Propagates the first per-chip error encountered and
+/// [`crate::ReduceError::InvalidConfig`] for zero threads.
+pub fn evaluate_fleet_parallel(
+    runner: &FatRunner,
+    pretrained: &Pretrained,
+    fleet: &[Chip],
+    table: Option<&ResilienceTable>,
+    config: &FleetEvalConfig,
+    threads: usize,
+) -> Result<FleetReport> {
+    if threads == 0 {
+        return Err(crate::error::ReduceError::InvalidConfig {
+            what: "zero worker threads".to_string(),
+        });
+    }
+    if threads == 1 || fleet.len() <= 1 {
+        return evaluate_fleet(runner, pretrained, fleet, table, config);
+    }
+    // Work queue of chip indices; each worker produces (index, outcome).
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<Result<ChipOutcome>>>> =
+        (0..fleet.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(fleet.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= fleet.len() {
+                    break;
+                }
+                let chip = &fleet[i];
+                let outcome = (|| -> Result<ChipOutcome> {
+                    let rate = chip.fault_rate();
+                    let selection = config.policy.epochs_for_chip(table, rate)?;
+                    let stop = if config.early_stop {
+                        StopRule::AtAccuracy(config.constraint)
+                    } else {
+                        StopRule::Exact
+                    };
+                    let run = runner.run(
+                        pretrained,
+                        chip.fault_map(),
+                        selection.epochs,
+                        stop,
+                        config.strategy,
+                        config.seed.wrapping_add(chip.id() as u64),
+                    )?;
+                    let final_accuracy = run.final_accuracy();
+                    Ok(ChipOutcome {
+                        chip_id: chip.id(),
+                        fault_rate: rate,
+                        epochs_budgeted: selection.epochs,
+                        epochs_run: run.epochs_run(),
+                        pre_retrain_accuracy: run.pre_retrain_accuracy,
+                        final_accuracy,
+                        meets_constraint: final_accuracy >= config.constraint,
+                        pruned_fraction: run.pruned_fraction,
+                        clamped: selection.clamped,
+                    })
+                })();
+                *results[i].lock() = Some(outcome);
+            });
+        }
+    })
+    .map_err(|_| crate::error::ReduceError::InvalidConfig {
+        what: "a fleet worker thread panicked".to_string(),
+    })?;
+    let mut chips = Vec::with_capacity(fleet.len());
+    for cell in results {
+        let outcome = cell.into_inner().expect("every index was processed")?;
+        chips.push(outcome);
+    }
+    let satisfied = chips.iter().filter(|c| c.meets_constraint).count();
+    let total_epochs = chips.iter().map(|c| c.epochs_run).sum::<usize>();
+    let mean_accuracy = if chips.is_empty() {
+        0.0
+    } else {
+        chips.iter().map(|c| c.final_accuracy).sum::<f32>() / chips.len() as f32
+    };
+    let min_accuracy = chips.iter().map(|c| c.final_accuracy).fold(f32::INFINITY, f32::min);
+    let retrain_cycles = match &config.cost_model {
+        Some(cm) => {
+            let wb = runner.workbench();
+            let shapes = wb.model.gemm_shapes(wb.train.batch_size)?;
+            let samples = runner.train_data().len();
+            let per_epoch = cm.epoch_cycles(&shapes, samples, wb.train.batch_size)?;
+            Some(per_epoch * total_epochs as u64)
+        }
+        None => None,
+    };
+    Ok(FleetReport {
+        policy: config.policy.label(),
+        constraint: config.constraint,
+        chips,
+        total_epochs,
+        satisfied,
+        mean_accuracy,
+        min_accuracy: if min_accuracy.is_finite() { min_accuracy } else { 0.0 },
+        retrain_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilience::{Statistic, TableEntry};
+    use crate::workbench::Workbench;
+    use reduce_systolic::{generate_fleet, FaultModel, FleetConfig, RateDistribution};
+
+    fn setup() -> (FatRunner, Pretrained, Vec<Chip>) {
+        let wb = Workbench::toy(21);
+        let pre = wb.pretrain(12).expect("valid workbench");
+        let runner = FatRunner::new(wb).expect("valid workbench");
+        let fleet = generate_fleet(&FleetConfig {
+            chips: 6,
+            rows: 8,
+            cols: 8,
+            rates: RateDistribution::Uniform { lo: 0.0, hi: 0.25 },
+            model: FaultModel::Random,
+            seed: 5,
+        })
+        .expect("valid fleet");
+        (runner, pre, fleet)
+    }
+
+    fn table() -> ResilienceTable {
+        ResilienceTable::from_entries(
+            vec![
+                TableEntry { rate: 0.0, mean_epochs: 0.0, max_epochs: 0 },
+                TableEntry { rate: 0.25, mean_epochs: 3.0, max_epochs: 5 },
+            ],
+            8,
+        )
+        .expect("non-empty")
+    }
+
+    #[test]
+    fn fixed_policy_charges_every_chip_equally() {
+        let (runner, pre, fleet) = setup();
+        let config = FleetEvalConfig::new(RetrainPolicy::Fixed(2), 0.85);
+        let report =
+            evaluate_fleet(&runner, &pre, &fleet, None, &config).expect("valid run");
+        assert_eq!(report.chips.len(), 6);
+        assert!(report.chips.iter().all(|c| c.epochs_run == 2));
+        assert_eq!(report.total_epochs, 12);
+        assert_eq!(report.policy, "Fixed (2 epochs)");
+    }
+
+    #[test]
+    fn reduce_policy_scales_epochs_with_fault_rate() {
+        let (runner, pre, fleet) = setup();
+        let t = table();
+        let config =
+            FleetEvalConfig::new(RetrainPolicy::Reduce(Statistic::Max), 0.85);
+        let report =
+            evaluate_fleet(&runner, &pre, &fleet, Some(&t), &config).expect("valid run");
+        // Chips with higher fault rates get more epochs (monotone table).
+        let mut sorted = report.chips.clone();
+        sorted.sort_by(|a, b| a.fault_rate.partial_cmp(&b.fault_rate).expect("finite"));
+        for pair in sorted.windows(2) {
+            assert!(pair[0].epochs_budgeted <= pair[1].epochs_budgeted);
+        }
+        // A clean chip costs nothing.
+        if let Some(clean) = report.chips.iter().find(|c| c.fault_rate == 0.0) {
+            assert_eq!(clean.epochs_run, 0);
+        }
+    }
+
+    #[test]
+    fn reduce_spends_less_than_fixed_high_for_same_yield_level() {
+        let (runner, pre, fleet) = setup();
+        let t = table();
+        let constraint = 0.85;
+        let reduce = evaluate_fleet(
+            &runner,
+            &pre,
+            &fleet,
+            Some(&t),
+            &FleetEvalConfig::new(RetrainPolicy::Reduce(Statistic::Max), constraint),
+        )
+        .expect("valid run");
+        let fixed_high = evaluate_fleet(
+            &runner,
+            &pre,
+            &fleet,
+            None,
+            &FleetEvalConfig::new(RetrainPolicy::Fixed(5), constraint),
+        )
+        .expect("valid run");
+        assert!(
+            reduce.total_epochs < fixed_high.total_epochs,
+            "Reduce ({}) should be cheaper than Fixed-5 ({})",
+            reduce.total_epochs,
+            fixed_high.total_epochs
+        );
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let (runner, pre, fleet) = setup();
+        let config = FleetEvalConfig::new(RetrainPolicy::Fixed(1), 0.5);
+        let report =
+            evaluate_fleet(&runner, &pre, &fleet, None, &config).expect("valid run");
+        assert!(report.yield_fraction() > 0.0);
+        assert!((report.mean_epochs() - 1.0).abs() < 1e-6);
+        assert!(report.min_accuracy <= report.mean_accuracy);
+        assert_eq!(report.satisfied, report.chips.iter().filter(|c| c.meets_constraint).count());
+    }
+
+    #[test]
+    fn cycle_accounting_present_with_cost_model() {
+        let (runner, pre, fleet) = setup();
+        let mut config = FleetEvalConfig::new(RetrainPolicy::Fixed(1), 0.5);
+        config.cost_model = Some(CostModel::small(8, 8));
+        let report =
+            evaluate_fleet(&runner, &pre, &fleet, None, &config).expect("valid run");
+        let cycles = report.retrain_cycles.expect("cost model supplied");
+        assert!(cycles > 0);
+        // Double the epochs, double the cycles.
+        let mut config2 = FleetEvalConfig::new(RetrainPolicy::Fixed(2), 0.5);
+        config2.cost_model = Some(CostModel::small(8, 8));
+        let report2 =
+            evaluate_fleet(&runner, &pre, &fleet, None, &config2).expect("valid run");
+        assert_eq!(report2.retrain_cycles.expect("cost model supplied"), 2 * cycles);
+    }
+
+    #[test]
+    fn early_stop_fleet_never_spends_more() {
+        let (runner, pre, fleet) = setup();
+        let exact = evaluate_fleet(
+            &runner,
+            &pre,
+            &fleet,
+            None,
+            &FleetEvalConfig::new(RetrainPolicy::Fixed(4), 0.85),
+        )
+        .expect("valid run");
+        let mut cfg = FleetEvalConfig::new(RetrainPolicy::Fixed(4), 0.85);
+        cfg.early_stop = true;
+        let stopped = evaluate_fleet(&runner, &pre, &fleet, None, &cfg).expect("valid run");
+        assert!(stopped.total_epochs <= exact.total_epochs);
+        // Early stop only stops *after* the constraint is met, so yield
+        // cannot be worse.
+        assert!(stopped.satisfied >= exact.satisfied.saturating_sub(1));
+        for c in &stopped.chips {
+            assert!(c.epochs_run <= c.epochs_budgeted);
+        }
+    }
+
+    #[test]
+    fn parallel_fleet_matches_sequential() {
+        let (runner, pre, fleet) = setup();
+        let config = FleetEvalConfig::new(RetrainPolicy::Fixed(2), 0.85);
+        let seq = evaluate_fleet(&runner, &pre, &fleet, None, &config).expect("valid run");
+        for threads in [1usize, 2, 4] {
+            let par = evaluate_fleet_parallel(&runner, &pre, &fleet, None, &config, threads)
+                .expect("valid run");
+            assert_eq!(par, seq, "{threads}-thread report differs from sequential");
+        }
+        assert!(evaluate_fleet_parallel(&runner, &pre, &fleet, None, &config, 0).is_err());
+    }
+
+    #[test]
+    fn unprotected_execution_is_catastrophic() {
+        let (runner, pre, _) = setup();
+        // A mere 5% of stuck-at-saturated PEs without FAP...
+        let map = reduce_systolic::FaultMap::generate(
+            8,
+            8,
+            0.05,
+            reduce_systolic::FaultModel::Random,
+            3,
+        )
+        .expect("valid rate");
+        let unprotected =
+            runner.unprotected_accuracy(&pre, &map, 8.0).expect("valid run");
+        // ...versus the same chip under FAP bypass.
+        let fap = runner
+            .run(&pre, &map, 0, crate::fat::StopRule::Exact, Mitigation::Fap, 0)
+            .expect("valid run")
+            .pre_retrain_accuracy;
+        assert!(
+            unprotected < fap - 0.1,
+            "stuck-at faults should be much worse than bypass: {unprotected} vs {fap}"
+        );
+    }
+
+    #[test]
+    fn reduce_without_table_fails() {
+        let (runner, pre, fleet) = setup();
+        let config = FleetEvalConfig::new(RetrainPolicy::Reduce(Statistic::Max), 0.85);
+        assert!(evaluate_fleet(&runner, &pre, &fleet, None, &config).is_err());
+    }
+
+    #[test]
+    fn empty_fleet_is_empty_report() {
+        let (runner, pre, _) = setup();
+        let config = FleetEvalConfig::new(RetrainPolicy::Fixed(1), 0.5);
+        let report = evaluate_fleet(&runner, &pre, &[], None, &config).expect("valid run");
+        assert_eq!(report.chips.len(), 0);
+        assert_eq!(report.yield_fraction(), 0.0);
+        assert_eq!(report.min_accuracy, 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! # reduce-core
+//!
+//! The **Reduce** framework (Hanif & Shafique, DATE 2023): resilience-driven
+//! selection of fault-aware-retraining amounts for fleets of faulty DNN
+//! accelerator chips.
+//!
+//! Fault-aware training (FAT) recovers the accuracy a chip loses to
+//! permanent PE faults, but is expensive and must run per chip. Reduce cuts
+//! the aggregate cost in three steps:
+//!
+//! 1. [`ResilienceAnalysis`] (Step ①) — characterise accuracy vs fault rate
+//!    vs retraining epochs once, up front (Fig. 2);
+//! 2. [`RetrainPolicy::Reduce`] (Step ②) — per chip, interpolate the
+//!    [`ResilienceTable`] at the chip's fault rate to pick its epoch budget
+//!    ([`Statistic::Max`] is the paper's high-confidence recommendation);
+//! 3. [`FatRunner`] / [`evaluate_fleet`] (Step ③) — run FAT per chip and
+//!    verify the accuracy constraint (Fig. 3).
+//!
+//! [`Reduce`] wires the steps together; [`Workbench`] describes the
+//! model/task/training setup; the fixed-policy baseline of Zhang et al. is
+//! [`RetrainPolicy::Fixed`].
+//!
+//! # Examples
+//!
+//! ```
+//! use reduce_core::{Reduce, ResilienceConfig, RetrainPolicy, Statistic, Workbench};
+//! use reduce_systolic::{generate_fleet, FaultModel, FleetConfig, RateDistribution};
+//!
+//! # fn main() -> Result<(), reduce_core::ReduceError> {
+//! // A fast tabular workbench (tests & doc builds); see Workbench::paper_scale
+//! // for the nano-VGG image setup.
+//! let mut reduce = Reduce::new(Workbench::toy(7), 0.88, 10)?;
+//! reduce.characterize(ResilienceConfig {
+//!     fault_rates: vec![0.0, 0.15],
+//!     max_epochs: 4,
+//!     repeats: 1,
+//!     constraint: 0.88,
+//!     fault_model: FaultModel::Random,
+//!     strategy: Default::default(),
+//!     seed: 1,
+//! })?;
+//! let fleet = generate_fleet(&FleetConfig {
+//!     chips: 2,
+//!     rows: 8,
+//!     cols: 8,
+//!     rates: RateDistribution::Uniform { lo: 0.0, hi: 0.15 },
+//!     model: FaultModel::Random,
+//!     seed: 2,
+//! })?;
+//! let report = reduce.deploy(&fleet, RetrainPolicy::Reduce(Statistic::Max))?;
+//! assert_eq!(report.chips.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fat;
+mod fleet;
+mod framework;
+mod policy;
+pub mod report;
+mod resilience;
+mod workbench;
+
+pub use error::{ReduceError, Result};
+pub use fat::{FatOutcome, FatRunner, Mitigation, StopRule};
+pub use fleet::{
+    evaluate_fleet, evaluate_fleet_parallel, ChipOutcome, FleetEvalConfig, FleetReport,
+};
+pub use framework::Reduce;
+pub use policy::RetrainPolicy;
+pub use resilience::{
+    RateSummary, ResilienceAnalysis, ResilienceConfig, ResiliencePoint, ResilienceTable,
+    Selection, Statistic, TableEntry,
+};
+pub use workbench::{ModelSpec, OptimSpec, Pretrained, TaskSpec, TrainSpec, Workbench};

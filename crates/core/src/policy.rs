@@ -1,0 +1,117 @@
+//! Step ② — retraining-amount selection policies.
+//!
+//! The paper's contribution is the *resilience-driven* policy: read the
+//! chip's fault rate off its fault map and interpolate the Step-①
+//! resilience table. The state-of-the-art baseline (Zhang et al., VTS'18)
+//! is *fixed-policy* retraining: every chip gets the same pre-specified
+//! number of epochs.
+
+use crate::error::{ReduceError, Result};
+use crate::resilience::{ResilienceTable, Selection, Statistic};
+use serde::{Deserialize, Serialize};
+
+/// How many FAT epochs a chip receives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RetrainPolicy {
+    /// The Reduce framework: resilience-driven selection using the given
+    /// per-rate statistic ([`Statistic::Max`] is the paper's
+    /// recommendation; [`Statistic::Mean`] is its undertraining
+    /// comparison).
+    Reduce(Statistic),
+    /// Fixed-policy baseline: the same epoch budget for every chip.
+    Fixed(usize),
+}
+
+impl RetrainPolicy {
+    /// Short label used in reports (mirrors the paper's figure captions).
+    pub fn label(&self) -> String {
+        match self {
+            RetrainPolicy::Reduce(Statistic::Max) => "Reduce (max)".to_string(),
+            RetrainPolicy::Reduce(Statistic::Mean) => "Reduce (mean)".to_string(),
+            RetrainPolicy::Reduce(Statistic::MeanPlusMargin(m)) => {
+                format!("Reduce (mean+{m:.1})")
+            }
+            RetrainPolicy::Fixed(e) => format!("Fixed ({e} epochs)"),
+        }
+    }
+
+    /// Whether this policy needs a resilience characterisation.
+    pub fn needs_table(&self) -> bool {
+        matches!(self, RetrainPolicy::Reduce(_))
+    }
+
+    /// Selects the epoch budget for a chip with the given fault rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReduceError::MissingCharacterization`] if a Reduce policy
+    /// is used without a table, and propagates lookup errors.
+    pub fn epochs_for_chip(
+        &self,
+        table: Option<&ResilienceTable>,
+        fault_rate: f64,
+    ) -> Result<Selection> {
+        match self {
+            RetrainPolicy::Fixed(e) => Ok(Selection { epochs: *e, clamped: false }),
+            RetrainPolicy::Reduce(stat) => {
+                let table = table.ok_or_else(|| ReduceError::MissingCharacterization {
+                    reason: format!("{} requires a resilience table", self.label()),
+                })?;
+                table.epochs_for(fault_rate, *stat)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilience::TableEntry;
+
+    fn table() -> ResilienceTable {
+        ResilienceTable::from_entries(
+            vec![
+                TableEntry { rate: 0.0, mean_epochs: 0.0, max_epochs: 0 },
+                TableEntry { rate: 0.2, mean_epochs: 4.0, max_epochs: 6 },
+            ],
+            10,
+        )
+        .expect("non-empty")
+    }
+
+    #[test]
+    fn fixed_ignores_rate_and_table() {
+        let p = RetrainPolicy::Fixed(3);
+        assert!(!p.needs_table());
+        assert_eq!(p.epochs_for_chip(None, 0.0).expect("fixed").epochs, 3);
+        assert_eq!(p.epochs_for_chip(None, 0.9).expect("fixed").epochs, 3);
+    }
+
+    #[test]
+    fn reduce_uses_table() {
+        let t = table();
+        let max = RetrainPolicy::Reduce(Statistic::Max);
+        assert_eq!(max.epochs_for_chip(Some(&t), 0.1).expect("covered").epochs, 3);
+        let mean = RetrainPolicy::Reduce(Statistic::Mean);
+        assert_eq!(mean.epochs_for_chip(Some(&t), 0.1).expect("covered").epochs, 2);
+    }
+
+    #[test]
+    fn reduce_without_table_is_error() {
+        let p = RetrainPolicy::Reduce(Statistic::Max);
+        assert!(matches!(
+            p.epochs_for_chip(None, 0.1),
+            Err(ReduceError::MissingCharacterization { .. })
+        ));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RetrainPolicy::Fixed(5).label(), "Fixed (5 epochs)");
+        assert_eq!(RetrainPolicy::Reduce(Statistic::Max).label(), "Reduce (max)");
+        assert_eq!(RetrainPolicy::Reduce(Statistic::Mean).label(), "Reduce (mean)");
+        assert!(RetrainPolicy::Reduce(Statistic::MeanPlusMargin(1.0))
+            .label()
+            .contains("mean+1.0"));
+    }
+}

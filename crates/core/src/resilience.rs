@@ -1,0 +1,629 @@
+//! Step ① — resilience characterisation.
+//!
+//! Fault-injection experiments at a grid of fault rates, each repeated with
+//! several independent fault maps, measuring test accuracy after every FAT
+//! epoch. The analysis yields:
+//!
+//! * the **resilience curves** (Fig. 2a): accuracy vs fault rate at each
+//!   retraining level;
+//! * the **epochs-to-constraint** statistics (Fig. 2b): min/mean/max
+//!   retraining epochs needed at each fault rate to meet the accuracy
+//!   constraint — whose spread is exactly why the paper recommends the
+//!   *max* statistic (means undertrain);
+//! * a [`ResilienceTable`] that Step ② interpolates to pick a retraining
+//!   amount for an arbitrary chip.
+
+use crate::error::{ReduceError, Result};
+use crate::fat::{FatRunner, Mitigation, StopRule};
+use crate::workbench::Pretrained;
+use reduce_systolic::{FaultMap, FaultModel};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the resilience characterisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// Fault rates to characterise (will be sorted; should include 0).
+    pub fault_rates: Vec<f64>,
+    /// Maximum FAT epochs measured at each rate.
+    pub max_epochs: usize,
+    /// Independent fault maps per rate (the paper uses 5).
+    pub repeats: usize,
+    /// The user's accuracy constraint.
+    pub constraint: f32,
+    /// Spatial fault model for the injected maps.
+    pub fault_model: FaultModel,
+    /// Mitigation strategy characterised.
+    pub strategy: Mitigation,
+    /// Master seed for the injected fault maps.
+    pub seed: u64,
+}
+
+impl ResilienceConfig {
+    /// A sensible default grid up to `max_rate` with the paper's 5 repeats.
+    pub fn grid(max_rate: f64, points: usize, max_epochs: usize, constraint: f32) -> Self {
+        let fault_rates = (0..points)
+            .map(|i| max_rate * i as f64 / (points.max(2) - 1) as f64)
+            .collect();
+        ResilienceConfig {
+            fault_rates,
+            max_epochs,
+            repeats: 5,
+            constraint,
+            fault_model: FaultModel::Random,
+            strategy: Mitigation::Fap,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.fault_rates.is_empty()
+            || self.repeats == 0
+            || !(0.0..=1.0).contains(&self.constraint)
+        {
+            return Err(ReduceError::InvalidConfig {
+                what: format!(
+                    "resilience config rejected: {} rates, {} repeats, constraint {}",
+                    self.fault_rates.len(),
+                    self.repeats,
+                    self.constraint
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One fault-injection run: a single `(rate, repeat)` cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResiliencePoint {
+    /// Injected fault rate.
+    pub rate: f64,
+    /// Repeat index.
+    pub repeat: usize,
+    /// Accuracy after masking, before retraining.
+    pub pre_retrain_accuracy: f32,
+    /// Accuracy after each FAT epoch.
+    pub accuracy_after_epoch: Vec<f32>,
+    /// Epochs needed to reach the constraint (0 = immediately), if reached.
+    pub epochs_to_constraint: Option<usize>,
+}
+
+/// Per-rate summary across repeats.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateSummary {
+    /// Fault rate.
+    pub rate: f64,
+    /// Minimum epochs-to-constraint over repeats (failures count as the
+    /// epoch cap).
+    pub min_epochs: usize,
+    /// Mean epochs-to-constraint over repeats.
+    pub mean_epochs: f64,
+    /// Maximum epochs-to-constraint over repeats — the paper's recommended
+    /// high-confidence statistic.
+    pub max_epochs: usize,
+    /// Repeats that never met the constraint within the epoch budget.
+    pub failures: usize,
+    /// Mean accuracy at each retraining level: index 0 is pre-retraining,
+    /// index `e` is after `e` epochs (Fig. 2a's y-values).
+    pub mean_accuracy_at_level: Vec<f32>,
+}
+
+/// The full Step-① output.
+#[derive(Debug, Clone)]
+pub struct ResilienceAnalysis {
+    config: ResilienceConfig,
+    points: Vec<ResiliencePoint>,
+    summaries: Vec<RateSummary>,
+}
+
+impl ResilienceAnalysis {
+    /// Runs the characterisation: `rates × repeats` fault-injection +
+    /// retraining experiments, each measuring the full accuracy-per-epoch
+    /// curve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and training errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reduce_core::{FatRunner, ResilienceAnalysis, ResilienceConfig, Workbench};
+    ///
+    /// # fn main() -> Result<(), reduce_core::ReduceError> {
+    /// let workbench = Workbench::toy(1);
+    /// let pretrained = workbench.pretrain(5)?;
+    /// let runner = FatRunner::new(workbench)?;
+    /// let mut config = ResilienceConfig::grid(0.2, 2, 2, 0.85);
+    /// config.repeats = 1;
+    /// let analysis = ResilienceAnalysis::run(&runner, &pretrained, config)?;
+    /// assert_eq!(analysis.summaries().len(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn run(
+        runner: &FatRunner,
+        pretrained: &Pretrained,
+        config: ResilienceConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let mut rates = config.fault_rates.clone();
+        rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+        rates.dedup();
+        let (rows, cols) = runner.workbench().array_dims();
+        let mut points = Vec::with_capacity(rates.len() * config.repeats);
+        for (ri, &rate) in rates.iter().enumerate() {
+            for rep in 0..config.repeats {
+                let map_seed = config
+                    .seed
+                    .wrapping_add((ri as u64) << 32)
+                    .wrapping_add(rep as u64);
+                let map = FaultMap::generate(rows, cols, rate, config.fault_model, map_seed)?;
+                let outcome = runner.run(
+                    pretrained,
+                    &map,
+                    config.max_epochs,
+                    StopRule::Exact,
+                    config.strategy,
+                    map_seed ^ 0x5EED,
+                )?;
+                points.push(ResiliencePoint {
+                    rate,
+                    repeat: rep,
+                    pre_retrain_accuracy: outcome.pre_retrain_accuracy,
+                    epochs_to_constraint: outcome.epochs_to_reach(config.constraint),
+                    accuracy_after_epoch: outcome.accuracy_after_epoch,
+                });
+            }
+        }
+        let summaries = summarise(&rates, &points, &config);
+        Ok(ResilienceAnalysis { config, points, summaries })
+    }
+
+    /// The configuration that produced this analysis.
+    pub fn config(&self) -> &ResilienceConfig {
+        &self.config
+    }
+
+    /// All raw `(rate, repeat)` runs.
+    pub fn points(&self) -> &[ResiliencePoint] {
+        &self.points
+    }
+
+    /// Per-rate summaries, sorted by rate.
+    pub fn summaries(&self) -> &[RateSummary] {
+        &self.summaries
+    }
+
+    /// Builds the Step-② lookup table.
+    pub fn table(&self) -> ResilienceTable {
+        ResilienceTable {
+            entries: self
+                .summaries
+                .iter()
+                .map(|s| TableEntry {
+                    rate: s.rate,
+                    mean_epochs: s.mean_epochs,
+                    max_epochs: s.max_epochs,
+                })
+                .collect(),
+            epoch_cap: self.config.max_epochs,
+        }
+    }
+}
+
+fn summarise(
+    rates: &[f64],
+    points: &[ResiliencePoint],
+    config: &ResilienceConfig,
+) -> Vec<RateSummary> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let runs: Vec<&ResiliencePoint> =
+                points.iter().filter(|p| p.rate == rate).collect();
+            let cap = config.max_epochs;
+            let epochs: Vec<usize> = runs
+                .iter()
+                .map(|p| p.epochs_to_constraint.unwrap_or(cap))
+                .collect();
+            let failures = runs.iter().filter(|p| p.epochs_to_constraint.is_none()).count();
+            let min_epochs = epochs.iter().copied().min().unwrap_or(0);
+            let max_epochs = epochs.iter().copied().max().unwrap_or(0);
+            let mean_epochs = if epochs.is_empty() {
+                0.0
+            } else {
+                epochs.iter().sum::<usize>() as f64 / epochs.len() as f64
+            };
+            // Mean accuracy at each level (0 = pre-retrain).
+            let mut mean_accuracy_at_level = vec![0.0f32; cap + 1];
+            for p in &runs {
+                mean_accuracy_at_level[0] += p.pre_retrain_accuracy;
+                for e in 0..cap {
+                    // Runs are Exact so the curve has cap entries.
+                    let a = p
+                        .accuracy_after_epoch
+                        .get(e)
+                        .copied()
+                        .unwrap_or_else(|| p.accuracy_after_epoch.last().copied().unwrap_or(0.0));
+                    mean_accuracy_at_level[e + 1] += a;
+                }
+            }
+            let n = runs.len().max(1) as f32;
+            for v in &mut mean_accuracy_at_level {
+                *v /= n;
+            }
+            RateSummary { rate, min_epochs, mean_epochs, max_epochs, failures, mean_accuracy_at_level }
+        })
+        .collect()
+}
+
+/// Which per-rate statistic Step ② reads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Statistic {
+    /// The maximum over repeats — the paper's recommendation (high
+    /// confidence the constraint is met).
+    Max,
+    /// The mean over repeats — cheaper but risks undertraining (the paper's
+    /// Fig. 3b comparison).
+    Mean,
+    /// Mean plus a fixed epoch margin — an intermediate ablation.
+    MeanPlusMargin(f64),
+}
+
+/// One row of the lookup table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableEntry {
+    /// Characterised fault rate.
+    pub rate: f64,
+    /// Mean epochs-to-constraint at this rate.
+    pub mean_epochs: f64,
+    /// Max epochs-to-constraint at this rate.
+    pub max_epochs: usize,
+}
+
+/// The retraining amount a lookup produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Selection {
+    /// Retraining epochs to spend on the chip.
+    pub epochs: usize,
+    /// Whether the chip's fault rate fell outside the characterised range
+    /// (the value was clamped to the nearest grid edge).
+    pub clamped: bool,
+}
+
+/// The Step-② lookup table: fault rate → retraining epochs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceTable {
+    entries: Vec<TableEntry>,
+    epoch_cap: usize,
+}
+
+impl ResilienceTable {
+    /// Creates a table from explicit entries (sorted by rate internally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReduceError::InvalidConfig`] for an empty table.
+    pub fn from_entries(mut entries: Vec<TableEntry>, epoch_cap: usize) -> Result<Self> {
+        if entries.is_empty() {
+            return Err(ReduceError::InvalidConfig {
+                what: "resilience table needs at least one entry".to_string(),
+            });
+        }
+        entries.sort_by(|a, b| a.rate.partial_cmp(&b.rate).expect("finite rates"));
+        Ok(ResilienceTable { entries, epoch_cap })
+    }
+
+    /// The table rows, sorted by rate.
+    pub fn entries(&self) -> &[TableEntry] {
+        &self.entries
+    }
+
+    /// The epoch budget the characterisation measured up to.
+    pub fn epoch_cap(&self) -> usize {
+        self.epoch_cap
+    }
+
+    /// Whether `rate` lies within the characterised range.
+    pub fn covers(&self, rate: f64) -> bool {
+        let first = self.entries.first().expect("non-empty by construction").rate;
+        let last = self.entries.last().expect("non-empty by construction").rate;
+        (first..=last).contains(&rate)
+    }
+
+    /// Serialises the table to a small, versioned, line-based text format
+    /// — the reusable Step-① artifact (characterise once, deploy many
+    /// times).
+    pub fn to_text(&self) -> String {
+        let mut s = String::from("# reduce resilience table v1\n");
+        s.push_str(&format!("epoch_cap {}\n", self.epoch_cap));
+        s.push_str("rate mean_epochs max_epochs\n");
+        for e in &self.entries {
+            s.push_str(&format!("{} {} {}\n", e.rate, e.mean_epochs, e.max_epochs));
+        }
+        s
+    }
+
+    /// Parses a table serialised by [`ResilienceTable::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReduceError::InvalidConfig`] for a malformed document.
+    pub fn from_text(text: &str) -> Result<Self> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_default();
+        if header.trim() != "# reduce resilience table v1" {
+            return Err(ReduceError::InvalidConfig {
+                what: format!("unrecognised table header {header:?}"),
+            });
+        }
+        let cap_line = lines.next().unwrap_or_default();
+        let epoch_cap = cap_line
+            .strip_prefix("epoch_cap ")
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .ok_or_else(|| ReduceError::InvalidConfig {
+                what: format!("bad epoch_cap line {cap_line:?}"),
+            })?;
+        let columns = lines.next().unwrap_or_default();
+        if columns.trim() != "rate mean_epochs max_epochs" {
+            return Err(ReduceError::InvalidConfig {
+                what: format!("bad column header {columns:?}"),
+            });
+        }
+        let mut entries = Vec::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let parse_err = || ReduceError::InvalidConfig {
+                what: format!("bad table row {line:?}"),
+            };
+            let rate: f64 =
+                it.next().and_then(|v| v.parse().ok()).ok_or_else(parse_err)?;
+            let mean_epochs: f64 =
+                it.next().and_then(|v| v.parse().ok()).ok_or_else(parse_err)?;
+            let max_epochs: usize =
+                it.next().and_then(|v| v.parse().ok()).ok_or_else(parse_err)?;
+            if it.next().is_some() || !(0.0..=1.0).contains(&rate) {
+                return Err(parse_err());
+            }
+            entries.push(TableEntry { rate, mean_epochs, max_epochs });
+        }
+        Self::from_entries(entries, epoch_cap)
+    }
+
+    /// Writes the table to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReduceError::InvalidConfig`] wrapping the I/O failure.
+    pub fn save(&self, path: &std::path::Path) -> Result<()> {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(path, self.to_text()).map_err(|e| ReduceError::InvalidConfig {
+            what: format!("cannot write table to {}: {e}", path.display()),
+        })
+    }
+
+    /// Reads a table written by [`ResilienceTable::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReduceError::InvalidConfig`] for I/O or parse failures.
+    pub fn load(path: &std::path::Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path).map_err(|e| ReduceError::InvalidConfig {
+            what: format!("cannot read table from {}: {e}", path.display()),
+        })?;
+        Self::from_text(&text)
+    }
+
+    /// Selects the retraining amount for a chip with the given fault rate:
+    /// piecewise-linear interpolation of the chosen statistic between the
+    /// bracketing characterised rates, rounded **up** to whole epochs
+    /// (conservative), clamped to the grid edges outside the range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReduceError::MissingCharacterization`] for a non-finite
+    /// rate.
+    pub fn epochs_for(&self, rate: f64, statistic: Statistic) -> Result<Selection> {
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(ReduceError::MissingCharacterization {
+                reason: format!("fault rate {rate} is not a valid probability"),
+            });
+        }
+        let stat = |e: &TableEntry| -> f64 {
+            match statistic {
+                Statistic::Max => e.max_epochs as f64,
+                Statistic::Mean => e.mean_epochs,
+                Statistic::MeanPlusMargin(m) => e.mean_epochs + m,
+            }
+        };
+        let first = self.entries.first().expect("non-empty by construction");
+        let last = self.entries.last().expect("non-empty by construction");
+        let raw = if rate <= first.rate {
+            stat(first)
+        } else if rate >= last.rate {
+            stat(last)
+        } else {
+            let hi = self
+                .entries
+                .iter()
+                .position(|e| e.rate >= rate)
+                .expect("rate < last implies a bracketing entry");
+            let (a, b) = (&self.entries[hi - 1], &self.entries[hi]);
+            if (b.rate - a.rate).abs() < f64::EPSILON {
+                stat(b)
+            } else {
+                let t = (rate - a.rate) / (b.rate - a.rate);
+                stat(a) + t * (stat(b) - stat(a))
+            }
+        };
+        let epochs = raw.ceil().max(0.0) as usize;
+        Ok(Selection {
+            epochs: epochs.min(self.epoch_cap.max(epochs)), // cap never truncates below raw grid values
+            clamped: !self.covers(rate),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ResilienceTable {
+        ResilienceTable::from_entries(
+            vec![
+                TableEntry { rate: 0.0, mean_epochs: 0.0, max_epochs: 0 },
+                TableEntry { rate: 0.1, mean_epochs: 2.0, max_epochs: 4 },
+                TableEntry { rate: 0.2, mean_epochs: 5.0, max_epochs: 8 },
+            ],
+            10,
+        )
+        .expect("non-empty")
+    }
+
+    #[test]
+    fn exact_grid_lookup() {
+        let t = table();
+        assert_eq!(t.epochs_for(0.1, Statistic::Max).expect("valid").epochs, 4);
+        assert_eq!(t.epochs_for(0.1, Statistic::Mean).expect("valid").epochs, 2);
+        assert_eq!(t.epochs_for(0.0, Statistic::Max).expect("valid").epochs, 0);
+    }
+
+    #[test]
+    fn interpolation_rounds_up() {
+        let t = table();
+        // Halfway between 4 and 8 is 6 -> exactly 6; at 0.125 it's 5 -> 5.
+        assert_eq!(t.epochs_for(0.15, Statistic::Max).expect("valid").epochs, 6);
+        let s = t.epochs_for(0.125, Statistic::Max).expect("valid");
+        assert_eq!(s.epochs, 5);
+        assert!(!s.clamped);
+        // Mean interpolation: 2 + 0.5*(5-2) = 3.5 -> ceil 4.
+        assert_eq!(t.epochs_for(0.15, Statistic::Mean).expect("valid").epochs, 4);
+    }
+
+    #[test]
+    fn clamping_outside_grid() {
+        let t = table();
+        let s = t.epochs_for(0.5, Statistic::Max).expect("valid");
+        assert_eq!(s.epochs, 8);
+        assert!(s.clamped);
+        assert!(!t.covers(0.5));
+        assert!(t.covers(0.15));
+    }
+
+    #[test]
+    fn margin_statistic() {
+        let t = table();
+        assert_eq!(
+            t.epochs_for(0.1, Statistic::MeanPlusMargin(1.5)).expect("valid").epochs,
+            4 // 2.0 + 1.5 = 3.5 -> 4
+        );
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        let t = table();
+        assert!(t.epochs_for(f64::NAN, Statistic::Max).is_err());
+        assert!(t.epochs_for(-0.1, Statistic::Max).is_err());
+        assert!(ResilienceTable::from_entries(vec![], 5).is_err());
+    }
+
+    #[test]
+    fn grid_constructor() {
+        let c = ResilienceConfig::grid(0.3, 4, 10, 0.91);
+        assert_eq!(c.fault_rates.len(), 4);
+        assert!((c.fault_rates[0] - 0.0).abs() < 1e-12);
+        assert!((c.fault_rates[3] - 0.3).abs() < 1e-12);
+        assert_eq!(c.repeats, 5);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = ResilienceConfig::grid(0.3, 4, 10, 0.91);
+        c.repeats = 0;
+        assert!(c.validate().is_err());
+        let mut c = ResilienceConfig::grid(0.3, 4, 10, 0.91);
+        c.constraint = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = ResilienceConfig::grid(0.3, 4, 10, 0.91);
+        c.fault_rates.clear();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let t = table();
+        let parsed = ResilienceTable::from_text(&t.to_text()).expect("own format");
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_documents() {
+        assert!(ResilienceTable::from_text("").is_err());
+        assert!(ResilienceTable::from_text("# wrong header\n").is_err());
+        let good = table().to_text();
+        assert!(ResilienceTable::from_text(&good.replace("epoch_cap 10", "epoch_cap x"))
+            .is_err());
+        assert!(ResilienceTable::from_text(&good.replace("0.1 2 4", "0.1 2 4 9")).is_err());
+        assert!(ResilienceTable::from_text(&good.replace("0.1 2 4", "5.0 2 4")).is_err());
+        // Comments and blank lines are tolerated.
+        let commented = format!("{good}\n# trailing comment\n\n");
+        assert!(ResilienceTable::from_text(&commented).is_ok());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("reduce_table_test");
+        let path = dir.join("table.txt");
+        let t = table();
+        t.save(&path).expect("temp dir writable");
+        let back = ResilienceTable::load(&path).expect("just written");
+        assert_eq!(back, t);
+        assert!(ResilienceTable::load(&dir.join("missing.txt")).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn summarise_counts_failures_as_cap() {
+        let config = ResilienceConfig {
+            fault_rates: vec![0.1],
+            max_epochs: 5,
+            repeats: 2,
+            constraint: 0.9,
+            fault_model: reduce_systolic::FaultModel::Random,
+            strategy: Mitigation::Fap,
+            seed: 0,
+        };
+        let points = vec![
+            ResiliencePoint {
+                rate: 0.1,
+                repeat: 0,
+                pre_retrain_accuracy: 0.5,
+                accuracy_after_epoch: vec![0.92, 0.93, 0.94, 0.94, 0.95],
+                epochs_to_constraint: Some(1),
+            },
+            ResiliencePoint {
+                rate: 0.1,
+                repeat: 1,
+                pre_retrain_accuracy: 0.4,
+                accuracy_after_epoch: vec![0.5, 0.6, 0.7, 0.8, 0.85],
+                epochs_to_constraint: None,
+            },
+        ];
+        let s = summarise(&[0.1], &points, &config);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].min_epochs, 1);
+        assert_eq!(s[0].max_epochs, 5);
+        assert_eq!(s[0].failures, 1);
+        assert!((s[0].mean_epochs - 3.0).abs() < 1e-9);
+        assert_eq!(s[0].mean_accuracy_at_level.len(), 6);
+        assert!((s[0].mean_accuracy_at_level[0] - 0.45).abs() < 1e-6);
+        assert!((s[0].mean_accuracy_at_level[1] - 0.71).abs() < 1e-6);
+    }
+}

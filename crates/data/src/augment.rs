@@ -1,0 +1,131 @@
+//! Image augmentation for NCHW tensors.
+
+use crate::dataset::{DataError, Result};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use reduce_tensor::Tensor;
+
+/// Seeded augmentation pipeline for NCHW image batches: random horizontal
+/// flips and random circular shifts, applied per image.
+///
+/// # Examples
+///
+/// ```
+/// use reduce_data::Augmenter;
+/// use reduce_tensor::Tensor;
+///
+/// # fn main() -> Result<(), reduce_data::DataError> {
+/// let mut aug = Augmenter::new(0.5, 2, 7);
+/// let batch = Tensor::rand_uniform([4, 3, 8, 8], -1.0, 1.0, 0);
+/// let out = aug.apply(&batch)?;
+/// assert_eq!(out.dims(), batch.dims());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Augmenter {
+    flip_probability: f32,
+    max_shift: usize,
+    rng: SmallRng,
+}
+
+impl Augmenter {
+    /// Creates an augmenter.
+    ///
+    /// `flip_probability` is clamped to `[0, 1]`; `max_shift` is the
+    /// maximum circular translation in pixels per axis.
+    pub fn new(flip_probability: f32, max_shift: usize, seed: u64) -> Self {
+        Augmenter {
+            flip_probability: flip_probability.clamp(0.0, 1.0),
+            max_shift,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Applies fresh random flips/shifts to every image in the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] for non-rank-4 input.
+    pub fn apply(&mut self, batch: &Tensor) -> Result<Tensor> {
+        let d = batch.dims();
+        if d.len() != 4 {
+            return Err(DataError::InvalidConfig {
+                what: format!("augmenter expects NCHW input, got {:?}", d),
+            });
+        }
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let mut out = batch.clone();
+        let shift = self.max_shift as isize;
+        for img in 0..n {
+            let flip = self.rng.gen::<f32>() < self.flip_probability;
+            let (dx, dy) = if shift > 0 {
+                (self.rng.gen_range(-shift..=shift), self.rng.gen_range(-shift..=shift))
+            } else {
+                (0, 0)
+            };
+            if !flip && dx == 0 && dy == 0 {
+                continue;
+            }
+            for ch in 0..c {
+                let base = (img * c + ch) * h * w;
+                let src = batch.data()[base..base + h * w].to_vec();
+                let dst = &mut out.data_mut()[base..base + h * w];
+                for y in 0..h {
+                    for x in 0..w {
+                        let sx = if flip { w - 1 - x } else { x } as isize;
+                        let px = (sx + dx).rem_euclid(w as isize) as usize;
+                        let py = (y as isize + dy).rem_euclid(h as isize) as usize;
+                        dst[y * w + x] = src[py * w + px];
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_shape_and_pixel_multiset() {
+        let mut aug = Augmenter::new(1.0, 2, 1);
+        let x = Tensor::rand_uniform([2, 1, 6, 6], -1.0, 1.0, 2);
+        let y = aug.apply(&x).expect("rank 4");
+        assert_eq!(y.dims(), x.dims());
+        // Circular shift + flip permutes pixels within each channel.
+        let mut a: Vec<_> = x.data().to_vec();
+        let mut b: Vec<_> = y.data().to_vec();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identity_when_disabled() {
+        let mut aug = Augmenter::new(0.0, 0, 1);
+        let x = Tensor::rand_uniform([3, 2, 4, 4], -1.0, 1.0, 3);
+        assert_eq!(aug.apply(&x).expect("rank 4"), x);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = Tensor::rand_uniform([4, 1, 5, 5], -1.0, 1.0, 4);
+        let a = Augmenter::new(0.5, 2, 9).apply(&x).expect("rank 4");
+        let b = Augmenter::new(0.5, 2, 9).apply(&x).expect("rank 4");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_non_nchw() {
+        assert!(Augmenter::new(0.5, 1, 0).apply(&Tensor::zeros([4, 4])).is_err());
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        let aug = Augmenter::new(7.0, 0, 0);
+        assert_eq!(aug.flip_probability, 1.0);
+    }
+}

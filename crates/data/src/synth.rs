@@ -1,0 +1,362 @@
+//! Procedurally generated CIFAR-like image classification data.
+//!
+//! Real CIFAR-10 is not available offline, so the reproduction trains on a
+//! seeded synthetic substitute: each class is defined by a smooth
+//! "texture prototype" (a sum of class-specific sinusoidal gratings plus a
+//! class-specific Gaussian blob per channel), and samples are jittered,
+//! shifted, noisy renderings of their class prototype. The task difficulty
+//! is controlled by pixel noise, geometric jitter and label noise, tuned so
+//! that a small CNN saturates in the low-to-mid 90s — which makes the
+//! paper's 91 % accuracy constraint meaningful.
+
+use crate::dataset::{DataError, Dataset, Result};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use reduce_tensor::Tensor;
+
+/// Configuration of the synthetic image task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthImageConfig {
+    /// Number of classes (CIFAR-10 uses 10).
+    pub classes: usize,
+    /// Square image resolution.
+    pub hw: usize,
+    /// Channels (3 for RGB-like).
+    pub channels: usize,
+    /// Total number of samples (classes are balanced round-robin).
+    pub samples: usize,
+    /// Std-dev of i.i.d. Gaussian pixel noise.
+    pub pixel_noise: f32,
+    /// Per-sample amplitude jitter: brightness drawn from `[1-j, 1+j]`.
+    pub amplitude_jitter: f32,
+    /// Maximum circular shift in pixels (both axes).
+    pub max_shift: usize,
+    /// Fraction of labels flipped to a different class.
+    pub label_noise: f32,
+    /// Master seed: prototypes and samples both derive from it.
+    pub seed: u64,
+}
+
+impl SynthImageConfig {
+    /// The configuration used by the headline experiments: a 10-class,
+    /// 3×16×16 task a nano-VGG saturates on in the low-to-mid 90s.
+    pub fn cifar_like(samples: usize, seed: u64) -> Self {
+        SynthImageConfig {
+            classes: 10,
+            hw: 16,
+            channels: 3,
+            samples,
+            pixel_noise: 0.35,
+            amplitude_jitter: 0.25,
+            max_shift: 2,
+            label_noise: 0.02,
+            seed,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.classes == 0
+            || self.hw == 0
+            || self.channels == 0
+            || self.samples == 0
+            || self.pixel_noise < 0.0
+            || !(0.0..=1.0).contains(&self.label_noise)
+            || !(0.0..1.0).contains(&self.amplitude_jitter)
+        {
+            return Err(DataError::InvalidConfig {
+                what: format!("synthetic image config rejected: {self:?}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The class prototypes underlying a synthetic task.
+///
+/// Exposed so experiments can generate arbitrarily many *fresh* samples of
+/// the same task (e.g. an i.i.d. test set) without regenerating prototypes.
+#[derive(Debug, Clone)]
+pub struct SynthTask {
+    config: SynthImageConfig,
+    /// `classes` prototype images, each `channels·hw·hw` long.
+    prototypes: Vec<Vec<f32>>,
+}
+
+impl SynthTask {
+    /// Derives class prototypes from `config.seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] for degenerate configurations.
+    pub fn new(config: SynthImageConfig) -> Result<Self> {
+        config.validate()?;
+        let hw = config.hw;
+        let mut prototypes = Vec::with_capacity(config.classes);
+        for class in 0..config.classes {
+            let mut rng =
+                SmallRng::seed_from_u64(config.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(class as u64 + 1)));
+            let mut proto = vec![0.0f32; config.channels * hw * hw];
+            for ch in 0..config.channels {
+                // Three gratings with class-specific geometry.
+                let gratings: Vec<(f32, f32, f32, f32)> = (0..3)
+                    .map(|_| {
+                        (
+                            rng.gen_range(0.5..2.5),                      // cycles across image
+                            rng.gen_range(0.0..std::f32::consts::PI),    // orientation
+                            rng.gen_range(0.0..2.0 * std::f32::consts::PI), // phase
+                            rng.gen_range(0.4..1.0),                     // weight
+                        )
+                    })
+                    .collect();
+                // One blob.
+                let (bx, by) = (rng.gen_range(0.2..0.8), rng.gen_range(0.2..0.8));
+                let bsig = rng.gen_range(0.1..0.25);
+                let bamp = rng.gen_range(0.5..1.2);
+                for y in 0..hw {
+                    for x in 0..hw {
+                        let (fx, fy) = (x as f32 / hw as f32, y as f32 / hw as f32);
+                        let mut v = 0.0f32;
+                        for &(freq, theta, phase, w) in &gratings {
+                            let proj = fx * theta.cos() + fy * theta.sin();
+                            v += w * (2.0 * std::f32::consts::PI * freq * proj + phase).sin();
+                        }
+                        let d2 = (fx - bx) * (fx - bx) + (fy - by) * (fy - by);
+                        v += bamp * (-d2 / (2.0 * bsig * bsig)).exp();
+                        proto[(ch * hw + y) * hw + x] = v;
+                    }
+                }
+            }
+            // Normalise prototype to zero mean, unit max-abs.
+            let mean = proto.iter().sum::<f32>() / proto.len() as f32;
+            for v in &mut proto {
+                *v -= mean;
+            }
+            let max_abs = proto.iter().map(|v| v.abs()).fold(0.0f32, f32::max).max(1e-6);
+            for v in &mut proto {
+                *v /= max_abs;
+            }
+            prototypes.push(proto);
+        }
+        Ok(SynthTask { config, prototypes })
+    }
+
+    /// The task configuration.
+    pub fn config(&self) -> &SynthImageConfig {
+        &self.config
+    }
+
+    /// The prototype image of `class` (row-major CHW).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] for an out-of-range class.
+    pub fn prototype(&self, class: usize) -> Result<&[f32]> {
+        self.prototypes
+            .get(class)
+            .map(Vec::as_slice)
+            .ok_or_else(|| DataError::InvalidConfig { what: format!("class {class} out of range") })
+    }
+
+    /// Renders `samples` fresh labelled images using `sample_seed`.
+    ///
+    /// Classes are balanced round-robin, then label noise (if configured)
+    /// flips a fraction of labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if `samples` is zero.
+    pub fn sample(&self, samples: usize, sample_seed: u64) -> Result<Dataset> {
+        if samples == 0 {
+            return Err(DataError::InvalidConfig { what: "zero samples requested".to_string() });
+        }
+        let c = &self.config;
+        let (hw, chans) = (c.hw, c.channels);
+        let img_len = chans * hw * hw;
+        let mut rng = SmallRng::seed_from_u64(sample_seed ^ c.seed.rotate_left(17));
+        let mut data = Vec::with_capacity(samples * img_len);
+        let mut labels = Vec::with_capacity(samples);
+        for i in 0..samples {
+            let class = i % c.classes;
+            labels.push(class);
+            let proto = &self.prototypes[class];
+            let amp = 1.0 + rng.gen_range(-c.amplitude_jitter..=c.amplitude_jitter);
+            let shift = c.max_shift as isize;
+            let (dx, dy) = if shift > 0 {
+                (rng.gen_range(-shift..=shift), rng.gen_range(-shift..=shift))
+            } else {
+                (0, 0)
+            };
+            let flip = rng.gen::<bool>();
+            for ch in 0..chans {
+                for y in 0..hw {
+                    for x in 0..hw {
+                        let sx = if flip { hw - 1 - x } else { x } as isize;
+                        let px = (sx + dx).rem_euclid(hw as isize) as usize;
+                        let py = (y as isize + dy).rem_euclid(hw as isize) as usize;
+                        let base = proto[(ch * hw + py) * hw + px];
+                        let noise: f32 = if c.pixel_noise > 0.0 {
+                            // Box–Muller from two uniforms.
+                            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                            let u2: f32 = rng.gen_range(0.0f32..1.0);
+                            c.pixel_noise
+                                * (-2.0 * u1.ln()).sqrt()
+                                * (2.0 * std::f32::consts::PI * u2).cos()
+                        } else {
+                            0.0
+                        };
+                        data.push(amp * base + noise);
+                    }
+                }
+            }
+        }
+        let features = Tensor::from_vec(data, [samples, chans, hw, hw])?;
+        let dataset = Dataset::new(features, labels, c.classes)?;
+        if c.label_noise > 0.0 {
+            dataset.with_label_noise(c.label_noise, sample_seed.wrapping_add(1))
+        } else {
+            Ok(dataset)
+        }
+    }
+}
+
+/// One-call helper: builds the task and renders its training set.
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`SynthTask::new`].
+pub fn synthetic_cifar(config: SynthImageConfig) -> Result<Dataset> {
+    SynthTask::new(config)?.sample(config.samples, config.seed.wrapping_add(0xD1FF))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SynthImageConfig {
+        SynthImageConfig {
+            classes: 4,
+            hw: 8,
+            channels: 2,
+            samples: 80,
+            pixel_noise: 0.2,
+            amplitude_jitter: 0.2,
+            max_shift: 1,
+            label_noise: 0.0,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn shapes_and_balance() {
+        let d = synthetic_cifar(small_config()).expect("valid config");
+        assert_eq!(d.features().dims(), &[80, 2, 8, 8]);
+        assert_eq!(d.class_counts(), vec![20; 4]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = synthetic_cifar(small_config()).expect("valid config");
+        let b = synthetic_cifar(small_config()).expect("valid config");
+        assert_eq!(a, b);
+        let mut cfg = small_config();
+        cfg.seed = 43;
+        let c = synthetic_cifar(cfg).expect("valid config");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fresh_samples_differ_but_share_prototypes() {
+        let task = SynthTask::new(small_config()).expect("valid config");
+        let a = task.sample(40, 1).expect("nonzero");
+        let b = task.sample(40, 2).expect("nonzero");
+        assert_ne!(a.features(), b.features());
+        // Same underlying prototypes: nearest-centroid transfer works below.
+        assert_eq!(a.class_counts(), b.class_counts());
+    }
+
+    #[test]
+    fn classes_are_separable_by_nearest_centroid() {
+        let task = SynthTask::new(small_config()).expect("valid config");
+        let train = task.sample(200, 10).expect("nonzero");
+        let test = task.sample(100, 11).expect("nonzero");
+        let img_len = 2 * 8 * 8;
+        // Class centroids from train.
+        let mut centroids = vec![vec![0.0f32; img_len]; 4];
+        let counts = train.class_counts();
+        for (i, &l) in train.labels().iter().enumerate() {
+            let img = &train.features().data()[i * img_len..(i + 1) * img_len];
+            for (c, &v) in centroids[l].iter_mut().zip(img) {
+                *c += v;
+            }
+        }
+        for (c, n) in centroids.iter_mut().zip(&counts) {
+            for v in c.iter_mut() {
+                *v /= *n as f32;
+            }
+        }
+        // Classify test by nearest centroid.
+        let mut correct = 0;
+        for (i, &l) in test.labels().iter().enumerate() {
+            let img = &test.features().data()[i * img_len..(i + 1) * img_len];
+            let best = (0..4)
+                .min_by(|&a, &b| {
+                    let da: f32 =
+                        img.iter().zip(&centroids[a]).map(|(x, c)| (x - c) * (x - c)).sum();
+                    let db: f32 =
+                        img.iter().zip(&centroids[b]).map(|(x, c)| (x - c) * (x - c)).sum();
+                    da.partial_cmp(&db).expect("finite")
+                })
+                .expect("non-empty");
+            if best == l {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / 100.0;
+        assert!(acc > 0.7, "nearest-centroid accuracy only {acc}");
+    }
+
+    #[test]
+    fn label_noise_caps_self_consistency() {
+        let mut cfg = small_config();
+        cfg.label_noise = 0.5;
+        let task = SynthTask::new(cfg).expect("valid config");
+        let noisy = task.sample(400, 5).expect("nonzero");
+        let clean_task = SynthTask::new(small_config()).expect("valid config");
+        let clean = clean_task.sample(400, 5).expect("nonzero");
+        let diffs =
+            noisy.labels().iter().zip(clean.labels()).filter(|(a, b)| a != b).count();
+        assert!(diffs > 100, "label noise had no effect ({diffs} flips)");
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = small_config();
+        cfg.classes = 0;
+        assert!(SynthTask::new(cfg).is_err());
+        let mut cfg = small_config();
+        cfg.label_noise = 2.0;
+        assert!(SynthTask::new(cfg).is_err());
+        let task = SynthTask::new(small_config()).expect("valid config");
+        assert!(task.sample(0, 0).is_err());
+        assert!(task.prototype(4).is_err());
+        assert!(task.prototype(0).is_ok());
+    }
+
+    #[test]
+    fn prototypes_are_normalised() {
+        let task = SynthTask::new(small_config()).expect("valid config");
+        for c in 0..4 {
+            let p = task.prototype(c).expect("in range");
+            let max_abs = p.iter().map(|v| v.abs()).fold(0.0f32, f32::max);
+            assert!((max_abs - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cifar_like_preset() {
+        let cfg = SynthImageConfig::cifar_like(20, 1);
+        let d = synthetic_cifar(cfg).expect("valid config");
+        assert_eq!(d.features().dims(), &[20, 3, 16, 16]);
+        assert_eq!(d.classes(), 10);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types for the NN framework.
+
+use reduce_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by fallible NN operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A tensor-level operation failed (shape mismatch etc.).
+    Tensor(TensorError),
+    /// A layer received input with an unexpected shape.
+    BadInput {
+        /// Layer name.
+        layer: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// `backward` was called before `forward`, or state required by the
+    /// backward pass is missing.
+    MissingForwardState {
+        /// Layer name.
+        layer: String,
+    },
+    /// A configuration value was rejected (zero batch size, probability out
+    /// of range, unknown parameter name, ...).
+    InvalidConfig {
+        /// What configuration was invalid.
+        what: String,
+    },
+    /// A checkpoint did not match the model it was loaded into.
+    CheckpointMismatch {
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadInput { layer, reason } => {
+                write!(f, "bad input to layer {layer}: {reason}")
+            }
+            NnError::MissingForwardState { layer } => {
+                write!(f, "backward called on layer {layer} before forward")
+            }
+            NnError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            NnError::CheckpointMismatch { reason } => {
+                write!(f, "checkpoint does not match model: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = NnError::BadInput { layer: "conv1".into(), reason: "rank 3".into() };
+        assert!(e.to_string().contains("conv1"));
+        let e = NnError::MissingForwardState { layer: "fc".into() };
+        assert!(e.to_string().contains("before forward"));
+    }
+
+    #[test]
+    fn tensor_error_converts() {
+        let te = TensorError::LengthMismatch { expected: 1, actual: 2 };
+        let ne: NnError = te.clone().into();
+        assert_eq!(ne, NnError::Tensor(te));
+    }
+
+    #[test]
+    fn source_is_populated_for_tensor_errors() {
+        use std::error::Error as _;
+        let ne: NnError = TensorError::LengthMismatch { expected: 1, actual: 2 }.into();
+        assert!(ne.source().is_some());
+        let other = NnError::InvalidConfig { what: "x".into() };
+        assert!(other.source().is_none());
+    }
+}

@@ -1,0 +1,191 @@
+//! Elementwise activation layers.
+
+use crate::error::{NnError, Result};
+use crate::layers::{Layer, Mode};
+use reduce_tensor::Tensor;
+
+macro_rules! unary_activation {
+    ($(#[$doc:meta])* $name:ident, $label:literal, $fwd:expr, $bwd:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            cached_input: Option<Tensor>,
+        }
+
+        impl $name {
+            /// Creates the activation layer.
+            pub fn new() -> Self {
+                Self { cached_input: None }
+            }
+        }
+
+        impl Layer for $name {
+            fn name(&self) -> String {
+                $label.to_string()
+            }
+
+            fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
+                self.cached_input = Some(x.clone());
+                Ok(x.map($fwd))
+            }
+
+            fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+                let x = self
+                    .cached_input
+                    .as_ref()
+                    .ok_or_else(|| NnError::MissingForwardState { layer: self.name() })?;
+                Ok(grad.zip_map(x, |g, xv| g * $bwd(xv))?)
+            }
+        }
+    };
+}
+
+unary_activation!(
+    /// Rectified linear unit: `max(0, x)`.
+    ///
+    /// The derivative at exactly 0 is taken as 0 (the subgradient
+    /// convention PyTorch uses).
+    Relu,
+    "relu",
+    |x: f32| x.max(0.0),
+    |x: f32| if x > 0.0 { 1.0 } else { 0.0 }
+);
+
+unary_activation!(
+    /// Hyperbolic tangent activation.
+    Tanh,
+    "tanh",
+    |x: f32| x.tanh(),
+    |x: f32| {
+        let t = x.tanh();
+        1.0 - t * t
+    }
+);
+
+unary_activation!(
+    /// Logistic sigmoid activation.
+    Sigmoid,
+    "sigmoid",
+    |x: f32| 1.0 / (1.0 + (-x).exp()),
+    |x: f32| {
+        let s = 1.0 / (1.0 + (-x).exp());
+        s * (1.0 - s)
+    }
+);
+
+/// Leaky rectified linear unit: `x` for positive inputs, `alpha·x`
+/// otherwise.
+#[derive(Debug)]
+pub struct LeakyRelu {
+    alpha: f32,
+    cached_input: Option<Tensor>,
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU with the given negative-side slope.
+    pub fn new(alpha: f32) -> Self {
+        LeakyRelu { alpha, cached_input: None }
+    }
+
+    /// The negative-side slope.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+}
+
+impl Default for LeakyRelu {
+    fn default() -> Self {
+        LeakyRelu::new(0.01)
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn name(&self) -> String {
+        format!("leaky_relu({})", self.alpha)
+    }
+
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
+        self.cached_input = Some(x.clone());
+        let a = self.alpha;
+        Ok(x.map(|v| if v > 0.0 { v } else { a * v }))
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::MissingForwardState { layer: self.name() })?;
+        let a = self.alpha;
+        Ok(grad.zip_map(x, |g, xv| if xv > 0.0 { g } else { a * g })?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = Relu::new();
+        let y = r
+            .forward(&Tensor::from_vec(vec![-1.0, 0.0, 2.0], [3]).expect("ok"), Mode::Eval)
+            .expect("any shape ok");
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_gates_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 3.0], [2]).expect("ok");
+        let _ = r.forward(&x, Mode::Train).expect("any shape ok");
+        let gx = r.backward(&Tensor::ones([2])).expect("forward state present");
+        assert_eq!(gx.data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn leaky_relu_negative_slope() {
+        let mut l = LeakyRelu::new(0.1);
+        let x = Tensor::from_vec(vec![-2.0, 2.0], [2]).expect("ok");
+        let y = l.forward(&x, Mode::Eval).expect("any shape ok");
+        assert!(y.approx_eq(&Tensor::from_vec(vec![-0.2, 2.0], [2]).expect("ok"), 1e-6));
+    }
+
+    #[test]
+    fn tanh_and_sigmoid_ranges() {
+        let x = Tensor::rand_uniform([32], -5.0, 5.0, 1);
+        let mut t = Tanh::new();
+        let y = t.forward(&x, Mode::Eval).expect("any shape ok");
+        assert!(y.data().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        let mut s = Sigmoid::new();
+        let y = s.forward(&x, Mode::Eval).expect("any shape ok");
+        assert!(y.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn gradcheck_all_activations() {
+        // Avoid the ReLU kink: keep probes away from 0.
+        let x = Tensor::from_vec(
+            vec![-2.0, -1.0, -0.5, 0.5, 1.0, 2.0, 3.0, -3.0],
+            [2, 4],
+        )
+        .expect("ok");
+        gradcheck::check_input_grad(&mut Relu::new(), &x, 1e-2);
+        gradcheck::check_input_grad(&mut LeakyRelu::new(0.1), &x, 1e-2);
+        gradcheck::check_input_grad(&mut Tanh::new(), &x, 1e-2);
+        gradcheck::check_input_grad(&mut Sigmoid::new(), &x, 1e-2);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        assert!(Relu::new().backward(&Tensor::ones([1])).is_err());
+        assert!(Tanh::new().backward(&Tensor::ones([1])).is_err());
+        assert!(Sigmoid::new().backward(&Tensor::ones([1])).is_err());
+        assert!(LeakyRelu::default().backward(&Tensor::ones([1])).is_err());
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        assert!(Relu::new().params().is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! Batch normalisation layers.
+
+use crate::error::{NnError, Result};
+use crate::layers::{Layer, Mode};
+use crate::param::Parameter;
+use reduce_tensor::Tensor;
+
+const DEFAULT_EPS: f32 = 1e-5;
+const DEFAULT_MOMENTUM: f32 = 0.1;
+
+/// Shared state of the 1-D/2-D batch-norm implementations.
+#[derive(Debug)]
+struct BatchNormState {
+    gamma: Parameter,
+    beta: Parameter,
+    running_mean: Tensor,
+    running_var: Tensor,
+    eps: f32,
+    momentum: f32,
+    features: usize,
+    /// Cached normalised activations and per-feature inverse std from the
+    /// last train-mode forward.
+    cached: Option<(Tensor, Vec<f32>)>,
+}
+
+impl BatchNormState {
+    fn new(features: usize) -> Self {
+        BatchNormState {
+            gamma: Parameter::new("bn.gamma", Tensor::ones([features])),
+            beta: Parameter::new("bn.beta", Tensor::zeros([features])),
+            running_mean: Tensor::zeros([features]),
+            running_var: Tensor::ones([features]),
+            eps: DEFAULT_EPS,
+            momentum: DEFAULT_MOMENTUM,
+            features,
+            cached: None,
+        }
+    }
+
+    /// Normalises `x` where element `i` belongs to feature `feat(i)`.
+    ///
+    /// `group_size` is the number of elements per feature (N for 1-D,
+    /// N·H·W for 2-D).
+    fn forward_grouped<F: Fn(usize) -> usize>(
+        &mut self,
+        x: &Tensor,
+        feat: F,
+        group_size: usize,
+        mode: Mode,
+    ) -> Result<Tensor> {
+        let c = self.features;
+        let mut y = x.clone();
+        match mode {
+            Mode::Train => {
+                if group_size == 0 {
+                    return Err(NnError::BadInput {
+                        layer: "batch_norm".to_string(),
+                        reason: "empty batch".to_string(),
+                    });
+                }
+                let mut mean = vec![0.0f32; c];
+                let mut var = vec![0.0f32; c];
+                for (i, &v) in x.data().iter().enumerate() {
+                    mean[feat(i)] += v;
+                }
+                for m in &mut mean {
+                    *m /= group_size as f32;
+                }
+                for (i, &v) in x.data().iter().enumerate() {
+                    let d = v - mean[feat(i)];
+                    var[feat(i)] += d * d;
+                }
+                for v in &mut var {
+                    *v /= group_size as f32;
+                }
+                let inv_std: Vec<f32> =
+                    var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+                let mut xhat = x.clone();
+                for (i, v) in xhat.data_mut().iter_mut().enumerate() {
+                    let f = feat(i);
+                    *v = (*v - mean[f]) * inv_std[f];
+                }
+                let (gd, bd) = (self.gamma.value().data(), self.beta.value().data());
+                for (i, v) in y.data_mut().iter_mut().enumerate() {
+                    let f = feat(i);
+                    *v = gd[f] * xhat.data()[i] + bd[f];
+                }
+                // Exponential running statistics for eval mode.
+                let m = self.momentum;
+                for f in 0..c {
+                    let rm = &mut self.running_mean.data_mut()[f];
+                    *rm = (1.0 - m) * *rm + m * mean[f];
+                    let rv = &mut self.running_var.data_mut()[f];
+                    *rv = (1.0 - m) * *rv + m * var[f];
+                }
+                self.cached = Some((xhat, inv_std));
+            }
+            Mode::Eval => {
+                let (gd, bd) = (self.gamma.value().data(), self.beta.value().data());
+                let (rm, rv) = (self.running_mean.data(), self.running_var.data());
+                for (i, v) in y.data_mut().iter_mut().enumerate() {
+                    let f = feat(i);
+                    let inv = 1.0 / (rv[f] + self.eps).sqrt();
+                    *v = gd[f] * (*v - rm[f]) * inv + bd[f];
+                }
+                self.cached = None;
+            }
+        }
+        Ok(y)
+    }
+
+    fn backward_grouped<F: Fn(usize) -> usize>(
+        &mut self,
+        grad: &Tensor,
+        feat: F,
+        group_size: usize,
+        layer_name: &str,
+    ) -> Result<Tensor> {
+        let (xhat, inv_std) = self
+            .cached
+            .as_ref()
+            .ok_or_else(|| NnError::MissingForwardState { layer: layer_name.to_string() })?;
+        let c = self.features;
+        let n = group_size as f32;
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        for (i, &g) in grad.data().iter().enumerate() {
+            let f = feat(i);
+            sum_dy[f] += g;
+            sum_dy_xhat[f] += g * xhat.data()[i];
+        }
+        // Parameter gradients.
+        for f in 0..c {
+            self.gamma.grad_mut().data_mut()[f] += sum_dy_xhat[f];
+            self.beta.grad_mut().data_mut()[f] += sum_dy[f];
+        }
+        // Input gradient:
+        // dx = gamma*inv_std/N * (N*dy - sum_dy - xhat * sum_dy_xhat)
+        let gd = self.gamma.value().data();
+        let mut gx = grad.clone();
+        for (i, v) in gx.data_mut().iter_mut().enumerate() {
+            let f = feat(i);
+            *v = gd[f] * inv_std[f] / n
+                * (n * grad.data()[i] - sum_dy[f] - xhat.data()[i] * sum_dy_xhat[f]);
+        }
+        Ok(gx)
+    }
+}
+
+/// Batch normalisation over the feature axis of a `(N, F)` matrix.
+#[derive(Debug)]
+pub struct BatchNorm1d {
+    state: BatchNormState,
+}
+
+impl BatchNorm1d {
+    /// Creates a batch-norm layer for `features` columns.
+    pub fn new(features: usize) -> Self {
+        BatchNorm1d { state: BatchNormState::new(features) }
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn name(&self) -> String {
+        format!("batch_norm1d({})", self.state.features)
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (n, f) = x.shape().as_matrix().map_err(|_| NnError::BadInput {
+            layer: self.name(),
+            reason: format!("expected rank-2 input, got {:?}", x.dims()),
+        })?;
+        if f != self.state.features {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!("expected {} features, got {f}", self.state.features),
+            });
+        }
+        self.state.forward_grouped(x, |i| i % f, n, mode)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let (n, f) = grad.shape().as_matrix()?;
+        let name = self.name();
+        self.state.backward_grouped(grad, |i| i % f, n, &name)
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        vec![&self.state.gamma, &self.state.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.state.gamma, &mut self.state.beta]
+    }
+}
+
+/// Batch normalisation over the channel axis of an NCHW tensor.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    state: BatchNormState,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d { state: BatchNormState::new(channels) }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> String {
+        format!("batch_norm2d({})", self.state.features)
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let d = x.dims();
+        if d.len() != 4 || d[1] != self.state.features {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!(
+                    "expected NCHW input with {} channels, got {:?}",
+                    self.state.features, d
+                ),
+            });
+        }
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let hw = h * w;
+        self.state.forward_grouped(x, move |i| (i / hw) % c, n * hw, mode)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let d = grad.dims().to_vec();
+        if d.len() != 4 {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!("expected NCHW gradient, got {:?}", d),
+            });
+        }
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let hw = h * w;
+        let name = self.name();
+        self.state.backward_grouped(grad, move |i| (i / hw) % c, n * hw, &name)
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        vec![&self.state.gamma, &self.state.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.state.gamma, &mut self.state.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    #[test]
+    fn normalises_batch_statistics_1d() {
+        let mut bn = BatchNorm1d::new(3);
+        let x = Tensor::rand_uniform([64, 3], 5.0, 9.0, 1);
+        let y = bn.forward(&x, Mode::Train).expect("valid input");
+        // Each column of y should be ~N(0,1).
+        for f in 0..3 {
+            let col: Vec<f32> = (0..64).map(|i| y.data()[i * 3 + f]).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 64.0;
+            let var: f32 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn normalises_channel_statistics_2d() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::rand_uniform([4, 2, 5, 5], -3.0, 3.0, 2);
+        let y = bn.forward(&x, Mode::Train).expect("valid input");
+        let hw = 25;
+        for c in 0..2 {
+            let vals: Vec<f32> = (0..4)
+                .flat_map(|n| {
+                    let base = (n * 2 + c) * hw;
+                    y.data()[base..base + hw].to_vec()
+                })
+                .collect();
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm1d::new(2);
+        // Warm the running statistics with several train batches.
+        for seed in 0..60 {
+            let x = Tensor::rand_normal([64, 2], 4.0, 2.0, seed);
+            bn.forward(&x, Mode::Train).expect("valid input");
+        }
+        let x = Tensor::rand_normal([256, 2], 4.0, 2.0, 999);
+        let y = bn.forward(&x, Mode::Eval).expect("valid input");
+        // Eval normalisation with converged stats should roughly whiten.
+        assert!(y.mean().abs() < 0.3, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn gradcheck_input_1d() {
+        let mut bn = BatchNorm1d::new(3);
+        let x = Tensor::rand_uniform([6, 3], -1.0, 1.0, 3);
+        gradcheck::check_input_grad(&mut bn, &x, 5e-2);
+    }
+
+    #[test]
+    fn gradcheck_params_1d() {
+        let mut bn = BatchNorm1d::new(3);
+        let x = Tensor::rand_uniform([6, 3], -1.0, 1.0, 4);
+        gradcheck::check_param_grad(&mut bn, &x, 0, 5e-2);
+        gradcheck::check_param_grad(&mut bn, &x, 1, 5e-2);
+    }
+
+    #[test]
+    fn gradcheck_input_2d() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::rand_uniform([2, 2, 3, 3], -1.0, 1.0, 5);
+        gradcheck::check_input_grad(&mut bn, &x, 5e-2);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let mut bn1 = BatchNorm1d::new(3);
+        assert!(bn1.forward(&Tensor::zeros([4, 2]), Mode::Train).is_err());
+        let mut bn2 = BatchNorm2d::new(3);
+        assert!(bn2.forward(&Tensor::zeros([4, 2, 2, 2]), Mode::Train).is_err());
+        assert!(bn2.forward(&Tensor::zeros([4, 3]), Mode::Train).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_is_error() {
+        assert!(BatchNorm1d::new(2).backward(&Tensor::zeros([2, 2])).is_err());
+        assert!(BatchNorm2d::new(2).backward(&Tensor::zeros([1, 2, 2, 2])).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Inverted dropout.
+
+use crate::error::{NnError, Result};
+use crate::layers::{Layer, Mode};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use reduce_tensor::Tensor;
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)` so the expected
+/// activation is unchanged; evaluation is the identity.
+///
+/// The layer owns a seeded RNG so a fixed-seed training run is
+/// reproducible.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: SmallRng,
+    cached_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and an RNG seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] unless `0 ≤ p < 1`.
+    pub fn new(p: f32, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NnError::InvalidConfig {
+                what: format!("dropout probability {p} not in [0, 1)"),
+            });
+        }
+        Ok(Dropout { p, rng: SmallRng::seed_from_u64(seed), cached_mask: None })
+    }
+
+    /// The drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> String {
+        format!("dropout({})", self.p)
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        match mode {
+            Mode::Eval => {
+                self.cached_mask = None;
+                Ok(x.clone())
+            }
+            Mode::Train => {
+                if self.p == 0.0 {
+                    self.cached_mask = None;
+                    return Ok(x.clone());
+                }
+                let keep = 1.0 - self.p;
+                let scale = 1.0 / keep;
+                let mask = Tensor::from_fn(x.dims().to_vec(), |_| {
+                    if self.rng.gen::<f32>() < keep {
+                        scale
+                    } else {
+                        0.0
+                    }
+                });
+                let y = (x * &mask)?;
+                self.cached_mask = Some(mask);
+                Ok(y)
+            }
+        }
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        match &self.cached_mask {
+            Some(mask) => Ok((grad * mask)?),
+            // Eval-mode or p=0 forward: identity.
+            None => Ok(grad.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_probability() {
+        assert!(Dropout::new(1.0, 0).is_err());
+        assert!(Dropout::new(-0.1, 0).is_err());
+        assert!(Dropout::new(0.0, 0).is_ok());
+    }
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1).expect("valid p");
+        let x = Tensor::rand_uniform([64], -1.0, 1.0, 2);
+        let y = d.forward(&x, Mode::Eval).expect("any input ok");
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 3).expect("valid p");
+        let x = Tensor::ones([20_000]);
+        let y = d.forward(&x, Mode::Train).expect("any input ok");
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Roughly p of the entries are dropped.
+        assert!((y.sparsity() - 0.3).abs() < 0.05);
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 4).expect("valid p");
+        let x = Tensor::ones([256]);
+        let y = d.forward(&x, Mode::Train).expect("any input ok");
+        let gx = d.backward(&Tensor::ones([256])).expect("mask cached");
+        // Gradient flows exactly where activations survived.
+        for (a, b) in y.data().iter().zip(gx.data()) {
+            assert_eq!(a == &0.0, b == &0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed| {
+            let mut d = Dropout::new(0.5, seed).expect("valid p");
+            d.forward(&Tensor::ones([64]), Mode::Train).expect("any input ok")
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

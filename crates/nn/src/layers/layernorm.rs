@@ -1,0 +1,192 @@
+//! Layer normalisation.
+
+use crate::error::{NnError, Result};
+use crate::layers::{Layer, Mode};
+use crate::param::Parameter;
+use reduce_tensor::Tensor;
+
+/// Layer normalisation over all non-batch dimensions.
+///
+/// Each sample is normalised by its own mean/variance, so — unlike batch
+/// norm — there are **no running statistics to go stale when fault masks
+/// change the weight distribution**, which makes this the normalisation of
+/// choice for fault-aware retraining experiments (see the BN-recalibration
+/// ablation).
+///
+/// The learnable scale/shift have one coefficient per normalised feature.
+#[derive(Debug)]
+pub struct LayerNorm {
+    gamma: Parameter,
+    beta: Parameter,
+    features: usize,
+    eps: f32,
+    /// Cached (normalised activations, per-sample inv_std) from forward.
+    cached: Option<(Tensor, Vec<f32>)>,
+}
+
+impl LayerNorm {
+    /// Creates a layer-norm over `features` trailing elements per sample.
+    pub fn new(features: usize) -> Self {
+        LayerNorm {
+            gamma: Parameter::new("layer_norm.gamma", Tensor::ones([features])),
+            beta: Parameter::new("layer_norm.beta", Tensor::zeros([features])),
+            features,
+            eps: 1e-5,
+            cached: None,
+        }
+    }
+
+    /// The normalised feature count.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    fn check(&self, x: &Tensor) -> Result<usize> {
+        let d = x.dims();
+        if d.is_empty() {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: "scalar input".to_string(),
+            });
+        }
+        let per_sample: usize = d[1..].iter().product();
+        if per_sample != self.features {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!(
+                    "expected {} features per sample, got {per_sample}",
+                    self.features
+                ),
+            });
+        }
+        Ok(d[0])
+    }
+}
+
+impl Layer for LayerNorm {
+    fn name(&self) -> String {
+        format!("layer_norm({})", self.features)
+    }
+
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let n = self.check(x)?;
+        let f = self.features;
+        let mut y = x.clone();
+        let mut xhat = x.clone();
+        let mut inv_stds = Vec::with_capacity(n);
+        let (gd, bd) = (self.gamma.value().data(), self.beta.value().data());
+        for s in 0..n {
+            let row = &x.data()[s * f..(s + 1) * f];
+            let mean: f32 = row.iter().sum::<f32>() / f as f32;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / f as f32;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds.push(inv_std);
+            for j in 0..f {
+                let h = (row[j] - mean) * inv_std;
+                xhat.data_mut()[s * f + j] = h;
+                y.data_mut()[s * f + j] = gd[j] * h + bd[j];
+            }
+        }
+        self.cached = Some((xhat, inv_stds));
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let (xhat, inv_stds) = self
+            .cached
+            .as_ref()
+            .ok_or_else(|| NnError::MissingForwardState { layer: self.name() })?;
+        let f = self.features;
+        let n = grad.len() / f.max(1);
+        if grad.dims() != xhat.dims() {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!("gradient shape {:?} != forward shape", grad.dims()),
+            });
+        }
+        let gd = self.gamma.value().data().to_vec();
+        let mut gx = grad.clone();
+        for (s, &inv_std) in inv_stds.iter().enumerate().take(n) {
+            let g = &grad.data()[s * f..(s + 1) * f];
+            let h = &xhat.data()[s * f..(s + 1) * f];
+            // Parameter grads.
+            for j in 0..f {
+                self.gamma.grad_mut().data_mut()[j] += g[j] * h[j];
+                self.beta.grad_mut().data_mut()[j] += g[j];
+            }
+            // Input grad: dx = inv_std/F * (F·dy·γ − Σ(dy·γ) − h·Σ(dy·γ·h)).
+            let dyg: Vec<f32> = (0..f).map(|j| g[j] * gd[j]).collect();
+            let sum_dyg: f32 = dyg.iter().sum();
+            let sum_dyg_h: f32 = dyg.iter().zip(h).map(|(a, b)| a * b).sum();
+            let inv = inv_std / f as f32;
+            for j in 0..f {
+                gx.data_mut()[s * f + j] =
+                    inv * (f as f32 * dyg[j] - sum_dyg - h[j] * sum_dyg_h);
+            }
+        }
+        Ok(gx)
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    #[test]
+    fn normalises_each_sample() {
+        let mut ln = LayerNorm::new(8);
+        let x = Tensor::rand_uniform([4, 8], 3.0, 9.0, 1);
+        let y = ln.forward(&x, Mode::Eval).expect("valid input");
+        for s in 0..4 {
+            let row = &y.data()[s * 8..(s + 1) * 8];
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-5, "sample {s} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "sample {s} var {var}");
+        }
+    }
+
+    #[test]
+    fn train_and_eval_agree() {
+        // No batch statistics: modes are identical by construction.
+        let mut ln = LayerNorm::new(6);
+        let x = Tensor::rand_uniform([3, 6], -2.0, 2.0, 2);
+        let a = ln.forward(&x, Mode::Train).expect("valid input");
+        let b = ln.forward(&x, Mode::Eval).expect("valid input");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn works_on_nchw() {
+        let mut ln = LayerNorm::new(2 * 3 * 3);
+        let y = ln.forward(&Tensor::rand_uniform([2, 2, 3, 3], -1.0, 1.0, 3), Mode::Eval)
+            .expect("valid input");
+        assert_eq!(y.dims(), &[2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn gradcheck_input_and_params() {
+        let mut ln = LayerNorm::new(5);
+        let x = Tensor::rand_uniform([3, 5], -1.0, 1.0, 4);
+        gradcheck::check_input_grad(&mut ln, &x, 5e-2);
+        gradcheck::check_param_grad(&mut ln, &x, 0, 5e-2);
+        gradcheck::check_param_grad(&mut ln, &x, 1, 5e-2);
+    }
+
+    #[test]
+    fn validation() {
+        let mut ln = LayerNorm::new(4);
+        assert!(ln.forward(&Tensor::zeros([2, 5]), Mode::Eval).is_err());
+        assert!(ln.forward(&Tensor::scalar(1.0), Mode::Eval).is_err());
+        assert!(LayerNorm::new(4).backward(&Tensor::zeros([2, 4])).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Pooling layers.
+
+use crate::error::{NnError, Result};
+use crate::layers::{Layer, Mode};
+use reduce_tensor::{ops, Tensor};
+
+/// 2-D max pooling over NCHW tensors (no padding).
+#[derive(Debug)]
+pub struct MaxPool2d {
+    window: usize,
+    stride: usize,
+    cached: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input dims)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with a square window.
+    pub fn new(window: usize, stride: usize) -> Self {
+        MaxPool2d { window, stride, cached: None }
+    }
+
+    /// The pooling window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> String {
+        format!("max_pool2d({}x{}, s{})", self.window, self.window, self.stride)
+    }
+
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let out = ops::max_pool2d(x, self.window, self.stride)?;
+        self.cached = Some((out.argmax, x.dims().to_vec()));
+        Ok(out.output)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let (argmax, dims) = self
+            .cached
+            .as_ref()
+            .ok_or_else(|| NnError::MissingForwardState { layer: self.name() })?;
+        Ok(ops::max_pool2d_backward(grad, argmax, dims)?)
+    }
+}
+
+/// 2-D average pooling over NCHW tensors (no padding).
+#[derive(Debug)]
+pub struct AvgPool2d {
+    window: usize,
+    stride: usize,
+    cached_input_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with a square window.
+    pub fn new(window: usize, stride: usize) -> Self {
+        AvgPool2d { window, stride, cached_input_dims: None }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> String {
+        format!("avg_pool2d({}x{}, s{})", self.window, self.window, self.stride)
+    }
+
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let y = ops::avg_pool2d(x, self.window, self.stride)?;
+        self.cached_input_dims = Some(x.dims().to_vec());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .cached_input_dims
+            .as_ref()
+            .ok_or_else(|| NnError::MissingForwardState { layer: self.name() })?;
+        Ok(ops::avg_pool2d_backward(grad, dims, self.window, self.stride)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_halves_spatial_dims() {
+        let mut p = MaxPool2d::new(2, 2);
+        let y = p.forward(&Tensor::zeros([1, 2, 8, 8]), Mode::Eval).expect("valid input");
+        assert_eq!(y.dims(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn max_pool_gradient_is_sparse() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::rand_uniform([1, 1, 4, 4], 0.0, 1.0, 3);
+        let y = p.forward(&x, Mode::Train).expect("valid input");
+        let gx = p.backward(&Tensor::ones(y.dims().to_vec())).expect("forward state present");
+        let nonzero = gx.data().iter().filter(|&&v| v != 0.0).count();
+        assert_eq!(nonzero, 4); // one winner per window
+    }
+
+    #[test]
+    fn avg_pool_mean_preserved() {
+        let mut p = AvgPool2d::new(2, 2);
+        let x = Tensor::rand_uniform([1, 1, 4, 4], -1.0, 1.0, 4);
+        let y = p.forward(&x, Mode::Eval).expect("valid input");
+        assert!((y.mean() - x.mean()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_before_forward_is_error() {
+        assert!(MaxPool2d::new(2, 2).backward(&Tensor::zeros([1, 1, 2, 2])).is_err());
+        assert!(AvgPool2d::new(2, 2).backward(&Tensor::zeros([1, 1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn rejects_non_nchw() {
+        assert!(MaxPool2d::new(2, 2).forward(&Tensor::zeros([4, 4]), Mode::Eval).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! Loss functions.
+//!
+//! Each loss returns both the scalar loss and the gradient with respect to
+//! the network output, ready to feed into the model's backward pass.
+
+use crate::error::{NnError, Result};
+use reduce_tensor::{ops, Tensor};
+
+/// Value and gradient of a loss evaluated on one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss w.r.t. the network output.
+    pub grad: Tensor,
+}
+
+/// A differentiable loss over batched predictions.
+pub trait Loss: std::fmt::Debug + Send {
+    /// Evaluates the loss and its gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if predictions and targets are inconsistent.
+    fn evaluate(&self, predictions: &Tensor, targets: &Target) -> Result<LossOutput>;
+}
+
+/// Training targets: class labels or dense regression values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// One class index per batch row.
+    Labels(Vec<usize>),
+    /// Dense targets of the same shape as the predictions.
+    Values(Tensor),
+}
+
+impl Target {
+    /// Number of examples in the target.
+    pub fn len(&self) -> usize {
+        match self {
+            Target::Labels(l) => l.len(),
+            Target::Values(v) => v.dims().first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Whether the target holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<usize>> for Target {
+    fn from(labels: Vec<usize>) -> Self {
+        Target::Labels(labels)
+    }
+}
+
+impl From<Tensor> for Target {
+    fn from(values: Tensor) -> Self {
+        Target::Values(values)
+    }
+}
+
+/// Softmax cross-entropy over logits, fused for numerical stability.
+///
+/// `loss = -(1/N) Σ log softmax(logits)[i, y_i]`, and the gradient has the
+/// classic closed form `softmax(logits) - onehot(y)` scaled by `1/N`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrossEntropyLoss;
+
+impl CrossEntropyLoss {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        CrossEntropyLoss
+    }
+}
+
+impl Loss for CrossEntropyLoss {
+    fn evaluate(&self, predictions: &Tensor, targets: &Target) -> Result<LossOutput> {
+        let labels = match targets {
+            Target::Labels(l) => l,
+            Target::Values(_) => {
+                return Err(NnError::InvalidConfig {
+                    what: "cross-entropy requires class labels".to_string(),
+                })
+            }
+        };
+        let (n, c) = predictions.shape().as_matrix()?;
+        if labels.len() != n {
+            return Err(NnError::InvalidConfig {
+                what: format!("{} labels for {n} predictions", labels.len()),
+            });
+        }
+        if n == 0 {
+            return Err(NnError::InvalidConfig { what: "empty batch".to_string() });
+        }
+        let log_probs = ops::log_softmax_rows(predictions)?;
+        let mut loss = 0.0f32;
+        for (i, &y) in labels.iter().enumerate() {
+            if y >= c {
+                return Err(NnError::InvalidConfig { what: format!("label {y} >= classes {c}") });
+            }
+            loss -= log_probs.data()[i * c + y];
+        }
+        loss /= n as f32;
+        let mut grad = ops::softmax_rows(predictions)?;
+        let inv = 1.0 / n as f32;
+        for (i, &y) in labels.iter().enumerate() {
+            grad.data_mut()[i * c + y] -= 1.0;
+        }
+        grad.scale(inv);
+        Ok(LossOutput { loss, grad })
+    }
+}
+
+/// Mean squared error over dense targets: `(1/N·D) Σ (p - t)²`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MseLoss;
+
+impl MseLoss {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        MseLoss
+    }
+}
+
+impl Loss for MseLoss {
+    fn evaluate(&self, predictions: &Tensor, targets: &Target) -> Result<LossOutput> {
+        let values = match targets {
+            Target::Values(v) => v,
+            Target::Labels(_) => {
+                return Err(NnError::InvalidConfig {
+                    what: "mse requires dense targets".to_string(),
+                })
+            }
+        };
+        if predictions.dims() != values.dims() {
+            return Err(NnError::Tensor(reduce_tensor::TensorError::ShapeMismatch {
+                op: "mse",
+                lhs: predictions.dims().to_vec(),
+                rhs: values.dims().to_vec(),
+            }));
+        }
+        if predictions.is_empty() {
+            return Err(NnError::InvalidConfig { what: "empty batch".to_string() });
+        }
+        let diff = (predictions - values)?;
+        let n = predictions.len() as f32;
+        let loss = diff.norm_sq() / n;
+        let grad = &diff * (2.0 / n);
+        Ok(LossOutput { loss, grad })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = Tensor::zeros([2, 4]);
+        let out = CrossEntropyLoss.evaluate(&logits, &vec![0, 1].into()).expect("valid");
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_small() {
+        let mut logits = Tensor::zeros([1, 3]);
+        logits.data_mut()[1] = 20.0;
+        let out = CrossEntropyLoss.evaluate(&logits, &vec![1].into()).expect("valid");
+        assert!(out.loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_diff() {
+        let logits = Tensor::rand_uniform([3, 4], -2.0, 2.0, 1);
+        let labels: Target = vec![2, 0, 3].into();
+        let out = CrossEntropyLoss.evaluate(&logits, &labels).expect("valid");
+        let eps = 1e-3;
+        for i in [0usize, 5, 11] {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let fp = CrossEntropyLoss.evaluate(&lp, &labels).expect("valid").loss;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let fm = CrossEntropyLoss.evaluate(&lm, &labels).expect("valid").loss;
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - out.grad.data()[i]).abs() < 1e-3, "at {i}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad_rows_sum_to_zero() {
+        let logits = Tensor::rand_uniform([4, 5], -1.0, 1.0, 2);
+        let out = CrossEntropyLoss.evaluate(&logits, &vec![0, 1, 2, 3].into()).expect("valid");
+        for i in 0..4 {
+            let s: f32 = out.grad.row_slice(i).expect("in range").iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validation() {
+        let logits = Tensor::zeros([2, 3]);
+        assert!(CrossEntropyLoss.evaluate(&logits, &vec![0].into()).is_err());
+        assert!(CrossEntropyLoss.evaluate(&logits, &vec![0, 3].into()).is_err());
+        assert!(CrossEntropyLoss
+            .evaluate(&logits, &Target::Values(Tensor::zeros([2, 3])))
+            .is_err());
+        assert!(CrossEntropyLoss.evaluate(&Tensor::zeros([0, 3]), &vec![].into()).is_err());
+    }
+
+    #[test]
+    fn mse_zero_for_exact_prediction() {
+        let p = Tensor::rand_uniform([4, 2], -1.0, 1.0, 3);
+        let out = MseLoss.evaluate(&p, &Target::Values(p.clone())).expect("valid");
+        assert_eq!(out.loss, 0.0);
+        assert_eq!(out.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn mse_grad_matches_finite_diff() {
+        let p = Tensor::rand_uniform([2, 3], -1.0, 1.0, 4);
+        let t = Target::Values(Tensor::rand_uniform([2, 3], -1.0, 1.0, 5));
+        let out = MseLoss.evaluate(&p, &t).expect("valid");
+        let eps = 1e-3;
+        for i in [0usize, 3, 5] {
+            let mut pp = p.clone();
+            pp.data_mut()[i] += eps;
+            let fp = MseLoss.evaluate(&pp, &t).expect("valid").loss;
+            let mut pm = p.clone();
+            pm.data_mut()[i] -= eps;
+            let fm = MseLoss.evaluate(&pm, &t).expect("valid").loss;
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - out.grad.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mse_validation() {
+        assert!(MseLoss.evaluate(&Tensor::zeros([2, 2]), &vec![0, 1].into()).is_err());
+        assert!(MseLoss
+            .evaluate(&Tensor::zeros([2, 2]), &Target::Values(Tensor::zeros([2, 3])))
+            .is_err());
+    }
+
+    #[test]
+    fn target_len() {
+        assert_eq!(Target::from(vec![1, 2, 3]).len(), 3);
+        assert_eq!(Target::from(Tensor::zeros([5, 2])).len(), 5);
+        assert!(!Target::from(vec![1]).is_empty());
+    }
+}

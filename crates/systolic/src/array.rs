@@ -1,0 +1,168 @@
+//! Functional emulation of the faulty weight-stationary array.
+//!
+//! [`SystolicArray::gemm`] computes a GEMM the way the FAP-equipped
+//! hardware would — skipping the contribution of every weight mapped onto a
+//! bypassed (faulty) PE. It is the *oracle* the much faster mask-based path
+//! (`fap_mask` + dense GEMM) is validated against: the two must agree
+//! bit-for-bit in structure, which the crate's tests and the cross-crate
+//! integration tests assert.
+
+use crate::error::{Result, SystolicError};
+use crate::fault::FaultMap;
+use reduce_tensor::Tensor;
+
+/// A `rows × cols` weight-stationary systolic array with a fault map.
+///
+/// # Examples
+///
+/// ```
+/// use reduce_systolic::{FaultMap, SystolicArray};
+/// use reduce_tensor::Tensor;
+///
+/// # fn main() -> Result<(), reduce_systolic::SystolicError> {
+/// let array = SystolicArray::new(FaultMap::fault_free(8, 8)?);
+/// let w = Tensor::ones([4, 4]);
+/// let x = Tensor::ones([2, 4]);
+/// let y = array.gemm(&w, &x)?; // fault-free: plain GEMM
+/// assert_eq!(y.data(), &[4.0; 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystolicArray {
+    fault_map: FaultMap,
+}
+
+impl SystolicArray {
+    /// Creates an array around a fault map (the map fixes the geometry).
+    pub fn new(fault_map: FaultMap) -> Self {
+        SystolicArray { fault_map }
+    }
+
+    /// Creates a fault-free array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::BadGeometry`] for zero dimensions.
+    pub fn fault_free(rows: usize, cols: usize) -> Result<Self> {
+        Ok(SystolicArray { fault_map: FaultMap::fault_free(rows, cols)? })
+    }
+
+    /// Array row count.
+    pub fn rows(&self) -> usize {
+        self.fault_map.rows()
+    }
+
+    /// Array column count.
+    pub fn cols(&self) -> usize {
+        self.fault_map.cols()
+    }
+
+    /// The chip's fault map.
+    pub fn fault_map(&self) -> &FaultMap {
+        &self.fault_map
+    }
+
+    /// Executes `y = x · Wᵀ` (`W: (out, in)`, `x: (batch, in)`) with faulty
+    /// PEs bypassed, exactly as the FAP hardware would.
+    ///
+    /// This is a functional reference model (per-element skip), not the
+    /// fast path; use `fap_mask` + a dense GEMM for training.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `W` and `x` disagree on the input
+    /// dimension.
+    pub fn gemm(&self, weight: &Tensor, x: &Tensor) -> Result<Tensor> {
+        let (out_dim, in_dim) = weight.shape().as_matrix()?;
+        let (batch, in_x) = x.shape().as_matrix()?;
+        if in_dim != in_x {
+            return Err(SystolicError::Tensor(reduce_tensor::TensorError::ShapeMismatch {
+                op: "systolic_gemm",
+                lhs: weight.dims().to_vec(),
+                rhs: x.dims().to_vec(),
+            }));
+        }
+        let (rows, cols) = (self.rows(), self.cols());
+        let mut y = Tensor::zeros([batch, out_dim]);
+        let (wd, xd, yd) = (weight.data(), x.data(), y.data_mut());
+        for b in 0..batch {
+            for j in 0..out_dim {
+                let col = j % cols;
+                let mut acc = 0.0f32;
+                for i in 0..in_dim {
+                    if self.fault_map.is_faulty(i % rows, col) {
+                        continue; // bypassed PE contributes nothing
+                    }
+                    acc += wd[j * in_dim + i] * xd[b * in_dim + i];
+                }
+                yd[b * out_dim + j] = acc;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Number of tiles a `(out, in)` weight matrix occupies on this array.
+    pub fn tiles(&self, out_dim: usize, in_dim: usize) -> (usize, usize) {
+        (in_dim.div_ceil(self.rows()), out_dim.div_ceil(self.cols()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultModel;
+    use crate::mapping::fap_mask;
+    use reduce_tensor::ops;
+
+    #[test]
+    fn fault_free_matches_dense_gemm() {
+        let array = SystolicArray::fault_free(4, 4).expect("nonzero");
+        let w = Tensor::rand_uniform([6, 10], -1.0, 1.0, 1);
+        let x = Tensor::rand_uniform([3, 10], -1.0, 1.0, 2);
+        let y = array.gemm(&w, &x).expect("conformable");
+        let dense = ops::matmul_nt(&x, &w).expect("conformable");
+        assert!(y.approx_eq(&dense, 1e-4));
+    }
+
+    #[test]
+    fn faulty_gemm_equals_masked_dense_gemm() {
+        // The core semantic identity of FAP: hardware bypass == weight mask.
+        for seed in 0..4 {
+            let map = FaultMap::generate(4, 6, 0.25, FaultModel::Random, seed).expect("valid");
+            let array = SystolicArray::new(map.clone());
+            let w = Tensor::rand_uniform([10, 9], -1.0, 1.0, seed + 10);
+            let x = Tensor::rand_uniform([5, 9], -1.0, 1.0, seed + 20);
+            let hw = array.gemm(&w, &x).expect("conformable");
+            let mask = fap_mask(10, 9, &map).expect("nonzero");
+            let masked_w = (&w * &mask).expect("same shape");
+            let sw = ops::matmul_nt(&x, &masked_w).expect("conformable");
+            assert!(hw.approx_eq(&sw, 1e-4), "seed {seed}: bypass != mask");
+        }
+    }
+
+    #[test]
+    fn all_faulty_yields_zero() {
+        let map = FaultMap::generate(2, 2, 1.0, FaultModel::Random, 0).expect("valid");
+        let array = SystolicArray::new(map);
+        let w = Tensor::ones([4, 4]);
+        let x = Tensor::ones([1, 4]);
+        let y = array.gemm(&w, &x).expect("conformable");
+        assert_eq!(y.sum(), 0.0);
+    }
+
+    #[test]
+    fn gemm_validates_shapes() {
+        let array = SystolicArray::fault_free(2, 2).expect("nonzero");
+        assert!(array.gemm(&Tensor::ones([2, 3]), &Tensor::ones([1, 4])).is_err());
+        assert!(array.gemm(&Tensor::ones([3]), &Tensor::ones([1, 3])).is_err());
+    }
+
+    #[test]
+    fn tile_counting() {
+        let array = SystolicArray::fault_free(8, 8).expect("nonzero");
+        assert_eq!(array.tiles(16, 16), (2, 2));
+        assert_eq!(array.tiles(17, 1), (1, 3));
+        assert_eq!(array.tiles(8, 8), (1, 1));
+    }
+}

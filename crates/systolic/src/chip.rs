@@ -1,0 +1,245 @@
+//! Simulated fabricated chips and chip fleets.
+//!
+//! Each fabricated chip carries a unique permanent-fault map; the Reduce
+//! framework's whole point is to tune the retraining amount per chip. This
+//! module generates seeded fleets of such chips with configurable
+//! fault-rate distributions.
+
+use crate::error::{Result, SystolicError};
+use crate::fault::{FaultMap, FaultModel};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Distribution of per-chip fault rates across a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RateDistribution {
+    /// Every chip has the same fault rate.
+    Fixed(f64),
+    /// Uniform in `[lo, hi]` — the default for the Fig. 3 fleet, spreading
+    /// chips across the whole characterised range.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+    /// `Exp(mean)` truncated to `[0, max]` — most chips mildly faulty, a
+    /// tail of bad ones; closer to real yield curves.
+    TruncatedExponential {
+        /// Mean of the exponential before truncation.
+        mean: f64,
+        /// Truncation point.
+        max: f64,
+    },
+}
+
+impl RateDistribution {
+    fn sample<R: Rng>(&self, rng: &mut R) -> Result<f64> {
+        match *self {
+            RateDistribution::Fixed(r) => {
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(SystolicError::InvalidConfig {
+                        what: format!("fixed rate {r} not in [0, 1]"),
+                    });
+                }
+                Ok(r)
+            }
+            RateDistribution::Uniform { lo, hi } => {
+                if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
+                    return Err(SystolicError::InvalidConfig {
+                        what: format!("uniform bounds [{lo}, {hi}] invalid"),
+                    });
+                }
+                Ok(if lo == hi { lo } else { rng.gen_range(lo..=hi) })
+            }
+            RateDistribution::TruncatedExponential { mean, max } => {
+                if mean <= 0.0 || !(0.0..=1.0).contains(&max) {
+                    return Err(SystolicError::InvalidConfig {
+                        what: format!("truncated exponential (mean {mean}, max {max}) invalid"),
+                    });
+                }
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                Ok((-mean * u.ln()).min(max))
+            }
+        }
+    }
+}
+
+/// A fabricated accelerator chip: an id plus its unique fault map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chip {
+    id: usize,
+    fault_map: FaultMap,
+}
+
+impl Chip {
+    /// Creates a chip from an id and fault map.
+    pub fn new(id: usize, fault_map: FaultMap) -> Self {
+        Chip { id, fault_map }
+    }
+
+    /// The chip's identifier within its fleet.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The chip's fault map.
+    pub fn fault_map(&self) -> &FaultMap {
+        &self.fault_map
+    }
+
+    /// The chip's fault rate (fraction of faulty PEs).
+    pub fn fault_rate(&self) -> f64 {
+        self.fault_map.fault_rate()
+    }
+}
+
+/// Configuration of a simulated chip fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of chips.
+    pub chips: usize,
+    /// Array rows per chip.
+    pub rows: usize,
+    /// Array columns per chip.
+    pub cols: usize,
+    /// Per-chip fault-rate distribution.
+    pub rates: RateDistribution,
+    /// Spatial fault model.
+    pub model: FaultModel,
+    /// Master seed; each chip derives its own stream.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// The paper's Fig. 3 setting: 100 chips on a 256×256 array with
+    /// uniform-random fault maps spanning the characterised rate range.
+    pub fn paper(max_rate: f64, seed: u64) -> Self {
+        FleetConfig {
+            chips: 100,
+            rows: 256,
+            cols: 256,
+            rates: RateDistribution::Uniform { lo: 0.0, hi: max_rate },
+            model: FaultModel::Random,
+            seed,
+        }
+    }
+}
+
+/// Generates a seeded fleet of chips.
+///
+/// Chip `i` gets id `i`; its fault rate is drawn from `config.rates` and
+/// its map from `config.model`, all derived from `config.seed` so fleets
+/// are reproducible.
+///
+/// # Errors
+///
+/// Returns [`SystolicError::InvalidConfig`] for zero chips or an invalid
+/// distribution, and propagates fault-map generation errors.
+///
+/// # Examples
+///
+/// ```
+/// use reduce_systolic::{generate_fleet, FleetConfig};
+///
+/// # fn main() -> Result<(), reduce_systolic::SystolicError> {
+/// let mut config = FleetConfig::paper(0.1, 42);
+/// config.chips = 5;
+/// config.rows = 32;
+/// config.cols = 32;
+/// let fleet = generate_fleet(&config)?;
+/// assert_eq!(fleet.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate_fleet(config: &FleetConfig) -> Result<Vec<Chip>> {
+    if config.chips == 0 {
+        return Err(SystolicError::InvalidConfig { what: "zero chips requested".to_string() });
+    }
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut fleet = Vec::with_capacity(config.chips);
+    for id in 0..config.chips {
+        let rate = config.rates.sample(&mut rng)?;
+        let map_seed: u64 = rng.gen();
+        let map = FaultMap::generate(config.rows, config.cols, rate, config.model, map_seed)?;
+        fleet.push(Chip::new(id, map));
+    }
+    Ok(fleet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            chips: 20,
+            rows: 16,
+            cols: 16,
+            rates: RateDistribution::Uniform { lo: 0.0, hi: 0.2 },
+            model: FaultModel::Random,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn fleet_has_requested_size_and_ids() {
+        let fleet = generate_fleet(&small_config()).expect("valid");
+        assert_eq!(fleet.len(), 20);
+        for (i, chip) in fleet.iter().enumerate() {
+            assert_eq!(chip.id(), i);
+            assert!(chip.fault_rate() <= 0.21);
+        }
+    }
+
+    #[test]
+    fn fleet_is_deterministic_and_chips_differ() {
+        let a = generate_fleet(&small_config()).expect("valid");
+        let b = generate_fleet(&small_config()).expect("valid");
+        assert_eq!(a, b);
+        // Different chips in the same fleet have different maps.
+        assert_ne!(a[0].fault_map(), a[1].fault_map());
+    }
+
+    #[test]
+    fn fixed_distribution_gives_constant_rate() {
+        let mut cfg = small_config();
+        cfg.rates = RateDistribution::Fixed(0.1);
+        let fleet = generate_fleet(&cfg).expect("valid");
+        for chip in &fleet {
+            assert!((chip.fault_rate() - 0.1).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn truncated_exponential_is_bounded() {
+        let mut cfg = small_config();
+        cfg.rates = RateDistribution::TruncatedExponential { mean: 0.05, max: 0.15 };
+        let fleet = generate_fleet(&cfg).expect("valid");
+        assert!(fleet.iter().all(|c| c.fault_rate() <= 0.16));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = small_config();
+        cfg.chips = 0;
+        assert!(generate_fleet(&cfg).is_err());
+        let mut cfg = small_config();
+        cfg.rates = RateDistribution::Uniform { lo: 0.5, hi: 0.2 };
+        assert!(generate_fleet(&cfg).is_err());
+        let mut cfg = small_config();
+        cfg.rates = RateDistribution::Fixed(1.5);
+        assert!(generate_fleet(&cfg).is_err());
+        let mut cfg = small_config();
+        cfg.rates = RateDistribution::TruncatedExponential { mean: 0.0, max: 0.1 };
+        assert!(generate_fleet(&cfg).is_err());
+    }
+
+    #[test]
+    fn paper_preset() {
+        let cfg = FleetConfig::paper(0.05, 3);
+        assert_eq!(cfg.chips, 100);
+        assert_eq!((cfg.rows, cfg.cols), (256, 256));
+    }
+}

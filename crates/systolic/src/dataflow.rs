@@ -1,0 +1,331 @@
+//! Cycle-stepped simulation of the weight-stationary systolic dataflow.
+//!
+//! [`SystolicArray::gemm`](crate::SystolicArray::gemm) is a *functional*
+//! model (it computes what the hardware computes, with no notion of time).
+//! [`DataflowSim`] is the microarchitectural reference underneath it: a
+//! register-accurate simulation of the classic weight-stationary pipeline —
+//!
+//! * weights are preloaded, one per PE;
+//! * activations enter the west edge, one row per array row, skewed by one
+//!   cycle per row so that the diagonal wavefront lines up;
+//! * partial sums flow south; PE `(r, c)` computes
+//!   `psum_out = psum_in + w[r][c] · a` unless it is faulty, in which case
+//!   the FAP bypass forwards `psum_in` unchanged (and the activation still
+//!   propagates east);
+//! * column `c` emits the result for input vector `m` at cycle
+//!   `m + R + c` (0-indexed, counting from the first injection cycle), so
+//!   a batch of `M` vectors drains in `M + R + C − 1` cycles.
+//!
+//! The crate's tests assert bit-level agreement between this simulation,
+//! the functional bypass model, and the mask + dense-GEMM fast path, and
+//! that the measured cycle count matches [`CostModel`](crate::CostModel)'s
+//! closed-form pipeline term.
+
+use crate::error::{Result, SystolicError};
+use crate::fault::FaultMap;
+use reduce_tensor::Tensor;
+
+/// The output of a dataflow simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataflowOutput {
+    /// Result matrix, shape `(m, cols)`: one output vector per input.
+    pub outputs: Tensor,
+    /// Cycles from the first activation injection until the last partial
+    /// sum left the array.
+    pub cycles: u64,
+}
+
+/// A register-accurate weight-stationary systolic-array tile simulator.
+#[derive(Debug, Clone)]
+pub struct DataflowSim {
+    rows: usize,
+    cols: usize,
+    /// Stationary weights, `weights[r][c]` held by PE `(r, c)`.
+    weights: Vec<f32>,
+    /// Bypass flags (true = faulty, MAC skipped).
+    bypass: Vec<bool>,
+}
+
+impl DataflowSim {
+    /// Preloads a tile of weights onto a (possibly faulty) array.
+    ///
+    /// `tile` must be exactly `(rows, cols)` — tiling of larger weight
+    /// matrices is the caller's job (see
+    /// [`simulate_tiled_gemm`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::BadGeometry`] if the tile does not match
+    /// the fault map's geometry.
+    pub fn new(tile: &Tensor, fault_map: &FaultMap) -> Result<Self> {
+        let (r, c) = tile.shape().as_matrix()?;
+        if r != fault_map.rows() || c != fault_map.cols() {
+            return Err(SystolicError::BadGeometry {
+                reason: format!(
+                    "tile {r}x{c} does not match array {}x{}",
+                    fault_map.rows(),
+                    fault_map.cols()
+                ),
+            });
+        }
+        let bypass = (0..r * c).map(|i| fault_map.is_faulty(i / c, i % c)).collect();
+        Ok(DataflowSim { rows: r, cols: c, weights: tile.data().to_vec(), bypass })
+    }
+
+    /// Array rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Streams `inputs` (shape `(m, rows)`, one reduction vector per row)
+    /// through the pipeline and collects `(m, cols)` outputs.
+    ///
+    /// Note the orientation: the simulated array computes
+    /// `out[m][c] = Σ_r inputs[m][r] · weights[r][c]` — the caller maps a
+    /// layer's `(out, in)` weight matrix onto tiles transposed, exactly as
+    /// [`crate::fap_mask`] documents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::BadGeometry`] if `inputs` has the wrong
+    /// width.
+    pub fn run(&self, inputs: &Tensor) -> Result<DataflowOutput> {
+        let (m, width) = inputs.shape().as_matrix()?;
+        if width != self.rows {
+            return Err(SystolicError::BadGeometry {
+                reason: format!("input width {width} != array rows {}", self.rows),
+            });
+        }
+        let (rows, cols) = (self.rows, self.cols);
+        let mut outputs = Tensor::zeros([m, cols]);
+        if m == 0 {
+            return Ok(DataflowOutput { outputs, cycles: 0 });
+        }
+        // Pipeline registers between cycles.
+        let mut act = vec![0.0f32; rows * cols]; // activation moving east
+        let mut psum = vec![0.0f32; rows * cols]; // partial sum moving south
+        let mut act_next = act.clone();
+        let mut psum_next = psum.clone();
+        // Which input vector an in-flight value belongs to. -1 = bubble.
+        let mut tag = vec![-1i64; rows * cols];
+        let mut tag_next = tag.clone();
+
+        let total_cycles = m + rows + cols - 1;
+        let mut produced = 0usize;
+        for cycle in 0..total_cycles {
+            for r in 0..rows {
+                for c in 0..cols {
+                    let idx = r * cols + c;
+                    // Activation arriving from the west this cycle.
+                    let (a, a_tag) = if c == 0 {
+                        // Skewed injection: row r of input vector k enters
+                        // at cycle k + r.
+                        if cycle >= r && cycle - r < m {
+                            let k = cycle - r;
+                            (inputs.data()[k * rows + r], k as i64)
+                        } else {
+                            (0.0, -1)
+                        }
+                    } else {
+                        (act[idx - 1], tag[idx - 1])
+                    };
+                    // Partial sum arriving from the north this cycle.
+                    let p_in = if r == 0 { 0.0 } else { psum[(r - 1) * cols + c] };
+                    let p_out = if self.bypass[idx] {
+                        p_in // FAP: faulty MAC is bypassed
+                    } else {
+                        p_in + self.weights[idx] * a
+                    };
+                    act_next[idx] = a;
+                    tag_next[idx] = a_tag;
+                    psum_next[idx] = p_out;
+                    // Bottom row: the column's dot product for input k
+                    // exits after the wavefront for k passed the whole
+                    // column, i.e. when this PE processed row element
+                    // (rows-1) of vector k.
+                    if r == rows - 1 && a_tag >= 0 {
+                        outputs.data_mut()[(a_tag as usize) * cols + c] = p_out;
+                        produced += 1;
+                    }
+                }
+            }
+            std::mem::swap(&mut act, &mut act_next);
+            std::mem::swap(&mut psum, &mut psum_next);
+            std::mem::swap(&mut tag, &mut tag_next);
+        }
+        debug_assert_eq!(produced, m * cols, "pipeline failed to drain");
+        Ok(DataflowOutput { outputs, cycles: total_cycles as u64 })
+    }
+}
+
+/// Executes a full `(out, in)` GEMM on the faulty array by tiling it over
+/// the cycle-stepped simulator, returning the outputs and the total
+/// pipeline cycles (excluding weight loads, matching
+/// [`CostModel::weight_load_cycles`](crate::CostModel) = 0).
+///
+/// This is the slowest, most faithful execution path — used by tests to
+/// validate the functional model and the cost model simultaneously.
+///
+/// # Errors
+///
+/// Returns geometry errors for inconsistent shapes.
+pub fn simulate_tiled_gemm(
+    weight: &Tensor,
+    x: &Tensor,
+    fault_map: &FaultMap,
+) -> Result<DataflowOutput> {
+    let (out_dim, in_dim) = weight.shape().as_matrix()?;
+    let (m, in_x) = x.shape().as_matrix()?;
+    if in_dim != in_x {
+        return Err(SystolicError::Tensor(reduce_tensor::TensorError::ShapeMismatch {
+            op: "simulate_tiled_gemm",
+            lhs: weight.dims().to_vec(),
+            rhs: x.dims().to_vec(),
+        }));
+    }
+    let (rows, cols) = (fault_map.rows(), fault_map.cols());
+    let tiles_i = in_dim.div_ceil(rows);
+    let tiles_j = out_dim.div_ceil(cols);
+    let mut outputs = Tensor::zeros([m, out_dim]);
+    let mut cycles = 0u64;
+    for ti in 0..tiles_i {
+        // Input slice for this reduction tile, zero-padded to the array
+        // width: inputs (m, rows).
+        let mut tile_x = Tensor::zeros([m, rows]);
+        for mm in 0..m {
+            for r in 0..rows {
+                let i = ti * rows + r;
+                if i < in_dim {
+                    tile_x.data_mut()[mm * rows + r] = x.data()[mm * in_dim + i];
+                }
+            }
+        }
+        for tj in 0..tiles_j {
+            // Weight tile transposed onto the array: PE (r, c) holds
+            // W[tj*cols + c][ti*rows + r].
+            let mut tile_w = Tensor::zeros([rows, cols]);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let j = tj * cols + c;
+                    let i = ti * rows + r;
+                    if j < out_dim && i < in_dim {
+                        tile_w.data_mut()[r * cols + c] = weight.data()[j * in_dim + i];
+                    }
+                }
+            }
+            let sim = DataflowSim::new(&tile_w, fault_map)?;
+            let result = sim.run(&tile_x)?;
+            cycles += result.cycles;
+            for mm in 0..m {
+                for c in 0..cols {
+                    let j = tj * cols + c;
+                    if j < out_dim {
+                        outputs.data_mut()[mm * out_dim + j] +=
+                            result.outputs.data()[mm * cols + c];
+                    }
+                }
+            }
+        }
+    }
+    Ok(DataflowOutput { outputs, cycles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::SystolicArray;
+    use crate::fault::FaultModel;
+    use crate::perf::CostModel;
+    use reduce_tensor::ops;
+
+    #[test]
+    fn single_tile_matches_dense_gemm() {
+        let map = FaultMap::fault_free(4, 3).expect("nonzero");
+        // W stored (out=3, in=4); tile holds Wᵀ.
+        let w = Tensor::rand_uniform([3, 4], -1.0, 1.0, 1);
+        let x = Tensor::rand_uniform([5, 4], -1.0, 1.0, 2);
+        let out = simulate_tiled_gemm(&w, &x, &map).expect("conformable");
+        let dense = ops::matmul_nt(&x, &w).expect("conformable");
+        assert!(out.outputs.approx_eq(&dense, 1e-4), "dataflow != dense");
+    }
+
+    #[test]
+    fn cycle_count_matches_pipeline_formula() {
+        let map = FaultMap::fault_free(6, 5).expect("nonzero");
+        let w = Tensor::rand_uniform([5, 6], -1.0, 1.0, 3);
+        let x = Tensor::rand_uniform([7, 6], -1.0, 1.0, 4);
+        let out = simulate_tiled_gemm(&w, &x, &map).expect("conformable");
+        // One tile: M + R + C - 1 cycles (register-accurate count; the
+        // CostModel uses M + R + C - 2, the classic fill+drain formula
+        // without the final write-out cycle).
+        assert_eq!(out.cycles, 7 + 6 + 5 - 1);
+        let mut cm = CostModel::small(6, 5);
+        cm.weight_load_cycles = 0;
+        assert_eq!(cm.gemm_cycles(7, 6, 5).expect("valid") + 1, out.cycles);
+    }
+
+    #[test]
+    fn tiled_cycles_scale_with_tile_count() {
+        let map = FaultMap::fault_free(4, 4).expect("nonzero");
+        let w = Tensor::rand_uniform([8, 8], -1.0, 1.0, 5);
+        let x = Tensor::rand_uniform([3, 8], -1.0, 1.0, 6);
+        let out = simulate_tiled_gemm(&w, &x, &map).expect("conformable");
+        // 2x2 tiles, each 3 + 4 + 4 - 1 = 10 cycles.
+        assert_eq!(out.cycles, 4 * 10);
+        let dense = ops::matmul_nt(&x, &w).expect("conformable");
+        assert!(out.outputs.approx_eq(&dense, 1e-4));
+    }
+
+    #[test]
+    fn faulty_dataflow_matches_functional_bypass_model() {
+        for seed in 0..5 {
+            let map =
+                FaultMap::generate(4, 5, 0.3, FaultModel::Random, seed).expect("valid rate");
+            let w = Tensor::rand_uniform([7, 9], -1.0, 1.0, seed + 10);
+            let x = Tensor::rand_uniform([4, 9], -1.0, 1.0, seed + 20);
+            let sim = simulate_tiled_gemm(&w, &x, &map).expect("conformable");
+            let functional = SystolicArray::new(map).gemm(&w, &x).expect("conformable");
+            assert!(
+                sim.outputs.approx_eq(&functional, 1e-4),
+                "seed {seed}: cycle-stepped and functional models disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn fully_faulty_array_emits_zeros() {
+        let map = FaultMap::generate(3, 3, 1.0, FaultModel::Random, 0).expect("valid rate");
+        let w = Tensor::ones([3, 3]);
+        let x = Tensor::ones([2, 3]);
+        let out = simulate_tiled_gemm(&w, &x, &map).expect("conformable");
+        assert_eq!(out.outputs.sum(), 0.0);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        let map = FaultMap::fault_free(4, 4).expect("nonzero");
+        // Tile mismatch.
+        assert!(DataflowSim::new(&Tensor::zeros([3, 4]), &map).is_err());
+        // Input width mismatch.
+        let sim = DataflowSim::new(&Tensor::zeros([4, 4]), &map).expect("geometry matches");
+        assert!(sim.run(&Tensor::zeros([2, 5])).is_err());
+        // GEMM shape mismatch.
+        assert!(
+            simulate_tiled_gemm(&Tensor::zeros([4, 3]), &Tensor::zeros([2, 5]), &map).is_err()
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_zero_cycles() {
+        let map = FaultMap::fault_free(2, 2).expect("nonzero");
+        let sim = DataflowSim::new(&Tensor::zeros([2, 2]), &map).expect("geometry matches");
+        let out = sim.run(&Tensor::zeros([0, 2])).expect("valid width");
+        assert_eq!(out.cycles, 0);
+        assert_eq!(out.outputs.dims(), &[0, 2]);
+    }
+}

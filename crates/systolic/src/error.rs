@@ -1,0 +1,65 @@
+//! Error types for the systolic-array model.
+
+use reduce_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the accelerator model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystolicError {
+    /// A tensor-level operation failed.
+    Tensor(TensorError),
+    /// A dimension or coordinate was invalid for the array.
+    BadGeometry {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A configuration value was rejected.
+    InvalidConfig {
+        /// What configuration was invalid.
+        what: String,
+    },
+}
+
+impl fmt::Display for SystolicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystolicError::Tensor(e) => write!(f, "tensor error: {e}"),
+            SystolicError::BadGeometry { reason } => write!(f, "bad geometry: {reason}"),
+            SystolicError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl Error for SystolicError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SystolicError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for SystolicError {
+    fn from(e: TensorError) -> Self {
+        SystolicError::Tensor(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SystolicError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = SystolicError::BadGeometry { reason: "row 300 on a 256-row array".into() };
+        assert!(e.to_string().contains("bad geometry"));
+        assert!(e.source().is_none());
+        let t: SystolicError = TensorError::LengthMismatch { expected: 1, actual: 2 }.into();
+        assert!(t.source().is_some());
+    }
+}

@@ -1,0 +1,447 @@
+//! Permanent-fault maps for the PE array.
+//!
+//! Following the paper (and Zhang et al., VTS'18), a chip's manufacturing
+//! defects are summarised as a per-PE boolean **fault map**: a faulty PE has
+//! a permanent defect in its MAC datapath and is bypassed by the
+//! Fault-Aware-Pruning hardware, so every weight mapped onto it contributes
+//! zero. The paper uses a uniform-random fault-injection model; a clustered
+//! (radial) model is provided as an extension, since real defects correlate
+//! spatially.
+
+use crate::error::{Result, SystolicError};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The fault-injection model used to generate a fault map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultModel {
+    /// Uniform-random faulty PEs (the paper's model): exactly
+    /// `round(rate · rows · cols)` distinct PEs are faulty.
+    Random,
+    /// Spatially clustered faults: cluster centres are drawn uniformly and
+    /// faults fall around them with Gaussian radius `sigma` (in PE units).
+    /// The total faulty-PE count still matches the requested rate.
+    Clustered {
+        /// Number of defect clusters.
+        clusters: usize,
+        /// Gaussian radius of each cluster, in PEs.
+        sigma: f32,
+    },
+}
+
+/// A per-PE permanent-fault map for a `rows × cols` array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMap {
+    rows: usize,
+    cols: usize,
+    /// Row-major flags; `true` = faulty (bypassed) PE.
+    faulty: Vec<bool>,
+}
+
+impl FaultMap {
+    /// Creates a fault-free map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::BadGeometry`] for a zero-sized array.
+    pub fn fault_free(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(SystolicError::BadGeometry {
+                reason: format!("array {rows}x{cols} has a zero dimension"),
+            });
+        }
+        Ok(FaultMap { rows, cols, faulty: vec![false; rows * cols] })
+    }
+
+    /// Generates a fault map with the given model and fault rate.
+    ///
+    /// The number of faulty PEs is exactly `round(rate · rows · cols)`, so
+    /// [`FaultMap::fault_rate`] reproduces `rate` up to rounding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::InvalidConfig`] unless `0 ≤ rate ≤ 1`, or
+    /// [`SystolicError::BadGeometry`] for a zero-sized array.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reduce_systolic::{FaultMap, FaultModel};
+    ///
+    /// # fn main() -> Result<(), reduce_systolic::SystolicError> {
+    /// let map = FaultMap::generate(256, 256, 0.05, FaultModel::Random, 42)?;
+    /// assert!((map.fault_rate() - 0.05).abs() < 1e-4);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn generate(
+        rows: usize,
+        cols: usize,
+        rate: f64,
+        model: FaultModel,
+        seed: u64,
+    ) -> Result<Self> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(SystolicError::InvalidConfig {
+                what: format!("fault rate {rate} not in [0, 1]"),
+            });
+        }
+        let mut map = Self::fault_free(rows, cols)?;
+        let total = rows * cols;
+        let target = (rate * total as f64).round() as usize;
+        if target == 0 {
+            return Ok(map);
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match model {
+            FaultModel::Random => {
+                let mut indices: Vec<usize> = (0..total).collect();
+                indices.shuffle(&mut rng);
+                for &i in indices.iter().take(target) {
+                    map.faulty[i] = true;
+                }
+            }
+            FaultModel::Clustered { clusters, sigma } => {
+                if clusters == 0 || sigma <= 0.0 {
+                    return Err(SystolicError::InvalidConfig {
+                        what: format!(
+                            "clustered model needs clusters > 0 and sigma > 0, got {clusters}, {sigma}"
+                        ),
+                    });
+                }
+                let centres: Vec<(f32, f32)> = (0..clusters)
+                    .map(|_| (rng.gen_range(0.0..rows as f32), rng.gen_range(0.0..cols as f32)))
+                    .collect();
+                let mut placed = 0usize;
+                // Rejection-sample around centres until the target count of
+                // distinct faulty PEs is reached.
+                let mut attempts = 0usize;
+                while placed < target && attempts < 1000 * target {
+                    attempts += 1;
+                    let &(cr, cc) = centres.choose(&mut rng).expect("clusters > 0");
+                    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                    let u2: f32 = rng.gen_range(0.0f32..1.0);
+                    let radius = sigma * (-2.0 * u1.ln()).sqrt();
+                    let angle = 2.0 * std::f32::consts::PI * u2;
+                    let r = (cr + radius * angle.cos()).round();
+                    let c = (cc + radius * angle.sin()).round();
+                    if r < 0.0 || c < 0.0 || r >= rows as f32 || c >= cols as f32 {
+                        continue;
+                    }
+                    let idx = r as usize * cols + c as usize;
+                    if !map.faulty[idx] {
+                        map.faulty[idx] = true;
+                        placed += 1;
+                    }
+                }
+                // Extremely tight geometries may not fit the count near the
+                // clusters; fall back to uniform for the remainder.
+                if placed < target {
+                    let mut rest: Vec<usize> =
+                        (0..total).filter(|&i| !map.faulty[i]).collect();
+                    rest.shuffle(&mut rng);
+                    for &i in rest.iter().take(target - placed) {
+                        map.faulty[i] = true;
+                    }
+                }
+            }
+        }
+        Ok(map)
+    }
+
+    /// Creates a map from explicit faulty coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::BadGeometry`] for out-of-range coordinates
+    /// or a zero-sized array.
+    pub fn from_coords(rows: usize, cols: usize, coords: &[(usize, usize)]) -> Result<Self> {
+        let mut map = Self::fault_free(rows, cols)?;
+        for &(r, c) in coords {
+            if r >= rows || c >= cols {
+                return Err(SystolicError::BadGeometry {
+                    reason: format!("PE ({r}, {c}) outside {rows}x{cols} array"),
+                });
+            }
+            map.faulty[r * cols + c] = true;
+        }
+        Ok(map)
+    }
+
+    /// Array row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether PE `(row, col)` is faulty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range (callers index within the
+    /// array by construction; use [`FaultMap::rows`]/[`FaultMap::cols`] to
+    /// bound-check first).
+    pub fn is_faulty(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows && col < self.cols, "PE ({row}, {col}) out of range");
+        self.faulty[row * self.cols + col]
+    }
+
+    /// Number of faulty PEs.
+    pub fn faulty_count(&self) -> usize {
+        self.faulty.iter().filter(|&&f| f).count()
+    }
+
+    /// Fraction of faulty PEs — the **chip fault rate** the Reduce policy
+    /// interpolates on.
+    pub fn fault_rate(&self) -> f64 {
+        self.faulty_count() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Number of faulty PEs in array column `col` (used by fault-aware
+    /// mapping to rank columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn column_fault_count(&self, col: usize) -> usize {
+        assert!(col < self.cols, "column {col} out of range");
+        (0..self.rows).filter(|&r| self.faulty[r * self.cols + col]).count()
+    }
+
+    /// Number of faulty PEs in array row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_fault_count(&self, row: usize) -> usize {
+        assert!(row < self.rows, "row {row} out of range");
+        (0..self.cols).filter(|&c| self.faulty[row * self.cols + c]).count()
+    }
+
+    /// Iterates over faulty PE coordinates in row-major order.
+    pub fn faulty_coords(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let cols = self.cols;
+        self.faulty
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(move |(i, _)| (i / cols, i % cols))
+    }
+
+    /// Renders the map as an ASCII density grid of at most
+    /// `max_dim × max_dim` characters (` `, `.`, `:`, `#` by local fault
+    /// density) — a quick visual for logs and examples.
+    pub fn render_ascii(&self, max_dim: usize) -> String {
+        let max_dim = max_dim.max(1);
+        let (gr, gc) = (self.rows.min(max_dim), self.cols.min(max_dim));
+        let mut out = String::with_capacity((gc + 3) * (gr + 2));
+        out.push('+');
+        out.push_str(&"-".repeat(gc));
+        out.push_str("+\n");
+        for br in 0..gr {
+            out.push('|');
+            let r0 = br * self.rows / gr;
+            let r1 = ((br + 1) * self.rows / gr).max(r0 + 1);
+            for bc in 0..gc {
+                let c0 = bc * self.cols / gc;
+                let c1 = ((bc + 1) * self.cols / gc).max(c0 + 1);
+                let cells = (r1 - r0) * (c1 - c0);
+                let faults = (r0..r1)
+                    .flat_map(|r| (c0..c1).map(move |c| (r, c)))
+                    .filter(|&(r, c)| self.faulty[r * self.cols + c])
+                    .count();
+                let density = faults as f32 / cells as f32;
+                out.push(if density == 0.0 {
+                    ' '
+                } else if density < 0.25 {
+                    '.'
+                } else if density < 0.6 {
+                    ':'
+                } else {
+                    '#'
+                });
+            }
+            out.push_str("|\n");
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(gc));
+        out.push_str("+\n");
+        out
+    }
+
+    /// Merges another map of identical geometry (union of faults) — models
+    /// in-field aging on top of manufacturing defects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::BadGeometry`] on geometry mismatch.
+    pub fn union(&self, other: &FaultMap) -> Result<FaultMap> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(SystolicError::BadGeometry {
+                reason: format!(
+                    "cannot union {}x{} with {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let faulty = self.faulty.iter().zip(&other.faulty).map(|(&a, &b)| a || b).collect();
+        Ok(FaultMap { rows: self.rows, cols: self.cols, faulty })
+    }
+}
+
+impl fmt::Display for FaultMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FaultMap({}x{}, {} faulty, rate {:.3}%)",
+            self.rows,
+            self.cols,
+            self.faulty_count(),
+            self.fault_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_is_clean() {
+        let m = FaultMap::fault_free(4, 4).expect("nonzero dims");
+        assert_eq!(m.faulty_count(), 0);
+        assert_eq!(m.fault_rate(), 0.0);
+        assert!(FaultMap::fault_free(0, 4).is_err());
+    }
+
+    #[test]
+    fn random_hits_exact_count() {
+        let m = FaultMap::generate(32, 32, 0.1, FaultModel::Random, 1).expect("valid");
+        assert_eq!(m.faulty_count(), 102); // round(0.1 * 1024)
+        assert!((m.fault_rate() - 0.0996).abs() < 1e-3);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = FaultMap::generate(16, 16, 0.2, FaultModel::Random, 7).expect("valid");
+        let b = FaultMap::generate(16, 16, 0.2, FaultModel::Random, 7).expect("valid");
+        let c = FaultMap::generate(16, 16, 0.2, FaultModel::Random, 8).expect("valid");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rate_bounds_checked() {
+        assert!(FaultMap::generate(4, 4, 1.5, FaultModel::Random, 0).is_err());
+        assert!(FaultMap::generate(4, 4, -0.1, FaultModel::Random, 0).is_err());
+        // Extremes are fine.
+        let all = FaultMap::generate(4, 4, 1.0, FaultModel::Random, 0).expect("valid");
+        assert_eq!(all.faulty_count(), 16);
+        let none = FaultMap::generate(4, 4, 0.0, FaultModel::Random, 0).expect("valid");
+        assert_eq!(none.faulty_count(), 0);
+    }
+
+    #[test]
+    fn clustered_matches_count_and_clusters() {
+        let m = FaultMap::generate(
+            64,
+            64,
+            0.05,
+            FaultModel::Clustered { clusters: 2, sigma: 3.0 },
+            3,
+        )
+        .expect("valid");
+        assert_eq!(m.faulty_count(), (0.05f64 * 4096.0).round() as usize);
+        // Clustered faults have smaller coordinate spread than uniform at
+        // the same count (heuristic sanity check on spatial structure).
+        let coords: Vec<(usize, usize)> = m.faulty_coords().collect();
+        let mean_r = coords.iter().map(|&(r, _)| r as f64).sum::<f64>() / coords.len() as f64;
+        let var_r = coords.iter().map(|&(r, _)| (r as f64 - mean_r).powi(2)).sum::<f64>()
+            / coords.len() as f64;
+        let uniform_var = (64.0f64 * 64.0 - 1.0) / 12.0;
+        assert!(var_r < uniform_var, "clustered variance {var_r} >= uniform {uniform_var}");
+    }
+
+    #[test]
+    fn clustered_validation() {
+        assert!(FaultMap::generate(
+            8,
+            8,
+            0.1,
+            FaultModel::Clustered { clusters: 0, sigma: 1.0 },
+            0
+        )
+        .is_err());
+        assert!(FaultMap::generate(
+            8,
+            8,
+            0.1,
+            FaultModel::Clustered { clusters: 1, sigma: 0.0 },
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn from_coords_and_accessors() {
+        let m = FaultMap::from_coords(4, 4, &[(0, 1), (2, 3), (2, 1)]).expect("in range");
+        assert!(m.is_faulty(0, 1));
+        assert!(!m.is_faulty(0, 0));
+        assert_eq!(m.column_fault_count(1), 2);
+        assert_eq!(m.row_fault_count(2), 2);
+        assert_eq!(m.faulty_coords().count(), 3);
+        assert!(FaultMap::from_coords(4, 4, &[(4, 0)]).is_err());
+    }
+
+    #[test]
+    fn union_accumulates() {
+        let a = FaultMap::from_coords(2, 2, &[(0, 0)]).expect("in range");
+        let b = FaultMap::from_coords(2, 2, &[(1, 1)]).expect("in range");
+        let u = a.union(&b).expect("same geometry");
+        assert_eq!(u.faulty_count(), 2);
+        let c = FaultMap::fault_free(3, 2).expect("nonzero dims");
+        assert!(a.union(&c).is_err());
+    }
+
+    #[test]
+    fn display_mentions_rate() {
+        let m = FaultMap::generate(10, 10, 0.25, FaultModel::Random, 0).expect("valid");
+        assert!(m.to_string().contains("25 faulty"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn is_faulty_panics_out_of_range() {
+        let m = FaultMap::fault_free(2, 2).expect("nonzero dims");
+        let _ = m.is_faulty(2, 0);
+    }
+
+    #[test]
+    fn ascii_rendering() {
+        let clean = FaultMap::fault_free(4, 4).expect("nonzero dims");
+        let art = clean.render_ascii(8);
+        assert!(art.lines().count() == 6); // border + 4 rows + border
+        assert!(!art.contains('#'));
+        let dead = FaultMap::generate(4, 4, 1.0, FaultModel::Random, 0).expect("valid");
+        assert!(dead.render_ascii(4).contains('#'));
+        // Downsampling keeps the grid bounded.
+        let big = FaultMap::generate(256, 256, 0.02, FaultModel::Random, 1).expect("valid");
+        let art = big.render_ascii(32);
+        assert!(art.lines().all(|l| l.len() <= 34));
+        assert_eq!(art.lines().count(), 34);
+    }
+
+    #[test]
+    fn paper_scale_256x256() {
+        let m = FaultMap::generate(256, 256, 0.02, FaultModel::Random, 11).expect("valid");
+        assert_eq!(m.rows(), 256);
+        assert_eq!(m.faulty_count(), (0.02f64 * 65536.0).round() as usize);
+    }
+}

@@ -1,0 +1,413 @@
+//! Weight-stationary mapping of DNN weights onto the PE array, and the
+//! derivation of Fault-Aware-Pruning (FAP) masks from a chip's fault map.
+//!
+//! ## Mapping convention
+//!
+//! A layer's GEMM weight matrix `W: (out, in)` (convolutions are flattened
+//! to `(out_channels, in_channels·kh·kw)` by im2col — exactly the shape
+//! `reduce-nn` stores) executes on a `R × C` weight-stationary array in
+//! tiles: array **rows carry the input (reduction) dimension**, array
+//! **columns carry the output dimension** (each column accumulates one
+//! output channel's dot product, TPU-style). Tile `(ti, tj)` maps weight
+//! element `W[j][i]` with `i ∈ [ti·R, ti·R+R)`, `j ∈ [tj·C, tj·C+C)` onto
+//! PE `(i mod R, j mod C)`.
+//!
+//! A faulty PE is bypassed (FAP), so every weight element mapped onto it is
+//! forced to zero — a *periodic structured pruning* pattern: weight `(j, i)`
+//! is pruned iff PE `(i mod R, j mod C)` is faulty.
+
+use crate::error::{Result, SystolicError};
+use crate::fault::FaultMap;
+use reduce_tensor::Tensor;
+
+/// Derives the FAP pruning mask for a `(out, in)` weight matrix.
+///
+/// The returned tensor has shape `(out, in)` with `0.0` marking weights
+/// that land on faulty PEs and `1.0` elsewhere — directly installable via
+/// `reduce_nn::Parameter::set_mask`.
+///
+/// # Errors
+///
+/// Returns [`SystolicError::BadGeometry`] for zero-sized weights.
+///
+/// # Examples
+///
+/// ```
+/// use reduce_systolic::{fap_mask, FaultMap};
+///
+/// # fn main() -> Result<(), reduce_systolic::SystolicError> {
+/// let map = FaultMap::from_coords(4, 4, &[(1, 2)])?;
+/// let mask = fap_mask(8, 8, &map)?;
+/// // Weight (out=2, in=1) maps to PE (1 mod 4, 2 mod 4) = the faulty one.
+/// assert_eq!(mask.at(&[2, 1]).unwrap(), 0.0);
+/// assert_eq!(mask.at(&[2, 2]).unwrap(), 1.0);
+/// // The pattern repeats with the array period.
+/// assert_eq!(mask.at(&[6, 5]).unwrap(), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fap_mask(out_dim: usize, in_dim: usize, map: &FaultMap) -> Result<Tensor> {
+    if out_dim == 0 || in_dim == 0 {
+        return Err(SystolicError::BadGeometry {
+            reason: format!("weight matrix {out_dim}x{in_dim} has a zero dimension"),
+        });
+    }
+    let (rows, cols) = (map.rows(), map.cols());
+    let mut mask = Tensor::ones([out_dim, in_dim]);
+    let md = mask.data_mut();
+    for j in 0..out_dim {
+        let col = j % cols;
+        for i in 0..in_dim {
+            if map.is_faulty(i % rows, col) {
+                md[j * in_dim + i] = 0.0;
+            }
+        }
+    }
+    Ok(mask)
+}
+
+/// Number of weight elements of a `(out, in)` matrix that land on faulty
+/// PEs — computed in closed form without materialising the mask.
+pub fn affected_weights(out_dim: usize, in_dim: usize, map: &FaultMap) -> usize {
+    let (rows, cols) = (map.rows(), map.cols());
+    map.faulty_coords()
+        .map(|(r, c)| {
+            // i ≡ r (mod rows) within [0, in_dim): count.
+            let ni = if r < in_dim { (in_dim - r).div_ceil(rows) } else { 0 };
+            let nj = if c < out_dim { (out_dim - c).div_ceil(cols) } else { 0 };
+            ni * nj
+        })
+        .sum()
+}
+
+/// Fraction of a `(out, in)` weight matrix pruned by FAP under `map`.
+pub fn pruned_fraction(out_dim: usize, in_dim: usize, map: &FaultMap) -> f64 {
+    if out_dim == 0 || in_dim == 0 {
+        return 0.0;
+    }
+    affected_weights(out_dim, in_dim, map) as f64 / (out_dim * in_dim) as f64
+}
+
+/// A fault-aware mapping (FAM / SalvageDNN-style): a permutation of output
+/// channels chosen so that the least-salient channels are served by the
+/// array columns with the most faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamMapping {
+    /// `position_of[j]` = the array position assigned to output channel
+    /// `j`; the channel uses array column `position_of[j] mod C`.
+    pub position_of: Vec<usize>,
+    /// The FAP mask under this permuted mapping, shape `(out, in)`.
+    pub mask: Tensor,
+}
+
+impl FamMapping {
+    /// Fraction of weights pruned under the permuted mapping.
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.mask.is_empty() {
+            return 0.0;
+        }
+        f64::from(self.mask.sparsity())
+    }
+}
+
+/// Computes a saliency-driven output-channel permutation (FAM).
+///
+/// Following SalvageDNN's idea, the mapper evaluates, for every channel,
+/// the exact L1 weight mass it would lose at each array *column class*
+/// (positions are equivalent modulo the array width), then greedily assigns
+/// channels to the remaining class with the smallest loss — processing
+/// channels in descending order of how much their loss varies across
+/// classes, so the channels with the most at stake choose first. If the
+/// greedy assignment somehow loses more total saliency than the identity
+/// mapping (possible in adversarial corner cases, since greedy is a
+/// heuristic), the identity is returned instead — FAM therefore never does
+/// worse than plain FAP.
+///
+/// # Errors
+///
+/// Returns [`SystolicError::BadGeometry`] if `weight` is not a matrix or
+/// has a zero dimension.
+pub fn fam_mapping(weight: &Tensor, map: &FaultMap) -> Result<FamMapping> {
+    let (out_dim, in_dim) = weight.shape().as_matrix()?;
+    if out_dim == 0 || in_dim == 0 {
+        return Err(SystolicError::BadGeometry {
+            reason: format!("weight matrix {out_dim}x{in_dim} has a zero dimension"),
+        });
+    }
+    let (rows, cols) = (map.rows(), map.cols());
+    let classes = cols.min(out_dim);
+    // Faulty input indices per column class (i ranges over the layer's
+    // input dimension; the faulty rows repeat with the array period).
+    let faulty_inputs: Vec<Vec<usize>> = (0..classes)
+        .map(|c| (0..in_dim).filter(|&i| map.is_faulty(i % rows, c % cols)).collect())
+        .collect();
+    // Exact pruning loss of channel j at column class c.
+    let mut cost = vec![vec![0.0f32; classes]; out_dim];
+    for (j, row_cost) in cost.iter_mut().enumerate() {
+        let row = weight.row_slice(j).expect("j < out_dim");
+        for (c, faulty) in faulty_inputs.iter().enumerate() {
+            row_cost[c] = faulty.iter().map(|&i| row[i].abs()).sum();
+        }
+    }
+    // Capacity of each class: how many positions p in [0, out_dim) map to
+    // it. Note p % cols < classes always: when out_dim <= cols, p % cols
+    // == p < out_dim == classes; otherwise p % cols < cols == classes.
+    let mut capacity = vec![0usize; classes];
+    let mut class_positions: Vec<Vec<usize>> = vec![Vec::new(); classes];
+    for p in 0..out_dim {
+        let class = p % cols;
+        capacity[class] += 1;
+        class_positions[class].push(p);
+    }
+    // Channels with the largest cost spread choose first.
+    let mut order: Vec<usize> = (0..out_dim).collect();
+    let spread = |j: usize| -> f32 {
+        let mx = cost[j].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mn = cost[j].iter().copied().fold(f32::INFINITY, f32::min);
+        mx - mn
+    };
+    order.sort_by(|&a, &b| {
+        spread(b).partial_cmp(&spread(a)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    let mut position_of = vec![usize::MAX; out_dim];
+    let mut remaining = capacity.clone();
+    for &j in &order {
+        let class = (0..classes)
+            .filter(|&c| remaining[c] > 0)
+            .min_by(|&a, &b| {
+                cost[j][a].partial_cmp(&cost[j][b]).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("capacities sum to out_dim");
+        remaining[class] -= 1;
+        position_of[j] = class_positions[class][remaining[class]];
+    }
+    // Compare against the identity mapping and keep the better one.
+    let total = |assign: &dyn Fn(usize) -> usize| -> f32 {
+        (0..out_dim).map(|j| cost[j][assign(j) % cols]).sum()
+    };
+    let greedy_total = total(&|j| position_of[j]);
+    let identity_total = total(&|j| j);
+    if identity_total < greedy_total {
+        position_of = (0..out_dim).collect();
+    }
+    // Mask under the chosen mapping: channel j sees column position_of[j].
+    let mut mask = Tensor::ones([out_dim, in_dim]);
+    let md = mask.data_mut();
+    for j in 0..out_dim {
+        let col = position_of[j] % cols;
+        for i in 0..in_dim {
+            if map.is_faulty(i % rows, col) {
+                md[j * in_dim + i] = 0.0;
+            }
+        }
+    }
+    Ok(FamMapping { position_of, mask })
+}
+
+/// Corrupts a `(out, in)` weight matrix the way **unprotected** execution
+/// would see it: every weight mapped onto a faulty PE reads as
+/// `stuck_value` instead of being bypassed to zero.
+///
+/// This models the motivating observation of Zhang et al. (VTS'18) that
+/// the paper builds on: without FAP, a stuck weight/MAC register
+/// contributes an arbitrary (often saturated) value, and even a small
+/// fraction of such faults destroys accuracy — which is why the
+/// FAP-bypass (+ retraining) mitigation exists. Compare with
+/// [`fap_mask`], which zeroes the same positions.
+///
+/// # Errors
+///
+/// Returns [`SystolicError::BadGeometry`] if `weight` is not a matrix.
+pub fn stuck_at_weights(weight: &Tensor, map: &FaultMap, stuck_value: f32) -> Result<Tensor> {
+    let (out_dim, in_dim) = weight.shape().as_matrix()?;
+    let (rows, cols) = (map.rows(), map.cols());
+    let mut corrupted = weight.clone();
+    let cd = corrupted.data_mut();
+    for j in 0..out_dim {
+        let col = j % cols;
+        for i in 0..in_dim {
+            if map.is_faulty(i % rows, col) {
+                cd[j * in_dim + i] = stuck_value;
+            }
+        }
+    }
+    Ok(corrupted)
+}
+
+/// Saliency-weighted pruning loss of a mask: the L1 mass of the weights it
+/// zeroes. FAM minimises this relative to plain FAP.
+///
+/// # Errors
+///
+/// Returns a shape error if mask and weight disagree.
+pub fn saliency_loss(weight: &Tensor, mask: &Tensor) -> Result<f32> {
+    if weight.dims() != mask.dims() {
+        return Err(SystolicError::Tensor(reduce_tensor::TensorError::ShapeMismatch {
+            op: "saliency_loss",
+            lhs: weight.dims().to_vec(),
+            rhs: mask.dims().to_vec(),
+        }));
+    }
+    Ok(weight
+        .data()
+        .iter()
+        .zip(mask.data())
+        .filter(|(_, &m)| m == 0.0)
+        .map(|(&w, _)| w.abs())
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultModel;
+
+    #[test]
+    fn fault_free_mask_is_all_ones() {
+        let map = FaultMap::fault_free(8, 8).expect("nonzero");
+        let mask = fap_mask(16, 16, &map).expect("nonzero");
+        assert_eq!(mask.sum(), 256.0);
+        assert_eq!(affected_weights(16, 16, &map), 0);
+    }
+
+    #[test]
+    fn mask_is_periodic_with_array_dims() {
+        let map = FaultMap::from_coords(4, 4, &[(1, 2)]).expect("in range");
+        let mask = fap_mask(8, 12, &map).expect("nonzero");
+        for j in 0..8 {
+            for i in 0..12 {
+                let expect_pruned = i % 4 == 1 && j % 4 == 2;
+                assert_eq!(
+                    mask.at(&[j, i]).expect("in range") == 0.0,
+                    expect_pruned,
+                    "at ({j}, {i})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn affected_weights_matches_mask() {
+        let map = FaultMap::generate(8, 8, 0.15, FaultModel::Random, 5).expect("valid");
+        for (out, inp) in [(8, 8), (16, 8), (13, 21), (3, 5), (64, 64)] {
+            let mask = fap_mask(out, inp, &map).expect("nonzero");
+            let from_mask = mask.data().iter().filter(|&&v| v == 0.0).count();
+            assert_eq!(
+                affected_weights(out, inp, &map),
+                from_mask,
+                "closed form disagrees at {out}x{inp}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_fraction_approaches_fault_rate_for_large_layers() {
+        let map = FaultMap::generate(16, 16, 0.1, FaultModel::Random, 9).expect("valid");
+        // A layer that covers the array exactly k times sees exactly the
+        // chip fault rate.
+        let frac = pruned_fraction(64, 64, &map);
+        assert!((frac - map.fault_rate()).abs() < 1e-9, "{frac} vs {}", map.fault_rate());
+    }
+
+    #[test]
+    fn small_layer_sees_only_its_corner() {
+        // Fault outside the used region has no effect.
+        let map = FaultMap::from_coords(8, 8, &[(7, 7)]).expect("in range");
+        assert_eq!(affected_weights(4, 4, &map), 0);
+        // Fault inside does.
+        let map = FaultMap::from_coords(8, 8, &[(1, 1)]).expect("in range");
+        assert_eq!(affected_weights(4, 4, &map), 1);
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        let map = FaultMap::fault_free(4, 4).expect("nonzero");
+        assert!(fap_mask(0, 4, &map).is_err());
+        assert_eq!(pruned_fraction(0, 4, &map), 0.0);
+    }
+
+    #[test]
+    fn fam_reduces_saliency_loss() {
+        // One very bad column; salient weights concentrated on the channel
+        // mapped to it by default.
+        let map = FaultMap::from_coords(
+            4,
+            4,
+            &[(0, 2), (1, 2), (2, 2), (3, 2)], // column 2 fully dead
+        )
+        .expect("in range");
+        // Channel 2 (→ column 2) is the most salient one.
+        let mut w = Tensor::ones([4, 4]);
+        for i in 0..4 {
+            w.data_mut()[2 * 4 + i] = 10.0;
+        }
+        let plain = fap_mask(4, 4, &map).expect("nonzero");
+        let plain_loss = saliency_loss(&w, &plain).expect("same shape");
+        let fam = fam_mapping(&w, &map).expect("matrix");
+        let fam_loss = saliency_loss(&w, &fam.mask).expect("same shape");
+        assert!(
+            fam_loss < plain_loss,
+            "FAM loss {fam_loss} not better than FAP loss {plain_loss}"
+        );
+        // The dead column is assigned to the least salient channel, not 2.
+        assert_ne!(fam.position_of[2] % 4, 2);
+    }
+
+    #[test]
+    fn fam_is_a_permutation() {
+        let map = FaultMap::generate(8, 8, 0.2, FaultModel::Random, 3).expect("valid");
+        let w = Tensor::rand_uniform([12, 8], -1.0, 1.0, 4);
+        let fam = fam_mapping(&w, &map).expect("matrix");
+        let mut seen = [false; 12];
+        for &p in &fam.position_of {
+            assert!(p < 12 && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn fam_prunes_same_or_less_saliency_randomised() {
+        for seed in 0..5 {
+            let map = FaultMap::generate(8, 8, 0.15, FaultModel::Random, seed).expect("valid");
+            let w = Tensor::rand_uniform([16, 16], -1.0, 1.0, seed + 100);
+            let plain_loss =
+                saliency_loss(&w, &fap_mask(16, 16, &map).expect("nonzero")).expect("same shape");
+            let fam_loss = saliency_loss(&w, &fam_mapping(&w, &map).expect("matrix").mask)
+                .expect("same shape");
+            assert!(
+                fam_loss <= plain_loss + 1e-4,
+                "seed {seed}: fam {fam_loss} > fap {plain_loss}"
+            );
+        }
+    }
+
+    #[test]
+    fn saliency_loss_validates_shapes() {
+        assert!(saliency_loss(&Tensor::ones([2, 2]), &Tensor::ones([2, 3])).is_err());
+    }
+
+    #[test]
+    fn stuck_at_writes_exactly_the_masked_positions() {
+        let map = FaultMap::generate(4, 4, 0.3, FaultModel::Random, 8).expect("valid");
+        let w = Tensor::rand_uniform([8, 8], -0.5, 0.5, 9);
+        let corrupted = stuck_at_weights(&w, &map, 7.0).expect("matrix");
+        let mask = fap_mask(8, 8, &map).expect("nonzero");
+        for ((orig, bad), m) in w.data().iter().zip(corrupted.data()).zip(mask.data()) {
+            if *m == 0.0 {
+                assert_eq!(*bad, 7.0);
+            } else {
+                assert_eq!(bad, orig);
+            }
+        }
+        assert!(stuck_at_weights(&Tensor::ones([3]), &map, 1.0).is_err());
+    }
+
+    #[test]
+    fn stuck_at_with_zero_equals_fap_masking() {
+        let map = FaultMap::generate(4, 4, 0.25, FaultModel::Random, 10).expect("valid");
+        let w = Tensor::rand_uniform([6, 6], -1.0, 1.0, 11);
+        let stuck_zero = stuck_at_weights(&w, &map, 0.0).expect("matrix");
+        let masked = (&w * &fap_mask(6, 6, &map).expect("nonzero")).expect("same shape");
+        assert_eq!(stuck_zero, masked);
+    }
+}

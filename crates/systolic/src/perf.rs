@@ -1,0 +1,243 @@
+//! Cycle-level performance and energy model of the accelerator.
+//!
+//! The model follows the classic weight-stationary tiling analysis (as in
+//! Zhang et al., VTS'18): a `(out, in)` GEMM with `m` input vectors runs in
+//! `⌈in/R⌉ · ⌈out/C⌉` tiles; each tile loads its weights (`R` cycles,
+//! double-buffered loads can hide part of this) and streams the `m`
+//! activations through the pipeline (`m + R + C − 2` cycles of fill +
+//! drain + stream).
+//!
+//! FAP bypasses do **not** change the cycle count — faulty PEs still occupy
+//! their pipeline slot, they just contribute zero — which is exactly the
+//! paper's argument that FAP(+T) preserves performance, unlike
+//! redundancy/bypass-row schemes. The model therefore charges retraining
+//! overhead in *epochs* (the unit the paper uses) and converts to
+//! cycles/energy for reporting.
+
+use crate::error::{Result, SystolicError};
+use serde::{Deserialize, Serialize};
+
+/// Static cost parameters of the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Array rows.
+    pub rows: usize,
+    /// Array columns.
+    pub cols: usize,
+    /// Clock frequency in MHz (for cycle → time conversion).
+    pub frequency_mhz: f64,
+    /// Energy per MAC in picojoules (for energy reporting).
+    pub energy_per_mac_pj: f64,
+    /// Cycles to load one tile of weights (R rows, amortised); set to 0 to
+    /// model perfect double buffering.
+    pub weight_load_cycles: u64,
+}
+
+impl CostModel {
+    /// The paper's configuration: a 256×256 array (TPU-like).
+    pub fn paper() -> Self {
+        CostModel {
+            rows: 256,
+            cols: 256,
+            frequency_mhz: 700.0,
+            energy_per_mac_pj: 0.2,
+            weight_load_cycles: 256,
+        }
+    }
+
+    /// A small configuration matching the CPU-scale experiments.
+    pub fn small(rows: usize, cols: usize) -> Self {
+        CostModel {
+            rows,
+            cols,
+            frequency_mhz: 700.0,
+            energy_per_mac_pj: 0.2,
+            weight_load_cycles: rows as u64,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.rows == 0 || self.cols == 0 || self.frequency_mhz <= 0.0 {
+            return Err(SystolicError::InvalidConfig {
+                what: format!("cost model rejected: {self:?}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Cycles to run a `(out, in)` GEMM over `m` input vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::InvalidConfig`] for a degenerate model or
+    /// zero dimensions.
+    pub fn gemm_cycles(&self, m: usize, in_dim: usize, out_dim: usize) -> Result<u64> {
+        self.validate()?;
+        if m == 0 || in_dim == 0 || out_dim == 0 {
+            return Err(SystolicError::InvalidConfig {
+                what: format!("gemm {m}x{in_dim}x{out_dim} has a zero dimension"),
+            });
+        }
+        let tiles = (in_dim.div_ceil(self.rows) * out_dim.div_ceil(self.cols)) as u64;
+        let per_tile =
+            self.weight_load_cycles + (m + self.rows + self.cols - 2) as u64;
+        Ok(tiles * per_tile)
+    }
+
+    /// MAC count of a `(out, in)` GEMM over `m` inputs.
+    pub fn gemm_macs(&self, m: usize, in_dim: usize, out_dim: usize) -> u64 {
+        (m as u64) * (in_dim as u64) * (out_dim as u64)
+    }
+
+    /// Cycles for a full forward pass described by GEMM shapes
+    /// `(m, in, out)` per layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-layer errors.
+    pub fn forward_cycles(&self, layers: &[(usize, usize, usize)]) -> Result<u64> {
+        let mut total = 0u64;
+        for &(m, i, o) in layers {
+            total += self.gemm_cycles(m, i, o)?;
+        }
+        Ok(total)
+    }
+
+    /// Cycles for one training step (forward + input-gradient + weight-
+    /// gradient GEMMs ≈ 3× forward for GEMM-dominated nets).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-layer errors.
+    pub fn training_step_cycles(&self, layers: &[(usize, usize, usize)]) -> Result<u64> {
+        Ok(3 * self.forward_cycles(layers)?)
+    }
+
+    /// Cycles for one training epoch of `samples` examples at `batch` size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::InvalidConfig`] for zero samples/batch.
+    pub fn epoch_cycles(
+        &self,
+        layers_per_batch: &[(usize, usize, usize)],
+        samples: usize,
+        batch: usize,
+    ) -> Result<u64> {
+        if samples == 0 || batch == 0 {
+            return Err(SystolicError::InvalidConfig {
+                what: format!("epoch with {samples} samples, batch {batch}"),
+            });
+        }
+        let batches = samples.div_ceil(batch) as u64;
+        Ok(batches * self.training_step_cycles(layers_per_batch)?)
+    }
+
+    /// Converts cycles to seconds at the configured frequency.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.frequency_mhz * 1e6)
+    }
+
+    /// Converts MACs to joules at the configured energy/MAC.
+    pub fn macs_to_joules(&self, macs: u64) -> f64 {
+        macs as f64 * self.energy_per_mac_pj * 1e-12
+    }
+
+    /// Array utilisation of a `(out, in)` GEMM: useful MACs over the MAC
+    /// slots the tiling occupies (edge tiles waste slots).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::InvalidConfig`] for zero dimensions.
+    pub fn utilization(&self, in_dim: usize, out_dim: usize) -> Result<f64> {
+        self.validate()?;
+        if in_dim == 0 || out_dim == 0 {
+            return Err(SystolicError::InvalidConfig {
+                what: "utilization of empty GEMM".to_string(),
+            });
+        }
+        let tiles_i = in_dim.div_ceil(self.rows);
+        let tiles_j = out_dim.div_ceil(self.cols);
+        let occupied = (tiles_i * self.rows) as f64 * (tiles_j * self.cols) as f64;
+        Ok((in_dim as f64 * out_dim as f64) / occupied)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_model_geometry() {
+        let m = CostModel::paper();
+        assert_eq!((m.rows, m.cols), (256, 256));
+    }
+
+    #[test]
+    fn single_tile_cycle_count() {
+        let m = CostModel::small(8, 8);
+        // One tile: load (8) + stream (4 + 8 + 8 - 2 = 18) = 26.
+        assert_eq!(m.gemm_cycles(4, 8, 8).expect("valid"), 26);
+    }
+
+    #[test]
+    fn tiling_multiplies_cycles() {
+        let m = CostModel::small(8, 8);
+        let one = m.gemm_cycles(4, 8, 8).expect("valid");
+        let four = m.gemm_cycles(4, 16, 16).expect("valid");
+        assert_eq!(four, 4 * one);
+        // Ragged edges round the tile count up.
+        let ragged = m.gemm_cycles(4, 9, 8).expect("valid");
+        assert_eq!(ragged, 2 * one);
+    }
+
+    #[test]
+    fn training_is_three_forwards() {
+        let m = CostModel::small(16, 16);
+        let layers = [(32, 64, 128), (32, 128, 10)];
+        let f = m.forward_cycles(&layers).expect("valid");
+        assert_eq!(m.training_step_cycles(&layers).expect("valid"), 3 * f);
+    }
+
+    #[test]
+    fn epoch_scales_with_batches() {
+        let m = CostModel::small(16, 16);
+        let layers = [(8, 64, 64)];
+        let one = m.epoch_cycles(&layers, 8, 8).expect("valid");
+        let ten = m.epoch_cycles(&layers, 80, 8).expect("valid");
+        assert_eq!(ten, 10 * one);
+        assert!(m.epoch_cycles(&layers, 0, 8).is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        let m = CostModel::small(8, 8);
+        assert!((m.cycles_to_seconds(700_000_000) - 1.0).abs() < 1e-9);
+        assert!((m.macs_to_joules(5_000_000_000_000) - 1.0).abs() < 1e-9);
+        assert_eq!(m.gemm_macs(2, 3, 4), 24);
+    }
+
+    #[test]
+    fn utilization_full_and_ragged() {
+        let m = CostModel::small(8, 8);
+        assert!((m.utilization(16, 16).expect("valid") - 1.0).abs() < 1e-12);
+        // A 9x8 GEMM occupies 2x1 tiles = 128 slots for 72 weights.
+        assert!((m.utilization(9, 8).expect("valid") - 72.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        let mut m = CostModel::small(8, 8);
+        m.rows = 0;
+        assert!(m.gemm_cycles(1, 1, 1).is_err());
+        let m = CostModel::small(8, 8);
+        assert!(m.gemm_cycles(0, 1, 1).is_err());
+        assert!(m.utilization(0, 1).is_err());
+    }
+}

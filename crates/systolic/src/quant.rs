@@ -1,0 +1,272 @@
+//! Int8 weight quantization — the numeric format of the modelled
+//! accelerator class.
+//!
+//! TPU-generation systolic arrays execute int8 GEMMs with int32
+//! accumulators. This module provides symmetric per-tensor quantization,
+//! an integer GEMM reference, and the fault interaction that motivates it:
+//! a permanent fault in a weight register corrupts the *int8 code*, so the
+//! worst-case float error of an unprotected fault is `±127·scale` — which
+//! is why FAP's bypass-to-zero (a perfectly representable code) is the
+//! sane mitigation.
+
+use crate::error::{Result, SystolicError};
+use crate::fault::FaultMap;
+use reduce_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Symmetric per-tensor quantization parameters: `code = round(x / scale)`
+/// clamped to `[-127, 127]` (the −128 code is unused, keeping the scheme
+/// symmetric).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Float value of one integer step.
+    pub scale: f32,
+}
+
+impl QuantParams {
+    /// Fits the scale to cover the data's maximum magnitude.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::InvalidConfig`] for empty or non-finite
+    /// data.
+    pub fn fit(data: &[f32]) -> Result<Self> {
+        if data.is_empty() {
+            return Err(SystolicError::InvalidConfig {
+                what: "cannot fit quantization to empty data".to_string(),
+            });
+        }
+        if data.iter().any(|v| !v.is_finite()) {
+            return Err(SystolicError::InvalidConfig {
+                what: "non-finite values in quantization input".to_string(),
+            });
+        }
+        let max_abs = data.iter().map(|v| v.abs()).fold(0.0f32, f32::max);
+        // All-zero tensors get a unit scale (any scale represents them).
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        Ok(QuantParams { scale })
+    }
+
+    /// Quantizes one value to its int8 code.
+    pub fn quantize(&self, x: f32) -> i8 {
+        (x / self.scale).round().clamp(-127.0, 127.0) as i8
+    }
+
+    /// Dequantizes one code back to float.
+    pub fn dequantize(&self, code: i8) -> f32 {
+        code as f32 * self.scale
+    }
+}
+
+/// An int8-quantized tensor (symmetric, per-tensor scale).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    codes: Vec<i8>,
+    dims: Vec<usize>,
+    params: QuantParams,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a float tensor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting errors (empty/non-finite input).
+    pub fn quantize(tensor: &Tensor) -> Result<Self> {
+        let params = QuantParams::fit(tensor.data())?;
+        let codes = tensor.data().iter().map(|&v| params.quantize(v)).collect();
+        Ok(QuantizedTensor { codes, dims: tensor.dims().to_vec(), params })
+    }
+
+    /// The int8 codes (row-major).
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// The tensor dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The quantization parameters.
+    pub fn params(&self) -> QuantParams {
+        self.params
+    }
+
+    /// Reconstructs the float tensor.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a well-formed value; returns tensor construction
+    /// errors otherwise.
+    pub fn dequantize(&self) -> Result<Tensor> {
+        Ok(Tensor::from_vec(
+            self.codes.iter().map(|&c| self.params.dequantize(c)).collect(),
+            self.dims.clone(),
+        )?)
+    }
+
+    /// Worst-case absolute rounding error of this encoding.
+    pub fn max_quantization_error(&self) -> f32 {
+        self.params.scale * 0.5
+    }
+
+    /// Corrupts the codes the way a faulty weight-register array would for
+    /// a `(out, in)` weight tensor mapped onto `map` (same mapping rule as
+    /// [`crate::fap_mask`]): every faulty position's code becomes
+    /// `stuck_code`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::BadGeometry`] if the tensor is not rank-2.
+    pub fn with_stuck_codes(&self, map: &FaultMap, stuck_code: i8) -> Result<QuantizedTensor> {
+        if self.dims.len() != 2 {
+            return Err(SystolicError::BadGeometry {
+                reason: format!("expected rank-2 weights, got {:?}", self.dims),
+            });
+        }
+        let (out_dim, in_dim) = (self.dims[0], self.dims[1]);
+        let (rows, cols) = (map.rows(), map.cols());
+        let mut corrupted = self.clone();
+        for j in 0..out_dim {
+            let col = j % cols;
+            for i in 0..in_dim {
+                if map.is_faulty(i % rows, col) {
+                    corrupted.codes[j * in_dim + i] = stuck_code;
+                }
+            }
+        }
+        Ok(corrupted)
+    }
+}
+
+/// Integer-exact GEMM reference: `out[m][j] = Σ_i x_codes·w_codes` in i32,
+/// rescaled to float by the product of the two scales — the arithmetic the
+/// int8 array actually performs.
+///
+/// `x_q` is `(m, in)`, `w_q` is `(out, in)`; the result is `(m, out)`.
+///
+/// # Errors
+///
+/// Returns [`SystolicError::BadGeometry`] on shape mismatch.
+pub fn quantized_gemm_nt(x_q: &QuantizedTensor, w_q: &QuantizedTensor) -> Result<Tensor> {
+    if x_q.dims.len() != 2 || w_q.dims.len() != 2 || x_q.dims[1] != w_q.dims[1] {
+        return Err(SystolicError::BadGeometry {
+            reason: format!(
+                "quantized gemm shapes {:?} x {:?} not conformable",
+                x_q.dims, w_q.dims
+            ),
+        });
+    }
+    let (m, k) = (x_q.dims[0], x_q.dims[1]);
+    let out_dim = w_q.dims[0];
+    let rescale = x_q.params.scale * w_q.params.scale;
+    let mut out = Tensor::zeros([m, out_dim]);
+    for mm in 0..m {
+        for j in 0..out_dim {
+            let mut acc: i32 = 0;
+            for i in 0..k {
+                acc += x_q.codes[mm * k + i] as i32 * w_q.codes[j * k + i] as i32;
+            }
+            out.data_mut()[mm * out_dim + j] = acc as f32 * rescale;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultModel;
+    use reduce_tensor::ops;
+
+    #[test]
+    fn round_trip_error_is_bounded() {
+        let t = Tensor::rand_uniform([64], -2.0, 2.0, 1);
+        let q = QuantizedTensor::quantize(&t).expect("finite data");
+        let back = q.dequantize().expect("well-formed");
+        let bound = q.max_quantization_error();
+        for (a, b) in t.data().iter().zip(back.data()) {
+            assert!((a - b).abs() <= bound + 1e-6, "{a} vs {b} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn codes_cover_full_range() {
+        let t = Tensor::from_vec(vec![-1.0, 0.0, 1.0], [3]).expect("ok");
+        let q = QuantizedTensor::quantize(&t).expect("finite data");
+        assert_eq!(q.codes(), &[-127, 0, 127]);
+        assert_eq!(q.dims(), &[3]);
+    }
+
+    #[test]
+    fn zero_tensor_quantizes() {
+        let q = QuantizedTensor::quantize(&Tensor::zeros([4])).expect("finite data");
+        assert!(q.codes().iter().all(|&c| c == 0));
+        assert_eq!(q.dequantize().expect("ok").sum(), 0.0);
+    }
+
+    #[test]
+    fn fit_validation() {
+        assert!(QuantParams::fit(&[]).is_err());
+        assert!(QuantParams::fit(&[f32::NAN]).is_err());
+        assert!(QuantParams::fit(&[f32::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn quantized_gemm_approximates_float_gemm() {
+        let x = Tensor::rand_uniform([4, 16], -1.0, 1.0, 2);
+        let w = Tensor::rand_uniform([6, 16], -1.0, 1.0, 3);
+        let xq = QuantizedTensor::quantize(&x).expect("finite data");
+        let wq = QuantizedTensor::quantize(&w).expect("finite data");
+        let qout = quantized_gemm_nt(&xq, &wq).expect("conformable");
+        let fout = ops::matmul_nt(&x, &w).expect("conformable");
+        // Error per output ~ k * (scale_x*|w| + scale_w*|x|) / 2; generous
+        // bound for k=16, unit-range data.
+        assert!(
+            qout.approx_eq(&fout, 0.15),
+            "quantized GEMM too far from float: {:?}",
+            (&qout - &fout)
+        );
+        assert!(quantized_gemm_nt(&xq, &QuantizedTensor::quantize(&Tensor::zeros([2, 3]))
+            .expect("finite data")).is_err());
+    }
+
+    #[test]
+    fn stuck_codes_corrupt_exactly_faulty_positions() {
+        let map = FaultMap::generate(4, 4, 0.3, FaultModel::Random, 4).expect("valid rate");
+        let w = Tensor::rand_uniform([8, 8], -1.0, 1.0, 5);
+        let wq = QuantizedTensor::quantize(&w).expect("finite data");
+        let bad = wq.with_stuck_codes(&map, 127).expect("rank 2");
+        let mask = crate::mapping::fap_mask(8, 8, &map).expect("nonzero");
+        for ((orig, corrupt), m) in wq.codes().iter().zip(bad.codes()).zip(mask.data()) {
+            if *m == 0.0 {
+                assert_eq!(*corrupt, 127);
+            } else {
+                assert_eq!(corrupt, orig);
+            }
+        }
+        // Worst-case float damage of a stuck code is ±127·scale.
+        let damage = bad.dequantize().expect("ok");
+        assert!(damage.max() <= 127.0 * wq.params().scale + 1e-5);
+        // Rank validation.
+        let v = QuantizedTensor::quantize(&Tensor::zeros([4])).expect("finite data");
+        assert!(v.with_stuck_codes(&map, 0).is_err());
+    }
+
+    #[test]
+    fn stuck_zero_code_equals_fap_semantics() {
+        // FAP's bypass is representable exactly: code 0.
+        let map = FaultMap::generate(4, 4, 0.25, FaultModel::Random, 6).expect("valid rate");
+        let w = Tensor::rand_uniform([8, 8], -1.0, 1.0, 7);
+        let wq = QuantizedTensor::quantize(&w).expect("finite data");
+        let zeroed = wq.with_stuck_codes(&map, 0).expect("rank 2");
+        let deq = zeroed.dequantize().expect("ok");
+        let mask = crate::mapping::fap_mask(8, 8, &map).expect("nonzero");
+        for (v, m) in deq.data().iter().zip(mask.data()) {
+            if *m == 0.0 {
+                assert_eq!(*v, 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by fallible tensor operations.
+///
+/// All public fallible operations in this crate return
+/// `Result<_, TensorError>`. Infallible convenience wrappers that panic are
+/// provided separately and document their panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match (exactly or under the
+    /// operation's contraction rule) did not.
+    ShapeMismatch {
+        /// Human-readable operation name, e.g. `"matmul"`.
+        op: &'static str,
+        /// Left-hand / expected shape.
+        lhs: Vec<usize>,
+        /// Right-hand / actual shape.
+        rhs: Vec<usize>,
+    },
+    /// The number of data elements does not match the product of the shape
+    /// dimensions.
+    LengthMismatch {
+        /// Expected element count (product of shape dims).
+        expected: usize,
+        /// Actual element count supplied.
+        actual: usize,
+    },
+    /// An index or axis was out of bounds.
+    OutOfBounds {
+        /// What was being indexed, e.g. `"axis"` or `"row"`.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it had to satisfy.
+        bound: usize,
+    },
+    /// An argument was structurally invalid (empty shape where non-empty is
+    /// required, zero-sized kernel, stride of zero, ...).
+    InvalidArgument {
+        /// Operation name.
+        op: &'static str,
+        /// Why the argument was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::OutOfBounds { what, index, bound } => {
+                write!(f, "{what} index {index} out of bounds (< {bound} required)")
+            }
+            TensorError::InvalidArgument { op, reason } => {
+                write!(f, "invalid argument to {op}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch { op: "matmul", lhs: vec![2, 3], rhs: vec![4, 5] };
+        assert_eq!(e.to_string(), "shape mismatch in matmul: [2, 3] vs [4, 5]");
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        assert!(e.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = TensorError::OutOfBounds { what: "axis", index: 3, bound: 2 };
+        assert!(e.to_string().contains("axis index 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,577 @@
+//! Convolution and pooling kernels for NCHW tensors.
+//!
+//! Convolution is implemented by the classic im2col lowering: the input
+//! patches are unrolled into a `(N·OH·OW, C·KH·KW)` matrix so the
+//! convolution becomes one GEMM against the `(OC, C·KH·KW)` filter matrix —
+//! exactly the reshaping the systolic-array mapper in `reduce-systolic`
+//! assumes when it lays filter weights onto the PE grid.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Spatial geometry of a 2-D convolution or pooling window.
+///
+/// # Examples
+///
+/// ```
+/// use reduce_tensor::ops::Conv2dGeometry;
+///
+/// # fn main() -> Result<(), reduce_tensor::TensorError> {
+/// let g = Conv2dGeometry::new(32, 32, 3, 3, 1, 1)?;
+/// assert_eq!(g.out_h, 32); // "same" padding with 3x3/stride 1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Computes output geometry for the given window parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the stride is zero, the
+    /// kernel is empty, or the padded input is smaller than the kernel.
+    pub fn new(
+        in_h: usize,
+        in_w: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self> {
+        if stride == 0 {
+            return Err(TensorError::InvalidArgument {
+                op: "Conv2dGeometry",
+                reason: "stride must be nonzero".to_string(),
+            });
+        }
+        if kernel_h == 0 || kernel_w == 0 {
+            return Err(TensorError::InvalidArgument {
+                op: "Conv2dGeometry",
+                reason: "kernel must be non-empty".to_string(),
+            });
+        }
+        let padded_h = in_h + 2 * padding;
+        let padded_w = in_w + 2 * padding;
+        if padded_h < kernel_h || padded_w < kernel_w {
+            return Err(TensorError::InvalidArgument {
+                op: "Conv2dGeometry",
+                reason: format!(
+                    "kernel {kernel_h}x{kernel_w} larger than padded input {padded_h}x{padded_w}"
+                ),
+            });
+        }
+        Ok(Conv2dGeometry {
+            in_h,
+            in_w,
+            kernel_h,
+            kernel_w,
+            stride,
+            padding,
+            out_h: (padded_h - kernel_h) / stride + 1,
+            out_w: (padded_w - kernel_w) / stride + 1,
+        })
+    }
+
+    /// Number of output positions per image (`out_h * out_w`).
+    pub fn out_positions(&self) -> usize {
+        self.out_h * self.out_w
+    }
+}
+
+fn check_nchw(op: &'static str, x: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    let d = x.dims();
+    if d.len() != 4 {
+        return Err(TensorError::InvalidArgument {
+            op,
+            reason: format!("expected NCHW rank-4 tensor, got shape {:?}", d),
+        });
+    }
+    Ok((d[0], d[1], d[2], d[3]))
+}
+
+/// Unrolls input patches: `(N, C, H, W)` → `(N·OH·OW, C·KH·KW)`.
+///
+/// Row `n·OH·OW + oy·OW + ox` holds the flattened receptive field of output
+/// position `(oy, ox)` of image `n`; out-of-bounds (padding) taps are zero.
+///
+/// # Errors
+///
+/// Returns an error if `x` is not rank-4 or the geometry does not match its
+/// spatial dims.
+pub fn im2col(x: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw("im2col", x)?;
+    if h != geom.in_h || w != geom.in_w {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col",
+            lhs: vec![geom.in_h, geom.in_w],
+            rhs: vec![h, w],
+        });
+    }
+    let (kh, kw, s, p) = (geom.kernel_h, geom.kernel_w, geom.stride, geom.padding);
+    let (oh, ow) = (geom.out_h, geom.out_w);
+    let row_len = c * kh * kw;
+    let mut out = Tensor::zeros([n * oh * ow, row_len]);
+    let xd = x.data();
+    let od = out.data_mut();
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (img * oh + oy) * ow + ox;
+                let base = row * row_len;
+                for ch in 0..c {
+                    let chan_base = (img * c + ch) * h * w;
+                    for ky in 0..kh {
+                        let iy = (oy * s + ky) as isize - p as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // padding row stays zero
+                        }
+                        let iy = iy as usize;
+                        for kx in 0..kw {
+                            let ix = (ox * s + kx) as isize - p as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            od[base + (ch * kh + ky) * kw + kx] =
+                                xd[chan_base + iy * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Scatters column gradients back: the adjoint of [`im2col`].
+///
+/// `cols` has shape `(N·OH·OW, C·KH·KW)`; the result has shape
+/// `(N, C, H, W)` with overlapping taps accumulated.
+///
+/// # Errors
+///
+/// Returns an error if `cols` does not match the geometry.
+pub fn col2im(cols: &Tensor, n: usize, c: usize, geom: &Conv2dGeometry) -> Result<Tensor> {
+    let (rows, row_len) = cols.shape().as_matrix()?;
+    let (kh, kw, s, p) = (geom.kernel_h, geom.kernel_w, geom.stride, geom.padding);
+    let (oh, ow, h, w) = (geom.out_h, geom.out_w, geom.in_h, geom.in_w);
+    if rows != n * oh * ow || row_len != c * kh * kw {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: vec![n * oh * ow, c * kh * kw],
+            rhs: vec![rows, row_len],
+        });
+    }
+    let mut out = Tensor::zeros([n, c, h, w]);
+    let cd = cols.data();
+    let od = out.data_mut();
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (img * oh + oy) * ow + ox;
+                let base = row * row_len;
+                for ch in 0..c {
+                    let chan_base = (img * c + ch) * h * w;
+                    for ky in 0..kh {
+                        let iy = (oy * s + ky) as isize - p as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for kx in 0..kw {
+                            let ix = (ox * s + kx) as isize - p as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            od[chan_base + iy * w + ix as usize] +=
+                                cd[base + (ch * kh + ky) * kw + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Reorders a `(N·OH·OW, OC)` GEMM output into NCHW `(N, OC, OH, OW)`.
+///
+/// # Errors
+///
+/// Returns an error on inconsistent dimensions.
+pub fn rows_to_nchw(rows: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Result<Tensor> {
+    let (r, c) = rows.shape().as_matrix()?;
+    if r != n * oh * ow || c != oc {
+        return Err(TensorError::ShapeMismatch {
+            op: "rows_to_nchw",
+            lhs: vec![n * oh * ow, oc],
+            rhs: vec![r, c],
+        });
+    }
+    let mut out = Tensor::zeros([n, oc, oh, ow]);
+    let rd = rows.data();
+    let od = out.data_mut();
+    for img in 0..n {
+        for y in 0..oh {
+            for x in 0..ow {
+                let row = (img * oh + y) * ow + x;
+                for ch in 0..oc {
+                    od[((img * oc + ch) * oh + y) * ow + x] = rd[row * oc + ch];
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Inverse of [`rows_to_nchw`]: NCHW `(N, OC, OH, OW)` → `(N·OH·OW, OC)`.
+///
+/// # Errors
+///
+/// Returns an error if `x` is not rank-4.
+pub fn nchw_to_rows(x: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw("nchw_to_rows", x)?;
+    let mut out = Tensor::zeros([n * h * w, c]);
+    let xd = x.data();
+    let od = out.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            for y in 0..h {
+                for xcol in 0..w {
+                    let row = (img * h + y) * w + xcol;
+                    od[row * c + ch] = xd[((img * c + ch) * h + y) * w + xcol];
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Output of [`max_pool2d`]: pooled values plus flat argmax indices used by
+/// the backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxPoolOutput {
+    /// Pooled tensor `(N, C, OH, OW)`.
+    pub output: Tensor,
+    /// For each output element, the flat index into the input tensor of the
+    /// element that produced it.
+    pub argmax: Vec<usize>,
+}
+
+/// 2-D max pooling over an NCHW tensor (no padding).
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 input, a zero window/stride, or a window
+/// larger than the input.
+pub fn max_pool2d(x: &Tensor, window: usize, stride: usize) -> Result<MaxPoolOutput> {
+    let (n, c, h, w) = check_nchw("max_pool2d", x)?;
+    let geom = Conv2dGeometry::new(h, w, window, window, stride, 0)?;
+    let (oh, ow) = (geom.out_h, geom.out_w);
+    let mut output = Tensor::zeros([n, c, oh, ow]);
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let xd = x.data();
+    let od = output.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            let chan_base = (img * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = chan_base + (oy * stride) * w + ox * stride;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            let idx = chan_base + (oy * stride + ky) * w + (ox * stride + kx);
+                            if xd[idx] > best {
+                                best = xd[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let out_idx = ((img * c + ch) * oh + oy) * ow + ox;
+                    od[out_idx] = best;
+                    argmax[out_idx] = best_idx;
+                }
+            }
+        }
+    }
+    Ok(MaxPoolOutput { output, argmax })
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the input
+/// element that won the max.
+///
+/// # Errors
+///
+/// Returns an error if `grad` and `argmax` lengths differ.
+pub fn max_pool2d_backward(
+    grad: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+) -> Result<Tensor> {
+    if grad.len() != argmax.len() {
+        return Err(TensorError::LengthMismatch { expected: argmax.len(), actual: grad.len() });
+    }
+    let mut out = Tensor::zeros(input_dims.to_vec());
+    let od = out.data_mut();
+    for (g, &idx) in grad.data().iter().zip(argmax) {
+        od[idx] += g;
+    }
+    Ok(out)
+}
+
+/// 2-D average pooling over an NCHW tensor (no padding).
+///
+/// # Errors
+///
+/// Same conditions as [`max_pool2d`].
+pub fn avg_pool2d(x: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw("avg_pool2d", x)?;
+    let geom = Conv2dGeometry::new(h, w, window, window, stride, 0)?;
+    let (oh, ow) = (geom.out_h, geom.out_w);
+    let inv = 1.0 / (window * window) as f32;
+    let mut output = Tensor::zeros([n, c, oh, ow]);
+    let xd = x.data();
+    let od = output.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            let chan_base = (img * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            acc += xd[chan_base + (oy * stride + ky) * w + (ox * stride + kx)];
+                        }
+                    }
+                    od[((img * c + ch) * oh + oy) * ow + ox] = acc * inv;
+                }
+            }
+        }
+    }
+    Ok(output)
+}
+
+/// Backward pass of [`avg_pool2d`]: spreads each output gradient uniformly
+/// over its window.
+///
+/// # Errors
+///
+/// Returns an error if dims are inconsistent with the window geometry.
+pub fn avg_pool2d_backward(
+    grad: &Tensor,
+    input_dims: &[usize],
+    window: usize,
+    stride: usize,
+) -> Result<Tensor> {
+    let d = grad.dims().to_vec();
+    if d.len() != 4 || input_dims.len() != 4 {
+        return Err(TensorError::InvalidArgument {
+            op: "avg_pool2d_backward",
+            reason: "expected rank-4 grad and input dims".to_string(),
+        });
+    }
+    let (n, c, oh, ow) = (d[0], d[1], d[2], d[3]);
+    let (h, w) = (input_dims[2], input_dims[3]);
+    let inv = 1.0 / (window * window) as f32;
+    let mut out = Tensor::zeros(input_dims.to_vec());
+    let gd = grad.data();
+    let od = out.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            let chan_base = (img * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = gd[((img * c + ch) * oh + oy) * ow + ox] * inv;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            od[chan_base + (oy * stride + ky) * w + (ox * stride + kx)] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matmul::matmul_nt;
+
+    /// Direct (definition-level) convolution used as an oracle.
+    fn naive_conv(x: &Tensor, w: &Tensor, geom: &Conv2dGeometry) -> Tensor {
+        let xd = x.dims().to_vec();
+        let (n, c, h, wd) = (xd[0], xd[1], xd[2], xd[3]);
+        let wdims = w.dims().to_vec();
+        let oc = wdims[0];
+        let (kh, kw, s, p) = (geom.kernel_h, geom.kernel_w, geom.stride, geom.padding);
+        let (oh, ow) = (geom.out_h, geom.out_w);
+        Tensor::from_fn([n, oc, oh, ow], |flat| {
+            let ox = flat % ow;
+            let oy = (flat / ow) % oh;
+            let f = (flat / (ow * oh)) % oc;
+            let img = flat / (ow * oh * oc);
+            let mut acc = 0.0f32;
+            for ch in 0..c {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let iy = (oy * s + ky) as isize - p as isize;
+                        let ix = (ox * s + kx) as isize - p as isize;
+                        if iy < 0 || ix < 0 || iy >= h as isize || ix >= wd as isize {
+                            continue;
+                        }
+                        let xval = x.data()[((img * c + ch) * h + iy as usize) * wd + ix as usize];
+                        let wval = w.data()[((f * c + ch) * kh + ky) * kw + kx];
+                        acc += xval * wval;
+                    }
+                }
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn geometry_same_padding() {
+        let g = Conv2dGeometry::new(8, 8, 3, 3, 1, 1).expect("valid");
+        assert_eq!((g.out_h, g.out_w), (8, 8));
+        assert_eq!(g.out_positions(), 64);
+    }
+
+    #[test]
+    fn geometry_strided() {
+        let g = Conv2dGeometry::new(8, 8, 2, 2, 2, 0).expect("valid");
+        assert_eq!((g.out_h, g.out_w), (4, 4));
+    }
+
+    #[test]
+    fn geometry_rejects_bad_args() {
+        assert!(Conv2dGeometry::new(8, 8, 3, 3, 0, 0).is_err());
+        assert!(Conv2dGeometry::new(8, 8, 0, 3, 1, 0).is_err());
+        assert!(Conv2dGeometry::new(2, 2, 5, 5, 1, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_gemm_matches_naive_conv() {
+        let geom = Conv2dGeometry::new(6, 5, 3, 3, 1, 1).expect("valid");
+        let x = Tensor::rand_uniform([2, 3, 6, 5], -1.0, 1.0, 11);
+        let w = Tensor::rand_uniform([4, 3 * 3 * 3], -1.0, 1.0, 12);
+        let cols = im2col(&x, &geom).expect("geometry matches");
+        let rows = matmul_nt(&cols, &w).expect("conformable");
+        let got = rows_to_nchw(&rows, 2, 4, geom.out_h, geom.out_w).expect("consistent");
+        let w4 = w.reshape([4, 3, 3, 3]).expect("same volume");
+        let want = naive_conv(&x, &w4, &geom);
+        assert!(got.approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    fn im2col_strided_no_padding() {
+        let geom = Conv2dGeometry::new(4, 4, 2, 2, 2, 0).expect("valid");
+        let x = Tensor::from_fn([1, 1, 4, 4], |i| i as f32);
+        let cols = im2col(&x, &geom).expect("geometry matches");
+        assert_eq!(cols.dims(), &[4, 4]);
+        // First patch is the top-left 2x2 block.
+        assert_eq!(cols.row(0).expect("in range").data(), &[0.0, 1.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn im2col_rejects_wrong_spatial_dims() {
+        let geom = Conv2dGeometry::new(6, 6, 3, 3, 1, 1).expect("valid");
+        let x = Tensor::zeros([1, 1, 5, 5]);
+        assert!(im2col(&x, &geom).is_err());
+        assert!(im2col(&Tensor::zeros([5, 5]), &geom).is_err());
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of the adjoint, which is exactly what backprop needs.
+        let geom = Conv2dGeometry::new(5, 5, 3, 3, 1, 1).expect("valid");
+        let x = Tensor::rand_uniform([1, 2, 5, 5], -1.0, 1.0, 21);
+        let cols = im2col(&x, &geom).expect("geometry matches");
+        let y = Tensor::rand_uniform(cols.dims().to_vec(), -1.0, 1.0, 22);
+        let xback = col2im(&y, 1, 2, &geom).expect("consistent");
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(xback.data()).map(|(&a, &b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn rows_nchw_round_trip() {
+        let x = Tensor::rand_uniform([2, 3, 4, 5], -1.0, 1.0, 31);
+        let rows = nchw_to_rows(&x).expect("rank 4");
+        let back = rows_to_nchw(&rows, 2, 3, 4, 5).expect("consistent");
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn max_pool_forward() {
+        let x = Tensor::from_fn([1, 1, 4, 4], |i| i as f32);
+        let p = max_pool2d(&x, 2, 2).expect("valid window");
+        assert_eq!(p.output.dims(), &[1, 1, 2, 2]);
+        assert_eq!(p.output.data(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_fn([1, 1, 4, 4], |i| i as f32);
+        let p = max_pool2d(&x, 2, 2).expect("valid window");
+        let g = Tensor::ones(p.output.dims().to_vec());
+        let gx = max_pool2d_backward(&g, &p.argmax, x.dims()).expect("consistent");
+        assert_eq!(gx.sum(), 4.0);
+        assert_eq!(gx.at(&[0, 0, 1, 1]).expect("valid"), 1.0); // element 5
+        assert_eq!(gx.at(&[0, 0, 0, 0]).expect("valid"), 0.0);
+    }
+
+    #[test]
+    fn avg_pool_forward_backward() {
+        let x = Tensor::from_fn([1, 1, 2, 2], |i| i as f32);
+        let y = avg_pool2d(&x, 2, 2).expect("valid window");
+        assert_eq!(y.data(), &[1.5]);
+        let gx = avg_pool2d_backward(&y, x.dims(), 2, 2).expect("consistent");
+        assert!(gx.data().iter().all(|&v| (v - 0.375).abs() < 1e-6));
+    }
+
+    #[test]
+    fn pool_gradcheck_against_finite_difference() {
+        let x = Tensor::rand_uniform([1, 2, 4, 4], -1.0, 1.0, 41);
+        let p = max_pool2d(&x, 2, 2).expect("valid window");
+        // Loss = sum of pooled outputs; analytic gradient routes ones.
+        let g = Tensor::ones(p.output.dims().to_vec());
+        let gx = max_pool2d_backward(&g, &p.argmax, x.dims()).expect("consistent");
+        let eps = 1e-3;
+        for probe in [0usize, 5, 17, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[probe] += eps;
+            let lp = max_pool2d(&xp, 2, 2).expect("valid window").output.sum();
+            let mut xm = x.clone();
+            xm.data_mut()[probe] -= eps;
+            let lm = max_pool2d(&xm, 2, 2).expect("valid window").output.sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - gx.data()[probe]).abs() < 1e-2,
+                "probe {probe}: fd {fd} vs analytic {}",
+                gx.data()[probe]
+            );
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Blocked matrix multiplication kernels.
+//!
+//! Three GEMM variants cover everything the NN framework needs without ever
+//! materialising transposes on the hot path:
+//!
+//! * [`matmul`]      — `C = A · B`
+//! * [`matmul_tn`]   — `C = Aᵀ · B` (weight gradients)
+//! * [`matmul_nt`]   — `C = A · Bᵀ` (input gradients)
+//!
+//! The kernels are cache-blocked over the reduction dimension and use the
+//! `ikj` loop order so the innermost loop is a contiguous FMA over the
+//! output row, which LLVM auto-vectorises.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Reduction-dimension block size; sized so one A-row block plus the C row
+/// fit comfortably in L1.
+const BLOCK_K: usize = 64;
+
+fn check_matmul(op: &'static str, a: &Tensor, b: &Tensor, ka: usize, kb: usize) -> Result<()> {
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    Ok(())
+}
+
+/// Computes `C = A · B` for rank-2 tensors `A: (m, k)` and `B: (k, n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for non-matrix inputs and
+/// [`TensorError::ShapeMismatch`] if the inner dimensions differ.
+///
+/// # Examples
+///
+/// ```
+/// use reduce_tensor::{ops::matmul, Tensor};
+///
+/// # fn main() -> Result<(), reduce_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])?;
+/// let id = Tensor::eye(2);
+/// assert_eq!(matmul(&a, &id)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_matrix()?;
+    let (kb, n) = b.shape().as_matrix()?;
+    check_matmul("matmul", a, b, k, kb)?;
+    let mut c = Tensor::zeros([m, n]);
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    for k0 in (0..k).step_by(BLOCK_K) {
+        let k1 = (k0 + BLOCK_K).min(k);
+        for i in 0..m {
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for p in k0..k1 {
+                let aip = ad[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &bd[p * n..(p + 1) * n];
+                for (cx, &bx) in crow.iter_mut().zip(brow) {
+                    *cx += aip * bx;
+                }
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Computes `C = Aᵀ · B` for `A: (k, m)` and `B: (k, n)` without copying.
+///
+/// This is the kernel for weight gradients: `dW = Xᵀ · dY`.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = a.shape().as_matrix()?;
+    let (kb, n) = b.shape().as_matrix()?;
+    check_matmul("matmul_tn", a, b, k, kb)?;
+    let mut c = Tensor::zeros([m, n]);
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    // For each shared row p, rank-1 update C += a_p ⊗ b_p.
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &ax) in arow.iter().enumerate() {
+            if ax == 0.0 {
+                continue;
+            }
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for (cx, &bx) in crow.iter_mut().zip(brow) {
+                *cx += ax * bx;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Computes `C = A · Bᵀ` for `A: (m, k)` and `B: (n, k)` without copying.
+///
+/// This is the kernel for input gradients: `dX = dY · W` with `W: (out, in)`
+/// stored row-major, i.e. `dX = dY · (Wᵀ)ᵀ`.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_matrix()?;
+    let (n, kb) = b.shape().as_matrix()?;
+    check_matmul("matmul_nt", a, b, k, kb)?;
+    let mut c = Tensor::zeros([m, n]);
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let crow = &mut cd[i * n..(i + 1) * n];
+        for (j, cx) in crow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&ax, &bx) in arow.iter().zip(brow) {
+                acc += ax * bx;
+            }
+            *cx = acc;
+        }
+    }
+    Ok(c)
+}
+
+/// Dot product of two rank-1 tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if lengths differ or inputs are
+/// not rank-1.
+pub fn dot(a: &Tensor, b: &Tensor) -> Result<f32> {
+    if a.rank() != 1 || b.rank() != 1 || a.len() != b.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "dot",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    Ok(a.data().iter().zip(b.data()).map(|(&x, &y)| x * y).sum())
+}
+
+/// Adds a rank-1 `bias` of length `n` to every row of a `(m, n)` matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the bias length differs from
+/// the column count.
+pub fn add_bias_rows(x: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    let (m, n) = x.shape().as_matrix()?;
+    if bias.rank() != 1 || bias.len() != n {
+        return Err(TensorError::ShapeMismatch {
+            op: "add_bias_rows",
+            lhs: x.dims().to_vec(),
+            rhs: bias.dims().to_vec(),
+        });
+    }
+    let mut out = x.clone();
+    let bd = bias.data();
+    for i in 0..m {
+        let row = &mut out.data_mut()[i * n..(i + 1) * n];
+        for (r, &b) in row.iter_mut().zip(bd) {
+            *r += b;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape().as_matrix().expect("matrix");
+        let (_, n) = b.shape().as_matrix().expect("matrix");
+        Tensor::from_fn([m, n], |idx| {
+            let (i, j) = (idx / n, idx % n);
+            (0..k).map(|p| a.data()[i * k + p] * b.data()[p * n + j]).sum()
+        })
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::rand_uniform([4, 4], -1.0, 1.0, 1);
+        let c = matmul(&a, &Tensor::eye(4)).expect("conformable");
+        assert!(c.approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = Tensor::rand_uniform([7, 13], -1.0, 1.0, 2);
+        let b = Tensor::rand_uniform([13, 5], -1.0, 1.0, 3);
+        let c = matmul(&a, &b).expect("conformable");
+        assert!(c.approx_eq(&naive_matmul(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_blocked_large_k() {
+        // k > BLOCK_K so several blocks are exercised.
+        let a = Tensor::rand_uniform([3, 200], -1.0, 1.0, 4);
+        let b = Tensor::rand_uniform([200, 2], -1.0, 1.0, 5);
+        let c = matmul(&a, &b).expect("conformable");
+        assert!(c.approx_eq(&naive_matmul(&a, &b), 1e-3));
+    }
+
+    #[test]
+    fn matmul_rejects_mismatch() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul(&a, &Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = Tensor::rand_uniform([9, 4], -1.0, 1.0, 6);
+        let b = Tensor::rand_uniform([9, 6], -1.0, 1.0, 7);
+        let via_kernel = matmul_tn(&a, &b).expect("conformable");
+        let via_copy = matmul(&a.transpose().expect("matrix"), &b).expect("conformable");
+        assert!(via_kernel.approx_eq(&via_copy, 1e-4));
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = Tensor::rand_uniform([5, 8], -1.0, 1.0, 8);
+        let b = Tensor::rand_uniform([3, 8], -1.0, 1.0, 9);
+        let via_kernel = matmul_nt(&a, &b).expect("conformable");
+        let via_copy = matmul(&a, &b.transpose().expect("matrix")).expect("conformable");
+        assert!(via_kernel.approx_eq(&via_copy, 1e-4));
+    }
+
+    #[test]
+    fn dot_basic() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]).expect("ok");
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], [3]).expect("ok");
+        assert_eq!(dot(&a, &b).expect("same length"), 32.0);
+        assert!(dot(&a, &Tensor::zeros([2])).is_err());
+    }
+
+    #[test]
+    fn add_bias_broadcasts_over_rows() {
+        let x = Tensor::zeros([2, 3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]).expect("ok");
+        let y = add_bias_rows(&x, &b).expect("conformable");
+        assert_eq!(y.row(0).expect("in range").data(), &[1.0, 2.0, 3.0]);
+        assert_eq!(y.row(1).expect("in range").data(), &[1.0, 2.0, 3.0]);
+        assert!(add_bias_rows(&x, &Tensor::zeros([2])).is_err());
+    }
+
+    #[test]
+    fn zero_sized_matmul() {
+        let a = Tensor::zeros([0, 3]);
+        let b = Tensor::zeros([3, 2]);
+        let c = matmul(&a, &b).expect("conformable");
+        assert_eq!(c.dims(), &[0, 2]);
+    }
+}

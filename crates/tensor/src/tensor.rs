@@ -1,0 +1,805 @@
+//! The dense, row-major `f32` tensor type.
+
+use crate::error::{Result, TensorError};
+use crate::shape::Shape;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// This is the single numeric container used throughout the Reduce
+/// reproduction: activations, weights, gradients and fault masks are all
+/// `Tensor`s. Data is always contiguous; reshapes are O(1), transposes copy.
+///
+/// # Examples
+///
+/// ```
+/// use reduce_tensor::Tensor;
+///
+/// # fn main() -> Result<(), reduce_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])?;
+/// let b = Tensor::full([2, 2], 10.0);
+/// let c = (&a + &b)?;
+/// assert_eq!(c.data(), &[11.0, 12.0, 13.0, 14.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros<S: Into<Shape>>(shape: S) -> Self {
+        let shape = shape.into();
+        let n = shape.volume();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones<S: Into<Shape>>(shape: S) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full<S: Into<Shape>>(shape: S, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.volume();
+        Tensor { shape, data: vec![value; n] }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the shape volume.
+    pub fn from_vec<S: Into<Shape>>(data: Vec<f32>, shape: S) -> Result<Self> {
+        let shape = shape.into();
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f` at every flat (row-major) index.
+    pub fn from_fn<S: Into<Shape>, F: FnMut(usize) -> f32>(shape: S, f: F) -> Self {
+        let shape = shape.into();
+        let n = shape.volume();
+        let data = (0..n).map(f).collect();
+        Tensor { shape, data }
+    }
+
+    /// Creates a scalar (rank-0) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: Shape::scalar(), data: vec![value] }
+    }
+
+    /// Creates a tensor of `n` evenly spaced values in `[start, end)`.
+    pub fn arange(start: f32, end: f32, step: f32) -> Self {
+        assert!(step != 0.0, "arange step must be nonzero");
+        let n = if (end - start) / step > 0.0 { ((end - start) / step).ceil() as usize } else { 0 };
+        let data: Vec<f32> = (0..n).map(|i| start + step * i as f32).collect();
+        let len = data.len();
+        Tensor { shape: Shape::from([len]), data }
+    }
+
+    /// Creates a tensor with i.i.d. uniform values in `[lo, hi)`, seeded.
+    pub fn rand_uniform<S: Into<Shape>>(shape: S, lo: f32, hi: f32, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Self::rand_uniform_with(shape, lo, hi, &mut rng)
+    }
+
+    /// Like [`Tensor::rand_uniform`] but drawing from a caller-owned RNG.
+    pub fn rand_uniform_with<S: Into<Shape>, R: Rng>(shape: S, lo: f32, hi: f32, rng: &mut R) -> Self {
+        let shape = shape.into();
+        let n = shape.volume();
+        let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor with i.i.d. normal values `N(mean, std^2)`, seeded.
+    pub fn rand_normal<S: Into<Shape>>(shape: S, mean: f32, std: f32, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Self::rand_normal_with(shape, mean, std, &mut rng)
+    }
+
+    /// Like [`Tensor::rand_normal`] but drawing from a caller-owned RNG.
+    ///
+    /// Uses the Box–Muller transform so only `rand`'s uniform source is
+    /// needed.
+    pub fn rand_normal_with<S: Into<Shape>, R: Rng>(shape: S, mean: f32, std: f32, rng: &mut R) -> Self {
+        let shape = shape.into();
+        let n = shape.volume();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(mean + std * r * theta.cos());
+            if data.len() < n {
+                data.push(mean + std * r * theta.sin());
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros([n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension extents as a slice (shortcut for `shape().dims()`).
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Immutable view of the underlying row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index errors from [`Shape::offset`].
+    pub fn at(&self, idx: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(idx)?])
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index errors from [`Shape::offset`].
+    pub fn set(&mut self, idx: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(idx)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// The single value of a scalar or single-element tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the tensor has more than
+    /// one element.
+    pub fn item(&self) -> Result<f32> {
+        if self.data.len() != 1 {
+            return Err(TensorError::InvalidArgument {
+                op: "item",
+                reason: format!("tensor has {} elements, expected 1", self.data.len()),
+            });
+        }
+        Ok(self.data[0])
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if volumes differ.
+    pub fn reshape<S: Into<Shape>>(&self, shape: S) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor { shape, data: self.data.clone() })
+    }
+
+    /// In-place variant of [`Tensor::reshape`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if volumes differ.
+    pub fn reshape_in_place<S: Into<Shape>>(&mut self, shape: S) -> Result<()> {
+        let shape = shape.into();
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        self.shape = shape;
+        Ok(())
+    }
+
+    /// Transpose of a rank-2 tensor (copies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for non-matrix tensors.
+    pub fn transpose(&self) -> Result<Tensor> {
+        let (r, c) = self.shape.as_matrix()?;
+        let mut out = Tensor::zeros([c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Copies row `i` of a rank-2 tensor into a rank-1 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrix tensors or out-of-range rows.
+    pub fn row(&self, i: usize) -> Result<Tensor> {
+        let (r, c) = self.shape.as_matrix()?;
+        if i >= r {
+            return Err(TensorError::OutOfBounds { what: "row", index: i, bound: r });
+        }
+        Ok(Tensor { shape: Shape::from([c]), data: self.data[i * c..(i + 1) * c].to_vec() })
+    }
+
+    /// Borrow of row `i` of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrix tensors or out-of-range rows.
+    pub fn row_slice(&self, i: usize) -> Result<&[f32]> {
+        let (r, c) = self.shape.as_matrix()?;
+        if i >= r {
+            return Err(TensorError::OutOfBounds { what: "row", index: i, bound: r });
+        }
+        Ok(&self.data[i * c..(i + 1) * c])
+    }
+
+    /// Copies rows `[start, end)` of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrix tensors or invalid ranges.
+    pub fn rows(&self, start: usize, end: usize) -> Result<Tensor> {
+        let (r, c) = self.shape.as_matrix()?;
+        if start > end || end > r {
+            return Err(TensorError::OutOfBounds { what: "row range end", index: end, bound: r + 1 });
+        }
+        Ok(Tensor {
+            shape: Shape::from([end - start, c]),
+            data: self.data[start * c..end * c].to_vec(),
+        })
+    }
+
+    /// Stacks rank-1 tensors of equal length into a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `rows` is empty or rows
+    /// disagree in length or rank.
+    pub fn stack_rows(rows: &[Tensor]) -> Result<Tensor> {
+        let first = rows.first().ok_or(TensorError::InvalidArgument {
+            op: "stack_rows",
+            reason: "no rows given".to_string(),
+        })?;
+        if first.rank() != 1 {
+            return Err(TensorError::InvalidArgument {
+                op: "stack_rows",
+                reason: format!("expected rank-1 rows, got rank {}", first.rank()),
+            });
+        }
+        let c = first.len();
+        let mut data = Vec::with_capacity(rows.len() * c);
+        for row in rows {
+            if row.len() != c || row.rank() != 1 {
+                return Err(TensorError::ShapeMismatch {
+                    op: "stack_rows",
+                    lhs: first.dims().to_vec(),
+                    rhs: row.dims().to_vec(),
+                });
+            }
+            data.extend_from_slice(&row.data);
+        }
+        Ok(Tensor { shape: Shape::from([rows.len(), c]), data })
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise maps
+    // ------------------------------------------------------------------
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_in_place<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shape tensors elementwise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn zip_map<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "zip_map",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Tensor { shape: self.shape.clone(), data })
+    }
+
+    /// In-place `self[i] = f(self[i], other[i])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn zip_map_in_place<F: Fn(f32, f32) -> f32>(&mut self, other: &Tensor, f: F) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "zip_map_in_place",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a = f(*a, b);
+        }
+        Ok(())
+    }
+
+    /// `self += alpha * other` (BLAS `axpy`), shapes must match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        self.zip_map_in_place(other, |a, b| a + alpha * b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (`-inf` for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (`+inf` for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the largest element (first on ties).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for an empty tensor.
+    pub fn argmax(&self) -> Result<usize> {
+        if self.data.is_empty() {
+            return Err(TensorError::InvalidArgument {
+                op: "argmax",
+                reason: "empty tensor".to_string(),
+            });
+        }
+        let mut best = 0usize;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Per-row argmax of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for non-matrix tensors or
+    /// zero columns.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        let (r, c) = self.shape.as_matrix()?;
+        if c == 0 {
+            return Err(TensorError::InvalidArgument {
+                op: "argmax_rows",
+                reason: "zero columns".to_string(),
+            });
+        }
+        let mut out = Vec::with_capacity(r);
+        for i in 0..r {
+            let row = &self.data[i * c..(i + 1) * c];
+            let mut best = 0usize;
+            for (j, &x) in row.iter().enumerate() {
+                if x > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Sum over rows of a rank-2 tensor, yielding a rank-1 tensor of length
+    /// `cols` (the column sums). This is the reduction used for bias
+    /// gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for non-matrix tensors.
+    pub fn sum_rows(&self) -> Result<Tensor> {
+        let (r, c) = self.shape.as_matrix()?;
+        let mut out = vec![0.0f32; c];
+        for i in 0..r {
+            for (o, &v) in out.iter_mut().zip(&self.data[i * c..(i + 1) * c]) {
+                *o += v;
+            }
+        }
+        Ok(Tensor { shape: Shape::from([c]), data: out })
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Fraction of elements that are exactly zero.
+    pub fn sparsity(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.data.iter().filter(|&&x| x == 0.0).count();
+        zeros as f32 / self.data.len() as f32
+    }
+
+    /// Returns `true` if all elements are finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Elementwise approximate equality within `tol` (absolute).
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self.data.iter().zip(&other.data).all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{}[", self.shape)?;
+        let n = self.data.len().min(8);
+        for (i, x) in self.data[..n].iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.4}")?;
+        }
+        if self.data.len() > n {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op_name:literal, $f:expr) => {
+        impl $trait for &Tensor {
+            type Output = Result<Tensor>;
+            fn $method(self, rhs: &Tensor) -> Result<Tensor> {
+                if self.shape != rhs.shape {
+                    return Err(TensorError::ShapeMismatch {
+                        op: $op_name,
+                        lhs: self.dims().to_vec(),
+                        rhs: rhs.dims().to_vec(),
+                    });
+                }
+                self.zip_map(rhs, $f)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, "add", |a, b| a + b);
+impl_binop!(Sub, sub, "sub", |a, b| a - b);
+impl_binop!(Mul, mul, "mul", |a, b| a * b);
+impl_binop!(Div, div, "div", |a, b| a / b);
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: f32) -> Tensor {
+        self.map(|x| x * rhs)
+    }
+}
+
+impl Add<f32> for &Tensor {
+    type Output = Tensor;
+    fn add(self, rhs: f32) -> Tensor {
+        self.map(|x| x + rhs)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.map(|x| -x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_full() {
+        let z = Tensor::zeros([2, 3]);
+        assert_eq!(z.len(), 6);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let o = Tensor::ones([2, 3]);
+        assert!(o.data().iter().all(|&x| x == 1.0));
+        let f = Tensor::full([2], 4.5);
+        assert_eq!(f.data(), &[4.5, 4.5]);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], [3]).is_err());
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]).expect("lengths match");
+        assert_eq!(t.dims(), &[3]);
+    }
+
+    #[test]
+    fn from_fn_indexes_row_major() {
+        let t = Tensor::from_fn([2, 2], |i| i as f32);
+        assert_eq!(t.data(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(t.at(&[1, 0]).expect("valid"), 2.0);
+    }
+
+    #[test]
+    fn arange_basic() {
+        let t = Tensor::arange(0.0, 1.0, 0.25);
+        assert_eq!(t.data(), &[0.0, 0.25, 0.5, 0.75]);
+        assert!(Tensor::arange(1.0, 0.0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn rand_is_deterministic_per_seed() {
+        let a = Tensor::rand_uniform([16], -1.0, 1.0, 42);
+        let b = Tensor::rand_uniform([16], -1.0, 1.0, 42);
+        let c = Tensor::rand_uniform([16], -1.0, 1.0, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.data().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn rand_normal_moments() {
+        let t = Tensor::rand_normal([10_000], 2.0, 0.5, 7);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn eye_has_unit_diagonal() {
+        let t = Tensor::eye(3);
+        assert_eq!(t.at(&[0, 0]).expect("valid"), 1.0);
+        assert_eq!(t.at(&[0, 1]).expect("valid"), 0.0);
+        assert_eq!(t.sum(), 3.0);
+    }
+
+    #[test]
+    fn item_on_scalar() {
+        assert_eq!(Tensor::scalar(3.0).item().expect("scalar"), 3.0);
+        assert!(Tensor::zeros([2]).item().is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_fn([2, 3], |i| i as f32);
+        let r = t.reshape([3, 2]).expect("same volume");
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape([4]).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let t = Tensor::from_fn([2, 3], |i| i as f32);
+        let tt = t.transpose().expect("matrix");
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.at(&[2, 1]).expect("valid"), t.at(&[1, 2]).expect("valid"));
+        assert_eq!(tt.transpose().expect("matrix"), t);
+    }
+
+    #[test]
+    fn row_and_rows() {
+        let t = Tensor::from_fn([3, 2], |i| i as f32);
+        assert_eq!(t.row(1).expect("in range").data(), &[2.0, 3.0]);
+        assert_eq!(t.rows(1, 3).expect("in range").dims(), &[2, 2]);
+        assert!(t.row(3).is_err());
+        assert!(t.rows(2, 4).is_err());
+    }
+
+    #[test]
+    fn stack_rows_round_trip() {
+        let rows = vec![
+            Tensor::from_vec(vec![1.0, 2.0], [2]).expect("ok"),
+            Tensor::from_vec(vec![3.0, 4.0], [2]).expect("ok"),
+        ];
+        let m = Tensor::stack_rows(&rows).expect("consistent rows");
+        assert_eq!(m.dims(), &[2, 2]);
+        assert_eq!(m.row(0).expect("in range"), rows[0]);
+        assert!(Tensor::stack_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]).expect("ok");
+        let b = Tensor::from_vec(vec![3.0, 5.0], [2]).expect("ok");
+        assert_eq!((&a + &b).expect("same shape").data(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).expect("same shape").data(), &[2.0, 3.0]);
+        assert_eq!((&a * &b).expect("same shape").data(), &[3.0, 10.0]);
+        assert_eq!((&b / &a).expect("same shape").data(), &[3.0, 2.5]);
+        assert_eq!((&a * 2.0).data(), &[2.0, 4.0]);
+        assert_eq!((&a + 1.0).data(), &[2.0, 3.0]);
+        assert_eq!((-&a).data(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch_is_error() {
+        let a = Tensor::zeros([2]);
+        let b = Tensor::zeros([3]);
+        assert!((&a + &b).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones([3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]).expect("ok");
+        a.axpy(0.5, &b).expect("same shape");
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.0], [4]).expect("ok");
+        assert_eq!(t.sum(), 2.0);
+        assert_eq!(t.mean(), 0.5);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.argmax().expect("non-empty"), 2);
+        assert_eq!(t.norm_sq(), 14.0);
+        assert!((t.sparsity() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_on_tie() {
+        let t = Tensor::from_vec(vec![1.0, 1.0, 0.0, 2.0], [2, 2]).expect("ok");
+        assert_eq!(t.argmax_rows().expect("matrix"), vec![0, 1]);
+    }
+
+    #[test]
+    fn sum_rows_gives_column_sums() {
+        let t = Tensor::from_fn([2, 3], |i| i as f32);
+        let s = t.sum_rows().expect("matrix");
+        assert_eq!(s.data(), &[3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut t = Tensor::ones([2]);
+        assert!(t.all_finite());
+        t.data_mut()[0] = f32::NAN;
+        assert!(!t.all_finite());
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Tensor::ones([2]);
+        let b = &a + 1e-6;
+        assert!(a.approx_eq(&b, 1e-5));
+        assert!(!a.approx_eq(&b, 1e-8));
+        assert!(!a.approx_eq(&Tensor::ones([3]), 1.0));
+    }
+
+    #[test]
+    fn display_truncates() {
+        let t = Tensor::zeros([100]);
+        let s = t.to_string();
+        assert!(s.contains('…'));
+    }
+
+    #[test]
+    fn tensor_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the tensor substrate: algebraic identities that
+//! must hold for arbitrary shapes and data.
+
+use proptest::prelude::*;
+use reduce_tensor::{ops, Shape, Tensor};
+
+/// Strategy: a small matrix with bounded entries.
+fn matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |v| Tensor::from_vec(v, [r, c]).expect("length matches"))
+    })
+}
+
+/// Strategy: a pair of same-shape matrices.
+fn matrix_pair(max_dim: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        (
+            prop::collection::vec(-10.0f32..10.0, r * c),
+            prop::collection::vec(-10.0f32..10.0, r * c),
+        )
+            .prop_map(move |(a, b)| {
+                (
+                    Tensor::from_vec(a, [r, c]).expect("length matches"),
+                    Tensor::from_vec(b, [r, c]).expect("length matches"),
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn addition_commutes((a, b) in matrix_pair(8)) {
+        let ab = (&a + &b).expect("same shape");
+        let ba = (&b + &a).expect("same shape");
+        prop_assert!(ab.approx_eq(&ba, 1e-5));
+    }
+
+    #[test]
+    fn double_transpose_is_identity(a in matrix(8)) {
+        let tt = a.transpose().expect("matrix").transpose().expect("matrix");
+        prop_assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn matmul_identity_right(a in matrix(8)) {
+        let (_, c) = a.shape().as_matrix().expect("matrix");
+        let prod = ops::matmul(&a, &Tensor::eye(c)).expect("conformable");
+        prop_assert!(prod.approx_eq(&a, 1e-4));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in matrix(6), seed in 0u64..1000) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ, with B generated to conform.
+        let (_, k) = a.shape().as_matrix().expect("matrix");
+        let b = Tensor::rand_uniform([k, 5], -1.0, 1.0, seed);
+        let lhs = ops::matmul(&a, &b).expect("conformable").transpose().expect("matrix");
+        let rhs = ops::matmul(
+            &b.transpose().expect("matrix"),
+            &a.transpose().expect("matrix"),
+        ).expect("conformable");
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_nt_tn_consistent(a in matrix(6), seed in 0u64..1000) {
+        let (m, k) = a.shape().as_matrix().expect("matrix");
+        let b = Tensor::rand_uniform([3, k], -1.0, 1.0, seed);
+        let nt = ops::matmul_nt(&a, &b).expect("conformable");
+        prop_assert_eq!(nt.dims(), &[m, 3]);
+        let explicit = ops::matmul(&a, &b.transpose().expect("matrix")).expect("conformable");
+        prop_assert!(nt.approx_eq(&explicit, 1e-3));
+    }
+
+    #[test]
+    fn scale_distributes_over_add((a, b) in matrix_pair(8)) {
+        let s = 3.0f32;
+        let lhs = &(&a + &b).expect("same shape") * s;
+        let rhs = (&(&a * s) + &(&b * s)).expect("same shape");
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in matrix(8)) {
+        let p = ops::softmax_rows(&a).expect("matrix");
+        let (r, c) = p.shape().as_matrix().expect("matrix");
+        for i in 0..r {
+            let s: f32 = p.row_slice(i).expect("in range").iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+        }
+        prop_assert!(p.data().iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        let _ = c;
+    }
+
+    #[test]
+    fn reshape_preserves_sum(a in matrix(8)) {
+        let n = a.len();
+        let r = a.reshape([n]).expect("same volume");
+        prop_assert!((r.sum() - a.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sum_rows_matches_total(a in matrix(8)) {
+        let col_sums = a.sum_rows().expect("matrix");
+        prop_assert!((col_sums.sum() - a.sum()).abs() < 1e-2);
+    }
+
+    #[test]
+    fn shape_offsets_are_bijective(dims in prop::collection::vec(1usize..5, 1..4)) {
+        let s = Shape::new(dims.clone());
+        let mut seen = vec![false; s.volume()];
+        let mut idx = vec![0usize; dims.len()];
+        loop {
+            let off = s.offset(&idx).expect("valid index");
+            prop_assert!(!seen[off]);
+            seen[off] = true;
+            // Odometer increment.
+            let mut d = dims.len();
+            loop {
+                if d == 0 { break; }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < dims[d] { break; }
+                idx[d] = 0;
+                if d == 0 {
+                    prop_assert!(seen.iter().all(|&b| b));
+                    return Ok(());
+                }
+            }
+            if idx.iter().all(|&v| v == 0) { break; }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn stack_rows_inverts_row_extraction(a in matrix(6)) {
+        let (r, _) = a.shape().as_matrix().expect("matrix");
+        let rows: Vec<Tensor> = (0..r).map(|i| a.row(i).expect("in range")).collect();
+        let restacked = Tensor::stack_rows(&rows).expect("consistent rows");
+        prop_assert_eq!(restacked, a);
+    }
+}

@@ -1,0 +1,104 @@
+//! Accelerator-model tour: fault maps, FAP masks, the bypass-equals-mask
+//! identity, and the cycle/energy cost model at the paper's 256×256 scale.
+//!
+//! ```text
+//! cargo run --release --example accelerator_sim
+//! ```
+
+use reduce_systolic::{
+    fap_mask, pruned_fraction, quantized_gemm_nt, simulate_tiled_gemm, CostModel, FaultMap,
+    FaultModel, QuantizedTensor, SystolicArray,
+};
+use reduce_tensor::{ops, Tensor};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // --- A paper-scale 256x256 chip with 2% faulty PEs -------------------
+    let map = FaultMap::generate(256, 256, 0.02, FaultModel::Random, 1)?;
+    println!("{map}");
+    println!("{}", map.render_ascii(32));
+    println!(
+        "column 0 has {} faulty PEs; row 0 has {}",
+        map.column_fault_count(0),
+        map.row_fault_count(0)
+    );
+
+    // A VGG11 conv5 layer: (512, 512*3*3) GEMM weights.
+    let frac = pruned_fraction(512, 4608, &map);
+    println!(
+        "VGG11 conv5 (512x4608) on this chip: {:.3}% of weights pruned by FAP\n",
+        frac * 100.0
+    );
+
+    // --- Bypass == mask identity on a small array ------------------------
+    let small = FaultMap::generate(8, 8, 0.2, FaultModel::Random, 2)?;
+    let array = SystolicArray::new(small.clone());
+    let w = Tensor::rand_uniform([16, 16], -1.0, 1.0, 3);
+    let x = Tensor::rand_uniform([4, 16], -1.0, 1.0, 4);
+    let bypass = array.gemm(&w, &x)?;
+    let masked = ops::matmul_nt(&x, &(&w * &fap_mask(16, 16, &small)?)?)?;
+    println!(
+        "bypass-level emulation vs mask+dense GEMM agree: {}",
+        bypass.approx_eq(&masked, 1e-4)
+    );
+
+    // --- Cycle-stepped dataflow simulation --------------------------------
+    let flow = simulate_tiled_gemm(&w, &x, &small)?;
+    println!(
+        "register-accurate dataflow agrees too: {} ({} pipeline cycles for 4 tiles)",
+        flow.outputs.approx_eq(&bypass, 1e-4),
+        flow.cycles
+    );
+
+    // --- Int8 quantization (the array's native format) --------------------
+    let wq = QuantizedTensor::quantize(&w)?;
+    let xq = QuantizedTensor::quantize(&x)?;
+    let qout = quantized_gemm_nt(&xq, &wq)?;
+    let fout = ops::matmul_nt(&x, &w)?;
+    let err = (&qout - &fout)?.map(f32::abs).max();
+    println!(
+        "\nint8 GEMM vs float GEMM: max |error| {err:.4} (scale {:.5})",
+        wq.params().scale
+    );
+    let stuck = wq.with_stuck_codes(&small, 127)?;
+    println!(
+        "a stuck-at-127 weight register injects errors up to ±{:.3} — {}x the \
+         rounding error — which is why FAP bypasses to the exactly-representable 0",
+        127.0 * wq.params().scale,
+        (127.0f32 / 0.5).round()
+    );
+    let _ = stuck;
+
+    // --- Cost model -------------------------------------------------------
+    let cm = CostModel::paper();
+    // VGG11 on 32x32 inputs, batch 128: conv GEMMs (m = batch*positions).
+    let layers: Vec<(usize, usize, usize)> = vec![
+        (128 * 1024, 27, 64),
+        (128 * 256, 576, 128),
+        (128 * 64, 1152, 256),
+        (128 * 64, 2304, 256),
+        (128 * 16, 2304, 512),
+        (128 * 16, 4608, 512),
+        (128 * 4, 4608, 512),
+        (128 * 4, 4608, 512),
+        (128, 512, 4096),
+        (128, 4096, 10),
+    ];
+    let fwd = cm.forward_cycles(&layers)?;
+    let step = cm.training_step_cycles(&layers)?;
+    println!("\nVGG11 batch-128 on a 256x256 array @ {} MHz:", cm.frequency_mhz);
+    println!("  forward: {fwd} cycles ({:.3} ms)", cm.cycles_to_seconds(fwd) * 1e3);
+    println!("  train step: {step} cycles ({:.3} ms)", cm.cycles_to_seconds(step) * 1e3);
+    let epoch = cm.epoch_cycles(&layers, 50_000, 128)?;
+    println!(
+        "  one CIFAR-10 epoch: {:.2} s -> why per-chip retraining epochs are the \
+         overhead currency",
+        cm.cycles_to_seconds(epoch)
+    );
+    let macs: u64 = layers.iter().map(|&(m, i, o)| cm.gemm_macs(m, i, o)).sum();
+    println!(
+        "  epoch energy (MACs only): {:.1} J",
+        cm.macs_to_joules(3 * macs * (50_000f64 / 128.0).ceil() as u64)
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Quickstart: the fault → accuracy-drop → fault-aware-retraining loop on
+//! a single chip.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use reduce_core::{FatRunner, Mitigation, StopRule, Workbench};
+use reduce_systolic::{FaultMap, FaultModel};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. A small experiment bench: MLP on noisy Gaussian blobs.
+    let workbench = Workbench::toy(42);
+    println!("pre-training the fault-free model…");
+    let pretrained = workbench.pretrain(15)?;
+    println!("  baseline test accuracy: {:.2}%", pretrained.baseline_accuracy * 100.0);
+
+    // 2. A fabricated chip with 20% of its 8x8 PE array faulty.
+    let (rows, cols) = workbench.array_dims();
+    let fault_map = FaultMap::generate(rows, cols, 0.20, FaultModel::Random, 7)?;
+    println!("chip: {fault_map}");
+
+    // 3. Fault-aware retraining: mask the weights the faulty PEs zero, then
+    //    retrain so the surviving weights compensate.
+    let runner = FatRunner::new(workbench)?;
+    let outcome =
+        runner.run(&pretrained, &fault_map, 10, StopRule::Exact, Mitigation::Fap, 0)?;
+
+    println!(
+        "after FAP masking ({:.1}% of weights pruned): {:.2}%",
+        outcome.pruned_fraction * 100.0,
+        outcome.pre_retrain_accuracy * 100.0
+    );
+    for (epoch, acc) in outcome.accuracy_after_epoch.iter().enumerate() {
+        println!("  after {:>2} FAT epoch(s): {:.2}%", epoch + 1, acc * 100.0);
+    }
+    println!(
+        "recovered {:.2}% of the baseline with {} epochs of retraining",
+        outcome.final_accuracy() / pretrained.baseline_accuracy * 100.0,
+        outcome.epochs_run()
+    );
+    Ok(())
+}

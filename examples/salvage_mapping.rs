@@ -1,0 +1,45 @@
+//! FAP vs FAM (SalvageDNN-style fault-aware mapping): how much accuracy the
+//! saliency-driven permutation saves *before* any retraining, across fault
+//! rates.
+//!
+//! ```text
+//! cargo run --release --example salvage_mapping
+//! ```
+
+use reduce_core::{FatRunner, Mitigation, StopRule, Workbench};
+use reduce_systolic::{FaultMap, FaultModel};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let workbench = Workbench::toy(42);
+    let (rows, cols) = workbench.array_dims();
+    let pretrained = workbench.pretrain(15)?;
+    println!("baseline accuracy {:.2}%\n", pretrained.baseline_accuracy * 100.0);
+    let runner = FatRunner::new(workbench)?;
+
+    println!("rate     FAP acc   FAM acc   (mean over 5 maps, no retraining)");
+    for rate in [0.05, 0.10, 0.15, 0.20, 0.30] {
+        let mut fap_acc = 0.0f32;
+        let mut fam_acc = 0.0f32;
+        let repeats = 5;
+        for seed in 0..repeats {
+            let map = FaultMap::generate(rows, cols, rate, FaultModel::Random, seed)?;
+            fap_acc += runner
+                .run(&pretrained, &map, 0, StopRule::Exact, Mitigation::Fap, 0)?
+                .pre_retrain_accuracy;
+            fam_acc += runner
+                .run(&pretrained, &map, 0, StopRule::Exact, Mitigation::Fam, 0)?
+                .pre_retrain_accuracy;
+        }
+        println!(
+            "{:.2}   {:>7.2}%  {:>7.2}%",
+            rate,
+            fap_acc / repeats as f32 * 100.0,
+            fam_acc / repeats as f32 * 100.0
+        );
+    }
+    println!("\nFAM maps the least-salient weights onto faulty columns, so it");
+    println!("typically starts FAT from a higher accuracy — reducing the epochs");
+    println!("needed to reach the constraint (mitigation ablation A4).");
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! # reduce-repro
+//!
+//! Umbrella crate of the Reduce (DATE 2023) reproduction: re-exports the
+//! full workspace API and hosts the runnable examples (`examples/`) and
+//! cross-crate integration tests (`tests/`).
+//!
+//! See the repository README for the quickstart and DESIGN.md for the
+//! system inventory; each sub-crate's documentation covers its own layer:
+//!
+//! * [`tensor`] — dense f32 tensors and numeric kernels;
+//! * [`nn`] — the NN training framework with fault-maskable weights;
+//! * [`data`] — seeded synthetic datasets;
+//! * [`systolic`] — the faulty systolic-array accelerator model;
+//! * [`core`] — the Reduce framework itself (Steps ①–③).
+//!
+//! # Examples
+//!
+//! ```
+//! use reduce_repro::core::Workbench;
+//!
+//! # fn main() -> Result<(), reduce_repro::core::ReduceError> {
+//! let pre = Workbench::toy(1).pretrain(5)?;
+//! assert!(pre.baseline_accuracy > 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use reduce_core as core;
+pub use reduce_data as data;
+pub use reduce_nn as nn;
+pub use reduce_systolic as systolic;
+pub use reduce_tensor as tensor;

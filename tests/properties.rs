@@ -1,0 +1,132 @@
+//! Cross-crate property-based tests: invariants that must hold for
+//! arbitrary fault maps, layer shapes and policies.
+
+use proptest::prelude::*;
+use reduce_repro::core::{ResilienceTable, Statistic, TableEntry};
+use reduce_repro::systolic::{
+    affected_weights, fam_mapping, fap_mask, pruned_fraction, saliency_loss, FaultMap,
+    FaultModel, SystolicArray,
+};
+use reduce_repro::tensor::{ops, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The FAP mask equals the bypass emulation for any geometry and rate.
+    #[test]
+    fn mask_equals_bypass(
+        rows in 2usize..10,
+        cols in 2usize..10,
+        out_dim in 1usize..24,
+        in_dim in 1usize..24,
+        rate in 0.0f64..0.5,
+        seed in 0u64..500,
+    ) {
+        let map = FaultMap::generate(rows, cols, rate, FaultModel::Random, seed)
+            .expect("valid rate");
+        let array = SystolicArray::new(map.clone());
+        let w = Tensor::rand_uniform([out_dim, in_dim], -1.0, 1.0, seed + 1);
+        let x = Tensor::rand_uniform([3, in_dim], -1.0, 1.0, seed + 2);
+        let hw = array.gemm(&w, &x).expect("conformable");
+        let mask = fap_mask(out_dim, in_dim, &map).expect("nonzero dims");
+        let sw = ops::matmul_nt(&x, &(&w * &mask).expect("same shape")).expect("conformable");
+        prop_assert!(hw.approx_eq(&sw, 1e-3));
+    }
+
+    /// The closed-form pruned count always matches the materialised mask.
+    #[test]
+    fn affected_weights_matches_mask(
+        rows in 2usize..12,
+        cols in 2usize..12,
+        out_dim in 1usize..40,
+        in_dim in 1usize..40,
+        rate in 0.0f64..0.6,
+        seed in 0u64..500,
+    ) {
+        let map = FaultMap::generate(rows, cols, rate, FaultModel::Random, seed)
+            .expect("valid rate");
+        let mask = fap_mask(out_dim, in_dim, &map).expect("nonzero dims");
+        let zeros = mask.data().iter().filter(|&&v| v == 0.0).count();
+        prop_assert_eq!(affected_weights(out_dim, in_dim, &map), zeros);
+        let frac = pruned_fraction(out_dim, in_dim, &map);
+        prop_assert!((frac - zeros as f64 / (out_dim * in_dim) as f64).abs() < 1e-12);
+    }
+
+    /// FAM never loses more saliency than FAP and is always a permutation.
+    #[test]
+    fn fam_dominates_fap_in_saliency(
+        rows in 2usize..8,
+        cols in 2usize..8,
+        out_dim in 2usize..16,
+        in_dim in 2usize..16,
+        rate in 0.0f64..0.4,
+        seed in 0u64..300,
+    ) {
+        let map = FaultMap::generate(rows, cols, rate, FaultModel::Random, seed)
+            .expect("valid rate");
+        let w = Tensor::rand_uniform([out_dim, in_dim], -1.0, 1.0, seed + 9);
+        let fap = fap_mask(out_dim, in_dim, &map).expect("nonzero dims");
+        let fam = fam_mapping(&w, &map).expect("matrix");
+        let fap_loss = saliency_loss(&w, &fap).expect("same shape");
+        let fam_loss = saliency_loss(&w, &fam.mask).expect("same shape");
+        prop_assert!(fam_loss <= fap_loss + 1e-4,
+            "FAM loss {} exceeds FAP loss {}", fam_loss, fap_loss);
+        let mut seen = vec![false; out_dim];
+        for &p in &fam.position_of {
+            prop_assert!(p < out_dim && !seen[p]);
+            seen[p] = true;
+        }
+    }
+
+    /// Fault-map generation hits the requested count exactly and is within
+    /// the geometry.
+    #[test]
+    fn fault_map_counts(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        rate in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let map = FaultMap::generate(rows, cols, rate, FaultModel::Random, seed)
+            .expect("valid rate");
+        let expected = (rate * (rows * cols) as f64).round() as usize;
+        prop_assert_eq!(map.faulty_count(), expected);
+        for (r, c) in map.faulty_coords() {
+            prop_assert!(r < rows && c < cols);
+        }
+    }
+
+    /// Table interpolation is monotone between grid points when the grid
+    /// statistic is monotone, and never undershoots the bracketing minimum.
+    #[test]
+    fn interpolation_brackets(
+        e0 in 0usize..8,
+        delta in 0usize..8,
+        probe in 0.0f64..1.0,
+    ) {
+        let table = ResilienceTable::from_entries(vec![
+            TableEntry { rate: 0.0, mean_epochs: e0 as f64, max_epochs: e0 },
+            TableEntry { rate: 0.5, mean_epochs: (e0 + delta) as f64, max_epochs: e0 + delta },
+        ], 32).expect("non-empty");
+        let rate = probe * 0.5;
+        let sel = table.epochs_for(rate, Statistic::Max).expect("valid rate");
+        prop_assert!(sel.epochs >= e0);
+        prop_assert!(sel.epochs <= e0 + delta);
+    }
+
+    /// Union of fault maps is commutative and only grows the fault count.
+    #[test]
+    fn union_properties(
+        rate_a in 0.0f64..0.3,
+        rate_b in 0.0f64..0.3,
+        seed in 0u64..200,
+    ) {
+        let a = FaultMap::generate(12, 12, rate_a, FaultModel::Random, seed).expect("valid");
+        let b = FaultMap::generate(12, 12, rate_b, FaultModel::Random, seed + 1).expect("valid");
+        let ab = a.union(&b).expect("same geometry");
+        let ba = b.union(&a).expect("same geometry");
+        prop_assert_eq!(&ab, &ba);
+        prop_assert!(ab.faulty_count() >= a.faulty_count().max(b.faulty_count()));
+        prop_assert!(ab.faulty_count() <= a.faulty_count() + b.faulty_count());
+    }
+}
