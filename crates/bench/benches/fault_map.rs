@@ -22,7 +22,10 @@ fn bench_fault_map(c: &mut Criterion) {
                 256,
                 256,
                 0.02,
-                FaultModel::Clustered { clusters: 4, sigma: 12.0 },
+                FaultModel::Clustered {
+                    clusters: 4,
+                    sigma: 12.0,
+                },
                 black_box(seed),
             )
             .expect("valid rate")

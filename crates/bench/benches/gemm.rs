@@ -32,7 +32,11 @@ fn bench_gemm(c: &mut Criterion) {
         })
     });
     group.bench_function("bypass_emulation_128x128_b32", |b| {
-        b.iter(|| array.gemm(black_box(&w), black_box(&x)).expect("conformable"))
+        b.iter(|| {
+            array
+                .gemm(black_box(&w), black_box(&x))
+                .expect("conformable")
+        })
     });
     group.finish();
 

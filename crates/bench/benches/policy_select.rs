@@ -28,7 +28,8 @@ fn bench_policy(c: &mut Criterion) {
             b.iter(|| {
                 i += 1;
                 let rate = (i % 1000) as f64 / 1000.0 * 0.35;
-                t.epochs_for(black_box(rate), Statistic::Max).expect("valid rate")
+                t.epochs_for(black_box(rate), Statistic::Max)
+                    .expect("valid rate")
             })
         });
     }
@@ -39,7 +40,11 @@ fn bench_policy(c: &mut Criterion) {
         b.iter(|| {
             rates
                 .iter()
-                .map(|&r| policy.epochs_for_chip(Some(black_box(&t)), r).expect("valid rate"))
+                .map(|&r| {
+                    policy
+                        .epochs_for_chip(Some(black_box(&t)), r)
+                        .expect("valid rate")
+                })
                 .map(|s| s.epochs)
                 .sum::<usize>()
         })

@@ -18,7 +18,10 @@ fn bench_cost(c: &mut Criterion) {
     let full = ModelSpec::Vgg(reduce_nn::models::VggConfig::full(10));
     let full_shapes = full.gemm_shapes(128).expect("valid spec");
     group.bench_function("vgg11_full_epoch_cycles", |b| {
-        b.iter(|| cm.epoch_cycles(black_box(&full_shapes), 50_000, 128).expect("valid"))
+        b.iter(|| {
+            cm.epoch_cycles(black_box(&full_shapes), 50_000, 128)
+                .expect("valid")
+        })
     });
 
     group.bench_function("gemm_shapes_derivation", |b| {

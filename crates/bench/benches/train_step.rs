@@ -44,7 +44,10 @@ fn bench_train_step(c: &mut Criterion) {
 
     group.bench_function("toy_evaluate", |b| {
         let mut model = wb.model.build(wb.seed).expect("valid spec");
-        b.iter(|| wb.evaluate(&mut model, black_box(&train)).expect("valid data"))
+        b.iter(|| {
+            wb.evaluate(&mut model, black_box(&train))
+                .expect("valid data")
+        })
     });
     group.finish();
 }

@@ -57,12 +57,21 @@ fn fault_model(scale: Scale) -> Result<(), Box<dyn Error>> {
     let pretrained = wb.pretrain(scale.pretrain_epochs())?;
     let constraint = scale.constraint();
     let runner = FatRunner::new(wb)?;
-    println!("A2 — fault model ablation (constraint {:.0}%)", constraint * 100.0);
+    println!(
+        "A2 — fault model ablation (constraint {:.0}%)",
+        constraint * 100.0
+    );
     println!("rate   model       pre_acc  epochs_to_constraint (3 maps)");
     for rate in [0.1f64, 0.2, 0.3] {
         for (name, model) in [
             ("random", FaultModel::Random),
-            ("clustered", FaultModel::Clustered { clusters: 3, sigma: rows as f32 / 10.0 }),
+            (
+                "clustered",
+                FaultModel::Clustered {
+                    clusters: 3,
+                    sigma: rows as f32 / 10.0,
+                },
+            ),
         ] {
             let mut accs = Vec::new();
             let mut epochs = Vec::new();
@@ -142,7 +151,10 @@ fn mitigation(scale: Scale) -> Result<(), Box<dyn Error>> {
     let constraint = scale.constraint();
     let pretrained = wb.pretrain(scale.pretrain_epochs())?;
     let runner = FatRunner::new(wb)?;
-    println!("A4 — mitigation ablation: FAP vs FAM (constraint {:.0}%)", constraint * 100.0);
+    println!(
+        "A4 — mitigation ablation: FAP vs FAM (constraint {:.0}%)",
+        constraint * 100.0
+    );
     println!("rate   strategy  pre_acc  epochs_to_constraint (3 maps)");
     for rate in [0.1f64, 0.2, 0.3] {
         for (name, strategy) in [("FAP", Mitigation::Fap), ("FAM", Mitigation::Fam)] {
@@ -185,10 +197,13 @@ fn margin(scale: Scale) -> Result<(), Box<dyn Error>> {
     let constraint = scale.constraint();
     let mut reduce = Reduce::new(wb, constraint, scale.pretrain_epochs())?;
     reduce.characterize(scale.resilience_config())?;
-    let fleet = generate_fleet(&scale.fleet_config(array, Some(match scale {
-        Scale::Smoke => 12,
-        _ => 40,
-    })))?;
+    let fleet = generate_fleet(&scale.fleet_config(
+        array,
+        Some(match scale {
+            Scale::Smoke => 12,
+            _ => 40,
+        }),
+    ))?;
     println!("A1 — selection statistic ablation ({} chips)", fleet.len());
     println!("policy                satisfied  total_epochs");
     for policy in [
@@ -231,8 +246,7 @@ fn unprotected(scale: Scale) -> Result<(), Box<dyn Error>> {
             let map = FaultMap::generate(rows, cols, rate, FaultModel::Random, 900 + seed)?;
             // Stuck value: a saturated weight, far outside the trained range.
             unp += runner.unprotected_accuracy(&pretrained, &map, 8.0)?;
-            let out =
-                runner.run(&pretrained, &map, 2, StopRule::Exact, Mitigation::Fap, seed)?;
+            let out = runner.run(&pretrained, &map, 2, StopRule::Exact, Mitigation::Fap, seed)?;
             fap += out.pre_retrain_accuracy;
             fat += out.final_accuracy();
         }
@@ -264,7 +278,11 @@ fn bn_recal() -> Result<(), Box<dyn Error>> {
     let images = SynthImageConfig::cifar_like(400, 1);
     let mut wb = Workbench::paper_scale(400, 400, 1);
     wb.model = ModelSpec::Vgg(vgg);
-    wb.task = TaskSpec::SynthImages { config: images, train_samples: 400, test_samples: 400 };
+    wb.task = TaskSpec::SynthImages {
+        config: images,
+        train_samples: 400,
+        test_samples: 400,
+    };
     let pretrained = wb.pretrain(15)?;
     println!(
         "BN-recalibration ablation (batch-normalised nano-VGG, baseline {:.2}%)",
@@ -277,10 +295,8 @@ fn bn_recal() -> Result<(), Box<dyn Error>> {
     let recal_runner = FatRunner::new(wb)?;
     for rate in [0.02f64, 0.05, 0.1, 0.2] {
         let map = FaultMap::generate(rows, cols, rate, FaultModel::Random, 42)?;
-        let stale =
-            stale_runner.run(&pretrained, &map, 0, StopRule::Exact, Mitigation::Fap, 0)?;
-        let recal =
-            recal_runner.run(&pretrained, &map, 0, StopRule::Exact, Mitigation::Fap, 0)?;
+        let stale = stale_runner.run(&pretrained, &map, 0, StopRule::Exact, Mitigation::Fap, 0)?;
+        let recal = recal_runner.run(&pretrained, &map, 0, StopRule::Exact, Mitigation::Fap, 0)?;
         println!(
             "{rate:.2}   {:>13.2}%  {:>15.2}%",
             stale.pre_retrain_accuracy * 100.0,
@@ -304,11 +320,18 @@ fn early_stop(scale: Scale) -> Result<(), Box<dyn Error>> {
     let mut reduce = Reduce::new(wb.clone(), constraint, scale.pretrain_epochs())?;
     reduce.characterize(scale.resilience_config())?;
     let table = reduce.table()?;
-    let fleet = generate_fleet(&scale.fleet_config(array, Some(match scale {
-        Scale::Smoke => 12,
-        _ => 30,
-    })))?;
-    println!("early-stop extension ({} chips, constraint {:.0}%)", fleet.len(), constraint * 100.0);
+    let fleet = generate_fleet(&scale.fleet_config(
+        array,
+        Some(match scale {
+            Scale::Smoke => 12,
+            _ => 30,
+        }),
+    ))?;
+    println!(
+        "early-stop extension ({} chips, constraint {:.0}%)",
+        fleet.len(),
+        constraint * 100.0
+    );
     let runner = reduce.runner();
     let pretrained = reduce.pretrained();
     let (mut exact_total, mut stop_total, mut exact_sat, mut stop_sat) = (0usize, 0usize, 0, 0);

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     let t0 = Instant::now();
-    println!("pre-training fault-free baseline ({} epochs)…", scale.pretrain_epochs());
+    println!(
+        "pre-training fault-free baseline ({} epochs)…",
+        scale.pretrain_epochs()
+    );
     let pretrained = workbench.pretrain(scale.pretrain_epochs())?;
     println!(
         "baseline accuracy {:.2}%  [{:.1?}]\n",
@@ -51,8 +54,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     if part == "a" || part == "both" {
         println!("— Fig. 2a: mean accuracy vs fault rate at each FAT level —");
-        let levels: Vec<usize> =
-            [0usize, 1, 2, 4, 8, max_epochs].into_iter().filter(|&l| l <= max_epochs).collect();
+        let levels: Vec<usize> = [0usize, 1, 2, 4, 8, max_epochs]
+            .into_iter()
+            .filter(|&l| l <= max_epochs)
+            .collect();
         println!("{}", report::render_resilience_curves(&analysis, &levels));
     }
     if part == "b" || part == "both" {

@@ -30,9 +30,7 @@ fn parse_policy(s: &str) -> Result<Vec<RetrainPolicy>, ReduceError> {
                 Ok(vec![RetrainPolicy::Fixed(epochs)])
             } else {
                 Err(ReduceError::InvalidConfig {
-                    what: format!(
-                        "unknown policy {other:?} (reduce-max|reduce-mean|fixed:N|all)"
-                    ),
+                    what: format!("unknown policy {other:?} (reduce-max|reduce-mean|fixed:N|all)"),
                 })
             }
         }
@@ -112,8 +110,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         };
         let mut config = reduce_core::FleetEvalConfig::new(policy, constraint);
         if arg_flag(&args, "--cost") {
-            config.cost_model =
-                Some(reduce_systolic::CostModel::small(array.0, array.1));
+            config.cost_model = Some(reduce_systolic::CostModel::small(array.0, array.1));
         }
         config.early_stop = arg_flag(&args, "--early-stop");
         let report = reduce_core::evaluate_fleet_parallel(
@@ -156,12 +153,16 @@ fn main() -> Result<(), Box<dyn Error>> {
         println!();
     }
     println!("total retraining epochs (lower is better at equal yield):");
-    let bars: Vec<(String, f64)> =
-        reports.iter().map(|r| (r.policy.clone(), r.total_epochs as f64)).collect();
+    let bars: Vec<(String, f64)> = reports
+        .iter()
+        .map(|r| (r.policy.clone(), r.total_epochs as f64))
+        .collect();
     println!("{}", report::render_bars(&bars, 40));
     println!("chips meeting the {:.0}% constraint:", constraint * 100.0);
-    let bars: Vec<(String, f64)> =
-        reports.iter().map(|r| (r.policy.clone(), r.satisfied as f64)).collect();
+    let bars: Vec<(String, f64)> = reports
+        .iter()
+        .map(|r| (r.policy.clone(), r.satisfied as f64))
+        .collect();
     println!("{}", report::render_bars(&bars, 40));
     if let Some(dir) = arg_value(&args, "--csv") {
         for r in &reports {
@@ -169,7 +170,13 @@ fn main() -> Result<(), Box<dyn Error>> {
             let slug: String = r
                 .policy
                 .chars()
-                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .map(|c| {
+                    if c.is_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
                 .collect();
             let path = std::path::Path::new(&dir).join(format!("fig3_{slug}.csv"));
             report::write_csv(&path, &header, &rows)?;

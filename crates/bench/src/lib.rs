@@ -131,7 +131,9 @@ impl Scale {
 
 /// Extracts `--key value` from an argument list (first occurrence).
 pub fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// Whether a bare `--flag` is present.
@@ -169,8 +171,10 @@ mod tests {
 
     #[test]
     fn arg_helpers() {
-        let args: Vec<String> =
-            ["--scale", "smoke", "--flag"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--scale", "smoke", "--flag"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_value(&args, "--scale").as_deref(), Some("smoke"));
         assert_eq!(arg_value(&args, "--missing"), None);
         assert!(arg_flag(&args, "--flag"));

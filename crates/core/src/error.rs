@@ -29,6 +29,12 @@ pub enum ReduceError {
         /// Why the lookup failed.
         reason: String,
     },
+    /// An internal invariant was violated — always a bug in this crate,
+    /// surfaced as an error instead of a panic so fleet runs fail softly.
+    Internal {
+        /// Which invariant broke.
+        invariant: String,
+    },
 }
 
 impl fmt::Display for ReduceError {
@@ -41,6 +47,9 @@ impl fmt::Display for ReduceError {
             ReduceError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
             ReduceError::MissingCharacterization { reason } => {
                 write!(f, "missing resilience characterisation: {reason}")
+            }
+            ReduceError::Internal { invariant } => {
+                write!(f, "internal invariant violated: {invariant}")
             }
         }
     }
@@ -91,12 +100,17 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: ReduceError = TensorError::LengthMismatch { expected: 1, actual: 2 }.into();
+        let e: ReduceError = TensorError::LengthMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
         assert!(e.to_string().contains("tensor error"));
-        let e: ReduceError =
-            NnError::InvalidConfig { what: "x".into() }.into();
+        let e: ReduceError = NnError::InvalidConfig { what: "x".into() }.into();
         assert!(e.to_string().contains("nn error"));
-        let e = ReduceError::MissingCharacterization { reason: "no table".into() };
+        let e = ReduceError::MissingCharacterization {
+            reason: "no table".into(),
+        };
         assert!(e.to_string().contains("characterisation"));
     }
 
@@ -105,6 +119,8 @@ mod tests {
         use std::error::Error as _;
         let e: ReduceError = SystolicError::InvalidConfig { what: "y".into() }.into();
         assert!(e.source().is_some());
-        assert!(ReduceError::InvalidConfig { what: "z".into() }.source().is_none());
+        assert!(ReduceError::InvalidConfig { what: "z".into() }
+            .source()
+            .is_none());
     }
 }

@@ -43,7 +43,10 @@ pub struct FatOutcome {
 impl FatOutcome {
     /// Test accuracy after all executed epochs (the deployed accuracy).
     pub fn final_accuracy(&self) -> f32 {
-        self.accuracy_after_epoch.last().copied().unwrap_or(self.pre_retrain_accuracy)
+        self.accuracy_after_epoch
+            .last()
+            .copied()
+            .unwrap_or(self.pre_retrain_accuracy)
     }
 
     /// The smallest number of epochs after which accuracy reached
@@ -53,7 +56,10 @@ impl FatOutcome {
         if self.pre_retrain_accuracy >= constraint {
             return Some(0);
         }
-        self.accuracy_after_epoch.iter().position(|&a| a >= constraint).map(|i| i + 1)
+        self.accuracy_after_epoch
+            .iter()
+            .position(|&a| a >= constraint)
+            .map(|i| i + 1)
     }
 
     /// Number of FAT epochs actually executed.
@@ -113,7 +119,12 @@ impl FatRunner {
     pub fn new(workbench: Workbench) -> Result<Self> {
         let (train, test) = workbench.datasets()?;
         let weight_dims = workbench.model.weight_dims(workbench.seed)?;
-        Ok(FatRunner { workbench, train, test, weight_dims })
+        Ok(FatRunner {
+            workbench,
+            train,
+            test,
+            weight_dims,
+        })
     }
 
     /// The workbench this runner executes.
@@ -189,7 +200,11 @@ impl FatRunner {
                 total += m.len();
             }
         }
-        let fraction = if total == 0 { 0.0 } else { pruned as f32 / total as f32 };
+        let fraction = if total == 0 {
+            0.0
+        } else {
+            pruned as f32 / total as f32
+        };
         Ok((model, fraction))
     }
 
@@ -239,15 +254,23 @@ impl FatRunner {
         let features = self.train.features();
         let dims = features.dims();
         let n = dims.first().copied().unwrap_or(0);
-        let stride: usize = dims[1..].iter().product();
+        let stride: usize = dims.iter().skip(1).product();
         let batch = self.workbench.train.batch_size.max(1);
         for _ in 0..passes {
             let mut start = 0usize;
             while start < n {
                 let end = (start + batch).min(n);
                 let mut batch_dims = dims.to_vec();
-                batch_dims[0] = end - start;
-                let slice = features.data()[start * stride..end * stride].to_vec();
+                if let Some(lead) = batch_dims.first_mut() {
+                    *lead = end - start;
+                }
+                let slice = features
+                    .data()
+                    .get(start * stride..end * stride)
+                    .ok_or_else(|| ReduceError::Internal {
+                        invariant: "batch range lies within the feature buffer".to_string(),
+                    })?
+                    .to_vec();
                 let bx = Tensor::from_vec(slice, batch_dims)?;
                 model.forward(&bx, Mode::Train)?;
                 start = end;
@@ -276,8 +299,7 @@ impl FatRunner {
         strategy: Mitigation,
         run_seed: u64,
     ) -> Result<FatOutcome> {
-        let (mut model, pruned_fraction) =
-            self.masked_model(pretrained, fault_map, strategy)?;
+        let (mut model, pruned_fraction) = self.masked_model(pretrained, fault_map, strategy)?;
         if self.workbench.bn_recalibration_passes > 0 {
             self.recalibrate_statistics(&mut model, self.workbench.bn_recalibration_passes)?;
         }
@@ -375,7 +397,14 @@ mod tests {
             .run(&pre, &light, 8, StopRule::Exact, Mitigation::Fap, 0)
             .expect("valid run");
         let stopped = runner
-            .run(&pre, &light, 8, StopRule::AtAccuracy(constraint), Mitigation::Fap, 0)
+            .run(
+                &pre,
+                &light,
+                8,
+                StopRule::AtAccuracy(constraint),
+                Mitigation::Fap,
+                0,
+            )
             .expect("valid run");
         assert!(stopped.epochs_run() <= exact.epochs_run());
         if let Some(k) = stopped.epochs_to_reach(constraint) {
@@ -436,7 +465,9 @@ mod tests {
     fn masked_model_reports_pruned_fraction() {
         let (runner, pre) = runner();
         let m = map(0.25, 5);
-        let (_, frac) = runner.masked_model(&pre, &m, Mitigation::Fap).expect("valid");
+        let (_, frac) = runner
+            .masked_model(&pre, &m, Mitigation::Fap)
+            .expect("valid");
         // Weight dims are multiples related to the 8x8 array; fraction
         // should be near the fault rate.
         assert!((frac - 0.25).abs() < 0.1, "fraction {frac}");
@@ -456,8 +487,11 @@ mod tests {
         images.hw = 8;
         let mut wb = Workbench::toy(301);
         wb.model = ModelSpec::Vgg(vgg);
-        wb.task =
-            TaskSpec::SynthImages { config: images, train_samples: 120, test_samples: 80 };
+        wb.task = TaskSpec::SynthImages {
+            config: images,
+            train_samples: 120,
+            test_samples: 80,
+        };
         let pre = wb.pretrain(6).expect("valid workbench");
 
         let stale_runner = FatRunner::new(wb.clone()).expect("valid workbench");
@@ -483,12 +517,22 @@ mod tests {
     fn recalibration_is_noop_for_bn_free_models() {
         let (runner, pre) = runner();
         let m = map(0.1, 7);
-        let (mut model, _) = runner.masked_model(&pre, &m, Mitigation::Fap).expect("valid");
-        let before = runner.workbench().evaluate(&mut model, runner.test_data())
-            .expect("valid").accuracy;
-        runner.recalibrate_statistics(&mut model, 3).expect("forward passes run");
-        let after = runner.workbench().evaluate(&mut model, runner.test_data())
-            .expect("valid").accuracy;
+        let (mut model, _) = runner
+            .masked_model(&pre, &m, Mitigation::Fap)
+            .expect("valid");
+        let before = runner
+            .workbench()
+            .evaluate(&mut model, runner.test_data())
+            .expect("valid")
+            .accuracy;
+        runner
+            .recalibrate_statistics(&mut model, 3)
+            .expect("forward passes run");
+        let after = runner
+            .workbench()
+            .evaluate(&mut model, runner.test_data())
+            .expect("valid")
+            .accuracy;
         assert_eq!(before, after, "BN-free model must be unaffected");
     }
 

@@ -187,8 +187,10 @@ pub fn evaluate_fleet(
     } else {
         chips.iter().map(|c| c.final_accuracy).sum::<f32>() / chips.len() as f32
     };
-    let min_accuracy =
-        chips.iter().map(|c| c.final_accuracy).fold(f32::INFINITY, f32::min);
+    let min_accuracy = chips
+        .iter()
+        .map(|c| c.final_accuracy)
+        .fold(f32::INFINITY, f32::min);
     let retrain_cycles = match &config.cost_model {
         Some(cm) => {
             let wb = runner.workbench();
@@ -206,7 +208,11 @@ pub fn evaluate_fleet(
         total_epochs,
         satisfied,
         mean_accuracy,
-        min_accuracy: if min_accuracy.is_finite() { min_accuracy } else { 0.0 },
+        min_accuracy: if min_accuracy.is_finite() {
+            min_accuracy
+        } else {
+            0.0
+        },
         retrain_cycles,
     })
 }
@@ -219,7 +225,9 @@ pub fn evaluate_fleet(
 /// # Errors
 ///
 /// Propagates the first per-chip error encountered and
-/// [`crate::ReduceError::InvalidConfig`] for zero threads.
+/// [`crate::ReduceError::InvalidConfig`] for zero threads. A worker that
+/// panics (which would itself be a bug — the FAT runner returns typed
+/// errors) propagates the panic when the scope joins.
 pub fn evaluate_fleet_parallel(
     runner: &FatRunner,
     pretrained: &Pretrained,
@@ -238,16 +246,19 @@ pub fn evaluate_fleet_parallel(
     }
     // Work queue of chip indices; each worker produces (index, outcome).
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<Result<ChipOutcome>>>> =
-        (0..fleet.len()).map(|_| parking_lot::Mutex::new(None)).collect();
-    crossbeam::scope(|scope| {
+    let results: Vec<std::sync::Mutex<Option<Result<ChipOutcome>>>> = (0..fleet.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(fleet.len()) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= fleet.len() {
                     break;
                 }
-                let chip = &fleet[i];
+                let (Some(chip), Some(cell)) = (fleet.get(i), results.get(i)) else {
+                    break;
+                };
                 let outcome = (|| -> Result<ChipOutcome> {
                     let rate = chip.fault_rate();
                     let selection = config.policy.epochs_for_chip(table, rate)?;
@@ -277,16 +288,25 @@ pub fn evaluate_fleet_parallel(
                         clamped: selection.clamped,
                     })
                 })();
-                *results[i].lock() = Some(outcome);
+                // A poisoned cell only means another worker panicked while
+                // holding this lock; the stored value is still the slot we
+                // are about to overwrite.
+                match cell.lock() {
+                    Ok(mut slot) => *slot = Some(outcome),
+                    Err(poisoned) => *poisoned.into_inner() = Some(outcome),
+                }
             });
         }
-    })
-    .map_err(|_| crate::error::ReduceError::InvalidConfig {
-        what: "a fleet worker thread panicked".to_string(),
-    })?;
+    });
     let mut chips = Vec::with_capacity(fleet.len());
     for cell in results {
-        let outcome = cell.into_inner().expect("every index was processed")?;
+        let slot = match cell.into_inner() {
+            Ok(slot) => slot,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let outcome = slot.ok_or_else(|| crate::error::ReduceError::Internal {
+            invariant: "every fleet index is processed by exactly one worker".to_string(),
+        })??;
         chips.push(outcome);
     }
     let satisfied = chips.iter().filter(|c| c.meets_constraint).count();
@@ -296,7 +316,10 @@ pub fn evaluate_fleet_parallel(
     } else {
         chips.iter().map(|c| c.final_accuracy).sum::<f32>() / chips.len() as f32
     };
-    let min_accuracy = chips.iter().map(|c| c.final_accuracy).fold(f32::INFINITY, f32::min);
+    let min_accuracy = chips
+        .iter()
+        .map(|c| c.final_accuracy)
+        .fold(f32::INFINITY, f32::min);
     let retrain_cycles = match &config.cost_model {
         Some(cm) => {
             let wb = runner.workbench();
@@ -314,7 +337,11 @@ pub fn evaluate_fleet_parallel(
         total_epochs,
         satisfied,
         mean_accuracy,
-        min_accuracy: if min_accuracy.is_finite() { min_accuracy } else { 0.0 },
+        min_accuracy: if min_accuracy.is_finite() {
+            min_accuracy
+        } else {
+            0.0
+        },
         retrain_cycles,
     })
 }
@@ -345,8 +372,16 @@ mod tests {
     fn table() -> ResilienceTable {
         ResilienceTable::from_entries(
             vec![
-                TableEntry { rate: 0.0, mean_epochs: 0.0, max_epochs: 0 },
-                TableEntry { rate: 0.25, mean_epochs: 3.0, max_epochs: 5 },
+                TableEntry {
+                    rate: 0.0,
+                    mean_epochs: 0.0,
+                    max_epochs: 0,
+                },
+                TableEntry {
+                    rate: 0.25,
+                    mean_epochs: 3.0,
+                    max_epochs: 5,
+                },
             ],
             8,
         )
@@ -357,8 +392,7 @@ mod tests {
     fn fixed_policy_charges_every_chip_equally() {
         let (runner, pre, fleet) = setup();
         let config = FleetEvalConfig::new(RetrainPolicy::Fixed(2), 0.85);
-        let report =
-            evaluate_fleet(&runner, &pre, &fleet, None, &config).expect("valid run");
+        let report = evaluate_fleet(&runner, &pre, &fleet, None, &config).expect("valid run");
         assert_eq!(report.chips.len(), 6);
         assert!(report.chips.iter().all(|c| c.epochs_run == 2));
         assert_eq!(report.total_epochs, 12);
@@ -369,10 +403,8 @@ mod tests {
     fn reduce_policy_scales_epochs_with_fault_rate() {
         let (runner, pre, fleet) = setup();
         let t = table();
-        let config =
-            FleetEvalConfig::new(RetrainPolicy::Reduce(Statistic::Max), 0.85);
-        let report =
-            evaluate_fleet(&runner, &pre, &fleet, Some(&t), &config).expect("valid run");
+        let config = FleetEvalConfig::new(RetrainPolicy::Reduce(Statistic::Max), 0.85);
+        let report = evaluate_fleet(&runner, &pre, &fleet, Some(&t), &config).expect("valid run");
         // Chips with higher fault rates get more epochs (monotone table).
         let mut sorted = report.chips.clone();
         sorted.sort_by(|a, b| a.fault_rate.partial_cmp(&b.fault_rate).expect("finite"));
@@ -418,12 +450,14 @@ mod tests {
     fn report_aggregates() {
         let (runner, pre, fleet) = setup();
         let config = FleetEvalConfig::new(RetrainPolicy::Fixed(1), 0.5);
-        let report =
-            evaluate_fleet(&runner, &pre, &fleet, None, &config).expect("valid run");
+        let report = evaluate_fleet(&runner, &pre, &fleet, None, &config).expect("valid run");
         assert!(report.yield_fraction() > 0.0);
         assert!((report.mean_epochs() - 1.0).abs() < 1e-6);
         assert!(report.min_accuracy <= report.mean_accuracy);
-        assert_eq!(report.satisfied, report.chips.iter().filter(|c| c.meets_constraint).count());
+        assert_eq!(
+            report.satisfied,
+            report.chips.iter().filter(|c| c.meets_constraint).count()
+        );
     }
 
     #[test]
@@ -431,16 +465,17 @@ mod tests {
         let (runner, pre, fleet) = setup();
         let mut config = FleetEvalConfig::new(RetrainPolicy::Fixed(1), 0.5);
         config.cost_model = Some(CostModel::small(8, 8));
-        let report =
-            evaluate_fleet(&runner, &pre, &fleet, None, &config).expect("valid run");
+        let report = evaluate_fleet(&runner, &pre, &fleet, None, &config).expect("valid run");
         let cycles = report.retrain_cycles.expect("cost model supplied");
         assert!(cycles > 0);
         // Double the epochs, double the cycles.
         let mut config2 = FleetEvalConfig::new(RetrainPolicy::Fixed(2), 0.5);
         config2.cost_model = Some(CostModel::small(8, 8));
-        let report2 =
-            evaluate_fleet(&runner, &pre, &fleet, None, &config2).expect("valid run");
-        assert_eq!(report2.retrain_cycles.expect("cost model supplied"), 2 * cycles);
+        let report2 = evaluate_fleet(&runner, &pre, &fleet, None, &config2).expect("valid run");
+        assert_eq!(
+            report2.retrain_cycles.expect("cost model supplied"),
+            2 * cycles
+        );
     }
 
     #[test]
@@ -483,19 +518,22 @@ mod tests {
     fn unprotected_execution_is_catastrophic() {
         let (runner, pre, _) = setup();
         // A mere 5% of stuck-at-saturated PEs without FAP...
-        let map = reduce_systolic::FaultMap::generate(
-            8,
-            8,
-            0.05,
-            reduce_systolic::FaultModel::Random,
-            3,
-        )
-        .expect("valid rate");
-        let unprotected =
-            runner.unprotected_accuracy(&pre, &map, 8.0).expect("valid run");
+        let map =
+            reduce_systolic::FaultMap::generate(8, 8, 0.05, reduce_systolic::FaultModel::Random, 3)
+                .expect("valid rate");
+        let unprotected = runner
+            .unprotected_accuracy(&pre, &map, 8.0)
+            .expect("valid run");
         // ...versus the same chip under FAP bypass.
         let fap = runner
-            .run(&pre, &map, 0, crate::fat::StopRule::Exact, Mitigation::Fap, 0)
+            .run(
+                &pre,
+                &map,
+                0,
+                crate::fat::StopRule::Exact,
+                Mitigation::Fap,
+                0,
+            )
             .expect("valid run")
             .pre_retrain_accuracy;
         assert!(

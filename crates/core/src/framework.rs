@@ -68,7 +68,13 @@ impl Reduce {
         }
         let pretrained = workbench.pretrain(pretrain_epochs)?;
         let runner = FatRunner::new(workbench)?;
-        Ok(Reduce { runner, pretrained, constraint, analysis: None, strategy: Mitigation::Fap })
+        Ok(Reduce {
+            runner,
+            pretrained,
+            constraint,
+            analysis: None,
+            strategy: Mitigation::Fap,
+        })
     }
 
     /// Creates an instance from an existing pre-trained model (skips
@@ -88,7 +94,13 @@ impl Reduce {
             });
         }
         let runner = FatRunner::new(workbench)?;
-        Ok(Reduce { runner, pretrained, constraint, analysis: None, strategy: Mitigation::Fap })
+        Ok(Reduce {
+            runner,
+            pretrained,
+            constraint,
+            analysis: None,
+            strategy: Mitigation::Fap,
+        })
     }
 
     /// Switches the mitigation strategy (FAP is the paper's; FAM is the
@@ -127,8 +139,7 @@ impl Reduce {
         config.constraint = self.constraint;
         config.strategy = self.strategy;
         let analysis = ResilienceAnalysis::run(&self.runner, &self.pretrained, config)?;
-        self.analysis = Some(analysis);
-        Ok(self.analysis.as_ref().expect("just set"))
+        Ok(self.analysis.insert(analysis))
     }
 
     /// The Step-② lookup table.
@@ -138,12 +149,11 @@ impl Reduce {
     /// Returns [`ReduceError::MissingCharacterization`] before
     /// [`Reduce::characterize`] has run.
     pub fn table(&self) -> Result<ResilienceTable> {
-        self.analysis
-            .as_ref()
-            .map(|a| a.table())
-            .ok_or_else(|| ReduceError::MissingCharacterization {
+        self.analysis.as_ref().map(|a| a.table()).ok_or_else(|| {
+            ReduceError::MissingCharacterization {
                 reason: "call characterize() before table()".to_string(),
-            })
+            }
+        })
     }
 
     /// Step ②: plans the per-chip retraining amounts for a fleet without
@@ -153,7 +163,11 @@ impl Reduce {
     ///
     /// Propagates selection errors (e.g. a Reduce policy without a table).
     pub fn plan(&self, fleet: &[Chip], policy: RetrainPolicy) -> Result<Vec<Selection>> {
-        let table = if policy.needs_table() { Some(self.table()?) } else { None };
+        let table = if policy.needs_table() {
+            Some(self.table()?)
+        } else {
+            None
+        };
         fleet
             .iter()
             .map(|chip| policy.epochs_for_chip(table.as_ref(), chip.fault_rate()))
@@ -166,10 +180,20 @@ impl Reduce {
     ///
     /// Propagates selection and training errors.
     pub fn deploy(&self, fleet: &[Chip], policy: RetrainPolicy) -> Result<FleetReport> {
-        let table = if policy.needs_table() { Some(self.table()?) } else { None };
+        let table = if policy.needs_table() {
+            Some(self.table()?)
+        } else {
+            None
+        };
         let mut config = FleetEvalConfig::new(policy, self.constraint);
         config.strategy = self.strategy;
-        evaluate_fleet(&self.runner, &self.pretrained, fleet, table.as_ref(), &config)
+        evaluate_fleet(
+            &self.runner,
+            &self.pretrained,
+            fleet,
+            table.as_ref(),
+            &config,
+        )
     }
 }
 
@@ -200,7 +224,10 @@ mod tests {
     #[test]
     fn table_before_characterize_is_error() {
         let r = Reduce::new(Workbench::toy(2), 0.9, 2).expect("valid");
-        assert!(matches!(r.table(), Err(ReduceError::MissingCharacterization { .. })));
+        assert!(matches!(
+            r.table(),
+            Err(ReduceError::MissingCharacterization { .. })
+        ));
         assert!(r.analysis().is_none());
     }
 
@@ -209,7 +236,10 @@ mod tests {
         let wb = Workbench::toy(31);
         let mut reduce = Reduce::new(wb, 0.88, 12).expect("valid");
         let baseline = reduce.pretrained().baseline_accuracy;
-        assert!(baseline > 0.88, "baseline {baseline} below the test constraint");
+        assert!(
+            baseline > 0.88,
+            "baseline {baseline} below the test constraint"
+        );
         // Step 1 on a coarse grid.
         reduce
             .characterize(ResilienceConfig {
@@ -252,8 +282,12 @@ mod tests {
     fn plan_without_table_for_fixed_policy_works() {
         let r = Reduce::new(Workbench::toy(4), 0.9, 2).expect("valid");
         let chips = fleet(3, 0.1);
-        let plan = r.plan(&chips, RetrainPolicy::Fixed(2)).expect("fixed needs no table");
+        let plan = r
+            .plan(&chips, RetrainPolicy::Fixed(2))
+            .expect("fixed needs no table");
         assert!(plan.iter().all(|s| s.epochs == 2));
-        assert!(r.plan(&chips, RetrainPolicy::Reduce(Statistic::Max)).is_err());
+        assert!(r
+            .plan(&chips, RetrainPolicy::Reduce(Statistic::Max))
+            .is_err());
     }
 }

@@ -55,6 +55,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+// Tests may unwrap/expect freely: a panic there *is* the failure report.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod error;
 mod fat;
@@ -73,7 +76,7 @@ pub use fleet::{
 pub use framework::Reduce;
 pub use policy::RetrainPolicy;
 pub use resilience::{
-    RateSummary, ResilienceAnalysis, ResilienceConfig, ResiliencePoint, ResilienceTable,
-    Selection, Statistic, TableEntry,
+    RateSummary, ResilienceAnalysis, ResilienceConfig, ResiliencePoint, ResilienceTable, Selection,
+    Statistic, TableEntry,
 };
 pub use workbench::{ModelSpec, OptimSpec, Pretrained, TaskSpec, TrainSpec, Workbench};

@@ -52,7 +52,10 @@ impl RetrainPolicy {
         fault_rate: f64,
     ) -> Result<Selection> {
         match self {
-            RetrainPolicy::Fixed(e) => Ok(Selection { epochs: *e, clamped: false }),
+            RetrainPolicy::Fixed(e) => Ok(Selection {
+                epochs: *e,
+                clamped: false,
+            }),
             RetrainPolicy::Reduce(stat) => {
                 let table = table.ok_or_else(|| ReduceError::MissingCharacterization {
                     reason: format!("{} requires a resilience table", self.label()),
@@ -71,8 +74,16 @@ mod tests {
     fn table() -> ResilienceTable {
         ResilienceTable::from_entries(
             vec![
-                TableEntry { rate: 0.0, mean_epochs: 0.0, max_epochs: 0 },
-                TableEntry { rate: 0.2, mean_epochs: 4.0, max_epochs: 6 },
+                TableEntry {
+                    rate: 0.0,
+                    mean_epochs: 0.0,
+                    max_epochs: 0,
+                },
+                TableEntry {
+                    rate: 0.2,
+                    mean_epochs: 4.0,
+                    max_epochs: 6,
+                },
             ],
             10,
         )
@@ -91,9 +102,15 @@ mod tests {
     fn reduce_uses_table() {
         let t = table();
         let max = RetrainPolicy::Reduce(Statistic::Max);
-        assert_eq!(max.epochs_for_chip(Some(&t), 0.1).expect("covered").epochs, 3);
+        assert_eq!(
+            max.epochs_for_chip(Some(&t), 0.1).expect("covered").epochs,
+            3
+        );
         let mean = RetrainPolicy::Reduce(Statistic::Mean);
-        assert_eq!(mean.epochs_for_chip(Some(&t), 0.1).expect("covered").epochs, 2);
+        assert_eq!(
+            mean.epochs_for_chip(Some(&t), 0.1).expect("covered").epochs,
+            2
+        );
     }
 
     #[test]
@@ -108,8 +125,14 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(RetrainPolicy::Fixed(5).label(), "Fixed (5 epochs)");
-        assert_eq!(RetrainPolicy::Reduce(Statistic::Max).label(), "Reduce (max)");
-        assert_eq!(RetrainPolicy::Reduce(Statistic::Mean).label(), "Reduce (mean)");
+        assert_eq!(
+            RetrainPolicy::Reduce(Statistic::Max).label(),
+            "Reduce (max)"
+        );
+        assert_eq!(
+            RetrainPolicy::Reduce(Statistic::Mean).label(),
+            "Reduce (mean)"
+        );
         assert!(RetrainPolicy::Reduce(Statistic::MeanPlusMargin(1.0))
             .label()
             .contains("mean+1.0"));

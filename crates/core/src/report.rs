@@ -22,7 +22,13 @@ pub struct SummaryStats {
 /// Computes summary statistics (zeros for an empty slice).
 pub fn summary_stats(values: &[f64]) -> SummaryStats {
     if values.is_empty() {
-        return SummaryStats { n: 0, min: 0.0, mean: 0.0, max: 0.0, std: 0.0 };
+        return SummaryStats {
+            n: 0,
+            min: 0.0,
+            mean: 0.0,
+            max: 0.0,
+            std: 0.0,
+        };
     }
     let n = values.len();
     let mean = values.iter().sum::<f64>() / n as f64;
@@ -115,7 +121,10 @@ pub fn render_fleet_summary(reports: &[FleetReport]) -> String {
 
 /// Renders a crude ASCII bar chart of `(label, value)` pairs.
 pub fn render_bars(rows: &[(String, f64)], width: usize) -> String {
-    let max = rows.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+    let max = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::NEG_INFINITY, f64::max);
     let mut out = String::new();
     for (label, v) in rows {
         let filled = if max > 0.0 {
@@ -123,7 +132,11 @@ pub fn render_bars(rows: &[(String, f64)], width: usize) -> String {
         } else {
             0
         };
-        out.push_str(&format!("{label:<24} {:>10.2} |{}\n", v, "#".repeat(filled.min(width))));
+        out.push_str(&format!(
+            "{label:<24} {:>10.2} |{}\n",
+            v,
+            "#".repeat(filled.min(width))
+        ));
     }
     out
 }
@@ -164,10 +177,18 @@ pub fn write_csv(
 /// `(rate, repeat, epoch_level)` cell — the data behind both parts of
 /// Fig. 2.
 pub fn resilience_csv(analysis: &ResilienceAnalysis) -> (Vec<&'static str>, Vec<Vec<String>>) {
-    let header = vec!["fault_rate", "repeat", "epochs", "accuracy", "epochs_to_constraint"];
+    let header = vec![
+        "fault_rate",
+        "repeat",
+        "epochs",
+        "accuracy",
+        "epochs_to_constraint",
+    ];
     let mut rows = Vec::new();
     for p in analysis.points() {
-        let to_c = p.epochs_to_constraint.map_or(String::new(), |e| e.to_string());
+        let to_c = p
+            .epochs_to_constraint
+            .map_or(String::new(), |e| e.to_string());
         rows.push(vec![
             format!("{}", p.rate),
             p.repeat.to_string(),
@@ -301,8 +322,11 @@ mod tests {
 
     #[test]
     fn bars_render_proportionally() {
-        let rows =
-            vec![("a".to_string(), 10.0), ("b".to_string(), 5.0), ("c".to_string(), 0.0)];
+        let rows = vec![
+            ("a".to_string(), 10.0),
+            ("b".to_string(), 5.0),
+            ("c".to_string(), 0.0),
+        ];
         let s = render_bars(&rows, 10);
         let lines: Vec<&str> = s.lines().collect();
         assert!(lines[0].matches('#').count() == 10);

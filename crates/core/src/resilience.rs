@@ -148,7 +148,7 @@ impl ResilienceAnalysis {
     ) -> Result<Self> {
         config.validate()?;
         let mut rates = config.fault_rates.clone();
-        rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+        rates.sort_by(|a, b| a.total_cmp(b));
         rates.dedup();
         let (rows, cols) = runner.workbench().array_dims();
         let mut points = Vec::with_capacity(rates.len() * config.repeats);
@@ -177,7 +177,11 @@ impl ResilienceAnalysis {
             }
         }
         let summaries = summarise(&rates, &points, &config);
-        Ok(ResilienceAnalysis { config, points, summaries })
+        Ok(ResilienceAnalysis {
+            config,
+            points,
+            summaries,
+        })
     }
 
     /// The configuration that produced this analysis.
@@ -220,14 +224,16 @@ fn summarise(
     rates
         .iter()
         .map(|&rate| {
-            let runs: Vec<&ResiliencePoint> =
-                points.iter().filter(|p| p.rate == rate).collect();
+            let runs: Vec<&ResiliencePoint> = points.iter().filter(|p| p.rate == rate).collect();
             let cap = config.max_epochs;
             let epochs: Vec<usize> = runs
                 .iter()
                 .map(|p| p.epochs_to_constraint.unwrap_or(cap))
                 .collect();
-            let failures = runs.iter().filter(|p| p.epochs_to_constraint.is_none()).count();
+            let failures = runs
+                .iter()
+                .filter(|p| p.epochs_to_constraint.is_none())
+                .count();
             let min_epochs = epochs.iter().copied().min().unwrap_or(0);
             let max_epochs = epochs.iter().copied().max().unwrap_or(0);
             let mean_epochs = if epochs.is_empty() {
@@ -238,22 +244,31 @@ fn summarise(
             // Mean accuracy at each level (0 = pre-retrain).
             let mut mean_accuracy_at_level = vec![0.0f32; cap + 1];
             for p in &runs {
-                mean_accuracy_at_level[0] += p.pre_retrain_accuracy;
-                for e in 0..cap {
-                    // Runs are Exact so the curve has cap entries.
-                    let a = p
-                        .accuracy_after_epoch
-                        .get(e)
-                        .copied()
-                        .unwrap_or_else(|| p.accuracy_after_epoch.last().copied().unwrap_or(0.0));
-                    mean_accuracy_at_level[e + 1] += a;
+                if let Some(level0) = mean_accuracy_at_level.first_mut() {
+                    *level0 += p.pre_retrain_accuracy;
+                }
+                // Runs are Exact so the curve has cap entries; a shorter
+                // curve repeats its last accuracy.
+                for (e, level) in mean_accuracy_at_level.iter_mut().skip(1).enumerate() {
+                    let a =
+                        p.accuracy_after_epoch.get(e).copied().unwrap_or_else(|| {
+                            p.accuracy_after_epoch.last().copied().unwrap_or(0.0)
+                        });
+                    *level += a;
                 }
             }
             let n = runs.len().max(1) as f32;
             for v in &mut mean_accuracy_at_level {
                 *v /= n;
             }
-            RateSummary { rate, min_epochs, mean_epochs, max_epochs, failures, mean_accuracy_at_level }
+            RateSummary {
+                rate,
+                min_epochs,
+                mean_epochs,
+                max_epochs,
+                failures,
+                mean_accuracy_at_level,
+            }
         })
         .collect()
 }
@@ -311,7 +326,7 @@ impl ResilienceTable {
                 what: "resilience table needs at least one entry".to_string(),
             });
         }
-        entries.sort_by(|a, b| a.rate.partial_cmp(&b.rate).expect("finite rates"));
+        entries.sort_by(|a, b| a.rate.total_cmp(&b.rate));
         Ok(ResilienceTable { entries, epoch_cap })
     }
 
@@ -327,9 +342,11 @@ impl ResilienceTable {
 
     /// Whether `rate` lies within the characterised range.
     pub fn covers(&self, rate: f64) -> bool {
-        let first = self.entries.first().expect("non-empty by construction").rate;
-        let last = self.entries.last().expect("non-empty by construction").rate;
-        (first..=last).contains(&rate)
+        match (self.entries.first(), self.entries.last()) {
+            (Some(first), Some(last)) => (first.rate..=last.rate).contains(&rate),
+            // `from_entries` rejects empty tables; unreachable in practice.
+            _ => false,
+        }
     }
 
     /// Serialises the table to a small, versioned, line-based text format
@@ -381,16 +398,26 @@ impl ResilienceTable {
             let parse_err = || ReduceError::InvalidConfig {
                 what: format!("bad table row {line:?}"),
             };
-            let rate: f64 =
-                it.next().and_then(|v| v.parse().ok()).ok_or_else(parse_err)?;
-            let mean_epochs: f64 =
-                it.next().and_then(|v| v.parse().ok()).ok_or_else(parse_err)?;
-            let max_epochs: usize =
-                it.next().and_then(|v| v.parse().ok()).ok_or_else(parse_err)?;
+            let rate: f64 = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(parse_err)?;
+            let mean_epochs: f64 = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(parse_err)?;
+            let max_epochs: usize = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(parse_err)?;
             if it.next().is_some() || !(0.0..=1.0).contains(&rate) {
                 return Err(parse_err());
             }
-            entries.push(TableEntry { rate, mean_epochs, max_epochs });
+            entries.push(TableEntry {
+                rate,
+                mean_epochs,
+                max_epochs,
+            });
         }
         Self::from_entries(entries, epoch_cap)
     }
@@ -443,8 +470,17 @@ impl ResilienceTable {
                 Statistic::MeanPlusMargin(m) => e.mean_epochs + m,
             }
         };
-        let first = self.entries.first().expect("non-empty by construction");
-        let last = self.entries.last().expect("non-empty by construction");
+        let invariant = |what: &str| ReduceError::Internal {
+            invariant: what.to_string(),
+        };
+        let first = self
+            .entries
+            .first()
+            .ok_or_else(|| invariant("resilience tables are non-empty by construction"))?;
+        let last = self
+            .entries
+            .last()
+            .ok_or_else(|| invariant("resilience tables are non-empty by construction"))?;
         let raw = if rate <= first.rate {
             stat(first)
         } else if rate >= last.rate {
@@ -454,8 +490,12 @@ impl ResilienceTable {
                 .entries
                 .iter()
                 .position(|e| e.rate >= rate)
-                .expect("rate < last implies a bracketing entry");
-            let (a, b) = (&self.entries[hi - 1], &self.entries[hi]);
+                .ok_or_else(|| invariant("rate < last implies a bracketing entry"))?;
+            let a = self
+                .entries
+                .get(hi.wrapping_sub(1))
+                .ok_or_else(|| invariant("rate > first implies a lower bracketing entry"))?;
+            let b = &self.entries[hi]; // xtask:allow(index): `position` returned this index
             if (b.rate - a.rate).abs() < f64::EPSILON {
                 stat(b)
             } else {
@@ -478,9 +518,21 @@ mod tests {
     fn table() -> ResilienceTable {
         ResilienceTable::from_entries(
             vec![
-                TableEntry { rate: 0.0, mean_epochs: 0.0, max_epochs: 0 },
-                TableEntry { rate: 0.1, mean_epochs: 2.0, max_epochs: 4 },
-                TableEntry { rate: 0.2, mean_epochs: 5.0, max_epochs: 8 },
+                TableEntry {
+                    rate: 0.0,
+                    mean_epochs: 0.0,
+                    max_epochs: 0,
+                },
+                TableEntry {
+                    rate: 0.1,
+                    mean_epochs: 2.0,
+                    max_epochs: 4,
+                },
+                TableEntry {
+                    rate: 0.2,
+                    mean_epochs: 5.0,
+                    max_epochs: 8,
+                },
             ],
             10,
         )
@@ -504,7 +556,10 @@ mod tests {
         assert_eq!(s.epochs, 5);
         assert!(!s.clamped);
         // Mean interpolation: 2 + 0.5*(5-2) = 3.5 -> ceil 4.
-        assert_eq!(t.epochs_for(0.15, Statistic::Mean).expect("valid").epochs, 4);
+        assert_eq!(
+            t.epochs_for(0.15, Statistic::Mean).expect("valid").epochs,
+            4
+        );
     }
 
     #[test]
@@ -521,7 +576,9 @@ mod tests {
     fn margin_statistic() {
         let t = table();
         assert_eq!(
-            t.epochs_for(0.1, Statistic::MeanPlusMargin(1.5)).expect("valid").epochs,
+            t.epochs_for(0.1, Statistic::MeanPlusMargin(1.5))
+                .expect("valid")
+                .epochs,
             4 // 2.0 + 1.5 = 3.5 -> 4
         );
     }
@@ -568,8 +625,7 @@ mod tests {
         assert!(ResilienceTable::from_text("").is_err());
         assert!(ResilienceTable::from_text("# wrong header\n").is_err());
         let good = table().to_text();
-        assert!(ResilienceTable::from_text(&good.replace("epoch_cap 10", "epoch_cap x"))
-            .is_err());
+        assert!(ResilienceTable::from_text(&good.replace("epoch_cap 10", "epoch_cap x")).is_err());
         assert!(ResilienceTable::from_text(&good.replace("0.1 2 4", "0.1 2 4 9")).is_err());
         assert!(ResilienceTable::from_text(&good.replace("0.1 2 4", "5.0 2 4")).is_err());
         // Comments and blank lines are tolerated.

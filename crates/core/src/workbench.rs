@@ -9,8 +9,7 @@ use crate::error::{ReduceError, Result};
 use reduce_data::{blobs, spirals, Dataset, SynthImageConfig, SynthTask};
 use reduce_nn::models::{lenet, mlp, vgg11, VggConfig};
 use reduce_nn::{
-    evaluate, Adam, CrossEntropyLoss, EvalStats, LrSchedule, Sequential, Sgd, TrainConfig,
-    Trainer,
+    evaluate, Adam, CrossEntropyLoss, EvalStats, LrSchedule, Sequential, Sgd, TrainConfig, Trainer,
 };
 use reduce_tensor::Tensor;
 
@@ -45,9 +44,11 @@ impl ModelSpec {
         Ok(match self {
             ModelSpec::Mlp { dims } => mlp(dims, seed)?,
             ModelSpec::Vgg(cfg) => vgg11(cfg, seed)?,
-            ModelSpec::Lenet { input_hw, in_channels, classes } => {
-                lenet(*input_hw, *in_channels, *classes, seed)?
-            }
+            ModelSpec::Lenet {
+                input_hw,
+                in_channels,
+                classes,
+            } => lenet(*input_hw, *in_channels, *classes, seed)?,
         })
     }
 
@@ -59,14 +60,19 @@ impl ModelSpec {
     /// Propagates build errors.
     pub fn weight_dims(&self, seed: u64) -> Result<Vec<(usize, usize)>> {
         let model = self.build(seed)?;
-        Ok(model
+        model
             .weight_params()
             .iter()
             .map(|p| {
                 let d = p.value().dims();
-                (d[0], d[1])
+                match (d.first(), d.get(1)) {
+                    (Some(&out), Some(&inp)) => Ok((out, inp)),
+                    _ => Err(ReduceError::Internal {
+                        invariant: "weight parameters are rank-2 matrices".to_string(),
+                    }),
+                }
             })
-            .collect())
+            .collect()
     }
 
     /// The `(m, in, out)` GEMM shapes one forward pass over a batch of
@@ -80,7 +86,9 @@ impl ModelSpec {
     /// architecture.
     pub fn gemm_shapes(&self, batch: usize) -> Result<Vec<(usize, usize, usize)>> {
         if batch == 0 {
-            return Err(ReduceError::InvalidConfig { what: "zero batch".to_string() });
+            return Err(ReduceError::InvalidConfig {
+                what: "zero batch".to_string(),
+            });
         }
         Ok(match self {
             ModelSpec::Mlp { dims } => {
@@ -89,6 +97,7 @@ impl ModelSpec {
                         what: format!("mlp needs >= 2 dims, got {dims:?}"),
                     });
                 }
+                // xtask:allow(index): windows(2) yields exactly-2-element slices
                 dims.windows(2).map(|w| (batch, w[0], w[1])).collect()
             }
             ModelSpec::Vgg(cfg) => {
@@ -120,7 +129,11 @@ impl ModelSpec {
                 shapes.push((batch, hidden, cfg.classes));
                 shapes
             }
-            ModelSpec::Lenet { input_hw, in_channels, classes } => {
+            ModelSpec::Lenet {
+                input_hw,
+                in_channels,
+                classes,
+            } => {
                 let hw = *input_hw;
                 let h2 = hw / 2;
                 let h4 = hw / 4;
@@ -183,7 +196,11 @@ impl TaskSpec {
     /// Propagates generator errors.
     pub fn materialize(&self, seed: u64) -> Result<(Dataset, Dataset)> {
         match self {
-            TaskSpec::SynthImages { config, train_samples, test_samples } => {
+            TaskSpec::SynthImages {
+                config,
+                train_samples,
+                test_samples,
+            } => {
                 let mut cfg = *config;
                 cfg.seed = seed;
                 let task = SynthTask::new(cfg)?;
@@ -191,12 +208,24 @@ impl TaskSpec {
                 let test = task.sample(*test_samples, seed.wrapping_add(2))?;
                 Ok((train, test))
             }
-            TaskSpec::Blobs { samples, dim, classes, separation, std, label_noise } => {
+            TaskSpec::Blobs {
+                samples,
+                dim,
+                classes,
+                separation,
+                std,
+                label_noise,
+            } => {
                 let data = blobs(*samples, *dim, *classes, *separation, *std, seed)?
                     .with_label_noise(*label_noise, seed.wrapping_add(3))?;
                 Ok(data.split(0.8, seed.wrapping_add(4))?)
             }
-            TaskSpec::Spirals { samples, classes, turns, noise } => {
+            TaskSpec::Spirals {
+                samples,
+                classes,
+                turns,
+                noise,
+            } => {
                 let data = spirals(*samples, *classes, *turns, *noise, seed)?;
                 Ok(data.split(0.8, seed.wrapping_add(4))?)
             }
@@ -227,7 +256,11 @@ impl OptimSpec {
     /// Builds a trainer around this optimizer with the given config.
     fn trainer(&self, config: TrainConfig) -> Trainer {
         match *self {
-            OptimSpec::Sgd { lr, momentum, weight_decay } => Trainer::new(
+            OptimSpec::Sgd {
+                lr,
+                momentum,
+                weight_decay,
+            } => Trainer::new(
                 Sgd::with_momentum(lr, momentum).weight_decay(weight_decay),
                 CrossEntropyLoss,
                 config,
@@ -251,7 +284,11 @@ pub struct TrainSpec {
 impl Default for TrainSpec {
     fn default() -> Self {
         TrainSpec {
-            optimizer: OptimSpec::Sgd { lr: 0.05, momentum: 0.9, weight_decay: 0.0 },
+            optimizer: OptimSpec::Sgd {
+                lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
             batch_size: 32,
             schedule: LrSchedule::Constant,
         }
@@ -296,7 +333,9 @@ impl Workbench {
     /// mid-90s like the paper-scale task.
     pub fn toy(seed: u64) -> Self {
         Workbench {
-            model: ModelSpec::Mlp { dims: vec![8, 48, 32, 4] },
+            model: ModelSpec::Mlp {
+                dims: vec![8, 48, 32, 4],
+            },
             task: TaskSpec::Blobs {
                 samples: 1200,
                 dim: 8,
@@ -335,12 +374,20 @@ impl Workbench {
                 test_samples,
             },
             train: TrainSpec {
-                optimizer: OptimSpec::Sgd { lr: 0.02, momentum: 0.9, weight_decay: 1e-4 },
+                optimizer: OptimSpec::Sgd {
+                    lr: 0.02,
+                    momentum: 0.9,
+                    weight_decay: 1e-4,
+                },
                 batch_size: 32,
                 schedule: LrSchedule::Constant,
             },
             fat_train: Some(TrainSpec {
-                optimizer: OptimSpec::Sgd { lr: 0.0015, momentum: 0.9, weight_decay: 0.0 },
+                optimizer: OptimSpec::Sgd {
+                    lr: 0.0015,
+                    momentum: 0.9,
+                    weight_decay: 0.0,
+                },
                 batch_size: 32,
                 schedule: LrSchedule::Constant,
             }),
@@ -429,7 +476,11 @@ impl Workbench {
         let mut trainer = self.trainer(self.seed ^ 0xA5A5);
         trainer.fit(&mut model, train.features(), train.labels(), epochs)?;
         let stats = self.evaluate(&mut model, &test)?;
-        Ok(Pretrained { state: model.state_dict(), baseline_accuracy: stats.accuracy, epochs })
+        Ok(Pretrained {
+            state: model.state_dict(),
+            baseline_accuracy: stats.accuracy,
+            epochs,
+        })
     }
 }
 
@@ -476,7 +527,13 @@ mod tests {
     #[test]
     fn model_specs_build() {
         assert!(ModelSpec::Mlp { dims: vec![4, 2] }.build(0).is_ok());
-        assert!(ModelSpec::Lenet { input_hw: 16, in_channels: 1, classes: 4 }.build(0).is_ok());
+        assert!(ModelSpec::Lenet {
+            input_hw: 16,
+            in_channels: 1,
+            classes: 4
+        }
+        .build(0)
+        .is_ok());
         assert!(ModelSpec::Vgg(VggConfig::nano(10)).build(0).is_ok());
         assert!(ModelSpec::Mlp { dims: vec![4] }.build(0).is_err());
     }
@@ -495,9 +552,14 @@ mod tests {
         .expect("valid");
         assert_eq!(tr.len() + te.len(), 100);
 
-        let (tr, te) = TaskSpec::Spirals { samples: 50, classes: 2, turns: 1.0, noise: 0.05 }
-            .materialize(0)
-            .expect("valid");
+        let (tr, te) = TaskSpec::Spirals {
+            samples: 50,
+            classes: 2,
+            turns: 1.0,
+            noise: 0.05,
+        }
+        .materialize(0)
+        .expect("valid");
         assert_eq!(tr.len() + te.len(), 50);
 
         let (tr, te) = TaskSpec::SynthImages {

@@ -60,7 +60,10 @@ impl Augmenter {
         for img in 0..n {
             let flip = self.rng.gen::<f32>() < self.flip_probability;
             let (dx, dy) = if shift > 0 {
-                (self.rng.gen_range(-shift..=shift), self.rng.gen_range(-shift..=shift))
+                (
+                    self.rng.gen_range(-shift..=shift),
+                    self.rng.gen_range(-shift..=shift),
+                )
             } else {
                 (0, 0)
             };
@@ -120,7 +123,9 @@ mod tests {
 
     #[test]
     fn rejects_non_nchw() {
-        assert!(Augmenter::new(0.5, 1, 0).apply(&Tensor::zeros([4, 4])).is_err());
+        assert!(Augmenter::new(0.5, 1, 0)
+            .apply(&Tensor::zeros([4, 4]))
+            .is_err());
     }
 
     #[test]

@@ -78,14 +78,20 @@ impl Dataset {
             });
         }
         if classes == 0 {
-            return Err(DataError::Inconsistent { reason: "zero classes".to_string() });
+            return Err(DataError::Inconsistent {
+                reason: "zero classes".to_string(),
+            });
         }
         if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
             return Err(DataError::Inconsistent {
                 reason: format!("label {bad} >= classes {classes}"),
             });
         }
-        Ok(Dataset { features, labels, classes })
+        Ok(Dataset {
+            features,
+            labels,
+            classes,
+        })
     }
 
     /// The feature tensor (samples along dim 0).
@@ -292,8 +298,12 @@ mod tests {
         let d = toy(10_000);
         let orig = d.labels().to_vec();
         let noisy = d.with_label_noise(0.1, 3).expect("valid fraction");
-        let flipped =
-            orig.iter().zip(noisy.labels()).filter(|(a, b)| a != b).count() as f32 / 10_000.0;
+        let flipped = orig
+            .iter()
+            .zip(noisy.labels())
+            .filter(|(a, b)| a != b)
+            .count() as f32
+            / 10_000.0;
         assert!((flipped - 0.1).abs() < 0.02, "flipped {flipped}");
         // Flipped labels are always different classes and stay in range.
         assert!(noisy.labels().iter().all(|&l| l < 2));
@@ -309,24 +319,16 @@ mod tests {
 
     #[test]
     fn standardize_whitens() {
-        let d = Dataset::new(
-            Tensor::rand_normal([500, 3], 5.0, 2.0, 1),
-            vec![0; 500],
-            1,
-        )
-        .expect("consistent");
+        let d = Dataset::new(Tensor::rand_normal([500, 3], 5.0, 2.0, 1), vec![0; 500], 1)
+            .expect("consistent");
         let (std_d, transform) = d.standardize();
         assert!(std_d.features().mean().abs() < 1e-4);
         let var = std_d.features().map(|v| v * v).mean();
         assert!((var - 1.0).abs() < 1e-3);
         assert!((transform.mean - 5.0).abs() < 0.2);
         // Apply to another set drawn from the same distribution.
-        let other = Dataset::new(
-            Tensor::rand_normal([500, 3], 5.0, 2.0, 2),
-            vec![0; 500],
-            1,
-        )
-        .expect("consistent");
+        let other = Dataset::new(Tensor::rand_normal([500, 3], 5.0, 2.0, 2), vec![0; 500], 1)
+            .expect("consistent");
         let other = transform.apply(other);
         assert!(other.features().mean().abs() < 0.1);
     }

@@ -93,25 +93,26 @@ impl SynthTask {
         let hw = config.hw;
         let mut prototypes = Vec::with_capacity(config.classes);
         for class in 0..config.classes {
-            let mut rng =
-                SmallRng::seed_from_u64(config.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(class as u64 + 1)));
+            let mut rng = SmallRng::seed_from_u64(
+                config.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(class as u64 + 1)),
+            );
             let mut proto = vec![0.0f32; config.channels * hw * hw];
             for ch in 0..config.channels {
                 // Three gratings with class-specific geometry.
                 let gratings: Vec<(f32, f32, f32, f32)> = (0..3)
                     .map(|_| {
                         (
-                            rng.gen_range(0.5..2.5),                      // cycles across image
-                            rng.gen_range(0.0..std::f32::consts::PI),    // orientation
+                            rng.gen_range(0.5..2.5),                        // cycles across image
+                            rng.gen_range(0.0..std::f32::consts::PI),       // orientation
                             rng.gen_range(0.0..2.0 * std::f32::consts::PI), // phase
-                            rng.gen_range(0.4..1.0),                     // weight
+                            rng.gen_range(0.4..1.0),                        // weight
                         )
                     })
                     .collect();
                 // One blob.
-                let (bx, by) = (rng.gen_range(0.2..0.8), rng.gen_range(0.2..0.8));
-                let bsig = rng.gen_range(0.1..0.25);
-                let bamp = rng.gen_range(0.5..1.2);
+                let (bx, by): (f32, f32) = (rng.gen_range(0.2..0.8), rng.gen_range(0.2..0.8));
+                let bsig: f32 = rng.gen_range(0.1..0.25);
+                let bamp: f32 = rng.gen_range(0.5..1.2);
                 for y in 0..hw {
                     for x in 0..hw {
                         let (fx, fy) = (x as f32 / hw as f32, y as f32 / hw as f32);
@@ -131,7 +132,11 @@ impl SynthTask {
             for v in &mut proto {
                 *v -= mean;
             }
-            let max_abs = proto.iter().map(|v| v.abs()).fold(0.0f32, f32::max).max(1e-6);
+            let max_abs = proto
+                .iter()
+                .map(|v| v.abs())
+                .fold(0.0f32, f32::max)
+                .max(1e-6);
             for v in &mut proto {
                 *v /= max_abs;
             }
@@ -154,7 +159,9 @@ impl SynthTask {
         self.prototypes
             .get(class)
             .map(Vec::as_slice)
-            .ok_or_else(|| DataError::InvalidConfig { what: format!("class {class} out of range") })
+            .ok_or_else(|| DataError::InvalidConfig {
+                what: format!("class {class} out of range"),
+            })
     }
 
     /// Renders `samples` fresh labelled images using `sample_seed`.
@@ -167,7 +174,9 @@ impl SynthTask {
     /// Returns [`DataError::InvalidConfig`] if `samples` is zero.
     pub fn sample(&self, samples: usize, sample_seed: u64) -> Result<Dataset> {
         if samples == 0 {
-            return Err(DataError::InvalidConfig { what: "zero samples requested".to_string() });
+            return Err(DataError::InvalidConfig {
+                what: "zero samples requested".to_string(),
+            });
         }
         let c = &self.config;
         let (hw, chans) = (c.hw, c.channels);
@@ -300,10 +309,16 @@ mod tests {
             let img = &test.features().data()[i * img_len..(i + 1) * img_len];
             let best = (0..4)
                 .min_by(|&a, &b| {
-                    let da: f32 =
-                        img.iter().zip(&centroids[a]).map(|(x, c)| (x - c) * (x - c)).sum();
-                    let db: f32 =
-                        img.iter().zip(&centroids[b]).map(|(x, c)| (x - c) * (x - c)).sum();
+                    let da: f32 = img
+                        .iter()
+                        .zip(&centroids[a])
+                        .map(|(x, c)| (x - c) * (x - c))
+                        .sum();
+                    let db: f32 = img
+                        .iter()
+                        .zip(&centroids[b])
+                        .map(|(x, c)| (x - c) * (x - c))
+                        .sum();
                     da.partial_cmp(&db).expect("finite")
                 })
                 .expect("non-empty");
@@ -323,8 +338,12 @@ mod tests {
         let noisy = task.sample(400, 5).expect("nonzero");
         let clean_task = SynthTask::new(small_config()).expect("valid config");
         let clean = clean_task.sample(400, 5).expect("nonzero");
-        let diffs =
-            noisy.labels().iter().zip(clean.labels()).filter(|(a, b)| a != b).count();
+        let diffs = noisy
+            .labels()
+            .iter()
+            .zip(clean.labels())
+            .filter(|(a, b)| a != b)
+            .count();
         assert!(diffs > 100, "label noise had no effect ({diffs} flips)");
     }
 

@@ -67,7 +67,9 @@ pub fn blobs(
 /// Returns [`DataError::InvalidConfig`] for zero samples.
 pub fn two_moons(samples: usize, noise: f32, seed: u64) -> Result<Dataset> {
     if samples == 0 {
-        return Err(DataError::InvalidConfig { what: "zero samples".to_string() });
+        return Err(DataError::InvalidConfig {
+            what: "zero samples".to_string(),
+        });
     }
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut data = Vec::with_capacity(samples * 2);
@@ -94,7 +96,13 @@ pub fn two_moons(samples: usize, noise: f32, seed: u64) -> Result<Dataset> {
 /// # Errors
 ///
 /// Returns [`DataError::InvalidConfig`] for zero samples/classes.
-pub fn spirals(samples: usize, classes: usize, turns: f32, noise: f32, seed: u64) -> Result<Dataset> {
+pub fn spirals(
+    samples: usize,
+    classes: usize,
+    turns: f32,
+    noise: f32,
+    seed: u64,
+) -> Result<Dataset> {
     if samples == 0 || classes == 0 {
         return Err(DataError::InvalidConfig {
             what: format!("spirals({samples}, {classes}) has a zero argument"),

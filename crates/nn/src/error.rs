@@ -77,7 +77,10 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = NnError::BadInput { layer: "conv1".into(), reason: "rank 3".into() };
+        let e = NnError::BadInput {
+            layer: "conv1".into(),
+            reason: "rank 3".into(),
+        };
         assert!(e.to_string().contains("conv1"));
         let e = NnError::MissingForwardState { layer: "fc".into() };
         assert!(e.to_string().contains("before forward"));
@@ -85,7 +88,10 @@ mod tests {
 
     #[test]
     fn tensor_error_converts() {
-        let te = TensorError::LengthMismatch { expected: 1, actual: 2 };
+        let te = TensorError::LengthMismatch {
+            expected: 1,
+            actual: 2,
+        };
         let ne: NnError = te.clone().into();
         assert_eq!(ne, NnError::Tensor(te));
     }
@@ -93,7 +99,11 @@ mod tests {
     #[test]
     fn source_is_populated_for_tensor_errors() {
         use std::error::Error as _;
-        let ne: NnError = TensorError::LengthMismatch { expected: 1, actual: 2 }.into();
+        let ne: NnError = TensorError::LengthMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
         assert!(ne.source().is_some());
         let other = NnError::InvalidConfig { what: "x".into() };
         assert!(other.source().is_none());

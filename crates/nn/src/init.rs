@@ -8,8 +8,7 @@ use reduce_tensor::Tensor;
 ///
 /// All schemes draw from a caller-supplied RNG so whole-model initialisation
 /// is reproducible from a single seed.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Init {
     /// All zeros (biases, baselines).
     Zeros,
@@ -54,7 +53,6 @@ impl Init {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,7 +75,10 @@ mod tests {
         let mean = t.mean();
         let std = t.map(|x| (x - mean) * (x - mean)).mean().sqrt();
         let expected = (2.0f32 / 50.0).sqrt();
-        assert!((std - expected).abs() / expected < 0.1, "std {std} vs {expected}");
+        assert!(
+            (std - expected).abs() / expected < 0.1,
+            "std {std} vs {expected}"
+        );
     }
 
     #[test]

@@ -84,7 +84,10 @@ pub struct LeakyRelu {
 impl LeakyRelu {
     /// Creates a leaky ReLU with the given negative-side slope.
     pub fn new(alpha: f32) -> Self {
-        LeakyRelu { alpha, cached_input: None }
+        LeakyRelu {
+            alpha,
+            cached_input: None,
+        }
     }
 
     /// The negative-side slope.
@@ -129,7 +132,10 @@ mod tests {
     fn relu_clamps_negatives() {
         let mut r = Relu::new();
         let y = r
-            .forward(&Tensor::from_vec(vec![-1.0, 0.0, 2.0], [3]).expect("ok"), Mode::Eval)
+            .forward(
+                &Tensor::from_vec(vec![-1.0, 0.0, 2.0], [3]).expect("ok"),
+                Mode::Eval,
+            )
             .expect("any shape ok");
         assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
     }
@@ -139,7 +145,9 @@ mod tests {
         let mut r = Relu::new();
         let x = Tensor::from_vec(vec![-1.0, 3.0], [2]).expect("ok");
         let _ = r.forward(&x, Mode::Train).expect("any shape ok");
-        let gx = r.backward(&Tensor::ones([2])).expect("forward state present");
+        let gx = r
+            .backward(&Tensor::ones([2]))
+            .expect("forward state present");
         assert_eq!(gx.data(), &[0.0, 1.0]);
     }
 
@@ -165,11 +173,8 @@ mod tests {
     #[test]
     fn gradcheck_all_activations() {
         // Avoid the ReLU kink: keep probes away from 0.
-        let x = Tensor::from_vec(
-            vec![-2.0, -1.0, -0.5, 0.5, 1.0, 2.0, 3.0, -3.0],
-            [2, 4],
-        )
-        .expect("ok");
+        let x =
+            Tensor::from_vec(vec![-2.0, -1.0, -0.5, 0.5, 1.0, 2.0, 3.0, -3.0], [2, 4]).expect("ok");
         gradcheck::check_input_grad(&mut Relu::new(), &x, 1e-2);
         gradcheck::check_input_grad(&mut LeakyRelu::new(0.1), &x, 1e-2);
         gradcheck::check_input_grad(&mut Tanh::new(), &x, 1e-2);

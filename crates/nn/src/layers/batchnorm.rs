@@ -73,8 +73,7 @@ impl BatchNormState {
                 for v in &mut var {
                     *v /= group_size as f32;
                 }
-                let inv_std: Vec<f32> =
-                    var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+                let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
                 let mut xhat = x.clone();
                 for (i, v) in xhat.data_mut().iter_mut().enumerate() {
                     let f = feat(i);
@@ -119,7 +118,9 @@ impl BatchNormState {
         let (xhat, inv_std) = self
             .cached
             .as_ref()
-            .ok_or_else(|| NnError::MissingForwardState { layer: layer_name.to_string() })?;
+            .ok_or_else(|| NnError::MissingForwardState {
+                layer: layer_name.to_string(),
+            })?;
         let c = self.features;
         let n = group_size as f32;
         let mut sum_dy = vec![0.0f32; c];
@@ -156,7 +157,9 @@ pub struct BatchNorm1d {
 impl BatchNorm1d {
     /// Creates a batch-norm layer for `features` columns.
     pub fn new(features: usize) -> Self {
-        BatchNorm1d { state: BatchNormState::new(features) }
+        BatchNorm1d {
+            state: BatchNormState::new(features),
+        }
     }
 }
 
@@ -203,7 +206,9 @@ pub struct BatchNorm2d {
 impl BatchNorm2d {
     /// Creates a batch-norm layer for `channels` feature maps.
     pub fn new(channels: usize) -> Self {
-        BatchNorm2d { state: BatchNormState::new(channels) }
+        BatchNorm2d {
+            state: BatchNormState::new(channels),
+        }
     }
 }
 
@@ -225,7 +230,8 @@ impl Layer for BatchNorm2d {
         }
         let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
         let hw = h * w;
-        self.state.forward_grouped(x, move |i| (i / hw) % c, n * hw, mode)
+        self.state
+            .forward_grouped(x, move |i| (i / hw) % c, n * hw, mode)
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
@@ -239,7 +245,8 @@ impl Layer for BatchNorm2d {
         let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
         let hw = h * w;
         let name = self.name();
-        self.state.backward_grouped(grad, move |i| (i / hw) % c, n * hw, &name)
+        self.state
+            .backward_grouped(grad, move |i| (i / hw) % c, n * hw, &name)
     }
 
     fn params(&self) -> Vec<&Parameter> {
@@ -330,13 +337,19 @@ mod tests {
         let mut bn1 = BatchNorm1d::new(3);
         assert!(bn1.forward(&Tensor::zeros([4, 2]), Mode::Train).is_err());
         let mut bn2 = BatchNorm2d::new(3);
-        assert!(bn2.forward(&Tensor::zeros([4, 2, 2, 2]), Mode::Train).is_err());
+        assert!(bn2
+            .forward(&Tensor::zeros([4, 2, 2, 2]), Mode::Train)
+            .is_err());
         assert!(bn2.forward(&Tensor::zeros([4, 3]), Mode::Train).is_err());
     }
 
     #[test]
     fn backward_before_forward_is_error() {
-        assert!(BatchNorm1d::new(2).backward(&Tensor::zeros([2, 2])).is_err());
-        assert!(BatchNorm2d::new(2).backward(&Tensor::zeros([1, 2, 2, 2])).is_err());
+        assert!(BatchNorm1d::new(2)
+            .backward(&Tensor::zeros([2, 2]))
+            .is_err());
+        assert!(BatchNorm2d::new(2)
+            .backward(&Tensor::zeros([1, 2, 2, 2]))
+            .is_err());
     }
 }

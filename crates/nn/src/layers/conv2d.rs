@@ -87,7 +87,11 @@ impl Layer for Conv2d {
     fn name(&self) -> String {
         format!(
             "conv2d({}→{}, {}x{}, s{}, p{})",
-            self.in_channels, self.out_channels, self.kernel, self.kernel, self.stride,
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.kernel,
+            self.stride,
             self.padding
         )
     }
@@ -109,7 +113,11 @@ impl Layer for Conv2d {
         let rows = ops::matmul_nt(&cols, self.weight.value())?;
         let rows = ops::add_bias_rows(&rows, self.bias.value())?;
         let y = ops::rows_to_nchw(&rows, n, self.out_channels, geom.out_h, geom.out_w)?;
-        self.cached = Some(CachedForward { cols, geom, batch: n });
+        self.cached = Some(CachedForward {
+            cols,
+            geom,
+            batch: n,
+        });
         Ok(y)
     }
 
@@ -138,7 +146,12 @@ impl Layer for Conv2d {
         self.bias.grad_mut().axpy(1.0, &db)?;
         // dcols = grows · W — (N·OH·OW, OC)·(OC, C·K·K)
         let dcols = ops::matmul(&grows, self.weight.value())?;
-        Ok(ops::col2im(&dcols, cached.batch, self.in_channels, &cached.geom)?)
+        Ok(ops::col2im(
+            &dcols,
+            cached.batch,
+            self.in_channels,
+            &cached.geom,
+        )?)
     }
 
     fn params(&self) -> Vec<&Parameter> {
@@ -164,14 +177,18 @@ mod tests {
     #[test]
     fn forward_shapes_same_padding() {
         let mut c = Conv2d::new(3, 8, 3, 1, 1, &mut rng());
-        let y = c.forward(&Tensor::zeros([2, 3, 8, 8]), Mode::Eval).expect("valid input");
+        let y = c
+            .forward(&Tensor::zeros([2, 3, 8, 8]), Mode::Eval)
+            .expect("valid input");
         assert_eq!(y.dims(), &[2, 8, 8, 8]);
     }
 
     #[test]
     fn forward_shapes_strided() {
         let mut c = Conv2d::new(1, 4, 2, 2, 0, &mut rng());
-        let y = c.forward(&Tensor::zeros([1, 1, 8, 8]), Mode::Eval).expect("valid input");
+        let y = c
+            .forward(&Tensor::zeros([1, 1, 8, 8]), Mode::Eval)
+            .expect("valid input");
         assert_eq!(y.dims(), &[1, 4, 4, 4]);
     }
 
@@ -191,7 +208,9 @@ mod tests {
     #[test]
     fn backward_rejects_wrong_grad_shape() {
         let mut c = Conv2d::new(1, 2, 3, 1, 1, &mut rng());
-        let _ = c.forward(&Tensor::zeros([1, 1, 4, 4]), Mode::Train).expect("valid input");
+        let _ = c
+            .forward(&Tensor::zeros([1, 1, 4, 4]), Mode::Train)
+            .expect("valid input");
         assert!(c.backward(&Tensor::zeros([1, 2, 5, 5])).is_err());
     }
 
@@ -230,7 +249,10 @@ mod tests {
         }
         c.weight_mut().set_mask(Some(mask)).expect("valid mask");
         let y = c
-            .forward(&Tensor::rand_uniform([1, 1, 5, 5], -1.0, 1.0, 24), Mode::Eval)
+            .forward(
+                &Tensor::rand_uniform([1, 1, 5, 5], -1.0, 1.0, 24),
+                Mode::Eval,
+            )
             .expect("valid input");
         let ch0: f32 = y.data()[..25].iter().map(|v| v.abs()).sum();
         assert_eq!(ch0, 0.0);

@@ -31,7 +31,11 @@ impl Dropout {
                 what: format!("dropout probability {p} not in [0, 1)"),
             });
         }
-        Ok(Dropout { p, rng: SmallRng::seed_from_u64(seed), cached_mask: None })
+        Ok(Dropout {
+            p,
+            rng: SmallRng::seed_from_u64(seed),
+            cached_mask: None,
+        })
     }
 
     /// The drop probability.
@@ -52,6 +56,7 @@ impl Layer for Dropout {
                 Ok(x.clone())
             }
             Mode::Train => {
+                // xtask:allow(float-eq): p == 0.0 is the exact "dropout disabled" sentinel
                 if self.p == 0.0 {
                     self.cached_mask = None;
                     return Ok(x.clone());
@@ -126,7 +131,8 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let run = |seed| {
             let mut d = Dropout::new(0.5, seed).expect("valid p");
-            d.forward(&Tensor::ones([64]), Mode::Train).expect("any input ok")
+            d.forward(&Tensor::ones([64]), Mode::Train)
+                .expect("any input ok")
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));

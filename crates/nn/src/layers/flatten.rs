@@ -13,7 +13,9 @@ pub struct Flatten {
 impl Flatten {
     /// Creates a flatten layer.
     pub fn new() -> Self {
-        Flatten { cached_input_dims: None }
+        Flatten {
+            cached_input_dims: None,
+        }
     }
 }
 
@@ -63,7 +65,9 @@ mod tests {
     #[test]
     fn rank1_flattens_to_column() {
         let mut f = Flatten::new();
-        let y = f.forward(&Tensor::zeros([5]), Mode::Eval).expect("rank > 0");
+        let y = f
+            .forward(&Tensor::zeros([5]), Mode::Eval)
+            .expect("rank > 0");
         assert_eq!(y.dims(), &[5, 1]);
     }
 

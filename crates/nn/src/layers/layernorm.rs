@@ -120,8 +120,7 @@ impl Layer for LayerNorm {
             let sum_dyg_h: f32 = dyg.iter().zip(h).map(|(a, b)| a * b).sum();
             let inv = inv_std / f as f32;
             for j in 0..f {
-                gx.data_mut()[s * f + j] =
-                    inv * (f as f32 * dyg[j] - sum_dyg - h[j] * sum_dyg_h);
+                gx.data_mut()[s * f + j] = inv * (f as f32 * dyg[j] - sum_dyg - h[j] * sum_dyg_h);
             }
         }
         Ok(gx)
@@ -168,7 +167,11 @@ mod tests {
     #[test]
     fn works_on_nchw() {
         let mut ln = LayerNorm::new(2 * 3 * 3);
-        let y = ln.forward(&Tensor::rand_uniform([2, 2, 3, 3], -1.0, 1.0, 3), Mode::Eval)
+        let y = ln
+            .forward(
+                &Tensor::rand_uniform([2, 2, 3, 3], -1.0, 1.0, 3),
+                Mode::Eval,
+            )
             .expect("valid input");
         assert_eq!(y.dims(), &[2, 2, 3, 3]);
     }

@@ -141,7 +141,9 @@ mod tests {
     fn forward_shape_and_bias() {
         let mut l = Linear::with_init(3, 2, Init::Zeros, &mut rng());
         l.params_mut()[1].value_mut().fill(1.5);
-        let y = l.forward(&Tensor::ones([4, 3]), Mode::Eval).expect("valid input");
+        let y = l
+            .forward(&Tensor::ones([4, 3]), Mode::Eval)
+            .expect("valid input");
         assert_eq!(y.dims(), &[4, 2]);
         assert!(y.data().iter().all(|&v| v == 1.5));
     }
@@ -182,10 +184,12 @@ mod tests {
         let mut l = Linear::new(2, 2, &mut rng());
         let x = Tensor::ones([1, 2]);
         let _ = l.forward(&x, Mode::Train).expect("valid input");
-        l.backward(&Tensor::ones([1, 2])).expect("forward state present");
+        l.backward(&Tensor::ones([1, 2]))
+            .expect("forward state present");
         let g1 = l.params()[0].grad().clone();
         let _ = l.forward(&x, Mode::Train).expect("valid input");
-        l.backward(&Tensor::ones([1, 2])).expect("forward state present");
+        l.backward(&Tensor::ones([1, 2]))
+            .expect("forward state present");
         let g2 = l.params()[0].grad().clone();
         assert!(g2.approx_eq(&(&g1 * 2.0), 1e-6));
         l.zero_grad();
@@ -199,7 +203,10 @@ mod tests {
             .set_mask(Some(Tensor::from_vec(vec![0.0, 1.0], [1, 2]).expect("ok")))
             .expect("valid mask");
         let y = l
-            .forward(&Tensor::from_vec(vec![10.0, 1.0], [1, 2]).expect("ok"), Mode::Eval)
+            .forward(
+                &Tensor::from_vec(vec![10.0, 1.0], [1, 2]).expect("ok"),
+                Mode::Eval,
+            )
             .expect("valid input");
         // The first input (weight masked to 0) must not contribute.
         assert_eq!(y.data(), &[1.0]);

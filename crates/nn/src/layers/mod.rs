@@ -94,15 +94,20 @@ pub(crate) mod gradcheck {
         let gx = layer.backward(&gy).expect("backward succeeds");
         assert_eq!(gx.dims(), x.dims(), "input gradient shape");
         let eps = 1e-2;
-        let probes: Vec<usize> =
-            (0..x.len()).step_by((x.len() / 7).max(1)).take(8).collect();
+        let probes: Vec<usize> = (0..x.len()).step_by((x.len() / 7).max(1)).take(8).collect();
         for &i in &probes {
             let mut xp = x.clone();
             xp.data_mut()[i] += eps;
-            let lp = layer.forward(&xp, Mode::Train).expect("forward succeeds").sum();
+            let lp = layer
+                .forward(&xp, Mode::Train)
+                .expect("forward succeeds")
+                .sum();
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let lm = layer.forward(&xm, Mode::Train).expect("forward succeeds").sum();
+            let lm = layer
+                .forward(&xm, Mode::Train)
+                .expect("forward succeeds")
+                .sum();
             let fd = (lp - lm) / (2.0 * eps);
             let an = gx.data()[i];
             assert!(
@@ -125,9 +130,15 @@ pub(crate) mod gradcheck {
         for &i in &probes {
             let orig = layer.params()[pidx].value().data()[i];
             layer.params_mut()[pidx].value_mut().data_mut()[i] = orig + eps;
-            let lp = layer.forward(x, Mode::Train).expect("forward succeeds").sum();
+            let lp = layer
+                .forward(x, Mode::Train)
+                .expect("forward succeeds")
+                .sum();
             layer.params_mut()[pidx].value_mut().data_mut()[i] = orig - eps;
-            let lm = layer.forward(x, Mode::Train).expect("forward succeeds").sum();
+            let lm = layer
+                .forward(x, Mode::Train)
+                .expect("forward succeeds")
+                .sum();
             layer.params_mut()[pidx].value_mut().data_mut()[i] = orig;
             let fd = (lp - lm) / (2.0 * eps);
             let an = analytic.data()[i];

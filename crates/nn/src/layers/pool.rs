@@ -15,7 +15,11 @@ pub struct MaxPool2d {
 impl MaxPool2d {
     /// Creates a max-pool layer with a square window.
     pub fn new(window: usize, stride: usize) -> Self {
-        MaxPool2d { window, stride, cached: None }
+        MaxPool2d {
+            window,
+            stride,
+            cached: None,
+        }
     }
 
     /// The pooling window size.
@@ -26,7 +30,10 @@ impl MaxPool2d {
 
 impl Layer for MaxPool2d {
     fn name(&self) -> String {
-        format!("max_pool2d({}x{}, s{})", self.window, self.window, self.stride)
+        format!(
+            "max_pool2d({}x{}, s{})",
+            self.window, self.window, self.stride
+        )
     }
 
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
@@ -55,13 +62,20 @@ pub struct AvgPool2d {
 impl AvgPool2d {
     /// Creates an average-pool layer with a square window.
     pub fn new(window: usize, stride: usize) -> Self {
-        AvgPool2d { window, stride, cached_input_dims: None }
+        AvgPool2d {
+            window,
+            stride,
+            cached_input_dims: None,
+        }
     }
 }
 
 impl Layer for AvgPool2d {
     fn name(&self) -> String {
-        format!("avg_pool2d({}x{}, s{})", self.window, self.window, self.stride)
+        format!(
+            "avg_pool2d({}x{}, s{})",
+            self.window, self.window, self.stride
+        )
     }
 
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
@@ -75,7 +89,12 @@ impl Layer for AvgPool2d {
             .cached_input_dims
             .as_ref()
             .ok_or_else(|| NnError::MissingForwardState { layer: self.name() })?;
-        Ok(ops::avg_pool2d_backward(grad, dims, self.window, self.stride)?)
+        Ok(ops::avg_pool2d_backward(
+            grad,
+            dims,
+            self.window,
+            self.stride,
+        )?)
     }
 }
 
@@ -86,7 +105,9 @@ mod tests {
     #[test]
     fn max_pool_halves_spatial_dims() {
         let mut p = MaxPool2d::new(2, 2);
-        let y = p.forward(&Tensor::zeros([1, 2, 8, 8]), Mode::Eval).expect("valid input");
+        let y = p
+            .forward(&Tensor::zeros([1, 2, 8, 8]), Mode::Eval)
+            .expect("valid input");
         assert_eq!(y.dims(), &[1, 2, 4, 4]);
     }
 
@@ -95,7 +116,9 @@ mod tests {
         let mut p = MaxPool2d::new(2, 2);
         let x = Tensor::rand_uniform([1, 1, 4, 4], 0.0, 1.0, 3);
         let y = p.forward(&x, Mode::Train).expect("valid input");
-        let gx = p.backward(&Tensor::ones(y.dims().to_vec())).expect("forward state present");
+        let gx = p
+            .backward(&Tensor::ones(y.dims().to_vec()))
+            .expect("forward state present");
         let nonzero = gx.data().iter().filter(|&&v| v != 0.0).count();
         assert_eq!(nonzero, 4); // one winner per window
     }
@@ -110,12 +133,18 @@ mod tests {
 
     #[test]
     fn backward_before_forward_is_error() {
-        assert!(MaxPool2d::new(2, 2).backward(&Tensor::zeros([1, 1, 2, 2])).is_err());
-        assert!(AvgPool2d::new(2, 2).backward(&Tensor::zeros([1, 1, 2, 2])).is_err());
+        assert!(MaxPool2d::new(2, 2)
+            .backward(&Tensor::zeros([1, 1, 2, 2]))
+            .is_err());
+        assert!(AvgPool2d::new(2, 2)
+            .backward(&Tensor::zeros([1, 1, 2, 2]))
+            .is_err());
     }
 
     #[test]
     fn rejects_non_nchw() {
-        assert!(MaxPool2d::new(2, 2).forward(&Tensor::zeros([4, 4]), Mode::Eval).is_err());
+        assert!(MaxPool2d::new(2, 2)
+            .forward(&Tensor::zeros([4, 4]), Mode::Eval)
+            .is_err());
     }
 }

@@ -92,13 +92,17 @@ impl Loss for CrossEntropyLoss {
             });
         }
         if n == 0 {
-            return Err(NnError::InvalidConfig { what: "empty batch".to_string() });
+            return Err(NnError::InvalidConfig {
+                what: "empty batch".to_string(),
+            });
         }
         let log_probs = ops::log_softmax_rows(predictions)?;
         let mut loss = 0.0f32;
         for (i, &y) in labels.iter().enumerate() {
             if y >= c {
-                return Err(NnError::InvalidConfig { what: format!("label {y} >= classes {c}") });
+                return Err(NnError::InvalidConfig {
+                    what: format!("label {y} >= classes {c}"),
+                });
             }
             loss -= log_probs.data()[i * c + y];
         }
@@ -142,7 +146,9 @@ impl Loss for MseLoss {
             }));
         }
         if predictions.is_empty() {
-            return Err(NnError::InvalidConfig { what: "empty batch".to_string() });
+            return Err(NnError::InvalidConfig {
+                what: "empty batch".to_string(),
+            });
         }
         let diff = (predictions - values)?;
         let n = predictions.len() as f32;
@@ -159,7 +165,9 @@ mod tests {
     #[test]
     fn cross_entropy_uniform_logits() {
         let logits = Tensor::zeros([2, 4]);
-        let out = CrossEntropyLoss.evaluate(&logits, &vec![0, 1].into()).expect("valid");
+        let out = CrossEntropyLoss
+            .evaluate(&logits, &vec![0, 1].into())
+            .expect("valid");
         assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
     }
 
@@ -167,7 +175,9 @@ mod tests {
     fn cross_entropy_confident_correct_is_small() {
         let mut logits = Tensor::zeros([1, 3]);
         logits.data_mut()[1] = 20.0;
-        let out = CrossEntropyLoss.evaluate(&logits, &vec![1].into()).expect("valid");
+        let out = CrossEntropyLoss
+            .evaluate(&logits, &vec![1].into())
+            .expect("valid");
         assert!(out.loss < 1e-6);
     }
 
@@ -192,7 +202,9 @@ mod tests {
     #[test]
     fn cross_entropy_grad_rows_sum_to_zero() {
         let logits = Tensor::rand_uniform([4, 5], -1.0, 1.0, 2);
-        let out = CrossEntropyLoss.evaluate(&logits, &vec![0, 1, 2, 3].into()).expect("valid");
+        let out = CrossEntropyLoss
+            .evaluate(&logits, &vec![0, 1, 2, 3].into())
+            .expect("valid");
         for i in 0..4 {
             let s: f32 = out.grad.row_slice(i).expect("in range").iter().sum();
             assert!(s.abs() < 1e-6);
@@ -203,17 +215,23 @@ mod tests {
     fn cross_entropy_validation() {
         let logits = Tensor::zeros([2, 3]);
         assert!(CrossEntropyLoss.evaluate(&logits, &vec![0].into()).is_err());
-        assert!(CrossEntropyLoss.evaluate(&logits, &vec![0, 3].into()).is_err());
+        assert!(CrossEntropyLoss
+            .evaluate(&logits, &vec![0, 3].into())
+            .is_err());
         assert!(CrossEntropyLoss
             .evaluate(&logits, &Target::Values(Tensor::zeros([2, 3])))
             .is_err());
-        assert!(CrossEntropyLoss.evaluate(&Tensor::zeros([0, 3]), &vec![].into()).is_err());
+        assert!(CrossEntropyLoss
+            .evaluate(&Tensor::zeros([0, 3]), &vec![].into())
+            .is_err());
     }
 
     #[test]
     fn mse_zero_for_exact_prediction() {
         let p = Tensor::rand_uniform([4, 2], -1.0, 1.0, 3);
-        let out = MseLoss.evaluate(&p, &Target::Values(p.clone())).expect("valid");
+        let out = MseLoss
+            .evaluate(&p, &Target::Values(p.clone()))
+            .expect("valid");
         assert_eq!(out.loss, 0.0);
         assert_eq!(out.grad.sum(), 0.0);
     }
@@ -238,9 +256,14 @@ mod tests {
 
     #[test]
     fn mse_validation() {
-        assert!(MseLoss.evaluate(&Tensor::zeros([2, 2]), &vec![0, 1].into()).is_err());
         assert!(MseLoss
-            .evaluate(&Tensor::zeros([2, 2]), &Target::Values(Tensor::zeros([2, 3])))
+            .evaluate(&Tensor::zeros([2, 2]), &vec![0, 1].into())
+            .is_err());
+        assert!(MseLoss
+            .evaluate(
+                &Tensor::zeros([2, 2]),
+                &Target::Values(Tensor::zeros([2, 3]))
+            )
             .is_err());
     }
 

@@ -17,7 +17,9 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
         });
     }
     if labels.is_empty() {
-        return Err(NnError::InvalidConfig { what: "empty batch".to_string() });
+        return Err(NnError::InvalidConfig {
+            what: "empty batch".to_string(),
+        });
     }
     let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
     Ok(correct as f32 / labels.len() as f32)
@@ -35,7 +37,10 @@ pub struct ConfusionMatrix {
 impl ConfusionMatrix {
     /// Creates an empty matrix for `classes` classes.
     pub fn new(classes: usize) -> Self {
-        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
     }
 
     /// Number of classes.
@@ -116,8 +121,7 @@ mod tests {
 
     #[test]
     fn accuracy_basic() {
-        let logits =
-            Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], [3, 2]).expect("ok");
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], [3, 2]).expect("ok");
         let acc = accuracy(&logits, &[0, 1, 1]).expect("consistent");
         assert!((acc - 2.0 / 3.0).abs() < 1e-6);
     }

@@ -122,7 +122,10 @@ impl Sequential {
 
     /// All parameters, mutable, flattened in layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Parameter> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Total number of scalar weights.
@@ -133,12 +136,18 @@ impl Sequential {
     /// The rank-2 (GEMM weight-matrix) parameters — the ones a systolic
     /// array executes and a fault map masks — in layer order.
     pub fn weight_params(&self) -> Vec<&Parameter> {
-        self.params().into_iter().filter(|p| p.value().rank() == 2).collect()
+        self.params()
+            .into_iter()
+            .filter(|p| p.value().rank() == 2)
+            .collect()
     }
 
     /// Mutable variant of [`Sequential::weight_params`].
     pub fn weight_params_mut(&mut self) -> Vec<&mut Parameter> {
-        self.params_mut().into_iter().filter(|p| p.value().rank() == 2).collect()
+        self.params_mut()
+            .into_iter()
+            .filter(|p| p.value().rank() == 2)
+            .collect()
     }
 
     /// Installs fault masks on the weight parameters, in order.
@@ -204,12 +213,18 @@ impl Sequential {
             .iter()
             .enumerate()
             .flat_map(|(i, l)| {
-                l.params().into_iter().map(move |p| format!("{i}.{}", p.name()))
+                l.params()
+                    .into_iter()
+                    .map(move |p| format!("{i}.{}", p.name()))
             })
             .collect();
         if expected.len() != state.len() {
             return Err(NnError::CheckpointMismatch {
-                reason: format!("{} entries loaded into {} parameters", state.len(), expected.len()),
+                reason: format!(
+                    "{} entries loaded into {} parameters",
+                    state.len(),
+                    expected.len()
+                ),
             });
         }
         for (name, (key, _)) in expected.iter().zip(state) {
@@ -256,7 +271,9 @@ mod tests {
     #[test]
     fn forward_backward_shapes() {
         let mut m = model();
-        let y = m.forward(&Tensor::zeros([5, 4]), Mode::Train).expect("valid input");
+        let y = m
+            .forward(&Tensor::zeros([5, 4]), Mode::Train)
+            .expect("valid input");
         assert_eq!(y.dims(), &[5, 3]);
         let gx = m.backward(&Tensor::ones([5, 3])).expect("forward ran");
         assert_eq!(gx.dims(), &[5, 4]);
@@ -273,7 +290,9 @@ mod tests {
     #[test]
     fn zero_grad_clears_everything() {
         let mut m = model();
-        let _ = m.forward(&Tensor::ones([2, 4]), Mode::Train).expect("valid input");
+        let _ = m
+            .forward(&Tensor::ones([2, 4]), Mode::Train)
+            .expect("valid input");
         m.backward(&Tensor::ones([2, 3])).expect("forward ran");
         assert!(m.params().iter().any(|p| p.grad().norm_sq() > 0.0));
         m.zero_grad();
@@ -327,7 +346,8 @@ mod tests {
         let mut m = model();
         let mut mask = Tensor::ones([8, 4]);
         mask.data_mut()[0] = 0.0;
-        m.set_weight_masks(&[Some(mask), None]).expect("count matches");
+        m.set_weight_masks(&[Some(mask), None])
+            .expect("count matches");
         let mut state = model().state_dict();
         state[0].1.fill(9.0);
         m.load_state_dict(&state).expect("matching checkpoint");

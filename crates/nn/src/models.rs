@@ -86,8 +86,7 @@ impl VggConfig {
 /// # }
 /// ```
 pub fn vgg11(config: &VggConfig, seed: u64) -> Result<Sequential> {
-    if config.width == 0 || config.classes == 0 || config.input_hw == 0 || config.in_channels == 0
-    {
+    if config.width == 0 || config.classes == 0 || config.input_hw == 0 || config.in_channels == 0 {
         return Err(NnError::InvalidConfig {
             what: format!("vgg11 config has a zero field: {config:?}"),
         });
@@ -199,15 +198,20 @@ mod tests {
     #[test]
     fn vgg_nano_forward_shape() {
         let mut m = vgg11(&VggConfig::nano(10), 0).expect("valid config");
-        let y = m.forward(&Tensor::zeros([2, 3, 16, 16]), Mode::Eval).expect("valid input");
+        let y = m
+            .forward(&Tensor::zeros([2, 3, 16, 16]), Mode::Eval)
+            .expect("valid input");
         assert_eq!(y.dims(), &[2, 10]);
     }
 
     #[test]
     fn vgg_nano_has_eight_convs() {
         let m = vgg11(&VggConfig::nano(10), 0).expect("valid config");
-        let convs =
-            m.layers().iter().filter(|l| l.name().starts_with("conv2d")).count();
+        let convs = m
+            .layers()
+            .iter()
+            .filter(|l| l.name().starts_with("conv2d"))
+            .count();
         assert_eq!(convs, 8, "VGG11 topology has 8 convolutions");
         // 8 conv weights + 2 classifier weights are the maskable GEMMs.
         assert_eq!(m.weight_params().len(), 10);
@@ -222,9 +226,14 @@ mod tests {
 
     #[test]
     fn vgg_small_input_skips_pools() {
-        let cfg = VggConfig { input_hw: 8, ..VggConfig::nano(4) };
+        let cfg = VggConfig {
+            input_hw: 8,
+            ..VggConfig::nano(4)
+        };
         let mut m = vgg11(&cfg, 0).expect("valid config");
-        let y = m.forward(&Tensor::zeros([1, 3, 8, 8]), Mode::Eval).expect("valid input");
+        let y = m
+            .forward(&Tensor::zeros([1, 3, 8, 8]), Mode::Eval)
+            .expect("valid input");
         assert_eq!(y.dims(), &[1, 4]);
     }
 
@@ -238,7 +247,9 @@ mod tests {
     #[test]
     fn mlp_shapes_and_validation() {
         let mut m = mlp(&[4, 16, 3], 1).expect("valid dims");
-        let y = m.forward(&Tensor::zeros([2, 4]), Mode::Eval).expect("valid input");
+        let y = m
+            .forward(&Tensor::zeros([2, 4]), Mode::Eval)
+            .expect("valid input");
         assert_eq!(y.dims(), &[2, 3]);
         assert_eq!(m.num_params(), 4 * 16 + 16 + 16 * 3 + 3);
         assert!(mlp(&[4], 1).is_err());
@@ -248,15 +259,21 @@ mod tests {
     #[test]
     fn lenet_forward() {
         let mut m = lenet(16, 1, 10, 2).expect("valid config");
-        let y = m.forward(&Tensor::zeros([1, 1, 16, 16]), Mode::Eval).expect("valid input");
+        let y = m
+            .forward(&Tensor::zeros([1, 1, 16, 16]), Mode::Eval)
+            .expect("valid input");
         assert_eq!(y.dims(), &[1, 10]);
         assert!(lenet(8, 1, 10, 2).is_err());
     }
 
     #[test]
     fn builders_are_deterministic() {
-        let a = vgg11(&VggConfig::nano(10), 7).expect("valid config").state_dict();
-        let b = vgg11(&VggConfig::nano(10), 7).expect("valid config").state_dict();
+        let a = vgg11(&VggConfig::nano(10), 7)
+            .expect("valid config")
+            .state_dict();
+        let b = vgg11(&VggConfig::nano(10), 7)
+            .expect("valid config")
+            .state_dict();
         for ((_, t1), (_, t2)) in a.iter().zip(&b) {
             assert_eq!(t1, t2);
         }

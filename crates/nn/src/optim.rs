@@ -30,11 +30,7 @@ pub trait Optimizer: std::fmt::Debug + Send {
     fn set_learning_rate(&mut self, lr: f32);
 }
 
-fn check_state_len(
-    what: &'static str,
-    state: &[Tensor],
-    params: &[&mut Parameter],
-) -> Result<()> {
+fn check_state_len(what: &'static str, state: &[Tensor], params: &[&mut Parameter]) -> Result<()> {
     if state.len() != params.len() {
         return Err(NnError::InvalidConfig {
             what: format!(
@@ -75,12 +71,22 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD with learning rate `lr`.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with classical momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, weight_decay: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Adds L2 weight decay (applied as a gradient term).
@@ -97,15 +103,20 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [&mut Parameter]) -> Result<()> {
+        // xtask:allow(float-eq): momentum == 0.0 is the exact "plain SGD" sentinel
         if self.velocity.is_empty() && self.momentum != 0.0 {
-            self.velocity =
-                params.iter().map(|p| Tensor::zeros(p.value().dims().to_vec())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value().dims().to_vec()))
+                .collect();
         }
+        // xtask:allow(float-eq): momentum == 0.0 is the exact "plain SGD" sentinel
         if self.momentum != 0.0 {
             check_state_len("sgd", &self.velocity, params)?;
         }
         for (i, p) in params.iter_mut().enumerate() {
             p.project_grad();
+            // xtask:allow(float-eq): momentum == 0.0 is the exact "plain SGD" sentinel
             if self.momentum == 0.0 {
                 let (wd, lr) = (self.weight_decay, self.lr);
                 let grad = p.grad().clone();
@@ -206,7 +217,10 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Parameter]) -> Result<()> {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.value().dims().to_vec())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value().dims().to_vec()))
+                .collect();
             self.v = self.m.clone();
         }
         check_state_len("adam", &self.m, params)?;
@@ -221,14 +235,21 @@ impl Optimizer for Adam {
                     what: format!("adam: parameter {} changed shape", p.name()),
                 });
             }
-            let (b1, b2, eps, lr, wd, decoupled) =
-                (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay, self.decoupled);
+            let (b1, b2, eps, lr, wd, decoupled) = (
+                self.beta1,
+                self.beta2,
+                self.eps,
+                self.lr,
+                self.weight_decay,
+                self.decoupled,
+            );
             let grad = p.grad().data().to_vec();
             let m = self.m[i].data_mut();
             let v = self.v[i].data_mut();
             let w = p.value_mut().data_mut();
             for j in 0..w.len() {
                 let mut g = grad[j];
+                // xtask:allow(float-eq): wd == 0.0 is the exact "decay disabled" sentinel
                 if wd != 0.0 && !decoupled {
                     g += wd * w[j];
                 }
@@ -237,6 +258,7 @@ impl Optimizer for Adam {
                 let mhat = m[j] / bc1;
                 let vhat = v[j] / bc2;
                 w[j] -= lr * mhat / (vhat.sqrt() + eps);
+                // xtask:allow(float-eq): wd == 0.0 is the exact "decay disabled" sentinel
                 if wd != 0.0 && decoupled {
                     w[j] -= lr * wd * w[j];
                 }
@@ -260,7 +282,10 @@ mod tests {
     use super::*;
 
     fn param(values: &[f32]) -> Parameter {
-        Parameter::new("w", Tensor::from_vec(values.to_vec(), [values.len()]).expect("ok"))
+        Parameter::new(
+            "w",
+            Tensor::from_vec(values.to_vec(), [values.len()]).expect("ok"),
+        )
     }
 
     #[test]
@@ -268,10 +293,9 @@ mod tests {
         let mut p = param(&[1.0, -1.0]);
         p.grad_mut().data_mut().copy_from_slice(&[2.0, -2.0]);
         Sgd::new(0.1).step(&mut [&mut p]).expect("stable params");
-        assert!(p.value().approx_eq(
-            &Tensor::from_vec(vec![0.8, -0.8], [2]).expect("ok"),
-            1e-6
-        ));
+        assert!(p
+            .value()
+            .approx_eq(&Tensor::from_vec(vec![0.8, -0.8], [2]).expect("ok"), 1e-6));
     }
 
     #[test]
@@ -295,14 +319,18 @@ mod tests {
     fn weight_decay_shrinks_weights() {
         let mut p = param(&[1.0]);
         // No gradient signal, only decay.
-        Sgd::new(0.1).weight_decay(0.5).step(&mut [&mut p]).expect("stable params");
+        Sgd::new(0.1)
+            .weight_decay(0.5)
+            .step(&mut [&mut p])
+            .expect("stable params");
         assert!(p.value().data()[0] < 1.0);
     }
 
     #[test]
     fn sgd_respects_mask() {
         let mut p = param(&[1.0, 1.0]);
-        p.set_mask(Some(Tensor::from_vec(vec![0.0, 1.0], [2]).expect("ok"))).expect("valid");
+        p.set_mask(Some(Tensor::from_vec(vec![0.0, 1.0], [2]).expect("ok")))
+            .expect("valid");
         p.grad_mut().fill(1.0);
         let mut opt = Sgd::with_momentum(0.1, 0.9);
         for _ in 0..3 {
@@ -323,14 +351,19 @@ mod tests {
             p.grad_mut().data_mut()[0] = 2.0 * (w - 3.0);
             opt.step(&mut [&mut p]).expect("stable params");
         }
-        assert!((p.value().data()[0] - 3.0).abs() < 0.05, "w = {}", p.value().data()[0]);
+        assert!(
+            (p.value().data()[0] - 3.0).abs() < 0.05,
+            "w = {}",
+            p.value().data()[0]
+        );
         assert_eq!(opt.steps(), 200);
     }
 
     #[test]
     fn adam_respects_mask() {
         let mut p = param(&[1.0, 1.0]);
-        p.set_mask(Some(Tensor::from_vec(vec![0.0, 1.0], [2]).expect("ok"))).expect("valid");
+        p.set_mask(Some(Tensor::from_vec(vec![0.0, 1.0], [2]).expect("ok")))
+            .expect("valid");
         let mut opt = Adam::new(0.05);
         for _ in 0..10 {
             p.zero_grad();

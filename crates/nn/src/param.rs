@@ -40,7 +40,12 @@ impl Parameter {
     /// Creates a parameter with a zeroed gradient and no mask.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
         let grad = Tensor::zeros(value.dims().to_vec());
-        Parameter { name: name.into(), value, grad, mask: None }
+        Parameter {
+            name: name.into(),
+            value,
+            grad,
+            mask: None,
+        }
     }
 
     /// The parameter's diagnostic name (e.g. `"conv1.weight"`).
@@ -127,6 +132,7 @@ impl Parameter {
                     ),
                 });
             }
+            // xtask:allow(float-eq): validates masks hold exact 0.0/1.0 sentinels
             if m.data().iter().any(|&v| v != 0.0 && v != 1.0) {
                 return Err(NnError::BadInput {
                     layer: self.name.clone(),
@@ -175,6 +181,7 @@ impl Parameter {
                 if m.is_empty() {
                     0.0
                 } else {
+                    // xtask:allow(float-eq): masks hold exact 0.0/1.0 sentinels
                     m.data().iter().filter(|&&v| v == 0.0).count() as f32 / m.len() as f32
                 }
             }
@@ -186,7 +193,12 @@ impl Parameter {
     pub fn mask_invariant_holds(&self) -> bool {
         match &self.mask {
             Some(m) => {
-                self.value.data().iter().zip(m.data()).all(|(&v, &mv)| mv != 0.0 || v == 0.0)
+                self.value
+                    .data()
+                    .iter()
+                    .zip(m.data())
+                    // xtask:allow(float-eq): masks hold exact 0.0/1.0 sentinels
+                    .all(|(&v, &mv)| mv != 0.0 || v == 0.0)
             }
             None => true,
         }
@@ -208,8 +220,10 @@ mod tests {
     #[test]
     fn set_mask_projects_value() {
         let mut p = Parameter::new("w", Tensor::ones([4]));
-        p.set_mask(Some(Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [4]).expect("ok")))
-            .expect("valid mask");
+        p.set_mask(Some(
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [4]).expect("ok"),
+        ))
+        .expect("valid mask");
         assert_eq!(p.value().data(), &[1.0, 0.0, 0.0, 1.0]);
         assert!((p.masked_fraction() - 0.5).abs() < 1e-6);
         assert!(p.mask_invariant_holds());
@@ -219,13 +233,16 @@ mod tests {
     fn set_mask_rejects_wrong_shape_and_values() {
         let mut p = Parameter::new("w", Tensor::ones([4]));
         assert!(p.set_mask(Some(Tensor::ones([3]))).is_err());
-        assert!(p.set_mask(Some(Tensor::from_vec(vec![0.5; 4], [4]).expect("ok"))).is_err());
+        assert!(p
+            .set_mask(Some(Tensor::from_vec(vec![0.5; 4], [4]).expect("ok")))
+            .is_err());
     }
 
     #[test]
     fn clear_mask_allows_drift() {
         let mut p = Parameter::new("w", Tensor::ones([2]));
-        p.set_mask(Some(Tensor::from_vec(vec![0.0, 1.0], [2]).expect("ok"))).expect("valid");
+        p.set_mask(Some(Tensor::from_vec(vec![0.0, 1.0], [2]).expect("ok")))
+            .expect("valid");
         p.set_mask(None).expect("clearing is always valid");
         assert!(p.mask().is_none());
         p.value_mut().data_mut()[0] = 5.0;
@@ -235,7 +252,8 @@ mod tests {
     #[test]
     fn project_grad_zeroes_masked_entries() {
         let mut p = Parameter::new("w", Tensor::ones([2]));
-        p.set_mask(Some(Tensor::from_vec(vec![0.0, 1.0], [2]).expect("ok"))).expect("valid");
+        p.set_mask(Some(Tensor::from_vec(vec![0.0, 1.0], [2]).expect("ok")))
+            .expect("valid");
         p.grad_mut().fill(3.0);
         p.project_grad();
         assert_eq!(p.grad().data(), &[0.0, 3.0]);
@@ -244,7 +262,8 @@ mod tests {
     #[test]
     fn load_value_reapplies_mask() {
         let mut p = Parameter::new("w", Tensor::ones([2]));
-        p.set_mask(Some(Tensor::from_vec(vec![0.0, 1.0], [2]).expect("ok"))).expect("valid");
+        p.set_mask(Some(Tensor::from_vec(vec![0.0, 1.0], [2]).expect("ok")))
+            .expect("valid");
         p.load_value(Tensor::full([2], 7.0)).expect("same shape");
         assert_eq!(p.value().data(), &[0.0, 7.0]);
         assert!(p.load_value(Tensor::ones([3])).is_err());

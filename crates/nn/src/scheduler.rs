@@ -6,8 +6,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Schedules are plain data (serialisable) so experiment configurations can
 /// be recorded alongside results.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum LrSchedule {
     /// Constant learning rate.
     #[default]
@@ -38,12 +37,10 @@ impl LrSchedule {
     pub fn rate(&self, base_lr: f32, epoch: usize) -> f32 {
         match *self {
             LrSchedule::Constant => base_lr,
-            LrSchedule::StepDecay { step, gamma } => {
-                match epoch.checked_div(step) {
-                    Some(k) => base_lr * gamma.powi(k as i32),
-                    None => base_lr,
-                }
-            }
+            LrSchedule::StepDecay { step, gamma } => match epoch.checked_div(step) {
+                Some(k) => base_lr * gamma.powi(k as i32),
+                None => base_lr,
+            },
             LrSchedule::Cosine { total, min_lr } => {
                 if total == 0 {
                     return base_lr;
@@ -55,7 +52,6 @@ impl LrSchedule {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -69,7 +65,10 @@ mod tests {
 
     #[test]
     fn step_decay_steps() {
-        let s = LrSchedule::StepDecay { step: 2, gamma: 0.1 };
+        let s = LrSchedule::StepDecay {
+            step: 2,
+            gamma: 0.1,
+        };
         assert!((s.rate(1.0, 0) - 1.0).abs() < 1e-6);
         assert!((s.rate(1.0, 1) - 1.0).abs() < 1e-6);
         assert!((s.rate(1.0, 2) - 0.1).abs() < 1e-6);
@@ -78,13 +77,19 @@ mod tests {
 
     #[test]
     fn step_decay_zero_step_is_constant() {
-        let s = LrSchedule::StepDecay { step: 0, gamma: 0.1 };
+        let s = LrSchedule::StepDecay {
+            step: 0,
+            gamma: 0.1,
+        };
         assert_eq!(s.rate(1.0, 5), 1.0);
     }
 
     #[test]
     fn cosine_endpoints() {
-        let s = LrSchedule::Cosine { total: 10, min_lr: 0.01 };
+        let s = LrSchedule::Cosine {
+            total: 10,
+            min_lr: 0.01,
+        };
         assert!((s.rate(1.0, 0) - 1.0).abs() < 1e-6);
         assert!((s.rate(1.0, 10) - 0.01).abs() < 1e-6);
         // Beyond the horizon it stays at the floor.

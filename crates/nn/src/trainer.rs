@@ -30,7 +30,11 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { batch_size: 32, shuffle_seed: 0, schedule: LrSchedule::Constant }
+        TrainConfig {
+            batch_size: 32,
+            shuffle_seed: 0,
+            schedule: LrSchedule::Constant,
+        }
     }
 }
 
@@ -64,7 +68,9 @@ pub struct EvalStats {
 fn gather_samples(x: &Tensor, idx: &[usize]) -> Result<Tensor> {
     let dims = x.dims();
     if dims.is_empty() {
-        return Err(NnError::InvalidConfig { what: "cannot batch a scalar".to_string() });
+        return Err(NnError::InvalidConfig {
+            what: "cannot batch a scalar".to_string(),
+        });
     }
     let n = dims[0];
     let stride: usize = dims[1..].iter().product();
@@ -101,7 +107,9 @@ pub fn evaluate(
         });
     }
     if batch_size == 0 {
-        return Err(NnError::InvalidConfig { what: "batch_size must be nonzero".to_string() });
+        return Err(NnError::InvalidConfig {
+            what: "batch_size must be nonzero".to_string(),
+        });
     }
     let mut total_loss = 0.0f64;
     let mut correct = 0usize;
@@ -117,7 +125,11 @@ pub fn evaluate(
         correct += (accuracy(&logits, &by)? * (end - start) as f32).round() as usize;
         start = end;
     }
-    Ok(EvalStats { loss: (total_loss / n as f64) as f32, accuracy: correct as f32 / n as f32 })
+    Ok(EvalStats {
+        // xtask:allow(lossy-float-cast): f64 accumulator narrowed once for reporting
+        loss: (total_loss / n as f64) as f32,
+        accuracy: correct as f32 / n as f32,
+    })
 }
 
 /// A mini-batch SGD training driver.
@@ -138,7 +150,13 @@ impl Trainer {
         L: Loss + 'static,
     {
         let base_lr = optimizer.learning_rate();
-        Trainer { optimizer: Box::new(optimizer), loss: Box::new(loss), config, base_lr, epochs_run: 0 }
+        Trainer {
+            optimizer: Box::new(optimizer),
+            loss: Box::new(loss),
+            config,
+            base_lr,
+            epochs_run: 0,
+        }
     }
 
     /// The loss function in use.
@@ -169,15 +187,16 @@ impl Trainer {
             });
         }
         if self.config.batch_size == 0 {
-            return Err(NnError::InvalidConfig { what: "batch_size must be nonzero".to_string() });
+            return Err(NnError::InvalidConfig {
+                what: "batch_size must be nonzero".to_string(),
+            });
         }
         let epoch = self.epochs_run;
         let lr = self.config.schedule.rate(self.base_lr, epoch);
         self.optimizer.set_learning_rate(lr);
 
         let mut order: Vec<usize> = (0..n).collect();
-        let mut rng =
-            SmallRng::seed_from_u64(self.config.shuffle_seed.wrapping_add(epoch as u64));
+        let mut rng = SmallRng::seed_from_u64(self.config.shuffle_seed.wrapping_add(epoch as u64));
         order.shuffle(&mut rng);
 
         let mut total_loss = 0.0f64;
@@ -197,7 +216,9 @@ impl Trainer {
         self.epochs_run += 1;
         Ok(EpochStats {
             epoch,
+            // xtask:allow(lossy-float-cast): f64 accumulator narrowed once for reporting
             loss: (total_loss / n as f64) as f32,
+            // xtask:allow(lossy-float-cast): f64 accumulator narrowed once for reporting
             accuracy: (correct / n as f64) as f32,
             lr,
         })
@@ -245,7 +266,10 @@ mod tests {
             data.push(center + noise.data()[1]);
             labels.push(class);
         }
-        (Tensor::from_vec(data, [n, 2]).expect("length matches"), labels)
+        (
+            Tensor::from_vec(data, [n, 2]).expect("length matches"),
+            labels,
+        )
     }
 
     fn tiny_model(seed: u64) -> Sequential {
@@ -260,8 +284,11 @@ mod tests {
     fn training_learns_blobs() {
         let (x, y) = blobs(200, 1);
         let mut model = tiny_model(2);
-        let mut trainer =
-            Trainer::new(Sgd::with_momentum(0.1, 0.9), CrossEntropyLoss, TrainConfig::default());
+        let mut trainer = Trainer::new(
+            Sgd::with_momentum(0.1, 0.9),
+            CrossEntropyLoss,
+            TrainConfig::default(),
+        );
         let history = trainer.fit(&mut model, &x, &y, 10).expect("valid data");
         assert_eq!(history.len(), 10);
         let eval = evaluate(&mut model, &CrossEntropyLoss, &x, &y, 32).expect("valid data");
@@ -293,7 +320,10 @@ mod tests {
         let (x, y) = blobs(32, 5);
         let mut model = tiny_model(6);
         let config = TrainConfig {
-            schedule: LrSchedule::StepDecay { step: 1, gamma: 0.5 },
+            schedule: LrSchedule::StepDecay {
+                step: 1,
+                gamma: 0.5,
+            },
             ..TrainConfig::default()
         };
         let mut trainer = Trainer::new(Sgd::new(0.1), CrossEntropyLoss, config);
@@ -311,11 +341,19 @@ mod tests {
         for j in 0..8 {
             mask.data_mut()[j * 2] = 0.0;
         }
-        model.set_weight_masks(&[Some(mask), None]).expect("count matches");
-        let mut trainer =
-            Trainer::new(Sgd::with_momentum(0.1, 0.9), CrossEntropyLoss, TrainConfig::default());
+        model
+            .set_weight_masks(&[Some(mask), None])
+            .expect("count matches");
+        let mut trainer = Trainer::new(
+            Sgd::with_momentum(0.1, 0.9),
+            CrossEntropyLoss,
+            TrainConfig::default(),
+        );
         trainer.fit(&mut model, &x, &y, 5).expect("valid data");
-        assert!(model.mask_invariants_hold(), "mask invariant violated by training");
+        assert!(
+            model.mask_invariants_hold(),
+            "mask invariant violated by training"
+        );
     }
 
     #[test]
@@ -326,12 +364,17 @@ mod tests {
         let x = Tensor::zeros([4, 2]);
         assert!(trainer.train_epoch(&mut model, &x, &[0, 1]).is_err());
         // Empty dataset.
-        assert!(trainer.train_epoch(&mut model, &Tensor::zeros([0, 2]), &[]).is_err());
+        assert!(trainer
+            .train_epoch(&mut model, &Tensor::zeros([0, 2]), &[])
+            .is_err());
         // Zero batch size.
         let mut trainer = Trainer::new(
             Sgd::new(0.1),
             CrossEntropyLoss,
-            TrainConfig { batch_size: 0, ..TrainConfig::default() },
+            TrainConfig {
+                batch_size: 0,
+                ..TrainConfig::default()
+            },
         );
         assert!(trainer.train_epoch(&mut model, &x, &[0, 1, 0, 1]).is_err());
     }
@@ -347,9 +390,21 @@ mod tests {
     #[test]
     fn evaluate_validates_input() {
         let mut model = tiny_model(10);
-        assert!(evaluate(&mut model, &CrossEntropyLoss, &Tensor::zeros([0, 2]), &[], 4).is_err());
-        assert!(
-            evaluate(&mut model, &CrossEntropyLoss, &Tensor::zeros([2, 2]), &[0, 1], 0).is_err()
-        );
+        assert!(evaluate(
+            &mut model,
+            &CrossEntropyLoss,
+            &Tensor::zeros([0, 2]),
+            &[],
+            4
+        )
+        .is_err());
+        assert!(evaluate(
+            &mut model,
+            &CrossEntropyLoss,
+            &Tensor::zeros([2, 2]),
+            &[0, 1],
+            0
+        )
+        .is_err());
     }
 }

@@ -2,18 +2,22 @@
 //! architectures, data and masks.
 
 use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use reduce_nn::layers::{Linear, Mode, Relu};
 use reduce_nn::{
     accuracy, models, CrossEntropyLoss, Loss, Parameter, Sequential, Sgd, Target, TrainConfig,
     Trainer,
 };
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use reduce_tensor::Tensor;
 
 /// Strategy: small MLP dims (input, hidden..., classes>=2).
 fn mlp_dims() -> impl Strategy<Value = Vec<usize>> {
-    (2usize..6, prop::collection::vec(2usize..12, 1..3), 2usize..5)
+    (
+        2usize..6,
+        prop::collection::vec(2usize..12, 1..3),
+        2usize..5,
+    )
         .prop_map(|(inp, hidden, classes)| {
             let mut dims = vec![inp];
             dims.extend(hidden);

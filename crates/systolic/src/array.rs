@@ -45,7 +45,9 @@ impl SystolicArray {
     ///
     /// Returns [`SystolicError::BadGeometry`] for zero dimensions.
     pub fn fault_free(rows: usize, cols: usize) -> Result<Self> {
-        Ok(SystolicArray { fault_map: FaultMap::fault_free(rows, cols)? })
+        Ok(SystolicArray {
+            fault_map: FaultMap::fault_free(rows, cols)?,
+        })
     }
 
     /// Array row count.
@@ -77,11 +79,13 @@ impl SystolicArray {
         let (out_dim, in_dim) = weight.shape().as_matrix()?;
         let (batch, in_x) = x.shape().as_matrix()?;
         if in_dim != in_x {
-            return Err(SystolicError::Tensor(reduce_tensor::TensorError::ShapeMismatch {
-                op: "systolic_gemm",
-                lhs: weight.dims().to_vec(),
-                rhs: x.dims().to_vec(),
-            }));
+            return Err(SystolicError::Tensor(
+                reduce_tensor::TensorError::ShapeMismatch {
+                    op: "systolic_gemm",
+                    lhs: weight.dims().to_vec(),
+                    rhs: x.dims().to_vec(),
+                },
+            ));
         }
         let (rows, cols) = (self.rows(), self.cols());
         let mut y = Tensor::zeros([batch, out_dim]);
@@ -154,8 +158,12 @@ mod tests {
     #[test]
     fn gemm_validates_shapes() {
         let array = SystolicArray::fault_free(2, 2).expect("nonzero");
-        assert!(array.gemm(&Tensor::ones([2, 3]), &Tensor::ones([1, 4])).is_err());
-        assert!(array.gemm(&Tensor::ones([3]), &Tensor::ones([1, 3])).is_err());
+        assert!(array
+            .gemm(&Tensor::ones([2, 3]), &Tensor::ones([1, 4]))
+            .is_err());
+        assert!(array
+            .gemm(&Tensor::ones([3]), &Tensor::ones([1, 3]))
+            .is_err());
     }
 
     #[test]

@@ -120,7 +120,10 @@ impl FleetConfig {
             chips: 100,
             rows: 256,
             cols: 256,
-            rates: RateDistribution::Uniform { lo: 0.0, hi: max_rate },
+            rates: RateDistribution::Uniform {
+                lo: 0.0,
+                hi: max_rate,
+            },
             model: FaultModel::Random,
             seed,
         }
@@ -155,7 +158,9 @@ impl FleetConfig {
 /// ```
 pub fn generate_fleet(config: &FleetConfig) -> Result<Vec<Chip>> {
     if config.chips == 0 {
-        return Err(SystolicError::InvalidConfig { what: "zero chips requested".to_string() });
+        return Err(SystolicError::InvalidConfig {
+            what: "zero chips requested".to_string(),
+        });
     }
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut fleet = Vec::with_capacity(config.chips);
@@ -215,7 +220,10 @@ mod tests {
     #[test]
     fn truncated_exponential_is_bounded() {
         let mut cfg = small_config();
-        cfg.rates = RateDistribution::TruncatedExponential { mean: 0.05, max: 0.15 };
+        cfg.rates = RateDistribution::TruncatedExponential {
+            mean: 0.05,
+            max: 0.15,
+        };
         let fleet = generate_fleet(&cfg).expect("valid");
         assert!(fleet.iter().all(|c| c.fault_rate() <= 0.16));
     }
@@ -232,7 +240,10 @@ mod tests {
         cfg.rates = RateDistribution::Fixed(1.5);
         assert!(generate_fleet(&cfg).is_err());
         let mut cfg = small_config();
-        cfg.rates = RateDistribution::TruncatedExponential { mean: 0.0, max: 0.1 };
+        cfg.rates = RateDistribution::TruncatedExponential {
+            mean: 0.0,
+            max: 0.1,
+        };
         assert!(generate_fleet(&cfg).is_err());
     }
 

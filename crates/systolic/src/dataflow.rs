@@ -68,8 +68,15 @@ impl DataflowSim {
                 ),
             });
         }
-        let bypass = (0..r * c).map(|i| fault_map.is_faulty(i / c, i % c)).collect();
-        Ok(DataflowSim { rows: r, cols: c, weights: tile.data().to_vec(), bypass })
+        let bypass = (0..r * c)
+            .map(|i| fault_map.is_faulty(i / c, i % c))
+            .collect();
+        Ok(DataflowSim {
+            rows: r,
+            cols: c,
+            weights: tile.data().to_vec(),
+            bypass,
+        })
     }
 
     /// Array rows.
@@ -135,7 +142,11 @@ impl DataflowSim {
                         (act[idx - 1], tag[idx - 1])
                     };
                     // Partial sum arriving from the north this cycle.
-                    let p_in = if r == 0 { 0.0 } else { psum[(r - 1) * cols + c] };
+                    let p_in = if r == 0 {
+                        0.0
+                    } else {
+                        psum[(r - 1) * cols + c]
+                    };
                     let p_out = if self.bypass[idx] {
                         p_in // FAP: faulty MAC is bypassed
                     } else {
@@ -159,7 +170,10 @@ impl DataflowSim {
             std::mem::swap(&mut tag, &mut tag_next);
         }
         debug_assert_eq!(produced, m * cols, "pipeline failed to drain");
-        Ok(DataflowOutput { outputs, cycles: total_cycles as u64 })
+        Ok(DataflowOutput {
+            outputs,
+            cycles: total_cycles as u64,
+        })
     }
 }
 
@@ -182,11 +196,13 @@ pub fn simulate_tiled_gemm(
     let (out_dim, in_dim) = weight.shape().as_matrix()?;
     let (m, in_x) = x.shape().as_matrix()?;
     if in_dim != in_x {
-        return Err(SystolicError::Tensor(reduce_tensor::TensorError::ShapeMismatch {
-            op: "simulate_tiled_gemm",
-            lhs: weight.dims().to_vec(),
-            rhs: x.dims().to_vec(),
-        }));
+        return Err(SystolicError::Tensor(
+            reduce_tensor::TensorError::ShapeMismatch {
+                op: "simulate_tiled_gemm",
+                lhs: weight.dims().to_vec(),
+                rhs: x.dims().to_vec(),
+            },
+        ));
     }
     let (rows, cols) = (fault_map.rows(), fault_map.cols());
     let tiles_i = in_dim.div_ceil(rows);
@@ -284,8 +300,7 @@ mod tests {
     #[test]
     fn faulty_dataflow_matches_functional_bypass_model() {
         for seed in 0..5 {
-            let map =
-                FaultMap::generate(4, 5, 0.3, FaultModel::Random, seed).expect("valid rate");
+            let map = FaultMap::generate(4, 5, 0.3, FaultModel::Random, seed).expect("valid rate");
             let w = Tensor::rand_uniform([7, 9], -1.0, 1.0, seed + 10);
             let x = Tensor::rand_uniform([4, 9], -1.0, 1.0, seed + 20);
             let sim = simulate_tiled_gemm(&w, &x, &map).expect("conformable");
@@ -315,9 +330,7 @@ mod tests {
         let sim = DataflowSim::new(&Tensor::zeros([4, 4]), &map).expect("geometry matches");
         assert!(sim.run(&Tensor::zeros([2, 5])).is_err());
         // GEMM shape mismatch.
-        assert!(
-            simulate_tiled_gemm(&Tensor::zeros([4, 3]), &Tensor::zeros([2, 5]), &map).is_err()
-        );
+        assert!(simulate_tiled_gemm(&Tensor::zeros([4, 3]), &Tensor::zeros([2, 5]), &map).is_err());
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub enum SystolicError {
         /// What configuration was invalid.
         what: String,
     },
+    /// An internal invariant was violated — always a bug in this crate,
+    /// surfaced as an error instead of a panic so callers fail softly.
+    Internal {
+        /// The invariant that no longer held.
+        invariant: String,
+    },
 }
 
 impl fmt::Display for SystolicError {
@@ -27,6 +33,9 @@ impl fmt::Display for SystolicError {
             SystolicError::Tensor(e) => write!(f, "tensor error: {e}"),
             SystolicError::BadGeometry { reason } => write!(f, "bad geometry: {reason}"),
             SystolicError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            SystolicError::Internal { invariant } => {
+                write!(f, "internal invariant violated: {invariant}")
+            }
         }
     }
 }
@@ -56,10 +65,16 @@ mod tests {
     #[test]
     fn display_and_source() {
         use std::error::Error as _;
-        let e = SystolicError::BadGeometry { reason: "row 300 on a 256-row array".into() };
+        let e = SystolicError::BadGeometry {
+            reason: "row 300 on a 256-row array".into(),
+        };
         assert!(e.to_string().contains("bad geometry"));
         assert!(e.source().is_none());
-        let t: SystolicError = TensorError::LengthMismatch { expected: 1, actual: 2 }.into();
+        let t: SystolicError = TensorError::LengthMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
         assert!(t.source().is_some());
     }
 }

@@ -53,7 +53,11 @@ impl FaultMap {
                 reason: format!("array {rows}x{cols} has a zero dimension"),
             });
         }
-        Ok(FaultMap { rows, cols, faulty: vec![false; rows * cols] })
+        Ok(FaultMap {
+            rows,
+            cols,
+            faulty: vec![false; rows * cols],
+        })
     }
 
     /// Generates a fault map with the given model and fault rate.
@@ -113,7 +117,12 @@ impl FaultMap {
                     });
                 }
                 let centres: Vec<(f32, f32)> = (0..clusters)
-                    .map(|_| (rng.gen_range(0.0..rows as f32), rng.gen_range(0.0..cols as f32)))
+                    .map(|_| {
+                        (
+                            rng.gen_range(0.0..rows as f32),
+                            rng.gen_range(0.0..cols as f32),
+                        )
+                    })
                     .collect();
                 let mut placed = 0usize;
                 // Rejection-sample around centres until the target count of
@@ -121,7 +130,12 @@ impl FaultMap {
                 let mut attempts = 0usize;
                 while placed < target && attempts < 1000 * target {
                     attempts += 1;
-                    let &(cr, cc) = centres.choose(&mut rng).expect("clusters > 0");
+                    let &(cr, cc) =
+                        centres
+                            .choose(&mut rng)
+                            .ok_or_else(|| SystolicError::Internal {
+                                invariant: "clusters > 0 was validated above".to_string(),
+                            })?;
                     let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
                     let u2: f32 = rng.gen_range(0.0f32..1.0);
                     let radius = sigma * (-2.0 * u1.ln()).sqrt();
@@ -140,8 +154,7 @@ impl FaultMap {
                 // Extremely tight geometries may not fit the count near the
                 // clusters; fall back to uniform for the remainder.
                 if placed < target {
-                    let mut rest: Vec<usize> =
-                        (0..total).filter(|&i| !map.faulty[i]).collect();
+                    let mut rest: Vec<usize> = (0..total).filter(|&i| !map.faulty[i]).collect();
                     rest.shuffle(&mut rng);
                     for &i in rest.iter().take(target - placed) {
                         map.faulty[i] = true;
@@ -189,7 +202,10 @@ impl FaultMap {
     /// array by construction; use [`FaultMap::rows`]/[`FaultMap::cols`] to
     /// bound-check first).
     pub fn is_faulty(&self, row: usize, col: usize) -> bool {
-        assert!(row < self.rows && col < self.cols, "PE ({row}, {col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "PE ({row}, {col}) out of range"
+        );
         self.faulty[row * self.cols + col]
     }
 
@@ -212,7 +228,9 @@ impl FaultMap {
     /// Panics if `col` is out of range.
     pub fn column_fault_count(&self, col: usize) -> usize {
         assert!(col < self.cols, "column {col} out of range");
-        (0..self.rows).filter(|&r| self.faulty[r * self.cols + col]).count()
+        (0..self.rows)
+            .filter(|&r| self.faulty[r * self.cols + col])
+            .count()
     }
 
     /// Number of faulty PEs in array row `row`.
@@ -222,7 +240,9 @@ impl FaultMap {
     /// Panics if `row` is out of range.
     pub fn row_fault_count(&self, row: usize) -> usize {
         assert!(row < self.rows, "row {row} out of range");
-        (0..self.cols).filter(|&c| self.faulty[row * self.cols + c]).count()
+        (0..self.cols)
+            .filter(|&c| self.faulty[row * self.cols + c])
+            .count()
     }
 
     /// Iterates over faulty PE coordinates in row-major order.
@@ -258,6 +278,7 @@ impl FaultMap {
                     .filter(|&(r, c)| self.faulty[r * self.cols + c])
                     .count();
                 let density = faults as f32 / cells as f32;
+                // xtask:allow(float-eq): density == 0.0 iff the integer fault count was 0
                 out.push(if density == 0.0 {
                     ' '
                 } else if density < 0.25 {
@@ -291,8 +312,17 @@ impl FaultMap {
                 ),
             });
         }
-        let faulty = self.faulty.iter().zip(&other.faulty).map(|(&a, &b)| a || b).collect();
-        Ok(FaultMap { rows: self.rows, cols: self.cols, faulty })
+        let faulty = self
+            .faulty
+            .iter()
+            .zip(&other.faulty)
+            .map(|(&a, &b)| a || b)
+            .collect();
+        Ok(FaultMap {
+            rows: self.rows,
+            cols: self.cols,
+            faulty,
+        })
     }
 }
 
@@ -354,19 +384,38 @@ mod tests {
             64,
             64,
             0.05,
-            FaultModel::Clustered { clusters: 2, sigma: 3.0 },
+            FaultModel::Clustered {
+                clusters: 2,
+                sigma: 3.0,
+            },
             3,
         )
         .expect("valid");
         assert_eq!(m.faulty_count(), (0.05f64 * 4096.0).round() as usize);
-        // Clustered faults have smaller coordinate spread than uniform at
-        // the same count (heuristic sanity check on spatial structure).
+        // Clustered faults concentrate on few distinct rows/columns, while
+        // ~205 uniform faults would touch nearly all 64 rows. Unlike a
+        // global-variance check (bimodal when the two centres land near
+        // opposite edges), occupancy is robust to where the centres fall.
         let coords: Vec<(usize, usize)> = m.faulty_coords().collect();
-        let mean_r = coords.iter().map(|&(r, _)| r as f64).sum::<f64>() / coords.len() as f64;
-        let var_r = coords.iter().map(|&(r, _)| (r as f64 - mean_r).powi(2)).sum::<f64>()
-            / coords.len() as f64;
-        let uniform_var = (64.0f64 * 64.0 - 1.0) / 12.0;
-        assert!(var_r < uniform_var, "clustered variance {var_r} >= uniform {uniform_var}");
+        let distinct_rows = coords
+            .iter()
+            .map(|&(r, _)| r)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        let distinct_cols = coords
+            .iter()
+            .map(|&(_, c)| c)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        // Two sigma=3 clusters span ~2 * 6 sigma = 36 rows at the extreme.
+        assert!(
+            distinct_rows < 48,
+            "clustered faults touch {distinct_rows}/64 rows"
+        );
+        assert!(
+            distinct_cols < 48,
+            "clustered faults touch {distinct_cols}/64 cols"
+        );
     }
 
     #[test]
@@ -375,7 +424,10 @@ mod tests {
             8,
             8,
             0.1,
-            FaultModel::Clustered { clusters: 0, sigma: 1.0 },
+            FaultModel::Clustered {
+                clusters: 0,
+                sigma: 1.0
+            },
             0
         )
         .is_err());
@@ -383,7 +435,10 @@ mod tests {
             8,
             8,
             0.1,
-            FaultModel::Clustered { clusters: 1, sigma: 0.0 },
+            FaultModel::Clustered {
+                clusters: 1,
+                sigma: 0.0
+            },
             0
         )
         .is_err());

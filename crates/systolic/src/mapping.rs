@@ -73,8 +73,16 @@ pub fn affected_weights(out_dim: usize, in_dim: usize, map: &FaultMap) -> usize 
     map.faulty_coords()
         .map(|(r, c)| {
             // i ≡ r (mod rows) within [0, in_dim): count.
-            let ni = if r < in_dim { (in_dim - r).div_ceil(rows) } else { 0 };
-            let nj = if c < out_dim { (out_dim - c).div_ceil(cols) } else { 0 };
+            let ni = if r < in_dim {
+                (in_dim - r).div_ceil(rows)
+            } else {
+                0
+            };
+            let nj = if c < out_dim {
+                (out_dim - c).div_ceil(cols)
+            } else {
+                0
+            };
             ni * nj
         })
         .sum()
@@ -139,12 +147,16 @@ pub fn fam_mapping(weight: &Tensor, map: &FaultMap) -> Result<FamMapping> {
     // Faulty input indices per column class (i ranges over the layer's
     // input dimension; the faulty rows repeat with the array period).
     let faulty_inputs: Vec<Vec<usize>> = (0..classes)
-        .map(|c| (0..in_dim).filter(|&i| map.is_faulty(i % rows, c % cols)).collect())
+        .map(|c| {
+            (0..in_dim)
+                .filter(|&i| map.is_faulty(i % rows, c % cols))
+                .collect()
+        })
         .collect();
     // Exact pruning loss of channel j at column class c.
     let mut cost = vec![vec![0.0f32; classes]; out_dim];
     for (j, row_cost) in cost.iter_mut().enumerate() {
-        let row = weight.row_slice(j).expect("j < out_dim");
+        let row = weight.row_slice(j)?;
         for (c, faulty) in faulty_inputs.iter().enumerate() {
             row_cost[c] = faulty.iter().map(|&i| row[i].abs()).sum();
         }
@@ -167,7 +179,10 @@ pub fn fam_mapping(weight: &Tensor, map: &FaultMap) -> Result<FamMapping> {
         mx - mn
     };
     order.sort_by(|&a, &b| {
-        spread(b).partial_cmp(&spread(a)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        spread(b)
+            .partial_cmp(&spread(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     let mut position_of = vec![usize::MAX; out_dim];
     let mut remaining = capacity.clone();
@@ -175,9 +190,13 @@ pub fn fam_mapping(weight: &Tensor, map: &FaultMap) -> Result<FamMapping> {
         let class = (0..classes)
             .filter(|&c| remaining[c] > 0)
             .min_by(|&a, &b| {
-                cost[j][a].partial_cmp(&cost[j][b]).unwrap_or(std::cmp::Ordering::Equal)
+                cost[j][a]
+                    .partial_cmp(&cost[j][b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             })
-            .expect("capacities sum to out_dim");
+            .ok_or_else(|| SystolicError::Internal {
+                invariant: "class capacities sum to out_dim, so one always has room".to_string(),
+            })?;
         remaining[class] -= 1;
         position_of[j] = class_positions[class][remaining[class]];
     }
@@ -242,17 +261,19 @@ pub fn stuck_at_weights(weight: &Tensor, map: &FaultMap, stuck_value: f32) -> Re
 /// Returns a shape error if mask and weight disagree.
 pub fn saliency_loss(weight: &Tensor, mask: &Tensor) -> Result<f32> {
     if weight.dims() != mask.dims() {
-        return Err(SystolicError::Tensor(reduce_tensor::TensorError::ShapeMismatch {
-            op: "saliency_loss",
-            lhs: weight.dims().to_vec(),
-            rhs: mask.dims().to_vec(),
-        }));
+        return Err(SystolicError::Tensor(
+            reduce_tensor::TensorError::ShapeMismatch {
+                op: "saliency_loss",
+                lhs: weight.dims().to_vec(),
+                rhs: mask.dims().to_vec(),
+            },
+        ));
     }
     Ok(weight
         .data()
         .iter()
         .zip(mask.data())
-        .filter(|(_, &m)| m == 0.0)
+        .filter(|(_, &m)| m == 0.0) // xtask:allow(float-eq): masks hold exact 0.0/1.0 sentinels
         .map(|(&w, _)| w.abs())
         .sum())
 }
@@ -306,7 +327,11 @@ mod tests {
         // A layer that covers the array exactly k times sees exactly the
         // chip fault rate.
         let frac = pruned_fraction(64, 64, &map);
-        assert!((frac - map.fault_rate()).abs() < 1e-9, "{frac} vs {}", map.fault_rate());
+        assert!(
+            (frac - map.fault_rate()).abs() < 1e-9,
+            "{frac} vs {}",
+            map.fault_rate()
+        );
     }
 
     #[test]

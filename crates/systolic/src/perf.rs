@@ -79,8 +79,7 @@ impl CostModel {
             });
         }
         let tiles = (in_dim.div_ceil(self.rows) * out_dim.div_ceil(self.cols)) as u64;
-        let per_tile =
-            self.weight_load_cycles + (m + self.rows + self.cols - 2) as u64;
+        let per_tile = self.weight_load_cycles + (m + self.rows + self.cols - 2) as u64;
         Ok(tiles * per_tile)
     }
 

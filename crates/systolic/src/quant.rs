@@ -43,6 +43,7 @@ impl QuantParams {
         }
         let max_abs = data.iter().map(|v| v.abs()).fold(0.0f32, f32::max);
         // All-zero tensors get a unit scale (any scale represents them).
+        // xtask:allow(float-eq): exact zero max |w| means an all-zero tensor
         let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
         Ok(QuantParams { scale })
     }
@@ -75,7 +76,11 @@ impl QuantizedTensor {
     pub fn quantize(tensor: &Tensor) -> Result<Self> {
         let params = QuantParams::fit(tensor.data())?;
         let codes = tensor.data().iter().map(|&v| params.quantize(v)).collect();
-        Ok(QuantizedTensor { codes, dims: tensor.dims().to_vec(), params })
+        Ok(QuantizedTensor {
+            codes,
+            dims: tensor.dims().to_vec(),
+            params,
+        })
     }
 
     /// The int8 codes (row-major).
@@ -101,7 +106,10 @@ impl QuantizedTensor {
     /// errors otherwise.
     pub fn dequantize(&self) -> Result<Tensor> {
         Ok(Tensor::from_vec(
-            self.codes.iter().map(|&c| self.params.dequantize(c)).collect(),
+            self.codes
+                .iter()
+                .map(|&c| self.params.dequantize(c))
+                .collect(),
             self.dims.clone(),
         )?)
     }
@@ -228,8 +236,11 @@ mod tests {
             "quantized GEMM too far from float: {:?}",
             (&qout - &fout)
         );
-        assert!(quantized_gemm_nt(&xq, &QuantizedTensor::quantize(&Tensor::zeros([2, 3]))
-            .expect("finite data")).is_err());
+        assert!(quantized_gemm_nt(
+            &xq,
+            &QuantizedTensor::quantize(&Tensor::zeros([2, 3])).expect("finite data")
+        )
+        .is_err());
     }
 
     #[test]

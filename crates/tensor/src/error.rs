@@ -54,7 +54,10 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
             }
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::OutOfBounds { what, index, bound } => {
                 write!(f, "{what} index {index} out of bounds (< {bound} required)")
@@ -77,19 +80,30 @@ mod tests {
 
     #[test]
     fn display_shape_mismatch() {
-        let e = TensorError::ShapeMismatch { op: "matmul", lhs: vec![2, 3], rhs: vec![4, 5] };
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
         assert_eq!(e.to_string(), "shape mismatch in matmul: [2, 3] vs [4, 5]");
     }
 
     #[test]
     fn display_length_mismatch() {
-        let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
         assert!(e.to_string().contains("does not match"));
     }
 
     #[test]
     fn display_out_of_bounds() {
-        let e = TensorError::OutOfBounds { what: "axis", index: 3, bound: 2 };
+        let e = TensorError::OutOfBounds {
+            what: "axis",
+            index: 3,
+            bound: 2,
+        };
         assert!(e.to_string().contains("axis index 3"));
     }
 

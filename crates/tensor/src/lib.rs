@@ -32,6 +32,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+// Tests may unwrap/expect freely: a panic there *is* the failure report.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod error;
 pub mod ops;

@@ -328,7 +328,10 @@ pub fn max_pool2d_backward(
     input_dims: &[usize],
 ) -> Result<Tensor> {
     if grad.len() != argmax.len() {
-        return Err(TensorError::LengthMismatch { expected: argmax.len(), actual: grad.len() });
+        return Err(TensorError::LengthMismatch {
+            expected: argmax.len(),
+            actual: grad.len(),
+        });
     }
     let mut out = Tensor::zeros(input_dims.to_vec());
     let od = out.data_mut();
@@ -511,7 +514,12 @@ mod tests {
         let y = Tensor::rand_uniform(cols.dims().to_vec(), -1.0, 1.0, 22);
         let xback = col2im(&y, 1, 2, &geom).expect("consistent");
         let lhs: f32 = cols.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
-        let rhs: f32 = x.data().iter().zip(xback.data()).map(|(&a, &b)| a * b).sum();
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(xback.data())
+            .map(|(&a, &b)| a * b)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
     }
 

@@ -60,6 +60,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             let crow = &mut cd[i * n..(i + 1) * n];
             for p in k0..k1 {
                 let aip = ad[i * k + p];
+                // xtask:allow(float-eq): exact-zero skip; FAP masks write literal 0.0
                 if aip == 0.0 {
                     continue;
                 }
@@ -91,6 +92,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         let arow = &ad[p * m..(p + 1) * m];
         let brow = &bd[p * n..(p + 1) * n];
         for (i, &ax) in arow.iter().enumerate() {
+            // xtask:allow(float-eq): exact-zero skip; FAP masks write literal 0.0
             if ax == 0.0 {
                 continue;
             }
@@ -184,7 +186,9 @@ mod tests {
         let (_, n) = b.shape().as_matrix().expect("matrix");
         Tensor::from_fn([m, n], |idx| {
             let (i, j) = (idx / n, idx % n);
-            (0..k).map(|p| a.data()[i * k + p] * b.data()[p * n + j]).sum()
+            (0..k)
+                .map(|p| a.data()[i * k + p] * b.data()[p * n + j])
+                .sum()
         })
     }
 

@@ -5,8 +5,8 @@ mod matmul;
 mod softmax;
 
 pub use conv::{
-    avg_pool2d, avg_pool2d_backward, col2im, im2col, max_pool2d, max_pool2d_backward,
-    nchw_to_rows, rows_to_nchw, Conv2dGeometry, MaxPoolOutput,
+    avg_pool2d, avg_pool2d_backward, col2im, im2col, max_pool2d, max_pool2d_backward, nchw_to_rows,
+    rows_to_nchw, Conv2dGeometry, MaxPoolOutput,
 };
 pub use matmul::{add_bias_rows, dot, matmul, matmul_nt, matmul_tn};
 pub use softmax::{log_softmax_rows, one_hot, softmax_rows};

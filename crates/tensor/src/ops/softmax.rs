@@ -80,7 +80,11 @@ pub fn one_hot(labels: &[usize], classes: usize) -> Result<Tensor> {
     let mut out = Tensor::zeros([labels.len(), classes]);
     for (i, &l) in labels.iter().enumerate() {
         if l >= classes {
-            return Err(TensorError::OutOfBounds { what: "label", index: l, bound: classes });
+            return Err(TensorError::OutOfBounds {
+                what: "label",
+                index: l,
+                bound: classes,
+            });
         }
         out.data_mut()[i * classes + l] = 1.0;
     }

@@ -54,10 +54,11 @@ impl Shape {
     ///
     /// Returns [`TensorError::OutOfBounds`] if `axis >= rank`.
     pub fn dim(&self, axis: usize) -> Result<usize> {
-        self.0
-            .get(axis)
-            .copied()
-            .ok_or(TensorError::OutOfBounds { what: "axis", index: axis, bound: self.0.len() })
+        self.0.get(axis).copied().ok_or(TensorError::OutOfBounds {
+            what: "axis",
+            index: axis,
+            bound: self.0.len(),
+        })
     }
 
     /// Row-major strides (in elements) for this shape.
@@ -202,13 +203,19 @@ mod tests {
     #[test]
     fn offset_rejects_wrong_rank() {
         let s = Shape::from([2, 3]);
-        assert!(matches!(s.offset(&[1]), Err(TensorError::ShapeMismatch { .. })));
+        assert!(matches!(
+            s.offset(&[1]),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
     fn offset_rejects_out_of_bounds() {
         let s = Shape::from([2, 3]);
-        assert!(matches!(s.offset(&[2, 0]), Err(TensorError::OutOfBounds { .. })));
+        assert!(matches!(
+            s.offset(&[2, 0]),
+            Err(TensorError::OutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl Tensor {
     pub fn zeros<S: Into<Shape>>(shape: S) -> Self {
         let shape = shape.into();
         let n = shape.volume();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// Creates a tensor filled with ones.
@@ -54,7 +57,10 @@ impl Tensor {
     pub fn full<S: Into<Shape>>(shape: S, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.volume();
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// Creates a tensor from existing data.
@@ -84,16 +90,27 @@ impl Tensor {
 
     /// Creates a scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: vec![value] }
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
     }
 
     /// Creates a tensor of `n` evenly spaced values in `[start, end)`.
     pub fn arange(start: f32, end: f32, step: f32) -> Self {
+        // xtask:allow(float-eq): a literal-zero step is a caller bug, checked exactly
         assert!(step != 0.0, "arange step must be nonzero");
-        let n = if (end - start) / step > 0.0 { ((end - start) / step).ceil() as usize } else { 0 };
+        let n = if (end - start) / step > 0.0 {
+            ((end - start) / step).ceil() as usize
+        } else {
+            0
+        };
         let data: Vec<f32> = (0..n).map(|i| start + step * i as f32).collect();
         let len = data.len();
-        Tensor { shape: Shape::from([len]), data }
+        Tensor {
+            shape: Shape::from([len]),
+            data,
+        }
     }
 
     /// Creates a tensor with i.i.d. uniform values in `[lo, hi)`, seeded.
@@ -103,7 +120,12 @@ impl Tensor {
     }
 
     /// Like [`Tensor::rand_uniform`] but drawing from a caller-owned RNG.
-    pub fn rand_uniform_with<S: Into<Shape>, R: Rng>(shape: S, lo: f32, hi: f32, rng: &mut R) -> Self {
+    pub fn rand_uniform_with<S: Into<Shape>, R: Rng>(
+        shape: S,
+        lo: f32,
+        hi: f32,
+        rng: &mut R,
+    ) -> Self {
         let shape = shape.into();
         let n = shape.volume();
         let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
@@ -120,7 +142,12 @@ impl Tensor {
     ///
     /// Uses the Box–Muller transform so only `rand`'s uniform source is
     /// needed.
-    pub fn rand_normal_with<S: Into<Shape>, R: Rng>(shape: S, mean: f32, std: f32, rng: &mut R) -> Self {
+    pub fn rand_normal_with<S: Into<Shape>, R: Rng>(
+        shape: S,
+        mean: f32,
+        std: f32,
+        rng: &mut R,
+    ) -> Self {
         let shape = shape.into();
         let n = shape.volume();
         let mut data = Vec::with_capacity(n);
@@ -243,7 +270,10 @@ impl Tensor {
                 actual: self.data.len(),
             });
         }
-        Ok(Tensor { shape, data: self.data.clone() })
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
     }
 
     /// In-place variant of [`Tensor::reshape`].
@@ -287,9 +317,16 @@ impl Tensor {
     pub fn row(&self, i: usize) -> Result<Tensor> {
         let (r, c) = self.shape.as_matrix()?;
         if i >= r {
-            return Err(TensorError::OutOfBounds { what: "row", index: i, bound: r });
+            return Err(TensorError::OutOfBounds {
+                what: "row",
+                index: i,
+                bound: r,
+            });
         }
-        Ok(Tensor { shape: Shape::from([c]), data: self.data[i * c..(i + 1) * c].to_vec() })
+        Ok(Tensor {
+            shape: Shape::from([c]),
+            data: self.data[i * c..(i + 1) * c].to_vec(),
+        })
     }
 
     /// Borrow of row `i` of a rank-2 tensor.
@@ -300,7 +337,11 @@ impl Tensor {
     pub fn row_slice(&self, i: usize) -> Result<&[f32]> {
         let (r, c) = self.shape.as_matrix()?;
         if i >= r {
-            return Err(TensorError::OutOfBounds { what: "row", index: i, bound: r });
+            return Err(TensorError::OutOfBounds {
+                what: "row",
+                index: i,
+                bound: r,
+            });
         }
         Ok(&self.data[i * c..(i + 1) * c])
     }
@@ -313,7 +354,11 @@ impl Tensor {
     pub fn rows(&self, start: usize, end: usize) -> Result<Tensor> {
         let (r, c) = self.shape.as_matrix()?;
         if start > end || end > r {
-            return Err(TensorError::OutOfBounds { what: "row range end", index: end, bound: r + 1 });
+            return Err(TensorError::OutOfBounds {
+                what: "row range end",
+                index: end,
+                bound: r + 1,
+            });
         }
         Ok(Tensor {
             shape: Shape::from([end - start, c]),
@@ -350,7 +395,10 @@ impl Tensor {
             }
             data.extend_from_slice(&row.data);
         }
-        Ok(Tensor { shape: Shape::from([rows.len(), c]), data })
+        Ok(Tensor {
+            shape: Shape::from([rows.len(), c]),
+            data,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -359,7 +407,10 @@ impl Tensor {
 
     /// Applies `f` elementwise, returning a new tensor.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Applies `f` elementwise in place.
@@ -382,8 +433,16 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// In-place `self[i] = f(self[i], other[i])`.
@@ -523,7 +582,10 @@ impl Tensor {
                 *o += v;
             }
         }
-        Ok(Tensor { shape: Shape::from([c]), data: out })
+        Ok(Tensor {
+            shape: Shape::from([c]),
+            data: out,
+        })
     }
 
     /// Squared L2 norm of all elements.
@@ -536,6 +598,7 @@ impl Tensor {
         if self.data.is_empty() {
             return 0.0;
         }
+        // xtask:allow(float-eq): sparsity counts exact-zero entries by definition
         let zeros = self.data.iter().filter(|&&x| x == 0.0).count();
         zeros as f32 / self.data.len() as f32
     }
@@ -548,7 +611,11 @@ impl Tensor {
     /// Elementwise approximate equality within `tol` (absolute).
     pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
         self.shape == other.shape
-            && self.data.iter().zip(&other.data).all(|(&a, &b)| (a - b).abs() <= tol)
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
     }
 }
 
@@ -695,7 +762,10 @@ mod tests {
         let t = Tensor::from_fn([2, 3], |i| i as f32);
         let tt = t.transpose().expect("matrix");
         assert_eq!(tt.dims(), &[3, 2]);
-        assert_eq!(tt.at(&[2, 1]).expect("valid"), t.at(&[1, 2]).expect("valid"));
+        assert_eq!(
+            tt.at(&[2, 1]).expect("valid"),
+            t.at(&[1, 2]).expect("valid")
+        );
         assert_eq!(tt.transpose().expect("matrix"), t);
     }
 

@@ -1,0 +1,329 @@
+//! Ratchet baseline: pre-existing violations are tolerated, new ones fail.
+//!
+//! The baseline is a checked-in JSON file mapping workspace-relative file
+//! paths to per-lint violation counts:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "files": {
+//!     "crates/systolic/src/mapping.rs": { "index": 12, "unwrap": 1 }
+//!   }
+//! }
+//! ```
+//!
+//! Counts (not line numbers) make the ratchet robust to unrelated edits
+//! shifting code up or down a file. The comparison is one-directional:
+//! a file may have **at most** its baselined count per lint; anything
+//! above fails, anything below is an invitation to re-run
+//! `cargo xtask lint --update-baseline` and commit the smaller file.
+//!
+//! The (de)serializer below is hand-rolled because this workspace
+//! deliberately carries no JSON dependency; the grammar it accepts is
+//! exactly the subset the emitter produces, plus arbitrary whitespace.
+
+use std::collections::BTreeMap;
+
+/// Parsed baseline: `path -> lint-name -> allowed count`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Per-file allowed violation counts.
+    pub files: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl Baseline {
+    /// Allowed count for a `(file, lint)` pair; zero when absent.
+    pub fn allowed(&self, file: &str, lint: &str) -> u64 {
+        self.files
+            .get(file)
+            .and_then(|m| m.get(lint))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total violation count across all files and lints.
+    pub fn total(&self) -> u64 {
+        self.files.values().flat_map(|m| m.values()).sum()
+    }
+
+    /// Serialises to the canonical JSON layout (sorted, 2-space indent,
+    /// trailing newline) so regeneration is diff-stable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"files\": {");
+        let mut first_file = true;
+        for (path, lints) in &self.files {
+            if lints.is_empty() {
+                continue;
+            }
+            if !first_file {
+                out.push(',');
+            }
+            first_file = false;
+            out.push_str("\n    ");
+            push_json_string(&mut out, path);
+            out.push_str(": {");
+            let mut first_lint = true;
+            for (lint, count) in lints {
+                if !first_lint {
+                    out.push(',');
+                }
+                first_lint = false;
+                out.push_str("\n      ");
+                push_json_string(&mut out, lint);
+                out.push_str(&format!(": {count}"));
+            }
+            out.push_str("\n    }");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parses the JSON layout produced by [`Baseline::to_json`].
+    pub fn from_json(src: &str) -> Result<Baseline, String> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        let Json::Object(top) = value else {
+            return Err("baseline root must be an object".to_string());
+        };
+        let mut baseline = Baseline::default();
+        match top.iter().find(|(k, _)| k == "version").map(|(_, v)| v) {
+            Some(Json::Number(1)) => {}
+            Some(_) => return Err("unsupported baseline version".to_string()),
+            None => return Err("baseline is missing \"version\"".to_string()),
+        }
+        let Some(Json::Object(files)) = top.iter().find(|(k, _)| k == "files").map(|(_, v)| v)
+        else {
+            return Err("baseline is missing \"files\" object".to_string());
+        };
+        for (path, lints) in files {
+            let Json::Object(lints) = lints else {
+                return Err(format!("entry for {path:?} must be an object"));
+            };
+            let mut counts = BTreeMap::new();
+            for (lint, count) in lints {
+                let Json::Number(n) = count else {
+                    return Err(format!("count for {path:?}/{lint:?} must be a number"));
+                };
+                counts.insert(lint.clone(), *n);
+            }
+            baseline.files.insert(path.clone(), counts);
+        }
+        Ok(baseline)
+    }
+}
+
+/// Appends `s` as a JSON string literal (escaping `"`, `\` and control
+/// characters — paths and lint names never need more).
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (objects, strings, unsigned integers)
+// ---------------------------------------------------------------------------
+
+enum Json {
+    Object(Vec<(String, Json)>),
+    Number(u64),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!("unexpected byte {:?} at {}", *b as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.pos += 1; // consume '{'
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b':') {
+                return Err(format!("expected ':' at byte {}", self.pos));
+            }
+            self.pos += 1;
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {}", self.pos));
+        }
+        self.pos += 1;
+        let start = self.pos;
+        let mut out = String::new();
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    let esc = self.bytes.get(self.pos + 1).copied();
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'/') => out.push('/'),
+                        _ => return Err(format!("unsupported escape at byte {}", self.pos)),
+                    }
+                    self.pos += 2;
+                }
+                _ => {
+                    // Copy the full UTF-8 scalar starting here.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.pos))?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| format!("unterminated string starting at byte {start}"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+        Err(format!("unterminated string starting at byte {start}"))
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-UTF-8 number".to_string())?;
+        text.parse::<u64>()
+            .map(Json::Number)
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Baseline {
+        let mut b = Baseline::default();
+        b.files.insert(
+            "crates/systolic/src/mapping.rs".to_string(),
+            [("index".to_string(), 12), ("unwrap".to_string(), 1)].into(),
+        );
+        b.files.insert(
+            "crates/core/src/policy.rs".to_string(),
+            [("expect".to_string(), 3)].into(),
+        );
+        b
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let b = sample();
+        let json = b.to_json();
+        let back = Baseline::from_json(&json).expect("round trip parses");
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn emission_is_sorted_and_stable() {
+        let json = sample().to_json();
+        // BTreeMap ordering: core before systolic.
+        let core = json.find("core").expect("core entry present");
+        let systolic = json.find("systolic").expect("systolic entry present");
+        assert!(core < systolic);
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"version\": 1"));
+    }
+
+    #[test]
+    fn allowed_defaults_to_zero() {
+        let b = sample();
+        assert_eq!(b.allowed("crates/systolic/src/mapping.rs", "index"), 12);
+        assert_eq!(b.allowed("crates/systolic/src/mapping.rs", "panic"), 0);
+        assert_eq!(b.allowed("no/such/file.rs", "index"), 0);
+        assert_eq!(b.total(), 16);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Baseline::from_json("").is_err());
+        assert!(Baseline::from_json("[]").is_err());
+        assert!(Baseline::from_json("{\"version\": 2, \"files\": {}}").is_err());
+        assert!(Baseline::from_json("{\"version\": 1}").is_err());
+        assert!(Baseline::from_json("{\"version\": 1, \"files\": {}} x").is_err());
+    }
+
+    #[test]
+    fn empty_baseline_round_trips() {
+        let b = Baseline::default();
+        let back = Baseline::from_json(&b.to_json()).expect("empty round trip");
+        assert_eq!(b, back);
+        assert_eq!(back.total(), 0);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut b = Baseline::default();
+        b.files.insert(
+            "odd\"name\\with\nescapes.rs".to_string(),
+            [("panic".to_string(), 2)].into(),
+        );
+        let back = Baseline::from_json(&b.to_json()).expect("escaped round trip");
+        assert_eq!(b, back);
+    }
+}

@@ -1,0 +1,138 @@
+//! Diagnostic rendering: rustc-style text and machine-readable JSON.
+
+use crate::baseline::push_json_string;
+use crate::lints::Violation;
+
+/// One finding, located in a workspace-relative file.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// The underlying violation.
+    pub violation: Violation,
+    /// Whether the baseline already tolerates this finding.
+    pub baselined: bool,
+}
+
+impl Diagnostic {
+    /// Renders rustc-style:
+    ///
+    /// ```text
+    /// warning[xtask::unwrap]: `.unwrap()` panics in library code; ...
+    ///   --> crates/core/src/fleet.rs:41:17
+    /// ```
+    ///
+    /// Baselined findings render as `note[...]`, new ones as `error[...]`.
+    pub fn render_text(&self) -> String {
+        let level = if self.baselined { "note" } else { "error" };
+        format!(
+            "{level}[xtask::{lint}]: {msg}\n  --> {file}:{line}:{col}",
+            lint = self.violation.lint.name(),
+            msg = self.violation.message,
+            file = self.file,
+            line = self.violation.line,
+            col = self.violation.col,
+        )
+    }
+
+    /// Renders one JSON object (single line, no trailing comma handling).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"lint\": ");
+        push_json_string(&mut out, self.violation.lint.name());
+        out.push_str(", \"family\": ");
+        push_json_string(&mut out, self.violation.lint.family());
+        out.push_str(", \"file\": ");
+        push_json_string(&mut out, &self.file);
+        out.push_str(&format!(
+            ", \"line\": {}, \"col\": {}, \"baselined\": {}, \"message\": ",
+            self.violation.line, self.violation.col, self.baselined
+        ));
+        push_json_string(&mut out, &self.violation.message);
+        out.push('}');
+        out
+    }
+}
+
+/// Renders the full report in the requested format.
+pub fn render_report(diags: &[Diagnostic], json: bool) -> String {
+    if json {
+        let mut out = String::from("{\"diagnostics\": [");
+        for (i, d) in diags.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("\n  ");
+            out.push_str(&d.render_json());
+        }
+        let new = diags.iter().filter(|d| !d.baselined).count();
+        out.push_str(&format!(
+            "\n], \"total\": {}, \"new\": {}, \"baselined\": {}}}\n",
+            diags.len(),
+            new,
+            diags.len() - new
+        ));
+        out
+    } else {
+        // Text mode shows only *new* findings; baselined debt is a count
+        // (the full list is one `--format json` away).
+        let mut out = String::new();
+        for d in diags.iter().filter(|d| !d.baselined) {
+            out.push_str(&d.render_text());
+            out.push_str("\n\n");
+        }
+        let new = diags.iter().filter(|d| !d.baselined).count();
+        out.push_str(&format!(
+            "xtask lint: {} finding(s): {} new, {} baselined\n",
+            diags.len(),
+            new,
+            diags.len() - new
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::{Lint, Violation};
+
+    fn diag(baselined: bool) -> Diagnostic {
+        Diagnostic {
+            file: "crates/core/src/fleet.rs".to_string(),
+            violation: Violation {
+                lint: Lint::Unwrap,
+                line: 41,
+                col: 17,
+                message: "`.unwrap()` panics in library code".to_string(),
+            },
+            baselined,
+        }
+    }
+
+    #[test]
+    fn text_rendering_matches_rustc_shape() {
+        let text = diag(false).render_text();
+        assert!(text.starts_with("error[xtask::unwrap]: "));
+        assert!(text.contains("--> crates/core/src/fleet.rs:41:17"));
+        assert!(diag(true)
+            .render_text()
+            .starts_with("note[xtask::unwrap]: "));
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let json = diag(false).render_json();
+        assert!(json.contains("\"lint\": \"unwrap\""));
+        assert!(json.contains("\"family\": \"panic-freedom\""));
+        assert!(json.contains("\"line\": 41, \"col\": 17"));
+        assert!(json.contains("\"baselined\": false"));
+    }
+
+    #[test]
+    fn report_counts_new_vs_baselined() {
+        let report = render_report(&[diag(false), diag(true), diag(true)], false);
+        assert!(report.contains("3 finding(s): 1 new, 2 baselined"));
+        let json = render_report(&[diag(false), diag(true)], true);
+        assert!(json.contains("\"total\": 2, \"new\": 1, \"baselined\": 1"));
+    }
+}

@@ -1,0 +1,430 @@
+//! A small, lossless-enough Rust token scanner.
+//!
+//! The lint passes need token-level structure — identifiers, punctuation,
+//! literals, comments — with accurate line/column positions, and they need
+//! string/char/comment contents to *never* be mistaken for code. That is
+//! exactly what this hand-rolled scanner provides. It is not a parser: no
+//! AST, no precedence — the lint passes work on token patterns plus brace
+//! tracking, which is sufficient for the invariants they enforce and keeps
+//! the whole linter dependency-free (the build environment has no registry
+//! access, so `syn` is not an option).
+
+/// What a token is, at the granularity the lint passes care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `fn`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`), including the quote.
+    Lifetime,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Floating literal (`1.0`, `2e-3`, `1f32`) — suffix kept in `text`.
+    Float,
+    /// String, byte-string, raw-string or char literal (contents kept).
+    Str,
+    /// A single punctuation character (`.`, `(`, `=`, ...).
+    Punct,
+    /// Line or block comment, text included (needed for `xtask:allow`).
+    Comment,
+}
+
+/// One scanned token with its position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Raw text of the token.
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+    /// Byte offset of the first byte (used for adjacency checks).
+    pub offset: usize,
+}
+
+impl Token {
+    fn new(kind: TokenKind, text: &str, line: u32, col: u32, offset: usize) -> Self {
+        Token {
+            kind,
+            text: text.to_string(),
+            line,
+            col,
+            offset,
+        }
+    }
+}
+
+/// Scans `src` into tokens. Unknown bytes become `Punct` tokens; the
+/// scanner never fails, so a syntactically broken file degrades to noisy
+/// tokens rather than a lint crash.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Scanner {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    }
+    .run()
+}
+
+struct Scanner<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Scanner<'_> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while let Some(&b) = self.bytes.get(self.pos) {
+            let (line, col, start) = (self.line, self.col, self.pos);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.eat_line_comment();
+                    out.push(self.token(TokenKind::Comment, start, line, col));
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.eat_block_comment();
+                    out.push(self.token(TokenKind::Comment, start, line, col));
+                }
+                b'r' | b'b' | b'c' if self.raw_or_prefixed_string() => {
+                    out.push(self.token(TokenKind::Str, start, line, col));
+                }
+                b'"' => {
+                    self.eat_string();
+                    out.push(self.token(TokenKind::Str, start, line, col));
+                }
+                b'\'' => {
+                    let kind = self.eat_quote();
+                    out.push(self.token(kind, start, line, col));
+                }
+                b'0'..=b'9' => {
+                    let kind = self.eat_number();
+                    out.push(self.token(kind, start, line, col));
+                }
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                    // Raw identifier (`r#type`); raw *strings* were already
+                    // handled by the arm above.
+                    if b == b'r' && self.peek(1) == Some(b'#') {
+                        self.bump();
+                        self.bump();
+                    }
+                    self.eat_ident();
+                    out.push(self.token(TokenKind::Ident, start, line, col));
+                }
+                _ => {
+                    self.bump();
+                    out.push(self.token(TokenKind::Punct, start, line, col));
+                }
+            }
+        }
+        out
+    }
+
+    fn token(&self, kind: TokenKind, start: usize, line: u32, col: u32) -> Token {
+        Token::new(kind, &self.src[start..self.pos], line, col, start)
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.bytes.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+        // Keep columns character-based for multi-byte UTF-8.
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| (b & 0xC0) == 0x80)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat_line_comment(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|&b| b != b'\n') {
+            self.bump();
+        }
+    }
+
+    fn eat_block_comment(&mut self) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 && self.pos < self.bytes.len() {
+            if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br##"..."##`, `c"..."`,
+    /// and raw identifiers (`r#type` → not a string, returns false).
+    /// Returns false when the current position is a plain identifier.
+    fn raw_or_prefixed_string(&mut self) -> bool {
+        let mut i = 0usize;
+        // Optional second prefix letter (br / cr).
+        if matches!(self.peek(0), Some(b'b' | b'c')) && self.peek(1) == Some(b'r') {
+            i = 1;
+        }
+        let mut hashes = 0usize;
+        let raw = self.peek(i) == Some(b'r') || i == 1;
+        if raw {
+            let mut j = i + 1;
+            while self.peek(j) == Some(b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if self.peek(j) != Some(b'"') {
+                return false; // raw identifier or plain ident
+            }
+            for _ in 0..j + 1 {
+                self.bump();
+            }
+            self.eat_raw_string_body(hashes);
+            return true;
+        }
+        if self.peek(1) == Some(b'"') {
+            self.bump(); // prefix letter
+            self.eat_string();
+            return true;
+        }
+        false
+    }
+
+    fn eat_raw_string_body(&mut self, hashes: usize) {
+        while self.pos < self.bytes.len() {
+            if self.peek(0) == Some(b'"') {
+                let closed = (1..=hashes).all(|k| self.peek(k) == Some(b'#'));
+                if closed {
+                    for _ in 0..hashes + 1 {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    fn eat_string(&mut self) {
+        self.bump(); // opening quote
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// A `'` starts either a lifetime (`'a`) or a char literal (`'x'`).
+    fn eat_quote(&mut self) -> TokenKind {
+        self.bump(); // '
+        let first = self.peek(0);
+        let second = self.peek(1);
+        let ident_start = first.is_some_and(|b| b == b'_' || b.is_ascii_alphabetic() || b >= 0x80);
+        if ident_start && second != Some(b'\'') {
+            // Lifetime: consume the identifier.
+            self.eat_ident();
+            return TokenKind::Lifetime;
+        }
+        // Char literal.
+        if first == Some(b'\\') {
+            self.bump();
+            self.bump();
+            // Escapes like \u{1F600} span to the closing brace.
+            while self.bytes.get(self.pos).is_some_and(|&b| b != b'\'') {
+                self.bump();
+            }
+        } else if first.is_some() {
+            self.bump();
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.bump();
+        }
+        TokenKind::Str
+    }
+
+    fn eat_ident(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80)
+        {
+            self.bump();
+        }
+    }
+
+    fn eat_number(&mut self) -> TokenKind {
+        let mut kind = TokenKind::Int;
+        let hex =
+            self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'b'));
+        self.bump();
+        if hex {
+            self.bump();
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.bump();
+            }
+            return TokenKind::Int;
+        }
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                Some(b'0'..=b'9' | b'_') => self.bump(),
+                Some(b'.') => {
+                    // `1..3` is two ints and a range; `1.max()` is a method
+                    // call; `1.5` and `1.` are floats.
+                    match self.peek(1) {
+                        Some(b'.') => break,
+                        Some(b) if b == b'_' || b.is_ascii_alphabetic() => break,
+                        _ => {
+                            kind = TokenKind::Float;
+                            self.bump();
+                        }
+                    }
+                }
+                Some(b'e' | b'E') if matches!(self.peek(1), Some(b'0'..=b'9' | b'+' | b'-')) => {
+                    kind = TokenKind::Float;
+                    self.bump();
+                    if matches!(self.peek(0), Some(b'+' | b'-')) {
+                        self.bump();
+                    }
+                }
+                Some(b'f')
+                    if self.src[self.pos..].starts_with("f32")
+                        || self.src[self.pos..].starts_with("f64") =>
+                {
+                    kind = TokenKind::Float;
+                    for _ in 0..3 {
+                        self.bump();
+                    }
+                    break;
+                }
+                Some(b) if b.is_ascii_alphabetic() => {
+                    // Integer suffix like u64 / usize.
+                    self.eat_ident();
+                    break;
+                }
+                _ => break,
+            }
+        }
+        kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ts = kinds("let x = foo.bar();");
+        assert_eq!(ts[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(ts[3], (TokenKind::Ident, "foo".into()));
+        assert_eq!(ts[4], (TokenKind::Punct, ".".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let ts = kinds(r#"let s = "unwrap() // not code";"#);
+        assert!(ts
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        assert!(!ts
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let ts = kinds(r##"let s = r#"panic!"#; let r#type = 1;"##);
+        assert!(ts
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("panic")));
+        assert!(ts
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn comments_are_tokens() {
+        let ts = kinds("x // xtask:allow(unwrap): startup config\ny");
+        assert!(ts
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Comment && t.contains("xtask:allow")));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let ts = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            ts.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn numbers() {
+        let ts = kinds("0..10 1.5 2e-3 1f32 0xFF 1_000u64 1.max(2)");
+        let floats: Vec<_> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "2e-3", "1f32"]);
+        assert!(ts.iter().any(|(k, t)| *k == TokenKind::Int && t == "0xFF"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ts = kinds("/* outer /* inner */ still */ code");
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[1], (TokenKind::Ident, "code".into()));
+    }
+
+    #[test]
+    fn positions_are_accurate() {
+        let ts = tokenize("ab\n  cd");
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+}

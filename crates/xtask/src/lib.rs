@@ -1,0 +1,188 @@
+//! `xtask` — the workspace's own static-analysis pass.
+//!
+//! Run as `cargo xtask lint` (the alias lives in `.cargo/config.toml`).
+//! See `DESIGN.md` § "Static analysis & invariants" for the rationale and
+//! the full lint catalogue, and [`lints`] for the individual passes.
+//!
+//! Implementation note: the issue that motivated this crate assumed a
+//! `syn`-based AST walk, but this workspace builds fully offline and
+//! carries no external dependencies, so the engine is a hand-rolled
+//! comment/string/lifetime-aware lexer ([`lexer`]) plus token-pattern
+//! passes ([`lints`]). For the specific invariants enforced here the
+//! token stream carries enough structure (attributes, brace depth,
+//! adjacency), and the lexer is itself unit-tested against the tricky
+//! cases (raw strings, nested comments, lifetimes vs chars, `r#idents`).
+
+pub mod baseline;
+pub mod diagnostics;
+pub mod lexer;
+pub mod lints;
+
+use baseline::Baseline;
+use diagnostics::Diagnostic;
+use lints::{lint_source, Scope};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Crates whose library code must be deterministic and panic-free: they
+/// produce or transform the results the paper's claims rest on.
+const RESULT_CRATES: [&str; 5] = [
+    "crates/core",
+    "crates/systolic",
+    "crates/nn",
+    "crates/data",
+    "crates/tensor",
+];
+
+/// Crates whose kernels do the floating-point work, where the
+/// numeric-safety family applies.
+const NUMERIC_CRATES: [&str; 3] = ["crates/tensor", "crates/systolic", "crates/nn"];
+
+/// Decides which lint families apply to a workspace-relative path.
+///
+/// Only `src/` trees of result-producing crates are linted; tests,
+/// benches, examples, the vendored shims and this crate itself are out
+/// of scope (they do not produce results).
+pub fn scope_for_path(rel: &str) -> Scope {
+    let in_src =
+        |krate: &str| rel.starts_with(&format!("{krate}/src/")) || rel == format!("{krate}/src");
+    Scope {
+        determinism: RESULT_CRATES.iter().any(|c| in_src(c)),
+        panic_freedom: RESULT_CRATES.iter().any(|c| in_src(c)),
+        numeric: NUMERIC_CRATES.iter().any(|c| in_src(c)),
+    }
+}
+
+/// Recursively collects `.rs` files under `root`, skipping `target/`,
+/// `.git/` and `vendor/`. Paths come back workspace-relative with
+/// forward slashes, sorted.
+pub fn workspace_rs_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" || name == "vendor" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    files.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Outcome of a full workspace lint.
+#[derive(Debug)]
+pub struct LintRun {
+    /// All findings, including baselined ones.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Fresh per-file counts, i.e. what `--update-baseline` would write.
+    pub observed: Baseline,
+}
+
+impl LintRun {
+    /// Findings not covered by the baseline.
+    pub fn new_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| !d.baselined).count()
+    }
+}
+
+/// Lints every in-scope file under `root`, comparing against `baseline`.
+///
+/// Baselining is per `(file, lint)`: if a file has at most its baselined
+/// count for a lint, all those findings are marked tolerated; one extra
+/// and *every* finding of that lint in that file is reported as new (the
+/// tool cannot know which occurrence was added, and showing all of them
+/// is what the fixing developer needs anyway).
+pub fn run_lint(root: &Path, baseline: &Baseline) -> std::io::Result<LintRun> {
+    let mut diagnostics = Vec::new();
+    let mut observed = Baseline::default();
+    for rel in workspace_rs_files(root)? {
+        let scope = scope_for_path(&rel);
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let violations = lint_source(&src, scope);
+        if violations.is_empty() {
+            continue;
+        }
+        let counts: BTreeMap<String, u64> = lints::count_by_lint(&violations).into_iter().collect();
+        for v in violations {
+            let within = counts.get(v.lint.name()).copied().unwrap_or(0)
+                <= baseline.allowed(&rel, v.lint.name());
+            diagnostics.push(Diagnostic {
+                file: rel.clone(),
+                violation: v,
+                baselined: within,
+            });
+        }
+        observed.files.insert(rel, counts);
+    }
+    Ok(LintRun {
+        diagnostics,
+        observed,
+    })
+}
+
+/// Default baseline location, relative to the workspace root.
+pub const BASELINE_PATH: &str = "crates/xtask/lint-baseline.json";
+
+/// Loads the checked-in baseline; a missing file is an empty baseline.
+pub fn load_baseline(root: &Path) -> Result<Baseline, String> {
+    let path = root.join(BASELINE_PATH);
+    if !path.exists() {
+        return Ok(Baseline::default());
+    }
+    let src =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    Baseline::from_json(&src).map_err(|e| format!("parsing {}: {e}", path.display()))
+}
+
+/// Finds the workspace root: walks up from `start` to the first directory
+/// containing both `Cargo.toml` and `crates/`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_covers_result_crates_only() {
+        let s = scope_for_path("crates/core/src/fleet.rs");
+        assert!(s.determinism && s.panic_freedom && !s.numeric);
+        let s = scope_for_path("crates/systolic/src/mapping.rs");
+        assert!(s.determinism && s.panic_freedom && s.numeric);
+        let s = scope_for_path("crates/tensor/src/linalg.rs");
+        assert!(s.numeric);
+        // Out of scope: tests, benches, the umbrella package, this crate.
+        assert_eq!(scope_for_path("crates/core/tests/policy.rs"), Scope::none());
+        assert_eq!(scope_for_path("crates/bench/src/lib.rs"), Scope::none());
+        assert_eq!(scope_for_path("src/lib.rs"), Scope::none());
+        assert_eq!(scope_for_path("crates/xtask/src/lints.rs"), Scope::none());
+    }
+
+    #[test]
+    fn workspace_root_is_discoverable_from_here() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root above xtask");
+        assert!(root.join("crates/xtask").is_dir());
+    }
+}

@@ -1,0 +1,630 @@
+//! The lint passes: repo-specific invariants that clippy cannot express.
+//!
+//! Three families, mirroring the guarantees the Reduce framework's results
+//! depend on:
+//!
+//! - **determinism** — a resilience table measured once (Step ①) is only
+//!   trustworthy for later per-chip selection (Step ②/③) if every
+//!   fault-injection and retraining run is bit-reproducible from its seed.
+//!   Ambient entropy (`thread_rng`, `from_entropy`, `rand::random`) and
+//!   wall-clock reads (`SystemTime::now`, `Instant::now`) in
+//!   result-producing code silently break that contract.
+//! - **panic-freedom** — a stray `unwrap()` in library code kills an entire
+//!   fleet evaluation instead of failing one chip with a typed error.
+//! - **numeric-safety** — `f64 as f32` narrowing and `==`/`!=` on floats in
+//!   kernel/accumulation code are classic sources of silently divergent
+//!   results across refactors.
+//!
+//! Escape hatch: a `// xtask:allow(<lint>): <reason>` comment on the same
+//! line or the line above suppresses one lint there. The reason is
+//! mandatory and must be substantive (≥ 10 characters); unused or
+//! reason-less allows are themselves violations, so the hatch cannot rot.
+
+use crate::lexer::{tokenize, Token, TokenKind};
+use std::collections::HashMap;
+
+/// Every lint the engine can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Lint {
+    /// `thread_rng()`, `from_entropy()`, `rand::random` — seedless RNG.
+    AmbientEntropy,
+    /// `SystemTime::now()` / `Instant::now()` in result-producing code.
+    WallClock,
+    /// `.unwrap()` in non-test library code.
+    Unwrap,
+    /// `.expect(..)` in non-test library code.
+    Expect,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    Panic,
+    /// Slice/array indexing `x[i]` (prefer `get`/iterators or justify).
+    Index,
+    /// `==` / `!=` against a float literal.
+    FloatEq,
+    /// `expr as f32` where the source expression mentions `f64`.
+    LossyFloatCast,
+    /// An `xtask:allow` comment that suppressed nothing.
+    UnusedAllow,
+    /// An `xtask:allow` comment with a missing or trivial reason.
+    BadAllow,
+}
+
+impl Lint {
+    /// Stable kebab-case name, used in diagnostics, baseline keys and
+    /// `xtask:allow(..)` comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::AmbientEntropy => "ambient-entropy",
+            Lint::WallClock => "wall-clock",
+            Lint::Unwrap => "unwrap",
+            Lint::Expect => "expect",
+            Lint::Panic => "panic",
+            Lint::Index => "index",
+            Lint::FloatEq => "float-eq",
+            Lint::LossyFloatCast => "lossy-float-cast",
+            Lint::UnusedAllow => "unused-allow",
+            Lint::BadAllow => "bad-allow",
+        }
+    }
+
+    /// The family a lint belongs to (grouping for docs and reports).
+    pub fn family(self) -> &'static str {
+        match self {
+            Lint::AmbientEntropy | Lint::WallClock => "determinism",
+            Lint::Unwrap | Lint::Expect | Lint::Panic | Lint::Index => "panic-freedom",
+            Lint::FloatEq | Lint::LossyFloatCast => "numeric-safety",
+            Lint::UnusedAllow | Lint::BadAllow => "meta",
+        }
+    }
+
+    /// Parses a lint name as written in an `xtask:allow(..)` comment.
+    pub fn from_name(name: &str) -> Option<Lint> {
+        [
+            Lint::AmbientEntropy,
+            Lint::WallClock,
+            Lint::Unwrap,
+            Lint::Expect,
+            Lint::Panic,
+            Lint::Index,
+            Lint::FloatEq,
+            Lint::LossyFloatCast,
+            Lint::UnusedAllow,
+            Lint::BadAllow,
+        ]
+        .into_iter()
+        .find(|l| l.name() == name)
+    }
+}
+
+/// Which lint families apply to a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scope {
+    /// Enforce the determinism family.
+    pub determinism: bool,
+    /// Enforce the panic-freedom family.
+    pub panic_freedom: bool,
+    /// Enforce the numeric-safety family.
+    pub numeric: bool,
+}
+
+impl Scope {
+    /// Everything on — used by the fixture tests.
+    pub fn all() -> Self {
+        Scope {
+            determinism: true,
+            panic_freedom: true,
+            numeric: true,
+        }
+    }
+
+    /// Nothing on.
+    pub fn none() -> Self {
+        Scope {
+            determinism: false,
+            panic_freedom: false,
+            numeric: false,
+        }
+    }
+
+    fn any(self) -> bool {
+        self.determinism || self.panic_freedom || self.numeric
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-oriented message (what + why).
+    pub message: String,
+}
+
+/// Lints one file's source under the given scope.
+///
+/// `#[cfg(test)]` items, `#[test]` functions, comments, strings and doc
+/// text are exempt. `xtask:allow` comments suppress individual findings;
+/// unused or unjustified allows are reported through the meta lints.
+pub fn lint_source(src: &str, scope: Scope) -> Vec<Violation> {
+    if !scope.any() {
+        return Vec::new();
+    }
+    let tokens = tokenize(src);
+    let allows = collect_allows(&tokens);
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    let exempt = test_exempt_lines(&code);
+
+    let mut raw = Vec::new();
+    if scope.determinism {
+        determinism_pass(&code, &mut raw);
+    }
+    if scope.panic_freedom {
+        panic_pass(&code, &mut raw);
+    }
+    if scope.numeric {
+        numeric_pass(&code, &mut raw);
+    }
+    raw.retain(|v| !exempt.contains(&v.line));
+
+    apply_allows(raw, allows)
+}
+
+// ---------------------------------------------------------------------------
+// Escape-hatch comments
+// ---------------------------------------------------------------------------
+
+struct Allow {
+    lint: Option<Lint>,
+    reason_ok: bool,
+    line: u32,
+    col: u32,
+    used: bool,
+    text: String,
+}
+
+fn collect_allows(tokens: &[Token]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::Comment {
+            continue;
+        }
+        let Some(at) = t.text.find("xtask:allow") else {
+            continue;
+        };
+        let rest = &t.text[at + "xtask:allow".len()..];
+        // Prose that merely *mentions* xtask:allow (docs, this file) is
+        // only treated as an allow attempt when a `(` follows.
+        if !rest.trim_start().starts_with('(') {
+            continue;
+        }
+        let (lint, reason_ok) = parse_allow(rest);
+        allows.push(Allow {
+            lint,
+            reason_ok,
+            line: t.line,
+            col: t.col,
+            used: false,
+            text: t.text.trim_start_matches('/').trim().to_string(),
+        });
+    }
+    allows
+}
+
+/// Parses `"(lint-name): reason"`; returns the lint (if recognised) and
+/// whether the reason is substantive.
+fn parse_allow(rest: &str) -> (Option<Lint>, bool) {
+    let rest = rest.trim_start();
+    let Some(inner) = rest.strip_prefix('(') else {
+        return (None, false);
+    };
+    let Some(close) = inner.find(')') else {
+        return (None, false);
+    };
+    let lint = Lint::from_name(inner[..close].trim());
+    let after = inner[close + 1..].trim_start();
+    let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+    (lint, reason.len() >= 10)
+}
+
+fn apply_allows(raw: Vec<Violation>, mut allows: Vec<Allow>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for v in raw {
+        let slot = allows
+            .iter_mut()
+            .find(|a| a.lint == Some(v.lint) && (a.line == v.line || a.line + 1 == v.line));
+        match slot {
+            Some(a) if a.reason_ok => a.used = true,
+            Some(a) => {
+                // Mark used so it is not *also* reported as unused; the
+                // missing justification is the actionable finding.
+                a.used = true;
+                out.push(v);
+            }
+            None => out.push(v),
+        }
+    }
+    for a in &allows {
+        if a.lint.is_some() && a.used && !a.reason_ok {
+            out.push(Violation {
+                lint: Lint::BadAllow,
+                line: a.line,
+                col: a.col,
+                message: format!(
+                    "`{}` needs a substantive reason after the colon (≥ 10 chars)",
+                    a.text
+                ),
+            });
+        }
+        if a.lint.is_none() {
+            out.push(Violation {
+                lint: Lint::BadAllow,
+                line: a.line,
+                col: a.col,
+                message: format!("`{}` does not name a known lint", a.text),
+            });
+        } else if !a.used {
+            out.push(Violation {
+                lint: Lint::UnusedAllow,
+                line: a.line,
+                col: a.col,
+                message: format!("`{}` suppresses nothing on this or the next line", a.text),
+            });
+        }
+    }
+    out.sort_by_key(|v| (v.line, v.col));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Test-code exemption
+// ---------------------------------------------------------------------------
+
+/// Returns the set of lines that belong to `#[cfg(test)]` items or
+/// `#[test]` functions, via attribute detection + brace tracking.
+fn test_exempt_lines(code: &[&Token]) -> std::collections::HashSet<u32> {
+    let mut exempt = std::collections::HashSet::new();
+    let mut depth: i32 = 0;
+    let mut exempt_until: Vec<i32> = Vec::new(); // stack of depths
+    let mut pending_test_attr = false;
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = code[i];
+        if !exempt_until.is_empty() {
+            exempt.insert(t.line);
+        }
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "#") => {
+                // `#![...]` inner attributes never start a test item.
+                let inner = matches!(code.get(i + 1), Some(n) if n.text == "!");
+                let open = if inner { i + 2 } else { i + 1 };
+                if matches!(code.get(open), Some(n) if n.text == "[") {
+                    let close = matching_bracket(code, open);
+                    if !inner && attr_marks_test(&code[open + 1..close]) {
+                        pending_test_attr = true;
+                        // The attribute's own lines are exempt too.
+                        for tok in &code[i..=close.min(code.len() - 1)] {
+                            exempt.insert(tok.line);
+                        }
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+            (TokenKind::Punct, "{") => {
+                depth += 1;
+                if pending_test_attr {
+                    pending_test_attr = false;
+                    exempt_until.push(depth);
+                    exempt.insert(t.line);
+                }
+            }
+            (TokenKind::Punct, "}") => {
+                if exempt_until.last() == Some(&depth) {
+                    exempt_until.pop();
+                    exempt.insert(t.line);
+                }
+                depth -= 1;
+            }
+            // `#[cfg(test)] use foo;` — attribute applied to a braceless
+            // item; nothing to exempt beyond it.
+            (TokenKind::Punct, ";") if pending_test_attr && exempt_until.is_empty() => {
+                pending_test_attr = false;
+            }
+            _ => {}
+        }
+        if pending_test_attr {
+            exempt.insert(t.line);
+        }
+        i += 1;
+    }
+    exempt
+}
+
+/// Whether an attribute body (tokens between `[` and `]`) marks test code:
+/// `test`, `cfg(test)`, `cfg(any(test, ...))`, `cfg(all(test, ...))`.
+fn attr_marks_test(body: &[&Token]) -> bool {
+    match body.first().map(|t| t.text.as_str()) {
+        Some("test") if body.len() == 1 => true,
+        Some("cfg") => body
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "test"),
+        _ => false,
+    }
+}
+
+fn matching_bracket(code: &[&Token], open: usize) -> usize {
+    let (open_ch, close_ch) = match code[open].text.as_str() {
+        "[" => ("[", "]"),
+        "(" => ("(", ")"),
+        "{" => ("{", "}"),
+        _ => return open,
+    };
+    let mut depth = 0i32;
+    for (j, t) in code.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            if t.text == open_ch {
+                depth += 1;
+            } else if t.text == close_ch {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+    }
+    code.len() - 1
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+fn determinism_pass(code: &[&Token], out: &mut Vec<Violation>) {
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "thread_rng" | "from_entropy" => out.push(Violation {
+                lint: Lint::AmbientEntropy,
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}()` draws ambient entropy; thread an explicit `u64` seed instead \
+                     (`SmallRng::seed_from_u64`)",
+                    t.text
+                ),
+            }),
+            "random" if path_prefix_is(code, i, "rand") => out.push(Violation {
+                lint: Lint::AmbientEntropy,
+                line: t.line,
+                col: t.col,
+                message: "`rand::random` draws ambient entropy; thread an explicit `u64` seed \
+                          instead"
+                    .to_string(),
+            }),
+            "SystemTime" | "Instant" if path_suffix_is(code, i, "now") => out.push(Violation {
+                lint: Lint::WallClock,
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}::now()` makes results depend on the wall clock; take the time (or \
+                         a seed) as a parameter",
+                    t.text
+                ),
+            }),
+            _ => {}
+        }
+    }
+}
+
+/// True when `code[i]` is preceded by `prefix ::`.
+fn path_prefix_is(code: &[&Token], i: usize, prefix: &str) -> bool {
+    i >= 3 && code[i - 1].text == ":" && code[i - 2].text == ":" && code[i - 3].text == prefix
+}
+
+/// True when `code[i]` is followed by `:: suffix`.
+fn path_suffix_is(code: &[&Token], i: usize, suffix: &str) -> bool {
+    code.get(i + 1).is_some_and(|t| t.text == ":")
+        && code.get(i + 2).is_some_and(|t| t.text == ":")
+        && code.get(i + 3).is_some_and(|t| t.text == suffix)
+}
+
+// ---------------------------------------------------------------------------
+// Panic-freedom
+// ---------------------------------------------------------------------------
+
+fn panic_pass(code: &[&Token], out: &mut Vec<Violation>) {
+    for (i, t) in code.iter().enumerate() {
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Ident, "unwrap" | "expect")
+                if i > 0
+                    && code[i - 1].text == "."
+                    && code.get(i + 1).is_some_and(|n| n.text == "(") =>
+            {
+                let lint = if t.text == "unwrap" {
+                    Lint::Unwrap
+                } else {
+                    Lint::Expect
+                };
+                out.push(Violation {
+                    lint,
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "`.{}()` panics in library code; return the crate's typed `Error` \
+                         (`?`, `ok_or_else`) so fleet runs fail softly",
+                        t.text
+                    ),
+                });
+            }
+            (TokenKind::Ident, "panic" | "unreachable" | "todo" | "unimplemented")
+                if code.get(i + 1).is_some_and(|n| n.text == "!")
+                    && (i == 0 || code[i - 1].text != ".") =>
+            {
+                out.push(Violation {
+                    lint: Lint::Panic,
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "`{}!` aborts the caller; return a typed `Error` instead",
+                        t.text
+                    ),
+                });
+            }
+            (TokenKind::Punct, "[") if i > 0 && is_index_base(code[i - 1]) => {
+                // `x[..]` / `f()[..]` / `m[i][j]` — but not attributes
+                // (`#[...]`), macro brackets (`vec![..]`), array types or
+                // array literals (preceded by punctuation).
+                out.push(Violation {
+                    lint: Lint::Index,
+                    line: t.line,
+                    col: t.col,
+                    message: "slice indexing panics out-of-bounds; prefer `get`/iterators, or \
+                              justify with `xtask:allow(index)`"
+                        .to_string(),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whether the token before `[` makes it an *indexing* bracket.
+fn is_index_base(prev: &Token) -> bool {
+    match prev.kind {
+        TokenKind::Ident => !matches!(
+            prev.text.as_str(),
+            // Keywords that can directly precede an array literal/pattern.
+            "return" | "break" | "in" | "as" | "mut" | "ref" | "else" | "match" | "if" | "move"
+        ),
+        TokenKind::Punct => matches!(prev.text.as_str(), ")" | "]"),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Numeric safety
+// ---------------------------------------------------------------------------
+
+fn numeric_pass(code: &[&Token], out: &mut Vec<Violation>) {
+    for (i, t) in code.iter().enumerate() {
+        // `==` / `!=` with a float-literal operand. `==` is two adjacent
+        // `=` puncts (its second `=` cannot re-match: the token after it
+        // is an operand); `!=` is `!` + `=` adjacent. Compound operators
+        // (`<=`, `+=`, `>>=`) put their `=` last, so neither shape
+        // matches them.
+        let op = if t.kind != TokenKind::Punct {
+            None
+        } else if t.text == "="
+            && code
+                .get(i + 1)
+                .is_some_and(|n| n.text == "=" && n.offset == t.offset + 1)
+        {
+            Some("==")
+        } else if t.text == "!"
+            && code
+                .get(i + 1)
+                .is_some_and(|n| n.text == "=" && n.offset == t.offset + 1)
+        {
+            Some("!=")
+        } else {
+            None
+        };
+        if let Some(op) = op {
+            let float_lhs = i > 0 && code[i - 1].kind == TokenKind::Float;
+            // Allow a unary minus before the rhs literal.
+            let j = i + 2 + usize::from(code.get(i + 2).is_some_and(|n| n.text == "-"));
+            let float_rhs = code.get(j).is_some_and(|n| n.kind == TokenKind::Float);
+            if float_lhs || float_rhs {
+                out.push(Violation {
+                    lint: Lint::FloatEq,
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "`{op}` on floats is exact bit comparison; use an epsilon (or \
+                         justify the exact-zero semantics with `xtask:allow(float-eq)`)"
+                    ),
+                });
+            }
+        }
+        // `expr as f32` where expr mentions f64.
+        if t.kind == TokenKind::Ident
+            && t.text == "as"
+            && code.get(i + 1).is_some_and(|n| n.text == "f32")
+            && i > 0
+            && cast_source_mentions_f64(code, i)
+        {
+            out.push(Violation {
+                lint: Lint::LossyFloatCast,
+                line: t.line,
+                col: t.col,
+                message: "`f64 as f32` silently drops precision; keep the accumulation in one \
+                          width or justify with `xtask:allow(lossy-float-cast)`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Walks the postfix expression before `as` (idents, field/method chains,
+/// matched parens/brackets) and reports whether it mentions `f64`.
+fn cast_source_mentions_f64(code: &[&Token], as_idx: usize) -> bool {
+    let mut j = as_idx as isize - 1;
+    let lower = as_idx.saturating_sub(64) as isize; // bounded walk
+    while j >= lower {
+        let t = code[j as usize];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Ident, "f64") => return true,
+            (TokenKind::Ident, name) if name.contains("f64") => return true,
+            (TokenKind::Float, text) if text.ends_with("f64") => return true,
+            (TokenKind::Ident | TokenKind::Int | TokenKind::Float | TokenKind::Str, _) => j -= 1,
+            (TokenKind::Punct, ")" | "]") => {
+                // Jump to the matching opener.
+                let (close, open) = if t.text == ")" {
+                    (")", "(")
+                } else {
+                    ("]", "[")
+                };
+                let mut depth = 0i32;
+                while j >= 0 {
+                    let u = code[j as usize];
+                    if u.kind == TokenKind::Punct {
+                        if u.text == close {
+                            depth += 1;
+                        } else if u.text == open {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                    } else if (u.kind == TokenKind::Ident && u.text.contains("f64"))
+                        || (u.kind == TokenKind::Float && u.text.ends_with("f64"))
+                    {
+                        return true;
+                    }
+                    j -= 1;
+                }
+                j -= 1;
+            }
+            (TokenKind::Punct, "." | ":") => j -= 1,
+            _ => break,
+        }
+    }
+    false
+}
+
+/// Aggregates violations into `(lint-name -> count)` for baseline keys.
+pub fn count_by_lint(violations: &[Violation]) -> HashMap<String, u64> {
+    let mut counts = HashMap::new();
+    for v in violations {
+        *counts.entry(v.lint.name().to_string()).or_insert(0u64) += 1;
+    }
+    counts
+}

@@ -1,0 +1,136 @@
+//! CLI entry point: `cargo xtask lint [--format json|text]
+//! [--update-baseline] [--root <dir>]`.
+//!
+//! Exit codes: 0 = clean (all findings baselined), 1 = new findings,
+//! 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xtask::{diagnostics, find_workspace_root, load_baseline, run_lint, BASELINE_PATH};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown subcommand `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+xtask — workspace static analysis for the Reduce reproduction
+
+USAGE:
+    cargo xtask lint [OPTIONS]
+
+OPTIONS:
+    --format <text|json>   Output format (default: text)
+    --update-baseline      Rewrite crates/xtask/lint-baseline.json from
+                           the current findings and exit 0
+    --root <dir>           Workspace root (default: discovered from cwd)
+    -h, --help             Show this help
+";
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut update = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!("error: --format expects `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--update-baseline" => update = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root expects a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot determine cwd: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no workspace root above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let baseline = match load_baseline(&root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let run = match run_lint(&root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: linting failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if update {
+        let path = root.join(BASELINE_PATH);
+        if let Err(e) = std::fs::write(&path, run.observed.to_json()) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} tolerated finding(s) across {} file(s))",
+            BASELINE_PATH,
+            run.observed.total(),
+            run.observed.files.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    print!("{}", diagnostics::render_report(&run.diagnostics, json));
+    if run.new_count() > 0 {
+        if !json {
+            eprintln!(
+                "error: {} new finding(s) not covered by {} — fix them, justify with \
+                 `// xtask:allow(<lint>): <reason>`, or (for legacy debt only) run \
+                 `cargo xtask lint --update-baseline`",
+                run.new_count(),
+                BASELINE_PATH
+            );
+        }
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

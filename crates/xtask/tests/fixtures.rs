@@ -1,0 +1,115 @@
+//! Golden tests: every lint family must fire exactly where the fixture
+//! corpus says it does — and nowhere else — plus the live-workspace gate.
+//!
+//! Fixture marker syntax (rustc-UI inspired, in line comments):
+//!
+//! * `//~ name [name …]`  — expect those lints on the **same** line;
+//! * `//~^ name [name …]` — expect them on the **previous** line;
+//! * `//~v name [name …]` — expect them on the **next** line.
+//!
+//! The comparison is an exact multiset match of `(line, lint)` pairs, so
+//! fixtures simultaneously prove that lints fire on violating code and
+//! stay silent on the conforming code between the markers.
+
+use std::path::Path;
+use xtask::lints::{lint_source, Scope};
+
+/// Parses `//~` expectation markers out of a fixture source.
+fn expected_findings(src: &str) -> Vec<(u32, String)> {
+    let mut expected = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let Some(at) = line.find("//~") else { continue };
+        let rest = &line[at + 3..];
+        let (target, names) = match rest.as_bytes().first() {
+            Some(b'^') => (idx as u32, &rest[1..]),
+            Some(b'v') => (idx as u32 + 2, &rest[1..]),
+            _ => (idx as u32 + 1, rest),
+        };
+        for name in names.split_whitespace() {
+            expected.push((target, name.to_string()));
+        }
+    }
+    expected.sort();
+    expected
+}
+
+fn check_fixture(name: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let mut actual: Vec<(u32, String)> = lint_source(&src, Scope::all())
+        .into_iter()
+        .map(|v| (v.line, v.lint.name().to_string()))
+        .collect();
+    actual.sort();
+    assert_eq!(
+        actual,
+        expected_findings(&src),
+        "diagnostics for fixture {name} diverge from its //~ markers"
+    );
+}
+
+#[test]
+fn determinism_fixture_matches_markers() {
+    check_fixture("determinism.rs");
+}
+
+#[test]
+fn panic_freedom_fixture_matches_markers() {
+    check_fixture("panic_freedom.rs");
+}
+
+#[test]
+fn numeric_fixture_matches_markers() {
+    check_fixture("numeric.rs");
+}
+
+#[test]
+fn allows_fixture_matches_markers() {
+    check_fixture("allows.rs");
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    // Belt and braces: the marker comparison would catch stray findings,
+    // but assert the stronger statement explicitly.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/clean.rs");
+    let src = std::fs::read_to_string(&path).expect("clean fixture readable");
+    assert!(
+        expected_findings(&src).is_empty(),
+        "clean fixture must carry no markers"
+    );
+    let findings = lint_source(&src, Scope::all());
+    assert!(findings.is_empty(), "clean fixture produced {findings:?}");
+}
+
+#[test]
+fn out_of_scope_files_are_skipped() {
+    let src = "pub fn f(v: Vec<u32>) -> u32 { v.unwrap()[0] }";
+    assert!(lint_source(src, Scope::none()).is_empty());
+}
+
+/// The repo-wide gate: the live workspace must lint clean against its
+/// checked-in baseline. A failure here means a new violation slipped in —
+/// fix it, justify it with `xtask:allow`, or (for legacy debt only)
+/// regenerate the baseline.
+#[test]
+fn live_workspace_is_clean_against_baseline() {
+    let root = xtask::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/xtask");
+    let baseline = xtask::load_baseline(&root).expect("baseline parses");
+    assert!(
+        baseline.total() > 0,
+        "checked-in baseline unexpectedly empty"
+    );
+    let run = xtask::run_lint(&root, &baseline).expect("workspace lint runs");
+    let fresh: Vec<String> = run
+        .diagnostics
+        .iter()
+        .filter(|d| !d.baselined)
+        .map(|d| d.render_text())
+        .collect();
+    assert!(fresh.is_empty(), "new lint findings:\n{}", fresh.join("\n"));
+}

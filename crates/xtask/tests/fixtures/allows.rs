@@ -1,0 +1,32 @@
+//! Fixture: the `xtask:allow` escape hatch and its meta-lints.
+
+pub fn justified(v: Option<u32>) -> u32 {
+    // A substantive reason on the line above suppresses the finding:
+    // nothing fires on either line.
+    // xtask:allow(unwrap): fixture demonstrating a justified escape hatch
+    v.unwrap()
+}
+
+pub fn justified_trailing(values: &[u32]) -> u32 {
+    values[0] // xtask:allow(index): fixture demonstrating a trailing allow
+}
+
+pub fn reason_too_short(v: Option<u32>) -> u32 {
+    // A trivial reason still suppresses nothing — the finding fires AND
+    // the allow itself is flagged:
+    //~v bad-allow
+    // xtask:allow(unwrap): why
+    v.unwrap() //~ unwrap
+}
+
+pub fn unknown_lint_name(v: Option<u32>) -> u32 {
+    //~v bad-allow
+    // xtask:allow(made-up-lint): this name is not in the catalogue
+    v.unwrap() //~ unwrap
+}
+
+pub fn stale() -> u32 {
+    //~v unused-allow
+    // xtask:allow(panic): nothing below panics, so this allow is stale
+    7
+}

@@ -1,0 +1,33 @@
+//! Fixture: idiomatic result-producing code — zero diagnostics expected,
+//! with every lint family enabled.
+
+pub struct Accumulator {
+    seed: u64,
+    totals: Vec<f64>,
+}
+
+impl Accumulator {
+    pub fn new(seed: u64, n: usize) -> Self {
+        Accumulator { seed, totals: vec![0.0; n] }
+    }
+
+    /// Seeded randomness, `get`-based access, epsilon comparison, and a
+    /// widening (not narrowing) cast: the patterns the lints steer toward.
+    pub fn fold(&mut self, values: &[f32], tol: f64) -> Result<f64, String> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut sum = 0.0f64;
+        for (slot, &v) in self.totals.iter_mut().zip(values) {
+            *slot += f64::from(v);
+            sum += f64::from(v) + f64::from(rng.gen::<f32>());
+        }
+        let head = self
+            .totals
+            .first()
+            .copied()
+            .ok_or_else(|| "empty accumulator".to_string())?;
+        if (head - sum).abs() < tol {
+            return Ok(head);
+        }
+        Ok(sum)
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture: every determinism-family lint fires on this file.
+//!
+//! Marker syntax is documented in tests/fixtures.rs. This file is
+//! reference text for the lint tests — it is never compiled.
+
+use std::time::{Instant, SystemTime};
+
+pub fn seedless_rng() -> u64 {
+    let mut rng = rand::thread_rng(); //~ ambient-entropy
+    let from_os = SmallRng::from_entropy(); //~ ambient-entropy
+    let shortcut: f32 = rand::random(); //~ ambient-entropy
+    let _ = (rng, from_os, shortcut);
+    0
+}
+
+pub fn wall_clock_dependent() -> bool {
+    let started = Instant::now(); //~ wall-clock
+    let stamp = SystemTime::now(); //~ wall-clock
+    let _ = stamp;
+    started.elapsed().as_nanos() % 2 == 0
+}
+
+pub fn conforming(seed: u64) -> u64 {
+    // Seeded construction is the sanctioned pattern: no diagnostics here.
+    let rng = SmallRng::seed_from_u64(seed);
+    // Idents that merely *contain* the needles stay silent.
+    let thread_rng_count = 3;
+    let instant_total = 4;
+    let _ = rng;
+    thread_rng_count + instant_total
+}

@@ -1,0 +1,30 @@
+//! Fixture: the numeric-safety family.
+
+pub fn float_comparisons(x: f32, tol: f32) -> bool {
+    let exact_eq = x == 0.5; //~ float-eq
+    let exact_ne = x != 1.0; //~ float-eq
+    let negated = x == -2.5; //~ float-eq
+    let literal_lhs = 0.25 == tol; //~ float-eq
+    // Epsilon comparison is the sanctioned pattern: silent.
+    let with_tolerance = (x - 0.5).abs() < tol;
+    // Integer comparisons and compound operators stay silent.
+    let ints = 3 == 4;
+    let mut acc = 1.0f32;
+    acc += 2.0;
+    let ordered = acc <= 5.0 && acc >= 0.5;
+    exact_eq || exact_ne || negated || literal_lhs || with_tolerance || ints || ordered
+}
+
+pub fn lossy_casts(total_loss: f64, n: usize, sum_f64: f64) -> (f32, f32, f32) {
+    let averaged = (total_loss / n as f64) as f32; //~ lossy-float-cast
+    let renamed = sum_f64 as f32; //~ lossy-float-cast
+    let explicit = 2.5f64 as f32; //~ lossy-float-cast
+    (averaged, renamed, explicit)
+}
+
+pub fn lossless_casts(count: usize, ratio: f32) -> (f32, f64) {
+    // Widening or integer→float casts are fine: silent.
+    let widened = ratio as f64;
+    let counted = count as f32;
+    (counted, widened)
+}

@@ -1,0 +1,47 @@
+//! Fixture: the panic-freedom family — and the test-code exemption that
+//! keeps it out of `#[cfg(test)]` / `#[test]` regions.
+
+pub fn panicky(values: &[f32], maybe: Option<usize>) -> f32 {
+    let i = maybe.unwrap(); //~ unwrap
+    let j = maybe.expect("index provided"); //~ expect
+    if i > values.len() {
+        panic!("index {i} out of range"); //~ panic
+    }
+    if j == usize::MAX {
+        unreachable!(); //~ panic
+    }
+    values[i] + values[j] //~ index index
+}
+
+pub fn chained(matrix: &[Vec<f32>]) -> f32 {
+    // Chained and call-adjacent indexing each fire once per `[`.
+    matrix[0][1] + first_row(matrix)[2] //~ index index index
+}
+
+fn first_row(matrix: &[Vec<f32>]) -> &[f32] {
+    matrix.first().map(Vec::as_slice).unwrap_or(&[])
+}
+
+pub fn not_indexing(n: usize) -> Vec<u8> {
+    // Attributes, macro brackets, array types and array literals all
+    // contain `[` without being indexing expressions: no diagnostics.
+    #[allow(clippy::identity_op)]
+    let literal = [0u8; 4];
+    let ty: [u8; 2] = [1, 2];
+    let grown = vec![literal[0]; n]; //~ index
+    let _ = ty;
+    grown
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside test code, panicking is the failure report: all silent.
+    #[test]
+    fn unwraps_freely() {
+        let v = Some(3usize);
+        assert_eq!(v.unwrap(), 3);
+        let arr = [1, 2, 3];
+        assert_eq!(arr[v.expect("is some")], 0);
+        panic!("even this is fine in a test");
+    }
+}

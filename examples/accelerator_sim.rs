@@ -86,9 +86,18 @@ fn main() -> Result<(), Box<dyn Error>> {
     ];
     let fwd = cm.forward_cycles(&layers)?;
     let step = cm.training_step_cycles(&layers)?;
-    println!("\nVGG11 batch-128 on a 256x256 array @ {} MHz:", cm.frequency_mhz);
-    println!("  forward: {fwd} cycles ({:.3} ms)", cm.cycles_to_seconds(fwd) * 1e3);
-    println!("  train step: {step} cycles ({:.3} ms)", cm.cycles_to_seconds(step) * 1e3);
+    println!(
+        "\nVGG11 batch-128 on a 256x256 array @ {} MHz:",
+        cm.frequency_mhz
+    );
+    println!(
+        "  forward: {fwd} cycles ({:.3} ms)",
+        cm.cycles_to_seconds(fwd) * 1e3
+    );
+    println!(
+        "  train step: {step} cycles ({:.3} ms)",
+        cm.cycles_to_seconds(step) * 1e3
+    );
     let epoch = cm.epoch_cycles(&layers, 50_000, 128)?;
     println!(
         "  one CIFAR-10 epoch: {:.2} s -> why per-chip retraining epochs are the \

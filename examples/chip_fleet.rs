@@ -6,9 +6,7 @@
 //! cargo run --release --example chip_fleet
 //! ```
 
-use reduce_core::{
-    report, Reduce, ResilienceConfig, RetrainPolicy, Statistic, Workbench,
-};
+use reduce_core::{report, Reduce, ResilienceConfig, RetrainPolicy, Statistic, Workbench};
 use reduce_systolic::{generate_fleet, FaultModel, FleetConfig, RateDistribution};
 use std::error::Error;
 
@@ -59,8 +57,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\n{}", report::render_fleet_summary(&reports));
 
     println!("total retraining epochs per policy:");
-    let bars: Vec<(String, f64)> =
-        reports.iter().map(|r| (r.policy.clone(), r.total_epochs as f64)).collect();
+    let bars: Vec<(String, f64)> = reports
+        .iter()
+        .map(|r| (r.policy.clone(), r.total_epochs as f64))
+        .collect();
     println!("{}", report::render_bars(&bars, 40));
     Ok(())
 }

@@ -20,39 +20,56 @@ fn main() -> Result<(), Box<dyn Error>> {
     let (rows, cols) = workbench.array_dims();
     let constraint = 0.90f32;
     let pretrained = workbench.pretrain(15)?;
-    println!("float baseline: {:.2}%", pretrained.baseline_accuracy * 100.0);
+    println!(
+        "float baseline: {:.2}%",
+        pretrained.baseline_accuracy * 100.0
+    );
 
     let runner = FatRunner::new(workbench)?;
 
     // --- Quantise the clean model's GEMM weights to int8 -----------------
     type State = Vec<(String, reduce_tensor::Tensor)>;
-    let quantize_weights = |state: &[(String, reduce_tensor::Tensor)]| -> Result<State, Box<dyn Error>> {
-        let mut quantized = state.to_vec();
-        for (_, tensor) in quantized.iter_mut().filter(|(_, t)| t.rank() == 2) {
-            *tensor = QuantizedTensor::quantize(tensor)?.dequantize()?;
-        }
-        Ok(quantized)
-    };
-    let evaluate_state = |state: &[(String, reduce_tensor::Tensor)]| -> Result<f32, Box<dyn Error>> {
-        let mut model = runner.workbench().model.build(runner.workbench().seed)?;
-        model.load_state_dict(state)?;
-        let test = runner.test_data();
-        let logits = model.forward(test.features(), Mode::Eval)?;
-        Ok(reduce_nn::accuracy(&logits, test.labels())?)
-    };
+    let quantize_weights =
+        |state: &[(String, reduce_tensor::Tensor)]| -> Result<State, Box<dyn Error>> {
+            let mut quantized = state.to_vec();
+            for (_, tensor) in quantized.iter_mut().filter(|(_, t)| t.rank() == 2) {
+                *tensor = QuantizedTensor::quantize(tensor)?.dequantize()?;
+            }
+            Ok(quantized)
+        };
+    let evaluate_state =
+        |state: &[(String, reduce_tensor::Tensor)]| -> Result<f32, Box<dyn Error>> {
+            let mut model = runner.workbench().model.build(runner.workbench().seed)?;
+            model.load_state_dict(state)?;
+            let test = runner.test_data();
+            let logits = model.forward(test.features(), Mode::Eval)?;
+            Ok(reduce_nn::accuracy(&logits, test.labels())?)
+        };
 
     let int8_clean = evaluate_state(&quantize_weights(&pretrained.state)?)?;
-    println!("int8 baseline:  {:.2}%  (quantisation is nearly free)", int8_clean * 100.0);
+    println!(
+        "int8 baseline:  {:.2}%  (quantisation is nearly free)",
+        int8_clean * 100.0
+    );
 
     // --- A faulty chip -----------------------------------------------------
     let map = FaultMap::generate(rows, cols, 0.2, FaultModel::Random, 5)?;
     println!("\nchip: {map}");
     let unprotected = runner.unprotected_accuracy(&pretrained, &map, 6.0)?;
-    println!("unprotected (stuck-at-saturated weights): {:.2}%", unprotected * 100.0);
+    println!(
+        "unprotected (stuck-at-saturated weights): {:.2}%",
+        unprotected * 100.0
+    );
 
     // --- FAP + retraining --------------------------------------------------
-    let outcome =
-        runner.run(&pretrained, &map, 8, StopRule::AtAccuracy(constraint), Mitigation::Fap, 0)?;
+    let outcome = runner.run(
+        &pretrained,
+        &map,
+        8,
+        StopRule::AtAccuracy(constraint),
+        Mitigation::Fap,
+        0,
+    )?;
     println!(
         "FAP only: {:.2}%  →  FAP+T after {} epoch(s): {:.2}%",
         outcome.pre_retrain_accuracy * 100.0,
@@ -67,7 +84,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         "shipped int8 FAT model: {:.2}%  (constraint {:.0}%: {})",
         int8_faulty * 100.0,
         constraint * 100.0,
-        if int8_faulty >= constraint { "met" } else { "NOT met" }
+        if int8_faulty >= constraint {
+            "met"
+        } else {
+            "NOT met"
+        }
     );
     println!(
         "\nnote: quantising after FAT preserves the masks — pruned weights are\n\

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let workbench = Workbench::toy(42);
     println!("pre-training the fault-free model…");
     let pretrained = workbench.pretrain(15)?;
-    println!("  baseline test accuracy: {:.2}%", pretrained.baseline_accuracy * 100.0);
+    println!(
+        "  baseline test accuracy: {:.2}%",
+        pretrained.baseline_accuracy * 100.0
+    );
 
     // 2. A fabricated chip with 20% of its 8x8 PE array faulty.
     let (rows, cols) = workbench.array_dims();
@@ -24,8 +27,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     // 3. Fault-aware retraining: mask the weights the faulty PEs zero, then
     //    retrain so the surviving weights compensate.
     let runner = FatRunner::new(workbench)?;
-    let outcome =
-        runner.run(&pretrained, &fault_map, 10, StopRule::Exact, Mitigation::Fap, 0)?;
+    let outcome = runner.run(
+        &pretrained,
+        &fault_map,
+        10,
+        StopRule::Exact,
+        Mitigation::Fap,
+        0,
+    )?;
 
     println!(
         "after FAP masking ({:.1}% of weights pruned): {:.2}%",

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let workbench = Workbench::toy(3);
     println!("pre-training fault-free model…");
     let pretrained = workbench.pretrain(15)?;
-    println!("baseline accuracy {:.2}%\n", pretrained.baseline_accuracy * 100.0);
+    println!(
+        "baseline accuracy {:.2}%\n",
+        pretrained.baseline_accuracy * 100.0
+    );
 
     let runner = FatRunner::new(workbench)?;
     let config = ResilienceConfig::grid(max_rate, points, epochs, constraint);
@@ -30,7 +33,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let analysis = ResilienceAnalysis::run(&runner, &pretrained, config)?;
 
     println!("— Fig. 2a: accuracy vs fault rate at each retraining level —");
-    println!("{}", report::render_resilience_curves(&analysis, &[0, 1, 2, 4, 8, epochs]));
+    println!(
+        "{}",
+        report::render_resilience_curves(&analysis, &[0, 1, 2, 4, 8, epochs])
+    );
 
     println!("— Fig. 2b: epochs to reach {:.0}% —", constraint * 100.0);
     println!("{}", report::render_epochs_to_constraint(&analysis));

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let workbench = Workbench::toy(42);
     let (rows, cols) = workbench.array_dims();
     let pretrained = workbench.pretrain(15)?;
-    println!("baseline accuracy {:.2}%\n", pretrained.baseline_accuracy * 100.0);
+    println!(
+        "baseline accuracy {:.2}%\n",
+        pretrained.baseline_accuracy * 100.0
+    );
     let runner = FatRunner::new(workbench)?;
 
     println!("rate     FAP acc   FAM acc   (mean over 5 maps, no retraining)");

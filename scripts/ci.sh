@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything a PR must pass before merge.
+#
+#   build → tests → xtask lint (ratcheted) → clippy -D warnings → fmt check
+#
+# Run from anywhere inside the repo. Fails fast on the first broken stage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo xtask lint --format json"
+cargo xtask lint --format json
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -q -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "ci: all stages green"

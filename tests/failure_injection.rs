@@ -2,8 +2,8 @@
 //! typed errors (never panics) at every layer of the stack.
 
 use reduce_repro::core::{
-    Mitigation, Reduce, ReduceError, ResilienceConfig, ResilienceTable, RetrainPolicy,
-    Statistic, TableEntry, Workbench,
+    Mitigation, Reduce, ReduceError, ResilienceConfig, ResilienceTable, RetrainPolicy, Statistic,
+    TableEntry, Workbench,
 };
 use reduce_repro::data::{blobs, Dataset};
 use reduce_repro::nn::{models, CrossEntropyLoss, Sgd, TrainConfig, Trainer};
@@ -20,7 +20,14 @@ fn all_faulty_chip_is_handled_gracefully() {
     let runner = reduce_repro::core::FatRunner::new(wb).expect("valid workbench");
     let dead = FaultMap::generate(rows, cols, 1.0, FaultModel::Random, 0).expect("valid");
     let outcome = runner
-        .run(&pre, &dead, 2, reduce_repro::core::StopRule::Exact, Mitigation::Fap, 0)
+        .run(
+            &pre,
+            &dead,
+            2,
+            reduce_repro::core::StopRule::Exact,
+            Mitigation::Fap,
+            0,
+        )
         .expect("degenerate chip still runs");
     assert!((outcome.pruned_fraction - 1.0).abs() < 1e-6);
     // All-zero network: accuracy is at chance level (4 classes).
@@ -73,13 +80,20 @@ fn resilience_errors_are_typed() {
     assert!(matches!(err, Err(ReduceError::InvalidConfig { .. })));
     // Reduce policy without characterisation.
     let chip_err = RetrainPolicy::Reduce(Statistic::Max).epochs_for_chip(None, 0.1);
-    assert!(matches!(chip_err, Err(ReduceError::MissingCharacterization { .. })));
+    assert!(matches!(
+        chip_err,
+        Err(ReduceError::MissingCharacterization { .. })
+    ));
 }
 
 #[test]
 fn table_lookup_rejects_garbage_rates() {
     let t = ResilienceTable::from_entries(
-        vec![TableEntry { rate: 0.0, mean_epochs: 0.0, max_epochs: 0 }],
+        vec![TableEntry {
+            rate: 0.0,
+            mean_epochs: 0.0,
+            max_epochs: 0,
+        }],
         4,
     )
     .expect("non-empty");

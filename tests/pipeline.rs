@@ -2,12 +2,9 @@
 //! ③) on the fast toy workbench, exercising every crate together.
 
 use reduce_repro::core::{
-    FatRunner, Mitigation, Reduce, ResilienceConfig, RetrainPolicy, Statistic, StopRule,
-    Workbench,
+    FatRunner, Mitigation, Reduce, ResilienceConfig, RetrainPolicy, Statistic, StopRule, Workbench,
 };
-use reduce_repro::systolic::{
-    generate_fleet, FaultMap, FaultModel, FleetConfig, RateDistribution,
-};
+use reduce_repro::systolic::{generate_fleet, FaultMap, FaultModel, FleetConfig, RateDistribution};
 
 fn fleet(chips: usize, hi: f64, seed: u64) -> Vec<reduce_repro::systolic::Chip> {
     generate_fleet(&FleetConfig {
@@ -24,8 +21,7 @@ fn fleet(chips: usize, hi: f64, seed: u64) -> Vec<reduce_repro::systolic::Chip> 
 #[test]
 fn full_pipeline_beats_fixed_baselines() {
     let constraint = 0.90;
-    let mut reduce =
-        Reduce::new(Workbench::toy(101), constraint, 15).expect("valid constraint");
+    let mut reduce = Reduce::new(Workbench::toy(101), constraint, 15).expect("valid constraint");
     assert!(
         reduce.pretrained().baseline_accuracy >= constraint,
         "pre-trained baseline must satisfy the constraint on a fault-free chip"
@@ -46,10 +42,12 @@ fn full_pipeline_beats_fixed_baselines() {
     let reduce_max = reduce
         .deploy(&chips, RetrainPolicy::Reduce(Statistic::Max))
         .expect("deployment runs");
-    let fixed_zero =
-        reduce.deploy(&chips, RetrainPolicy::Fixed(0)).expect("deployment runs");
-    let fixed_high =
-        reduce.deploy(&chips, RetrainPolicy::Fixed(10)).expect("deployment runs");
+    let fixed_zero = reduce
+        .deploy(&chips, RetrainPolicy::Fixed(0))
+        .expect("deployment runs");
+    let fixed_high = reduce
+        .deploy(&chips, RetrainPolicy::Fixed(10))
+        .expect("deployment runs");
 
     // The paper's headline: Reduce is at least as robust as no-retraining
     // and much cheaper than a uniformly high fixed budget.
@@ -86,10 +84,12 @@ fn reduce_max_never_cheaper_than_reduce_mean() {
         })
         .expect("characterisation runs");
     let chips = fleet(8, 0.3, 56);
-    let max_plan =
-        reduce.plan(&chips, RetrainPolicy::Reduce(Statistic::Max)).expect("table ready");
-    let mean_plan =
-        reduce.plan(&chips, RetrainPolicy::Reduce(Statistic::Mean)).expect("table ready");
+    let max_plan = reduce
+        .plan(&chips, RetrainPolicy::Reduce(Statistic::Max))
+        .expect("table ready");
+    let mean_plan = reduce
+        .plan(&chips, RetrainPolicy::Reduce(Statistic::Mean))
+        .expect("table ready");
     for (mx, mn) in max_plan.iter().zip(&mean_plan) {
         assert!(
             mx.epochs >= mn.epochs,
@@ -123,8 +123,14 @@ fn per_chip_budgets_track_fault_rate() {
         let mut last = 0usize;
         for i in 0..=30 {
             let rate = 0.3 * i as f64 / 30.0;
-            let e = table.epochs_for(rate, Statistic::Max).expect("valid rate").epochs;
-            assert!(e >= last, "budget not monotone at rate {rate}: {e} < {last}");
+            let e = table
+                .epochs_for(rate, Statistic::Max)
+                .expect("valid rate")
+                .epochs;
+            assert!(
+                e >= last,
+                "budget not monotone at rate {rate}: {e} < {last}"
+            );
             last = e;
         }
     }
@@ -186,8 +192,7 @@ fn paper_array_geometry_end_to_end() {
     wb.array = (256, 256);
     let pre = wb.pretrain(8).expect("valid workbench");
     let runner = FatRunner::new(wb).expect("valid workbench");
-    let map =
-        FaultMap::generate(256, 256, 0.02, FaultModel::Random, 31).expect("valid rate");
+    let map = FaultMap::generate(256, 256, 0.02, FaultModel::Random, 31).expect("valid rate");
     let outcome = runner
         .run(&pre, &map, 1, StopRule::Exact, Mitigation::Fap, 0)
         .expect("run succeeds");

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use reduce_repro::core::{ResilienceTable, Statistic, TableEntry};
 use reduce_repro::systolic::{
-    affected_weights, fam_mapping, fap_mask, pruned_fraction, saliency_loss, FaultMap,
-    FaultModel, SystolicArray,
+    affected_weights, fam_mapping, fap_mask, pruned_fraction, saliency_loss, FaultMap, FaultModel,
+    SystolicArray,
 };
 use reduce_repro::tensor::{ops, Tensor};
 

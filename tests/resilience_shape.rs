@@ -3,8 +3,7 @@
 //! recovers it, and the required retraining grows with the fault rate.
 
 use reduce_repro::core::{
-    FatRunner, Mitigation, ResilienceAnalysis, ResilienceConfig, Statistic, StopRule,
-    Workbench,
+    FatRunner, Mitigation, ResilienceAnalysis, ResilienceConfig, Statistic, StopRule, Workbench,
 };
 use reduce_repro::systolic::FaultModel;
 
@@ -35,8 +34,10 @@ fn resilience_curves_have_paper_shape() {
     assert_eq!(summaries.len(), 3);
 
     // Fig. 2a shape #1: pre-retraining accuracy decreases with fault rate.
-    let pre_acc: Vec<f32> =
-        summaries.iter().map(|s| s.mean_accuracy_at_level[0]).collect();
+    let pre_acc: Vec<f32> = summaries
+        .iter()
+        .map(|s| s.mean_accuracy_at_level[0])
+        .collect();
     assert!(
         pre_acc[0] > pre_acc[2] + 0.05,
         "no degradation across rates: {pre_acc:?}"
@@ -70,8 +71,14 @@ fn resilience_curves_have_paper_shape() {
 
     // The table interpolates the same shape.
     let table = analysis.table();
-    let lo = table.epochs_for(0.05, Statistic::Max).expect("valid rate").epochs;
-    let hi = table.epochs_for(0.3, Statistic::Max).expect("valid rate").epochs;
+    let lo = table
+        .epochs_for(0.05, Statistic::Max)
+        .expect("valid rate")
+        .epochs;
+    let hi = table
+        .epochs_for(0.3, Statistic::Max)
+        .expect("valid rate")
+        .epochs;
     assert!(hi >= lo);
 }
 
@@ -83,19 +90,21 @@ fn early_stop_never_exceeds_exact_budget() {
     let pre = wb.pretrain(12).expect("valid workbench");
     let runner = FatRunner::new(wb).expect("valid workbench");
     for seed in 0..4u64 {
-        let map = reduce_repro::systolic::FaultMap::generate(
-            rows,
-            cols,
-            0.2,
-            FaultModel::Random,
-            seed,
-        )
-        .expect("valid rate");
+        let map =
+            reduce_repro::systolic::FaultMap::generate(rows, cols, 0.2, FaultModel::Random, seed)
+                .expect("valid rate");
         let exact = runner
             .run(&pre, &map, 8, StopRule::Exact, Mitigation::Fap, seed)
             .expect("valid run");
         let stopped = runner
-            .run(&pre, &map, 8, StopRule::AtAccuracy(constraint), Mitigation::Fap, seed)
+            .run(
+                &pre,
+                &map,
+                8,
+                StopRule::AtAccuracy(constraint),
+                Mitigation::Fap,
+                seed,
+            )
             .expect("valid run");
         assert!(stopped.epochs_run() <= exact.epochs_run());
         // If the stopped run claims it met the constraint, it really did.

@@ -1,0 +1,156 @@
+//! Vendored, offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`,
+//! the [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! range and tuple strategies, `prop::collection::vec`, `prop::bool::ANY`
+//! and `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports the panic from the plain
+//!   `assert!`; inputs are printed by the assertion message only.
+//! - **Deterministic seeding.** Each test derives its RNG seed from the
+//!   fully qualified test name (FNV-1a hash), so runs are bit-reproducible
+//!   across machines and invocations — there is no environment override
+//!   and no `proptest-regressions` persistence. This is stricter than
+//!   upstream and intentional: the Reduce framework's tooling forbids
+//!   ambient entropy everywhere, test harnesses included.
+
+pub mod strategy;
+
+pub mod collection;
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy producing fair booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy (`prop::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut SmallRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// Mirror of proptest's `Config`, reduced to the knobs used in-tree.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Explicit rejection of a test case (`return Err(...)` in a body).
+    /// This stand-in's `prop_assert!` panics instead of constructing one.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// Everything a property-test module needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Mirror of the `prop` module re-export in proptest's prelude.
+    pub mod prop {
+        pub use crate::{bool, collection};
+    }
+}
+
+/// Derives a deterministic per-test RNG from the test's qualified name.
+pub fn rng_for(test_name: &str) -> rand::rngs::SmallRng {
+    use rand::SeedableRng;
+    // FNV-1a over the name: stable across runs, platforms and compilers.
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    rand::rngs::SmallRng::seed_from_u64(hash)
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` against `cases` seeded random
+/// instantiations of its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng =
+                $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(
+                    let $pat =
+                        $crate::strategy::Strategy::new_value(&($strat), &mut rng);
+                )*
+                // The closure lets property bodies `return Ok(())` early,
+                // as real proptest allows.
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("property rejected: {}", e.0);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property body (panics on failure, like a
+/// plain `assert!` — this stand-in does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}

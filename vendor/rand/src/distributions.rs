@@ -1,0 +1,48 @@
+//! Distributions: the `Standard` distribution and uniform range sampling.
+
+use crate::RngCore;
+
+pub mod uniform;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "standard" distribution: unit-interval floats, full-range integers,
+/// fair booleans — matching upstream `rand`'s conventions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 explicit mantissa bits -> uniform in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 explicit mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

@@ -1,0 +1,202 @@
+//! Vendored, fully deterministic stand-in for the `rand` 0.8 crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the *subset* of `rand`'s API it actually uses:
+//! [`rngs::SmallRng`] (xoshiro256++, the same algorithm `rand` 0.8 uses on
+//! 64-bit targets), [`SeedableRng::seed_from_u64`] (SplitMix64 seeding, as
+//! upstream), the [`Rng`] extension trait (`gen`, `gen_range`, `gen_bool`)
+//! and [`seq::SliceRandom`] (`shuffle`, `choose`).
+//!
+//! Everything here is deliberately deterministic: there is no `thread_rng`,
+//! no `from_entropy`, and no `rand::random` — the Reduce framework requires
+//! every stochastic path to be driven by an explicit `u64` seed, and the
+//! `cargo xtask lint` determinism lints forbid the ambient-entropy entry
+//! points outright. Omitting them from the vendored crate turns those lint
+//! violations into compile errors.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: a source of `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            let n = rem.len();
+            rem.copy_from_slice(&word[..n]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64 —
+    /// the same expansion upstream `rand` 0.8 uses, so seeds produce
+    /// well-mixed initial states even for small integers.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// Supports `Range` and `RangeInclusive` over the primitive integer and
+    /// float types. Panics (as upstream does) on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit: f64 = Standard.sample(self);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f32 = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..256 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let d: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut v: Vec<usize> = (0..64).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        // And actually permutes with overwhelming probability.
+        assert_ne!(v, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_handles_empty_and_full() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let one = [42u8];
+        assert_eq!(one.choose(&mut rng), Some(&42));
+        let many: Vec<usize> = (0..9).collect();
+        for _ in 0..100 {
+            let &c = many.choose(&mut rng).expect("non-empty");
+            assert!(c < 9);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,57 @@
+//! Concrete generators. `SmallRng` is xoshiro256++ — the algorithm the real
+//! `rand` 0.8 selects for `SmallRng` on 64-bit platforms.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, deterministic, non-cryptographic generator
+/// (xoshiro256++ by Blackman & Vigna).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl RngCore for SmallRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        // xoshiro requires a non-zero state; expand an all-zero seed
+        // through SplitMix64 instead (matching upstream behaviour).
+        if seed.iter().all(|&b| b == 0) {
+            return Self::seed_from_u64(0);
+        }
+        let mut s = [0u64; 4];
+        for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(chunk);
+            *word = u64::from_le_bytes(bytes);
+        }
+        SmallRng { s }
+    }
+}
+
+/// The "standard" generator. Upstream uses ChaCha12 here; for this offline
+/// stand-in it is an alias for the same deterministic xoshiro256++ core,
+/// which is all the workspace needs (nothing in-tree requires a
+/// cryptographically strong stream).
+pub type StdRng = SmallRng;

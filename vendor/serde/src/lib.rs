@@ -1,0 +1,26 @@
+//! Vendored, offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its report and
+//! configuration types so they are wire-ready, but no in-tree code ever
+//! serialises them (there is no `serde_json` or other format crate in the
+//! dependency graph, and the build environment cannot fetch one). This
+//! stand-in keeps the annotations compiling — and the types honest about
+//! their intent — by providing the two trait names plus inert derive
+//! macros that expand to nothing.
+//!
+//! Swapping back to real `serde` is a one-line change in the workspace
+//! `Cargo.toml` once a registry is reachable; no call sites change.
+
+/// Marker for types that intend to be serialisable.
+///
+/// Inert in this stand-in: the derive expands to nothing, so no impls
+/// exist. Nothing in-tree bounds on this trait.
+pub trait Serialize {}
+
+/// Marker for types that intend to be deserialisable.
+///
+/// Inert in this stand-in, like [`Serialize`].
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Inert `Serialize`/`Deserialize` derives.
+//!
+//! The vendored `serde` stand-in (see its crate docs) provides the trait
+//! names; these derives intentionally expand to nothing, so annotated types
+//! compile without pulling in a full serialisation framework.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; keeps `#[derive(Serialize)]` compiling offline.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; keeps `#[derive(Deserialize)]` compiling offline.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
