@@ -1,8 +1,14 @@
 //! Ablation studies for the design choices called out in DESIGN.md.
 //!
 //! ```text
-//! cargo run -p reduce-bench --release --bin ablation -- <study> [--scale smoke|default|full]
+//! cargo run -p reduce-bench --release --bin ablation -- <study> \
+//!     [--scale smoke|default|full] [--threads N]
 //! ```
+//!
+//! `--threads N` parallelises the characterisation and fleet-deployment
+//! stages of the `grid`, `margin` and `early-stop` studies on the
+//! deterministic executor (`0` = auto-size); study output is
+//! byte-identical at any thread count.
 //!
 //! Studies:
 //!
@@ -16,7 +22,7 @@
 //! * `early-stop` — epochs saved by stopping FAT at the constraint instead
 //!   of spending the whole budget.
 
-use reduce_bench::{arg_value, Scale};
+use reduce_bench::{arg_threads, arg_value, Scale};
 use reduce_core::{
     FatRunner, Mitigation, Reduce, ResilienceConfig, RetrainPolicy, Statistic, StopRule,
 };
@@ -28,20 +34,21 @@ fn main() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let study = args.first().cloned().unwrap_or_else(|| "help".into());
     let scale = Scale::parse(&arg_value(&args, "--scale").unwrap_or_else(|| "smoke".into()))?;
+    let threads = arg_threads(&args)?;
     let t0 = Instant::now();
     match study.as_str() {
         "fault-model" => fault_model(scale)?,
-        "grid" => grid(scale)?,
+        "grid" => grid(scale, threads)?,
         "mitigation" => mitigation(scale)?,
-        "margin" => margin(scale)?,
-        "early-stop" => early_stop(scale)?,
+        "margin" => margin(scale, threads)?,
+        "early-stop" => early_stop(scale, threads)?,
         "bn-recal" => bn_recal()?,
         "unprotected" => unprotected(scale)?,
         _ => {
             eprintln!(
                 "usage: ablation \
                  <fault-model|grid|mitigation|margin|early-stop|bn-recal|unprotected> \
-                 [--scale smoke|default|full]"
+                 [--scale smoke|default|full] [--threads N]"
             );
             return Ok(());
         }
@@ -107,15 +114,17 @@ fn fault_model(scale: Scale) -> Result<(), Box<dyn Error>> {
 }
 
 /// A3: coarse vs fine characterisation grids.
-fn grid(scale: Scale) -> Result<(), Box<dyn Error>> {
+fn grid(scale: Scale, threads: usize) -> Result<(), Box<dyn Error>> {
     let wb = scale.workbench(1);
     let constraint = scale.constraint();
     let mut reduce = Reduce::new(wb, constraint, scale.pretrain_epochs())?;
     println!("A3 — characterisation-grid granularity");
     let base = scale.resilience_config();
     // Fine grid (the reference).
-    reduce.characterize(base.clone())?;
+    let t_fine = Instant::now();
+    reduce.characterize_parallel(base.clone(), threads)?;
     let fine = reduce.table()?;
+    let fine_time = t_fine.elapsed();
     // Coarse grid: only the endpoints.
     let coarse_cfg = ResilienceConfig {
         fault_rates: vec![
@@ -124,8 +133,14 @@ fn grid(scale: Scale) -> Result<(), Box<dyn Error>> {
         ],
         ..base.clone()
     };
-    reduce.characterize(coarse_cfg)?;
+    let t_coarse = Instant::now();
+    reduce.characterize_parallel(coarse_cfg, threads)?;
     let coarse = reduce.table()?;
+    println!(
+        "stage timings: fine grid {fine_time:.1?} · coarse grid {:.1?} ({threads} thread{})",
+        t_coarse.elapsed(),
+        if threads == 1 { "" } else { "s" }
+    );
     println!("rate    fine_max  coarse_max  delta");
     let mut total_abs = 0i64;
     let probes: Vec<f64> = (0..=12).map(|i| 0.3 * i as f64 / 12.0).collect();
@@ -191,12 +206,14 @@ fn mitigation(scale: Scale) -> Result<(), Box<dyn Error>> {
 }
 
 /// A1: max vs mean vs mean+margin selection statistics.
-fn margin(scale: Scale) -> Result<(), Box<dyn Error>> {
+fn margin(scale: Scale, threads: usize) -> Result<(), Box<dyn Error>> {
     let wb = scale.workbench(1);
     let array = wb.array_dims();
     let constraint = scale.constraint();
     let mut reduce = Reduce::new(wb, constraint, scale.pretrain_epochs())?;
-    reduce.characterize(scale.resilience_config())?;
+    let t_char = Instant::now();
+    reduce.characterize_parallel(scale.resilience_config(), threads)?;
+    let characterise_time = t_char.elapsed();
     let fleet = generate_fleet(&scale.fleet_config(
         array,
         Some(match scale {
@@ -206,13 +223,14 @@ fn margin(scale: Scale) -> Result<(), Box<dyn Error>> {
     ))?;
     println!("A1 — selection statistic ablation ({} chips)", fleet.len());
     println!("policy                satisfied  total_epochs");
+    let t_deploy = Instant::now();
     for policy in [
         RetrainPolicy::Reduce(Statistic::Mean),
         RetrainPolicy::Reduce(Statistic::MeanPlusMargin(1.0)),
         RetrainPolicy::Reduce(Statistic::MeanPlusMargin(2.0)),
         RetrainPolicy::Reduce(Statistic::Max),
     ] {
-        let r = reduce.deploy(&fleet, policy)?;
+        let r = reduce.deploy_parallel(&fleet, policy, threads)?;
         println!(
             "{:<22} {:>6}/{:<3}  {:>12}",
             r.policy,
@@ -221,6 +239,12 @@ fn margin(scale: Scale) -> Result<(), Box<dyn Error>> {
             r.total_epochs
         );
     }
+    println!(
+        "stage timings: characterisation {characterise_time:.1?} · deployments {:.1?} \
+         ({threads} thread{})",
+        t_deploy.elapsed(),
+        if threads == 1 { "" } else { "s" }
+    );
     println!(
         "\nthe margin interpolates between mean (cheap, undertrains) and max\n\
          (robust, the paper's choice)."
@@ -313,12 +337,14 @@ fn bn_recal() -> Result<(), Box<dyn Error>> {
 }
 
 /// Early-stop extension: epochs saved by evaluating during FAT.
-fn early_stop(scale: Scale) -> Result<(), Box<dyn Error>> {
+fn early_stop(scale: Scale, threads: usize) -> Result<(), Box<dyn Error>> {
     let wb = scale.workbench(1);
     let array = wb.array_dims();
     let constraint = scale.constraint();
     let mut reduce = Reduce::new(wb.clone(), constraint, scale.pretrain_epochs())?;
-    reduce.characterize(scale.resilience_config())?;
+    let t_char = Instant::now();
+    reduce.characterize_parallel(scale.resilience_config(), threads)?;
+    let characterise_time = t_char.elapsed();
     let table = reduce.table()?;
     let fleet = generate_fleet(&scale.fleet_config(
         array,
@@ -334,8 +360,10 @@ fn early_stop(scale: Scale) -> Result<(), Box<dyn Error>> {
     );
     let runner = reduce.runner();
     let pretrained = reduce.pretrained();
-    let (mut exact_total, mut stop_total, mut exact_sat, mut stop_sat) = (0usize, 0usize, 0, 0);
-    for chip in &fleet {
+    // Each chip is retrained twice (exact budget vs early stop) as one
+    // executor job; per-chip counters are summed in fleet order.
+    let t_retrain = Instant::now();
+    let per_chip = reduce_core::exec::parallel_map(&fleet, threads, |_, chip| {
         let budget = table.epochs_for(chip.fault_rate(), Statistic::Max)?.epochs;
         let exact = runner.run(
             pretrained,
@@ -353,13 +381,28 @@ fn early_stop(scale: Scale) -> Result<(), Box<dyn Error>> {
             Mitigation::Fap,
             chip.id() as u64,
         )?;
-        exact_total += exact.epochs_run();
-        stop_total += stopped.epochs_run();
-        exact_sat += usize::from(exact.final_accuracy() >= constraint);
-        stop_sat += usize::from(stopped.final_accuracy() >= constraint);
+        Ok((
+            exact.epochs_run(),
+            stopped.epochs_run(),
+            usize::from(exact.final_accuracy() >= constraint),
+            usize::from(stopped.final_accuracy() >= constraint),
+        ))
+    })?;
+    let retrain_time = t_retrain.elapsed();
+    let (mut exact_total, mut stop_total, mut exact_sat, mut stop_sat) = (0usize, 0usize, 0, 0);
+    for (exact_epochs, stop_epochs, exact_ok, stop_ok) in per_chip {
+        exact_total += exact_epochs;
+        stop_total += stop_epochs;
+        exact_sat += exact_ok;
+        stop_sat += stop_ok;
     }
     println!("Reduce(max), exact budget : {exact_total} epochs, {exact_sat} satisfied");
     println!("Reduce(max) + early stop  : {stop_total} epochs, {stop_sat} satisfied");
+    println!(
+        "stage timings: characterisation {characterise_time:.1?} · retraining {retrain_time:.1?} \
+         ({threads} thread{})",
+        if threads == 1 { "" } else { "s" }
+    );
     println!(
         "\nearly stopping trades per-epoch evaluation cost for epoch savings —\n\
          a natural extension of the paper's fixed-amount Step 3."

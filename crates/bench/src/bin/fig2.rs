@@ -8,10 +8,16 @@
 //!   motivate selecting by the max).
 //!
 //! ```text
-//! cargo run -p reduce-bench --release --bin fig2 -- [--scale smoke|default|full] [--part a|b|both]
+//! cargo run -p reduce-bench --release --bin fig2 -- \
+//!     [--scale smoke|default|full] [--part a|b|both] [--threads N]
 //! ```
+//!
+//! `--threads N` fans the Step-① `(rate, repeat)` grid out over `N`
+//! workers on the deterministic executor (`0` = auto-size from the
+//! hardware); the printed curves, tables and CSV output are byte-identical
+//! at any thread count.
 
-use reduce_bench::{arg_value, Scale};
+use reduce_bench::{arg_threads, arg_value, Scale};
 use reduce_core::{report, FatRunner, ResilienceAnalysis};
 use std::error::Error;
 use std::time::Instant;
@@ -20,6 +26,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::parse(&arg_value(&args, "--scale").unwrap_or_else(|| "default".into()))?;
     let part = arg_value(&args, "--part").unwrap_or_else(|| "both".into());
+    let threads = arg_threads(&args)?;
 
     let workbench = scale.workbench(1);
     let config = scale.resilience_config();
@@ -35,22 +42,26 @@ fn main() -> Result<(), Box<dyn Error>> {
         scale.pretrain_epochs()
     );
     let pretrained = workbench.pretrain(scale.pretrain_epochs())?;
+    let pretrain_time = t0.elapsed();
     println!(
-        "baseline accuracy {:.2}%  [{:.1?}]\n",
-        pretrained.baseline_accuracy * 100.0,
-        t0.elapsed()
+        "baseline accuracy {:.2}%  [{pretrain_time:.1?}]\n",
+        pretrained.baseline_accuracy * 100.0
     );
 
     let runner = FatRunner::new(workbench)?;
     println!(
-        "running {} rates × {} repeats × {} epochs…",
+        "running {} rates × {} repeats × {} epochs ({} thread{})…",
         config.fault_rates.len(),
         config.repeats,
-        config.max_epochs
+        config.max_epochs,
+        threads,
+        if threads == 1 { "" } else { "s" }
     );
     let max_epochs = config.max_epochs;
-    let analysis = ResilienceAnalysis::run(&runner, &pretrained, config)?;
-    println!("characterisation done  [{:.1?}]\n", t0.elapsed());
+    let t_char = Instant::now();
+    let analysis = ResilienceAnalysis::run_parallel(&runner, &pretrained, config, threads)?;
+    let characterise_time = t_char.elapsed();
+    println!("characterisation done  [{characterise_time:.1?}]\n");
 
     if part == "a" || part == "both" {
         println!("— Fig. 2a: mean accuracy vs fault rate at each FAT level —");
@@ -79,6 +90,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         analysis.table().save(std::path::Path::new(&path))?;
         println!("resilience table saved to {path} (reusable via fig3 --table)");
     }
+    println!(
+        "stage timings: pretrain {pretrain_time:.1?} · characterisation {characterise_time:.1?} \
+         ({threads} thread{})",
+        if threads == 1 { "" } else { "s" }
+    );
     println!("total wall time {:.1?}", t0.elapsed());
     Ok(())
 }

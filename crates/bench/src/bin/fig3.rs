@@ -8,10 +8,15 @@
 //!
 //! ```text
 //! cargo run -p reduce-bench --release --bin fig3 -- \
-//!     [--scale smoke|default|full] [--policy reduce-max|reduce-mean|fixed:N|all] [--chips N]
+//!     [--scale smoke|default|full] [--policy reduce-max|reduce-mean|fixed:N|all] \
+//!     [--chips N] [--threads N]
 //! ```
+//!
+//! `--threads N` parallelises both the Step-① characterisation grid and
+//! the per-chip fleet retraining on the deterministic executor (`0` =
+//! auto-size); reports are byte-identical at any thread count.
 
-use reduce_bench::{arg_flag, arg_value, Scale};
+use reduce_bench::{arg_flag, arg_threads, arg_value, Scale};
 use reduce_core::{report, Reduce, ReduceError, RetrainPolicy, Statistic};
 use reduce_systolic::generate_fleet;
 use std::error::Error;
@@ -45,10 +50,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         Some(s) => Some(s.parse()?),
         None => None,
     };
-    let threads: usize = match arg_value(&args, "--threads") {
-        Some(s) => s.parse()?,
-        None => 1,
-    };
+    let threads = arg_threads(&args)?;
 
     let mut policies = parse_policy(&policy_arg)?;
     if policies.is_empty() {
@@ -90,8 +92,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     };
     if needs_table && loaded_table.is_none() {
         println!("step 1: resilience characterisation…");
-        reduce.characterize(scale.resilience_config())?;
-        println!("  done  [{:.1?}]", t0.elapsed());
+        let t_char = Instant::now();
+        reduce.characterize_parallel(scale.resilience_config(), threads)?;
+        println!(
+            "  done  [{:.1?}, {threads} thread{}]",
+            t_char.elapsed(),
+            if threads == 1 { "" } else { "s" }
+        );
     }
 
     let fleet = generate_fleet(&scale.fleet_config(array, chips))?;
@@ -119,7 +126,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             &fleet,
             table.as_ref(),
             &config,
-            threads.max(1),
+            threads,
         )?;
         println!(
             "{:<22} satisfied {:>3}/{:<3}  total epochs {:>5}  [{:.1?}]",

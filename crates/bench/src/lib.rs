@@ -141,6 +141,22 @@ pub fn arg_flag(args: &[String], key: &str) -> bool {
     args.iter().any(|a| a == key)
 }
 
+/// Parses `--threads N` for the experiment binaries: defaults to `1`
+/// (sequential), and `0` asks the executor to auto-size from the
+/// available hardware parallelism.
+///
+/// # Errors
+///
+/// Returns [`ReduceError::InvalidConfig`] for a non-numeric value.
+pub fn arg_threads(args: &[String]) -> Result<usize, ReduceError> {
+    match arg_value(args, "--threads") {
+        Some(s) => s.parse().map_err(|_| ReduceError::InvalidConfig {
+            what: format!("bad --threads value {s:?} (expected a count; 0 = auto)"),
+        }),
+        None => Ok(1),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +195,18 @@ mod tests {
         assert_eq!(arg_value(&args, "--missing"), None);
         assert!(arg_flag(&args, "--flag"));
         assert!(!arg_flag(&args, "--other"));
+    }
+
+    #[test]
+    fn threads_arg() {
+        let to_args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(arg_threads(&to_args(&[])).expect("default"), 1);
+        assert_eq!(
+            arg_threads(&to_args(&["--threads", "4"])).expect("numeric"),
+            4
+        );
+        assert_eq!(arg_threads(&to_args(&["--threads", "0"])).expect("auto"), 0);
+        assert!(arg_threads(&to_args(&["--threads", "many"])).is_err());
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub enum ReduceError {
     },
     /// An internal invariant was violated — always a bug in this crate,
     /// surfaced as an error instead of a panic so fleet runs fail softly.
+    /// Worker panics contained by the parallel executor ([`crate::exec`])
+    /// are also reported through this variant, carrying the job index and
+    /// panic message.
     Internal {
         /// Which invariant broke.
         invariant: String,

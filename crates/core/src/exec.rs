@@ -1,0 +1,222 @@
+//! Shared deterministic executor for the framework's parallel grids.
+//!
+//! Step ① (the `(rate, repeat)` characterisation grid) and Step ③
+//! (per-chip fleet retraining) are both indexed maps over independent,
+//! individually seeded jobs. This module is the one executor both paths
+//! share, with three guarantees the results depend on:
+//!
+//! * **Ordering** — [`parallel_map`] returns results in input order, so
+//!   the output is byte-identical to a sequential run regardless of
+//!   thread count or OS scheduling. Each job's determinism comes from its
+//!   own seed; the executor only has to keep index `i`'s result in slot
+//!   `i`.
+//! * **Panic containment** — a panicking job (always a bug: the framework
+//!   returns typed errors) is caught with [`std::panic::catch_unwind`]
+//!   and surfaced as [`ReduceError::Internal`] instead of unwinding
+//!   through the scope join and aborting the entire run.
+//! * **Auto-sizing** — a thread count of `0` sizes the pool from
+//!   [`std::thread::available_parallelism`]; any other value is used
+//!   as-is (capped at the number of jobs).
+//!
+//! Error reporting is deterministic too: when several jobs fail, the
+//! error of the lowest input index is the one returned.
+
+use crate::error::{ReduceError, Result};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a caller-facing thread count to an actual worker count:
+/// `0` auto-sizes from [`std::thread::available_parallelism`], anything
+/// else is taken literally; the result is clamped to `[1, jobs]` so a
+/// tiny grid never spawns idle workers.
+pub fn resolve_workers(threads: usize, jobs: usize) -> usize {
+    let requested = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    requested.clamp(1, jobs.max(1))
+}
+
+/// Applies `job` to every item of `items` over `threads` scoped workers
+/// and returns the results **in input order**.
+///
+/// `threads == 0` auto-sizes the pool (see [`resolve_workers`]); one
+/// worker (or one item) degenerates to an inline sequential loop with the
+/// same panic containment, so sequential and parallel runs share one code
+/// path and one behaviour.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing job;
+/// [`ReduceError::Internal`] when a job panicked.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, job: F) -> Result<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Result<R> + Sync,
+{
+    let workers = resolve_workers(threads, items.len());
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| run_contained(&job, i, item))
+            .collect();
+    }
+    // Work queue of item indices; slot `i` only ever receives job `i`'s
+    // result, which is what makes the output order-independent of the
+    // scheduling.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<R>>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let (Some(item), Some(slot)) = (items.get(i), slots.get(i)) else {
+                    break;
+                };
+                let out = run_contained(&job, i, item);
+                // Jobs cannot panic (contained above), so the lock cannot
+                // be poisoned by this loop; handle poisoning anyway — the
+                // stored value is still the slot we are about to fill.
+                match slot.lock() {
+                    Ok(mut cell) => *cell = Some(out),
+                    Err(poisoned) => *poisoned.into_inner() = Some(out),
+                }
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for slot in slots {
+        let cell = match slot.into_inner() {
+            Ok(cell) => cell,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        out.push(cell.ok_or_else(|| ReduceError::Internal {
+            invariant: "every job index is claimed by exactly one worker".to_string(),
+        })??);
+    }
+    Ok(out)
+}
+
+/// Runs one job with panic containment: a panic becomes
+/// [`ReduceError::Internal`] carrying the job index and panic message.
+fn run_contained<T, R, F>(job: &F, index: usize, item: &T) -> Result<R>
+where
+    F: Fn(usize, &T) -> Result<R>,
+{
+    // AssertUnwindSafe: on panic the in-flight result is discarded whole
+    // and its slot reports a typed error, so no partially mutated state
+    // is ever observed across the unwind boundary.
+    match std::panic::catch_unwind(AssertUnwindSafe(|| job(index, item))) {
+        Ok(result) => result,
+        Err(payload) => Err(ReduceError::Internal {
+            invariant: format!(
+                "worker jobs must not panic (job {index} panicked: {})",
+                panic_message(payload.as_ref())
+            ),
+        }),
+    }
+}
+
+/// Best-effort extraction of a human-readable panic message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let out = parallel_map(&items, threads, |i, &x| {
+                // Make late indices cheap and early indices slow-ish so
+                // completion order differs from input order.
+                let spin = (64 - i) * 50;
+                let mut acc = 0u64;
+                for k in 0..spin {
+                    acc = acc.wrapping_add(k as u64);
+                }
+                Ok((i, x * 2, acc.min(1)))
+            })
+            .expect("no job fails");
+            assert_eq!(out.len(), items.len());
+            for (i, (idx, doubled, _)) in out.iter().enumerate() {
+                assert_eq!(*idx, i, "{threads} threads permuted the output");
+                assert_eq!(*doubled, i * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn panic_becomes_internal_error() {
+        let items = vec![0usize, 1, 2, 3];
+        for threads in [1usize, 4] {
+            let res: Result<Vec<usize>> = parallel_map(&items, threads, |_, &x| {
+                if x == 2 {
+                    panic!("boom at {x}");
+                }
+                Ok(x)
+            });
+            match res {
+                Err(ReduceError::Internal { invariant }) => {
+                    assert!(invariant.contains("panic"), "unexpected: {invariant}");
+                    assert!(invariant.contains("boom"), "payload lost: {invariant}");
+                }
+                other => panic!("expected Internal error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let items: Vec<usize> = (0..32).collect();
+        let res: Result<Vec<usize>> = parallel_map(&items, 8, |i, &x| {
+            if x >= 5 {
+                Err(ReduceError::InvalidConfig {
+                    what: format!("job {i}"),
+                })
+            } else {
+                Ok(x)
+            }
+        });
+        match res {
+            Err(ReduceError::InvalidConfig { what }) => assert_eq!(what, "job 5"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_threads_auto_sizes() {
+        let items: Vec<usize> = (0..16).collect();
+        let out = parallel_map(&items, 0, |_, &x| Ok(x + 1)).expect("no job fails");
+        assert_eq!(out, (1..17).collect::<Vec<_>>());
+        assert!(resolve_workers(0, 16) >= 1);
+        assert_eq!(resolve_workers(0, 0), 1);
+        assert_eq!(resolve_workers(5, 2), 2);
+        assert_eq!(resolve_workers(3, 100), 3);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let items: Vec<usize> = Vec::new();
+        let out = parallel_map(&items, 4, |_, &x| Ok(x)).expect("nothing to fail");
+        assert!(out.is_empty());
+    }
+}

@@ -2,6 +2,7 @@
 //! accounting for the cost (the data behind Fig. 3).
 
 use crate::error::Result;
+use crate::exec;
 use crate::fat::{FatRunner, Mitigation, StopRule};
 use crate::policy::RetrainPolicy;
 use crate::resilience::ResilienceTable;
@@ -147,87 +148,26 @@ pub fn evaluate_fleet(
     table: Option<&ResilienceTable>,
     config: &FleetEvalConfig,
 ) -> Result<FleetReport> {
-    let mut chips = Vec::with_capacity(fleet.len());
-    let mut total_epochs = 0usize;
-    let mut gemm_units = 0u64; // epochs × (one epoch's GEMM shapes), summed
-    for chip in fleet {
-        let rate = chip.fault_rate();
-        let selection = config.policy.epochs_for_chip(table, rate)?;
-        let stop = if config.early_stop {
-            StopRule::AtAccuracy(config.constraint)
-        } else {
-            StopRule::Exact
-        };
-        let outcome = runner.run(
-            pretrained,
-            chip.fault_map(),
-            selection.epochs,
-            stop,
-            config.strategy,
-            config.seed.wrapping_add(chip.id() as u64),
-        )?;
-        let final_accuracy = outcome.final_accuracy();
-        total_epochs += outcome.epochs_run();
-        gemm_units += outcome.epochs_run() as u64;
-        chips.push(ChipOutcome {
-            chip_id: chip.id(),
-            fault_rate: rate,
-            epochs_budgeted: selection.epochs,
-            epochs_run: outcome.epochs_run(),
-            pre_retrain_accuracy: outcome.pre_retrain_accuracy,
-            final_accuracy,
-            meets_constraint: final_accuracy >= config.constraint,
-            pruned_fraction: outcome.pruned_fraction,
-            clamped: selection.clamped,
-        });
-    }
-    let satisfied = chips.iter().filter(|c| c.meets_constraint).count();
-    let mean_accuracy = if chips.is_empty() {
-        0.0
-    } else {
-        chips.iter().map(|c| c.final_accuracy).sum::<f32>() / chips.len() as f32
-    };
-    let min_accuracy = chips
+    let chips = fleet
         .iter()
-        .map(|c| c.final_accuracy)
-        .fold(f32::INFINITY, f32::min);
-    let retrain_cycles = match &config.cost_model {
-        Some(cm) => {
-            let wb = runner.workbench();
-            let shapes = wb.model.gemm_shapes(wb.train.batch_size)?;
-            let samples = runner.train_data().len();
-            let per_epoch = cm.epoch_cycles(&shapes, samples, wb.train.batch_size)?;
-            Some(per_epoch * gemm_units)
-        }
-        None => None,
-    };
-    Ok(FleetReport {
-        policy: config.policy.label(),
-        constraint: config.constraint,
-        chips,
-        total_epochs,
-        satisfied,
-        mean_accuracy,
-        min_accuracy: if min_accuracy.is_finite() {
-            min_accuracy
-        } else {
-            0.0
-        },
-        retrain_cycles,
-    })
+        .map(|chip| retrain_chip(runner, pretrained, table, config, chip))
+        .collect::<Result<Vec<ChipOutcome>>>()?;
+    build_report(runner, config, chips)
 }
 
 /// Parallel variant of [`evaluate_fleet`]: chips are distributed over
-/// `threads` workers (each chip's FAT run is fully self-contained and
-/// seeded, so the report is identical to the sequential one regardless of
-/// thread count).
+/// `threads` workers on the shared deterministic executor
+/// ([`crate::exec`]). Each chip's FAT run is fully self-contained and
+/// seeded and the executor returns outcomes in fleet order, so the report
+/// is byte-identical to the sequential one regardless of thread count.
+/// `threads == 0` auto-sizes the pool from the available hardware
+/// parallelism.
 ///
 /// # Errors
 ///
-/// Propagates the first per-chip error encountered and
-/// [`crate::ReduceError::InvalidConfig`] for zero threads. A worker that
+/// Propagates the error of the lowest-indexed failing chip. A worker that
 /// panics (which would itself be a bug — the FAT runner returns typed
-/// errors) propagates the panic when the scope joins.
+/// errors) is contained and surfaced as [`crate::ReduceError::Internal`].
 pub fn evaluate_fleet_parallel(
     runner: &FatRunner,
     pretrained: &Pretrained,
@@ -236,79 +176,56 @@ pub fn evaluate_fleet_parallel(
     config: &FleetEvalConfig,
     threads: usize,
 ) -> Result<FleetReport> {
-    if threads == 0 {
-        return Err(crate::error::ReduceError::InvalidConfig {
-            what: "zero worker threads".to_string(),
-        });
-    }
-    if threads == 1 || fleet.len() <= 1 {
-        return evaluate_fleet(runner, pretrained, fleet, table, config);
-    }
-    // Work queue of chip indices; each worker produces (index, outcome).
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<Result<ChipOutcome>>>> = (0..fleet.len())
-        .map(|_| std::sync::Mutex::new(None))
-        .collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(fleet.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= fleet.len() {
-                    break;
-                }
-                let (Some(chip), Some(cell)) = (fleet.get(i), results.get(i)) else {
-                    break;
-                };
-                let outcome = (|| -> Result<ChipOutcome> {
-                    let rate = chip.fault_rate();
-                    let selection = config.policy.epochs_for_chip(table, rate)?;
-                    let stop = if config.early_stop {
-                        StopRule::AtAccuracy(config.constraint)
-                    } else {
-                        StopRule::Exact
-                    };
-                    let run = runner.run(
-                        pretrained,
-                        chip.fault_map(),
-                        selection.epochs,
-                        stop,
-                        config.strategy,
-                        config.seed.wrapping_add(chip.id() as u64),
-                    )?;
-                    let final_accuracy = run.final_accuracy();
-                    Ok(ChipOutcome {
-                        chip_id: chip.id(),
-                        fault_rate: rate,
-                        epochs_budgeted: selection.epochs,
-                        epochs_run: run.epochs_run(),
-                        pre_retrain_accuracy: run.pre_retrain_accuracy,
-                        final_accuracy,
-                        meets_constraint: final_accuracy >= config.constraint,
-                        pruned_fraction: run.pruned_fraction,
-                        clamped: selection.clamped,
-                    })
-                })();
-                // A poisoned cell only means another worker panicked while
-                // holding this lock; the stored value is still the slot we
-                // are about to overwrite.
-                match cell.lock() {
-                    Ok(mut slot) => *slot = Some(outcome),
-                    Err(poisoned) => *poisoned.into_inner() = Some(outcome),
-                }
-            });
-        }
-    });
-    let mut chips = Vec::with_capacity(fleet.len());
-    for cell in results {
-        let slot = match cell.into_inner() {
-            Ok(slot) => slot,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        let outcome = slot.ok_or_else(|| crate::error::ReduceError::Internal {
-            invariant: "every fleet index is processed by exactly one worker".to_string(),
-        })??;
-        chips.push(outcome);
-    }
+    let chips = exec::parallel_map(fleet, threads, |_, chip| {
+        retrain_chip(runner, pretrained, table, config, chip)
+    })?;
+    build_report(runner, config, chips)
+}
+
+/// Steps ②+③ for one chip: select a budget, retrain, record the outcome.
+fn retrain_chip(
+    runner: &FatRunner,
+    pretrained: &Pretrained,
+    table: Option<&ResilienceTable>,
+    config: &FleetEvalConfig,
+    chip: &Chip,
+) -> Result<ChipOutcome> {
+    let rate = chip.fault_rate();
+    let selection = config.policy.epochs_for_chip(table, rate)?;
+    let stop = if config.early_stop {
+        StopRule::AtAccuracy(config.constraint)
+    } else {
+        StopRule::Exact
+    };
+    let outcome = runner.run(
+        pretrained,
+        chip.fault_map(),
+        selection.epochs,
+        stop,
+        config.strategy,
+        config.seed.wrapping_add(chip.id() as u64),
+    )?;
+    let final_accuracy = outcome.final_accuracy();
+    Ok(ChipOutcome {
+        chip_id: chip.id(),
+        fault_rate: rate,
+        epochs_budgeted: selection.epochs,
+        epochs_run: outcome.epochs_run(),
+        pre_retrain_accuracy: outcome.pre_retrain_accuracy,
+        final_accuracy,
+        meets_constraint: final_accuracy >= config.constraint,
+        pruned_fraction: outcome.pruned_fraction,
+        clamped: selection.clamped,
+    })
+}
+
+/// Aggregates per-chip outcomes into a [`FleetReport`] — the one builder
+/// behind both the sequential and the parallel evaluation path.
+fn build_report(
+    runner: &FatRunner,
+    config: &FleetEvalConfig,
+    chips: Vec<ChipOutcome>,
+) -> Result<FleetReport> {
     let satisfied = chips.iter().filter(|c| c.meets_constraint).count();
     let total_epochs = chips.iter().map(|c| c.epochs_run).sum::<usize>();
     let mean_accuracy = if chips.is_empty() {
@@ -506,12 +423,12 @@ mod tests {
         let (runner, pre, fleet) = setup();
         let config = FleetEvalConfig::new(RetrainPolicy::Fixed(2), 0.85);
         let seq = evaluate_fleet(&runner, &pre, &fleet, None, &config).expect("valid run");
-        for threads in [1usize, 2, 4] {
+        // 0 auto-sizes from the hardware; the report must still match.
+        for threads in [0usize, 1, 2, 4] {
             let par = evaluate_fleet_parallel(&runner, &pre, &fleet, None, &config, threads)
                 .expect("valid run");
             assert_eq!(par, seq, "{threads}-thread report differs from sequential");
         }
-        assert!(evaluate_fleet_parallel(&runner, &pre, &fleet, None, &config, 0).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::error::{ReduceError, Result};
 use crate::fat::{FatRunner, Mitigation};
-use crate::fleet::{evaluate_fleet, FleetEvalConfig, FleetReport};
+use crate::fleet::{evaluate_fleet, evaluate_fleet_parallel, FleetEvalConfig, FleetReport};
 use crate::policy::RetrainPolicy;
 use crate::resilience::{ResilienceAnalysis, ResilienceConfig, ResilienceTable, Selection};
 use crate::workbench::{Pretrained, Workbench};
@@ -135,10 +135,27 @@ impl Reduce {
     /// # Errors
     ///
     /// Propagates characterisation errors.
-    pub fn characterize(&mut self, mut config: ResilienceConfig) -> Result<&ResilienceAnalysis> {
+    pub fn characterize(&mut self, config: ResilienceConfig) -> Result<&ResilienceAnalysis> {
+        self.characterize_parallel(config, 1)
+    }
+
+    /// Step ① over `threads` workers on the shared deterministic executor
+    /// ([`crate::exec`]): the analysis is byte-identical to
+    /// [`Reduce::characterize`] at any thread count, and `threads == 0`
+    /// auto-sizes from the hardware.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterisation errors.
+    pub fn characterize_parallel(
+        &mut self,
+        mut config: ResilienceConfig,
+        threads: usize,
+    ) -> Result<&ResilienceAnalysis> {
         config.constraint = self.constraint;
         config.strategy = self.strategy;
-        let analysis = ResilienceAnalysis::run(&self.runner, &self.pretrained, config)?;
+        let analysis =
+            ResilienceAnalysis::run_parallel(&self.runner, &self.pretrained, config, threads)?;
         Ok(self.analysis.insert(analysis))
     }
 
@@ -193,6 +210,36 @@ impl Reduce {
             fleet,
             table.as_ref(),
             &config,
+        )
+    }
+
+    /// Steps ②+③ over `threads` workers — the parallel variant of
+    /// [`Reduce::deploy`], with the same report at any thread count
+    /// (`0` auto-sizes from the hardware).
+    ///
+    /// # Errors
+    ///
+    /// Propagates selection and training errors.
+    pub fn deploy_parallel(
+        &self,
+        fleet: &[Chip],
+        policy: RetrainPolicy,
+        threads: usize,
+    ) -> Result<FleetReport> {
+        let table = if policy.needs_table() {
+            Some(self.table()?)
+        } else {
+            None
+        };
+        let mut config = FleetEvalConfig::new(policy, self.constraint);
+        config.strategy = self.strategy;
+        evaluate_fleet_parallel(
+            &self.runner,
+            &self.pretrained,
+            fleet,
+            table.as_ref(),
+            &config,
+            threads,
         )
     }
 }

@@ -18,7 +18,10 @@
 //!
 //! [`Reduce`] wires the steps together; [`Workbench`] describes the
 //! model/task/training setup; the fixed-policy baseline of Zhang et al. is
-//! [`RetrainPolicy::Fixed`].
+//! [`RetrainPolicy::Fixed`]. Steps ① and ③ both fan out over the shared
+//! deterministic executor ([`exec`]), so their parallel variants
+//! ([`ResilienceAnalysis::run_parallel`], [`evaluate_fleet_parallel`])
+//! are byte-identical to the sequential paths at any thread count.
 //!
 //! # Examples
 //!
@@ -60,6 +63,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod error;
+pub mod exec;
 mod fat;
 mod fleet;
 mod framework;

@@ -14,6 +14,7 @@
 //!   amount for an arbitrary chip.
 
 use crate::error::{ReduceError, Result};
+use crate::exec;
 use crate::fat::{FatRunner, Mitigation, StopRule};
 use crate::workbench::Pretrained;
 use reduce_systolic::{FaultMap, FaultModel};
@@ -76,6 +77,10 @@ impl ResilienceConfig {
 /// One fault-injection run: a single `(rate, repeat)` cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResiliencePoint {
+    /// Index of [`ResiliencePoint::rate`] in the sorted characterisation
+    /// grid — the grouping key for per-rate summaries (grouping by the
+    /// `f64` rate itself would be a float-equality footgun).
+    pub rate_index: usize,
     /// Injected fault rate.
     pub rate: f64,
     /// Repeat index.
@@ -146,36 +151,80 @@ impl ResilienceAnalysis {
         pretrained: &Pretrained,
         config: ResilienceConfig,
     ) -> Result<Self> {
+        Self::run_parallel(runner, pretrained, config, 1)
+    }
+
+    /// Parallel variant of [`ResilienceAnalysis::run`]: the
+    /// `(rate, repeat)` grid is fanned out over `threads` workers on the
+    /// shared deterministic executor ([`crate::exec`]). Every grid cell is
+    /// independently seeded from `(rate index, repeat)` and the executor
+    /// returns cells in grid order, so points, summaries and the derived
+    /// table are byte-identical to the sequential run regardless of thread
+    /// count. `threads == 0` auto-sizes from the available hardware
+    /// parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and training errors; a panicking worker
+    /// surfaces as [`ReduceError::Internal`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reduce_core::{FatRunner, ResilienceAnalysis, ResilienceConfig, Workbench};
+    ///
+    /// # fn main() -> Result<(), reduce_core::ReduceError> {
+    /// let workbench = Workbench::toy(1);
+    /// let pretrained = workbench.pretrain(5)?;
+    /// let runner = FatRunner::new(workbench)?;
+    /// let mut config = ResilienceConfig::grid(0.2, 2, 2, 0.85);
+    /// config.repeats = 2;
+    /// let parallel =
+    ///     ResilienceAnalysis::run_parallel(&runner, &pretrained, config.clone(), 2)?;
+    /// let sequential = ResilienceAnalysis::run(&runner, &pretrained, config)?;
+    /// assert_eq!(parallel.points(), sequential.points());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn run_parallel(
+        runner: &FatRunner,
+        pretrained: &Pretrained,
+        config: ResilienceConfig,
+        threads: usize,
+    ) -> Result<Self> {
         config.validate()?;
         let mut rates = config.fault_rates.clone();
         rates.sort_by(|a, b| a.total_cmp(b));
         rates.dedup();
         let (rows, cols) = runner.workbench().array_dims();
-        let mut points = Vec::with_capacity(rates.len() * config.repeats);
-        for (ri, &rate) in rates.iter().enumerate() {
-            for rep in 0..config.repeats {
-                let map_seed = config
-                    .seed
-                    .wrapping_add((ri as u64) << 32)
-                    .wrapping_add(rep as u64);
-                let map = FaultMap::generate(rows, cols, rate, config.fault_model, map_seed)?;
-                let outcome = runner.run(
-                    pretrained,
-                    &map,
-                    config.max_epochs,
-                    StopRule::Exact,
-                    config.strategy,
-                    map_seed ^ 0x5EED,
-                )?;
-                points.push(ResiliencePoint {
-                    rate,
-                    repeat: rep,
-                    pre_retrain_accuracy: outcome.pre_retrain_accuracy,
-                    epochs_to_constraint: outcome.epochs_to_reach(config.constraint),
-                    accuracy_after_epoch: outcome.accuracy_after_epoch,
-                });
-            }
-        }
+        let cells: Vec<(usize, f64, usize)> = rates
+            .iter()
+            .enumerate()
+            .flat_map(|(ri, &rate)| (0..config.repeats).map(move |rep| (ri, rate, rep)))
+            .collect();
+        let points = exec::parallel_map(&cells, threads, |_, &(ri, rate, rep)| {
+            let map_seed = config
+                .seed
+                .wrapping_add((ri as u64) << 32)
+                .wrapping_add(rep as u64);
+            let map = FaultMap::generate(rows, cols, rate, config.fault_model, map_seed)?;
+            let outcome = runner.run(
+                pretrained,
+                &map,
+                config.max_epochs,
+                StopRule::Exact,
+                config.strategy,
+                map_seed ^ 0x5EED,
+            )?;
+            Ok(ResiliencePoint {
+                rate_index: ri,
+                rate,
+                repeat: rep,
+                pre_retrain_accuracy: outcome.pre_retrain_accuracy,
+                epochs_to_constraint: outcome.epochs_to_reach(config.constraint),
+                accuracy_after_epoch: outcome.accuracy_after_epoch,
+            })
+        })?;
         let summaries = summarise(&rates, &points, &config);
         Ok(ResilienceAnalysis {
             config,
@@ -223,8 +272,11 @@ fn summarise(
 ) -> Vec<RateSummary> {
     rates
         .iter()
-        .map(|&rate| {
-            let runs: Vec<&ResiliencePoint> = points.iter().filter(|p| p.rate == rate).collect();
+        .enumerate()
+        .map(|(ri, &rate)| {
+            // Group by grid index, not by `f64` equality on the rate.
+            let runs: Vec<&ResiliencePoint> =
+                points.iter().filter(|p| p.rate_index == ri).collect();
             let cap = config.max_epochs;
             let epochs: Vec<usize> = runs
                 .iter()
@@ -504,8 +556,10 @@ impl ResilienceTable {
             }
         };
         let epochs = raw.ceil().max(0.0) as usize;
+        // The characterisation only measured up to `epoch_cap` epochs, so
+        // no selection (in particular a margined one) may budget beyond it.
         Ok(Selection {
-            epochs: epochs.min(self.epoch_cap.max(epochs)), // cap never truncates below raw grid values
+            epochs: epochs.min(self.epoch_cap),
             clamped: !self.covers(rate),
         })
     }
@@ -584,6 +638,36 @@ mod tests {
     }
 
     #[test]
+    fn selections_are_capped_at_epoch_cap() {
+        // Regression: the cap used to be a no-op (`min(cap.max(epochs))`),
+        // so an aggressive margin could budget epochs the characterisation
+        // never measured.
+        let t = table(); // epoch_cap = 10
+        for rate in [0.0, 0.05, 0.1, 0.15, 0.2, 0.5] {
+            let s = t
+                .epochs_for(rate, Statistic::MeanPlusMargin(100.0))
+                .expect("valid");
+            assert_eq!(s.epochs, 10, "margined selection must clamp to the cap");
+        }
+        // Grid values at/below the cap are untouched.
+        assert_eq!(t.epochs_for(0.2, Statistic::Max).expect("valid").epochs, 8);
+        // A table whose entries exceed its cap clamps them too.
+        let tight = ResilienceTable::from_entries(
+            vec![TableEntry {
+                rate: 0.1,
+                mean_epochs: 9.0,
+                max_epochs: 12,
+            }],
+            6,
+        )
+        .expect("non-empty");
+        assert_eq!(
+            tight.epochs_for(0.1, Statistic::Max).expect("valid").epochs,
+            6
+        );
+    }
+
+    #[test]
     fn invalid_rates_rejected() {
         let t = table();
         assert!(t.epochs_for(f64::NAN, Statistic::Max).is_err());
@@ -658,6 +742,7 @@ mod tests {
         };
         let points = vec![
             ResiliencePoint {
+                rate_index: 0,
                 rate: 0.1,
                 repeat: 0,
                 pre_retrain_accuracy: 0.5,
@@ -665,6 +750,7 @@ mod tests {
                 epochs_to_constraint: Some(1),
             },
             ResiliencePoint {
+                rate_index: 0,
                 rate: 0.1,
                 repeat: 1,
                 pre_retrain_accuracy: 0.4,

@@ -2,6 +2,7 @@
 # Tier-1 verification: everything a PR must pass before merge.
 #
 #   build → tests → xtask lint (ratcheted) → clippy -D warnings → fmt check
+#   → smoke determinism gate (parallel ≡ sequential artifacts)
 #
 # Run from anywhere inside the repo. Fails fast on the first broken stage.
 set -euo pipefail
@@ -21,5 +22,22 @@ cargo clippy --workspace -q -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> smoke determinism gate (fig2 --threads 1 vs --threads 4)"
+# The parallel Step-① characterisation must be byte-identical to the
+# sequential run. Compare only the deterministic artifacts (CSV points and
+# the saved resilience table) — stdout contains wall-clock timings.
+det_dir="$(mktemp -d)"
+trap 'rm -rf "$det_dir"' EXIT
+mkdir -p "$det_dir/t1" "$det_dir/t4"
+cargo run -q -p reduce-bench --release --bin fig2 -- \
+    --scale smoke --threads 1 --csv "$det_dir/t1" \
+    --table-out "$det_dir/t1/table.json" >/dev/null
+cargo run -q -p reduce-bench --release --bin fig2 -- \
+    --scale smoke --threads 4 --csv "$det_dir/t4" \
+    --table-out "$det_dir/t4/table.json" >/dev/null
+diff "$det_dir/t1/fig2_resilience.csv" "$det_dir/t4/fig2_resilience.csv"
+diff "$det_dir/t1/table.json" "$det_dir/t4/table.json"
+echo "    parallel characterisation is byte-identical to sequential"
 
 echo "ci: all stages green"

@@ -114,6 +114,67 @@ proptest! {
         prop_assert!(sel.epochs <= e0 + delta);
     }
 
+    /// Selections never exceed the table's epoch cap, for any statistic —
+    /// in particular a margined mean must clamp to what the
+    /// characterisation actually measured.
+    #[test]
+    fn selection_never_exceeds_epoch_cap(
+        e0 in 0usize..40,
+        e1 in 0usize..40,
+        e2 in 0usize..40,
+        cap in 1usize..24,
+        margin in 0.0f64..64.0,
+        probe in 0.0f64..1.0,
+    ) {
+        let entry = |rate: f64, e: usize| TableEntry {
+            rate,
+            mean_epochs: e as f64,
+            max_epochs: e,
+        };
+        let table = ResilienceTable::from_entries(
+            vec![entry(0.0, e0), entry(0.3, e1), entry(0.6, e2)],
+            cap,
+        ).expect("non-empty");
+        for stat in [Statistic::Max, Statistic::Mean, Statistic::MeanPlusMargin(margin)] {
+            let sel = table.epochs_for(probe, stat).expect("valid rate");
+            prop_assert!(
+                sel.epochs <= cap,
+                "{:?} selected {} epochs beyond the cap {}", stat, sel.epochs, cap
+            );
+        }
+    }
+
+    /// For a monotone table, the selected epochs are monotone in the fault
+    /// rate under every statistic.
+    #[test]
+    fn selection_monotone_in_rate_for_monotone_tables(
+        e0 in 0usize..10,
+        d1 in 0usize..10,
+        d2 in 0usize..10,
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+        margin in 0.0f64..8.0,
+    ) {
+        let entry = |rate: f64, e: usize| TableEntry {
+            rate,
+            mean_epochs: e as f64,
+            max_epochs: e,
+        };
+        let table = ResilienceTable::from_entries(
+            vec![entry(0.0, e0), entry(0.25, e0 + d1), entry(0.5, e0 + d1 + d2)],
+            64,
+        ).expect("non-empty");
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for stat in [Statistic::Max, Statistic::Mean, Statistic::MeanPlusMargin(margin)] {
+            let s_lo = table.epochs_for(lo, stat).expect("valid rate");
+            let s_hi = table.epochs_for(hi, stat).expect("valid rate");
+            prop_assert!(
+                s_lo.epochs <= s_hi.epochs,
+                "{:?} not monotone: {} @ {} > {} @ {}", stat, s_lo.epochs, lo, s_hi.epochs, hi
+            );
+        }
+    }
+
     /// Union of fault maps is commutative and only grows the fault count.
     #[test]
     fn union_properties(
