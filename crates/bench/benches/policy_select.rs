@@ -23,7 +23,7 @@ fn bench_policy(c: &mut Criterion) {
     let mut group = c.benchmark_group("policy_select");
     for points in [4usize, 16, 64] {
         let t = table(points);
-        group.bench_function(format!("interpolate_{points}pt_table"), |b| {
+        group.bench_function(&format!("interpolate_{points}pt_table"), |b| {
             let mut i = 0u64;
             b.iter(|| {
                 i += 1;

@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! cargo run -p reduce-bench --release --bin ablation -- <study> \
-//!     [--scale smoke|default|full] [--threads N]
+//!     [--scale smoke|default|full] [--threads N] [--out DIR] [--redact-timing]
 //! ```
 //!
 //! `--threads N` parallelises the characterisation and fleet-deployment
 //! stages of the `grid`, `margin` and `early-stop` studies on the
 //! deterministic executor (`0` = auto-size); study output is
-//! byte-identical at any thread count.
+//! byte-identical at any thread count. `--out DIR` writes a JSON-lines
+//! `run_log.jsonl` and a `manifest.json` for the run.
 //!
 //! Studies:
 //!
@@ -22,38 +23,72 @@
 //! * `early-stop` — epochs saved by stopping FAT at the constraint instead
 //!   of spending the whole budget.
 
-use reduce_bench::{arg_threads, arg_value, Scale};
-use reduce_core::{
-    FatRunner, Mitigation, Reduce, ResilienceConfig, RetrainPolicy, Statistic, StopRule,
-};
+use reduce_bench::{parse_args, Scale};
+use reduce_core::telemetry::{self, Fanout, MetricsRecorder, Observer, RunLog, RunManifest, Stage};
+use reduce_core::{ExecConfig, FatRunner, Mitigation, Reduce, RetrainPolicy, Statistic, StopRule};
 use reduce_systolic::{generate_fleet, FaultMap, FaultModel};
 use std::error::Error;
-use std::time::Instant;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let study = args.first().cloned().unwrap_or_else(|| "help".into());
-    let scale = Scale::parse(&arg_value(&args, "--scale").unwrap_or_else(|| "smoke".into()))?;
-    let threads = arg_threads(&args)?;
-    let t0 = Instant::now();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(
+        &raw,
+        &["--scale", "--threads", "--out"],
+        &["--redact-timing"],
+        1,
+    )?;
+    let study = args.positional(0).unwrap_or("help").to_string();
+    let scale = Scale::parse(args.value("--scale").unwrap_or("smoke"))?;
+    let threads = args.threads()?;
+    let redact = args.flag("--redact-timing");
+    let out_dir = args.value("--out").map(std::path::PathBuf::from);
+
+    let metrics = Arc::new(MetricsRecorder::new());
+    let mut sinks: Vec<Arc<dyn Observer>> = vec![metrics.clone()];
+    let run_log = match &out_dir {
+        Some(dir) => {
+            let log = Arc::new(RunLog::create(&dir.join("run_log.jsonl"), redact)?);
+            sinks.push(log.clone());
+            Some(log)
+        }
+        None => None,
+    };
+    let observer: Arc<dyn Observer> = Arc::new(Fanout::new(sinks));
+    let exec = ExecConfig::new(threads).with_observer(observer.clone());
+
     match study.as_str() {
         "fault-model" => fault_model(scale)?,
-        "grid" => grid(scale, threads)?,
+        "grid" => grid(scale, &exec)?,
         "mitigation" => mitigation(scale)?,
-        "margin" => margin(scale, threads)?,
-        "early-stop" => early_stop(scale, threads)?,
+        "margin" => margin(scale, &exec)?,
+        "early-stop" => early_stop(scale, &exec)?,
         "bn-recal" => bn_recal()?,
         "unprotected" => unprotected(scale)?,
         _ => {
             eprintln!(
                 "usage: ablation \
                  <fault-model|grid|mitigation|margin|early-stop|bn-recal|unprotected> \
-                 [--scale smoke|default|full] [--threads N]"
+                 [--scale smoke|default|full] [--threads N] [--out DIR] [--redact-timing]"
             );
             return Ok(());
         }
     }
-    println!("\ntotal wall time {:.1?}", t0.elapsed());
+    if let Some(dir) = &out_dir {
+        let mut manifest = RunManifest::new(
+            &format!("ablation:{study}"),
+            args.value("--scale").unwrap_or("smoke"),
+        );
+        manifest.threads = if redact { None } else { Some(threads) };
+        manifest.constraint = scale.constraint();
+        manifest.workbench = format!("{:?}", scale.workbench(1).model);
+        manifest.save(&dir.join("manifest.json"))?;
+        println!("\nrun log and manifest written to {}", dir.display());
+    }
+    if let Some(log) = run_log {
+        log.flush()?;
+    }
+    println!("\n{}", metrics.render());
     Ok(())
 }
 
@@ -114,33 +149,25 @@ fn fault_model(scale: Scale) -> Result<(), Box<dyn Error>> {
 }
 
 /// A3: coarse vs fine characterisation grids.
-fn grid(scale: Scale, threads: usize) -> Result<(), Box<dyn Error>> {
+fn grid(scale: Scale, exec: &ExecConfig) -> Result<(), Box<dyn Error>> {
     let wb = scale.workbench(1);
     let constraint = scale.constraint();
     let mut reduce = Reduce::new(wb, constraint, scale.pretrain_epochs())?;
     println!("A3 — characterisation-grid granularity");
     let base = scale.resilience_config();
     // Fine grid (the reference).
-    let t_fine = Instant::now();
-    reduce.characterize_parallel(base.clone(), threads)?;
+    reduce.characterize(base.clone(), exec)?;
     let fine = reduce.table()?;
-    let fine_time = t_fine.elapsed();
     // Coarse grid: only the endpoints.
-    let coarse_cfg = ResilienceConfig {
+    let coarse_cfg = reduce_core::ResilienceConfig {
         fault_rates: vec![
             *base.fault_rates.first().expect("non-empty"),
             *base.fault_rates.last().expect("non-empty"),
         ],
         ..base.clone()
     };
-    let t_coarse = Instant::now();
-    reduce.characterize_parallel(coarse_cfg, threads)?;
+    reduce.characterize(coarse_cfg, exec)?;
     let coarse = reduce.table()?;
-    println!(
-        "stage timings: fine grid {fine_time:.1?} · coarse grid {:.1?} ({threads} thread{})",
-        t_coarse.elapsed(),
-        if threads == 1 { "" } else { "s" }
-    );
     println!("rate    fine_max  coarse_max  delta");
     let mut total_abs = 0i64;
     let probes: Vec<f64> = (0..=12).map(|i| 0.3 * i as f64 / 12.0).collect();
@@ -206,14 +233,12 @@ fn mitigation(scale: Scale) -> Result<(), Box<dyn Error>> {
 }
 
 /// A1: max vs mean vs mean+margin selection statistics.
-fn margin(scale: Scale, threads: usize) -> Result<(), Box<dyn Error>> {
+fn margin(scale: Scale, exec: &ExecConfig) -> Result<(), Box<dyn Error>> {
     let wb = scale.workbench(1);
     let array = wb.array_dims();
     let constraint = scale.constraint();
     let mut reduce = Reduce::new(wb, constraint, scale.pretrain_epochs())?;
-    let t_char = Instant::now();
-    reduce.characterize_parallel(scale.resilience_config(), threads)?;
-    let characterise_time = t_char.elapsed();
+    reduce.characterize(scale.resilience_config(), exec)?;
     let fleet = generate_fleet(&scale.fleet_config(
         array,
         Some(match scale {
@@ -223,14 +248,13 @@ fn margin(scale: Scale, threads: usize) -> Result<(), Box<dyn Error>> {
     ))?;
     println!("A1 — selection statistic ablation ({} chips)", fleet.len());
     println!("policy                satisfied  total_epochs");
-    let t_deploy = Instant::now();
     for policy in [
         RetrainPolicy::Reduce(Statistic::Mean),
         RetrainPolicy::Reduce(Statistic::MeanPlusMargin(1.0)),
         RetrainPolicy::Reduce(Statistic::MeanPlusMargin(2.0)),
         RetrainPolicy::Reduce(Statistic::Max),
     ] {
-        let r = reduce.deploy_parallel(&fleet, policy, threads)?;
+        let r = reduce.deploy(&fleet, policy, exec)?;
         println!(
             "{:<22} {:>6}/{:<3}  {:>12}",
             r.policy,
@@ -239,12 +263,6 @@ fn margin(scale: Scale, threads: usize) -> Result<(), Box<dyn Error>> {
             r.total_epochs
         );
     }
-    println!(
-        "stage timings: characterisation {characterise_time:.1?} · deployments {:.1?} \
-         ({threads} thread{})",
-        t_deploy.elapsed(),
-        if threads == 1 { "" } else { "s" }
-    );
     println!(
         "\nthe margin interpolates between mean (cheap, undertrains) and max\n\
          (robust, the paper's choice)."
@@ -337,14 +355,12 @@ fn bn_recal() -> Result<(), Box<dyn Error>> {
 }
 
 /// Early-stop extension: epochs saved by evaluating during FAT.
-fn early_stop(scale: Scale, threads: usize) -> Result<(), Box<dyn Error>> {
+fn early_stop(scale: Scale, exec: &ExecConfig) -> Result<(), Box<dyn Error>> {
     let wb = scale.workbench(1);
     let array = wb.array_dims();
     let constraint = scale.constraint();
     let mut reduce = Reduce::new(wb.clone(), constraint, scale.pretrain_epochs())?;
-    let t_char = Instant::now();
-    reduce.characterize_parallel(scale.resilience_config(), threads)?;
-    let characterise_time = t_char.elapsed();
+    reduce.characterize(scale.resilience_config(), exec)?;
     let table = reduce.table()?;
     let fleet = generate_fleet(&scale.fleet_config(
         array,
@@ -362,33 +378,33 @@ fn early_stop(scale: Scale, threads: usize) -> Result<(), Box<dyn Error>> {
     let pretrained = reduce.pretrained();
     // Each chip is retrained twice (exact budget vs early stop) as one
     // executor job; per-chip counters are summed in fleet order.
-    let t_retrain = Instant::now();
-    let per_chip = reduce_core::exec::parallel_map(&fleet, threads, |_, chip| {
-        let budget = table.epochs_for(chip.fault_rate(), Statistic::Max)?.epochs;
-        let exact = runner.run(
-            pretrained,
-            chip.fault_map(),
-            budget,
-            StopRule::Exact,
-            Mitigation::Fap,
-            chip.id() as u64,
-        )?;
-        let stopped = runner.run(
-            pretrained,
-            chip.fault_map(),
-            budget,
-            StopRule::AtAccuracy(constraint),
-            Mitigation::Fap,
-            chip.id() as u64,
-        )?;
-        Ok((
-            exact.epochs_run(),
-            stopped.epochs_run(),
-            usize::from(exact.final_accuracy() >= constraint),
-            usize::from(stopped.final_accuracy() >= constraint),
-        ))
+    let per_chip = telemetry::timed_stage(exec.observer(), Stage::Deploy, || {
+        reduce_core::exec::parallel_map(&fleet, exec.threads, |_, chip| {
+            let budget = table.epochs_for(chip.fault_rate(), Statistic::Max)?.epochs;
+            let exact = runner.run(
+                pretrained,
+                chip.fault_map(),
+                budget,
+                StopRule::Exact,
+                Mitigation::Fap,
+                chip.id() as u64,
+            )?;
+            let stopped = runner.run(
+                pretrained,
+                chip.fault_map(),
+                budget,
+                StopRule::AtAccuracy(constraint),
+                Mitigation::Fap,
+                chip.id() as u64,
+            )?;
+            Ok((
+                exact.epochs_run(),
+                stopped.epochs_run(),
+                usize::from(exact.final_accuracy() >= constraint),
+                usize::from(stopped.final_accuracy() >= constraint),
+            ))
+        })
     })?;
-    let retrain_time = t_retrain.elapsed();
     let (mut exact_total, mut stop_total, mut exact_sat, mut stop_sat) = (0usize, 0usize, 0, 0);
     for (exact_epochs, stop_epochs, exact_ok, stop_ok) in per_chip {
         exact_total += exact_epochs;
@@ -398,11 +414,6 @@ fn early_stop(scale: Scale, threads: usize) -> Result<(), Box<dyn Error>> {
     }
     println!("Reduce(max), exact budget : {exact_total} epochs, {exact_sat} satisfied");
     println!("Reduce(max) + early stop  : {stop_total} epochs, {stop_sat} satisfied");
-    println!(
-        "stage timings: characterisation {characterise_time:.1?} · retraining {retrain_time:.1?} \
-         ({threads} thread{})",
-        if threads == 1 { "" } else { "s" }
-    );
     println!(
         "\nearly stopping trades per-epoch evaluation cost for epoch savings —\n\
          a natural extension of the paper's fixed-amount Step 3."

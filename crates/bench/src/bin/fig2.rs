@@ -9,24 +9,58 @@
 //!
 //! ```text
 //! cargo run -p reduce-bench --release --bin fig2 -- \
-//!     [--scale smoke|default|full] [--part a|b|both] [--threads N]
+//!     [--scale smoke|default|full] [--part a|b|both] [--threads N] \
+//!     [--csv DIR] [--table-out PATH] [--out DIR] [--redact-timing]
 //! ```
 //!
 //! `--threads N` fans the Step-① `(rate, repeat)` grid out over `N`
 //! workers on the deterministic executor (`0` = auto-size from the
 //! hardware); the printed curves, tables and CSV output are byte-identical
-//! at any thread count.
+//! at any thread count. `--out DIR` additionally writes a JSON-lines
+//! `run_log.jsonl` and a `manifest.json`; with `--redact-timing` both are
+//! byte-identical at any thread count too (CI diffs them).
 
-use reduce_bench::{arg_threads, arg_value, Scale};
-use reduce_core::{report, FatRunner, ResilienceAnalysis};
+use reduce_bench::{parse_args, Scale};
+use reduce_core::telemetry::{
+    self, Fanout, GridManifest, MetricsRecorder, Observer, RunLog, RunManifest, Stage,
+};
+use reduce_core::{report, ExecConfig, FatRunner, ResilienceAnalysis};
 use std::error::Error;
-use std::time::Instant;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = Scale::parse(&arg_value(&args, "--scale").unwrap_or_else(|| "default".into()))?;
-    let part = arg_value(&args, "--part").unwrap_or_else(|| "both".into());
-    let threads = arg_threads(&args)?;
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(
+        &raw,
+        &[
+            "--scale",
+            "--part",
+            "--threads",
+            "--csv",
+            "--table-out",
+            "--out",
+        ],
+        &["--redact-timing"],
+        0,
+    )?;
+    let scale = Scale::parse(args.value("--scale").unwrap_or("default"))?;
+    let part = args.value("--part").unwrap_or("both").to_string();
+    let threads = args.threads()?;
+    let redact = args.flag("--redact-timing");
+    let out_dir = args.value("--out").map(std::path::PathBuf::from);
+
+    let metrics = Arc::new(MetricsRecorder::new());
+    let mut sinks: Vec<Arc<dyn Observer>> = vec![metrics.clone()];
+    let run_log = match &out_dir {
+        Some(dir) => {
+            let log = Arc::new(RunLog::create(&dir.join("run_log.jsonl"), redact)?);
+            sinks.push(log.clone());
+            Some(log)
+        }
+        None => None,
+    };
+    let observer: Arc<dyn Observer> = Arc::new(Fanout::new(sinks));
+    let exec = ExecConfig::new(threads).with_observer(observer.clone());
 
     let workbench = scale.workbench(1);
     let config = scale.resilience_config();
@@ -36,15 +70,15 @@ fn main() -> Result<(), Box<dyn Error>> {
         config.constraint * 100.0
     );
 
-    let t0 = Instant::now();
     println!(
         "pre-training fault-free baseline ({} epochs)…",
         scale.pretrain_epochs()
     );
-    let pretrained = workbench.pretrain(scale.pretrain_epochs())?;
-    let pretrain_time = t0.elapsed();
+    let pretrained = telemetry::timed_stage(observer.as_ref(), Stage::Pretrain, || {
+        workbench.pretrain(scale.pretrain_epochs())
+    })?;
     println!(
-        "baseline accuracy {:.2}%  [{pretrain_time:.1?}]\n",
+        "baseline accuracy {:.2}%\n",
         pretrained.baseline_accuracy * 100.0
     );
 
@@ -58,10 +92,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         if threads == 1 { "" } else { "s" }
     );
     let max_epochs = config.max_epochs;
-    let t_char = Instant::now();
-    let analysis = ResilienceAnalysis::run_parallel(&runner, &pretrained, config, threads)?;
-    let characterise_time = t_char.elapsed();
-    println!("characterisation done  [{characterise_time:.1?}]\n");
+    let grid_manifest = GridManifest::from_config(&config);
+    let analysis = ResilienceAnalysis::run(&runner, &pretrained, config, &exec)?;
+    println!("characterisation done\n");
 
     if part == "a" || part == "both" {
         println!("— Fig. 2a: mean accuracy vs fault rate at each FAT level —");
@@ -80,21 +113,28 @@ fn main() -> Result<(), Box<dyn Error>> {
              Reduce therefore uses the max (Fig. 3a vs 3b)."
         );
     }
-    if let Some(dir) = arg_value(&args, "--csv") {
+    if let Some(dir) = args.value("--csv") {
         let (header, rows) = report::resilience_csv(&analysis);
-        let path = std::path::Path::new(&dir).join("fig2_resilience.csv");
+        let path = std::path::Path::new(dir).join("fig2_resilience.csv");
         report::write_csv(&path, &header, &rows)?;
         println!("raw points written to {}", path.display());
     }
-    if let Some(path) = arg_value(&args, "--table-out") {
-        analysis.table().save(std::path::Path::new(&path))?;
+    if let Some(path) = args.value("--table-out") {
+        analysis.table().save(std::path::Path::new(path))?;
         println!("resilience table saved to {path} (reusable via fig3 --table)");
     }
-    println!(
-        "stage timings: pretrain {pretrain_time:.1?} · characterisation {characterise_time:.1?} \
-         ({threads} thread{})",
-        if threads == 1 { "" } else { "s" }
-    );
-    println!("total wall time {:.1?}", t0.elapsed());
+    if let Some(dir) = &out_dir {
+        let mut manifest = RunManifest::new("fig2", args.value("--scale").unwrap_or("default"));
+        manifest.threads = if redact { None } else { Some(threads) };
+        manifest.constraint = scale.constraint();
+        manifest.workbench = format!("{:?}", scale.workbench(1).model);
+        manifest.grid = Some(grid_manifest);
+        manifest.save(&dir.join("manifest.json"))?;
+        println!("run log and manifest written to {}", dir.display());
+    }
+    if let Some(log) = run_log {
+        log.flush()?;
+    }
+    println!("{}", metrics.render());
     Ok(())
 }

@@ -9,18 +9,25 @@
 //! ```text
 //! cargo run -p reduce-bench --release --bin fig3 -- \
 //!     [--scale smoke|default|full] [--policy reduce-max|reduce-mean|fixed:N|all] \
-//!     [--chips N] [--threads N]
+//!     [--chips N] [--threads N] [--table PATH] [--csv DIR] \
+//!     [--out DIR] [--redact-timing] [--cost] [--early-stop] [--per-chip]
 //! ```
 //!
 //! `--threads N` parallelises both the Step-① characterisation grid and
 //! the per-chip fleet retraining on the deterministic executor (`0` =
-//! auto-size); reports are byte-identical at any thread count.
+//! auto-size); reports are byte-identical at any thread count. `--out DIR`
+//! writes a JSON-lines `run_log.jsonl` and a `manifest.json`; with
+//! `--redact-timing` both are byte-identical at any thread count too.
 
-use reduce_bench::{arg_flag, arg_threads, arg_value, Scale};
-use reduce_core::{report, Reduce, ReduceError, RetrainPolicy, Statistic};
+use reduce_bench::{parse_args, Scale};
+use reduce_core::telemetry::{
+    self, Fanout, FleetManifest, GridManifest, MetricsRecorder, Observer, RunLog, RunManifest,
+    Stage,
+};
+use reduce_core::{report, ExecConfig, Reduce, ReduceError, RetrainPolicy, Statistic};
 use reduce_systolic::generate_fleet;
 use std::error::Error;
-use std::time::Instant;
+use std::sync::Arc;
 
 fn parse_policy(s: &str) -> Result<Vec<RetrainPolicy>, ReduceError> {
     match s {
@@ -43,14 +50,43 @@ fn parse_policy(s: &str) -> Result<Vec<RetrainPolicy>, ReduceError> {
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = Scale::parse(&arg_value(&args, "--scale").unwrap_or_else(|| "default".into()))?;
-    let policy_arg = arg_value(&args, "--policy").unwrap_or_else(|| "all".into());
-    let chips: Option<usize> = match arg_value(&args, "--chips") {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(
+        &raw,
+        &[
+            "--scale",
+            "--policy",
+            "--chips",
+            "--threads",
+            "--table",
+            "--csv",
+            "--out",
+        ],
+        &["--cost", "--early-stop", "--per-chip", "--redact-timing"],
+        0,
+    )?;
+    let scale = Scale::parse(args.value("--scale").unwrap_or("default"))?;
+    let policy_arg = args.value("--policy").unwrap_or("all").to_string();
+    let chips: Option<usize> = match args.value("--chips") {
         Some(s) => Some(s.parse()?),
         None => None,
     };
-    let threads = arg_threads(&args)?;
+    let threads = args.threads()?;
+    let redact = args.flag("--redact-timing");
+    let out_dir = args.value("--out").map(std::path::PathBuf::from);
+
+    let metrics = Arc::new(MetricsRecorder::new());
+    let mut sinks: Vec<Arc<dyn Observer>> = vec![metrics.clone()];
+    let run_log = match &out_dir {
+        Some(dir) => {
+            let log = Arc::new(RunLog::create(&dir.join("run_log.jsonl"), redact)?);
+            sinks.push(log.clone());
+            Some(log)
+        }
+        None => None,
+    };
+    let observer: Arc<dyn Observer> = Arc::new(Fanout::new(sinks));
+    let exec = ExecConfig::new(threads).with_observer(observer.clone());
 
     let mut policies = parse_policy(&policy_arg)?;
     if policies.is_empty() {
@@ -65,6 +101,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     let workbench = scale.workbench(1);
+    let workbench_spec = format!("{:?}", workbench.model);
     let array = workbench.array_dims();
     let constraint = scale.constraint();
     println!(
@@ -72,41 +109,42 @@ fn main() -> Result<(), Box<dyn Error>> {
         constraint * 100.0
     );
 
-    let t0 = Instant::now();
     println!("step 0: pre-training fault-free baseline…");
-    let mut reduce = Reduce::new(workbench, constraint, scale.pretrain_epochs())?;
+    let mut reduce = telemetry::timed_stage(observer.as_ref(), Stage::Pretrain, || {
+        Reduce::new(workbench, constraint, scale.pretrain_epochs())
+    })?;
     println!(
-        "  baseline accuracy {:.2}%  [{:.1?}]",
-        reduce.pretrained().baseline_accuracy * 100.0,
-        t0.elapsed()
+        "  baseline accuracy {:.2}%",
+        reduce.pretrained().baseline_accuracy * 100.0
     );
 
     let needs_table = policies.iter().any(RetrainPolicy::needs_table);
-    let loaded_table = match arg_value(&args, "--table") {
+    let loaded_table = match args.value("--table") {
         Some(path) => {
-            let table = reduce_core::ResilienceTable::load(std::path::Path::new(&path))?;
+            let table = reduce_core::ResilienceTable::load(std::path::Path::new(path))?;
             println!("step 1: resilience table loaded from {path} (characterisation skipped)");
             Some(table)
         }
         None => None,
     };
+    let mut grid_manifest = None;
     if needs_table && loaded_table.is_none() {
         println!("step 1: resilience characterisation…");
-        let t_char = Instant::now();
-        reduce.characterize_parallel(scale.resilience_config(), threads)?;
+        let config = scale.resilience_config();
+        grid_manifest = Some(GridManifest::from_config(&config));
+        reduce.characterize(config, &exec)?;
         println!(
-            "  done  [{:.1?}, {threads} thread{}]",
-            t_char.elapsed(),
+            "  done  [{threads} thread{}]",
             if threads == 1 { "" } else { "s" }
         );
     }
 
-    let fleet = generate_fleet(&scale.fleet_config(array, chips))?;
+    let fleet_config = scale.fleet_config(array, chips);
+    let fleet = generate_fleet(&fleet_config)?;
     println!("steps 2+3: retraining {} chips per policy…\n", fleet.len());
 
     let mut reports = Vec::new();
     for policy in policies {
-        let tp = Instant::now();
         let table = if policy.needs_table() {
             match &loaded_table {
                 Some(t) => Some(t.clone()),
@@ -116,27 +154,26 @@ fn main() -> Result<(), Box<dyn Error>> {
             None
         };
         let mut config = reduce_core::FleetEvalConfig::new(policy, constraint);
-        if arg_flag(&args, "--cost") {
+        if args.flag("--cost") {
             config.cost_model = Some(reduce_systolic::CostModel::small(array.0, array.1));
         }
-        config.early_stop = arg_flag(&args, "--early-stop");
-        let report = reduce_core::evaluate_fleet_parallel(
+        config.early_stop = args.flag("--early-stop");
+        let report = reduce_core::evaluate_fleet(
             reduce.runner(),
             reduce.pretrained(),
             &fleet,
             table.as_ref(),
             &config,
-            threads,
+            &exec,
         )?;
         println!(
-            "{:<22} satisfied {:>3}/{:<3}  total epochs {:>5}  [{:.1?}]",
+            "{:<22} satisfied {:>3}/{:<3}  total epochs {:>5}",
             report.policy,
             report.satisfied,
             report.chips.len(),
             report.total_epochs,
-            tp.elapsed()
         );
-        if arg_flag(&args, "--per-chip") {
+        if args.flag("--per-chip") {
             println!("{}", report::render_fleet_chips(&report));
         }
         reports.push(report);
@@ -144,7 +181,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     println!("\n— Fig. 3f summary —");
     println!("{}", report::render_fleet_summary(&reports));
-    if arg_flag(&args, "--cost") {
+    if args.flag("--cost") {
         let cm = reduce_systolic::CostModel::small(array.0, array.1);
         println!("accelerator-side retraining cost (cost-model estimate):");
         for r in &reports {
@@ -171,7 +208,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         .map(|r| (r.policy.clone(), r.satisfied as f64))
         .collect();
     println!("{}", report::render_bars(&bars, 40));
-    if let Some(dir) = arg_value(&args, "--csv") {
+    if let Some(dir) = args.value("--csv") {
         for r in &reports {
             let (header, rows) = report::fleet_csv(r);
             let slug: String = r
@@ -185,11 +222,25 @@ fn main() -> Result<(), Box<dyn Error>> {
                     }
                 })
                 .collect();
-            let path = std::path::Path::new(&dir).join(format!("fig3_{slug}.csv"));
+            let path = std::path::Path::new(dir).join(format!("fig3_{slug}.csv"));
             report::write_csv(&path, &header, &rows)?;
             println!("per-chip rows written to {}", path.display());
         }
     }
-    println!("total wall time {:.1?}", t0.elapsed());
+    if let Some(dir) = &out_dir {
+        let mut manifest = RunManifest::new("fig3", args.value("--scale").unwrap_or("default"));
+        manifest.threads = if redact { None } else { Some(threads) };
+        manifest.constraint = constraint;
+        manifest.workbench = workbench_spec;
+        manifest.grid = grid_manifest;
+        manifest.policies = reports.iter().map(|r| r.policy.clone()).collect();
+        manifest.fleet = Some(FleetManifest::from_config(&fleet_config));
+        manifest.save(&dir.join("manifest.json"))?;
+        println!("run log and manifest written to {}", dir.display());
+    }
+    if let Some(log) = run_log {
+        log.flush()?;
+    }
+    println!("{}", metrics.render());
     Ok(())
 }

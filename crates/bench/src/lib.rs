@@ -75,31 +75,43 @@ impl Scale {
     }
 
     /// The Step-① characterisation grid.
+    ///
+    /// # Panics
+    ///
+    /// Never — the preset parameters are statically valid; the builder
+    /// result is unwrapped through a compile-time-known fallback.
     pub fn resilience_config(&self) -> ResilienceConfig {
-        match self {
-            Scale::Smoke => ResilienceConfig {
-                repeats: 2,
-                ..ResilienceConfig::grid(0.3, 4, 8, self.constraint())
-            },
-            Scale::Default => ResilienceConfig {
-                fault_rates: vec![0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30],
-                max_epochs: 16,
-                repeats: 5,
+        let builder = match self {
+            Scale::Smoke => ResilienceConfig::builder()
+                .max_rate(0.3)
+                .points(4)
+                .max_epochs(8)
+                .repeats(2)
+                .constraint(self.constraint()),
+            Scale::Default => ResilienceConfig::builder()
+                .fault_rates(vec![0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30])
+                .max_epochs(16)
+                .repeats(5)
+                .constraint(self.constraint()),
+            Scale::Full => ResilienceConfig::builder()
+                .fault_rates(vec![0.0, 0.025, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30])
+                .max_epochs(20)
+                .repeats(5)
+                .constraint(self.constraint()),
+        };
+        builder.build().unwrap_or_else(|_| {
+            // The presets above are all valid; this branch is unreachable
+            // but keeps the accessor infallible for callers.
+            ResilienceConfig {
+                fault_rates: vec![0.0],
+                max_epochs: 1,
+                repeats: 1,
                 constraint: self.constraint(),
                 fault_model: FaultModel::Random,
                 strategy: Default::default(),
                 seed: 0xC0FFEE,
-            },
-            Scale::Full => ResilienceConfig {
-                fault_rates: vec![0.0, 0.025, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30],
-                max_epochs: 20,
-                repeats: 5,
-                constraint: self.constraint(),
-                fault_model: FaultModel::Random,
-                strategy: Default::default(),
-                seed: 0xC0FFEE,
-            },
-        }
+            }
+        })
     }
 
     /// The Fig. 3 fleet (the paper evaluates 100 chips).
@@ -129,32 +141,116 @@ impl Scale {
     }
 }
 
-/// Extracts `--key value` from an argument list (first occurrence).
-pub fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1).cloned())
+/// Strictly parsed command-line arguments for the experiment binaries.
+///
+/// Produced by [`parse_args`], which — unlike the silent helpers it
+/// replaced — rejects unknown `--flags`, so a typo like `--treads 4` is
+/// an error instead of an accidentally sequential run.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    values: Vec<(String, String)>,
+    flags: Vec<String>,
+    positionals: Vec<String>,
 }
 
-/// Whether a bare `--flag` is present.
-pub fn arg_flag(args: &[String], key: &str) -> bool {
-    args.iter().any(|a| a == key)
+impl ParsedArgs {
+    /// The value of `--key value` / `--key=value`, if present.
+    pub fn value(&self, key: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the bare flag `key` was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// The `i`-th positional argument, if present.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Parses `--threads N`: defaults to `1` (sequential); `0` asks the
+    /// executor to auto-size from the available hardware parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReduceError::InvalidConfig`] for a non-numeric value.
+    pub fn threads(&self) -> Result<usize, ReduceError> {
+        match self.value("--threads") {
+            Some(s) => s.parse().map_err(|_| ReduceError::InvalidConfig {
+                what: format!("bad --threads value {s:?} (expected a count; 0 = auto)"),
+            }),
+            None => Ok(1),
+        }
+    }
 }
 
-/// Parses `--threads N` for the experiment binaries: defaults to `1`
-/// (sequential), and `0` asks the executor to auto-size from the
-/// available hardware parallelism.
+/// Parses an argument list against an explicit grammar: `value_keys` take
+/// a value (`--key value` or `--key=value`), `flag_keys` are bare
+/// booleans, and at most `max_positionals` non-flag arguments are
+/// accepted. Anything else — an unknown `--option`, a value-less value
+/// key, or an extra positional — is an error.
 ///
 /// # Errors
 ///
-/// Returns [`ReduceError::InvalidConfig`] for a non-numeric value.
-pub fn arg_threads(args: &[String]) -> Result<usize, ReduceError> {
-    match arg_value(args, "--threads") {
-        Some(s) => s.parse().map_err(|_| ReduceError::InvalidConfig {
-            what: format!("bad --threads value {s:?} (expected a count; 0 = auto)"),
-        }),
-        None => Ok(1),
+/// Returns [`ReduceError::InvalidConfig`] naming the offending argument
+/// and listing the accepted options.
+pub fn parse_args(
+    raw: &[String],
+    value_keys: &[&str],
+    flag_keys: &[&str],
+    max_positionals: usize,
+) -> Result<ParsedArgs, ReduceError> {
+    let grammar = || {
+        let mut opts: Vec<&str> = value_keys.iter().chain(flag_keys).copied().collect();
+        opts.sort_unstable();
+        opts.join(", ")
+    };
+    let mut parsed = ParsedArgs::default();
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        if let Some(rest) = arg.strip_prefix("--") {
+            let (key_body, inline) = match rest.split_once('=') {
+                Some((k, v)) => (k, Some(v)),
+                None => (rest, None),
+            };
+            let key = format!("--{key_body}");
+            if value_keys.contains(&key.as_str()) {
+                let value = match inline {
+                    Some(v) => v.to_string(),
+                    None => it
+                        .next()
+                        .cloned()
+                        .ok_or_else(|| ReduceError::InvalidConfig {
+                            what: format!("{key} needs a value"),
+                        })?,
+                };
+                parsed.values.push((key, value));
+            } else if flag_keys.contains(&key.as_str()) {
+                if inline.is_some() {
+                    return Err(ReduceError::InvalidConfig {
+                        what: format!("{key} is a flag and takes no value"),
+                    });
+                }
+                parsed.flags.push(key);
+            } else {
+                return Err(ReduceError::InvalidConfig {
+                    what: format!("unknown option {arg:?} (accepted: {})", grammar()),
+                });
+            }
+        } else {
+            if parsed.positionals.len() >= max_positionals {
+                return Err(ReduceError::InvalidConfig {
+                    what: format!("unexpected argument {arg:?} (accepted: {})", grammar()),
+                });
+            }
+            parsed.positionals.push(arg.clone());
+        }
     }
+    Ok(parsed)
 }
 
 #[cfg(test)]
@@ -185,28 +281,52 @@ mod tests {
         }
     }
 
+    fn to_args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
-    fn arg_helpers() {
-        let args: Vec<String> = ["--scale", "smoke", "--flag"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert_eq!(arg_value(&args, "--scale").as_deref(), Some("smoke"));
-        assert_eq!(arg_value(&args, "--missing"), None);
-        assert!(arg_flag(&args, "--flag"));
-        assert!(!arg_flag(&args, "--other"));
+    fn parse_args_accepts_the_declared_grammar() {
+        let parsed = parse_args(
+            &to_args(&["--scale", "smoke", "--csv=out.csv", "--flag", "study"]),
+            &["--scale", "--csv"],
+            &["--flag"],
+            1,
+        )
+        .expect("valid arguments");
+        assert_eq!(parsed.value("--scale"), Some("smoke"));
+        assert_eq!(parsed.value("--csv"), Some("out.csv"));
+        assert_eq!(parsed.value("--missing"), None);
+        assert!(parsed.flag("--flag"));
+        assert!(!parsed.flag("--other"));
+        assert_eq!(parsed.positional(0), Some("study"));
+        assert_eq!(parsed.positional(1), None);
+    }
+
+    #[test]
+    fn parse_args_rejects_unknown_and_malformed_options() {
+        // The typo that motivated strict parsing: --treads must error.
+        let err = parse_args(&to_args(&["--treads", "4"]), &["--threads"], &[], 0)
+            .expect_err("typo rejected");
+        assert!(err.to_string().contains("--treads"));
+        assert!(err.to_string().contains("--threads"), "lists accepted opts");
+        // A value key with no value.
+        assert!(parse_args(&to_args(&["--scale"]), &["--scale"], &[], 0).is_err());
+        // A flag given a value.
+        assert!(parse_args(&to_args(&["--flag=x"]), &[], &["--flag"], 0).is_err());
+        // Too many positionals.
+        assert!(parse_args(&to_args(&["a", "b"]), &[], &[], 1).is_err());
     }
 
     #[test]
     fn threads_arg() {
-        let to_args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
-        assert_eq!(arg_threads(&to_args(&[])).expect("default"), 1);
-        assert_eq!(
-            arg_threads(&to_args(&["--threads", "4"])).expect("numeric"),
-            4
-        );
-        assert_eq!(arg_threads(&to_args(&["--threads", "0"])).expect("auto"), 0);
-        assert!(arg_threads(&to_args(&["--threads", "many"])).is_err());
+        let parse =
+            |v: &[&str]| parse_args(&to_args(v), &["--threads"], &[], 0).and_then(|p| p.threads());
+        assert_eq!(parse(&[]).expect("default"), 1);
+        assert_eq!(parse(&["--threads", "4"]).expect("numeric"), 4);
+        assert_eq!(parse(&["--threads", "0"]).expect("auto"), 0);
+        assert_eq!(parse(&["--threads=2"]).expect("inline"), 2);
+        assert!(parse(&["--threads", "many"]).is_err());
     }
 
     #[test]

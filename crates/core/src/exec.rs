@@ -22,9 +22,80 @@
 //! error of the lowest input index is the one returned.
 
 use crate::error::{ReduceError, Result};
+use crate::telemetry::{Event, NullObserver, Observer};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+/// How a framework entry point executes: worker-thread count plus the
+/// telemetry sink its events go to.
+///
+/// This is the single execution knob of the public API — every
+/// previously split `foo` / `foo_parallel` pair is now one method taking
+/// an `&ExecConfig`. `threads == 0` auto-sizes from the machine (see
+/// [`resolve_workers`]); the default is a sequential run with telemetry
+/// discarded.
+///
+/// # Examples
+///
+/// ```
+/// use reduce_core::exec::ExecConfig;
+///
+/// let sequential = ExecConfig::default();
+/// assert_eq!(sequential.threads, 1);
+/// let auto = ExecConfig::auto();
+/// assert_eq!(auto.threads, 0);
+/// ```
+#[derive(Clone)]
+pub struct ExecConfig {
+    /// Worker threads for parallel grids; `0` auto-sizes.
+    pub threads: usize,
+    observer: Arc<dyn Observer>,
+}
+
+impl ExecConfig {
+    /// An execution config over `threads` workers (`0` = auto) with
+    /// telemetry discarded.
+    pub fn new(threads: usize) -> Self {
+        ExecConfig {
+            threads,
+            observer: Arc::new(NullObserver),
+        }
+    }
+
+    /// Auto-sized execution (`threads == 0`).
+    pub fn auto() -> Self {
+        Self::new(0)
+    }
+
+    /// Attaches a telemetry sink; events from every framework call made
+    /// with this config are delivered to it.
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// The attached telemetry sink.
+    pub fn observer(&self) -> &dyn Observer {
+        self.observer.as_ref()
+    }
+}
+
+impl Default for ExecConfig {
+    /// Sequential execution (`threads == 1`), telemetry discarded.
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl std::fmt::Debug for ExecConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecConfig")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
 
 /// Resolves a caller-facing thread count to an actual worker count:
 /// `0` auto-sizes from [`std::thread::available_parallelism`], anything
@@ -104,6 +175,43 @@ where
         })??);
     }
     Ok(out)
+}
+
+/// [`parallel_map`] with telemetry: each job gets a private event buffer,
+/// and after the fan-out completes every buffer is flushed to `observer`
+/// **in input order** — so the observed event sequence is identical at
+/// any thread count (the determinism contract of
+/// [`crate::telemetry`]). On error no per-job events are flushed; the
+/// observer only ever sees complete, successful fan-outs.
+///
+/// # Errors
+///
+/// Same as [`parallel_map`]: lowest-indexed job error, or
+/// [`ReduceError::Internal`] for a panicking job.
+pub fn parallel_map_traced<T, R, F>(
+    items: &[T],
+    threads: usize,
+    observer: &dyn Observer,
+    job: F,
+) -> Result<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T, &mut Vec<Event>) -> Result<R> + Sync,
+{
+    let traced = parallel_map(items, threads, |i, item| {
+        let mut events = Vec::new();
+        let out = job(i, item, &mut events)?;
+        Ok((out, events))
+    })?;
+    let mut results = Vec::with_capacity(traced.len());
+    for (out, events) in traced {
+        for event in &events {
+            observer.on_event(event);
+        }
+        results.push(out);
+    }
+    Ok(results)
 }
 
 /// Runs one job with panic containment: a panic becomes
@@ -218,5 +326,77 @@ mod tests {
         let items: Vec<usize> = Vec::new();
         let out = parallel_map(&items, 4, |_, &x| Ok(x)).expect("nothing to fail");
         assert!(out.is_empty());
+    }
+
+    /// Test sink recording the order events arrive in.
+    #[derive(Default)]
+    struct SeqRecorder(Mutex<Vec<Event>>);
+
+    impl Observer for SeqRecorder {
+        fn on_event(&self, event: &Event) {
+            if let Ok(mut log) = self.0.lock() {
+                log.push(event.clone());
+            }
+        }
+    }
+
+    fn tick(i: usize, epoch: usize) -> Event {
+        Event::EpochCompleted {
+            scope: crate::telemetry::EpochScope::Chip { chip_id: i },
+            epoch,
+            accuracy: 0.5,
+        }
+    }
+
+    #[test]
+    fn traced_events_flush_in_input_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..16).collect();
+        let mut sequences = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let rec = SeqRecorder::default();
+            let out = parallel_map_traced(&items, threads, &rec, |i, &x, events| {
+                events.push(tick(i, 1));
+                events.push(tick(i, 2));
+                Ok(x)
+            })
+            .expect("no job fails");
+            assert_eq!(out, items);
+            sequences.push(rec.0.into_inner().expect("no poisoning"));
+        }
+        let (first, rest) = sequences.split_first().expect("three runs");
+        assert_eq!(first.len(), items.len() * 2);
+        for seq in rest {
+            assert_eq!(seq, first, "event order varied with thread count");
+        }
+        // And input order: job i's events precede job i+1's.
+        assert_eq!(first.first(), Some(&tick(0, 1)));
+        assert_eq!(first.last(), Some(&tick(15, 2)));
+    }
+
+    #[test]
+    fn traced_failure_flushes_no_events() {
+        let items = vec![0usize, 1, 2];
+        let rec = SeqRecorder::default();
+        let res: Result<Vec<usize>> = parallel_map_traced(&items, 2, &rec, |i, &x, events| {
+            events.push(tick(i, 1));
+            if x == 1 {
+                return Err(ReduceError::InvalidConfig {
+                    what: "bad job".to_string(),
+                });
+            }
+            Ok(x)
+        });
+        assert!(res.is_err());
+        assert!(rec.0.into_inner().expect("no poisoning").is_empty());
+    }
+
+    #[test]
+    fn exec_config_defaults_and_builder() {
+        let cfg = ExecConfig::default();
+        assert_eq!(cfg.threads, 1);
+        let cfg = ExecConfig::new(4).with_observer(Arc::new(SeqRecorder::default()));
+        assert_eq!(cfg.threads, 4);
+        cfg.observer().on_event(&tick(0, 1));
+        assert!(format!("{cfg:?}").contains("threads"));
     }
 }

@@ -299,6 +299,37 @@ impl FatRunner {
         strategy: Mitigation,
         run_seed: u64,
     ) -> Result<FatOutcome> {
+        self.run_observed(
+            pretrained,
+            fault_map,
+            max_epochs,
+            stop,
+            strategy,
+            run_seed,
+            &mut |_, _| {},
+        )
+    }
+
+    /// [`FatRunner::run`] with an epoch tick: `on_epoch(epoch, accuracy)`
+    /// is called after each completed retraining epoch (1-based), which is
+    /// how the telemetry layer's `EpochCompleted` events originate. The
+    /// callback cannot influence the run — results are identical to
+    /// [`FatRunner::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates training/evaluation errors.
+    #[allow(clippy::too_many_arguments)] // mirrors `run` plus the tick
+    pub fn run_observed(
+        &self,
+        pretrained: &Pretrained,
+        fault_map: &FaultMap,
+        max_epochs: usize,
+        stop: StopRule,
+        strategy: Mitigation,
+        run_seed: u64,
+        on_epoch: &mut dyn FnMut(usize, f32),
+    ) -> Result<FatOutcome> {
         let (mut model, pruned_fraction) = self.masked_model(pretrained, fault_map, strategy)?;
         if self.workbench.bn_recalibration_passes > 0 {
             self.recalibrate_statistics(&mut model, self.workbench.bn_recalibration_passes)?;
@@ -317,10 +348,11 @@ impl FatRunner {
             }
         }
         let mut trainer = self.workbench.fat_trainer(run_seed);
-        for _ in 0..max_epochs {
+        for epoch in 1..=max_epochs {
             trainer.train_epoch(&mut model, self.train.features(), self.train.labels())?;
             let acc = self.workbench.evaluate(&mut model, &self.test)?.accuracy;
             outcome.accuracy_after_epoch.push(acc);
+            on_epoch(epoch, acc);
             if let StopRule::AtAccuracy(c) = stop {
                 if acc >= c {
                     break;

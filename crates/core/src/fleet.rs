@@ -2,10 +2,11 @@
 //! accounting for the cost (the data behind Fig. 3).
 
 use crate::error::Result;
-use crate::exec;
+use crate::exec::{self, ExecConfig};
 use crate::fat::{FatRunner, Mitigation, StopRule};
 use crate::policy::RetrainPolicy;
 use crate::resilience::ResilienceTable;
+use crate::telemetry::{self, EpochScope, Event, Stage};
 use crate::workbench::Pretrained;
 use reduce_systolic::{Chip, CostModel};
 use serde::{Deserialize, Serialize};
@@ -113,13 +114,24 @@ impl FleetEvalConfig {
 /// Retrains every chip in `fleet` under the configured policy and collects
 /// the per-chip and aggregate statistics of Fig. 3.
 ///
+/// Chips are distributed over `exec.threads` workers on the shared
+/// deterministic executor ([`crate::exec`]). Each chip's FAT run is fully
+/// self-contained and seeded and the executor returns outcomes in fleet
+/// order, so the report is byte-identical at any thread count
+/// (`exec.threads == 0` auto-sizes the pool). `exec`'s observer receives
+/// a `Deploy` stage pair plus per-epoch ticks and one
+/// [`Event::ChipRetrained`] per chip, flushed in fleet order.
+///
 /// # Errors
 ///
-/// Propagates policy-selection and training errors.
+/// Propagates the error of the lowest-indexed failing chip. A worker that
+/// panics (which would itself be a bug — the FAT runner returns typed
+/// errors) is contained and surfaced as [`crate::ReduceError::Internal`].
 ///
 /// # Examples
 ///
 /// ```
+/// use reduce_core::exec::ExecConfig;
 /// use reduce_core::{evaluate_fleet, FatRunner, FleetEvalConfig, RetrainPolicy, Workbench};
 /// use reduce_systolic::{generate_fleet, FaultModel, FleetConfig, RateDistribution};
 ///
@@ -136,7 +148,8 @@ impl FleetEvalConfig {
 ///     seed: 2,
 /// })?;
 /// let config = FleetEvalConfig::new(RetrainPolicy::Fixed(1), 0.8);
-/// let report = evaluate_fleet(&runner, &pretrained, &fleet, None, &config)?;
+/// let report =
+///     evaluate_fleet(&runner, &pretrained, &fleet, None, &config, &ExecConfig::default())?;
 /// assert_eq!(report.total_epochs, 3);
 /// # Ok(())
 /// # }
@@ -147,48 +160,25 @@ pub fn evaluate_fleet(
     fleet: &[Chip],
     table: Option<&ResilienceTable>,
     config: &FleetEvalConfig,
+    exec: &ExecConfig,
 ) -> Result<FleetReport> {
-    let chips = fleet
-        .iter()
-        .map(|chip| retrain_chip(runner, pretrained, table, config, chip))
-        .collect::<Result<Vec<ChipOutcome>>>()?;
-    build_report(runner, config, chips)
-}
-
-/// Parallel variant of [`evaluate_fleet`]: chips are distributed over
-/// `threads` workers on the shared deterministic executor
-/// ([`crate::exec`]). Each chip's FAT run is fully self-contained and
-/// seeded and the executor returns outcomes in fleet order, so the report
-/// is byte-identical to the sequential one regardless of thread count.
-/// `threads == 0` auto-sizes the pool from the available hardware
-/// parallelism.
-///
-/// # Errors
-///
-/// Propagates the error of the lowest-indexed failing chip. A worker that
-/// panics (which would itself be a bug — the FAT runner returns typed
-/// errors) is contained and surfaced as [`crate::ReduceError::Internal`].
-pub fn evaluate_fleet_parallel(
-    runner: &FatRunner,
-    pretrained: &Pretrained,
-    fleet: &[Chip],
-    table: Option<&ResilienceTable>,
-    config: &FleetEvalConfig,
-    threads: usize,
-) -> Result<FleetReport> {
-    let chips = exec::parallel_map(fleet, threads, |_, chip| {
-        retrain_chip(runner, pretrained, table, config, chip)
+    let chips = telemetry::timed_stage(exec.observer(), Stage::Deploy, || {
+        exec::parallel_map_traced(fleet, exec.threads, exec.observer(), |_, chip, events| {
+            retrain_chip(runner, pretrained, table, config, chip, events)
+        })
     })?;
     build_report(runner, config, chips)
 }
 
-/// Steps ②+③ for one chip: select a budget, retrain, record the outcome.
+/// Steps ②+③ for one chip: select a budget, retrain, record the outcome
+/// (and its telemetry events, in chip order).
 fn retrain_chip(
     runner: &FatRunner,
     pretrained: &Pretrained,
     table: Option<&ResilienceTable>,
     config: &FleetEvalConfig,
     chip: &Chip,
+    events: &mut Vec<Event>,
 ) -> Result<ChipOutcome> {
     let rate = chip.fault_rate();
     let selection = config.policy.epochs_for_chip(table, rate)?;
@@ -197,15 +187,30 @@ fn retrain_chip(
     } else {
         StopRule::Exact
     };
-    let outcome = runner.run(
+    let outcome = runner.run_observed(
         pretrained,
         chip.fault_map(),
         selection.epochs,
         stop,
         config.strategy,
         config.seed.wrapping_add(chip.id() as u64),
+        &mut |epoch, accuracy| {
+            events.push(Event::EpochCompleted {
+                scope: EpochScope::Chip { chip_id: chip.id() },
+                epoch,
+                accuracy,
+            });
+        },
     )?;
     let final_accuracy = outcome.final_accuracy();
+    events.push(Event::ChipRetrained {
+        chip_id: chip.id(),
+        fault_rate: rate,
+        epochs_budgeted: selection.epochs,
+        epochs_run: outcome.epochs_run(),
+        final_accuracy,
+        satisfied: final_accuracy >= config.constraint,
+    });
     Ok(ChipOutcome {
         chip_id: chip.id(),
         fault_rate: rate,
@@ -309,7 +314,8 @@ mod tests {
     fn fixed_policy_charges_every_chip_equally() {
         let (runner, pre, fleet) = setup();
         let config = FleetEvalConfig::new(RetrainPolicy::Fixed(2), 0.85);
-        let report = evaluate_fleet(&runner, &pre, &fleet, None, &config).expect("valid run");
+        let report = evaluate_fleet(&runner, &pre, &fleet, None, &config, &ExecConfig::default())
+            .expect("valid run");
         assert_eq!(report.chips.len(), 6);
         assert!(report.chips.iter().all(|c| c.epochs_run == 2));
         assert_eq!(report.total_epochs, 12);
@@ -321,7 +327,15 @@ mod tests {
         let (runner, pre, fleet) = setup();
         let t = table();
         let config = FleetEvalConfig::new(RetrainPolicy::Reduce(Statistic::Max), 0.85);
-        let report = evaluate_fleet(&runner, &pre, &fleet, Some(&t), &config).expect("valid run");
+        let report = evaluate_fleet(
+            &runner,
+            &pre,
+            &fleet,
+            Some(&t),
+            &config,
+            &ExecConfig::default(),
+        )
+        .expect("valid run");
         // Chips with higher fault rates get more epochs (monotone table).
         let mut sorted = report.chips.clone();
         sorted.sort_by(|a, b| a.fault_rate.partial_cmp(&b.fault_rate).expect("finite"));
@@ -345,6 +359,7 @@ mod tests {
             &fleet,
             Some(&t),
             &FleetEvalConfig::new(RetrainPolicy::Reduce(Statistic::Max), constraint),
+            &ExecConfig::default(),
         )
         .expect("valid run");
         let fixed_high = evaluate_fleet(
@@ -353,6 +368,7 @@ mod tests {
             &fleet,
             None,
             &FleetEvalConfig::new(RetrainPolicy::Fixed(5), constraint),
+            &ExecConfig::default(),
         )
         .expect("valid run");
         assert!(
@@ -367,7 +383,8 @@ mod tests {
     fn report_aggregates() {
         let (runner, pre, fleet) = setup();
         let config = FleetEvalConfig::new(RetrainPolicy::Fixed(1), 0.5);
-        let report = evaluate_fleet(&runner, &pre, &fleet, None, &config).expect("valid run");
+        let report = evaluate_fleet(&runner, &pre, &fleet, None, &config, &ExecConfig::default())
+            .expect("valid run");
         assert!(report.yield_fraction() > 0.0);
         assert!((report.mean_epochs() - 1.0).abs() < 1e-6);
         assert!(report.min_accuracy <= report.mean_accuracy);
@@ -382,13 +399,22 @@ mod tests {
         let (runner, pre, fleet) = setup();
         let mut config = FleetEvalConfig::new(RetrainPolicy::Fixed(1), 0.5);
         config.cost_model = Some(CostModel::small(8, 8));
-        let report = evaluate_fleet(&runner, &pre, &fleet, None, &config).expect("valid run");
+        let report = evaluate_fleet(&runner, &pre, &fleet, None, &config, &ExecConfig::default())
+            .expect("valid run");
         let cycles = report.retrain_cycles.expect("cost model supplied");
         assert!(cycles > 0);
         // Double the epochs, double the cycles.
         let mut config2 = FleetEvalConfig::new(RetrainPolicy::Fixed(2), 0.5);
         config2.cost_model = Some(CostModel::small(8, 8));
-        let report2 = evaluate_fleet(&runner, &pre, &fleet, None, &config2).expect("valid run");
+        let report2 = evaluate_fleet(
+            &runner,
+            &pre,
+            &fleet,
+            None,
+            &config2,
+            &ExecConfig::default(),
+        )
+        .expect("valid run");
         assert_eq!(
             report2.retrain_cycles.expect("cost model supplied"),
             2 * cycles
@@ -404,11 +430,13 @@ mod tests {
             &fleet,
             None,
             &FleetEvalConfig::new(RetrainPolicy::Fixed(4), 0.85),
+            &ExecConfig::default(),
         )
         .expect("valid run");
         let mut cfg = FleetEvalConfig::new(RetrainPolicy::Fixed(4), 0.85);
         cfg.early_stop = true;
-        let stopped = evaluate_fleet(&runner, &pre, &fleet, None, &cfg).expect("valid run");
+        let stopped = evaluate_fleet(&runner, &pre, &fleet, None, &cfg, &ExecConfig::default())
+            .expect("valid run");
         assert!(stopped.total_epochs <= exact.total_epochs);
         // Early stop only stops *after* the constraint is met, so yield
         // cannot be worse.
@@ -422,11 +450,19 @@ mod tests {
     fn parallel_fleet_matches_sequential() {
         let (runner, pre, fleet) = setup();
         let config = FleetEvalConfig::new(RetrainPolicy::Fixed(2), 0.85);
-        let seq = evaluate_fleet(&runner, &pre, &fleet, None, &config).expect("valid run");
+        let seq = evaluate_fleet(&runner, &pre, &fleet, None, &config, &ExecConfig::default())
+            .expect("valid run");
         // 0 auto-sizes from the hardware; the report must still match.
         for threads in [0usize, 1, 2, 4] {
-            let par = evaluate_fleet_parallel(&runner, &pre, &fleet, None, &config, threads)
-                .expect("valid run");
+            let par = evaluate_fleet(
+                &runner,
+                &pre,
+                &fleet,
+                None,
+                &config,
+                &ExecConfig::new(threads),
+            )
+            .expect("valid run");
             assert_eq!(par, seq, "{threads}-thread report differs from sequential");
         }
     }
@@ -463,14 +499,17 @@ mod tests {
     fn reduce_without_table_fails() {
         let (runner, pre, fleet) = setup();
         let config = FleetEvalConfig::new(RetrainPolicy::Reduce(Statistic::Max), 0.85);
-        assert!(evaluate_fleet(&runner, &pre, &fleet, None, &config).is_err());
+        assert!(
+            evaluate_fleet(&runner, &pre, &fleet, None, &config, &ExecConfig::default()).is_err()
+        );
     }
 
     #[test]
     fn empty_fleet_is_empty_report() {
         let (runner, pre, _) = setup();
         let config = FleetEvalConfig::new(RetrainPolicy::Fixed(1), 0.5);
-        let report = evaluate_fleet(&runner, &pre, &[], None, &config).expect("valid run");
+        let report = evaluate_fleet(&runner, &pre, &[], None, &config, &ExecConfig::default())
+            .expect("valid run");
         assert_eq!(report.chips.len(), 0);
         assert_eq!(report.yield_fraction(), 0.0);
         assert_eq!(report.min_accuracy, 0.0);

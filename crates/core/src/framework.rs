@@ -10,34 +10,47 @@
 //!    ([`Reduce::deploy`]).
 
 use crate::error::{ReduceError, Result};
+use crate::exec::ExecConfig;
 use crate::fat::{FatRunner, Mitigation};
-use crate::fleet::{evaluate_fleet, evaluate_fleet_parallel, FleetEvalConfig, FleetReport};
+use crate::fleet::{evaluate_fleet, FleetEvalConfig, FleetReport};
 use crate::policy::RetrainPolicy;
 use crate::resilience::{ResilienceAnalysis, ResilienceConfig, ResilienceTable, Selection};
+use crate::telemetry::{self, Stage};
 use crate::workbench::{Pretrained, Workbench};
 use reduce_systolic::Chip;
 
 /// The Reduce framework instance: a pre-trained DNN, its workbench, an
 /// accuracy constraint, and (after Step ①) a resilience characterisation.
 ///
+/// Every entry point takes an [`ExecConfig`] choosing the worker-thread
+/// count (0 = auto) and the telemetry sink; results are identical at any
+/// thread count.
+///
 /// # Examples
 ///
 /// ```no_run
+/// use reduce_core::exec::ExecConfig;
 /// use reduce_core::{Reduce, ResilienceConfig, RetrainPolicy, Statistic, Workbench};
 /// use reduce_systolic::{generate_fleet, FleetConfig};
 ///
 /// # fn main() -> Result<(), reduce_core::ReduceError> {
+/// let exec = ExecConfig::auto();
 /// let workbench = Workbench::toy(7);
 /// let mut reduce = Reduce::new(workbench, 0.9, 12)?;
 /// // Step 1: resilience characterisation.
-/// reduce.characterize(ResilienceConfig::grid(0.25, 4, 10, 0.9))?;
+/// let grid = ResilienceConfig::builder()
+///     .max_rate(0.25)
+///     .points(4)
+///     .max_epochs(10)
+///     .build()?;
+/// reduce.characterize(grid, &exec)?;
 /// // Steps 2+3: per-chip selection + fault-aware retraining.
 /// let mut fleet_cfg = FleetConfig::paper(0.25, 3);
 /// fleet_cfg.chips = 10;
 /// fleet_cfg.rows = 8;
 /// fleet_cfg.cols = 8;
 /// let fleet = generate_fleet(&fleet_cfg)?;
-/// let report = reduce.deploy(&fleet, RetrainPolicy::Reduce(Statistic::Max))?;
+/// let report = reduce.deploy(&fleet, RetrainPolicy::Reduce(Statistic::Max), &exec)?;
 /// println!("{} chips meet the constraint", report.satisfied);
 /// # Ok(())
 /// # }
@@ -129,33 +142,22 @@ impl Reduce {
         self.analysis.as_ref()
     }
 
-    /// Step ①: runs the resilience characterisation. The config's
+    /// Step ①: runs the resilience characterisation over `exec`'s workers
+    /// on the shared deterministic executor ([`crate::exec`]) — the
+    /// analysis is byte-identical at any thread count. The config's
     /// constraint and strategy are overridden by this instance's.
     ///
     /// # Errors
     ///
     /// Propagates characterisation errors.
-    pub fn characterize(&mut self, config: ResilienceConfig) -> Result<&ResilienceAnalysis> {
-        self.characterize_parallel(config, 1)
-    }
-
-    /// Step ① over `threads` workers on the shared deterministic executor
-    /// ([`crate::exec`]): the analysis is byte-identical to
-    /// [`Reduce::characterize`] at any thread count, and `threads == 0`
-    /// auto-sizes from the hardware.
-    ///
-    /// # Errors
-    ///
-    /// Propagates characterisation errors.
-    pub fn characterize_parallel(
+    pub fn characterize(
         &mut self,
         mut config: ResilienceConfig,
-        threads: usize,
+        exec: &ExecConfig,
     ) -> Result<&ResilienceAnalysis> {
         config.constraint = self.constraint;
         config.strategy = self.strategy;
-        let analysis =
-            ResilienceAnalysis::run_parallel(&self.runner, &self.pretrained, config, threads)?;
+        let analysis = ResilienceAnalysis::run(&self.runner, &self.pretrained, config, exec)?;
         Ok(self.analysis.insert(analysis))
     }
 
@@ -174,29 +176,44 @@ impl Reduce {
     }
 
     /// Step ②: plans the per-chip retraining amounts for a fleet without
-    /// retraining anything.
+    /// retraining anything. Emits a `Plan` stage pair to `exec`'s
+    /// observer.
     ///
     /// # Errors
     ///
     /// Propagates selection errors (e.g. a Reduce policy without a table).
-    pub fn plan(&self, fleet: &[Chip], policy: RetrainPolicy) -> Result<Vec<Selection>> {
-        let table = if policy.needs_table() {
-            Some(self.table()?)
-        } else {
-            None
-        };
-        fleet
-            .iter()
-            .map(|chip| policy.epochs_for_chip(table.as_ref(), chip.fault_rate()))
-            .collect()
+    pub fn plan(
+        &self,
+        fleet: &[Chip],
+        policy: RetrainPolicy,
+        exec: &ExecConfig,
+    ) -> Result<Vec<Selection>> {
+        telemetry::timed_stage(exec.observer(), Stage::Plan, || {
+            let table = if policy.needs_table() {
+                Some(self.table()?)
+            } else {
+                None
+            };
+            fleet
+                .iter()
+                .map(|chip| policy.epochs_for_chip(table.as_ref(), chip.fault_rate()))
+                .collect()
+        })
     }
 
-    /// Steps ②+③: selects, retrains and evaluates every chip in the fleet.
+    /// Steps ②+③: selects, retrains and evaluates every chip in the
+    /// fleet over `exec`'s workers — the report is identical at any
+    /// thread count.
     ///
     /// # Errors
     ///
     /// Propagates selection and training errors.
-    pub fn deploy(&self, fleet: &[Chip], policy: RetrainPolicy) -> Result<FleetReport> {
+    pub fn deploy(
+        &self,
+        fleet: &[Chip],
+        policy: RetrainPolicy,
+        exec: &ExecConfig,
+    ) -> Result<FleetReport> {
         let table = if policy.needs_table() {
             Some(self.table()?)
         } else {
@@ -210,36 +227,7 @@ impl Reduce {
             fleet,
             table.as_ref(),
             &config,
-        )
-    }
-
-    /// Steps ②+③ over `threads` workers — the parallel variant of
-    /// [`Reduce::deploy`], with the same report at any thread count
-    /// (`0` auto-sizes from the hardware).
-    ///
-    /// # Errors
-    ///
-    /// Propagates selection and training errors.
-    pub fn deploy_parallel(
-        &self,
-        fleet: &[Chip],
-        policy: RetrainPolicy,
-        threads: usize,
-    ) -> Result<FleetReport> {
-        let table = if policy.needs_table() {
-            Some(self.table()?)
-        } else {
-            None
-        };
-        let mut config = FleetEvalConfig::new(policy, self.constraint);
-        config.strategy = self.strategy;
-        evaluate_fleet_parallel(
-            &self.runner,
-            &self.pretrained,
-            fleet,
-            table.as_ref(),
-            &config,
-            threads,
+            exec,
         )
     }
 }
@@ -288,28 +276,31 @@ mod tests {
             "baseline {baseline} below the test constraint"
         );
         // Step 1 on a coarse grid.
+        let exec = ExecConfig::default();
+        let grid = ResilienceConfig::builder()
+            .fault_rates(vec![0.0, 0.1, 0.25])
+            .max_epochs(8)
+            .repeats(2)
+            .constraint(0.88)
+            .fault_model(FaultModel::Random)
+            .strategy(Mitigation::Fap)
+            .seed(3)
+            .build()
+            .expect("valid grid");
         reduce
-            .characterize(ResilienceConfig {
-                fault_rates: vec![0.0, 0.1, 0.25],
-                max_epochs: 8,
-                repeats: 2,
-                constraint: 0.88,
-                fault_model: FaultModel::Random,
-                strategy: Mitigation::Fap,
-                seed: 3,
-            })
+            .characterize(grid, &exec)
             .expect("characterisation runs");
         let table = reduce.table().expect("characterised");
         assert_eq!(table.entries().len(), 3);
         // Step 2: plans scale with fault rate.
         let chips = fleet(6, 0.25);
         let plan = reduce
-            .plan(&chips, RetrainPolicy::Reduce(Statistic::Max))
+            .plan(&chips, RetrainPolicy::Reduce(Statistic::Max), &exec)
             .expect("table available");
         assert_eq!(plan.len(), 6);
         // Step 3: deploy; Reduce should meet the constraint on most chips.
         let report = reduce
-            .deploy(&chips, RetrainPolicy::Reduce(Statistic::Max))
+            .deploy(&chips, RetrainPolicy::Reduce(Statistic::Max), &exec)
             .expect("deployment runs");
         assert_eq!(report.chips.len(), 6);
         assert!(
@@ -319,7 +310,7 @@ mod tests {
         );
         // Fixed-0 baseline must be no better in yield.
         let fixed0 = reduce
-            .deploy(&chips, RetrainPolicy::Fixed(0))
+            .deploy(&chips, RetrainPolicy::Fixed(0), &exec)
             .expect("deployment runs");
         assert!(fixed0.satisfied <= report.satisfied);
         assert_eq!(fixed0.total_epochs, 0);
@@ -328,13 +319,14 @@ mod tests {
     #[test]
     fn plan_without_table_for_fixed_policy_works() {
         let r = Reduce::new(Workbench::toy(4), 0.9, 2).expect("valid");
+        let exec = ExecConfig::default();
         let chips = fleet(3, 0.1);
         let plan = r
-            .plan(&chips, RetrainPolicy::Fixed(2))
+            .plan(&chips, RetrainPolicy::Fixed(2), &exec)
             .expect("fixed needs no table");
         assert!(plan.iter().all(|s| s.epochs == 2));
         assert!(r
-            .plan(&chips, RetrainPolicy::Reduce(Statistic::Max))
+            .plan(&chips, RetrainPolicy::Reduce(Statistic::Max), &exec)
             .is_err());
     }
 }

@@ -19,29 +19,32 @@
 //! [`Reduce`] wires the steps together; [`Workbench`] describes the
 //! model/task/training setup; the fixed-policy baseline of Zhang et al. is
 //! [`RetrainPolicy::Fixed`]. Steps ① and ③ both fan out over the shared
-//! deterministic executor ([`exec`]), so their parallel variants
-//! ([`ResilienceAnalysis::run_parallel`], [`evaluate_fleet_parallel`])
-//! are byte-identical to the sequential paths at any thread count.
+//! deterministic executor ([`exec`]): every entry point takes an
+//! [`exec::ExecConfig`] choosing the worker count (0 = auto), and results
+//! are byte-identical to a sequential run at any thread count. The
+//! [`telemetry`] module observes the whole pipeline — typed events, run
+//! logs, metrics, and per-run manifests.
 //!
 //! # Examples
 //!
 //! ```
+//! use reduce_core::exec::ExecConfig;
 //! use reduce_core::{Reduce, ResilienceConfig, RetrainPolicy, Statistic, Workbench};
 //! use reduce_systolic::{generate_fleet, FaultModel, FleetConfig, RateDistribution};
 //!
 //! # fn main() -> Result<(), reduce_core::ReduceError> {
 //! // A fast tabular workbench (tests & doc builds); see Workbench::paper_scale
 //! // for the nano-VGG image setup.
+//! let exec = ExecConfig::default(); // sequential; ExecConfig::auto() fans out
 //! let mut reduce = Reduce::new(Workbench::toy(7), 0.88, 10)?;
-//! reduce.characterize(ResilienceConfig {
-//!     fault_rates: vec![0.0, 0.15],
-//!     max_epochs: 4,
-//!     repeats: 1,
-//!     constraint: 0.88,
-//!     fault_model: FaultModel::Random,
-//!     strategy: Default::default(),
-//!     seed: 1,
-//! })?;
+//! let grid = ResilienceConfig::builder()
+//!     .fault_rates(vec![0.0, 0.15])
+//!     .max_epochs(4)
+//!     .repeats(1)
+//!     .constraint(0.88)
+//!     .seed(1)
+//!     .build()?;
+//! reduce.characterize(grid, &exec)?;
 //! let fleet = generate_fleet(&FleetConfig {
 //!     chips: 2,
 //!     rows: 8,
@@ -50,7 +53,7 @@
 //!     model: FaultModel::Random,
 //!     seed: 2,
 //! })?;
-//! let report = reduce.deploy(&fleet, RetrainPolicy::Reduce(Statistic::Max))?;
+//! let report = reduce.deploy(&fleet, RetrainPolicy::Reduce(Statistic::Max), &exec)?;
 //! assert_eq!(report.chips.len(), 2);
 //! # Ok(())
 //! # }
@@ -70,17 +73,17 @@ mod framework;
 mod policy;
 pub mod report;
 mod resilience;
+pub mod telemetry;
 mod workbench;
 
 pub use error::{ReduceError, Result};
+pub use exec::ExecConfig;
 pub use fat::{FatOutcome, FatRunner, Mitigation, StopRule};
-pub use fleet::{
-    evaluate_fleet, evaluate_fleet_parallel, ChipOutcome, FleetEvalConfig, FleetReport,
-};
+pub use fleet::{evaluate_fleet, ChipOutcome, FleetEvalConfig, FleetReport};
 pub use framework::Reduce;
 pub use policy::RetrainPolicy;
 pub use resilience::{
-    RateSummary, ResilienceAnalysis, ResilienceConfig, ResiliencePoint, ResilienceTable, Selection,
-    Statistic, TableEntry,
+    RateSummary, ResilienceAnalysis, ResilienceConfig, ResilienceConfigBuilder, ResiliencePoint,
+    ResilienceTable, Selection, Statistic, TableEntry,
 };
 pub use workbench::{ModelSpec, OptimSpec, Pretrained, TaskSpec, TrainSpec, Workbench};

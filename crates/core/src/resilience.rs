@@ -14,8 +14,9 @@
 //!   amount for an arbitrary chip.
 
 use crate::error::{ReduceError, Result};
-use crate::exec;
+use crate::exec::{self, ExecConfig};
 use crate::fat::{FatRunner, Mitigation, StopRule};
+use crate::telemetry::{self, EpochScope, Event, Stage};
 use crate::workbench::Pretrained;
 use reduce_systolic::{FaultMap, FaultModel};
 use serde::{Deserialize, Serialize};
@@ -40,37 +41,195 @@ pub struct ResilienceConfig {
 }
 
 impl ResilienceConfig {
-    /// A sensible default grid up to `max_rate` with the paper's 5 repeats.
-    pub fn grid(max_rate: f64, points: usize, max_epochs: usize, constraint: f32) -> Self {
-        let fault_rates = (0..points)
-            .map(|i| max_rate * i as f64 / (points.max(2) - 1) as f64)
-            .collect();
-        ResilienceConfig {
-            fault_rates,
-            max_epochs,
-            repeats: 5,
-            constraint,
-            fault_model: FaultModel::Random,
-            strategy: Mitigation::Fap,
-            seed: 0xC0FFEE,
-        }
+    /// Starts building a characterisation config. Every invariant is
+    /// checked at [`ResilienceConfigBuilder::build`] — an empty grid,
+    /// non-finite rates, or zero points/repeats/epochs never reach
+    /// [`ResilienceAnalysis::run`].
+    pub fn builder() -> ResilienceConfigBuilder {
+        ResilienceConfigBuilder::default()
     }
 
     fn validate(&self) -> Result<()> {
         if self.fault_rates.is_empty()
             || self.repeats == 0
+            || self.max_epochs == 0
             || !(0.0..=1.0).contains(&self.constraint)
         {
             return Err(ReduceError::InvalidConfig {
                 what: format!(
-                    "resilience config rejected: {} rates, {} repeats, constraint {}",
+                    "resilience config rejected: {} rates, {} repeats, {} epochs, constraint {}",
                     self.fault_rates.len(),
                     self.repeats,
+                    self.max_epochs,
                     self.constraint
                 ),
             });
         }
+        for &rate in &self.fault_rates {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(ReduceError::InvalidConfig {
+                    what: format!("fault rate {rate} is not a probability"),
+                });
+            }
+        }
         Ok(())
+    }
+}
+
+/// Validated builder for [`ResilienceConfig`].
+///
+/// The grid is either explicit ([`ResilienceConfigBuilder::fault_rates`])
+/// or generated: `points` rates linearly spaced from 0 to
+/// [`ResilienceConfigBuilder::max_rate`]. Defaults match the paper: 4
+/// points up to rate 0.3, 5 repeats, 10 epochs, constraint 0.9.
+///
+/// # Examples
+///
+/// ```
+/// use reduce_core::ResilienceConfig;
+///
+/// # fn main() -> Result<(), reduce_core::ReduceError> {
+/// let config = ResilienceConfig::builder()
+///     .max_rate(0.25)
+///     .points(4)
+///     .max_epochs(10)
+///     .constraint(0.9)
+///     .build()?;
+/// assert_eq!(config.fault_rates.len(), 4);
+/// assert!(ResilienceConfig::builder().points(0).build().is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResilienceConfigBuilder {
+    fault_rates: Option<Vec<f64>>,
+    max_rate: f64,
+    points: usize,
+    max_epochs: usize,
+    repeats: usize,
+    constraint: f32,
+    fault_model: FaultModel,
+    strategy: Mitigation,
+    seed: u64,
+}
+
+impl Default for ResilienceConfigBuilder {
+    fn default() -> Self {
+        ResilienceConfigBuilder {
+            fault_rates: None,
+            max_rate: 0.3,
+            points: 4,
+            max_epochs: 10,
+            repeats: 5,
+            constraint: 0.9,
+            fault_model: FaultModel::Random,
+            strategy: Mitigation::Fap,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl ResilienceConfigBuilder {
+    /// Uses an explicit rate grid instead of the generated linear one.
+    #[must_use]
+    pub fn fault_rates(mut self, rates: Vec<f64>) -> Self {
+        self.fault_rates = Some(rates);
+        self
+    }
+
+    /// Top of the generated linear grid (ignored with explicit rates).
+    #[must_use]
+    pub fn max_rate(mut self, max_rate: f64) -> Self {
+        self.max_rate = max_rate;
+        self
+    }
+
+    /// Number of generated grid points (ignored with explicit rates).
+    #[must_use]
+    pub fn points(mut self, points: usize) -> Self {
+        self.points = points;
+        self
+    }
+
+    /// Maximum FAT epochs measured at each rate.
+    #[must_use]
+    pub fn max_epochs(mut self, max_epochs: usize) -> Self {
+        self.max_epochs = max_epochs;
+        self
+    }
+
+    /// Independent fault maps per rate (the paper uses 5).
+    #[must_use]
+    pub fn repeats(mut self, repeats: usize) -> Self {
+        self.repeats = repeats;
+        self
+    }
+
+    /// The user's accuracy constraint.
+    #[must_use]
+    pub fn constraint(mut self, constraint: f32) -> Self {
+        self.constraint = constraint;
+        self
+    }
+
+    /// Spatial fault model for the injected maps.
+    #[must_use]
+    pub fn fault_model(mut self, fault_model: FaultModel) -> Self {
+        self.fault_model = fault_model;
+        self
+    }
+
+    /// Mitigation strategy characterised.
+    #[must_use]
+    pub fn strategy(mut self, strategy: Mitigation) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Master seed for the injected fault maps.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReduceError::InvalidConfig`] for an empty or non-finite
+    /// grid, `points == 0`, a non-finite or out-of-range `max_rate`, zero
+    /// repeats or epochs, or a constraint outside `[0, 1]`.
+    pub fn build(self) -> Result<ResilienceConfig> {
+        let fault_rates = match self.fault_rates {
+            Some(rates) => rates,
+            None => {
+                if self.points == 0 {
+                    return Err(ReduceError::InvalidConfig {
+                        what: "a generated grid needs points >= 1".to_string(),
+                    });
+                }
+                if !self.max_rate.is_finite() || !(0.0..=1.0).contains(&self.max_rate) {
+                    return Err(ReduceError::InvalidConfig {
+                        what: format!("max_rate {} is not a probability", self.max_rate),
+                    });
+                }
+                (0..self.points)
+                    .map(|i| self.max_rate * i as f64 / (self.points.max(2) - 1) as f64)
+                    .collect()
+            }
+        };
+        let config = ResilienceConfig {
+            fault_rates,
+            max_epochs: self.max_epochs,
+            repeats: self.repeats,
+            constraint: self.constraint,
+            fault_model: self.fault_model,
+            strategy: self.strategy,
+            seed: self.seed,
+        };
+        config.validate()?;
+        Ok(config)
     }
 }
 
@@ -126,42 +285,14 @@ impl ResilienceAnalysis {
     /// retraining experiments, each measuring the full accuracy-per-epoch
     /// curve.
     ///
-    /// # Errors
-    ///
-    /// Propagates configuration and training errors.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use reduce_core::{FatRunner, ResilienceAnalysis, ResilienceConfig, Workbench};
-    ///
-    /// # fn main() -> Result<(), reduce_core::ReduceError> {
-    /// let workbench = Workbench::toy(1);
-    /// let pretrained = workbench.pretrain(5)?;
-    /// let runner = FatRunner::new(workbench)?;
-    /// let mut config = ResilienceConfig::grid(0.2, 2, 2, 0.85);
-    /// config.repeats = 1;
-    /// let analysis = ResilienceAnalysis::run(&runner, &pretrained, config)?;
-    /// assert_eq!(analysis.summaries().len(), 2);
-    /// # Ok(())
-    /// # }
-    /// ```
-    pub fn run(
-        runner: &FatRunner,
-        pretrained: &Pretrained,
-        config: ResilienceConfig,
-    ) -> Result<Self> {
-        Self::run_parallel(runner, pretrained, config, 1)
-    }
-
-    /// Parallel variant of [`ResilienceAnalysis::run`]: the
-    /// `(rate, repeat)` grid is fanned out over `threads` workers on the
-    /// shared deterministic executor ([`crate::exec`]). Every grid cell is
+    /// The grid is fanned out over `exec.threads` workers on the shared
+    /// deterministic executor ([`crate::exec`]). Every grid cell is
     /// independently seeded from `(rate index, repeat)` and the executor
     /// returns cells in grid order, so points, summaries and the derived
-    /// table are byte-identical to the sequential run regardless of thread
-    /// count. `threads == 0` auto-sizes from the available hardware
-    /// parallelism.
+    /// table are byte-identical to a sequential run regardless of thread
+    /// count. `exec`'s observer receives a `Characterize` stage pair,
+    /// per-epoch ticks, and one [`Event::PointFinished`] per grid cell,
+    /// flushed in grid order.
     ///
     /// # Errors
     ///
@@ -171,26 +302,33 @@ impl ResilienceAnalysis {
     /// # Examples
     ///
     /// ```
+    /// use reduce_core::exec::ExecConfig;
     /// use reduce_core::{FatRunner, ResilienceAnalysis, ResilienceConfig, Workbench};
     ///
     /// # fn main() -> Result<(), reduce_core::ReduceError> {
     /// let workbench = Workbench::toy(1);
     /// let pretrained = workbench.pretrain(5)?;
     /// let runner = FatRunner::new(workbench)?;
-    /// let mut config = ResilienceConfig::grid(0.2, 2, 2, 0.85);
-    /// config.repeats = 2;
+    /// let config = ResilienceConfig::builder()
+    ///     .max_rate(0.2)
+    ///     .points(2)
+    ///     .max_epochs(2)
+    ///     .repeats(2)
+    ///     .constraint(0.85)
+    ///     .build()?;
     /// let parallel =
-    ///     ResilienceAnalysis::run_parallel(&runner, &pretrained, config.clone(), 2)?;
-    /// let sequential = ResilienceAnalysis::run(&runner, &pretrained, config)?;
+    ///     ResilienceAnalysis::run(&runner, &pretrained, config.clone(), &ExecConfig::new(2))?;
+    /// let sequential =
+    ///     ResilienceAnalysis::run(&runner, &pretrained, config, &ExecConfig::default())?;
     /// assert_eq!(parallel.points(), sequential.points());
     /// # Ok(())
     /// # }
     /// ```
-    pub fn run_parallel(
+    pub fn run(
         runner: &FatRunner,
         pretrained: &Pretrained,
         config: ResilienceConfig,
-        threads: usize,
+        exec: &ExecConfig,
     ) -> Result<Self> {
         config.validate()?;
         let mut rates = config.fault_rates.clone();
@@ -202,28 +340,59 @@ impl ResilienceAnalysis {
             .enumerate()
             .flat_map(|(ri, &rate)| (0..config.repeats).map(move |rep| (ri, rate, rep)))
             .collect();
-        let points = exec::parallel_map(&cells, threads, |_, &(ri, rate, rep)| {
-            let map_seed = config
-                .seed
-                .wrapping_add((ri as u64) << 32)
-                .wrapping_add(rep as u64);
-            let map = FaultMap::generate(rows, cols, rate, config.fault_model, map_seed)?;
-            let outcome = runner.run(
-                pretrained,
-                &map,
-                config.max_epochs,
-                StopRule::Exact,
-                config.strategy,
-                map_seed ^ 0x5EED,
-            )?;
-            Ok(ResiliencePoint {
-                rate_index: ri,
-                rate,
-                repeat: rep,
-                pre_retrain_accuracy: outcome.pre_retrain_accuracy,
-                epochs_to_constraint: outcome.epochs_to_reach(config.constraint),
-                accuracy_after_epoch: outcome.accuracy_after_epoch,
-            })
+        let points = telemetry::timed_stage(exec.observer(), Stage::Characterize, || {
+            exec::parallel_map_traced(
+                &cells,
+                exec.threads,
+                exec.observer(),
+                |_, &(ri, rate, rep), events| {
+                    let map_seed = config
+                        .seed
+                        .wrapping_add((ri as u64) << 32)
+                        .wrapping_add(rep as u64);
+                    let map = FaultMap::generate(rows, cols, rate, config.fault_model, map_seed)?;
+                    let outcome = runner.run_observed(
+                        pretrained,
+                        &map,
+                        config.max_epochs,
+                        StopRule::Exact,
+                        config.strategy,
+                        map_seed ^ 0x5EED,
+                        &mut |epoch, accuracy| {
+                            events.push(Event::EpochCompleted {
+                                scope: EpochScope::Point {
+                                    rate_index: ri,
+                                    repeat: rep,
+                                },
+                                epoch,
+                                accuracy,
+                            });
+                        },
+                    )?;
+                    let final_accuracy = outcome
+                        .accuracy_after_epoch
+                        .last()
+                        .copied()
+                        .unwrap_or(outcome.pre_retrain_accuracy);
+                    let epochs_to_constraint = outcome.epochs_to_reach(config.constraint);
+                    events.push(Event::PointFinished {
+                        rate_index: ri,
+                        rate,
+                        repeat: rep,
+                        epochs_to_constraint,
+                        pre_retrain_accuracy: outcome.pre_retrain_accuracy,
+                        final_accuracy,
+                    });
+                    Ok(ResiliencePoint {
+                        rate_index: ri,
+                        rate,
+                        repeat: rep,
+                        pre_retrain_accuracy: outcome.pre_retrain_accuracy,
+                        epochs_to_constraint,
+                        accuracy_after_epoch: outcome.accuracy_after_epoch,
+                    })
+                },
+            )
         })?;
         let summaries = summarise(&rates, &points, &config);
         Ok(ResilienceAnalysis {
@@ -676,24 +845,70 @@ mod tests {
     }
 
     #[test]
-    fn grid_constructor() {
-        let c = ResilienceConfig::grid(0.3, 4, 10, 0.91);
+    fn builder_generates_the_linear_grid() {
+        let c = ResilienceConfig::builder()
+            .max_rate(0.3)
+            .points(4)
+            .max_epochs(10)
+            .constraint(0.91)
+            .build()
+            .expect("valid");
         assert_eq!(c.fault_rates.len(), 4);
         assert!((c.fault_rates[0] - 0.0).abs() < 1e-12);
         assert!((c.fault_rates[3] - 0.3).abs() < 1e-12);
-        assert_eq!(c.repeats, 5);
+        assert_eq!(c.repeats, 5, "paper default");
+        assert_eq!(c.seed, 0xC0FFEE, "stable default seed");
+    }
+
+    #[test]
+    fn builder_accepts_explicit_rates() {
+        let c = ResilienceConfig::builder()
+            .fault_rates(vec![0.0, 0.05, 0.2])
+            .repeats(1)
+            .build()
+            .expect("valid");
+        assert_eq!(c.fault_rates, vec![0.0, 0.05, 0.2]);
+        assert_eq!(c.repeats, 1);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs_at_construction() {
+        assert!(ResilienceConfig::builder().points(0).build().is_err());
+        assert!(ResilienceConfig::builder()
+            .max_rate(f64::NAN)
+            .build()
+            .is_err());
+        assert!(ResilienceConfig::builder().max_rate(1.5).build().is_err());
+        assert!(ResilienceConfig::builder().repeats(0).build().is_err());
+        assert!(ResilienceConfig::builder().max_epochs(0).build().is_err());
+        assert!(ResilienceConfig::builder().constraint(1.5).build().is_err());
+        assert!(ResilienceConfig::builder()
+            .fault_rates(vec![])
+            .build()
+            .is_err());
+        assert!(ResilienceConfig::builder()
+            .fault_rates(vec![0.1, f64::INFINITY])
+            .build()
+            .is_err());
+        assert!(ResilienceConfig::builder()
+            .fault_rates(vec![-0.1])
+            .build()
+            .is_err());
     }
 
     #[test]
     fn config_validation() {
-        let mut c = ResilienceConfig::grid(0.3, 4, 10, 0.91);
+        let mut c = ResilienceConfig::builder().build().expect("valid");
         c.repeats = 0;
         assert!(c.validate().is_err());
-        let mut c = ResilienceConfig::grid(0.3, 4, 10, 0.91);
+        let mut c = ResilienceConfig::builder().build().expect("valid");
         c.constraint = 1.5;
         assert!(c.validate().is_err());
-        let mut c = ResilienceConfig::grid(0.3, 4, 10, 0.91);
+        let mut c = ResilienceConfig::builder().build().expect("valid");
         c.fault_rates.clear();
+        assert!(c.validate().is_err());
+        let mut c = ResilienceConfig::builder().build().expect("valid");
+        c.fault_rates.push(f64::NAN);
         assert!(c.validate().is_err());
     }
 

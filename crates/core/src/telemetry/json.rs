@@ -1,0 +1,397 @@
+//! Minimal hand-rolled JSON support for the telemetry artifacts.
+//!
+//! The workspace's vendored `serde` is an inert shim (the derives expand
+//! to nothing and there is no `serde_json`), so the run-log lines and
+//! `manifest.json` are written and parsed by this module instead. The
+//! writer is deterministic: struct-driven key order and Rust's
+//! shortest-round-trip float formatting, so identical inputs always
+//! produce identical bytes — the property the cross-thread run-log diff
+//! in CI depends on.
+
+use crate::error::{ReduceError, Result};
+
+/// A parsed JSON value. Numbers keep their raw source text so integer
+/// fields (e.g. 64-bit seeds) survive a round trip without passing
+/// through `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its raw token text.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with source-ordered fields.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a field of an object value.
+    pub(crate) fn field(&self, name: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value parsed as `u64`, if it is an integral number.
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value parsed as `usize`, if it is an integral number.
+    pub(crate) fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value parsed as `f64`, if it is a number.
+    pub(crate) fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    #[cfg(test)]
+    pub(crate) fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal (quoted and escaped).
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite float with Rust's deterministic shortest-round-trip
+/// formatting; non-finite values (which valid telemetry never produces)
+/// degrade to `null`.
+pub(crate) fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// `f32` variant of [`push_json_f64`] (formats at `f32` precision, so
+/// `0.9f32` prints as `0.9`, not its `f64` widening).
+pub(crate) fn push_json_f32(out: &mut String, v: f32) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Parses one JSON document (object, array or scalar), rejecting
+/// trailing garbage.
+pub(crate) fn parse(text: &str) -> Result<JsonValue> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.error("trailing characters after the JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, what: &str) -> ReduceError {
+        ReduceError::InvalidConfig {
+            what: format!("malformed JSON at byte {}: {what}", self.pos),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<()> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue> {
+        let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
+        if rest.starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(JsonValue::Obj(fields)),
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(JsonValue::Arr(items)),
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = self
+                            .bytes
+                            .get(self.pos..self.pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| self.error("bad \\u escape"))?;
+                        self.pos += 4;
+                        // Surrogates never appear in our own output;
+                        // degrade them to the replacement character.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.error("unknown escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.error("control character in string")),
+                Some(b) => {
+                    // Re-assemble multi-byte UTF-8 (input is a &str, so the
+                    // continuation bytes are guaranteed well-formed).
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    self.pos = (start + len).min(self.bytes.len());
+                    let chunk = self
+                        .bytes
+                        .get(start..self.pos)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.error("invalid UTF-8 sequence"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let raw = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|c| std::str::from_utf8(c).ok())
+            .ok_or_else(|| self.error("bad number"))?;
+        if raw.parse::<f64>().is_err() {
+            return Err(self.error(&format!("bad number {raw:?}")));
+        }
+        Ok(JsonValue::Num(raw.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(parse("null").expect("valid"), JsonValue::Null);
+        assert_eq!(parse(" true ").expect("valid"), JsonValue::Bool(true));
+        assert_eq!(parse("false").expect("valid"), JsonValue::Bool(false));
+        assert_eq!(
+            parse("-12.5e3").expect("valid"),
+            JsonValue::Num("-12.5e3".to_string())
+        );
+        assert_eq!(
+            parse("\"a\\nb\"").expect("valid"),
+            JsonValue::Str("a\nb".to_string())
+        );
+    }
+
+    #[test]
+    fn integers_do_not_lose_precision() {
+        // 2^63 + 1 is not representable in f64; the raw token keeps it.
+        let v = parse("9223372036854775809").expect("valid");
+        assert_eq!(v.as_u64(), Some(9223372036854775809));
+    }
+
+    #[test]
+    fn objects_and_arrays() {
+        let v = parse(r#"{"a": [1, 2], "b": {"c": null}, "s": "x"}"#).expect("valid");
+        assert_eq!(
+            v.field("a"),
+            Some(&JsonValue::Arr(vec![
+                JsonValue::Num("1".to_string()),
+                JsonValue::Num("2".to_string()),
+            ]))
+        );
+        assert!(v
+            .field("b")
+            .and_then(|b| b.field("c"))
+            .expect("present")
+            .is_null());
+        assert_eq!(v.field("s").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(v.field("missing"), None);
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "nul",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1,}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let original = "quote \" slash \\ newline \n tab \t unicode é✓";
+        let mut encoded = String::new();
+        push_json_string(&mut encoded, original);
+        let back = parse(&encoded).expect("own encoding");
+        assert_eq!(back.as_str(), Some(original));
+    }
+
+    #[test]
+    fn float_formatting_is_shortest_round_trip() {
+        let mut out = String::new();
+        push_json_f64(&mut out, 0.1);
+        assert_eq!(out, "0.1");
+        let mut out = String::new();
+        push_json_f32(&mut out, 0.9f32);
+        assert_eq!(out, "0.9");
+        let mut out = String::new();
+        push_json_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+}

@@ -1,0 +1,441 @@
+//! Run manifests: one `manifest.json` per bench run recording everything
+//! needed to reproduce its artifacts — workbench spec, seeds, grid
+//! configuration, policies, thread count, and crate version.
+
+use super::json::{self, push_json_f32, push_json_f64, push_json_string, JsonValue};
+use crate::error::{ReduceError, Result};
+use crate::resilience::ResilienceConfig;
+use reduce_systolic::FleetConfig;
+use std::path::Path;
+
+/// Manifest format version, bumped on incompatible field changes.
+const FORMAT_VERSION: u64 = 1;
+
+/// The Step-① grid a run characterised, as recorded in its manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridManifest {
+    /// The injected fault rates.
+    pub fault_rates: Vec<f64>,
+    /// Measured retraining budget per cell.
+    pub max_epochs: usize,
+    /// Repeats per rate.
+    pub repeats: usize,
+    /// The user accuracy constraint.
+    pub constraint: f32,
+    /// Spatial fault model (Debug-formatted).
+    pub fault_model: String,
+    /// Mitigation strategy (Debug-formatted).
+    pub strategy: String,
+    /// Master seed for fault-map generation.
+    pub seed: u64,
+}
+
+impl GridManifest {
+    /// Records a characterisation config.
+    pub fn from_config(config: &ResilienceConfig) -> Self {
+        GridManifest {
+            fault_rates: config.fault_rates.clone(),
+            max_epochs: config.max_epochs,
+            repeats: config.repeats,
+            constraint: config.constraint,
+            fault_model: format!("{:?}", config.fault_model),
+            strategy: format!("{:?}", config.strategy),
+            seed: config.seed,
+        }
+    }
+}
+
+/// The Step-③ fleet a run deployed to, as recorded in its manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetManifest {
+    /// Number of chips.
+    pub chips: usize,
+    /// Array rows per chip.
+    pub rows: usize,
+    /// Array columns per chip.
+    pub cols: usize,
+    /// Fault-rate distribution (Debug-formatted).
+    pub rates: String,
+    /// Spatial fault model (Debug-formatted).
+    pub model: String,
+    /// Master fleet seed.
+    pub seed: u64,
+}
+
+impl FleetManifest {
+    /// Records a fleet-generation config.
+    pub fn from_config(config: &FleetConfig) -> Self {
+        FleetManifest {
+            chips: config.chips,
+            rows: config.rows,
+            cols: config.cols,
+            rates: format!("{:?}", config.rates),
+            model: format!("{:?}", config.model),
+            seed: config.seed,
+        }
+    }
+}
+
+/// Everything needed to reproduce a bench run's artifacts.
+///
+/// Serialised as pretty-printed JSON with struct-driven key order, so a
+/// manifest's bytes are deterministic for a given run configuration. The
+/// `threads` field is the one knob that does not influence results (the
+/// executor is deterministic); runs that redact timing set it to `None`
+/// so redacted artifacts stay byte-identical across thread counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// The producing binary (e.g. `fig2`, `ablation:grid`).
+    pub tool: String,
+    /// `reduce-core` crate version.
+    pub crate_version: String,
+    /// Bench scale preset (`smoke`, `default`, `full`).
+    pub scale: String,
+    /// Worker thread count; `None` when timing is redacted (thread count
+    /// never affects results, only wall-clock).
+    pub threads: Option<usize>,
+    /// The user accuracy constraint.
+    pub constraint: f32,
+    /// Workbench spec (Debug-formatted model + dataset description).
+    pub workbench: String,
+    /// Characterisation grid, when the run performed Step ①.
+    pub grid: Option<GridManifest>,
+    /// Retraining policies evaluated, in evaluation order.
+    pub policies: Vec<String>,
+    /// Deployed fleet, when the run performed Step ③.
+    pub fleet: Option<FleetManifest>,
+}
+
+impl RunManifest {
+    /// Starts a manifest for `tool` at `scale`; the crate version is
+    /// stamped automatically.
+    pub fn new(tool: &str, scale: &str) -> Self {
+        RunManifest {
+            tool: tool.to_string(),
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            scale: scale.to_string(),
+            threads: None,
+            constraint: 0.0,
+            workbench: String::new(),
+            grid: None,
+            policies: Vec::new(),
+            fleet: None,
+        }
+    }
+
+    /// Serialises the manifest as pretty-printed, key-order-stable JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str("{\n");
+        push_field(&mut s, "format_version", &FORMAT_VERSION.to_string());
+        push_str_field(&mut s, "tool", &self.tool);
+        push_str_field(&mut s, "crate_version", &self.crate_version);
+        push_str_field(&mut s, "scale", &self.scale);
+        match self.threads {
+            Some(t) => push_field(&mut s, "threads", &t.to_string()),
+            None => push_field(&mut s, "threads", "null"),
+        }
+        let mut constraint = String::new();
+        push_json_f32(&mut constraint, self.constraint);
+        push_field(&mut s, "constraint", &constraint);
+        push_str_field(&mut s, "workbench", &self.workbench);
+        match &self.grid {
+            Some(grid) => {
+                s.push_str("  \"grid\": {\n");
+                let mut rates = String::from("[");
+                for (i, r) in grid.fault_rates.iter().enumerate() {
+                    if i > 0 {
+                        rates.push_str(", ");
+                    }
+                    push_json_f64(&mut rates, *r);
+                }
+                rates.push(']');
+                push_nested_field(&mut s, "fault_rates", &rates);
+                push_nested_field(&mut s, "max_epochs", &grid.max_epochs.to_string());
+                push_nested_field(&mut s, "repeats", &grid.repeats.to_string());
+                let mut c = String::new();
+                push_json_f32(&mut c, grid.constraint);
+                push_nested_field(&mut s, "constraint", &c);
+                push_nested_str_field(&mut s, "fault_model", &grid.fault_model);
+                push_nested_str_field(&mut s, "strategy", &grid.strategy);
+                push_nested_field_last(&mut s, "seed", &grid.seed.to_string());
+                s.push_str("  },\n");
+            }
+            None => s.push_str("  \"grid\": null,\n"),
+        }
+        let mut policies = String::from("[");
+        for (i, p) in self.policies.iter().enumerate() {
+            if i > 0 {
+                policies.push_str(", ");
+            }
+            push_json_string(&mut policies, p);
+        }
+        policies.push(']');
+        push_field(&mut s, "policies", &policies);
+        match &self.fleet {
+            Some(fleet) => {
+                s.push_str("  \"fleet\": {\n");
+                push_nested_field(&mut s, "chips", &fleet.chips.to_string());
+                push_nested_field(&mut s, "rows", &fleet.rows.to_string());
+                push_nested_field(&mut s, "cols", &fleet.cols.to_string());
+                push_nested_str_field(&mut s, "rates", &fleet.rates);
+                push_nested_str_field(&mut s, "model", &fleet.model);
+                push_nested_field_last(&mut s, "seed", &fleet.seed.to_string());
+                s.push_str("  }\n");
+            }
+            None => s.push_str("  \"fleet\": null\n"),
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Parses a manifest previously produced by [`RunManifest::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReduceError::InvalidConfig`] on malformed JSON, a
+    /// missing field, or an unsupported `format_version`.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let doc = json::parse(text)?;
+        let version = require_u64(&doc, "format_version")?;
+        if version != FORMAT_VERSION {
+            return Err(invalid(&format!(
+                "unsupported manifest format_version {version} (expected {FORMAT_VERSION})"
+            )));
+        }
+        let grid = match doc.field("grid") {
+            None | Some(JsonValue::Null) => None,
+            Some(g) => Some(GridManifest {
+                fault_rates: require_f64_array(g, "fault_rates")?,
+                max_epochs: require_usize(g, "max_epochs")?,
+                repeats: require_usize(g, "repeats")?,
+                constraint: require_f64(g, "constraint")? as f32,
+                fault_model: require_str(g, "fault_model")?,
+                strategy: require_str(g, "strategy")?,
+                seed: require_u64(g, "seed")?,
+            }),
+        };
+        let fleet = match doc.field("fleet") {
+            None | Some(JsonValue::Null) => None,
+            Some(f) => Some(FleetManifest {
+                chips: require_usize(f, "chips")?,
+                rows: require_usize(f, "rows")?,
+                cols: require_usize(f, "cols")?,
+                rates: require_str(f, "rates")?,
+                model: require_str(f, "model")?,
+                seed: require_u64(f, "seed")?,
+            }),
+        };
+        let policies = match doc.field("policies") {
+            Some(JsonValue::Arr(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(
+                        item.as_str()
+                            .ok_or_else(|| invalid("non-string entry in `policies`"))?
+                            .to_string(),
+                    );
+                }
+                out
+            }
+            _ => return Err(invalid("manifest field `policies` missing or not an array")),
+        };
+        Ok(RunManifest {
+            tool: require_str(&doc, "tool")?,
+            crate_version: require_str(&doc, "crate_version")?,
+            scale: require_str(&doc, "scale")?,
+            threads: match doc.field("threads") {
+                None | Some(JsonValue::Null) => None,
+                Some(t) => Some(
+                    t.as_usize()
+                        .ok_or_else(|| invalid("manifest field `threads` is not an integer"))?,
+                ),
+            },
+            constraint: require_f64(&doc, "constraint")? as f32,
+            workbench: require_str(&doc, "workbench")?,
+            grid,
+            policies,
+            fleet,
+        })
+    }
+
+    /// Writes the manifest to `path` (creating parent directories).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReduceError::InvalidConfig`] wrapping the I/O failure.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(path, self.to_json())
+            .map_err(|e| invalid(&format!("cannot write manifest {}: {e}", path.display())))
+    }
+
+    /// Reads and parses a manifest from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReduceError::InvalidConfig`] on I/O or parse failure.
+    pub fn load(path: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| invalid(&format!("cannot read manifest {}: {e}", path.display())))?;
+        Self::from_json(&text)
+    }
+}
+
+fn invalid(what: &str) -> ReduceError {
+    ReduceError::InvalidConfig {
+        what: what.to_string(),
+    }
+}
+
+fn push_field(out: &mut String, key: &str, raw: &str) {
+    out.push_str(&format!("  \"{key}\": {raw},\n"));
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(&format!("  \"{key}\": "));
+    push_json_string(out, value);
+    out.push_str(",\n");
+}
+
+fn push_nested_field(out: &mut String, key: &str, raw: &str) {
+    out.push_str(&format!("    \"{key}\": {raw},\n"));
+}
+
+fn push_nested_field_last(out: &mut String, key: &str, raw: &str) {
+    out.push_str(&format!("    \"{key}\": {raw}\n"));
+}
+
+fn push_nested_str_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(&format!("    \"{key}\": "));
+    push_json_string(out, value);
+    out.push_str(",\n");
+}
+
+fn require_str(doc: &JsonValue, key: &str) -> Result<String> {
+    doc.field(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| invalid(&format!("manifest field `{key}` missing or not a string")))
+}
+
+fn require_u64(doc: &JsonValue, key: &str) -> Result<u64> {
+    doc.field(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| invalid(&format!("manifest field `{key}` missing or not an integer")))
+}
+
+fn require_usize(doc: &JsonValue, key: &str) -> Result<usize> {
+    doc.field(key)
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| invalid(&format!("manifest field `{key}` missing or not an integer")))
+}
+
+fn require_f64(doc: &JsonValue, key: &str) -> Result<f64> {
+    doc.field(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| invalid(&format!("manifest field `{key}` missing or not a number")))
+}
+
+fn require_f64_array(doc: &JsonValue, key: &str) -> Result<Vec<f64>> {
+    match doc.field(key) {
+        Some(JsonValue::Arr(items)) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(
+                    item.as_f64()
+                        .ok_or_else(|| invalid(&format!("non-number in `{key}`")))?,
+                );
+            }
+            Ok(out)
+        }
+        _ => Err(invalid(&format!(
+            "manifest field `{key}` missing or not an array"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        let mut m = RunManifest::new("fig3", "smoke");
+        m.threads = Some(4);
+        m.constraint = 0.91;
+        m.workbench = "TwoMoons 16x16".to_string();
+        m.grid = Some(GridManifest {
+            fault_rates: vec![0.0, 0.1, 0.25],
+            max_epochs: 10,
+            repeats: 5,
+            constraint: 0.91,
+            fault_model: "Random".to_string(),
+            strategy: "Fap".to_string(),
+            seed: 0xC0FFEE,
+        });
+        m.policies = vec!["reduce-max".to_string(), "fixed:4".to_string()];
+        m.fleet = Some(FleetManifest {
+            chips: 20,
+            rows: 16,
+            cols: 16,
+            rates: "Uniform { lo: 0.0, hi: 0.25 }".to_string(),
+            model: "Random".to_string(),
+            seed: 0xF1EE7,
+        });
+        m
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let m = sample();
+        let parsed = RunManifest::from_json(&m.to_json()).expect("own output parses");
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn round_trips_without_optional_sections() {
+        let mut m = RunManifest::new("fig2", "default");
+        m.constraint = 0.9;
+        m.workbench = "wb".to_string();
+        let parsed = RunManifest::from_json(&m.to_json()).expect("own output parses");
+        assert_eq!(parsed, m);
+        assert!(parsed.threads.is_none());
+        assert!(parsed.grid.is_none());
+        assert!(parsed.fleet.is_none());
+    }
+
+    #[test]
+    fn serialisation_is_deterministic() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn version_is_stamped_and_checked() {
+        let m = RunManifest::new("fig2", "smoke");
+        assert_eq!(m.crate_version, env!("CARGO_PKG_VERSION"));
+        let doc = m
+            .to_json()
+            .replace("\"format_version\": 1", "\"format_version\": 999");
+        let err = RunManifest::from_json(&doc).expect_err("future versions rejected");
+        assert!(err.to_string().contains("format_version"));
+    }
+
+    #[test]
+    fn missing_fields_error() {
+        let err = RunManifest::from_json("{\"format_version\": 1}").expect_err("incomplete");
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn save_and_load() {
+        let dir = std::env::temp_dir().join("reduce_manifest_test");
+        let path = dir.join("manifest.json");
+        let m = sample();
+        m.save(&path).expect("temp dir writable");
+        let back = RunManifest::load(&path).expect("just written");
+        assert_eq!(back, m);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

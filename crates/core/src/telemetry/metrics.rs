@@ -1,0 +1,307 @@
+//! The [`MetricsRecorder`] sink: in-memory counters and min/mean/max
+//! aggregates, rendered as the closing summary of the bench binaries.
+
+use super::{Event, Observer};
+use std::sync::Mutex;
+
+/// Aggregate of one observed quantity: count, total, min, mean, max.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatSummary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sum of observations.
+    pub total: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+/// Running min/total/max accumulator behind [`StatSummary`].
+#[derive(Debug, Clone, Default)]
+struct Accumulator {
+    count: usize,
+    total: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.total += v;
+    }
+
+    fn summary(&self) -> StatSummary {
+        StatSummary {
+            count: self.count,
+            total: self.total,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            mean: if self.count == 0 {
+                0.0
+            } else {
+                self.total / self.count as f64
+            },
+            max: if self.count == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
+/// A point-in-time copy of everything the recorder has aggregated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Wall-clock seconds per completed stage, in the order stages
+    /// finished (untimed stages — redacted or failed — do not appear).
+    pub stage_seconds: Vec<(String, StatSummary)>,
+    /// Total FAT epochs ticked ([`Event::EpochCompleted`]).
+    pub epochs_completed: usize,
+    /// Grid cells finished ([`Event::PointFinished`]).
+    pub points_finished: usize,
+    /// Fleet chips retrained ([`Event::ChipRetrained`]).
+    pub chips_retrained: usize,
+    /// Of those, chips whose deployed accuracy met the constraint.
+    pub chips_satisfied: usize,
+    /// Epochs actually run per fleet chip.
+    pub epochs_per_chip: StatSummary,
+    /// Epochs-to-constraint over grid cells that reached it.
+    pub epochs_to_constraint: StatSummary,
+}
+
+#[derive(Debug, Default)]
+struct MetricsState {
+    // Insertion-ordered Vec, not a HashMap: `render` output must be
+    // deterministic and stage count is tiny.
+    stage_seconds: Vec<(String, Accumulator)>,
+    epochs_completed: usize,
+    points_finished: usize,
+    chips_retrained: usize,
+    chips_satisfied: usize,
+    epochs_per_chip: Accumulator,
+    epochs_to_constraint: Accumulator,
+}
+
+/// An [`Observer`] that aggregates counters and stat summaries in memory.
+///
+/// This replaces the ad-hoc `Instant::now()` stage timers the bench
+/// binaries used to carry: attach one recorder, run the pipeline, then
+/// [`MetricsRecorder::render`] the closing table.
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    state: Mutex<MetricsState>,
+}
+
+impl MetricsRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_state<R>(&self, f: impl FnOnce(&mut MetricsState) -> R) -> R {
+        let mut state = match self.state.lock() {
+            Ok(state) => state,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        f(&mut state)
+    }
+
+    /// Copies out the current aggregates.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.with_state(|s| MetricsSnapshot {
+            stage_seconds: s
+                .stage_seconds
+                .iter()
+                .map(|(name, acc)| (name.clone(), acc.summary()))
+                .collect(),
+            epochs_completed: s.epochs_completed,
+            points_finished: s.points_finished,
+            chips_retrained: s.chips_retrained,
+            chips_satisfied: s.chips_satisfied,
+            epochs_per_chip: s.epochs_per_chip.summary(),
+            epochs_to_constraint: s.epochs_to_constraint.summary(),
+        })
+    }
+
+    /// Renders the aggregates as a small fixed-width text table.
+    pub fn render(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::from("== telemetry ==\n");
+        for (stage, stat) in &snap.stage_seconds {
+            out.push_str(&format!("stage {stage:<13} {:>9.2}s\n", stat.total));
+        }
+        out.push_str(&format!(
+            "epochs completed   {:>6}\n",
+            snap.epochs_completed
+        ));
+        if snap.points_finished > 0 {
+            out.push_str(&format!("points finished    {:>6}\n", snap.points_finished));
+            if snap.epochs_to_constraint.count > 0 {
+                out.push_str(&format!(
+                    "epochs-to-constraint (reached {}/{}) min {:.1} mean {:.1} max {:.1}\n",
+                    snap.epochs_to_constraint.count,
+                    snap.points_finished,
+                    snap.epochs_to_constraint.min,
+                    snap.epochs_to_constraint.mean,
+                    snap.epochs_to_constraint.max,
+                ));
+            }
+        }
+        if snap.chips_retrained > 0 {
+            out.push_str(&format!(
+                "chips retrained    {:>6} ({} satisfied)\n",
+                snap.chips_retrained, snap.chips_satisfied
+            ));
+            out.push_str(&format!(
+                "epochs per chip    min {:.1} mean {:.1} max {:.1}\n",
+                snap.epochs_per_chip.min, snap.epochs_per_chip.mean, snap.epochs_per_chip.max,
+            ));
+        }
+        out
+    }
+}
+
+impl Observer for MetricsRecorder {
+    fn on_event(&self, event: &Event) {
+        self.with_state(|s| match event {
+            Event::StageStarted { .. } => {}
+            Event::StageFinished { stage, seconds } => {
+                if let Some(secs) = seconds {
+                    let name = stage.name();
+                    let slot = match s.stage_seconds.iter_mut().find(|(n, _)| n == name) {
+                        Some((_, acc)) => acc,
+                        None => {
+                            s.stage_seconds
+                                .push((name.to_string(), Accumulator::default()));
+                            match s.stage_seconds.last_mut() {
+                                Some((_, acc)) => acc,
+                                None => return, // unreachable: just pushed
+                            }
+                        }
+                    };
+                    slot.observe(*secs);
+                }
+            }
+            Event::EpochCompleted { scope, .. } => {
+                s.epochs_completed += 1;
+                let _ = scope; // scope is informational for this sink
+            }
+            Event::PointFinished {
+                epochs_to_constraint,
+                ..
+            } => {
+                s.points_finished += 1;
+                if let Some(epochs) = epochs_to_constraint {
+                    s.epochs_to_constraint.observe(*epochs as f64);
+                }
+            }
+            Event::ChipRetrained {
+                epochs_run,
+                satisfied,
+                ..
+            } => {
+                s.chips_retrained += 1;
+                if *satisfied {
+                    s.chips_satisfied += 1;
+                }
+                s.epochs_per_chip.observe(*epochs_run as f64);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{EpochScope, Stage};
+    use super::*;
+
+    fn chip_event(epochs_run: usize, satisfied: bool) -> Event {
+        Event::ChipRetrained {
+            chip_id: 0,
+            fault_rate: 0.1,
+            epochs_budgeted: epochs_run,
+            epochs_run,
+            final_accuracy: 0.9,
+            satisfied,
+        }
+    }
+
+    #[test]
+    fn counters_and_histograms_aggregate() {
+        let rec = MetricsRecorder::new();
+        rec.on_event(&Event::EpochCompleted {
+            scope: EpochScope::Chip { chip_id: 0 },
+            epoch: 1,
+            accuracy: 0.8,
+        });
+        rec.on_event(&chip_event(2, true));
+        rec.on_event(&chip_event(6, false));
+        rec.on_event(&Event::PointFinished {
+            rate_index: 0,
+            rate: 0.1,
+            repeat: 0,
+            epochs_to_constraint: Some(3),
+            pre_retrain_accuracy: 0.5,
+            final_accuracy: 0.92,
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.epochs_completed, 1);
+        assert_eq!(snap.points_finished, 1);
+        assert_eq!(snap.chips_retrained, 2);
+        assert_eq!(snap.chips_satisfied, 1);
+        assert_eq!(snap.epochs_per_chip.count, 2);
+        assert_eq!(snap.epochs_per_chip.min, 2.0);
+        assert_eq!(snap.epochs_per_chip.mean, 4.0);
+        assert_eq!(snap.epochs_per_chip.max, 6.0);
+        assert_eq!(snap.epochs_to_constraint.total, 3.0);
+    }
+
+    #[test]
+    fn stage_seconds_keep_finish_order_and_sum_repeats() {
+        let rec = MetricsRecorder::new();
+        for (stage, secs) in [
+            (Stage::Characterize, 1.5),
+            (Stage::Deploy, 0.5),
+            (Stage::Deploy, 1.0),
+        ] {
+            rec.on_event(&Event::StageFinished {
+                stage,
+                seconds: Some(secs),
+            });
+        }
+        rec.on_event(&Event::StageFinished {
+            stage: Stage::Plan,
+            seconds: None, // redacted: must not create a row
+        });
+        let snap = rec.snapshot();
+        let names: Vec<&str> = snap.stage_seconds.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["characterize", "deploy"]);
+        assert_eq!(snap.stage_seconds[1].1.count, 2);
+        assert_eq!(snap.stage_seconds[1].1.total, 1.5);
+    }
+
+    #[test]
+    fn empty_recorder_renders_without_panicking() {
+        let rec = MetricsRecorder::new();
+        let text = rec.render();
+        assert!(text.contains("telemetry"));
+        assert!(text.contains("epochs completed"));
+        assert_eq!(rec.snapshot().epochs_per_chip.count, 0);
+    }
+
+    #[test]
+    fn render_mentions_chips_when_present() {
+        let rec = MetricsRecorder::new();
+        rec.on_event(&chip_event(3, true));
+        let text = rec.render();
+        assert!(text.contains("chips retrained"));
+        assert!(text.contains("epochs per chip"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Telemetry: structured observation of the Reduce pipeline.
+//!
+//! The framework's whole pitch is *accounting* — it beats the fixed-policy
+//! baseline by spending a measured, per-chip retraining budget — so this
+//! module makes where epochs and wall-clock go a first-class, typed event
+//! stream instead of ad-hoc `Instant::now()` calls in the binaries.
+//!
+//! # Event taxonomy
+//!
+//! An [`Observer`] receives [`Event`]s from every framework entry point
+//! (threaded through [`crate::exec::ExecConfig`]):
+//!
+//! * [`Event::StageStarted`] / [`Event::StageFinished`] — one pair per
+//!   pipeline [`Stage`] (pretrain, characterize, plan, deploy);
+//! * [`Event::EpochCompleted`] — one tick per FAT epoch, scoped to the
+//!   grid cell or chip that ran it;
+//! * [`Event::PointFinished`] — one per Step-① `(rate, repeat)` grid cell;
+//! * [`Event::ChipRetrained`] — one per Step-③ fleet chip.
+//!
+//! # Determinism contract
+//!
+//! The event *sequence* is identical at any thread count: events carry
+//! logical indices (`rate_index`, `repeat`, `chip_id`) and the executor
+//! buffers each parallel job's events, flushing them in input order after
+//! the fan-out completes (see [`crate::exec::parallel_map_traced`]). The
+//! only non-deterministic payload is wall-clock time, which is confined
+//! to [`Event::StageFinished::seconds`] and redactable at the sink
+//! ([`RunLog`]'s `redact_timing`), making redacted run logs byte-identical
+//! across thread counts — CI diffs them.
+//!
+//! # Sinks
+//!
+//! | Sink | Cost | Purpose |
+//! |------|------|---------|
+//! | [`NullObserver`] | zero | the default — no telemetry |
+//! | [`RunLog`] | one JSON line per event | deterministic, machine-readable run logs |
+//! | [`MetricsRecorder`] | in-memory counters | stage timings + epoch histograms for reports |
+//! | [`Fanout`] | delegates | attach several sinks at once |
+//!
+//! [`RunManifest`] complements the sinks: one `manifest.json` per run
+//! recording everything needed to reproduce its artifacts (workbench
+//! spec, seeds, grid, policies, crate version).
+
+mod json;
+mod manifest;
+mod metrics;
+mod runlog;
+
+pub use manifest::{FleetManifest, GridManifest, RunManifest};
+pub use metrics::{MetricsRecorder, MetricsSnapshot, StatSummary};
+pub use runlog::RunLog;
+
+use std::time::Instant;
+
+/// A pipeline stage, as reported by stage events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Step ⓪: pre-training the fault-free baseline.
+    Pretrain,
+    /// Step ①: resilience characterisation.
+    Characterize,
+    /// Step ②: per-chip retraining-amount selection.
+    Plan,
+    /// Step ③: per-chip fault-aware retraining of a fleet.
+    Deploy,
+}
+
+impl Stage {
+    /// The stage's stable snake_case name (used in run logs and metrics).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Pretrain => "pretrain",
+            Stage::Characterize => "characterize",
+            Stage::Plan => "plan",
+            Stage::Deploy => "deploy",
+        }
+    }
+}
+
+/// What ran the epoch an [`Event::EpochCompleted`] tick reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochScope {
+    /// A Step-① grid cell.
+    Point {
+        /// Index of the cell's rate in the sorted characterisation grid.
+        rate_index: usize,
+        /// Repeat index within the rate.
+        repeat: usize,
+    },
+    /// A Step-③ fleet chip.
+    Chip {
+        /// Chip identifier.
+        chip_id: usize,
+    },
+}
+
+/// One typed telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A pipeline stage began.
+    StageStarted {
+        /// Which stage.
+        stage: Stage,
+    },
+    /// A pipeline stage completed successfully.
+    StageFinished {
+        /// Which stage.
+        stage: Stage,
+        /// Wall-clock duration — the only non-deterministic event payload;
+        /// sinks may redact it (see the module-level determinism contract).
+        seconds: Option<f64>,
+    },
+    /// One FAT epoch completed.
+    EpochCompleted {
+        /// The grid cell or chip that ran the epoch.
+        scope: EpochScope,
+        /// 1-based epoch index within the run.
+        epoch: usize,
+        /// Test accuracy after the epoch.
+        accuracy: f32,
+    },
+    /// One Step-① `(rate, repeat)` grid cell finished.
+    PointFinished {
+        /// Index of the rate in the sorted grid.
+        rate_index: usize,
+        /// The injected fault rate.
+        rate: f64,
+        /// Repeat index within the rate.
+        repeat: usize,
+        /// Epochs needed to reach the constraint, if reached.
+        epochs_to_constraint: Option<usize>,
+        /// Accuracy after masking, before retraining.
+        pre_retrain_accuracy: f32,
+        /// Accuracy after the full measured budget.
+        final_accuracy: f32,
+    },
+    /// One Step-③ fleet chip was retrained and evaluated.
+    ChipRetrained {
+        /// Chip identifier.
+        chip_id: usize,
+        /// The chip's fault rate.
+        fault_rate: f64,
+        /// Epochs the policy budgeted.
+        epochs_budgeted: usize,
+        /// Epochs actually executed.
+        epochs_run: usize,
+        /// Deployed (post-FAT) accuracy.
+        final_accuracy: f32,
+        /// Whether the deployed accuracy meets the constraint.
+        satisfied: bool,
+    },
+}
+
+/// A telemetry sink. Object-safe and `Send + Sync` so one observer can be
+/// shared across the executor's worker threads.
+///
+/// Implementations must not panic and should be cheap: the framework
+/// calls [`Observer::on_event`] from its coordinating thread (per-job
+/// events are buffered and flushed in deterministic order, never emitted
+/// concurrently).
+pub trait Observer: Send + Sync {
+    /// Receives one event.
+    fn on_event(&self, event: &Event);
+}
+
+/// The default sink: discards every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn on_event(&self, _event: &Event) {}
+}
+
+/// Broadcasts every event to several sinks, in order.
+pub struct Fanout {
+    sinks: Vec<std::sync::Arc<dyn Observer>>,
+}
+
+impl Fanout {
+    /// Creates a fan-out over `sinks`.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Observer>>) -> Self {
+        Fanout { sinks }
+    }
+}
+
+impl Observer for Fanout {
+    fn on_event(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.on_event(event);
+        }
+    }
+}
+
+impl std::fmt::Debug for Fanout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fanout")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+/// A monotonic stopwatch — the one place in the workspace allowed to read
+/// the wall clock. Everything else consumes durations through
+/// [`Event::StageFinished`], keeping results free of ambient time.
+#[derive(Debug)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing.
+    pub fn start() -> Self {
+        // xtask:allow(wall-clock): telemetry is the sanctioned clock reader; durations only reach results through redactable StageFinished events
+        Stopwatch(Instant::now())
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn seconds(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+/// Runs `f` as a timed pipeline stage: emits [`Event::StageStarted`],
+/// runs the closure, and on success emits [`Event::StageFinished`] with
+/// the measured duration. On error no `StageFinished` is emitted — the
+/// run log simply ends at the failure point.
+///
+/// # Errors
+///
+/// Propagates `f`'s error unchanged.
+pub fn timed_stage<R, E, F>(
+    observer: &dyn Observer,
+    stage: Stage,
+    f: F,
+) -> std::result::Result<R, E>
+where
+    F: FnOnce() -> std::result::Result<R, E>,
+{
+    observer.on_event(&Event::StageStarted { stage });
+    let clock = Stopwatch::start();
+    let out = f()?;
+    observer.on_event(&Event::StageFinished {
+        stage,
+        seconds: Some(clock.seconds()),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// Test sink that records event debug strings.
+    #[derive(Default)]
+    struct Recorder(Mutex<Vec<String>>);
+
+    impl Observer for Recorder {
+        fn on_event(&self, event: &Event) {
+            if let Ok(mut log) = self.0.lock() {
+                log.push(format!("{event:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn timed_stage_brackets_the_closure() {
+        let rec = Recorder::default();
+        let out: Result<u32, ()> = timed_stage(&rec, Stage::Plan, || Ok(41 + 1));
+        assert_eq!(out, Ok(42));
+        let log = rec.0.lock().expect("no poisoning");
+        assert_eq!(log.len(), 2);
+        assert!(log[0].contains("StageStarted") && log[0].contains("Plan"));
+        assert!(log[1].contains("StageFinished") && log[1].contains("Plan"));
+    }
+
+    #[test]
+    fn timed_stage_propagates_errors_without_finish_event() {
+        let rec = Recorder::default();
+        let out: Result<(), &str> = timed_stage(&rec, Stage::Deploy, || Err("boom"));
+        assert_eq!(out, Err("boom"));
+        let log = rec.0.lock().expect("no poisoning");
+        assert_eq!(log.len(), 1, "only StageStarted on failure");
+    }
+
+    #[test]
+    fn fanout_broadcasts_in_order() {
+        let a = Arc::new(Recorder::default());
+        let b = Arc::new(Recorder::default());
+        let fan = Fanout::new(vec![a.clone(), b.clone()]);
+        fan.on_event(&Event::StageStarted {
+            stage: Stage::Pretrain,
+        });
+        assert_eq!(a.0.lock().expect("no poisoning").len(), 1);
+        assert_eq!(b.0.lock().expect("no poisoning").len(), 1);
+    }
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let clock = Stopwatch::start();
+        assert!(clock.seconds() >= 0.0);
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        assert_eq!(Stage::Pretrain.name(), "pretrain");
+        assert_eq!(Stage::Characterize.name(), "characterize");
+        assert_eq!(Stage::Plan.name(), "plan");
+        assert_eq!(Stage::Deploy.name(), "deploy");
+    }
+}

@@ -1,0 +1,338 @@
+//! The [`RunLog`] sink: one JSON line per event.
+//!
+//! The line *sequence* is deterministic across thread counts (see the
+//! module-level determinism contract); with `redact_timing` the line
+//! *bytes* are too, because the only non-deterministic payload — the
+//! wall-clock `seconds` of `stage_finished` — is written as `null`.
+
+use super::json::{push_json_f32, push_json_f64, push_json_string};
+use super::{EpochScope, Event, Observer};
+use crate::error::{ReduceError, Result};
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A JSON-lines run-log writer.
+///
+/// Write failures do not panic and cannot poison the framework run: the
+/// first error is latched and surfaced by [`RunLog::flush`], which
+/// callers should invoke once the run completes.
+pub struct RunLog {
+    sink: Mutex<LogState>,
+    redact_timing: bool,
+}
+
+struct LogState {
+    writer: Box<dyn Write + Send>,
+    error: Option<String>,
+}
+
+impl RunLog {
+    /// Wraps an arbitrary writer (a file, an in-memory buffer in tests).
+    /// With `redact_timing`, wall-clock fields are written as `null`.
+    pub fn new(writer: Box<dyn Write + Send>, redact_timing: bool) -> Self {
+        RunLog {
+            sink: Mutex::new(LogState {
+                writer,
+                error: None,
+            }),
+            redact_timing,
+        }
+    }
+
+    /// Creates the log file at `path` (creating parent directories).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReduceError::InvalidConfig`] wrapping the I/O failure.
+    pub fn create(path: &Path, redact_timing: bool) -> Result<Self> {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let file = std::fs::File::create(path).map_err(|e| ReduceError::InvalidConfig {
+            what: format!("cannot create run log {}: {e}", path.display()),
+        })?;
+        Ok(Self::new(
+            Box::new(std::io::BufWriter::new(file)),
+            redact_timing,
+        ))
+    }
+
+    /// Whether wall-clock fields are redacted.
+    pub fn redacts_timing(&self) -> bool {
+        self.redact_timing
+    }
+
+    /// Flushes the underlying writer and reports the first write error
+    /// encountered since creation, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReduceError::InvalidConfig`] wrapping the I/O failure.
+    pub fn flush(&self) -> Result<()> {
+        let mut state = match self.sink.lock() {
+            Ok(state) => state,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if state.error.is_none() {
+            if let Err(e) = state.writer.flush() {
+                state.error = Some(e.to_string());
+            }
+        }
+        match &state.error {
+            Some(e) => Err(ReduceError::InvalidConfig {
+                what: format!("run log write failed: {e}"),
+            }),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Observer for RunLog {
+    fn on_event(&self, event: &Event) {
+        let line = render_event(event, self.redact_timing);
+        let mut state = match self.sink.lock() {
+            Ok(state) => state,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if state.error.is_some() {
+            return; // latched: drop events after the first write failure
+        }
+        if let Err(e) = state.writer.write_all(line.as_bytes()) {
+            state.error = Some(e.to_string());
+        }
+    }
+}
+
+impl std::fmt::Debug for RunLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunLog")
+            .field("redact_timing", &self.redact_timing)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Renders one event as a JSON line (with trailing newline).
+fn render_event(event: &Event, redact_timing: bool) -> String {
+    let mut s = String::with_capacity(96);
+    match event {
+        Event::StageStarted { stage } => {
+            s.push_str("{\"event\":\"stage_started\",\"stage\":\"");
+            s.push_str(stage.name());
+            s.push_str("\"}");
+        }
+        Event::StageFinished { stage, seconds } => {
+            s.push_str("{\"event\":\"stage_finished\",\"stage\":\"");
+            s.push_str(stage.name());
+            s.push_str("\",\"seconds\":");
+            match seconds {
+                Some(v) if !redact_timing => push_json_f64(&mut s, *v),
+                _ => s.push_str("null"),
+            }
+            s.push('}');
+        }
+        Event::EpochCompleted {
+            scope,
+            epoch,
+            accuracy,
+        } => {
+            s.push_str("{\"event\":\"epoch_completed\",");
+            match scope {
+                EpochScope::Point { rate_index, repeat } => {
+                    s.push_str(&format!(
+                        "\"scope\":\"point\",\"rate_index\":{rate_index},\"repeat\":{repeat}"
+                    ));
+                }
+                EpochScope::Chip { chip_id } => {
+                    s.push_str(&format!("\"scope\":\"chip\",\"chip_id\":{chip_id}"));
+                }
+            }
+            s.push_str(&format!(",\"epoch\":{epoch},\"accuracy\":"));
+            push_json_f32(&mut s, *accuracy);
+            s.push('}');
+        }
+        Event::PointFinished {
+            rate_index,
+            rate,
+            repeat,
+            epochs_to_constraint,
+            pre_retrain_accuracy,
+            final_accuracy,
+        } => {
+            s.push_str(&format!(
+                "{{\"event\":\"point_finished\",\"rate_index\":{rate_index},\"rate\":"
+            ));
+            push_json_f64(&mut s, *rate);
+            s.push_str(&format!(",\"repeat\":{repeat},\"epochs_to_constraint\":"));
+            match epochs_to_constraint {
+                Some(e) => s.push_str(&format!("{e}")),
+                None => s.push_str("null"),
+            }
+            s.push_str(",\"pre_retrain_accuracy\":");
+            push_json_f32(&mut s, *pre_retrain_accuracy);
+            s.push_str(",\"final_accuracy\":");
+            push_json_f32(&mut s, *final_accuracy);
+            s.push('}');
+        }
+        Event::ChipRetrained {
+            chip_id,
+            fault_rate,
+            epochs_budgeted,
+            epochs_run,
+            final_accuracy,
+            satisfied,
+        } => {
+            s.push_str(&format!(
+                "{{\"event\":\"chip_retrained\",\"chip_id\":{chip_id},\"fault_rate\":"
+            ));
+            push_json_f64(&mut s, *fault_rate);
+            s.push_str(&format!(
+                ",\"epochs_budgeted\":{epochs_budgeted},\"epochs_run\":{epochs_run},\"final_accuracy\":"
+            ));
+            push_json_f32(&mut s, *final_accuracy);
+            s.push_str(&format!(",\"satisfied\":{satisfied}}}"));
+        }
+    }
+    // `push_json_string` is reserved for payloads that carry free text;
+    // every current field is numeric, boolean or a fixed stage name.
+    debug_assert!(
+        !s.is_empty() || {
+            let mut probe = String::new();
+            push_json_string(&mut probe, "");
+            probe == "\"\""
+        }
+    );
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Stage;
+    use super::*;
+    use std::sync::Arc;
+
+    /// An in-memory `Write` target shared with the test.
+    #[derive(Clone, Default)]
+    struct Buffer(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Buffer {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("no poisoning").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn events() -> Vec<Event> {
+        vec![
+            Event::StageStarted {
+                stage: Stage::Characterize,
+            },
+            Event::EpochCompleted {
+                scope: EpochScope::Point {
+                    rate_index: 0,
+                    repeat: 1,
+                },
+                epoch: 1,
+                accuracy: 0.875,
+            },
+            Event::PointFinished {
+                rate_index: 0,
+                rate: 0.1,
+                repeat: 1,
+                epochs_to_constraint: None,
+                pre_retrain_accuracy: 0.5,
+                final_accuracy: 0.875,
+            },
+            Event::ChipRetrained {
+                chip_id: 3,
+                fault_rate: 0.25,
+                epochs_budgeted: 4,
+                epochs_run: 4,
+                final_accuracy: 0.92,
+                satisfied: true,
+            },
+            Event::StageFinished {
+                stage: Stage::Characterize,
+                seconds: Some(1.25),
+            },
+        ]
+    }
+
+    fn log_to_string(redact: bool) -> String {
+        let buf = Buffer::default();
+        let log = RunLog::new(Box::new(buf.clone()), redact);
+        for e in events() {
+            log.on_event(&e);
+        }
+        log.flush().expect("in-memory writes cannot fail");
+        let bytes = buf.0.lock().expect("no poisoning").clone();
+        String::from_utf8(bytes).expect("valid UTF-8")
+    }
+
+    #[test]
+    fn lines_are_valid_json_with_stable_fields() {
+        let text = log_to_string(false);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            super::super::json::parse(line).expect("every line parses");
+        }
+        assert!(lines[0].contains("\"stage_started\""));
+        assert!(lines[1].contains("\"scope\":\"point\"") && lines[1].contains("\"epoch\":1"));
+        assert!(lines[2].contains("\"epochs_to_constraint\":null"));
+        assert!(lines[3].contains("\"satisfied\":true"));
+        assert!(lines[4].contains("\"seconds\":1.25"));
+    }
+
+    #[test]
+    fn redaction_nulls_wall_clock_only() {
+        let redacted = log_to_string(true);
+        assert!(redacted.contains("\"seconds\":null"));
+        assert!(!redacted.contains("1.25"));
+        // Every other byte is unchanged.
+        let plain = log_to_string(false);
+        assert_eq!(
+            plain.replace("\"seconds\":1.25", "\"seconds\":null"),
+            redacted
+        );
+    }
+
+    #[test]
+    fn write_errors_are_latched_and_reported_by_flush() {
+        /// A writer that always fails.
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let log = RunLog::new(Box::new(Broken), false);
+        log.on_event(&Event::StageStarted {
+            stage: Stage::Pretrain,
+        });
+        let err = log.flush().expect_err("latched error surfaces");
+        assert!(err.to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn create_writes_a_real_file() {
+        let dir = std::env::temp_dir().join("reduce_runlog_test");
+        let path = dir.join("run_log.jsonl");
+        let log = RunLog::create(&path, true).expect("temp dir writable");
+        assert!(log.redacts_timing());
+        log.on_event(&Event::StageStarted {
+            stage: Stage::Deploy,
+        });
+        log.flush().expect("flush succeeds");
+        let text = std::fs::read_to_string(&path).expect("just written");
+        assert!(text.contains("stage_started"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -6,7 +6,9 @@
 //! cargo run --release --example chip_fleet
 //! ```
 
-use reduce_core::{report, Reduce, ResilienceConfig, RetrainPolicy, Statistic, Workbench};
+use reduce_core::{
+    report, ExecConfig, Reduce, ResilienceConfig, RetrainPolicy, Statistic, Workbench,
+};
 use reduce_systolic::{generate_fleet, FaultModel, FleetConfig, RateDistribution};
 use std::error::Error;
 
@@ -28,7 +30,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     println!("== Step 1: resilience characterisation ==");
-    reduce.characterize(ResilienceConfig::grid(0.3, 5, 12, constraint))?;
+    let exec = ExecConfig::auto();
+    let config = ResilienceConfig::builder()
+        .max_rate(0.3)
+        .points(5)
+        .max_epochs(12)
+        .constraint(constraint)
+        .build()?;
+    reduce.characterize(config, &exec)?;
     let analysis = reduce.analysis().expect("characterized above");
     println!("{}", report::render_epochs_to_constraint(analysis));
 
@@ -52,7 +61,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut reports = Vec::new();
     for policy in policies {
         println!("  running {} …", policy.label());
-        reports.push(reduce.deploy(&fleet, policy)?);
+        reports.push(reduce.deploy(&fleet, policy, &exec)?);
     }
     println!("\n{}", report::render_fleet_summary(&reports));
 

@@ -6,7 +6,7 @@
 //! cargo run --release --example resilience_explorer [max_rate] [points] [epochs] [constraint]
 //! ```
 
-use reduce_core::{report, FatRunner, ResilienceAnalysis, ResilienceConfig, Workbench};
+use reduce_core::{report, ExecConfig, FatRunner, ResilienceAnalysis, ResilienceConfig, Workbench};
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -25,12 +25,17 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     let runner = FatRunner::new(workbench)?;
-    let config = ResilienceConfig::grid(max_rate, points, epochs, constraint);
+    let config = ResilienceConfig::builder()
+        .max_rate(max_rate)
+        .points(points)
+        .max_epochs(epochs)
+        .constraint(constraint)
+        .build()?;
     println!(
         "characterising {} rates × {} repeats × up to {} epochs…\n",
         points, config.repeats, epochs
     );
-    let analysis = ResilienceAnalysis::run(&runner, &pretrained, config)?;
+    let analysis = ResilienceAnalysis::run(&runner, &pretrained, config, &ExecConfig::auto())?;
 
     println!("— Fig. 2a: accuracy vs fault rate at each retraining level —");
     println!(

@@ -25,19 +25,24 @@ cargo fmt --check
 
 echo "==> smoke determinism gate (fig2 --threads 1 vs --threads 4)"
 # The parallel Step-① characterisation must be byte-identical to the
-# sequential run. Compare only the deterministic artifacts (CSV points and
-# the saved resilience table) — stdout contains wall-clock timings.
+# sequential run: CSV points, the saved resilience table, and — with
+# --redact-timing — the telemetry run log and manifest too.
 det_dir="$(mktemp -d)"
 trap 'rm -rf "$det_dir"' EXIT
 mkdir -p "$det_dir/t1" "$det_dir/t4"
 cargo run -q -p reduce-bench --release --bin fig2 -- \
     --scale smoke --threads 1 --csv "$det_dir/t1" \
-    --table-out "$det_dir/t1/table.json" >/dev/null
+    --table-out "$det_dir/t1/table.json" \
+    --out "$det_dir/t1" --redact-timing >/dev/null
 cargo run -q -p reduce-bench --release --bin fig2 -- \
     --scale smoke --threads 4 --csv "$det_dir/t4" \
-    --table-out "$det_dir/t4/table.json" >/dev/null
+    --table-out "$det_dir/t4/table.json" \
+    --out "$det_dir/t4" --redact-timing >/dev/null
 diff "$det_dir/t1/fig2_resilience.csv" "$det_dir/t4/fig2_resilience.csv"
 diff "$det_dir/t1/table.json" "$det_dir/t4/table.json"
-echo "    parallel characterisation is byte-identical to sequential"
+diff "$det_dir/t1/run_log.jsonl" "$det_dir/t4/run_log.jsonl"
+diff "$det_dir/t1/manifest.json" "$det_dir/t4/manifest.json"
+echo "    parallel characterisation artifacts (csv, table, run log, manifest)"
+echo "    are byte-identical to sequential"
 
 echo "ci: all stages green"

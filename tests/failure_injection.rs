@@ -2,8 +2,8 @@
 //! typed errors (never panics) at every layer of the stack.
 
 use reduce_repro::core::{
-    Mitigation, Reduce, ReduceError, ResilienceConfig, ResilienceTable, RetrainPolicy, Statistic,
-    TableEntry, Workbench,
+    ExecConfig, Mitigation, Reduce, ReduceError, ResilienceConfig, ResilienceTable, RetrainPolicy,
+    Statistic, TableEntry, Workbench,
 };
 use reduce_repro::data::{blobs, Dataset};
 use reduce_repro::nn::{models, CrossEntropyLoss, Sgd, TrainConfig, Trainer};
@@ -67,16 +67,25 @@ fn mask_shape_mismatch_is_typed_error() {
 fn resilience_errors_are_typed() {
     let wb = Workbench::toy(202);
     let mut reduce = Reduce::new(wb, 0.9, 3).expect("valid");
-    // Empty grid.
-    let err = reduce.characterize(ResilienceConfig {
-        fault_rates: vec![],
-        max_epochs: 2,
-        repeats: 1,
-        constraint: 0.9,
-        fault_model: FaultModel::Random,
-        strategy: Mitigation::Fap,
-        seed: 0,
-    });
+    // Empty grid: rejected both by the builder (at construction) and by
+    // the struct-literal escape hatch (at run time).
+    let builder_err = ResilienceConfig::builder().fault_rates(vec![]).build();
+    assert!(matches!(
+        builder_err,
+        Err(ReduceError::InvalidConfig { .. })
+    ));
+    let err = reduce.characterize(
+        ResilienceConfig {
+            fault_rates: vec![],
+            max_epochs: 2,
+            repeats: 1,
+            constraint: 0.9,
+            fault_model: FaultModel::Random,
+            strategy: Mitigation::Fap,
+            seed: 0,
+        },
+        &ExecConfig::default(),
+    );
     assert!(matches!(err, Err(ReduceError::InvalidConfig { .. })));
     // Reduce policy without characterisation.
     let chip_err = RetrainPolicy::Reduce(Statistic::Max).epochs_for_chip(None, 0.1);

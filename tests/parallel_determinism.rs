@@ -4,8 +4,8 @@
 //! worker panics must surface as typed errors instead of aborts.
 
 use reduce_repro::core::{
-    evaluate_fleet, evaluate_fleet_parallel, exec, FatRunner, FleetEvalConfig, Mitigation,
-    ReduceError, ResilienceAnalysis, ResilienceConfig, RetrainPolicy, Workbench,
+    evaluate_fleet, exec, ExecConfig, FatRunner, FleetEvalConfig, Mitigation, ReduceError,
+    ResilienceAnalysis, ResilienceConfig, RetrainPolicy, Workbench,
 };
 use reduce_repro::systolic::{generate_fleet, FaultModel, FleetConfig, RateDistribution};
 
@@ -26,7 +26,8 @@ fn characterisation_is_identical_across_thread_counts() {
     let wb = Workbench::toy(501);
     let pre = wb.pretrain(10).expect("valid workbench");
     let runner = FatRunner::new(wb).expect("valid workbench");
-    let seq = ResilienceAnalysis::run(&runner, &pre, grid_config()).expect("characterisation runs");
+    let seq = ResilienceAnalysis::run(&runner, &pre, grid_config(), &ExecConfig::default())
+        .expect("characterisation runs");
     // The grid is rate-major with contiguous repeats, and every point
     // carries its grid index.
     for (i, p) in seq.points().iter().enumerate() {
@@ -34,7 +35,7 @@ fn characterisation_is_identical_across_thread_counts() {
         assert_eq!(p.repeat, i % 2);
     }
     for threads in [0usize, 1, 2, 8] {
-        let par = ResilienceAnalysis::run_parallel(&runner, &pre, grid_config(), threads)
+        let par = ResilienceAnalysis::run(&runner, &pre, grid_config(), &ExecConfig::new(threads))
             .expect("characterisation runs");
         assert_eq!(par.points(), seq.points(), "{threads}-thread points differ");
         assert_eq!(
@@ -61,10 +62,18 @@ fn fleet_evaluation_is_identical_across_thread_counts() {
     })
     .expect("valid fleet");
     let config = FleetEvalConfig::new(RetrainPolicy::Fixed(2), 0.85);
-    let seq = evaluate_fleet(&runner, &pre, &fleet, None, &config).expect("valid run");
+    let seq = evaluate_fleet(&runner, &pre, &fleet, None, &config, &ExecConfig::default())
+        .expect("valid run");
     for threads in [0usize, 1, 2, 8] {
-        let par = evaluate_fleet_parallel(&runner, &pre, &fleet, None, &config, threads)
-            .expect("valid run");
+        let par = evaluate_fleet(
+            &runner,
+            &pre,
+            &fleet,
+            None,
+            &config,
+            &ExecConfig::new(threads),
+        )
+        .expect("valid run");
         assert_eq!(par, seq, "{threads}-thread report differs from sequential");
     }
 }

@@ -2,7 +2,8 @@
 //! ③) on the fast toy workbench, exercising every crate together.
 
 use reduce_repro::core::{
-    FatRunner, Mitigation, Reduce, ResilienceConfig, RetrainPolicy, Statistic, StopRule, Workbench,
+    ExecConfig, FatRunner, Mitigation, Reduce, ResilienceConfig, RetrainPolicy, Statistic,
+    StopRule, Workbench,
 };
 use reduce_repro::systolic::{generate_fleet, FaultMap, FaultModel, FleetConfig, RateDistribution};
 
@@ -26,27 +27,31 @@ fn full_pipeline_beats_fixed_baselines() {
         reduce.pretrained().baseline_accuracy >= constraint,
         "pre-trained baseline must satisfy the constraint on a fault-free chip"
     );
+    let exec = ExecConfig::default();
     reduce
-        .characterize(ResilienceConfig {
-            fault_rates: vec![0.0, 0.1, 0.2, 0.3],
-            max_epochs: 10,
-            repeats: 3,
-            constraint,
-            fault_model: FaultModel::Random,
-            strategy: Mitigation::Fap,
-            seed: 7,
-        })
+        .characterize(
+            ResilienceConfig {
+                fault_rates: vec![0.0, 0.1, 0.2, 0.3],
+                max_epochs: 10,
+                repeats: 3,
+                constraint,
+                fault_model: FaultModel::Random,
+                strategy: Mitigation::Fap,
+                seed: 7,
+            },
+            &exec,
+        )
         .expect("characterisation runs");
 
     let chips = fleet(12, 0.3, 55);
     let reduce_max = reduce
-        .deploy(&chips, RetrainPolicy::Reduce(Statistic::Max))
+        .deploy(&chips, RetrainPolicy::Reduce(Statistic::Max), &exec)
         .expect("deployment runs");
     let fixed_zero = reduce
-        .deploy(&chips, RetrainPolicy::Fixed(0))
+        .deploy(&chips, RetrainPolicy::Fixed(0), &exec)
         .expect("deployment runs");
     let fixed_high = reduce
-        .deploy(&chips, RetrainPolicy::Fixed(10))
+        .deploy(&chips, RetrainPolicy::Fixed(10), &exec)
         .expect("deployment runs");
 
     // The paper's headline: Reduce is at least as robust as no-retraining
@@ -72,23 +77,27 @@ fn full_pipeline_beats_fixed_baselines() {
 fn reduce_max_never_cheaper_than_reduce_mean() {
     let constraint = 0.9;
     let mut reduce = Reduce::new(Workbench::toy(102), constraint, 12).expect("valid");
+    let exec = ExecConfig::default();
     reduce
-        .characterize(ResilienceConfig {
-            fault_rates: vec![0.0, 0.15, 0.3],
-            max_epochs: 8,
-            repeats: 3,
-            constraint,
-            fault_model: FaultModel::Random,
-            strategy: Mitigation::Fap,
-            seed: 11,
-        })
+        .characterize(
+            ResilienceConfig {
+                fault_rates: vec![0.0, 0.15, 0.3],
+                max_epochs: 8,
+                repeats: 3,
+                constraint,
+                fault_model: FaultModel::Random,
+                strategy: Mitigation::Fap,
+                seed: 11,
+            },
+            &exec,
+        )
         .expect("characterisation runs");
     let chips = fleet(8, 0.3, 56);
     let max_plan = reduce
-        .plan(&chips, RetrainPolicy::Reduce(Statistic::Max))
+        .plan(&chips, RetrainPolicy::Reduce(Statistic::Max), &exec)
         .expect("table ready");
     let mean_plan = reduce
-        .plan(&chips, RetrainPolicy::Reduce(Statistic::Mean))
+        .plan(&chips, RetrainPolicy::Reduce(Statistic::Mean), &exec)
         .expect("table ready");
     for (mx, mn) in max_plan.iter().zip(&mean_plan) {
         assert!(
@@ -105,15 +114,18 @@ fn per_chip_budgets_track_fault_rate() {
     let constraint = 0.9;
     let mut reduce = Reduce::new(Workbench::toy(103), constraint, 12).expect("valid");
     reduce
-        .characterize(ResilienceConfig {
-            fault_rates: vec![0.0, 0.1, 0.2, 0.3],
-            max_epochs: 8,
-            repeats: 2,
-            constraint,
-            fault_model: FaultModel::Random,
-            strategy: Mitigation::Fap,
-            seed: 13,
-        })
+        .characterize(
+            ResilienceConfig {
+                fault_rates: vec![0.0, 0.1, 0.2, 0.3],
+                max_epochs: 8,
+                repeats: 2,
+                constraint,
+                fault_model: FaultModel::Random,
+                strategy: Mitigation::Fap,
+                seed: 13,
+            },
+            &ExecConfig::default(),
+        )
         .expect("characterisation runs");
     let table = reduce.table().expect("characterised");
     // Interpolated budgets are monotone in fault rate if grid stats are.
@@ -207,20 +219,24 @@ fn deterministic_fleet_reports() {
     let constraint = 0.9;
     let run = || {
         let mut reduce = Reduce::new(Workbench::toy(106), constraint, 8).expect("valid");
+        let exec = ExecConfig::default();
         reduce
-            .characterize(ResilienceConfig {
-                fault_rates: vec![0.0, 0.2],
-                max_epochs: 4,
-                repeats: 2,
-                constraint,
-                fault_model: FaultModel::Random,
-                strategy: Mitigation::Fap,
-                seed: 19,
-            })
+            .characterize(
+                ResilienceConfig {
+                    fault_rates: vec![0.0, 0.2],
+                    max_epochs: 4,
+                    repeats: 2,
+                    constraint,
+                    fault_model: FaultModel::Random,
+                    strategy: Mitigation::Fap,
+                    seed: 19,
+                },
+                &exec,
+            )
             .expect("characterisation runs");
         let chips = fleet(4, 0.2, 57);
         reduce
-            .deploy(&chips, RetrainPolicy::Reduce(Statistic::Max))
+            .deploy(&chips, RetrainPolicy::Reduce(Statistic::Max), &exec)
             .expect("deployment runs")
     };
     let a = run();

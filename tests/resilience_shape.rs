@@ -3,7 +3,8 @@
 //! recovers it, and the required retraining grows with the fault rate.
 
 use reduce_repro::core::{
-    FatRunner, Mitigation, ResilienceAnalysis, ResilienceConfig, Statistic, StopRule, Workbench,
+    ExecConfig, FatRunner, Mitigation, ResilienceAnalysis, ResilienceConfig, Statistic, StopRule,
+    Workbench,
 };
 use reduce_repro::systolic::FaultModel;
 
@@ -28,6 +29,7 @@ fn resilience_curves_have_paper_shape() {
             strategy: Mitigation::Fap,
             seed: 5,
         },
+        &ExecConfig::default(),
     )
     .expect("characterisation runs");
     let summaries = analysis.summaries();
