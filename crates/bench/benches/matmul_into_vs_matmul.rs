@@ -1,0 +1,54 @@
+//! Allocating vs workspace-reusing GEMM: `matmul` vs `matmul_into`.
+//!
+//! The `_into` variants write into a caller-provided output tensor, which
+//! is how the nn layers keep steady-state training epochs allocation-free:
+//! the output buffer comes from the shape-keyed `Workspace` arena instead
+//! of a fresh heap allocation per step. This bench isolates the per-call
+//! cost of that allocation (and the CoW uniqueness check on the reused
+//! output) for all three GEMM orientations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reduce_tensor::{ops, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul_into_vs_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_into_vs_matmul");
+    let a = Tensor::rand_uniform([64, 96], -1.0, 1.0, 1);
+    let b = Tensor::rand_uniform([96, 48], -1.0, 1.0, 2);
+
+    group.bench_function("matmul_alloc", |bch| {
+        bch.iter(|| ops::matmul(black_box(&a), black_box(&b)).expect("conformable"))
+    });
+    group.bench_function("matmul_into_reused", |bch| {
+        let mut out = Tensor::zeros([64, 48]);
+        bch.iter(|| {
+            ops::matmul_into(black_box(&a), black_box(&b), &mut out).expect("conformable");
+        })
+    });
+
+    let at = Tensor::rand_uniform([96, 64], -1.0, 1.0, 3);
+    group.bench_function("matmul_tn_alloc", |bch| {
+        bch.iter(|| ops::matmul_tn(black_box(&at), black_box(&b)).expect("conformable"))
+    });
+    group.bench_function("matmul_tn_into_reused", |bch| {
+        let mut out = Tensor::zeros([64, 48]);
+        bch.iter(|| {
+            ops::matmul_tn_into(black_box(&at), black_box(&b), &mut out).expect("conformable");
+        })
+    });
+
+    let bt = Tensor::rand_uniform([48, 96], -1.0, 1.0, 4);
+    group.bench_function("matmul_nt_alloc", |bch| {
+        bch.iter(|| ops::matmul_nt(black_box(&a), black_box(&bt)).expect("conformable"))
+    });
+    group.bench_function("matmul_nt_into_reused", |bch| {
+        let mut out = Tensor::zeros([64, 48]);
+        bch.iter(|| {
+            ops::matmul_nt_into(black_box(&a), black_box(&bt), &mut out).expect("conformable");
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul_into_vs_matmul);
+criterion_main!(benches);

@@ -23,6 +23,7 @@
 use reduce_bench::{parse_args, Scale};
 use reduce_core::telemetry::{
     self, Fanout, GridManifest, MetricsRecorder, Observer, RunLog, RunManifest, Stage,
+    StageWorkspace,
 };
 use reduce_core::{report, ExecConfig, FatRunner, ResilienceAnalysis};
 use std::error::Error;
@@ -129,6 +130,19 @@ fn main() -> Result<(), Box<dyn Error>> {
         manifest.constraint = scale.constraint();
         manifest.workbench = format!("{:?}", scale.workbench(1).model);
         manifest.grid = Some(grid_manifest);
+        // Workspace counters are deterministic per configuration, so the
+        // manifest stays byte-identical across thread counts.
+        manifest.workspace = metrics
+            .snapshot()
+            .workspace
+            .iter()
+            .map(|(stage, w)| StageWorkspace {
+                stage: stage.clone(),
+                hits: w.hits,
+                misses: w.misses,
+                bytes_allocated: w.bytes_allocated,
+            })
+            .collect();
         manifest.save(&dir.join("manifest.json"))?;
         println!("run log and manifest written to {}", dir.display());
     }

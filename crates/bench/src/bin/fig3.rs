@@ -22,7 +22,7 @@
 use reduce_bench::{parse_args, Scale};
 use reduce_core::telemetry::{
     self, Fanout, FleetManifest, GridManifest, MetricsRecorder, Observer, RunLog, RunManifest,
-    Stage,
+    Stage, StageWorkspace,
 };
 use reduce_core::{report, ExecConfig, Reduce, ReduceError, RetrainPolicy, Statistic};
 use reduce_systolic::generate_fleet;
@@ -234,6 +234,19 @@ fn main() -> Result<(), Box<dyn Error>> {
         manifest.workbench = workbench_spec;
         manifest.grid = grid_manifest;
         manifest.policies = reports.iter().map(|r| r.policy.clone()).collect();
+        // Workspace counters are deterministic per configuration, so the
+        // manifest stays byte-identical across thread counts.
+        manifest.workspace = metrics
+            .snapshot()
+            .workspace
+            .iter()
+            .map(|(stage, w)| StageWorkspace {
+                stage: stage.clone(),
+                hits: w.hits,
+                misses: w.misses,
+                bytes_allocated: w.bytes_allocated,
+            })
+            .collect();
         manifest.fleet = Some(FleetManifest::from_config(&fleet_config));
         manifest.save(&dir.join("manifest.json"))?;
         println!("run log and manifest written to {}", dir.display());

@@ -10,7 +10,7 @@
 use crate::error::{ReduceError, Result};
 use crate::workbench::{Pretrained, Workbench};
 use reduce_data::Dataset;
-use reduce_nn::Sequential;
+use reduce_nn::{Sequential, WorkspaceStats};
 use reduce_systolic::{fam_mapping, fap_mask, FaultMap};
 use reduce_tensor::Tensor;
 
@@ -38,6 +38,11 @@ pub struct FatOutcome {
     pub pruned_fraction: f32,
     /// Final masked weights (deployable to the chip).
     pub final_state: Vec<(String, Tensor)>,
+    /// Allocation counters of the run's model workspace: after the warm-up
+    /// iteration every additional epoch is served entirely from pooled
+    /// buffers, so `misses`/`bytes_allocated` are independent of the epoch
+    /// budget.
+    pub workspace: WorkspaceStats,
 }
 
 impl FatOutcome {
@@ -180,6 +185,15 @@ impl FatRunner {
     /// Restores the pre-trained model and installs the chip's masks,
     /// returning the masked model and its pruned weight fraction.
     ///
+    /// Loading the state dict is O(1) per parameter: the returned model's
+    /// tensors *share* the pretrained snapshot's copy-on-write storage, so
+    /// every concurrent FAT run (executor threads fan chips/grid cells out
+    /// over this method) reads the same immutable pretrained buffers.
+    /// Applying the masks is the first write and therefore the CoW trigger
+    /// — masked weights un-share privately while untouched parameters
+    /// (biases, norm scales) keep aliasing the snapshot for the run's
+    /// lifetime.
+    ///
     /// # Errors
     ///
     /// Propagates build/load/mask errors.
@@ -264,15 +278,20 @@ impl FatRunner {
                 if let Some(lead) = batch_dims.first_mut() {
                     *lead = end - start;
                 }
+                // Borrow the batch buffer from the model's workspace instead
+                // of allocating a fresh Vec per batch; take() hands back a
+                // uniquely-owned tensor, so data_mut() cannot deep-copy.
+                let mut bx = model.workspace_mut().take(batch_dims);
                 let slice = features
                     .data()
                     .get(start * stride..end * stride)
                     .ok_or_else(|| ReduceError::Internal {
                         invariant: "batch range lies within the feature buffer".to_string(),
-                    })?
-                    .to_vec();
-                let bx = Tensor::from_vec(slice, batch_dims)?;
-                model.forward(&bx, Mode::Train)?;
+                    })?;
+                bx.data_mut().copy_from_slice(slice);
+                let y = model.forward(&bx, Mode::Train)?;
+                model.workspace_mut().give(bx);
+                model.workspace_mut().give(y);
                 start = end;
             }
         }
@@ -340,10 +359,12 @@ impl FatRunner {
             accuracy_after_epoch: Vec::with_capacity(max_epochs),
             pruned_fraction,
             final_state: Vec::new(),
+            workspace: WorkspaceStats::default(),
         };
         if let StopRule::AtAccuracy(c) = stop {
             if pre >= c {
                 outcome.final_state = model.state_dict();
+                outcome.workspace = model.workspace_stats();
                 return Ok(outcome);
             }
         }
@@ -366,6 +387,7 @@ impl FatRunner {
             });
         }
         outcome.final_state = model.state_dict();
+        outcome.workspace = model.workspace_stats();
         Ok(outcome)
     }
 }
@@ -451,6 +473,7 @@ mod tests {
             accuracy_after_epoch: vec![0.6, 0.8, 0.9],
             pruned_fraction: 0.1,
             final_state: Vec::new(),
+            workspace: WorkspaceStats::default(),
         };
         assert_eq!(out.epochs_to_reach(0.4), Some(0));
         assert_eq!(out.epochs_to_reach(0.75), Some(2));
@@ -490,6 +513,77 @@ mod tests {
         assert!(
             fam_total >= fap_total - 0.05,
             "FAM ({fam_total}) much worse than FAP ({fap_total}) across seeds"
+        );
+    }
+
+    #[test]
+    fn masked_models_share_pretrained_storage_until_masked() {
+        let (runner, pre) = runner();
+        let m = map(0.2, 8);
+        let (model, _) = runner
+            .masked_model(&pre, &m, Mitigation::Fap)
+            .expect("valid");
+        let state = model.state_dict();
+        assert_eq!(state.len(), pre.state.len());
+        let (mut shared, mut unshared) = (0usize, 0usize);
+        for ((name, t), (pre_name, pre_t)) in state.iter().zip(pre.state.iter()) {
+            assert_eq!(name, pre_name);
+            if t.shares_storage(pre_t) {
+                shared += 1;
+            } else {
+                unshared += 1;
+            }
+        }
+        // Installing the masks writes every GEMM weight (the CoW trigger),
+        // un-sharing exactly those tensors; every other parameter still
+        // aliases the single immutable pretrained snapshot.
+        assert_eq!(unshared, runner.weight_dims().len());
+        assert!(
+            shared > 0,
+            "non-weight parameters keep sharing the snapshot"
+        );
+    }
+
+    #[test]
+    fn two_masked_models_do_not_alias_each_other() {
+        let (runner, pre) = runner();
+        let (a, _) = runner
+            .masked_model(&pre, &map(0.2, 8), Mitigation::Fap)
+            .expect("valid");
+        let (b, _) = runner
+            .masked_model(&pre, &map(0.2, 9), Mitigation::Fap)
+            .expect("valid");
+        for ((_, ta), (_, tb)) in a.state_dict().iter().zip(b.state_dict().iter()) {
+            if !ta.shares_storage(tb) {
+                // Weights un-shared independently per chip: mutating one
+                // model must never leak into the other.
+                assert_ne!(
+                    ta.data().as_ptr(),
+                    tb.data().as_ptr(),
+                    "un-shared weights must live in distinct buffers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_fat_epochs_are_allocation_free() {
+        let (runner, pre) = runner();
+        let m = map(0.1, 9);
+        let short = runner
+            .run(&pre, &m, 1, StopRule::Exact, Mitigation::Fap, 3)
+            .expect("valid run");
+        let long = runner
+            .run(&pre, &m, 4, StopRule::Exact, Mitigation::Fap, 3)
+            .expect("valid run");
+        assert!(long.workspace.requests() > short.workspace.requests());
+        assert_eq!(
+            long.workspace.misses, short.workspace.misses,
+            "epochs beyond warm-up must be served from the workspace pool"
+        );
+        assert_eq!(
+            long.workspace.bytes_allocated, short.workspace.bytes_allocated,
+            "epochs beyond warm-up must not allocate"
         );
     }
 

@@ -8,6 +8,7 @@ use crate::policy::RetrainPolicy;
 use crate::resilience::ResilienceTable;
 use crate::telemetry::{self, EpochScope, Event, Stage};
 use crate::workbench::Pretrained;
+use reduce_nn::WorkspaceStats;
 use reduce_systolic::{Chip, CostModel};
 use serde::{Deserialize, Serialize};
 
@@ -163,15 +164,35 @@ pub fn evaluate_fleet(
     exec: &ExecConfig,
 ) -> Result<FleetReport> {
     let chips = telemetry::timed_stage(exec.observer(), Stage::Deploy, || {
-        exec::parallel_map_traced(fleet, exec.threads, exec.observer(), |_, chip, events| {
-            retrain_chip(runner, pretrained, table, config, chip, events)
-        })
+        let outcomes =
+            exec::parallel_map_traced(fleet, exec.threads, exec.observer(), |_, chip, events| {
+                retrain_chip(runner, pretrained, table, config, chip, events)
+            })?;
+        // Sum the per-chip workspace counters and report them while the
+        // stage is still open. Each chip owns a private model workspace,
+        // so the totals depend only on the fleet — not the thread count.
+        let mut ws = WorkspaceStats::default();
+        let chips: Vec<ChipOutcome> = outcomes
+            .into_iter()
+            .map(|(chip, stats)| {
+                ws.merge(&stats);
+                chip
+            })
+            .collect();
+        exec.observer().on_event(&Event::WorkspaceUsed {
+            stage: Stage::Deploy,
+            hits: ws.hits,
+            misses: ws.misses,
+            bytes_allocated: ws.bytes_allocated,
+        });
+        Ok::<_, crate::ReduceError>(chips)
     })?;
     build_report(runner, config, chips)
 }
 
 /// Steps ②+③ for one chip: select a budget, retrain, record the outcome
-/// (and its telemetry events, in chip order).
+/// (and its telemetry events, in chip order) plus the run's workspace
+/// counters for the stage-level aggregate.
 fn retrain_chip(
     runner: &FatRunner,
     pretrained: &Pretrained,
@@ -179,7 +200,7 @@ fn retrain_chip(
     config: &FleetEvalConfig,
     chip: &Chip,
     events: &mut Vec<Event>,
-) -> Result<ChipOutcome> {
+) -> Result<(ChipOutcome, WorkspaceStats)> {
     let rate = chip.fault_rate();
     let selection = config.policy.epochs_for_chip(table, rate)?;
     let stop = if config.early_stop {
@@ -211,17 +232,20 @@ fn retrain_chip(
         final_accuracy,
         satisfied: final_accuracy >= config.constraint,
     });
-    Ok(ChipOutcome {
-        chip_id: chip.id(),
-        fault_rate: rate,
-        epochs_budgeted: selection.epochs,
-        epochs_run: outcome.epochs_run(),
-        pre_retrain_accuracy: outcome.pre_retrain_accuracy,
-        final_accuracy,
-        meets_constraint: final_accuracy >= config.constraint,
-        pruned_fraction: outcome.pruned_fraction,
-        clamped: selection.clamped,
-    })
+    Ok((
+        ChipOutcome {
+            chip_id: chip.id(),
+            fault_rate: rate,
+            epochs_budgeted: selection.epochs,
+            epochs_run: outcome.epochs_run(),
+            pre_retrain_accuracy: outcome.pre_retrain_accuracy,
+            final_accuracy,
+            meets_constraint: final_accuracy >= config.constraint,
+            pruned_fraction: outcome.pruned_fraction,
+            clamped: selection.clamped,
+        },
+        outcome.workspace,
+    ))
 }
 
 /// Aggregates per-chip outcomes into a [`FleetReport`] — the one builder

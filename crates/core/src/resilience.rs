@@ -18,6 +18,7 @@ use crate::exec::{self, ExecConfig};
 use crate::fat::{FatRunner, Mitigation, StopRule};
 use crate::telemetry::{self, EpochScope, Event, Stage};
 use crate::workbench::Pretrained;
+use reduce_nn::WorkspaceStats;
 use reduce_systolic::{FaultMap, FaultModel};
 use serde::{Deserialize, Serialize};
 
@@ -341,7 +342,7 @@ impl ResilienceAnalysis {
             .flat_map(|(ri, &rate)| (0..config.repeats).map(move |rep| (ri, rate, rep)))
             .collect();
         let points = telemetry::timed_stage(exec.observer(), Stage::Characterize, || {
-            exec::parallel_map_traced(
+            let cells_run = exec::parallel_map_traced(
                 &cells,
                 exec.threads,
                 exec.observer(),
@@ -383,16 +384,35 @@ impl ResilienceAnalysis {
                         pre_retrain_accuracy: outcome.pre_retrain_accuracy,
                         final_accuracy,
                     });
-                    Ok(ResiliencePoint {
+                    let point = ResiliencePoint {
                         rate_index: ri,
                         rate,
                         repeat: rep,
                         pre_retrain_accuracy: outcome.pre_retrain_accuracy,
                         epochs_to_constraint,
                         accuracy_after_epoch: outcome.accuracy_after_epoch,
-                    })
+                    };
+                    Ok((point, outcome.workspace))
                 },
-            )
+            )?;
+            // Sum the per-cell workspace counters and report them while the
+            // stage is still open. Each cell owns a private model workspace,
+            // so the totals depend only on the grid — not the thread count.
+            let mut ws = WorkspaceStats::default();
+            let points: Vec<ResiliencePoint> = cells_run
+                .into_iter()
+                .map(|(point, stats)| {
+                    ws.merge(&stats);
+                    point
+                })
+                .collect();
+            exec.observer().on_event(&Event::WorkspaceUsed {
+                stage: Stage::Characterize,
+                hits: ws.hits,
+                misses: ws.misses,
+                bytes_allocated: ws.bytes_allocated,
+            });
+            Ok::<_, ReduceError>(points)
         })?;
         let summaries = summarise(&rates, &points, &config);
         Ok(ResilienceAnalysis {

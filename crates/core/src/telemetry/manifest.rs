@@ -76,6 +76,25 @@ impl FleetManifest {
     }
 }
 
+/// Per-stage workspace-arena allocation counters, as recorded in a run's
+/// manifest (mirrors [`super::WorkspaceTotals`]).
+///
+/// The counters are a pure function of the run configuration — each
+/// parallel job owns a private model workspace and the totals sum over
+/// the job set — so recording them keeps the manifest byte-identical
+/// across thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageWorkspace {
+    /// Stage name (`characterize`, `deploy`, …).
+    pub stage: String,
+    /// Workspace `take` calls served by recycling a pooled buffer.
+    pub hits: u64,
+    /// Workspace `take` calls that had to allocate.
+    pub misses: u64,
+    /// Total bytes allocated by misses.
+    pub bytes_allocated: u64,
+}
+
 /// Everything needed to reproduce a bench run's artifacts.
 ///
 /// Serialised as pretty-printed JSON with struct-driven key order, so a
@@ -102,6 +121,10 @@ pub struct RunManifest {
     pub grid: Option<GridManifest>,
     /// Retraining policies evaluated, in evaluation order.
     pub policies: Vec<String>,
+    /// Per-stage workspace allocation counters (empty when the run did not
+    /// record them). Deterministic for a given configuration, so recording
+    /// them preserves cross-thread-count manifest identity.
+    pub workspace: Vec<StageWorkspace>,
     /// Deployed fleet, when the run performed Step ③.
     pub fleet: Option<FleetManifest>,
 }
@@ -119,6 +142,7 @@ impl RunManifest {
             workbench: String::new(),
             grid: None,
             policies: Vec::new(),
+            workspace: Vec::new(),
             fleet: None,
         }
     }
@@ -172,6 +196,20 @@ impl RunManifest {
         }
         policies.push(']');
         push_field(&mut s, "policies", &policies);
+        let mut workspace = String::from("[");
+        for (i, w) in self.workspace.iter().enumerate() {
+            if i > 0 {
+                workspace.push_str(", ");
+            }
+            workspace.push_str("{\"stage\": ");
+            push_json_string(&mut workspace, &w.stage);
+            workspace.push_str(&format!(
+                ", \"hits\": {}, \"misses\": {}, \"bytes_allocated\": {}}}",
+                w.hits, w.misses, w.bytes_allocated
+            ));
+        }
+        workspace.push(']');
+        push_field(&mut s, "workspace", &workspace);
         match &self.fleet {
             Some(fleet) => {
                 s.push_str("  \"fleet\": {\n");
@@ -240,6 +278,24 @@ impl RunManifest {
             }
             _ => return Err(invalid("manifest field `policies` missing or not an array")),
         };
+        // Absent in manifests written before the counters existed: treat
+        // a missing field as "not recorded" rather than an error.
+        let workspace = match doc.field("workspace") {
+            None | Some(JsonValue::Null) => Vec::new(),
+            Some(JsonValue::Arr(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(StageWorkspace {
+                        stage: require_str(item, "stage")?,
+                        hits: require_u64(item, "hits")?,
+                        misses: require_u64(item, "misses")?,
+                        bytes_allocated: require_u64(item, "bytes_allocated")?,
+                    });
+                }
+                out
+            }
+            Some(_) => return Err(invalid("manifest field `workspace` is not an array")),
+        };
         Ok(RunManifest {
             tool: require_str(&doc, "tool")?,
             crate_version: require_str(&doc, "crate_version")?,
@@ -255,6 +311,7 @@ impl RunManifest {
             workbench: require_str(&doc, "workbench")?,
             grid,
             policies,
+            workspace,
             fleet,
         })
     }
@@ -376,6 +433,20 @@ mod tests {
             seed: 0xC0FFEE,
         });
         m.policies = vec!["reduce-max".to_string(), "fixed:4".to_string()];
+        m.workspace = vec![
+            StageWorkspace {
+                stage: "characterize".to_string(),
+                hits: 150,
+                misses: 15,
+                bytes_allocated: 6144,
+            },
+            StageWorkspace {
+                stage: "deploy".to_string(),
+                hits: 7,
+                misses: 3,
+                bytes_allocated: 512,
+            },
+        ];
         m.fleet = Some(FleetManifest {
             chips: 20,
             rows: 16,
@@ -403,7 +474,19 @@ mod tests {
         assert_eq!(parsed, m);
         assert!(parsed.threads.is_none());
         assert!(parsed.grid.is_none());
+        assert!(parsed.workspace.is_empty());
         assert!(parsed.fleet.is_none());
+    }
+
+    #[test]
+    fn manifests_without_a_workspace_field_still_parse() {
+        // A pre-counter manifest: strip the field entirely.
+        let mut m = RunManifest::new("fig2", "default");
+        m.constraint = 0.9;
+        m.workbench = "wb".to_string();
+        let doc = m.to_json().replace("  \"workspace\": [],\n", "");
+        let parsed = RunManifest::from_json(&doc).expect("older manifests parse");
+        assert!(parsed.workspace.is_empty());
     }
 
     #[test]

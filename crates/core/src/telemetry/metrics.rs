@@ -56,6 +56,29 @@ impl Accumulator {
     }
 }
 
+/// Workspace-arena allocation counters aggregated per stage (from
+/// [`Event::WorkspaceUsed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkspaceTotals {
+    /// Workspace `take` calls served by recycling a pooled buffer.
+    pub hits: u64,
+    /// Workspace `take` calls that had to allocate.
+    pub misses: u64,
+    /// Total bytes allocated by misses.
+    pub bytes_allocated: u64,
+}
+
+impl WorkspaceTotals {
+    /// Fraction of `take` calls served from the pool (0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
 /// A point-in-time copy of everything the recorder has aggregated.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -74,6 +97,9 @@ pub struct MetricsSnapshot {
     pub epochs_per_chip: StatSummary,
     /// Epochs-to-constraint over grid cells that reached it.
     pub epochs_to_constraint: StatSummary,
+    /// Workspace allocation counters per stage, in the order stages first
+    /// reported them ([`Event::WorkspaceUsed`]).
+    pub workspace: Vec<(String, WorkspaceTotals)>,
 }
 
 #[derive(Debug, Default)]
@@ -87,6 +113,7 @@ struct MetricsState {
     chips_satisfied: usize,
     epochs_per_chip: Accumulator,
     epochs_to_constraint: Accumulator,
+    workspace: Vec<(String, WorkspaceTotals)>,
 }
 
 /// An [`Observer`] that aggregates counters and stat summaries in memory.
@@ -127,6 +154,7 @@ impl MetricsRecorder {
             chips_satisfied: s.chips_satisfied,
             epochs_per_chip: s.epochs_per_chip.summary(),
             epochs_to_constraint: s.epochs_to_constraint.summary(),
+            workspace: s.workspace.clone(),
         })
     }
 
@@ -162,6 +190,15 @@ impl MetricsRecorder {
             out.push_str(&format!(
                 "epochs per chip    min {:.1} mean {:.1} max {:.1}\n",
                 snap.epochs_per_chip.min, snap.epochs_per_chip.mean, snap.epochs_per_chip.max,
+            ));
+        }
+        for (stage, w) in &snap.workspace {
+            out.push_str(&format!(
+                "workspace {stage:<12} hits {} misses {} allocated {} B (hit rate {:.1}%)\n",
+                w.hits,
+                w.misses,
+                w.bytes_allocated,
+                w.hit_rate() * 100.0,
             ));
         }
         out
@@ -212,6 +249,28 @@ impl Observer for MetricsRecorder {
                     s.chips_satisfied += 1;
                 }
                 s.epochs_per_chip.observe(*epochs_run as f64);
+            }
+            Event::WorkspaceUsed {
+                stage,
+                hits,
+                misses,
+                bytes_allocated,
+            } => {
+                let name = stage.name();
+                let slot = match s.workspace.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, w)) => w,
+                    None => {
+                        s.workspace
+                            .push((name.to_string(), WorkspaceTotals::default()));
+                        match s.workspace.last_mut() {
+                            Some((_, w)) => w,
+                            None => return, // unreachable: just pushed
+                        }
+                    }
+                };
+                slot.hits += hits;
+                slot.misses += misses;
+                slot.bytes_allocated += bytes_allocated;
             }
         });
     }
@@ -294,6 +353,39 @@ mod tests {
         assert!(text.contains("telemetry"));
         assert!(text.contains("epochs completed"));
         assert_eq!(rec.snapshot().epochs_per_chip.count, 0);
+    }
+
+    #[test]
+    fn workspace_counters_aggregate_per_stage() {
+        let rec = MetricsRecorder::new();
+        for (stage, hits, misses, bytes) in [
+            (Stage::Characterize, 100, 10, 4096),
+            (Stage::Characterize, 50, 5, 2048),
+            (Stage::Deploy, 7, 3, 512),
+        ] {
+            rec.on_event(&Event::WorkspaceUsed {
+                stage,
+                hits,
+                misses,
+                bytes_allocated: bytes,
+            });
+        }
+        let snap = rec.snapshot();
+        let names: Vec<&str> = snap.workspace.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["characterize", "deploy"]);
+        assert_eq!(
+            snap.workspace[0].1,
+            WorkspaceTotals {
+                hits: 150,
+                misses: 15,
+                bytes_allocated: 6144,
+            }
+        );
+        assert!((snap.workspace[0].1.hit_rate() - 150.0 / 165.0).abs() < 1e-12);
+        assert_eq!(WorkspaceTotals::default().hit_rate(), 0.0);
+        let text = rec.render();
+        assert!(text.contains("workspace characterize"));
+        assert!(text.contains("allocated 512 B"));
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! * [`Event::EpochCompleted`] — one tick per FAT epoch, scoped to the
 //!   grid cell or chip that ran it;
 //! * [`Event::PointFinished`] — one per Step-① `(rate, repeat)` grid cell;
-//! * [`Event::ChipRetrained`] — one per Step-③ fleet chip.
+//! * [`Event::ChipRetrained`] — one per Step-③ fleet chip;
+//! * [`Event::WorkspaceUsed`] — one per fan-out stage, summing the
+//!   workspace-arena allocation counters over the stage's jobs.
 //!
 //! # Determinism contract
 //!
@@ -46,8 +48,8 @@ mod manifest;
 mod metrics;
 mod runlog;
 
-pub use manifest::{FleetManifest, GridManifest, RunManifest};
-pub use metrics::{MetricsRecorder, MetricsSnapshot, StatSummary};
+pub use manifest::{FleetManifest, GridManifest, RunManifest, StageWorkspace};
+pub use metrics::{MetricsRecorder, MetricsSnapshot, StatSummary, WorkspaceTotals};
 pub use runlog::RunLog;
 
 use std::time::Instant;
@@ -148,6 +150,24 @@ pub enum Event {
         final_accuracy: f32,
         /// Whether the deployed accuracy meets the constraint.
         satisfied: bool,
+    },
+    /// Workspace-arena allocation counters for one fan-out stage, summed
+    /// over the stage's jobs after the fan-out completes.
+    ///
+    /// Each parallel job owns a private model whose workspace recycles
+    /// buffers across epochs; the counters depend only on the job set (so
+    /// the event is byte-identical at any thread count) and stop growing
+    /// per epoch once training reaches steady state — the observable form
+    /// of the zero-allocation property.
+    WorkspaceUsed {
+        /// The stage whose jobs the counters sum over.
+        stage: Stage,
+        /// Workspace `take` calls served by recycling a pooled buffer.
+        hits: u64,
+        /// Workspace `take` calls that had to allocate.
+        misses: u64,
+        /// Total bytes allocated by misses.
+        bytes_allocated: u64,
     },
 }
 

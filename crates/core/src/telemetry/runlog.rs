@@ -192,6 +192,18 @@ fn render_event(event: &Event, redact_timing: bool) -> String {
             push_json_f32(&mut s, *final_accuracy);
             s.push_str(&format!(",\"satisfied\":{satisfied}}}"));
         }
+        Event::WorkspaceUsed {
+            stage,
+            hits,
+            misses,
+            bytes_allocated,
+        } => {
+            s.push_str("{\"event\":\"workspace_used\",\"stage\":\"");
+            s.push_str(stage.name());
+            s.push_str(&format!(
+                "\",\"hits\":{hits},\"misses\":{misses},\"bytes_allocated\":{bytes_allocated}}}"
+            ));
+        }
     }
     // `push_json_string` is reserved for payloads that carry free text;
     // every current field is numeric, boolean or a fixed stage name.
@@ -255,6 +267,12 @@ mod tests {
                 final_accuracy: 0.92,
                 satisfied: true,
             },
+            Event::WorkspaceUsed {
+                stage: Stage::Characterize,
+                hits: 120,
+                misses: 12,
+                bytes_allocated: 4096,
+            },
             Event::StageFinished {
                 stage: Stage::Characterize,
                 seconds: Some(1.25),
@@ -277,7 +295,7 @@ mod tests {
     fn lines_are_valid_json_with_stable_fields() {
         let text = log_to_string(false);
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 5);
+        assert_eq!(lines.len(), 6);
         for line in &lines {
             super::super::json::parse(line).expect("every line parses");
         }
@@ -285,7 +303,12 @@ mod tests {
         assert!(lines[1].contains("\"scope\":\"point\"") && lines[1].contains("\"epoch\":1"));
         assert!(lines[2].contains("\"epochs_to_constraint\":null"));
         assert!(lines[3].contains("\"satisfied\":true"));
-        assert!(lines[4].contains("\"seconds\":1.25"));
+        assert!(
+            lines[4].contains("\"workspace_used\"")
+                && lines[4].contains("\"misses\":12")
+                && lines[4].contains("\"bytes_allocated\":4096")
+        );
+        assert!(lines[5].contains("\"seconds\":1.25"));
     }
 
     #[test]

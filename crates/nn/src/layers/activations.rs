@@ -2,7 +2,41 @@
 
 use crate::error::{NnError, Result};
 use crate::layers::{Layer, Mode};
-use reduce_tensor::Tensor;
+use crate::workspace::Workspace;
+use reduce_tensor::{Tensor, TensorError};
+
+/// Elementwise `out[i] = f(x[i])` into a workspace tensor; bit-identical to
+/// `x.map(f)` but allocation-free once the workspace is warm.
+fn map_into_ws<F: Fn(f32) -> f32>(x: &Tensor, ws: &mut Workspace, f: F) -> Tensor {
+    let mut out = ws.take(x.dims().to_vec());
+    for (o, &v) in out.data_mut().iter_mut().zip(x.data()) {
+        *o = f(v);
+    }
+    out
+}
+
+/// Elementwise `out[i] = f(a[i], b[i])` into a workspace tensor;
+/// bit-identical to `a.zip_map(b, f)`.
+fn zip_map_into_ws<F: Fn(f32, f32) -> f32>(
+    a: &Tensor,
+    b: &Tensor,
+    ws: &mut Workspace,
+    f: F,
+) -> Result<Tensor> {
+    if a.dims() != b.dims() {
+        return Err(TensorError::ShapeMismatch {
+            op: "zip_map",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        }
+        .into());
+    }
+    let mut out = ws.take(a.dims().to_vec());
+    for ((o, &av), &bv) in out.data_mut().iter_mut().zip(a.data()).zip(b.data()) {
+        *o = f(av, bv);
+    }
+    Ok(out)
+}
 
 macro_rules! unary_activation {
     ($(#[$doc:meta])* $name:ident, $label:literal, $fwd:expr, $bwd:expr) => {
@@ -24,17 +58,21 @@ macro_rules! unary_activation {
                 $label.to_string()
             }
 
-            fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
+            fn forward_ws(&mut self, x: &Tensor, _mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+                if let Some(stale) = self.cached_input.take() {
+                    ws.give(stale);
+                }
+                // xtask:allow(hot-path-alloc): O(1) copy-on-write handle clone for the backward cache
                 self.cached_input = Some(x.clone());
-                Ok(x.map($fwd))
+                Ok(map_into_ws(x, ws, $fwd))
             }
 
-            fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+            fn backward_ws(&mut self, grad: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
                 let x = self
                     .cached_input
                     .as_ref()
                     .ok_or_else(|| NnError::MissingForwardState { layer: self.name() })?;
-                Ok(grad.zip_map(x, |g, xv| g * $bwd(xv))?)
+                zip_map_into_ws(grad, x, ws, |g, xv| g * $bwd(xv))
             }
         }
     };
@@ -107,19 +145,23 @@ impl Layer for LeakyRelu {
         format!("leaky_relu({})", self.alpha)
     }
 
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward_ws(&mut self, x: &Tensor, _mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        if let Some(stale) = self.cached_input.take() {
+            ws.give(stale);
+        }
+        // xtask:allow(hot-path-alloc): O(1) copy-on-write handle clone for the backward cache
         self.cached_input = Some(x.clone());
         let a = self.alpha;
-        Ok(x.map(|v| if v > 0.0 { v } else { a * v }))
+        Ok(map_into_ws(x, ws, |v| if v > 0.0 { v } else { a * v }))
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+    fn backward_ws(&mut self, grad: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
         let x = self
             .cached_input
             .as_ref()
             .ok_or_else(|| NnError::MissingForwardState { layer: self.name() })?;
         let a = self.alpha;
-        Ok(grad.zip_map(x, |g, xv| if xv > 0.0 { g } else { a * g })?)
+        zip_map_into_ws(grad, x, ws, |g, xv| if xv > 0.0 { g } else { a * g })
     }
 }
 

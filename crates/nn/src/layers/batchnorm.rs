@@ -3,6 +3,7 @@
 use crate::error::{NnError, Result};
 use crate::layers::{Layer, Mode};
 use crate::param::Parameter;
+use crate::workspace::Workspace;
 use reduce_tensor::Tensor;
 
 const DEFAULT_EPS: f32 = 1e-5;
@@ -21,6 +22,10 @@ struct BatchNormState {
     /// Cached normalised activations and per-feature inverse std from the
     /// last train-mode forward.
     cached: Option<(Tensor, Vec<f32>)>,
+    /// Reusable per-feature scratch (mean/var in forward, grad sums in
+    /// backward) so steady-state iterations allocate nothing.
+    scratch_a: Vec<f32>,
+    scratch_b: Vec<f32>,
 }
 
 impl BatchNormState {
@@ -34,6 +39,8 @@ impl BatchNormState {
             momentum: DEFAULT_MOMENTUM,
             features,
             cached: None,
+            scratch_a: Vec::new(),
+            scratch_b: Vec::new(),
         }
     }
 
@@ -47,19 +54,32 @@ impl BatchNormState {
         feat: F,
         group_size: usize,
         mode: Mode,
+        ws: &mut Workspace,
     ) -> Result<Tensor> {
         let c = self.features;
-        let mut y = x.clone();
+        if mode == Mode::Train && group_size == 0 {
+            return Err(NnError::BadInput {
+                layer: "batch_norm".to_string(),
+                reason: "empty batch".to_string(),
+            });
+        }
+        // Recycle last iteration's cached xhat tensor and inv_std allocation.
+        let mut inv_std = match self.cached.take() {
+            Some((stale, v)) => {
+                ws.give(stale);
+                v
+            }
+            // xtask:allow(hot-path-alloc): empty Vec::new is allocation-free; filled once at warm-up
+            None => Vec::new(),
+        };
         match mode {
             Mode::Train => {
-                if group_size == 0 {
-                    return Err(NnError::BadInput {
-                        layer: "batch_norm".to_string(),
-                        reason: "empty batch".to_string(),
-                    });
-                }
-                let mut mean = vec![0.0f32; c];
-                let mut var = vec![0.0f32; c];
+                let mut mean = std::mem::take(&mut self.scratch_a);
+                mean.clear();
+                mean.resize(c, 0.0);
+                let mut var = std::mem::take(&mut self.scratch_b);
+                var.clear();
+                var.resize(c, 0.0);
                 for (i, &v) in x.data().iter().enumerate() {
                     mean[feat(i)] += v;
                 }
@@ -73,16 +93,19 @@ impl BatchNormState {
                 for v in &mut var {
                     *v /= group_size as f32;
                 }
-                let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
-                let mut xhat = x.clone();
-                for (i, v) in xhat.data_mut().iter_mut().enumerate() {
+                inv_std.clear();
+                let eps = self.eps;
+                inv_std.extend(var.iter().map(|&v| 1.0 / (v + eps).sqrt()));
+                let mut xhat = ws.take(x.dims().to_vec());
+                for (i, (h, &v)) in xhat.data_mut().iter_mut().zip(x.data()).enumerate() {
                     let f = feat(i);
-                    *v = (*v - mean[f]) * inv_std[f];
+                    *h = (v - mean[f]) * inv_std[f];
                 }
+                let mut y = ws.take(x.dims().to_vec());
                 let (gd, bd) = (self.gamma.value().data(), self.beta.value().data());
-                for (i, v) in y.data_mut().iter_mut().enumerate() {
+                for (i, (o, &h)) in y.data_mut().iter_mut().zip(xhat.data()).enumerate() {
                     let f = feat(i);
-                    *v = gd[f] * xhat.data()[i] + bd[f];
+                    *o = gd[f] * h + bd[f];
                 }
                 // Exponential running statistics for eval mode.
                 let m = self.momentum;
@@ -92,20 +115,25 @@ impl BatchNormState {
                     let rv = &mut self.running_var.data_mut()[f];
                     *rv = (1.0 - m) * *rv + m * var[f];
                 }
+                self.scratch_a = mean;
+                self.scratch_b = var;
                 self.cached = Some((xhat, inv_std));
+                Ok(y)
             }
             Mode::Eval => {
+                let mut y = ws.take(x.dims().to_vec());
                 let (gd, bd) = (self.gamma.value().data(), self.beta.value().data());
                 let (rm, rv) = (self.running_mean.data(), self.running_var.data());
-                for (i, v) in y.data_mut().iter_mut().enumerate() {
+                let eps = self.eps;
+                for (i, (o, &v)) in y.data_mut().iter_mut().zip(x.data()).enumerate() {
                     let f = feat(i);
-                    let inv = 1.0 / (rv[f] + self.eps).sqrt();
-                    *v = gd[f] * (*v - rm[f]) * inv + bd[f];
+                    let inv = 1.0 / (rv[f] + eps).sqrt();
+                    *o = gd[f] * (v - rm[f]) * inv + bd[f];
                 }
-                self.cached = None;
+                // cached was drained above, matching the old `cached = None`.
+                Ok(y)
             }
         }
-        Ok(y)
     }
 
     fn backward_grouped<F: Fn(usize) -> usize>(
@@ -114,6 +142,7 @@ impl BatchNormState {
         feat: F,
         group_size: usize,
         layer_name: &str,
+        ws: &mut Workspace,
     ) -> Result<Tensor> {
         let (xhat, inv_std) = self
             .cached
@@ -123,8 +152,12 @@ impl BatchNormState {
             })?;
         let c = self.features;
         let n = group_size as f32;
-        let mut sum_dy = vec![0.0f32; c];
-        let mut sum_dy_xhat = vec![0.0f32; c];
+        let mut sum_dy = std::mem::take(&mut self.scratch_a);
+        sum_dy.clear();
+        sum_dy.resize(c, 0.0);
+        let mut sum_dy_xhat = std::mem::take(&mut self.scratch_b);
+        sum_dy_xhat.clear();
+        sum_dy_xhat.resize(c, 0.0);
         for (i, &g) in grad.data().iter().enumerate() {
             let f = feat(i);
             sum_dy[f] += g;
@@ -138,12 +171,13 @@ impl BatchNormState {
         // Input gradient:
         // dx = gamma*inv_std/N * (N*dy - sum_dy - xhat * sum_dy_xhat)
         let gd = self.gamma.value().data();
-        let mut gx = grad.clone();
-        for (i, v) in gx.data_mut().iter_mut().enumerate() {
+        let mut gx = ws.take(grad.dims().to_vec());
+        for (i, (o, &g)) in gx.data_mut().iter_mut().zip(grad.data()).enumerate() {
             let f = feat(i);
-            *v = gd[f] * inv_std[f] / n
-                * (n * grad.data()[i] - sum_dy[f] - xhat.data()[i] * sum_dy_xhat[f]);
+            *o = gd[f] * inv_std[f] / n * (n * g - sum_dy[f] - xhat.data()[i] * sum_dy_xhat[f]);
         }
+        self.scratch_a = sum_dy;
+        self.scratch_b = sum_dy_xhat;
         Ok(gx)
     }
 }
@@ -168,7 +202,7 @@ impl Layer for BatchNorm1d {
         format!("batch_norm1d({})", self.state.features)
     }
 
-    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
         let (n, f) = x.shape().as_matrix().map_err(|_| NnError::BadInput {
             layer: self.name(),
             reason: format!("expected rank-2 input, got {:?}", x.dims()),
@@ -179,13 +213,13 @@ impl Layer for BatchNorm1d {
                 reason: format!("expected {} features, got {f}", self.state.features),
             });
         }
-        self.state.forward_grouped(x, |i| i % f, n, mode)
+        self.state.forward_grouped(x, |i| i % f, n, mode, ws)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+    fn backward_ws(&mut self, grad: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
         let (n, f) = grad.shape().as_matrix()?;
         let name = self.name();
-        self.state.backward_grouped(grad, |i| i % f, n, &name)
+        self.state.backward_grouped(grad, |i| i % f, n, &name, ws)
     }
 
     fn params(&self) -> Vec<&Parameter> {
@@ -217,7 +251,7 @@ impl Layer for BatchNorm2d {
         format!("batch_norm2d({})", self.state.features)
     }
 
-    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
         let d = x.dims();
         if d.len() != 4 || d[1] != self.state.features {
             return Err(NnError::BadInput {
@@ -231,10 +265,10 @@ impl Layer for BatchNorm2d {
         let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
         let hw = h * w;
         self.state
-            .forward_grouped(x, move |i| (i / hw) % c, n * hw, mode)
+            .forward_grouped(x, move |i| (i / hw) % c, n * hw, mode, ws)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+    fn backward_ws(&mut self, grad: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
         let d = grad.dims().to_vec();
         if d.len() != 4 {
             return Err(NnError::BadInput {
@@ -246,7 +280,7 @@ impl Layer for BatchNorm2d {
         let hw = h * w;
         let name = self.name();
         self.state
-            .backward_grouped(grad, move |i| (i / hw) % c, n * hw, &name)
+            .backward_grouped(grad, move |i| (i / hw) % c, n * hw, &name, ws)
     }
 
     fn params(&self) -> Vec<&Parameter> {

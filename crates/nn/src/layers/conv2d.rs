@@ -4,6 +4,7 @@ use crate::error::{NnError, Result};
 use crate::init::Init;
 use crate::layers::{Layer, Mode};
 use crate::param::Parameter;
+use crate::workspace::Workspace;
 use rand::Rng;
 use reduce_tensor::ops::{self, Conv2dGeometry};
 use reduce_tensor::Tensor;
@@ -96,7 +97,7 @@ impl Layer for Conv2d {
         )
     }
 
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward_ws(&mut self, x: &Tensor, _mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
         let d = x.dims();
         if d.len() != 4 || d[1] != self.in_channels {
             return Err(NnError::BadInput {
@@ -107,12 +108,21 @@ impl Layer for Conv2d {
                 ),
             });
         }
+        if let Some(stale) = self.cached.take() {
+            ws.give(stale.cols);
+        }
         let (n, h, w) = (d[0], d[2], d[3]);
         let geom = Conv2dGeometry::new(h, w, self.kernel, self.kernel, self.stride, self.padding)?;
-        let cols = ops::im2col(x, &geom)?;
-        let rows = ops::matmul_nt(&cols, self.weight.value())?;
-        let rows = ops::add_bias_rows(&rows, self.bias.value())?;
-        let y = ops::rows_to_nchw(&rows, n, self.out_channels, geom.out_h, geom.out_w)?;
+        let positions = n * geom.out_h * geom.out_w;
+        let patch = self.in_channels * self.kernel * self.kernel;
+        let mut cols = ws.take([positions, patch]);
+        ops::im2col_into(x, &geom, &mut cols)?;
+        let mut rows = ws.take([positions, self.out_channels]);
+        ops::matmul_nt_into(&cols, self.weight.value(), &mut rows)?;
+        ops::add_bias_rows_in_place(&mut rows, self.bias.value())?;
+        let mut y = ws.take([n, self.out_channels, geom.out_h, geom.out_w]);
+        ops::rows_to_nchw_into(&rows, n, self.out_channels, geom.out_h, geom.out_w, &mut y)?;
+        ws.give(rows);
         self.cached = Some(CachedForward {
             cols,
             geom,
@@ -121,7 +131,7 @@ impl Layer for Conv2d {
         Ok(y)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+    fn backward_ws(&mut self, grad: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
         let cached = self
             .cached
             .as_ref()
@@ -138,20 +148,38 @@ impl Layer for Conv2d {
                 reason: format!("gradient shape {gd:?} does not match forward output"),
             });
         }
-        let grows = ops::nchw_to_rows(grad)?;
+        let positions = cached.batch * cached.geom.out_h * cached.geom.out_w;
+        let patch = self.in_channels * self.kernel * self.kernel;
+        let mut grows = ws.take([positions, self.out_channels]);
+        ops::nchw_to_rows_into(grad, &mut grows)?;
         // dW = growsᵀ · cols — (OC, N·OH·OW)·(N·OH·OW, C·K·K)
-        let dw = ops::matmul_tn(&grows, &cached.cols)?;
+        let mut dw = ws.take([self.out_channels, patch]);
+        ops::matmul_tn_into(&grows, &cached.cols, &mut dw)?;
         self.weight.grad_mut().axpy(1.0, &dw)?;
-        let db = grows.sum_rows()?;
+        ws.give(dw);
+        let mut db = ws.take([self.out_channels]);
+        grows.sum_rows_into(&mut db)?;
         self.bias.grad_mut().axpy(1.0, &db)?;
+        ws.give(db);
         // dcols = grows · W — (N·OH·OW, OC)·(OC, C·K·K)
-        let dcols = ops::matmul(&grows, self.weight.value())?;
-        Ok(ops::col2im(
+        let mut dcols = ws.take([positions, patch]);
+        ops::matmul_into(&grows, self.weight.value(), &mut dcols)?;
+        ws.give(grows);
+        let mut gx = ws.take([
+            cached.batch,
+            self.in_channels,
+            cached.geom.in_h,
+            cached.geom.in_w,
+        ]);
+        ops::col2im_into(
             &dcols,
             cached.batch,
             self.in_channels,
             &cached.geom,
-        )?)
+            &mut gx,
+        )?;
+        ws.give(dcols);
+        Ok(gx)
     }
 
     fn params(&self) -> Vec<&Parameter> {

@@ -2,9 +2,10 @@
 
 use crate::error::{NnError, Result};
 use crate::layers::{Layer, Mode};
+use crate::workspace::Workspace;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use reduce_tensor::Tensor;
+use reduce_tensor::{Tensor, TensorError};
 
 /// Inverted dropout: during training each element is zeroed with
 /// probability `p` and survivors are scaled by `1/(1-p)` so the expected
@@ -49,38 +50,60 @@ impl Layer for Dropout {
         format!("dropout({})", self.p)
     }
 
-    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        if let Some(stale) = self.cached_mask.take() {
+            ws.give(stale);
+        }
         match mode {
-            Mode::Eval => {
-                self.cached_mask = None;
-                Ok(x.clone())
-            }
+            // Identity passes share storage with the input (O(1) clone).
+            // xtask:allow(hot-path-alloc): O(1) copy-on-write handle clone (identity pass)
+            Mode::Eval => Ok(x.clone()),
             Mode::Train => {
                 // xtask:allow(float-eq): p == 0.0 is the exact "dropout disabled" sentinel
                 if self.p == 0.0 {
-                    self.cached_mask = None;
+                    // xtask:allow(hot-path-alloc): O(1) copy-on-write handle clone (identity pass)
                     return Ok(x.clone());
                 }
                 let keep = 1.0 - self.p;
                 let scale = 1.0 / keep;
-                let mask = Tensor::from_fn(x.dims().to_vec(), |_| {
-                    if self.rng.gen::<f32>() < keep {
+                let mut mask = ws.take(x.dims().to_vec());
+                // Same elementwise draw order as Tensor::from_fn.
+                for m in mask.data_mut() {
+                    *m = if self.rng.gen::<f32>() < keep {
                         scale
                     } else {
                         0.0
-                    }
-                });
-                let y = (x * &mask)?;
+                    };
+                }
+                let mut y = ws.take(x.dims().to_vec());
+                for ((o, &xv), &mv) in y.data_mut().iter_mut().zip(x.data()).zip(mask.data()) {
+                    *o = xv * mv;
+                }
                 self.cached_mask = Some(mask);
                 Ok(y)
             }
         }
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+    fn backward_ws(&mut self, grad: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
         match &self.cached_mask {
-            Some(mask) => Ok((grad * mask)?),
-            // Eval-mode or p=0 forward: identity.
+            Some(mask) => {
+                if grad.dims() != mask.dims() {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "mul",
+                        lhs: grad.dims().to_vec(),
+                        rhs: mask.dims().to_vec(),
+                    }
+                    .into());
+                }
+                let mut gx = ws.take(grad.dims().to_vec());
+                for ((o, &g), &mv) in gx.data_mut().iter_mut().zip(grad.data()).zip(mask.data()) {
+                    *o = g * mv;
+                }
+                Ok(gx)
+            }
+            // Eval-mode or p=0 forward: identity (O(1) clone).
+            // xtask:allow(hot-path-alloc): O(1) copy-on-write handle clone (identity pass)
             None => Ok(grad.clone()),
         }
     }

@@ -2,6 +2,7 @@
 
 use crate::error::{NnError, Result};
 use crate::layers::{Layer, Mode};
+use crate::workspace::Workspace;
 use reduce_tensor::Tensor;
 
 /// Flattens all non-batch dimensions: `(N, d1, d2, …)` → `(N, d1·d2·…)`.
@@ -24,7 +25,7 @@ impl Layer for Flatten {
         "flatten".to_string()
     }
 
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward_ws(&mut self, x: &Tensor, _mode: Mode, _ws: &mut Workspace) -> Result<Tensor> {
         let d = x.dims();
         if d.is_empty() {
             return Err(NnError::BadInput {
@@ -34,15 +35,21 @@ impl Layer for Flatten {
         }
         let n = d[0];
         let rest: usize = d[1..].iter().product();
-        self.cached_input_dims = Some(d.to_vec());
+        // Reuse the cached dims vector across iterations.
+        // xtask:allow(hot-path-alloc): empty Vec::new initialises the cache once; reused after
+        let dims = self.cached_input_dims.get_or_insert_with(Vec::new);
+        dims.clear();
+        dims.extend_from_slice(d);
+        // Reshape is an O(1) storage-sharing view; nothing to pool.
         Ok(x.reshape([n, rest])?)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+    fn backward_ws(&mut self, grad: &Tensor, _ws: &mut Workspace) -> Result<Tensor> {
         let dims = self
             .cached_input_dims
             .as_ref()
             .ok_or_else(|| NnError::MissingForwardState { layer: self.name() })?;
+        // xtask:allow(hot-path-alloc): clones a handful of usize shape entries, not a buffer
         Ok(grad.reshape(dims.clone())?)
     }
 }

@@ -3,6 +3,7 @@
 use crate::error::{NnError, Result};
 use crate::layers::{Layer, Mode};
 use crate::param::Parameter;
+use crate::workspace::Workspace;
 use reduce_tensor::Tensor;
 
 /// Layer normalisation over all non-batch dimensions.
@@ -22,6 +23,9 @@ pub struct LayerNorm {
     eps: f32,
     /// Cached (normalised activations, per-sample inv_std) from forward.
     cached: Option<(Tensor, Vec<f32>)>,
+    /// Reusable backward scratch: gamma snapshot and per-sample dy·γ row.
+    scratch_gd: Vec<f32>,
+    scratch_dyg: Vec<f32>,
 }
 
 impl LayerNorm {
@@ -33,6 +37,8 @@ impl LayerNorm {
             features,
             eps: 1e-5,
             cached: None,
+            scratch_gd: Vec::new(),
+            scratch_dyg: Vec::new(),
         }
     }
 
@@ -68,18 +74,28 @@ impl Layer for LayerNorm {
         format!("layer_norm({})", self.features)
     }
 
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward_ws(&mut self, x: &Tensor, _mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
         let n = self.check(x)?;
         let f = self.features;
-        let mut y = x.clone();
-        let mut xhat = x.clone();
-        let mut inv_stds = Vec::with_capacity(n);
+        // Recycle last iteration's cached xhat tensor and inv_std allocation.
+        let mut inv_stds = match self.cached.take() {
+            Some((stale, v)) => {
+                ws.give(stale);
+                v
+            }
+            // xtask:allow(hot-path-alloc): empty Vec::new is allocation-free; filled once at warm-up
+            None => Vec::new(),
+        };
+        inv_stds.clear();
+        let mut y = ws.take(x.dims().to_vec());
+        let mut xhat = ws.take(x.dims().to_vec());
         let (gd, bd) = (self.gamma.value().data(), self.beta.value().data());
+        let eps = self.eps;
         for s in 0..n {
             let row = &x.data()[s * f..(s + 1) * f];
             let mean: f32 = row.iter().sum::<f32>() / f as f32;
             let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / f as f32;
-            let inv_std = 1.0 / (var + self.eps).sqrt();
+            let inv_std = 1.0 / (var + eps).sqrt();
             inv_stds.push(inv_std);
             for j in 0..f {
                 let h = (row[j] - mean) * inv_std;
@@ -91,7 +107,7 @@ impl Layer for LayerNorm {
         Ok(y)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+    fn backward_ws(&mut self, grad: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
         let (xhat, inv_stds) = self
             .cached
             .as_ref()
@@ -104,8 +120,11 @@ impl Layer for LayerNorm {
                 reason: format!("gradient shape {:?} != forward shape", grad.dims()),
             });
         }
-        let gd = self.gamma.value().data().to_vec();
-        let mut gx = grad.clone();
+        let mut gd = std::mem::take(&mut self.scratch_gd);
+        gd.clear();
+        gd.extend_from_slice(self.gamma.value().data());
+        let mut dyg = std::mem::take(&mut self.scratch_dyg);
+        let mut gx = ws.take(grad.dims().to_vec());
         for (s, &inv_std) in inv_stds.iter().enumerate().take(n) {
             let g = &grad.data()[s * f..(s + 1) * f];
             let h = &xhat.data()[s * f..(s + 1) * f];
@@ -115,7 +134,8 @@ impl Layer for LayerNorm {
                 self.beta.grad_mut().data_mut()[j] += g[j];
             }
             // Input grad: dx = inv_std/F * (F·dy·γ − Σ(dy·γ) − h·Σ(dy·γ·h)).
-            let dyg: Vec<f32> = (0..f).map(|j| g[j] * gd[j]).collect();
+            dyg.clear();
+            dyg.extend((0..f).map(|j| g[j] * gd[j]));
             let sum_dyg: f32 = dyg.iter().sum();
             let sum_dyg_h: f32 = dyg.iter().zip(h).map(|(a, b)| a * b).sum();
             let inv = inv_std / f as f32;
@@ -123,6 +143,8 @@ impl Layer for LayerNorm {
                 gx.data_mut()[s * f + j] = inv * (f as f32 * dyg[j] - sum_dyg - h[j] * sum_dyg_h);
             }
         }
+        self.scratch_gd = gd;
+        self.scratch_dyg = dyg;
         Ok(gx)
     }
 

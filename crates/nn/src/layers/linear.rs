@@ -4,6 +4,7 @@ use crate::error::{NnError, Result};
 use crate::init::Init;
 use crate::layers::{Layer, Mode};
 use crate::param::Parameter;
+use crate::workspace::Workspace;
 use rand::Rng;
 use reduce_tensor::{ops, Tensor};
 
@@ -86,8 +87,8 @@ impl Layer for Linear {
         format!("linear({}→{})", self.in_features, self.out_features)
     }
 
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
-        let (_, c) = x.shape().as_matrix().map_err(|_| NnError::BadInput {
+    fn forward_ws(&mut self, x: &Tensor, _mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        let (n, c) = x.shape().as_matrix().map_err(|_| NnError::BadInput {
             layer: self.name(),
             reason: format!("expected rank-2 input, got {:?}", x.dims()),
         })?;
@@ -97,24 +98,37 @@ impl Layer for Linear {
                 reason: format!("expected {} input features, got {c}", self.in_features),
             });
         }
+        if let Some(stale) = self.cached_input.take() {
+            ws.give(stale);
+        }
+        // xtask:allow(hot-path-alloc): O(1) copy-on-write handle clone for the backward cache
         self.cached_input = Some(x.clone());
-        let y = ops::matmul_nt(x, self.weight.value())?;
-        Ok(ops::add_bias_rows(&y, self.bias.value())?)
+        let mut y = ws.take([n, self.out_features]);
+        ops::matmul_nt_into(x, self.weight.value(), &mut y)?;
+        ops::add_bias_rows_in_place(&mut y, self.bias.value())?;
+        Ok(y)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+    fn backward_ws(&mut self, grad: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
         let x = self
             .cached_input
             .as_ref()
             .ok_or_else(|| NnError::MissingForwardState { layer: self.name() })?;
+        let n = x.dims().first().copied().unwrap_or(0);
         // dW = gradᵀ · x   — (out, N)·(N, in) = (out, in)
-        let dw = ops::matmul_tn(grad, x)?;
+        let mut dw = ws.take([self.out_features, self.in_features]);
+        ops::matmul_tn_into(grad, x, &mut dw)?;
         self.weight.grad_mut().axpy(1.0, &dw)?;
+        ws.give(dw);
         // db = column sums of grad
-        let db = grad.sum_rows()?;
+        let mut db = ws.take([self.out_features]);
+        grad.sum_rows_into(&mut db)?;
         self.bias.grad_mut().axpy(1.0, &db)?;
+        ws.give(db);
         // dx = grad · W   — (N, out)·(out, in) = (N, in)
-        Ok(ops::matmul(grad, self.weight.value())?)
+        let mut gx = ws.take([n, self.in_features]);
+        ops::matmul_into(grad, self.weight.value(), &mut gx)?;
+        Ok(gx)
     }
 
     fn params(&self) -> Vec<&Parameter> {

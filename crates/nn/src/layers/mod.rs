@@ -20,6 +20,7 @@ pub use pool::{AvgPool2d, MaxPool2d};
 
 use crate::error::Result;
 use crate::param::Parameter;
+use crate::workspace::Workspace;
 use reduce_tensor::Tensor;
 use std::fmt;
 
@@ -42,25 +43,59 @@ pub enum Mode {
 /// Layers cache whatever forward state their backward pass needs; calling
 /// [`Layer::backward`] before [`Layer::forward`] is an error, not a panic.
 /// The trait is object-safe — models store `Box<dyn Layer>`.
+///
+/// The workspace-threaded entry points [`Layer::forward_ws`] and
+/// [`Layer::backward_ws`] are the required implementations: layers draw
+/// every intermediate tensor from the caller's [`Workspace`] and return
+/// stale cached state to it, so a training loop that reuses one workspace
+/// (as [`crate::Sequential`] does) runs allocation-free once warm. The
+/// plain [`Layer::forward`]/[`Layer::backward`] conveniences run the same
+/// code against an ephemeral workspace and produce bit-identical results —
+/// [`Workspace::take`] always hands out zeroed buffers, so recycling never
+/// changes numerics.
 pub trait Layer: fmt::Debug + Send {
     /// Diagnostic name, e.g. `"conv2d(16→32, 3x3)"`.
     fn name(&self) -> String;
 
     /// Computes the layer output for `x`, caching state for backward.
+    /// Intermediates are drawn from `ws`; stale caches are returned to it.
     ///
     /// # Errors
     ///
     /// Returns [`crate::NnError::BadInput`] if `x` has the wrong shape.
-    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor>;
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor>;
 
     /// Propagates the output gradient back to the input, accumulating
-    /// parameter gradients along the way.
+    /// parameter gradients along the way. Intermediates are drawn from
+    /// `ws`.
     ///
     /// # Errors
     ///
     /// Returns [`crate::NnError::MissingForwardState`] if no forward pass
     /// preceded this call.
-    fn backward(&mut self, grad: &Tensor) -> Result<Tensor>;
+    fn backward_ws(&mut self, grad: &Tensor, ws: &mut Workspace) -> Result<Tensor>;
+
+    /// Convenience forward pass using an ephemeral workspace. Bit-identical
+    /// to [`Layer::forward_ws`]; allocates per call.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Layer::forward_ws`].
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut ws = Workspace::new();
+        self.forward_ws(x, mode, &mut ws)
+    }
+
+    /// Convenience backward pass using an ephemeral workspace. Bit-identical
+    /// to [`Layer::backward_ws`]; allocates per call.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Layer::backward_ws`].
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad, &mut ws)
+    }
 
     /// Immutable views of the layer's trainable parameters.
     fn params(&self) -> Vec<&Parameter> {

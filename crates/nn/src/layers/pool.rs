@@ -2,7 +2,22 @@
 
 use crate::error::{NnError, Result};
 use crate::layers::{Layer, Mode};
+use crate::workspace::Workspace;
 use reduce_tensor::{ops, Tensor};
+
+/// Output dims for a square pooling window over an NCHW input, or a
+/// deliberately bogus shape for non-rank-4 inputs so the `_into` kernel can
+/// surface its own (correct) error.
+fn pool_out_dims(x: &Tensor, window: usize, stride: usize) -> Result<Vec<usize>> {
+    let d = x.dims();
+    if d.len() != 4 {
+        return Ok(vec![0, 0, 0, 0]);
+    }
+    // xtask:allow(index): rank-4 guaranteed by the early return above
+    let g = ops::Conv2dGeometry::new(d[2], d[3], window, window, stride, 0)?;
+    // xtask:allow(index): rank-4 guaranteed by the early return above
+    Ok(vec![d[0], d[1], g.out_h, g.out_w])
+}
 
 /// 2-D max pooling over NCHW tensors (no padding).
 #[derive(Debug)]
@@ -36,18 +51,26 @@ impl Layer for MaxPool2d {
         )
     }
 
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
-        let out = ops::max_pool2d(x, self.window, self.stride)?;
-        self.cached = Some((out.argmax, x.dims().to_vec()));
-        Ok(out.output)
+    fn forward_ws(&mut self, x: &Tensor, _mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        // Reuse the cached argmax / dims allocations across iterations.
+        let (mut argmax, mut dims) = self.cached.take().unwrap_or_default();
+        let mut out = ws.take(pool_out_dims(x, self.window, self.stride)?);
+        ops::max_pool2d_into(x, self.window, self.stride, &mut out, &mut argmax)?;
+        dims.clear();
+        dims.extend_from_slice(x.dims());
+        self.cached = Some((argmax, dims));
+        Ok(out)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+    fn backward_ws(&mut self, grad: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
         let (argmax, dims) = self
             .cached
             .as_ref()
             .ok_or_else(|| NnError::MissingForwardState { layer: self.name() })?;
-        Ok(ops::max_pool2d_backward(grad, argmax, dims)?)
+        // xtask:allow(hot-path-alloc): clones a handful of usize shape entries, not a buffer
+        let mut gx = ws.take(dims.clone());
+        ops::max_pool2d_backward_into(grad, argmax, &mut gx)?;
+        Ok(gx)
     }
 }
 
@@ -78,23 +101,25 @@ impl Layer for AvgPool2d {
         )
     }
 
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
-        let y = ops::avg_pool2d(x, self.window, self.stride)?;
-        self.cached_input_dims = Some(x.dims().to_vec());
+    fn forward_ws(&mut self, x: &Tensor, _mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        let mut y = ws.take(pool_out_dims(x, self.window, self.stride)?);
+        ops::avg_pool2d_into(x, self.window, self.stride, &mut y)?;
+        // xtask:allow(hot-path-alloc): empty Vec::new initialises the cache once; reused after
+        let dims = self.cached_input_dims.get_or_insert_with(Vec::new);
+        dims.clear();
+        dims.extend_from_slice(x.dims());
         Ok(y)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+    fn backward_ws(&mut self, grad: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
         let dims = self
             .cached_input_dims
             .as_ref()
             .ok_or_else(|| NnError::MissingForwardState { layer: self.name() })?;
-        Ok(ops::avg_pool2d_backward(
-            grad,
-            dims,
-            self.window,
-            self.stride,
-        )?)
+        // xtask:allow(hot-path-alloc): clones a handful of usize shape entries, not a buffer
+        let mut gx = ws.take(dims.clone());
+        ops::avg_pool2d_backward_into(grad, self.window, self.stride, &mut gx)?;
+        Ok(gx)
     }
 }
 

@@ -54,13 +54,15 @@ mod optim;
 mod param;
 mod scheduler;
 mod trainer;
+mod workspace;
 
 pub use error::{NnError, Result};
 pub use init::Init;
 pub use loss::{CrossEntropyLoss, Loss, LossOutput, MseLoss, Target};
 pub use metrics::{accuracy, ConfusionMatrix};
-pub use model::Sequential;
+pub use model::{ModelSnapshot, Sequential};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Parameter;
 pub use scheduler::LrSchedule;
 pub use trainer::{evaluate, EpochStats, EvalStats, TrainConfig, Trainer};
+pub use workspace::{Workspace, WorkspaceStats};

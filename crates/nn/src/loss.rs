@@ -22,19 +22,22 @@ pub trait Loss: std::fmt::Debug + Send {
     /// # Errors
     ///
     /// Returns an error if predictions and targets are inconsistent.
-    fn evaluate(&self, predictions: &Tensor, targets: &Target) -> Result<LossOutput>;
+    fn evaluate(&self, predictions: &Tensor, targets: Target<'_>) -> Result<LossOutput>;
 }
 
 /// Training targets: class labels or dense regression values.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Target {
+///
+/// Targets borrow the caller's data — a trainer hands each batch's label
+/// slice straight through without copying it per batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Target<'a> {
     /// One class index per batch row.
-    Labels(Vec<usize>),
+    Labels(&'a [usize]),
     /// Dense targets of the same shape as the predictions.
-    Values(Tensor),
+    Values(&'a Tensor),
 }
 
-impl Target {
+impl Target<'_> {
     /// Number of examples in the target.
     pub fn len(&self) -> usize {
         match self {
@@ -49,14 +52,20 @@ impl Target {
     }
 }
 
-impl From<Vec<usize>> for Target {
-    fn from(labels: Vec<usize>) -> Self {
+impl<'a> From<&'a [usize]> for Target<'a> {
+    fn from(labels: &'a [usize]) -> Self {
         Target::Labels(labels)
     }
 }
 
-impl From<Tensor> for Target {
-    fn from(values: Tensor) -> Self {
+impl<'a> From<&'a Vec<usize>> for Target<'a> {
+    fn from(labels: &'a Vec<usize>) -> Self {
+        Target::Labels(labels)
+    }
+}
+
+impl<'a> From<&'a Tensor> for Target<'a> {
+    fn from(values: &'a Tensor) -> Self {
         Target::Values(values)
     }
 }
@@ -76,7 +85,7 @@ impl CrossEntropyLoss {
 }
 
 impl Loss for CrossEntropyLoss {
-    fn evaluate(&self, predictions: &Tensor, targets: &Target) -> Result<LossOutput> {
+    fn evaluate(&self, predictions: &Tensor, targets: Target<'_>) -> Result<LossOutput> {
         let labels = match targets {
             Target::Labels(l) => l,
             Target::Values(_) => {
@@ -129,7 +138,7 @@ impl MseLoss {
 }
 
 impl Loss for MseLoss {
-    fn evaluate(&self, predictions: &Tensor, targets: &Target) -> Result<LossOutput> {
+    fn evaluate(&self, predictions: &Tensor, targets: Target<'_>) -> Result<LossOutput> {
         let values = match targets {
             Target::Values(v) => v,
             Target::Labels(_) => {
@@ -166,7 +175,7 @@ mod tests {
     fn cross_entropy_uniform_logits() {
         let logits = Tensor::zeros([2, 4]);
         let out = CrossEntropyLoss
-            .evaluate(&logits, &vec![0, 1].into())
+            .evaluate(&logits, Target::Labels(&[0, 1]))
             .expect("valid");
         assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
     }
@@ -176,7 +185,7 @@ mod tests {
         let mut logits = Tensor::zeros([1, 3]);
         logits.data_mut()[1] = 20.0;
         let out = CrossEntropyLoss
-            .evaluate(&logits, &vec![1].into())
+            .evaluate(&logits, Target::Labels(&[1]))
             .expect("valid");
         assert!(out.loss < 1e-6);
     }
@@ -184,16 +193,16 @@ mod tests {
     #[test]
     fn cross_entropy_grad_matches_finite_diff() {
         let logits = Tensor::rand_uniform([3, 4], -2.0, 2.0, 1);
-        let labels: Target = vec![2, 0, 3].into();
-        let out = CrossEntropyLoss.evaluate(&logits, &labels).expect("valid");
+        let labels = Target::Labels(&[2, 0, 3]);
+        let out = CrossEntropyLoss.evaluate(&logits, labels).expect("valid");
         let eps = 1e-3;
         for i in [0usize, 5, 11] {
             let mut lp = logits.clone();
             lp.data_mut()[i] += eps;
-            let fp = CrossEntropyLoss.evaluate(&lp, &labels).expect("valid").loss;
+            let fp = CrossEntropyLoss.evaluate(&lp, labels).expect("valid").loss;
             let mut lm = logits.clone();
             lm.data_mut()[i] -= eps;
-            let fm = CrossEntropyLoss.evaluate(&lm, &labels).expect("valid").loss;
+            let fm = CrossEntropyLoss.evaluate(&lm, labels).expect("valid").loss;
             let fd = (fp - fm) / (2.0 * eps);
             assert!((fd - out.grad.data()[i]).abs() < 1e-3, "at {i}");
         }
@@ -203,7 +212,7 @@ mod tests {
     fn cross_entropy_grad_rows_sum_to_zero() {
         let logits = Tensor::rand_uniform([4, 5], -1.0, 1.0, 2);
         let out = CrossEntropyLoss
-            .evaluate(&logits, &vec![0, 1, 2, 3].into())
+            .evaluate(&logits, Target::Labels(&[0, 1, 2, 3]))
             .expect("valid");
         for i in 0..4 {
             let s: f32 = out.grad.row_slice(i).expect("in range").iter().sum();
@@ -214,24 +223,25 @@ mod tests {
     #[test]
     fn cross_entropy_validation() {
         let logits = Tensor::zeros([2, 3]);
-        assert!(CrossEntropyLoss.evaluate(&logits, &vec![0].into()).is_err());
         assert!(CrossEntropyLoss
-            .evaluate(&logits, &vec![0, 3].into())
+            .evaluate(&logits, Target::Labels(&[0]))
             .is_err());
         assert!(CrossEntropyLoss
-            .evaluate(&logits, &Target::Values(Tensor::zeros([2, 3])))
+            .evaluate(&logits, Target::Labels(&[0, 3]))
+            .is_err());
+        let dense = Tensor::zeros([2, 3]);
+        assert!(CrossEntropyLoss
+            .evaluate(&logits, Target::Values(&dense))
             .is_err());
         assert!(CrossEntropyLoss
-            .evaluate(&Tensor::zeros([0, 3]), &vec![].into())
+            .evaluate(&Tensor::zeros([0, 3]), Target::Labels(&[]))
             .is_err());
     }
 
     #[test]
     fn mse_zero_for_exact_prediction() {
         let p = Tensor::rand_uniform([4, 2], -1.0, 1.0, 3);
-        let out = MseLoss
-            .evaluate(&p, &Target::Values(p.clone()))
-            .expect("valid");
+        let out = MseLoss.evaluate(&p, Target::Values(&p)).expect("valid");
         assert_eq!(out.loss, 0.0);
         assert_eq!(out.grad.sum(), 0.0);
     }
@@ -239,16 +249,17 @@ mod tests {
     #[test]
     fn mse_grad_matches_finite_diff() {
         let p = Tensor::rand_uniform([2, 3], -1.0, 1.0, 4);
-        let t = Target::Values(Tensor::rand_uniform([2, 3], -1.0, 1.0, 5));
-        let out = MseLoss.evaluate(&p, &t).expect("valid");
+        let tv = Tensor::rand_uniform([2, 3], -1.0, 1.0, 5);
+        let t = Target::Values(&tv);
+        let out = MseLoss.evaluate(&p, t).expect("valid");
         let eps = 1e-3;
         for i in [0usize, 3, 5] {
             let mut pp = p.clone();
             pp.data_mut()[i] += eps;
-            let fp = MseLoss.evaluate(&pp, &t).expect("valid").loss;
+            let fp = MseLoss.evaluate(&pp, t).expect("valid").loss;
             let mut pm = p.clone();
             pm.data_mut()[i] -= eps;
-            let fm = MseLoss.evaluate(&pm, &t).expect("valid").loss;
+            let fm = MseLoss.evaluate(&pm, t).expect("valid").loss;
             let fd = (fp - fm) / (2.0 * eps);
             assert!((fd - out.grad.data()[i]).abs() < 1e-3);
         }
@@ -257,20 +268,20 @@ mod tests {
     #[test]
     fn mse_validation() {
         assert!(MseLoss
-            .evaluate(&Tensor::zeros([2, 2]), &vec![0, 1].into())
+            .evaluate(&Tensor::zeros([2, 2]), Target::Labels(&[0, 1]))
             .is_err());
+        let wrong = Tensor::zeros([2, 3]);
         assert!(MseLoss
-            .evaluate(
-                &Tensor::zeros([2, 2]),
-                &Target::Values(Tensor::zeros([2, 3]))
-            )
+            .evaluate(&Tensor::zeros([2, 2]), Target::Values(&wrong))
             .is_err());
     }
 
     #[test]
     fn target_len() {
-        assert_eq!(Target::from(vec![1, 2, 3]).len(), 3);
-        assert_eq!(Target::from(Tensor::zeros([5, 2])).len(), 5);
-        assert!(!Target::from(vec![1]).is_empty());
+        let labels = vec![1usize, 2, 3];
+        assert_eq!(Target::from(&labels).len(), 3);
+        let dense = Tensor::zeros([5, 2]);
+        assert_eq!(Target::from(&dense).len(), 5);
+        assert!(!Target::from(&labels[..1]).is_empty());
     }
 }

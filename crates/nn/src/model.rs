@@ -3,7 +3,51 @@
 use crate::error::{NnError, Result};
 use crate::layers::{Layer, Mode};
 use crate::param::Parameter;
+use crate::workspace::{Workspace, WorkspaceStats};
 use reduce_tensor::Tensor;
+
+/// An O(1) snapshot of a model's parameter values.
+///
+/// Tensors use copy-on-write storage, so each entry is a reference-count
+/// bump rather than a data copy: snapshotting an N-parameter model costs N
+/// `Arc` increments and zero float copies. The snapshot stays bit-identical
+/// to the weights at capture time — the first later write to a parameter
+/// (an optimizer step, a fault-mask application) un-shares just that
+/// tensor, leaving the snapshot untouched.
+///
+/// Entries are keyed `"{layer}.{param}"` in layer order, exactly like
+/// [`Sequential::state_dict`].
+#[derive(Debug, Clone, Default)]
+pub struct ModelSnapshot {
+    entries: Vec<(String, Tensor)>,
+}
+
+impl ModelSnapshot {
+    /// Wraps raw `(key, value)` entries as a snapshot.
+    pub fn from_entries(entries: Vec<(String, Tensor)>) -> Self {
+        ModelSnapshot { entries }
+    }
+
+    /// The `(key, value)` entries, in layer order.
+    pub fn entries(&self) -> &[(String, Tensor)] {
+        &self.entries
+    }
+
+    /// Unwraps into the raw entry list.
+    pub fn into_entries(self) -> Vec<(String, Tensor)> {
+        self.entries
+    }
+
+    /// Number of parameter entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
 
 /// A feed-forward stack of layers executed in order.
 ///
@@ -35,12 +79,18 @@ use reduce_tensor::Tensor;
 #[derive(Debug, Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    /// Shape-keyed buffer arena shared by every layer; steady-state training
+    /// iterations draw all intermediates from here instead of the allocator.
+    workspace: Workspace,
 }
 
 impl Sequential {
     /// Creates an empty model.
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential {
+            layers: Vec::new(),
+            workspace: Workspace::new(),
+        }
     }
 
     /// Appends a layer (builder style).
@@ -87,9 +137,15 @@ impl Sequential {
     ///
     /// Propagates the first layer error.
     pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let ws = &mut self.workspace;
         let mut cur = x.clone();
         for layer in &mut self.layers {
-            cur = layer.forward(&cur, mode)?;
+            let next = layer.forward_ws(&cur, mode, ws)?;
+            // Recycle the consumed intermediate. Tensors still shared (the
+            // caller's input, a layer's cached clone) are dropped, which
+            // leaves the layer cache as sole owner — the layer hands the
+            // buffer back on its next forward.
+            ws.give(std::mem::replace(&mut cur, next));
         }
         Ok(cur)
     }
@@ -101,11 +157,51 @@ impl Sequential {
     ///
     /// Propagates the first layer error (e.g. backward before forward).
     pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let ws = &mut self.workspace;
         let mut cur = grad.clone();
         for layer in self.layers.iter_mut().rev() {
-            cur = layer.backward(&cur)?;
+            let next = layer.backward_ws(&cur, ws)?;
+            ws.give(std::mem::replace(&mut cur, next));
         }
         Ok(cur)
+    }
+
+    /// Takes an O(1) copy-on-write snapshot of every parameter value.
+    ///
+    /// See [`ModelSnapshot`] for the sharing/isolation semantics.
+    pub fn snapshot(&self) -> ModelSnapshot {
+        ModelSnapshot::from_entries(self.state_dict())
+    }
+
+    /// Restores parameter values from a [`Sequential::snapshot`].
+    ///
+    /// Installed masks are re-applied to the restored values (mask
+    /// application is the copy-on-write trigger, so two models restored
+    /// from one snapshot never observe each other's masked weights).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::CheckpointMismatch`] exactly as
+    /// [`Sequential::load_state_dict`] does.
+    pub fn restore(&mut self, snapshot: &ModelSnapshot) -> Result<()> {
+        self.load_state_dict(snapshot.entries())
+    }
+
+    /// The model's shared buffer arena, e.g. for a trainer that wants its
+    /// per-batch tensors to come from (and return to) the same pools the
+    /// layers use.
+    pub fn workspace_mut(&mut self) -> &mut Workspace {
+        &mut self.workspace
+    }
+
+    /// Workspace hit/miss/allocation counters since the last reset.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.workspace.stats()
+    }
+
+    /// Zeroes the workspace counters (pooled buffers are kept).
+    pub fn reset_workspace_stats(&mut self) {
+        self.workspace.reset_stats();
     }
 
     /// Zeroes all parameter gradients.
@@ -369,5 +465,65 @@ mod tests {
         assert!(m.is_empty());
         let x = Tensor::ones([2, 2]);
         assert_eq!(m.forward(&x, Mode::Eval).expect("no layers"), x);
+    }
+
+    #[test]
+    fn snapshot_is_zero_copy_and_restore_round_trips() {
+        let mut m = model();
+        let snap = m.snapshot();
+        // Snapshot entries alias the live parameters until a write happens.
+        for ((_, t), p) in snap.entries().iter().zip(m.params()) {
+            assert!(t.shares_storage(p.value()));
+        }
+        for p in m.params_mut() {
+            p.value_mut().fill(7.0);
+        }
+        // The write un-shared the parameters; the snapshot kept old values.
+        for ((_, t), p) in snap.entries().iter().zip(m.params()) {
+            assert!(!t.shares_storage(p.value()));
+        }
+        m.restore(&snap).expect("matching snapshot");
+        for ((_, t), p) in snap.entries().iter().zip(m.params()) {
+            assert_eq!(t, p.value());
+        }
+    }
+
+    #[test]
+    fn restore_validates_like_load_state_dict() {
+        let mut m = model();
+        let snap = ModelSnapshot::from_entries(vec![]);
+        assert!(m.restore(&snap).is_err());
+        assert!(snap.is_empty());
+        assert_eq!(m.snapshot().len(), 4);
+    }
+
+    #[test]
+    fn steady_state_training_iterations_are_allocation_free() {
+        let mut m = model();
+        let x = Tensor::rand_uniform([8, 4], -1.0, 1.0, 5);
+        let g = Tensor::ones([8, 3]);
+        // Warm-up: two iterations fill the pools (cached clones hand their
+        // buffers back with a one-iteration delay).
+        for _ in 0..2 {
+            let y = m.forward(&x, Mode::Train).expect("valid input");
+            m.workspace_mut().give(y);
+            let gx = m.backward(&g).expect("forward ran");
+            m.workspace_mut().give(gx);
+        }
+        let warm = m.workspace_stats().misses;
+        for _ in 0..3 {
+            let y = m.forward(&x, Mode::Train).expect("valid input");
+            m.workspace_mut().give(y);
+            let gx = m.backward(&g).expect("forward ran");
+            m.workspace_mut().give(gx);
+        }
+        let stats = m.workspace_stats();
+        assert_eq!(
+            stats.misses, warm,
+            "steady-state iterations must not allocate: {stats:?}"
+        );
+        assert!(stats.hits > 0);
+        m.reset_workspace_stats();
+        assert_eq!(m.workspace_stats().requests(), 0);
     }
 }

@@ -119,8 +119,7 @@ impl Optimizer for Sgd {
             // xtask:allow(float-eq): momentum == 0.0 is the exact "plain SGD" sentinel
             if self.momentum == 0.0 {
                 let (wd, lr) = (self.weight_decay, self.lr);
-                let grad = p.grad().clone();
-                let value = p.value_mut();
+                let (value, grad) = p.value_and_grad_mut();
                 for (v, &g) in value.data_mut().iter_mut().zip(grad.data()) {
                     let g = g + wd * *v;
                     *v -= lr * g;
@@ -138,11 +137,12 @@ impl Optimizer for Sgd {
                     });
                 }
                 let (wd, lr, mom) = (self.weight_decay, self.lr, self.momentum);
+                let (value, grad) = p.value_and_grad_mut();
                 for ((vel, &g), w) in v
                     .data_mut()
                     .iter_mut()
-                    .zip(p.grad().data().to_vec().iter())
-                    .zip(p.value_mut().data_mut().iter_mut())
+                    .zip(grad.data())
+                    .zip(value.data_mut().iter_mut())
                 {
                     let g = g + wd * *w;
                     *vel = mom * *vel + g;
@@ -243,10 +243,11 @@ impl Optimizer for Adam {
                 self.weight_decay,
                 self.decoupled,
             );
-            let grad = p.grad().data().to_vec();
+            let (value, grad) = p.value_and_grad_mut();
             let m = self.m[i].data_mut();
             let v = self.v[i].data_mut();
-            let w = p.value_mut().data_mut();
+            let w = value.data_mut();
+            let grad = grad.data();
             for j in 0..w.len() {
                 let mut g = grad[j];
                 // xtask:allow(float-eq): wd == 0.0 is the exact "decay disabled" sentinel

@@ -14,6 +14,12 @@ use serde::{Deserialize, Serialize};
 /// forced to zero in the value immediately, and the optimizer re-applies the
 /// projection after every update so they can never drift away from zero.
 ///
+/// Values are copy-on-write tensors: cloning one (a model snapshot, a
+/// checkpoint entry) shares storage until the first write. [`Parameter::project`]
+/// writes through `data_mut` and is therefore the copy-on-write trigger —
+/// masking a parameter un-shares it from any snapshot it was restored from,
+/// so per-chip models masked on different fault maps never alias.
+///
 /// # Examples
 ///
 /// ```
@@ -101,6 +107,16 @@ impl Parameter {
     /// Mutable gradient (layers accumulate into this during backward).
     pub fn grad_mut(&mut self) -> &mut Tensor {
         &mut self.grad
+    }
+
+    /// Simultaneous mutable-value / shared-gradient access (split borrow).
+    ///
+    /// Lets an optimizer read the accumulated gradient while updating the
+    /// value in place, without copying the gradient to satisfy the borrow
+    /// checker. Callers must re-apply the mask with [`Parameter::project`]
+    /// afterwards, exactly as with [`Parameter::value_mut`].
+    pub fn value_and_grad_mut(&mut self) -> (&mut Tensor, &Tensor) {
+        (&mut self.value, &self.grad)
     }
 
     /// Zeroes the gradient.

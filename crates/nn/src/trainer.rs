@@ -61,31 +61,57 @@ pub struct EvalStats {
     pub accuracy: f32,
 }
 
-/// Copies samples `idx` (along dim 0) of `x` into a new tensor.
-///
-/// Works for any rank ≥ 1 because samples are contiguous in row-major
-/// layout.
-fn gather_samples(x: &Tensor, idx: &[usize]) -> Result<Tensor> {
+/// The shape of a batch of `count` samples drawn from `x`.
+fn batch_dims(x: &Tensor, count: usize) -> Result<Vec<usize>> {
     let dims = x.dims();
     if dims.is_empty() {
         return Err(NnError::InvalidConfig {
             what: "cannot batch a scalar".to_string(),
         });
     }
-    let n = dims[0];
-    let stride: usize = dims[1..].iter().product();
-    let mut out_dims = dims.to_vec();
-    out_dims[0] = idx.len();
-    let mut data = Vec::with_capacity(idx.len() * stride);
-    for &i in idx {
+    let mut out = dims.to_vec();
+    out[0] = count;
+    Ok(out)
+}
+
+/// Copies samples `idx` (along dim 0) of `x` into `out`, which must already
+/// have the [`batch_dims`] shape for `idx.len()` samples.
+///
+/// Works for any rank ≥ 1 because samples are contiguous in row-major
+/// layout. This is the workspace-friendly form: the caller provides the
+/// destination buffer, so steady-state batch slicing allocates nothing.
+fn gather_samples_into(x: &Tensor, idx: &[usize], out: &mut Tensor) -> Result<()> {
+    let dims = x.dims();
+    let n = dims.first().copied().unwrap_or(0);
+    let stride: usize = dims.get(1..).unwrap_or(&[]).iter().product();
+    let dst = out.data_mut();
+    for (k, &i) in idx.iter().enumerate() {
         if i >= n {
             return Err(NnError::InvalidConfig {
                 what: format!("sample index {i} out of range ({n} samples)"),
             });
         }
-        data.extend_from_slice(&x.data()[i * stride..(i + 1) * stride]);
+        dst[k * stride..(k + 1) * stride].copy_from_slice(&x.data()[i * stride..(i + 1) * stride]);
     }
-    Ok(Tensor::from_vec(data, out_dims)?)
+    Ok(())
+}
+
+/// Copies the contiguous sample range `[start, end)` of `x` into `out`.
+fn slice_samples_into(x: &Tensor, start: usize, end: usize, out: &mut Tensor) -> Result<()> {
+    let stride: usize = x.dims().get(1..).unwrap_or(&[]).iter().product();
+    out.data_mut()
+        .copy_from_slice(&x.data()[start * stride..end * stride]);
+    Ok(())
+}
+
+/// Copies samples `idx` (along dim 0) of `x` into a new tensor.
+///
+/// Allocating convenience wrapper around [`gather_samples_into`].
+#[cfg(test)]
+fn gather_samples(x: &Tensor, idx: &[usize]) -> Result<Tensor> {
+    let mut out = Tensor::zeros(batch_dims(x, idx.len())?);
+    gather_samples_into(x, idx, &mut out)?;
+    Ok(out)
 }
 
 /// Evaluates `model` on `(x, labels)` in eval mode, batched.
@@ -116,13 +142,18 @@ pub fn evaluate(
     let mut start = 0usize;
     while start < n {
         let end = (start + batch_size).min(n);
-        let idx: Vec<usize> = (start..end).collect();
-        let bx = gather_samples(x, &idx)?;
-        let by = labels[start..end].to_vec();
+        // Batch input comes from (and returns to) the model's workspace;
+        // labels are borrowed straight from the caller's slice.
+        let mut bx = model.workspace_mut().take(batch_dims(x, end - start)?);
+        slice_samples_into(x, start, end, &mut bx)?;
+        let by = &labels[start..end];
         let logits = model.forward(&bx, Mode::Eval)?;
-        let out = loss.evaluate(&logits, &Target::Labels(by.clone()))?;
+        model.workspace_mut().give(bx);
+        let out = loss.evaluate(&logits, Target::Labels(by))?;
         total_loss += out.loss as f64 * (end - start) as f64;
-        correct += (accuracy(&logits, &by)? * (end - start) as f32).round() as usize;
+        correct += (accuracy(&logits, by)? * (end - start) as f32).round() as usize;
+        model.workspace_mut().give(logits);
+        model.workspace_mut().give(out.grad);
         start = end;
     }
     Ok(EvalStats {
@@ -201,15 +232,23 @@ impl Trainer {
 
         let mut total_loss = 0.0f64;
         let mut correct = 0.0f64;
+        // One label buffer reused across batches; the loss borrows it.
+        let mut by: Vec<usize> = Vec::with_capacity(self.config.batch_size);
         for chunk in order.chunks(self.config.batch_size) {
-            let bx = gather_samples(x, chunk)?;
-            let by: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            let mut bx = model.workspace_mut().take(batch_dims(x, chunk.len())?);
+            gather_samples_into(x, chunk, &mut bx)?;
+            by.clear();
+            by.extend(chunk.iter().map(|&i| labels[i]));
             let logits = model.forward(&bx, Mode::Train)?;
-            let out = self.loss.evaluate(&logits, &Target::Labels(by.clone()))?;
+            model.workspace_mut().give(bx);
+            let out = self.loss.evaluate(&logits, Target::Labels(&by))?;
             total_loss += out.loss as f64 * chunk.len() as f64;
             correct += accuracy(&logits, &by)? as f64 * chunk.len() as f64;
+            model.workspace_mut().give(logits);
             model.zero_grad();
-            model.backward(&out.grad)?;
+            let gx = model.backward(&out.grad)?;
+            model.workspace_mut().give(gx);
+            model.workspace_mut().give(out.grad);
             let mut params = model.params_mut();
             self.optimizer.step(&mut params)?;
         }

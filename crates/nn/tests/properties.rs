@@ -39,7 +39,7 @@ proptest! {
     ) {
         let logits = Tensor::rand_uniform([n, c], -4.0, 4.0, seed);
         let labels: Vec<usize> = (0..n).map(|i| i % c).collect();
-        let out = CrossEntropyLoss.evaluate(&logits, &Target::Labels(labels))
+        let out = CrossEntropyLoss.evaluate(&logits, Target::Labels(&labels))
             .expect("consistent");
         for i in 0..n {
             let s: f32 = out.grad.row_slice(i).expect("in range").iter().sum();
@@ -56,9 +56,9 @@ proptest! {
         good.data_mut()[label] = 10.0;
         let mut bad = Tensor::zeros([1, c]);
         bad.data_mut()[(label + 1) % c] = 10.0;
-        let lg = CrossEntropyLoss.evaluate(&good, &Target::Labels(vec![label]))
+        let lg = CrossEntropyLoss.evaluate(&good, Target::Labels(&[label]))
             .expect("consistent").loss;
-        let lb = CrossEntropyLoss.evaluate(&bad, &Target::Labels(vec![label]))
+        let lb = CrossEntropyLoss.evaluate(&bad, Target::Labels(&[label]))
             .expect("consistent").loss;
         prop_assert!(lg < lb);
     }
@@ -170,6 +170,65 @@ proptest! {
         o2.step(&mut [&mut p2]).expect("stable");
         let delta2 = 1.0 - p2.value().data()[0];
         prop_assert!((delta2 - 2.0 * delta1).abs() < 1e-5);
+    }
+
+    /// snapshot() / restore() round-trips weights bit-identically for
+    /// arbitrary MLPs, even after the live model is mutated in between.
+    #[test]
+    fn snapshot_restore_round_trips_bit_identically(dims in mlp_dims(), seed in 0u64..500) {
+        let mut model = models::mlp(&dims, seed).expect("valid dims");
+        let snap = model.snapshot();
+        let reference = model.state_dict();
+        // Mutate the live model: the snapshot must not follow.
+        for p in model.params_mut() {
+            p.value_mut().fill(3.25);
+        }
+        model.restore(&snap).expect("same architecture");
+        let back = model.state_dict();
+        prop_assert_eq!(back.len(), reference.len());
+        for ((k1, v1), (k2, v2)) in back.iter().zip(&reference) {
+            prop_assert_eq!(k1, k2);
+            prop_assert_eq!(v1, v2);
+        }
+    }
+
+    /// Two models restored from one shared snapshot stay isolated: masking
+    /// one (the copy-on-write trigger) never leaks masked zeros into the
+    /// other model or back into the snapshot.
+    #[test]
+    fn restored_models_do_not_alias_across_masks(
+        dims in mlp_dims(),
+        mask_bits in prop::collection::vec(prop::bool::ANY, 64),
+        seed in 0u64..500,
+    ) {
+        let pretrained = models::mlp(&dims, seed).expect("valid dims");
+        let snap = pretrained.snapshot();
+        let mut chip_a = models::mlp(&dims, seed + 1).expect("valid dims");
+        let mut chip_b = models::mlp(&dims, seed + 2).expect("valid dims");
+        chip_a.restore(&snap).expect("same architecture");
+        chip_b.restore(&snap).expect("same architecture");
+        // Mask chip A's first weight matrix with arbitrary bits.
+        let wdims = chip_a.weight_params()[0].value().dims().to_vec();
+        let len: usize = wdims.iter().product();
+        let mask = Tensor::from_vec(
+            (0..len)
+                .map(|i| if mask_bits[i % mask_bits.len()] { 1.0 } else { 0.0 })
+                .collect(),
+            wdims,
+        ).expect("length matches");
+        let n_weights = chip_a.weight_params().len();
+        let masks: Vec<Option<Tensor>> = (0..n_weights)
+            .map(|i| if i == 0 { Some(mask.clone()) } else { None })
+            .collect();
+        chip_a.set_weight_masks(&masks).expect("count matches");
+        prop_assert!(chip_a.mask_invariants_hold());
+        // Chip B and the snapshot keep the original (unmasked) weights.
+        for ((_, s), p) in snap.entries().iter().zip(chip_b.params()) {
+            prop_assert_eq!(s, p.value());
+        }
+        for ((_, s), p) in snap.entries().iter().zip(pretrained.params()) {
+            prop_assert_eq!(s, p.value());
+        }
     }
 
     /// Eval-mode forward passes are pure: repeating them gives identical

@@ -118,6 +118,23 @@ fn check_nchw(op: &'static str, x: &Tensor) -> Result<(usize, usize, usize, usiz
 /// Returns an error if `x` is not rank-4 or the geometry does not match its
 /// spatial dims.
 pub fn im2col(x: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
+    let (n, c, _, _) = check_nchw("im2col", x)?;
+    let mut out = Tensor::zeros([
+        n * geom.out_h * geom.out_w,
+        c * geom.kernel_h * geom.kernel_w,
+    ]);
+    im2col_into(x, geom, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`im2col`] but writing into a caller-provided scratch tensor of
+/// shape `(N·OH·OW, C·KH·KW)`. `out` is zeroed first (padding taps must
+/// read zero); results are bit-identical to [`im2col`].
+///
+/// # Errors
+///
+/// Same conditions as [`im2col`], plus a shape check on `out`.
+pub fn im2col_into(x: &Tensor, geom: &Conv2dGeometry, out: &mut Tensor) -> Result<()> {
     let (n, c, h, w) = check_nchw("im2col", x)?;
     if h != geom.in_h || w != geom.in_w {
         return Err(TensorError::ShapeMismatch {
@@ -129,7 +146,14 @@ pub fn im2col(x: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
     let (kh, kw, s, p) = (geom.kernel_h, geom.kernel_w, geom.stride, geom.padding);
     let (oh, ow) = (geom.out_h, geom.out_w);
     let row_len = c * kh * kw;
-    let mut out = Tensor::zeros([n * oh * ow, row_len]);
+    if out.dims() != [n * oh * ow, row_len] {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col_into",
+            lhs: vec![n * oh * ow, row_len],
+            rhs: out.dims().to_vec(),
+        });
+    }
+    out.fill_zero();
     let xd = x.data();
     let od = out.data_mut();
     for img in 0..n {
@@ -158,7 +182,7 @@ pub fn im2col(x: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Scatters column gradients back: the adjoint of [`im2col`].
@@ -170,6 +194,25 @@ pub fn im2col(x: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
 ///
 /// Returns an error if `cols` does not match the geometry.
 pub fn col2im(cols: &Tensor, n: usize, c: usize, geom: &Conv2dGeometry) -> Result<Tensor> {
+    let mut out = Tensor::zeros([n, c, geom.in_h, geom.in_w]);
+    col2im_into(cols, n, c, geom, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`col2im`] but accumulating into a caller-provided tensor of shape
+/// `(N, C, H, W)`. `out` is zeroed first; results are bit-identical to
+/// [`col2im`].
+///
+/// # Errors
+///
+/// Same conditions as [`col2im`], plus a shape check on `out`.
+pub fn col2im_into(
+    cols: &Tensor,
+    n: usize,
+    c: usize,
+    geom: &Conv2dGeometry,
+    out: &mut Tensor,
+) -> Result<()> {
     let (rows, row_len) = cols.shape().as_matrix()?;
     let (kh, kw, s, p) = (geom.kernel_h, geom.kernel_w, geom.stride, geom.padding);
     let (oh, ow, h, w) = (geom.out_h, geom.out_w, geom.in_h, geom.in_w);
@@ -180,7 +223,14 @@ pub fn col2im(cols: &Tensor, n: usize, c: usize, geom: &Conv2dGeometry) -> Resul
             rhs: vec![rows, row_len],
         });
     }
-    let mut out = Tensor::zeros([n, c, h, w]);
+    if out.dims() != [n, c, h, w] {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im_into",
+            lhs: vec![n, c, h, w],
+            rhs: out.dims().to_vec(),
+        });
+    }
+    out.fill_zero();
     let cd = cols.data();
     let od = out.data_mut();
     for img in 0..n {
@@ -209,7 +259,7 @@ pub fn col2im(cols: &Tensor, n: usize, c: usize, geom: &Conv2dGeometry) -> Resul
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Reorders a `(N·OH·OW, OC)` GEMM output into NCHW `(N, OC, OH, OW)`.
@@ -218,6 +268,25 @@ pub fn col2im(cols: &Tensor, n: usize, c: usize, geom: &Conv2dGeometry) -> Resul
 ///
 /// Returns an error on inconsistent dimensions.
 pub fn rows_to_nchw(rows: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Result<Tensor> {
+    let mut out = Tensor::zeros([n, oc, oh, ow]);
+    rows_to_nchw_into(rows, n, oc, oh, ow, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`rows_to_nchw`] but writing into a caller-provided tensor of shape
+/// `(N, OC, OH, OW)`. Every element is overwritten.
+///
+/// # Errors
+///
+/// Same conditions as [`rows_to_nchw`], plus a shape check on `out`.
+pub fn rows_to_nchw_into(
+    rows: &Tensor,
+    n: usize,
+    oc: usize,
+    oh: usize,
+    ow: usize,
+    out: &mut Tensor,
+) -> Result<()> {
     let (r, c) = rows.shape().as_matrix()?;
     if r != n * oh * ow || c != oc {
         return Err(TensorError::ShapeMismatch {
@@ -226,7 +295,13 @@ pub fn rows_to_nchw(rows: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) ->
             rhs: vec![r, c],
         });
     }
-    let mut out = Tensor::zeros([n, oc, oh, ow]);
+    if out.dims() != [n, oc, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "rows_to_nchw_into",
+            lhs: vec![n, oc, oh, ow],
+            rhs: out.dims().to_vec(),
+        });
+    }
     let rd = rows.data();
     let od = out.data_mut();
     for img in 0..n {
@@ -239,7 +314,7 @@ pub fn rows_to_nchw(rows: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) ->
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Inverse of [`rows_to_nchw`]: NCHW `(N, OC, OH, OW)` → `(N·OH·OW, OC)`.
@@ -250,6 +325,25 @@ pub fn rows_to_nchw(rows: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) ->
 pub fn nchw_to_rows(x: &Tensor) -> Result<Tensor> {
     let (n, c, h, w) = check_nchw("nchw_to_rows", x)?;
     let mut out = Tensor::zeros([n * h * w, c]);
+    nchw_to_rows_into(x, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`nchw_to_rows`] but writing into a caller-provided tensor of shape
+/// `(N·H·W, C)`. Every element is overwritten.
+///
+/// # Errors
+///
+/// Same conditions as [`nchw_to_rows`], plus a shape check on `out`.
+pub fn nchw_to_rows_into(x: &Tensor, out: &mut Tensor) -> Result<()> {
+    let (n, c, h, w) = check_nchw("nchw_to_rows", x)?;
+    if out.dims() != [n * h * w, c] {
+        return Err(TensorError::ShapeMismatch {
+            op: "nchw_to_rows_into",
+            lhs: vec![n * h * w, c],
+            rhs: out.dims().to_vec(),
+        });
+    }
     let xd = x.data();
     let od = out.data_mut();
     for img in 0..n {
@@ -262,7 +356,7 @@ pub fn nchw_to_rows(x: &Tensor) -> Result<Tensor> {
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Output of [`max_pool2d`]: pooled values plus flat argmax indices used by
@@ -285,9 +379,40 @@ pub struct MaxPoolOutput {
 pub fn max_pool2d(x: &Tensor, window: usize, stride: usize) -> Result<MaxPoolOutput> {
     let (n, c, h, w) = check_nchw("max_pool2d", x)?;
     let geom = Conv2dGeometry::new(h, w, window, window, stride, 0)?;
+    let mut output = Tensor::zeros([n, c, geom.out_h, geom.out_w]);
+    let mut argmax = Vec::new();
+    max_pool2d_into(x, window, stride, &mut output, &mut argmax)?;
+    Ok(MaxPoolOutput { output, argmax })
+}
+
+/// Like [`max_pool2d`] but writing pooled values into `out` (shape
+/// `(N, C, OH, OW)`) and argmax indices into a caller-owned `argmax`
+/// buffer, which is cleared and refilled (its allocation is reused once it
+/// has grown to size). Results are bit-identical to [`max_pool2d`].
+///
+/// # Errors
+///
+/// Same conditions as [`max_pool2d`], plus a shape check on `out`.
+pub fn max_pool2d_into(
+    x: &Tensor,
+    window: usize,
+    stride: usize,
+    out: &mut Tensor,
+    argmax: &mut Vec<usize>,
+) -> Result<()> {
+    let (n, c, h, w) = check_nchw("max_pool2d", x)?;
+    let geom = Conv2dGeometry::new(h, w, window, window, stride, 0)?;
     let (oh, ow) = (geom.out_h, geom.out_w);
-    let mut output = Tensor::zeros([n, c, oh, ow]);
-    let mut argmax = vec![0usize; n * c * oh * ow];
+    if out.dims() != [n, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "max_pool2d_into",
+            lhs: vec![n, c, oh, ow],
+            rhs: out.dims().to_vec(),
+        });
+    }
+    argmax.clear();
+    argmax.resize(n * c * oh * ow, 0);
+    let output = out;
     let xd = x.data();
     let od = output.data_mut();
     for img in 0..n {
@@ -313,7 +438,7 @@ pub fn max_pool2d(x: &Tensor, window: usize, stride: usize) -> Result<MaxPoolOut
             }
         }
     }
-    Ok(MaxPoolOutput { output, argmax })
+    Ok(())
 }
 
 /// Backward pass of [`max_pool2d`]: routes each output gradient to the input
@@ -327,18 +452,31 @@ pub fn max_pool2d_backward(
     argmax: &[usize],
     input_dims: &[usize],
 ) -> Result<Tensor> {
+    let mut out = Tensor::zeros(input_dims.to_vec());
+    max_pool2d_backward_into(grad, argmax, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`max_pool2d_backward`] but accumulating into a caller-provided
+/// tensor already shaped like the pooling input. `out` is zeroed first;
+/// results are bit-identical to [`max_pool2d_backward`].
+///
+/// # Errors
+///
+/// Returns an error if `grad` and `argmax` lengths differ.
+pub fn max_pool2d_backward_into(grad: &Tensor, argmax: &[usize], out: &mut Tensor) -> Result<()> {
     if grad.len() != argmax.len() {
         return Err(TensorError::LengthMismatch {
             expected: argmax.len(),
             actual: grad.len(),
         });
     }
-    let mut out = Tensor::zeros(input_dims.to_vec());
+    out.fill_zero();
     let od = out.data_mut();
     for (g, &idx) in grad.data().iter().zip(argmax) {
         od[idx] += g;
     }
-    Ok(out)
+    Ok(())
 }
 
 /// 2-D average pooling over an NCHW tensor (no padding).
@@ -349,9 +487,31 @@ pub fn max_pool2d_backward(
 pub fn avg_pool2d(x: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
     let (n, c, h, w) = check_nchw("avg_pool2d", x)?;
     let geom = Conv2dGeometry::new(h, w, window, window, stride, 0)?;
+    let mut output = Tensor::zeros([n, c, geom.out_h, geom.out_w]);
+    avg_pool2d_into(x, window, stride, &mut output)?;
+    Ok(output)
+}
+
+/// Like [`avg_pool2d`] but writing into `out` (shape `(N, C, OH, OW)`).
+/// Every element is overwritten; results are bit-identical to
+/// [`avg_pool2d`].
+///
+/// # Errors
+///
+/// Same conditions as [`avg_pool2d`], plus a shape check on `out`.
+pub fn avg_pool2d_into(x: &Tensor, window: usize, stride: usize, out: &mut Tensor) -> Result<()> {
+    let (n, c, h, w) = check_nchw("avg_pool2d", x)?;
+    let geom = Conv2dGeometry::new(h, w, window, window, stride, 0)?;
     let (oh, ow) = (geom.out_h, geom.out_w);
+    if out.dims() != [n, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "avg_pool2d_into",
+            lhs: vec![n, c, oh, ow],
+            rhs: out.dims().to_vec(),
+        });
+    }
     let inv = 1.0 / (window * window) as f32;
-    let mut output = Tensor::zeros([n, c, oh, ow]);
+    let output = out;
     let xd = x.data();
     let od = output.data_mut();
     for img in 0..n {
@@ -370,7 +530,7 @@ pub fn avg_pool2d(x: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
             }
         }
     }
-    Ok(output)
+    Ok(())
 }
 
 /// Backward pass of [`avg_pool2d`]: spreads each output gradient uniformly
@@ -385,17 +545,41 @@ pub fn avg_pool2d_backward(
     window: usize,
     stride: usize,
 ) -> Result<Tensor> {
+    if grad.rank() != 4 || input_dims.len() != 4 {
+        return Err(TensorError::InvalidArgument {
+            op: "avg_pool2d_backward",
+            reason: "expected rank-4 grad and input dims".to_string(),
+        });
+    }
+    let mut out = Tensor::zeros(input_dims.to_vec());
+    avg_pool2d_backward_into(grad, window, stride, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`avg_pool2d_backward`] but accumulating into a caller-provided
+/// tensor already shaped like the pooling input. `out` is zeroed first;
+/// results are bit-identical to [`avg_pool2d_backward`].
+///
+/// # Errors
+///
+/// Returns an error if `grad` or `out` is not rank-4.
+pub fn avg_pool2d_backward_into(
+    grad: &Tensor,
+    window: usize,
+    stride: usize,
+    out: &mut Tensor,
+) -> Result<()> {
     let d = grad.dims().to_vec();
-    if d.len() != 4 || input_dims.len() != 4 {
+    if d.len() != 4 || out.rank() != 4 {
         return Err(TensorError::InvalidArgument {
             op: "avg_pool2d_backward",
             reason: "expected rank-4 grad and input dims".to_string(),
         });
     }
     let (n, c, oh, ow) = (d[0], d[1], d[2], d[3]);
-    let (h, w) = (input_dims[2], input_dims[3]);
+    let (h, w) = (out.dims()[2], out.dims()[3]);
     let inv = 1.0 / (window * window) as f32;
-    let mut out = Tensor::zeros(input_dims.to_vec());
+    out.fill_zero();
     let gd = grad.data();
     let od = out.data_mut();
     for img in 0..n {
@@ -413,7 +597,7 @@ pub fn avg_pool2d_backward(
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -3,9 +3,15 @@
 //! Three GEMM variants cover everything the NN framework needs without ever
 //! materialising transposes on the hot path:
 //!
-//! * [`matmul`]      — `C = A · B`
-//! * [`matmul_tn`]   — `C = Aᵀ · B` (weight gradients)
-//! * [`matmul_nt`]   — `C = A · Bᵀ` (input gradients)
+//! * [`matmul`] / [`matmul_into`]       — `C = A · B`
+//! * [`matmul_tn`] / [`matmul_tn_into`] — `C = Aᵀ · B` (weight gradients)
+//! * [`matmul_nt`] / [`matmul_nt_into`] — `C = A · Bᵀ` (input gradients)
+//!
+//! The `_into` variants write into a caller-provided output tensor so hot
+//! loops (training epochs, fleet retraining) can reuse workspace buffers
+//! instead of allocating per call. Each `_into` kernel zeroes its output
+//! first and then runs the *exact same loop order* as its allocating
+//! counterpart, so results are bit-identical either way.
 //!
 //! The kernels are cache-blocked over the reduction dimension and use the
 //! `ikj` loop order so the innermost loop is a contiguous FMA over the
@@ -24,6 +30,17 @@ fn check_matmul(op: &'static str, a: &Tensor, b: &Tensor, ka: usize, kb: usize) 
             op,
             lhs: a.dims().to_vec(),
             rhs: b.dims().to_vec(),
+        });
+    }
+    Ok(())
+}
+
+fn check_out(op: &'static str, out: &Tensor, m: usize, n: usize) -> Result<()> {
+    if out.dims() != [m, n] {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: vec![m, n],
+            rhs: out.dims().to_vec(),
         });
     }
     Ok(())
@@ -49,11 +66,28 @@ fn check_matmul(op: &'static str, a: &Tensor, b: &Tensor, ka: usize, kb: usize) 
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, _) = a.shape().as_matrix()?;
+    let (_, n) = b.shape().as_matrix()?;
+    let mut c = Tensor::zeros([m, n]);
+    matmul_into(a, b, &mut c)?;
+    Ok(c)
+}
+
+/// Like [`matmul`] but writing into `out`, which must already have shape
+/// `(m, n)`. `out` is zeroed first; results are bit-identical to
+/// [`matmul`].
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`], plus [`TensorError::ShapeMismatch`] for a
+/// misshapen `out`.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
     let (m, k) = a.shape().as_matrix()?;
     let (kb, n) = b.shape().as_matrix()?;
     check_matmul("matmul", a, b, k, kb)?;
-    let mut c = Tensor::zeros([m, n]);
-    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    check_out("matmul_into", out, m, n)?;
+    out.fill_zero();
+    let (ad, bd, cd) = (a.data(), b.data(), out.data_mut());
     for k0 in (0..k).step_by(BLOCK_K) {
         let k1 = (k0 + BLOCK_K).min(k);
         for i in 0..m {
@@ -71,7 +105,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         }
     }
-    Ok(c)
+    Ok(())
 }
 
 /// Computes `C = Aᵀ · B` for `A: (k, m)` and `B: (k, n)` without copying.
@@ -82,11 +116,26 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Same conditions as [`matmul`].
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (_, m) = a.shape().as_matrix()?;
+    let (_, n) = b.shape().as_matrix()?;
+    let mut c = Tensor::zeros([m, n]);
+    matmul_tn_into(a, b, &mut c)?;
+    Ok(c)
+}
+
+/// Like [`matmul_tn`] but writing into `out` (shape `(m, n)`). `out` is
+/// zeroed first; results are bit-identical to [`matmul_tn`].
+///
+/// # Errors
+///
+/// Same conditions as [`matmul_tn`], plus a shape check on `out`.
+pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
     let (k, m) = a.shape().as_matrix()?;
     let (kb, n) = b.shape().as_matrix()?;
     check_matmul("matmul_tn", a, b, k, kb)?;
-    let mut c = Tensor::zeros([m, n]);
-    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    check_out("matmul_tn_into", out, m, n)?;
+    out.fill_zero();
+    let (ad, bd, cd) = (a.data(), b.data(), out.data_mut());
     // For each shared row p, rank-1 update C += a_p ⊗ b_p.
     for p in 0..k {
         let arow = &ad[p * m..(p + 1) * m];
@@ -102,7 +151,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         }
     }
-    Ok(c)
+    Ok(())
 }
 
 /// Computes `C = A · Bᵀ` for `A: (m, k)` and `B: (n, k)` without copying.
@@ -114,11 +163,26 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Same conditions as [`matmul`].
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, _) = a.shape().as_matrix()?;
+    let (n, _) = b.shape().as_matrix()?;
+    let mut c = Tensor::zeros([m, n]);
+    matmul_nt_into(a, b, &mut c)?;
+    Ok(c)
+}
+
+/// Like [`matmul_nt`] but writing into `out` (shape `(m, n)`). `out` is
+/// zeroed first; results are bit-identical to [`matmul_nt`].
+///
+/// # Errors
+///
+/// Same conditions as [`matmul_nt`], plus a shape check on `out`.
+pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
     let (m, k) = a.shape().as_matrix()?;
     let (n, kb) = b.shape().as_matrix()?;
     check_matmul("matmul_nt", a, b, k, kb)?;
-    let mut c = Tensor::zeros([m, n]);
-    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    check_out("matmul_nt_into", out, m, n)?;
+    out.fill_zero();
+    let (ad, bd, cd) = (a.data(), b.data(), out.data_mut());
     for i in 0..m {
         let arow = &ad[i * k..(i + 1) * k];
         let crow = &mut cd[i * n..(i + 1) * n];
@@ -131,7 +195,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             *cx = acc;
         }
     }
-    Ok(c)
+    Ok(())
 }
 
 /// Dot product of two rank-1 tensors.
@@ -158,6 +222,19 @@ pub fn dot(a: &Tensor, b: &Tensor) -> Result<f32> {
 /// Returns [`TensorError::ShapeMismatch`] if the bias length differs from
 /// the column count.
 pub fn add_bias_rows(x: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    let mut out = x.clone();
+    add_bias_rows_in_place(&mut out, bias)?;
+    Ok(out)
+}
+
+/// Adds a rank-1 `bias` to every row of a `(m, n)` matrix in place. The
+/// allocation-free counterpart of [`add_bias_rows`]; per-element results
+/// are identical.
+///
+/// # Errors
+///
+/// Same conditions as [`add_bias_rows`].
+pub fn add_bias_rows_in_place(x: &mut Tensor, bias: &Tensor) -> Result<()> {
     let (m, n) = x.shape().as_matrix()?;
     if bias.rank() != 1 || bias.len() != n {
         return Err(TensorError::ShapeMismatch {
@@ -166,15 +243,15 @@ pub fn add_bias_rows(x: &Tensor, bias: &Tensor) -> Result<Tensor> {
             rhs: bias.dims().to_vec(),
         });
     }
-    let mut out = x.clone();
     let bd = bias.data();
+    let xd = x.data_mut();
     for i in 0..m {
-        let row = &mut out.data_mut()[i * n..(i + 1) * n];
+        let row = &mut xd[i * n..(i + 1) * n];
         for (r, &b) in row.iter_mut().zip(bd) {
             *r += b;
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -243,6 +320,31 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_bit_identical_and_reject_bad_out() {
+        let a = Tensor::rand_uniform([6, 70], -1.0, 1.0, 10);
+        let b = Tensor::rand_uniform([70, 5], -1.0, 1.0, 11);
+        // Dirty, reused output buffer: results must still match exactly.
+        let mut out = Tensor::full([6, 5], f32::NAN);
+        matmul_into(&a, &b, &mut out).expect("conformable");
+        assert_eq!(out, matmul(&a, &b).expect("conformable"));
+
+        let at = Tensor::rand_uniform([70, 6], -1.0, 1.0, 12);
+        let mut out_tn = Tensor::full([6, 5], 3.0);
+        matmul_tn_into(&at, &b, &mut out_tn).expect("conformable");
+        assert_eq!(out_tn, matmul_tn(&at, &b).expect("conformable"));
+
+        let bt = Tensor::rand_uniform([5, 70], -1.0, 1.0, 13);
+        let mut out_nt = Tensor::full([6, 5], -7.0);
+        matmul_nt_into(&a, &bt, &mut out_nt).expect("conformable");
+        assert_eq!(out_nt, matmul_nt(&a, &bt).expect("conformable"));
+
+        let mut bad = Tensor::zeros([5, 6]);
+        assert!(matmul_into(&a, &b, &mut bad).is_err());
+        assert!(matmul_tn_into(&at, &b, &mut bad).is_err());
+        assert!(matmul_nt_into(&a, &bt, &mut bad).is_err());
+    }
+
+    #[test]
     fn dot_basic() {
         let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]).expect("ok");
         let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], [3]).expect("ok");
@@ -258,6 +360,16 @@ mod tests {
         assert_eq!(y.row(0).expect("in range").data(), &[1.0, 2.0, 3.0]);
         assert_eq!(y.row(1).expect("in range").data(), &[1.0, 2.0, 3.0]);
         assert!(add_bias_rows(&x, &Tensor::zeros([2])).is_err());
+    }
+
+    #[test]
+    fn add_bias_in_place_matches_copy() {
+        let x = Tensor::rand_uniform([3, 4], -1.0, 1.0, 14);
+        let b = Tensor::rand_uniform([4], -1.0, 1.0, 15);
+        let copied = add_bias_rows(&x, &b).expect("conformable");
+        let mut inplace = x.clone();
+        add_bias_rows_in_place(&mut inplace, &b).expect("conformable");
+        assert_eq!(inplace, copied);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The dense, row-major `f32` tensor type.
+//! The dense, row-major `f32` tensor type on shared copy-on-write storage.
 
 use crate::error::{Result, TensorError};
 use crate::shape::Shape;
@@ -7,12 +7,46 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
+use std::sync::Arc;
+
+/// The shared, copy-on-write element buffer behind a [`Tensor`].
+///
+/// Cloning a `Storage` bumps a reference count; the buffer is only copied
+/// when a writer calls [`Tensor::data_mut`] while the storage is shared
+/// (`Arc::make_mut` semantics). This is what makes model snapshots O(1)
+/// and lets every executor thread of a fleet evaluation read one
+/// pretrained weight set without copying it.
+#[derive(Clone, Default)]
+struct Storage(Arc<Vec<f32>>);
+
+impl Storage {
+    fn new(data: Vec<f32>) -> Self {
+        Storage(Arc::new(data))
+    }
+}
+
+impl PartialEq for Storage {
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer equality is a pure fast path: aliased buffers hold the
+        // same bytes by construction.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl fmt::Debug for Storage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&*self.0, f)
+    }
+}
 
 /// A dense, row-major tensor of `f32` values.
 ///
 /// This is the single numeric container used throughout the Reduce
 /// reproduction: activations, weights, gradients and fault masks are all
-/// `Tensor`s. Data is always contiguous; reshapes are O(1), transposes copy.
+/// `Tensor`s. Data is always contiguous and lives in a shared
+/// copy-on-write [`Storage`]: `clone()` and [`Tensor::reshape`] are O(1)
+/// aliases, and the first write through [`Tensor::data_mut`] un-shares the
+/// buffer. Transposes copy.
 ///
 /// # Examples
 ///
@@ -24,13 +58,21 @@ use std::ops::{Add, Div, Mul, Neg, Sub};
 /// let b = Tensor::full([2, 2], 10.0);
 /// let c = (&a + &b)?;
 /// assert_eq!(c.data(), &[11.0, 12.0, 13.0, 14.0]);
+///
+/// // Clones share storage until one side writes.
+/// let snapshot = a.clone();
+/// assert!(snapshot.shares_storage(&a));
+/// let mut edited = a.clone();
+/// edited.data_mut()[0] = 9.0; // copy-on-write happens here
+/// assert!(!edited.shares_storage(&a));
+/// assert_eq!(snapshot.data()[0], 1.0);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: Storage,
 }
 
 impl Tensor {
@@ -44,7 +86,7 @@ impl Tensor {
         let n = shape.volume();
         Tensor {
             shape,
-            data: vec![0.0; n],
+            data: Storage::new(vec![0.0; n]),
         }
     }
 
@@ -59,7 +101,7 @@ impl Tensor {
         let n = shape.volume();
         Tensor {
             shape,
-            data: vec![value; n],
+            data: Storage::new(vec![value; n]),
         }
     }
 
@@ -77,7 +119,10 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Tensor { shape, data })
+        Ok(Tensor {
+            shape,
+            data: Storage::new(data),
+        })
     }
 
     /// Creates a tensor by evaluating `f` at every flat (row-major) index.
@@ -85,14 +130,17 @@ impl Tensor {
         let shape = shape.into();
         let n = shape.volume();
         let data = (0..n).map(f).collect();
-        Tensor { shape, data }
+        Tensor {
+            shape,
+            data: Storage::new(data),
+        }
     }
 
     /// Creates a scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
         Tensor {
             shape: Shape::scalar(),
-            data: vec![value],
+            data: Storage::new(vec![value]),
         }
     }
 
@@ -109,7 +157,7 @@ impl Tensor {
         let len = data.len();
         Tensor {
             shape: Shape::from([len]),
-            data,
+            data: Storage::new(data),
         }
     }
 
@@ -129,7 +177,10 @@ impl Tensor {
         let shape = shape.into();
         let n = shape.volume();
         let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
-        Tensor { shape, data }
+        Tensor {
+            shape,
+            data: Storage::new(data),
+        }
     }
 
     /// Creates a tensor with i.i.d. normal values `N(mean, std^2)`, seeded.
@@ -161,16 +212,45 @@ impl Tensor {
                 data.push(mean + std * r * theta.sin());
             }
         }
-        Tensor { shape, data }
+        Tensor {
+            shape,
+            data: Storage::new(data),
+        }
     }
 
     /// Identity matrix of size `n`.
     pub fn eye(n: usize) -> Self {
         let mut t = Tensor::zeros([n, n]);
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            // xtask:allow(index): i < n so the diagonal offset is < n * n
+            t.data_mut()[i * n + i] = 1.0;
         }
         t
+    }
+
+    // ------------------------------------------------------------------
+    // Storage & aliasing
+    // ------------------------------------------------------------------
+
+    /// Whether `self` and `other` alias the same underlying buffer.
+    ///
+    /// True after a `clone()` or [`Tensor::reshape`] until either side
+    /// writes (which un-shares via copy-on-write).
+    pub fn shares_storage(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data.0, &other.data.0)
+    }
+
+    /// Whether this tensor is the sole owner of its buffer (writes through
+    /// [`Tensor::data_mut`] will not copy).
+    pub fn storage_is_unique(&self) -> bool {
+        Arc::strong_count(&self.data.0) == 1
+    }
+
+    /// Consumes the tensor; returns its buffer only if no other tensor
+    /// shares it. Used by workspace arenas to recycle buffers without ever
+    /// detaching one that is still visible elsewhere.
+    pub fn into_unique_vec(self) -> Option<Vec<f32>> {
+        Arc::try_unwrap(self.data.0).ok()
     }
 
     // ------------------------------------------------------------------
@@ -189,12 +269,12 @@ impl Tensor {
 
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.data.0.len()
     }
 
     /// Whether the tensor holds no elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.data.0.is_empty()
     }
 
     /// Number of dimensions.
@@ -204,17 +284,22 @@ impl Tensor {
 
     /// Immutable view of the underlying row-major data.
     pub fn data(&self) -> &[f32] {
-        &self.data
+        &self.data.0
     }
 
     /// Mutable view of the underlying row-major data.
+    ///
+    /// This is the copy-on-write point: if the storage is shared (a
+    /// snapshot, a mask application on a restored model, …) the buffer is
+    /// copied once here and `self` becomes the sole owner.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        Arc::make_mut(&mut self.data.0).as_mut_slice()
     }
 
-    /// Consumes the tensor, returning its data buffer.
+    /// Consumes the tensor, returning its data buffer (copying only if the
+    /// storage is shared).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        Arc::try_unwrap(self.data.0).unwrap_or_else(|arc| (*arc).clone())
     }
 
     /// Element at a multi-dimensional index.
@@ -223,7 +308,8 @@ impl Tensor {
     ///
     /// Propagates index errors from [`Shape::offset`].
     pub fn at(&self, idx: &[usize]) -> Result<f32> {
-        Ok(self.data[self.shape.offset(idx)?])
+        // xtask:allow(index): Shape::offset bounds-checks every coordinate
+        Ok(self.data()[self.shape.offset(idx)?])
     }
 
     /// Sets the element at a multi-dimensional index.
@@ -233,7 +319,8 @@ impl Tensor {
     /// Propagates index errors from [`Shape::offset`].
     pub fn set(&mut self, idx: &[usize], value: f32) -> Result<()> {
         let off = self.shape.offset(idx)?;
-        self.data[off] = value;
+        // xtask:allow(index): Shape::offset bounds-checks every coordinate
+        self.data_mut()[off] = value;
         Ok(())
     }
 
@@ -244,13 +331,14 @@ impl Tensor {
     /// Returns [`TensorError::InvalidArgument`] if the tensor has more than
     /// one element.
     pub fn item(&self) -> Result<f32> {
-        if self.data.len() != 1 {
+        if self.len() != 1 {
             return Err(TensorError::InvalidArgument {
                 op: "item",
-                reason: format!("tensor has {} elements, expected 1", self.data.len()),
+                reason: format!("tensor has {} elements, expected 1", self.len()),
             });
         }
-        Ok(self.data[0])
+        // xtask:allow(index): the length-1 check above guarantees element 0
+        Ok(self.data()[0])
     }
 
     // ------------------------------------------------------------------
@@ -259,15 +347,18 @@ impl Tensor {
 
     /// Returns a tensor with the same data and a new shape.
     ///
+    /// O(1): the result aliases this tensor's storage; a later write to
+    /// either side un-shares via copy-on-write.
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::LengthMismatch`] if volumes differ.
     pub fn reshape<S: Into<Shape>>(&self, shape: S) -> Result<Tensor> {
         let shape = shape.into();
-        if shape.volume() != self.data.len() {
+        if shape.volume() != self.len() {
             return Err(TensorError::LengthMismatch {
                 expected: shape.volume(),
-                actual: self.data.len(),
+                actual: self.len(),
             });
         }
         Ok(Tensor {
@@ -283,10 +374,10 @@ impl Tensor {
     /// Returns [`TensorError::LengthMismatch`] if volumes differ.
     pub fn reshape_in_place<S: Into<Shape>>(&mut self, shape: S) -> Result<()> {
         let shape = shape.into();
-        if shape.volume() != self.data.len() {
+        if shape.volume() != self.len() {
             return Err(TensorError::LengthMismatch {
                 expected: shape.volume(),
-                actual: self.data.len(),
+                actual: self.len(),
             });
         }
         self.shape = shape;
@@ -301,9 +392,12 @@ impl Tensor {
     pub fn transpose(&self) -> Result<Tensor> {
         let (r, c) = self.shape.as_matrix()?;
         let mut out = Tensor::zeros([c, r]);
+        let src = self.data();
+        let dst = out.data_mut();
         for i in 0..r {
             for j in 0..c {
-                out.data[j * r + i] = self.data[i * c + j];
+                // xtask:allow(index): i < r and j < c over r * c buffers
+                dst[j * r + i] = src[i * c + j];
             }
         }
         Ok(out)
@@ -325,7 +419,8 @@ impl Tensor {
         }
         Ok(Tensor {
             shape: Shape::from([c]),
-            data: self.data[i * c..(i + 1) * c].to_vec(),
+            // xtask:allow(index): the row bound i < r is checked above
+            data: Storage::new(self.data()[i * c..(i + 1) * c].to_vec()),
         })
     }
 
@@ -343,7 +438,8 @@ impl Tensor {
                 bound: r,
             });
         }
-        Ok(&self.data[i * c..(i + 1) * c])
+        // xtask:allow(index): the row bound i < r is checked above
+        Ok(&self.data()[i * c..(i + 1) * c])
     }
 
     /// Copies rows `[start, end)` of a rank-2 tensor.
@@ -362,8 +458,39 @@ impl Tensor {
         }
         Ok(Tensor {
             shape: Shape::from([end - start, c]),
-            data: self.data[start * c..end * c].to_vec(),
+            // xtask:allow(index): start <= end <= r is validated above
+            data: Storage::new(self.data()[start * c..end * c].to_vec()),
         })
+    }
+
+    /// Copies rows `[start, end)` of a rank-2 tensor into `out`, which must
+    /// already have shape `[end - start, cols]`. The allocation-free
+    /// counterpart of [`Tensor::rows`] for workspace-backed batch slicing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrix tensors, invalid ranges, or an `out`
+    /// of the wrong shape.
+    pub fn rows_into(&self, start: usize, end: usize, out: &mut Tensor) -> Result<()> {
+        let (r, c) = self.shape.as_matrix()?;
+        if start > end || end > r {
+            return Err(TensorError::OutOfBounds {
+                what: "row range end",
+                index: end,
+                bound: r + 1,
+            });
+        }
+        if out.dims() != [end - start, c] {
+            return Err(TensorError::ShapeMismatch {
+                op: "rows_into",
+                lhs: vec![end - start, c],
+                rhs: out.dims().to_vec(),
+            });
+        }
+        // xtask:allow(index): start <= end <= r is validated above
+        let src = &self.data()[start * c..end * c];
+        out.data_mut().copy_from_slice(src);
+        Ok(())
     }
 
     /// Stacks rank-1 tensors of equal length into a rank-2 tensor.
@@ -393,11 +520,11 @@ impl Tensor {
                     rhs: row.dims().to_vec(),
                 });
             }
-            data.extend_from_slice(&row.data);
+            data.extend_from_slice(row.data());
         }
         Ok(Tensor {
             shape: Shape::from([rows.len(), c]),
-            data,
+            data: Storage::new(data),
         })
     }
 
@@ -409,13 +536,13 @@ impl Tensor {
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: Storage::new(self.data().iter().map(|&x| f(x)).collect()),
         }
     }
 
     /// Applies `f` elementwise in place.
     pub fn map_in_place<F: Fn(f32) -> f32>(&mut self, f: F) {
-        for x in &mut self.data {
+        for x in self.data_mut() {
             *x = f(*x);
         }
     }
@@ -434,14 +561,14 @@ impl Tensor {
             });
         }
         let data = self
-            .data
+            .data()
             .iter()
-            .zip(&other.data)
+            .zip(other.data())
             .map(|(&a, &b)| f(a, b))
             .collect();
         Ok(Tensor {
             shape: self.shape.clone(),
-            data,
+            data: Storage::new(data),
         })
     }
 
@@ -458,7 +585,7 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data.0.iter()) {
             *a = f(*a, b);
         }
         Ok(())
@@ -475,19 +602,19 @@ impl Tensor {
 
     /// Multiplies every element by `s`.
     pub fn scale(&mut self, s: f32) {
-        for x in &mut self.data {
+        for x in self.data_mut() {
             *x *= s;
         }
     }
 
     /// Sets every element to zero, keeping the allocation.
     pub fn fill_zero(&mut self) {
-        self.data.iter_mut().for_each(|x| *x = 0.0);
+        self.data_mut().iter_mut().for_each(|x| *x = 0.0);
     }
 
     /// Sets every element to `value`.
     pub fn fill(&mut self, value: f32) {
-        self.data.iter_mut().for_each(|x| *x = value);
+        self.data_mut().iter_mut().for_each(|x| *x = value);
     }
 
     // ------------------------------------------------------------------
@@ -496,26 +623,29 @@ impl Tensor {
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        self.data().iter().sum()
     }
 
     /// Arithmetic mean of all elements (0 for an empty tensor).
     pub fn mean(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
-            self.sum() / self.data.len() as f32
+            self.sum() / self.len() as f32
         }
     }
 
     /// Maximum element (`-inf` for an empty tensor).
     pub fn max(&self) -> f32 {
-        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (`+inf` for an empty tensor).
     pub fn min(&self) -> f32 {
-        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
     }
 
     /// Index of the largest element (first on ties).
@@ -524,15 +654,17 @@ impl Tensor {
     ///
     /// Returns [`TensorError::InvalidArgument`] for an empty tensor.
     pub fn argmax(&self) -> Result<usize> {
-        if self.data.is_empty() {
+        if self.is_empty() {
             return Err(TensorError::InvalidArgument {
                 op: "argmax",
                 reason: "empty tensor".to_string(),
             });
         }
+        let data = self.data();
         let mut best = 0usize;
-        for (i, &x) in self.data.iter().enumerate() {
-            if x > self.data[best] {
+        for (i, &x) in data.iter().enumerate() {
+            // xtask:allow(index): best always holds an already-visited index
+            if x > data[best] {
                 best = i;
             }
         }
@@ -555,9 +687,11 @@ impl Tensor {
         }
         let mut out = Vec::with_capacity(r);
         for i in 0..r {
-            let row = &self.data[i * c..(i + 1) * c];
+            // xtask:allow(index): i < r over an r * c buffer
+            let row = &self.data()[i * c..(i + 1) * c];
             let mut best = 0usize;
             for (j, &x) in row.iter().enumerate() {
+                // xtask:allow(index): best always holds an already-visited index
                 if x > row[best] {
                     best = j;
                 }
@@ -575,46 +709,66 @@ impl Tensor {
     ///
     /// Returns [`TensorError::InvalidArgument`] for non-matrix tensors.
     pub fn sum_rows(&self) -> Result<Tensor> {
+        let (_, c) = self.shape.as_matrix()?;
+        let mut out = Tensor::zeros([c]);
+        self.sum_rows_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Tensor::sum_rows`] but accumulating into `out`, which must
+    /// have shape `[cols]`. `out` is zeroed first; the summation order is
+    /// identical to [`Tensor::sum_rows`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrix tensors or a misshapen `out`.
+    pub fn sum_rows_into(&self, out: &mut Tensor) -> Result<()> {
         let (r, c) = self.shape.as_matrix()?;
-        let mut out = vec![0.0f32; c];
+        if out.dims() != [c] {
+            return Err(TensorError::ShapeMismatch {
+                op: "sum_rows_into",
+                lhs: vec![c],
+                rhs: out.dims().to_vec(),
+            });
+        }
+        out.fill_zero();
+        let dst = out.data_mut();
         for i in 0..r {
-            for (o, &v) in out.iter_mut().zip(&self.data[i * c..(i + 1) * c]) {
+            // xtask:allow(index): i < r over an r * c buffer
+            for (o, &v) in dst.iter_mut().zip(&self.data()[i * c..(i + 1) * c]) {
                 *o += v;
             }
         }
-        Ok(Tensor {
-            shape: Shape::from([c]),
-            data: out,
-        })
+        Ok(())
     }
 
     /// Squared L2 norm of all elements.
     pub fn norm_sq(&self) -> f32 {
-        self.data.iter().map(|&x| x * x).sum()
+        self.data().iter().map(|&x| x * x).sum()
     }
 
     /// Fraction of elements that are exactly zero.
     pub fn sparsity(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
         // xtask:allow(float-eq): sparsity counts exact-zero entries by definition
-        let zeros = self.data.iter().filter(|&&x| x == 0.0).count();
-        zeros as f32 / self.data.len() as f32
+        let zeros = self.data().iter().filter(|&&x| x == 0.0).count();
+        zeros as f32 / self.len() as f32
     }
 
     /// Returns `true` if all elements are finite.
     pub fn all_finite(&self) -> bool {
-        self.data.iter().all(|x| x.is_finite())
+        self.data().iter().all(|x| x.is_finite())
     }
 
     /// Elementwise approximate equality within `tol` (absolute).
     pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
         self.shape == other.shape
             && self
-                .data
+                .data()
                 .iter()
-                .zip(&other.data)
+                .zip(other.data())
                 .all(|(&a, &b)| (a - b).abs() <= tol)
     }
 }
@@ -622,14 +776,15 @@ impl Tensor {
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{}[", self.shape)?;
-        let n = self.data.len().min(8);
-        for (i, x) in self.data[..n].iter().enumerate() {
+        let n = self.len().min(8);
+        // xtask:allow(index): n is clamped to self.len() by the min above
+        for (i, x) in self.data()[..n].iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
             write!(f, "{x:.4}")?;
         }
-        if self.data.len() > n {
+        if self.len() > n {
             write!(f, ", …")?;
         }
         write!(f, "]")
@@ -779,6 +934,16 @@ mod tests {
     }
 
     #[test]
+    fn rows_into_matches_rows() {
+        let t = Tensor::from_fn([4, 3], |i| i as f32);
+        let mut out = Tensor::zeros([2, 3]);
+        t.rows_into(1, 3, &mut out).expect("in range");
+        assert_eq!(out, t.rows(1, 3).expect("in range"));
+        assert!(t.rows_into(0, 3, &mut out).is_err(), "shape mismatch");
+        assert!(t.rows_into(3, 5, &mut out).is_err(), "out of range");
+    }
+
+    #[test]
     fn stack_rows_round_trip() {
         let rows = vec![
             Tensor::from_vec(vec![1.0, 2.0], [2]).expect("ok"),
@@ -841,6 +1006,11 @@ mod tests {
         let t = Tensor::from_fn([2, 3], |i| i as f32);
         let s = t.sum_rows().expect("matrix");
         assert_eq!(s.data(), &[3.0, 5.0, 7.0]);
+        let mut out = Tensor::zeros([3]);
+        t.sum_rows_into(&mut out).expect("matrix");
+        assert_eq!(out, s);
+        let mut bad = Tensor::zeros([2]);
+        assert!(t.sum_rows_into(&mut bad).is_err());
     }
 
     #[test]
@@ -871,5 +1041,67 @@ mod tests {
     fn tensor_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Tensor>();
+    }
+
+    // ------------------------------------------------------------------
+    // Copy-on-write semantics
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn clone_shares_storage_until_write() {
+        let a = Tensor::from_fn([8], |i| i as f32);
+        let b = a.clone();
+        assert!(a.shares_storage(&b));
+        assert!(!a.storage_is_unique());
+        let mut c = a.clone();
+        c.data_mut()[0] = 99.0;
+        assert!(!c.shares_storage(&a), "write un-shares");
+        assert_eq!(a.data()[0], 0.0, "original untouched by CoW write");
+        assert_eq!(b.data()[0], 0.0);
+        assert_eq!(c.data()[0], 99.0);
+    }
+
+    #[test]
+    fn reshape_is_a_view_until_write() {
+        let a = Tensor::from_fn([2, 3], |i| i as f32);
+        let v = a.reshape([3, 2]).expect("same volume");
+        assert!(v.shares_storage(&a));
+        let mut w = a.reshape([6]).expect("same volume");
+        w.data_mut()[0] = -1.0;
+        assert!(!w.shares_storage(&a));
+        assert_eq!(a.data()[0], 0.0);
+    }
+
+    #[test]
+    fn into_unique_vec_respects_sharing() {
+        let a = Tensor::from_fn([4], |i| i as f32);
+        let b = a.clone();
+        assert!(
+            b.into_unique_vec().is_none(),
+            "shared buffer not detachable"
+        );
+        assert!(
+            a.storage_is_unique(),
+            "dropping the clone restores uniqueness"
+        );
+        let v = a.into_unique_vec().expect("sole owner detaches");
+        assert_eq!(v, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn into_vec_copies_only_when_shared() {
+        let a = Tensor::from_fn([3], |i| i as f32);
+        let b = a.clone();
+        assert_eq!(a.into_vec(), vec![0.0, 1.0, 2.0]);
+        assert_eq!(b.into_vec(), vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn equality_ignores_aliasing() {
+        let a = Tensor::from_fn([4], |i| i as f32);
+        let b = a.clone();
+        let c = Tensor::from_fn([4], |i| i as f32);
+        assert_eq!(a, b, "aliased tensors are equal (fast path)");
+        assert_eq!(a, c, "equal contents, distinct buffers");
     }
 }

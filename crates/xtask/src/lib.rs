@@ -38,6 +38,10 @@ const RESULT_CRATES: [&str; 5] = [
 /// numeric-safety family applies.
 const NUMERIC_CRATES: [&str; 3] = ["crates/tensor", "crates/systolic", "crates/nn"];
 
+/// The per-iteration hot path: layer forward/backward implementations,
+/// where the hot-path-alloc family applies.
+const HOT_PATH_DIR: &str = "crates/nn/src/layers/";
+
 /// Decides which lint families apply to a workspace-relative path.
 ///
 /// Only `src/` trees of result-producing crates are linted; tests,
@@ -50,6 +54,7 @@ pub fn scope_for_path(rel: &str) -> Scope {
         determinism: RESULT_CRATES.iter().any(|c| in_src(c)),
         panic_freedom: RESULT_CRATES.iter().any(|c| in_src(c)),
         numeric: NUMERIC_CRATES.iter().any(|c| in_src(c)),
+        hot_path: rel.starts_with(HOT_PATH_DIR),
     }
 }
 
@@ -167,11 +172,15 @@ mod tests {
     #[test]
     fn scope_covers_result_crates_only() {
         let s = scope_for_path("crates/core/src/fleet.rs");
-        assert!(s.determinism && s.panic_freedom && !s.numeric);
+        assert!(s.determinism && s.panic_freedom && !s.numeric && !s.hot_path);
         let s = scope_for_path("crates/systolic/src/mapping.rs");
-        assert!(s.determinism && s.panic_freedom && s.numeric);
+        assert!(s.determinism && s.panic_freedom && s.numeric && !s.hot_path);
         let s = scope_for_path("crates/tensor/src/linalg.rs");
         assert!(s.numeric);
+        // The hot-path-alloc family applies only to layer implementations.
+        let s = scope_for_path("crates/nn/src/layers/conv2d.rs");
+        assert!(s.hot_path && s.numeric && s.panic_freedom);
+        assert!(!scope_for_path("crates/nn/src/trainer.rs").hot_path);
         // Out of scope: tests, benches, the umbrella package, this crate.
         assert_eq!(scope_for_path("crates/core/tests/policy.rs"), Scope::none());
         assert_eq!(scope_for_path("crates/bench/src/lib.rs"), Scope::none());

@@ -1,6 +1,6 @@
 //! The lint passes: repo-specific invariants that clippy cannot express.
 //!
-//! Three families, mirroring the guarantees the Reduce framework's results
+//! Four families, mirroring the guarantees the Reduce framework's results
 //! depend on:
 //!
 //! - **determinism** — a resilience table measured once (Step ①) is only
@@ -14,6 +14,10 @@
 //! - **numeric-safety** — `f64 as f32` narrowing and `==`/`!=` on floats in
 //!   kernel/accumulation code are classic sources of silently divergent
 //!   results across refactors.
+//! - **hot-path-alloc** — layer `forward*`/`backward*` bodies run once per
+//!   training iteration and are supposed to draw buffers from the
+//!   `Workspace` arena; fresh `Tensor::zeros`/`.clone()`/`.to_vec()` there
+//!   quietly reintroduces per-step heap churn.
 //!
 //! Escape hatch: a `// xtask:allow(<lint>): <reason>` comment on the same
 //! line or the line above suppresses one lint there. The reason is
@@ -42,6 +46,9 @@ pub enum Lint {
     FloatEq,
     /// `expr as f32` where the source expression mentions `f64`.
     LossyFloatCast,
+    /// `Tensor::zeros`/`ones`/`full`, `.clone()` or `.to_vec()` inside a
+    /// layer `forward*`/`backward*` body (the per-iteration hot path).
+    HotPathAlloc,
     /// An `xtask:allow` comment that suppressed nothing.
     UnusedAllow,
     /// An `xtask:allow` comment with a missing or trivial reason.
@@ -61,6 +68,7 @@ impl Lint {
             Lint::Index => "index",
             Lint::FloatEq => "float-eq",
             Lint::LossyFloatCast => "lossy-float-cast",
+            Lint::HotPathAlloc => "hot-path-alloc",
             Lint::UnusedAllow => "unused-allow",
             Lint::BadAllow => "bad-allow",
         }
@@ -72,6 +80,7 @@ impl Lint {
             Lint::AmbientEntropy | Lint::WallClock => "determinism",
             Lint::Unwrap | Lint::Expect | Lint::Panic | Lint::Index => "panic-freedom",
             Lint::FloatEq | Lint::LossyFloatCast => "numeric-safety",
+            Lint::HotPathAlloc => "hot-path-alloc",
             Lint::UnusedAllow | Lint::BadAllow => "meta",
         }
     }
@@ -87,6 +96,7 @@ impl Lint {
             Lint::Index,
             Lint::FloatEq,
             Lint::LossyFloatCast,
+            Lint::HotPathAlloc,
             Lint::UnusedAllow,
             Lint::BadAllow,
         ]
@@ -104,6 +114,8 @@ pub struct Scope {
     pub panic_freedom: bool,
     /// Enforce the numeric-safety family.
     pub numeric: bool,
+    /// Enforce the hot-path-alloc family (layer forward/backward bodies).
+    pub hot_path: bool,
 }
 
 impl Scope {
@@ -113,6 +125,7 @@ impl Scope {
             determinism: true,
             panic_freedom: true,
             numeric: true,
+            hot_path: true,
         }
     }
 
@@ -122,11 +135,12 @@ impl Scope {
             determinism: false,
             panic_freedom: false,
             numeric: false,
+            hot_path: false,
         }
     }
 
     fn any(self) -> bool {
-        self.determinism || self.panic_freedom || self.numeric
+        self.determinism || self.panic_freedom || self.numeric || self.hot_path
     }
 }
 
@@ -169,6 +183,9 @@ pub fn lint_source(src: &str, scope: Scope) -> Vec<Violation> {
     }
     if scope.numeric {
         numeric_pass(&code, &mut raw);
+    }
+    if scope.hot_path {
+        hot_path_pass(&code, &mut raw);
     }
     raw.retain(|v| !exempt.contains(&v.line));
 
@@ -506,6 +523,131 @@ fn is_index_base(prev: &Token) -> bool {
         ),
         TokenKind::Punct => matches!(prev.text.as_str(), ")" | "]"),
         _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path allocation hygiene
+// ---------------------------------------------------------------------------
+
+/// Flags fresh allocations inside layer `forward*` / `backward*` bodies —
+/// the code that runs once per training iteration. Steady-state epochs are
+/// supposed to run allocation-free out of the `Workspace` arena; a stray
+/// `Tensor::zeros` or buffer copy there silently reintroduces per-step heap
+/// traffic. O(1) copy-on-write handle clones are fine but must say so via
+/// the allow hatch, so every remaining `clone()` in a hot path is a
+/// documented decision.
+fn hot_path_pass(code: &[&Token], out: &mut Vec<Violation>) {
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = code[i];
+        let is_hot_fn = t.kind == TokenKind::Ident
+            && t.text == "fn"
+            && code.get(i + 1).is_some_and(|n| {
+                n.kind == TokenKind::Ident
+                    && (n.text.starts_with("forward") || n.text.starts_with("backward"))
+            });
+        if !is_hot_fn {
+            i += 1;
+            continue;
+        }
+        // Skip the signature: the body opens at the first `{` outside
+        // parens/brackets; a `;` there instead means a bodyless trait
+        // method declaration.
+        let mut j = i + 2;
+        let mut nesting = 0i32;
+        while j < code.len() {
+            let u = code[j];
+            if u.kind == TokenKind::Punct {
+                match u.text.as_str() {
+                    "(" | "[" => nesting += 1,
+                    ")" | "]" => nesting -= 1,
+                    "{" | ";" if nesting == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if j >= code.len() || code[j].text == ";" {
+            i = j + 1;
+            continue;
+        }
+        let close = matching_bracket(code, j);
+        scan_hot_body(&code[j..=close], out);
+        i = close + 1;
+    }
+}
+
+/// Reports allocation/copy calls within one hot function body.
+fn scan_hot_body(body: &[&Token], out: &mut Vec<Violation>) {
+    for (k, t) in body.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "new" | "with_capacity" if path_prefix_is(body, k, "Vec") => out.push(Violation {
+                lint: Lint::HotPathAlloc,
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`Vec::{}` allocates every iteration in a layer hot path; reuse a \
+                     scratch buffer or the `Workspace` arena, or justify with \
+                     `xtask:allow(hot-path-alloc)`",
+                    t.text
+                ),
+            }),
+            // `vec![…]` / `vec!(…)`: the macro bang plus an open delimiter —
+            // this cannot be the rare `vec != …` (the `!` there is fused
+            // into `!=`, never followed by a delimiter).
+            "vec"
+                if body.get(k + 1).is_some_and(|n| n.text == "!")
+                    && body
+                        .get(k + 2)
+                        .is_some_and(|n| matches!(n.text.as_str(), "[" | "(" | "{")) =>
+            {
+                out.push(Violation {
+                    lint: Lint::HotPathAlloc,
+                    line: t.line,
+                    col: t.col,
+                    message: "`vec![…]` allocates every iteration in a layer hot path; reuse a \
+                              scratch buffer or the `Workspace` arena, or justify with \
+                              `xtask:allow(hot-path-alloc)`"
+                        .to_string(),
+                })
+            }
+            "zeros" | "ones" | "full" if path_prefix_is(body, k, "Tensor") => out.push(Violation {
+                lint: Lint::HotPathAlloc,
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`Tensor::{}` allocates every iteration in a layer hot path; take the \
+                     buffer from the `Workspace` arena (`ws.take`) or justify with \
+                     `xtask:allow(hot-path-alloc)`",
+                    t.text
+                ),
+            }),
+            "clone" | "to_vec"
+                if k > 0
+                    && body[k - 1].text == "."
+                    && body.get(k + 1).is_some_and(|n| n.text == "(")
+                    // `.dims().to_vec()` copies a handful of `usize` shape
+                    // entries, not a data buffer — not worth an allow each.
+                    && !(k >= 4 && body[k - 4].text == "dims" && body[k - 2].text == ")") =>
+            {
+                out.push(Violation {
+                    lint: Lint::HotPathAlloc,
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "`.{}()` in a layer hot path copies a buffer every iteration; reuse \
+                         workspace storage, or justify with `xtask:allow(hot-path-alloc)` \
+                         (O(1) copy-on-write handle clones qualify)",
+                        t.text
+                    ),
+                });
+            }
+            _ => {}
+        }
     }
 }
 

@@ -72,6 +72,11 @@ fn allows_fixture_matches_markers() {
 }
 
 #[test]
+fn hot_path_fixture_matches_markers() {
+    check_fixture("hot_path.rs");
+}
+
+#[test]
 fn clean_fixture_is_silent() {
     // Belt and braces: the marker comparison would catch stray findings,
     // but assert the stronger statement explicitly.

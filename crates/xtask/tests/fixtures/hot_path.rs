@@ -1,0 +1,62 @@
+//! Fixture: the `hot-path-alloc` family — allocation hygiene inside layer
+//! `forward*` / `backward*` bodies.
+
+pub struct Tensor;
+
+impl Tensor {
+    pub fn zeros(_d: [usize; 1]) -> Tensor {
+        Tensor
+    }
+}
+
+pub struct Layer {
+    cached: Option<Tensor>,
+}
+
+impl Layer {
+    // Fresh allocations and copies inside a hot body fire:
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let y = Tensor::zeros([4]); //~ hot-path-alloc
+        self.cached = Some(x.clone()); //~ hot-path-alloc
+        y
+    }
+
+    // Suffixed names (`forward_ws`, `backward_grouped`) are hot too:
+    pub fn backward_grouped(&mut self, grad: &Tensor) -> Vec<f32> {
+        grad.data().to_vec() //~ hot-path-alloc
+    }
+
+    // Vec allocations and the vec! macro fire in hot bodies:
+    pub fn backward(&mut self, _grad: &Tensor) -> Vec<f32> {
+        let mut scratch: Vec<f32> = Vec::new(); //~ hot-path-alloc
+        scratch.extend(Vec::with_capacity(4)); //~ hot-path-alloc
+        scratch.extend(vec![0.0f32]); //~ hot-path-alloc
+        scratch
+    }
+
+    // The allow hatch documents intentional O(1) CoW handle clones:
+    pub fn forward_ws(&mut self, x: &Tensor) -> Tensor {
+        // xtask:allow(hot-path-alloc): O(1) copy-on-write handle clone
+        self.cached = Some(x.clone());
+        Tensor
+    }
+
+    // The same calls outside forward/backward are not hot-path findings:
+    pub fn reset(&mut self) {
+        let _scratch = Tensor::zeros([4]);
+        let _copy = self.cached.clone();
+        let _buf: Vec<f32> = Vec::new();
+        let _lit = vec![0.0f32];
+    }
+}
+
+impl Tensor {
+    pub fn data(&self) -> &[f32] {
+        &[]
+    }
+}
+
+pub trait Backprop {
+    // Bodyless trait declarations produce nothing.
+    fn backward(&mut self, grad: &Tensor) -> Tensor;
+}

@@ -45,4 +45,22 @@ diff "$det_dir/t1/manifest.json" "$det_dir/t4/manifest.json"
 echo "    parallel characterisation artifacts (csv, table, run log, manifest)"
 echo "    are byte-identical to sequential"
 
+echo "==> smoke determinism gate (fig3 --threads 1 vs --threads 4)"
+# Same gate for the full pipeline (characterise + fleet deploy): the
+# redacted run log — including the per-stage workspace_used counters —
+# and the manifest must not depend on the thread count.
+mkdir -p "$det_dir/f3t1" "$det_dir/f3t4"
+cargo run -q -p reduce-bench --release --bin fig3 -- \
+    --scale smoke --policy reduce-max --threads 1 \
+    --out "$det_dir/f3t1" --redact-timing >/dev/null
+cargo run -q -p reduce-bench --release --bin fig3 -- \
+    --scale smoke --policy reduce-max --threads 4 \
+    --out "$det_dir/f3t4" --redact-timing >/dev/null
+diff "$det_dir/f3t1/run_log.jsonl" "$det_dir/f3t4/run_log.jsonl"
+diff "$det_dir/f3t1/manifest.json" "$det_dir/f3t4/manifest.json"
+grep -q '"event":"workspace_used"' "$det_dir/f3t1/run_log.jsonl"
+grep -q '"workspace": \[{"stage"' "$det_dir/f3t1/manifest.json"
+echo "    parallel deployment artifacts (run log incl. workspace counters,"
+echo "    manifest) are byte-identical to sequential"
+
 echo "ci: all stages green"
