@@ -10,17 +10,31 @@
 //! ```text
 //! cargo run -p reduce-bench --release --bin fig2 -- \
 //!     [--scale smoke|default|full] [--part a|b|both] [--threads N] \
-//!     [--csv DIR] [--table-out PATH] [--out DIR] [--redact-timing]
+//!     [--csv DIR] [--table-out PATH] [--out DIR] [--redact-timing] \
+//!     [--retries N] [--chaos-rate P] [--chaos-seed S] \
+//!     [--resume DIR] [--halt-after N]
 //! ```
 //!
 //! `--threads N` fans the Step-① `(rate, repeat)` grid out over `N`
 //! workers on the deterministic executor (`0` = auto-size from the
 //! hardware); the printed curves, tables and CSV output are byte-identical
 //! at any thread count. `--out DIR` additionally writes a JSON-lines
-//! `run_log.jsonl` and a `manifest.json`; with `--redact-timing` both are
+//! `run_log.jsonl`, a `manifest.json` and a `journal.jsonl` of completed
+//! grid cells; with `--redact-timing` the log and manifest are
 //! byte-identical at any thread count too (CI diffs them).
+//!
+//! Fault tolerance: `--retries N` retries each failing grid cell up to `N`
+//! times with a deterministically derived retry seed before quarantining
+//! it; `--chaos-rate P --chaos-seed S` injects seeded failures to exercise
+//! that path. An interrupted run (e.g. via `--halt-after N`, which exits
+//! the process after `N` journal appends) is continued with
+//! `--resume DIR`: journaled cells are replayed, only missing cells are
+//! computed, and the rewritten redacted artifacts are byte-identical to an
+//! uninterrupted run's.
 
-use reduce_bench::{parse_args, Scale};
+use reduce_bench::{
+    apply_fault_args, open_journal, parse_args, resolve_run_dir, Scale, FAULT_VALUE_KEYS,
+};
 use reduce_core::telemetry::{
     self, Fanout, GridManifest, MetricsRecorder, Observer, RunLog, RunManifest, Stage,
     StageWorkspace,
@@ -31,24 +45,21 @@ use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let args = parse_args(
-        &raw,
-        &[
-            "--scale",
-            "--part",
-            "--threads",
-            "--csv",
-            "--table-out",
-            "--out",
-        ],
-        &["--redact-timing"],
-        0,
-    )?;
+    let mut value_keys = vec![
+        "--scale",
+        "--part",
+        "--threads",
+        "--csv",
+        "--table-out",
+        "--out",
+    ];
+    value_keys.extend(FAULT_VALUE_KEYS);
+    let args = parse_args(&raw, &value_keys, &["--redact-timing"], 0)?;
     let scale = Scale::parse(args.value("--scale").unwrap_or("default"))?;
     let part = args.value("--part").unwrap_or("both").to_string();
     let threads = args.threads()?;
     let redact = args.flag("--redact-timing");
-    let out_dir = args.value("--out").map(std::path::PathBuf::from);
+    let (out_dir, resuming) = resolve_run_dir(&args)?;
 
     let metrics = Arc::new(MetricsRecorder::new());
     let mut sinks: Vec<Arc<dyn Observer>> = vec![metrics.clone()];
@@ -61,7 +72,20 @@ fn main() -> Result<(), Box<dyn Error>> {
         None => None,
     };
     let observer: Arc<dyn Observer> = Arc::new(Fanout::new(sinks));
-    let exec = ExecConfig::new(threads).with_observer(observer.clone());
+    let exec = apply_fault_args(
+        &args,
+        ExecConfig::new(threads).with_observer(observer.clone()),
+    )?;
+    let journal = open_journal(&args, out_dir.as_deref(), resuming)?;
+    if resuming {
+        if let Some(cp) = &journal {
+            println!(
+                "resuming from {} ({} grid cell(s) already journaled)\n",
+                cp.path().display(),
+                cp.records()?.len()
+            );
+        }
+    }
 
     let workbench = scale.workbench(1);
     let config = scale.resilience_config();
@@ -94,8 +118,19 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     let max_epochs = config.max_epochs;
     let grid_manifest = GridManifest::from_config(&config);
-    let analysis = ResilienceAnalysis::run(&runner, &pretrained, config, &exec)?;
+    let analysis =
+        ResilienceAnalysis::run_resumable(&runner, &pretrained, config, &exec, journal.as_ref())?;
     println!("characterisation done\n");
+    if !analysis.failures().is_empty() {
+        println!("quarantined grid cells (excluded from the summaries below):");
+        for f in analysis.failures() {
+            println!(
+                "  rate {:.4} repeat {} — {} attempt(s): {}",
+                f.rate, f.repeat, f.attempts, f.error
+            );
+        }
+        println!();
+    }
 
     if part == "a" || part == "both" {
         println!("— Fig. 2a: mean accuracy vs fault rate at each FAT level —");

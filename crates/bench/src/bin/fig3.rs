@@ -10,16 +10,30 @@
 //! cargo run -p reduce-bench --release --bin fig3 -- \
 //!     [--scale smoke|default|full] [--policy reduce-max|reduce-mean|fixed:N|all] \
 //!     [--chips N] [--threads N] [--table PATH] [--csv DIR] \
-//!     [--out DIR] [--redact-timing] [--cost] [--early-stop] [--per-chip]
+//!     [--out DIR] [--redact-timing] [--cost] [--early-stop] [--per-chip] \
+//!     [--retries N] [--chaos-rate P] [--chaos-seed S] \
+//!     [--resume DIR] [--halt-after N]
 //! ```
 //!
 //! `--threads N` parallelises both the Step-① characterisation grid and
 //! the per-chip fleet retraining on the deterministic executor (`0` =
 //! auto-size); reports are byte-identical at any thread count. `--out DIR`
-//! writes a JSON-lines `run_log.jsonl` and a `manifest.json`; with
-//! `--redact-timing` both are byte-identical at any thread count too.
+//! writes a JSON-lines `run_log.jsonl`, a `manifest.json` and a
+//! `journal.jsonl` of completed grid cells and chips; with
+//! `--redact-timing` the log and manifest are byte-identical at any
+//! thread count too.
+//!
+//! Fault tolerance: `--retries N` retries each failing grid cell / chip up
+//! to `N` times with a deterministically derived retry seed before
+//! quarantining it (a quarantined chip is reported, not fatal);
+//! `--chaos-rate P --chaos-seed S` injects seeded failures to exercise
+//! that path. An interrupted run (e.g. via `--halt-after N`) is continued
+//! with `--resume DIR`: journaled jobs are replayed and only missing ones
+//! are computed.
 
-use reduce_bench::{parse_args, Scale};
+use reduce_bench::{
+    apply_fault_args, open_journal, parse_args, resolve_run_dir, Scale, FAULT_VALUE_KEYS,
+};
 use reduce_core::telemetry::{
     self, Fanout, FleetManifest, GridManifest, MetricsRecorder, Observer, RunLog, RunManifest,
     Stage, StageWorkspace,
@@ -51,17 +65,19 @@ fn parse_policy(s: &str) -> Result<Vec<RetrainPolicy>, ReduceError> {
 
 fn main() -> Result<(), Box<dyn Error>> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut value_keys = vec![
+        "--scale",
+        "--policy",
+        "--chips",
+        "--threads",
+        "--table",
+        "--csv",
+        "--out",
+    ];
+    value_keys.extend(FAULT_VALUE_KEYS);
     let args = parse_args(
         &raw,
-        &[
-            "--scale",
-            "--policy",
-            "--chips",
-            "--threads",
-            "--table",
-            "--csv",
-            "--out",
-        ],
+        &value_keys,
         &["--cost", "--early-stop", "--per-chip", "--redact-timing"],
         0,
     )?;
@@ -73,7 +89,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     };
     let threads = args.threads()?;
     let redact = args.flag("--redact-timing");
-    let out_dir = args.value("--out").map(std::path::PathBuf::from);
+    let (out_dir, resuming) = resolve_run_dir(&args)?;
 
     let metrics = Arc::new(MetricsRecorder::new());
     let mut sinks: Vec<Arc<dyn Observer>> = vec![metrics.clone()];
@@ -86,7 +102,20 @@ fn main() -> Result<(), Box<dyn Error>> {
         None => None,
     };
     let observer: Arc<dyn Observer> = Arc::new(Fanout::new(sinks));
-    let exec = ExecConfig::new(threads).with_observer(observer.clone());
+    let exec = apply_fault_args(
+        &args,
+        ExecConfig::new(threads).with_observer(observer.clone()),
+    )?;
+    let journal = open_journal(&args, out_dir.as_deref(), resuming)?;
+    if resuming {
+        if let Some(cp) = &journal {
+            println!(
+                "resuming from {} ({} job(s) already journaled)\n",
+                cp.path().display(),
+                cp.records()?.len()
+            );
+        }
+    }
 
     let mut policies = parse_policy(&policy_arg)?;
     if policies.is_empty() {
@@ -132,7 +161,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         println!("step 1: resilience characterisation…");
         let config = scale.resilience_config();
         grid_manifest = Some(GridManifest::from_config(&config));
-        reduce.characterize(config, &exec)?;
+        reduce.characterize_resumable(config, &exec, journal.as_ref())?;
         println!(
             "  done  [{threads} thread{}]",
             if threads == 1 { "" } else { "s" }
@@ -158,20 +187,27 @@ fn main() -> Result<(), Box<dyn Error>> {
             config.cost_model = Some(reduce_systolic::CostModel::small(array.0, array.1));
         }
         config.early_stop = args.flag("--early-stop");
-        let report = reduce_core::evaluate_fleet(
+        let report = reduce_core::evaluate_fleet_resumable(
             reduce.runner(),
             reduce.pretrained(),
             &fleet,
             table.as_ref(),
             &config,
             &exec,
+            journal.as_ref(),
         )?;
+        let quarantined = if report.quarantined.is_empty() {
+            String::new()
+        } else {
+            format!("  quarantined {:>3}", report.quarantined.len())
+        };
         println!(
-            "{:<22} satisfied {:>3}/{:<3}  total epochs {:>5}",
+            "{:<22} satisfied {:>3}/{:<3}  total epochs {:>5}{}",
             report.policy,
             report.satisfied,
             report.chips.len(),
             report.total_epochs,
+            quarantined,
         );
         if args.flag("--per-chip") {
             println!("{}", report::render_fleet_chips(&report));

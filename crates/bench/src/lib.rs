@@ -16,8 +16,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use reduce_core::{ReduceError, ResilienceConfig, Workbench};
+use reduce_core::exec::ChaosPolicy;
+use reduce_core::{Checkpoint, ExecConfig, ReduceError, ResilienceConfig, Workbench};
 use reduce_systolic::{FaultModel, FleetConfig, RateDistribution};
+use std::path::PathBuf;
 
 /// Experiment scale preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -139,6 +141,130 @@ impl Scale {
             Scale::Full => [1, 6, 16],
         }
     }
+}
+
+/// The fault-tolerance options shared by the experiment binaries; splice
+/// into the `value_keys` of [`parse_args`].
+///
+/// * `--retries N` — per-job retry budget before quarantine (default 0);
+/// * `--chaos-rate P` / `--chaos-seed S` — seeded deterministic fault
+///   injection: each `(job, attempt)` fails with probability `P`;
+/// * `--out DIR` (declared by each binary) — also journals completed jobs
+///   to `DIR/journal.jsonl`;
+/// * `--resume DIR` — replay `DIR/journal.jsonl`, run only missing jobs,
+///   and rewrite the artifacts in `DIR` (conflicts with `--out`; pass the
+///   same remaining flags as the interrupted run);
+/// * `--halt-after N` — exit the process after `N` journal appends
+///   (deterministic mid-run "kill" for crash testing).
+pub const FAULT_VALUE_KEYS: [&str; 5] = [
+    "--resume",
+    "--retries",
+    "--chaos-rate",
+    "--chaos-seed",
+    "--halt-after",
+];
+
+/// Resolves the run directory from `--out` / `--resume`.
+///
+/// Returns `(dir, resuming)`: `--resume DIR` implies the run directory is
+/// `DIR` and existing journal entries are replayed.
+///
+/// # Errors
+///
+/// Returns [`ReduceError::InvalidConfig`] when both `--out` and
+/// `--resume` are given.
+pub fn resolve_run_dir(args: &ParsedArgs) -> Result<(Option<PathBuf>, bool), ReduceError> {
+    match (args.value("--out"), args.value("--resume")) {
+        (Some(_), Some(_)) => Err(ReduceError::InvalidConfig {
+            what: "--out conflicts with --resume (resume rewrites the artifacts in its own \
+                   directory)"
+                .to_string(),
+        }),
+        (Some(out), None) => Ok((Some(PathBuf::from(out)), false)),
+        (None, Some(dir)) => Ok((Some(PathBuf::from(dir)), true)),
+        (None, None) => Ok((None, false)),
+    }
+}
+
+/// Applies `--retries` / `--chaos-rate` / `--chaos-seed` to an executor
+/// config.
+///
+/// # Errors
+///
+/// Returns [`ReduceError::InvalidConfig`] for non-numeric values, a rate
+/// outside `[0, 1]`, or `--chaos-seed` without `--chaos-rate`.
+pub fn apply_fault_args(
+    args: &ParsedArgs,
+    mut exec: ExecConfig,
+) -> Result<ExecConfig, ReduceError> {
+    if let Some(s) = args.value("--retries") {
+        let budget: u32 = s.parse().map_err(|_| ReduceError::InvalidConfig {
+            what: format!("bad --retries value {s:?} (expected a count)"),
+        })?;
+        exec = exec.with_retry_budget(budget);
+    }
+    match (args.value("--chaos-rate"), args.value("--chaos-seed")) {
+        (Some(rate), seed) => {
+            let rate: f64 = rate.parse().map_err(|_| ReduceError::InvalidConfig {
+                what: format!("bad --chaos-rate value {rate:?} (expected a probability)"),
+            })?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(ReduceError::InvalidConfig {
+                    what: format!("--chaos-rate {rate} not in [0, 1]"),
+                });
+            }
+            let seed: u64 = match seed {
+                Some(s) => s.parse().map_err(|_| ReduceError::InvalidConfig {
+                    what: format!("bad --chaos-seed value {s:?} (expected a u64)"),
+                })?,
+                None => 0,
+            };
+            exec = exec.with_chaos(ChaosPolicy::seeded(seed, rate));
+        }
+        (None, Some(_)) => {
+            return Err(ReduceError::InvalidConfig {
+                what: "--chaos-seed without --chaos-rate has no effect".to_string(),
+            })
+        }
+        (None, None) => {}
+    }
+    Ok(exec)
+}
+
+/// Opens the journal for a run directory: fresh for `--out`, replayed for
+/// `--resume`, with `--halt-after` applied. `None` when the run has no
+/// directory (nothing to checkpoint into).
+///
+/// # Errors
+///
+/// Returns [`ReduceError::InvalidConfig`] for a malformed journal or a
+/// non-numeric `--halt-after`.
+pub fn open_journal(
+    args: &ParsedArgs,
+    dir: Option<&std::path::Path>,
+    resuming: bool,
+) -> Result<Option<Checkpoint>, ReduceError> {
+    let Some(dir) = dir else {
+        if args.value("--halt-after").is_some() {
+            return Err(ReduceError::InvalidConfig {
+                what: "--halt-after needs a journal (pass --out or --resume)".to_string(),
+            });
+        }
+        return Ok(None);
+    };
+    let path = dir.join("journal.jsonl");
+    let checkpoint = if resuming {
+        Checkpoint::resume(&path)?
+    } else {
+        Checkpoint::create(&path)
+    };
+    if let Some(s) = args.value("--halt-after") {
+        let n: usize = s.parse().map_err(|_| ReduceError::InvalidConfig {
+            what: format!("bad --halt-after value {s:?} (expected a count)"),
+        })?;
+        checkpoint.set_halt_after(n);
+    }
+    Ok(Some(checkpoint))
 }
 
 /// Strictly parsed command-line arguments for the experiment binaries.
@@ -333,5 +459,56 @@ mod tests {
     fn fleet_chip_override() {
         let fc = Scale::Default.fleet_config((32, 32), Some(7));
         assert_eq!(fc.chips, 7);
+    }
+
+    fn fault_parse(v: &[&str]) -> Result<ParsedArgs, ReduceError> {
+        let mut keys = vec!["--out"];
+        keys.extend(FAULT_VALUE_KEYS);
+        parse_args(&to_args(v), &keys, &[], 0)
+    }
+
+    #[test]
+    fn fault_args_wire_the_executor() {
+        let args = fault_parse(&["--retries", "2", "--chaos-rate", "0.5", "--chaos-seed", "9"])
+            .expect("valid");
+        let exec = apply_fault_args(&args, ExecConfig::default()).expect("valid values");
+        assert_eq!(exec.retry_budget(), 2);
+        assert!(exec.chaos().is_some());
+        // Defaults: no retries, no chaos.
+        let exec = apply_fault_args(&fault_parse(&[]).expect("valid"), ExecConfig::default())
+            .expect("empty is fine");
+        assert_eq!(exec.retry_budget(), 0);
+        assert!(exec.chaos().is_none());
+        // Malformed values and a seed without a rate are errors.
+        let bad = fault_parse(&["--retries", "many"]).expect("parses as strings");
+        assert!(apply_fault_args(&bad, ExecConfig::default()).is_err());
+        let bad = fault_parse(&["--chaos-rate", "1.5"]).expect("parses as strings");
+        assert!(apply_fault_args(&bad, ExecConfig::default()).is_err());
+        let bad = fault_parse(&["--chaos-seed", "9"]).expect("parses as strings");
+        assert!(apply_fault_args(&bad, ExecConfig::default()).is_err());
+    }
+
+    #[test]
+    fn resume_conflicts_with_out() {
+        let args = fault_parse(&["--out", "a", "--resume", "b"]).expect("parses as strings");
+        assert!(resolve_run_dir(&args).is_err());
+        let (dir, resuming) = resolve_run_dir(&fault_parse(&["--resume", "b"]).expect("valid"))
+            .expect("resume alone is fine");
+        assert_eq!(dir, Some(PathBuf::from("b")));
+        assert!(resuming);
+        let (dir, resuming) = resolve_run_dir(&fault_parse(&["--out", "a"]).expect("valid"))
+            .expect("out alone is fine");
+        assert_eq!(dir, Some(PathBuf::from("a")));
+        assert!(!resuming);
+    }
+
+    #[test]
+    fn halt_after_needs_a_journal() {
+        let args = fault_parse(&["--halt-after", "3"]).expect("parses as strings");
+        assert!(open_journal(&args, None, false).is_err());
+        let args = fault_parse(&[]).expect("valid");
+        assert!(open_journal(&args, None, false)
+            .expect("no dir, no journal")
+            .is_none());
     }
 }

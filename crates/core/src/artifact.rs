@@ -1,0 +1,95 @@
+//! Atomic artifact writes.
+//!
+//! Every artifact the framework produces — `manifest.json`,
+//! `run_log.jsonl`, the resilience table, results CSVs, and the resume
+//! journal — is written through [`write_atomic`]: the full contents go to
+//! a sibling temporary file which is then renamed over the destination.
+//! On POSIX filesystems the rename is atomic, so a crash (or a deliberate
+//! `--halt-after` interrupt) leaves either the previous complete artifact
+//! or the new complete artifact on disk — never a torn half-write.
+//!
+//! This module is the **only** sanctioned call site of `std::fs::write`
+//! for artifacts; the `artifact-io` xtask lint flags direct
+//! `std::fs::write` / `File::create` calls elsewhere in the result crates
+//! and the bench binaries.
+
+use crate::error::{ReduceError, Result};
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically (temp file + rename), creating
+/// parent directories as needed.
+///
+/// The temporary file is `<file name>.tmp` in the same directory, so the
+/// rename never crosses a filesystem boundary. A leftover `.tmp` from a
+/// previous crash is simply overwritten.
+///
+/// # Errors
+///
+/// Returns [`ReduceError::InvalidConfig`] naming the path when any
+/// filesystem step fails.
+pub fn write_atomic(path: &Path, contents: &str) -> Result<()> {
+    let fail = |what: &str, e: std::io::Error| ReduceError::InvalidConfig {
+        what: format!("cannot {what} {}: {e}", path.display()),
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| fail("create directories for", e))?;
+        }
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| ReduceError::InvalidConfig {
+            what: format!("cannot write {}: path has no file name", path.display()),
+        })?
+        .to_os_string();
+    let mut tmp_name = file_name;
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents).map_err(|e| fail("write temporary file for", e))?;
+    std::fs::rename(&tmp, path).map_err(|e| fail("rename temporary file over", e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("reduce-artifact-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn writes_and_overwrites_with_no_tmp_left_behind() {
+        let dir = scratch_dir("basic");
+        let path = dir.join("nested").join("out.json");
+        write_atomic(&path, "{\"v\":1}").expect("first write");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("readable"),
+            "{\"v\":1}"
+        );
+        write_atomic(&path, "{\"v\":2}").expect("overwrite");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("readable"),
+            "{\"v\":2}"
+        );
+        assert!(
+            !path.with_file_name("out.json.tmp").exists(),
+            "temporary file must be renamed away"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pathological_paths_are_typed_errors() {
+        let err = write_atomic(Path::new("/"), "x").expect_err("no file name");
+        assert!(matches!(err, ReduceError::InvalidConfig { .. }));
+        let dir = scratch_dir("errors");
+        let blocked = dir.join("is-a-dir");
+        std::fs::create_dir_all(&blocked).expect("dir");
+        let err = write_atomic(&blocked, "x").expect_err("cannot rename over a directory");
+        assert!(err.to_string().contains("is-a-dir"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

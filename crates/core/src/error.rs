@@ -29,6 +29,15 @@ pub enum ReduceError {
         /// Why the lookup failed.
         reason: String,
     },
+    /// Training produced a non-finite loss or accuracy. Surfaced as a
+    /// typed error (instead of a NaN silently comparing `false` against
+    /// the accuracy constraint) so the retry layer can roll back to the
+    /// pre-mask snapshot and reseed, and so quarantine reports carry the
+    /// real cause.
+    Divergence {
+        /// What diverged (which quantity, at which epoch).
+        what: String,
+    },
     /// An internal invariant was violated — always a bug in this crate,
     /// surfaced as an error instead of a panic so fleet runs fail softly.
     /// Worker panics contained by the parallel executor ([`crate::exec`])
@@ -50,6 +59,9 @@ impl fmt::Display for ReduceError {
             ReduceError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
             ReduceError::MissingCharacterization { reason } => {
                 write!(f, "missing resilience characterisation: {reason}")
+            }
+            ReduceError::Divergence { what } => {
+                write!(f, "training diverged: {what}")
             }
             ReduceError::Internal { invariant } => {
                 write!(f, "internal invariant violated: {invariant}")

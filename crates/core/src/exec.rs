@@ -20,9 +20,29 @@
 //!
 //! Error reporting is deterministic too: when several jobs fail, the
 //! error of the lowest input index is the one returned.
+//!
+//! # Failure containment
+//!
+//! [`parallel_map_resilient`] layers job-level fault tolerance on top:
+//! a job that returns `Err` or panics is retried up to
+//! [`ExecConfig::retry_budget`] times, each attempt reseeded with the
+//! pure [`retry_seed`] function (no wall clock, no global state — the
+//! retry schedule depends only on the job id and attempt number, so it
+//! is identical at any thread count and across resumed runs). A job that
+//! exhausts the budget is **quarantined**, not fatal: the fan-out
+//! completes and the caller receives a typed [`JobStatus::Quarantined`]
+//! outcome alongside its siblings' results. Only configuration-class
+//! errors ([`ReduceError::InvalidConfig`],
+//! [`ReduceError::MissingCharacterization`]) abort the whole map —
+//! retrying a rejected configuration can never succeed.
+//!
+//! A deterministic [`ChaosPolicy`] can be injected through
+//! [`ExecConfig::with_chaos`] to force chosen `(job, attempt)` pairs to
+//! fail or panic — the test harness the containment guarantees are
+//! proved with.
 
 use crate::error::{ReduceError, Result};
-use crate::telemetry::{Event, NullObserver, Observer};
+use crate::telemetry::{Event, NullObserver, Observer, Stage};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -51,15 +71,19 @@ pub struct ExecConfig {
     /// Worker threads for parallel grids; `0` auto-sizes.
     pub threads: usize,
     observer: Arc<dyn Observer>,
+    retry_budget: u32,
+    chaos: Option<Arc<ChaosPolicy>>,
 }
 
 impl ExecConfig {
     /// An execution config over `threads` workers (`0` = auto) with
-    /// telemetry discarded.
+    /// telemetry discarded, no retries, and no chaos injection.
     pub fn new(threads: usize) -> Self {
         ExecConfig {
             threads,
             observer: Arc::new(NullObserver),
+            retry_budget: 0,
+            chaos: None,
         }
     }
 
@@ -76,9 +100,35 @@ impl ExecConfig {
         self
     }
 
+    /// Sets how many times [`parallel_map_resilient`] retries a failed
+    /// job before quarantining it (`0` = a single attempt, no retries).
+    #[must_use]
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Injects a deterministic fault-injection policy: chosen
+    /// `(job, attempt)` pairs fail or panic before the job body runs.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosPolicy) -> Self {
+        self.chaos = Some(Arc::new(chaos));
+        self
+    }
+
     /// The attached telemetry sink.
     pub fn observer(&self) -> &dyn Observer {
         self.observer.as_ref()
+    }
+
+    /// Retries per job before quarantine (`0` = single attempt).
+    pub fn retry_budget(&self) -> u32 {
+        self.retry_budget
+    }
+
+    /// The injected chaos policy, if any.
+    pub fn chaos(&self) -> Option<&ChaosPolicy> {
+        self.chaos.as_deref()
     }
 }
 
@@ -212,6 +262,339 @@ where
         results.push(out);
     }
     Ok(results)
+}
+
+/// The retry-seed salt for `(job, attempt)`: `0` for the first attempt
+/// (so a run without failures is bit-identical to one executed without
+/// the retry layer), and a well-mixed splitmix64-style hash for retries.
+///
+/// This is a **pure** function — no wall clock, no global state — which
+/// is what makes the retry schedule reproducible at any thread count and
+/// across interrupted/resumed runs.
+pub fn retry_seed(job: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        return 0;
+    }
+    let mut z = job
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // A zero salt means "first attempt"; keep retries distinguishable.
+    if z == 0 {
+        1
+    } else {
+        z
+    }
+}
+
+/// What a [`ChaosPolicy`] does to one `(job, attempt)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosOutcome {
+    /// Run the job body normally.
+    Pass,
+    /// Fail the attempt with a typed error before the job body runs.
+    Fail,
+    /// Panic before the job body runs (exercises panic containment).
+    Panic,
+}
+
+#[derive(Debug, Clone)]
+enum ChaosMode {
+    /// Explicit `(job, attempt)` pairs.
+    Pairs(Vec<(u64, u32, ChaosOutcome)>),
+    /// Every attempt of the listed jobs (guarantees quarantine).
+    Jobs(Vec<(u64, ChaosOutcome)>),
+    /// Seeded random failures at `fail_rate` per attempt.
+    Seeded { seed: u64, fail_rate: f64 },
+}
+
+/// A deterministic fault-injection policy for
+/// [`parallel_map_resilient`]: decides, purely from the job id and
+/// attempt number, whether an attempt runs, fails, or panics.
+///
+/// Because [`ChaosPolicy::decide`] is a pure function, injected chaos is
+/// reproducible: the same policy produces the same failures at any
+/// thread count, and an interrupted run resumed later sees the same
+/// outcomes for the jobs it re-executes.
+#[derive(Debug, Clone)]
+pub struct ChaosPolicy {
+    mode: ChaosMode,
+}
+
+impl ChaosPolicy {
+    /// Fails exactly the listed `(job, attempt)` pairs.
+    pub fn fail_at(pairs: &[(u64, u32)]) -> Self {
+        ChaosPolicy {
+            mode: ChaosMode::Pairs(
+                pairs
+                    .iter()
+                    .map(|&(j, a)| (j, a, ChaosOutcome::Fail))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Panics on exactly the listed `(job, attempt)` pairs.
+    pub fn panic_at(pairs: &[(u64, u32)]) -> Self {
+        ChaosPolicy {
+            mode: ChaosMode::Pairs(
+                pairs
+                    .iter()
+                    .map(|&(j, a)| (j, a, ChaosOutcome::Panic))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Fails **every** attempt of the listed jobs — the simplest way to
+    /// guarantee a quarantine regardless of the retry budget.
+    pub fn fail_jobs(jobs: &[u64]) -> Self {
+        ChaosPolicy {
+            mode: ChaosMode::Jobs(jobs.iter().map(|&j| (j, ChaosOutcome::Fail)).collect()),
+        }
+    }
+
+    /// Panics on every attempt of the listed jobs.
+    pub fn panic_jobs(jobs: &[u64]) -> Self {
+        ChaosPolicy {
+            mode: ChaosMode::Jobs(jobs.iter().map(|&j| (j, ChaosOutcome::Panic)).collect()),
+        }
+    }
+
+    /// Fails a seeded pseudo-random `fail_rate` fraction of attempts
+    /// (clamped to `[0, 1]`). Each `(job, attempt)` pair is decided
+    /// independently, so retries of an unlucky job may still succeed.
+    pub fn seeded(seed: u64, fail_rate: f64) -> Self {
+        ChaosPolicy {
+            mode: ChaosMode::Seeded {
+                seed,
+                fail_rate: fail_rate.clamp(0.0, 1.0),
+            },
+        }
+    }
+
+    /// The outcome for `(job, attempt)` — a pure function of the policy
+    /// and its arguments.
+    pub fn decide(&self, job: u64, attempt: u32) -> ChaosOutcome {
+        match &self.mode {
+            ChaosMode::Pairs(pairs) => pairs
+                .iter()
+                .find(|&&(j, a, _)| j == job && a == attempt)
+                .map(|&(_, _, out)| out)
+                .unwrap_or(ChaosOutcome::Pass),
+            ChaosMode::Jobs(jobs) => jobs
+                .iter()
+                .find(|&&(j, _)| j == job)
+                .map(|&(_, out)| out)
+                .unwrap_or(ChaosOutcome::Pass),
+            ChaosMode::Seeded { seed, fail_rate } => {
+                // Map a splitmix-style hash of (seed, job, attempt) onto
+                // [0, 1) through the top 53 bits (exact in f64).
+                let mut z = seed
+                    .wrapping_add(job.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .wrapping_add(u64::from(attempt).wrapping_mul(0xD134_2543_DE82_EF95));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+                if unit < *fail_rate {
+                    ChaosOutcome::Fail
+                } else {
+                    ChaosOutcome::Pass
+                }
+            }
+        }
+    }
+}
+
+/// The terminal status of one resilient job: a result, or a quarantine
+/// record carrying the attempt count and final error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus<R> {
+    /// The job produced a result (possibly after retries).
+    Ok(R),
+    /// Every attempt failed; the job is contained, siblings unaffected.
+    Quarantined {
+        /// Attempts made (`retry_budget + 1`).
+        attempts: u32,
+        /// The error of the final attempt, rendered.
+        error: String,
+    },
+}
+
+impl<R> JobStatus<R> {
+    /// The successful result, if any.
+    pub fn as_ok(&self) -> Option<&R> {
+        match self {
+            JobStatus::Ok(r) => Some(r),
+            JobStatus::Quarantined { .. } => None,
+        }
+    }
+}
+
+/// One job's sealed outcome from [`parallel_map_resilient`]: its stable
+/// id, terminal status, and the telemetry events it buffered (including
+/// the [`Event::JobFailed`] / [`Event::RetryScheduled`] /
+/// [`Event::DivergenceRecovered`] records of its retry history).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport<R> {
+    /// The caller-assigned stable job id.
+    pub job: u64,
+    /// Terminal status.
+    pub status: JobStatus<R>,
+    /// Buffered events, in deterministic per-job order.
+    pub events: Vec<Event>,
+}
+
+/// Whether an error class can never be fixed by retrying: rejected
+/// configurations and missing characterisations are deterministic
+/// precondition failures, so they abort the fan-out instead of burning
+/// the retry budget and masquerading as quarantines.
+fn is_fatal(e: &ReduceError) -> bool {
+    matches!(
+        e,
+        ReduceError::InvalidConfig { .. } | ReduceError::MissingCharacterization { .. }
+    )
+}
+
+/// [`parallel_map`] with job-level failure containment.
+///
+/// Each item carries a caller-assigned stable `u64` job id (the first
+/// tuple element) — **not** its position in `items` — so retry seeds and
+/// chaos decisions stay attached to the same logical job when a resumed
+/// run fans out only the missing subset of a grid.
+///
+/// Per attempt, the job receives a *seed salt* ([`retry_seed`]): `0` on
+/// the first attempt, a fresh deterministic value per retry, to be XORed
+/// into whatever base seed the job derives its randomness from. A failed
+/// attempt's buffered events are discarded (as if the attempt never
+/// ran); the retry layer records [`Event::JobFailed`] and, if budget
+/// remains, [`Event::RetryScheduled`] in their place. A success after a
+/// divergence failure additionally records
+/// [`Event::DivergenceRecovered`].
+///
+/// `on_sealed` runs on the worker thread as soon as a job's outcome is
+/// final — the checkpoint-journal hook — and may fail, which aborts the
+/// fan-out.
+///
+/// # Errors
+///
+/// Configuration-class errors ([`is_fatal`]) from the lowest-indexed
+/// failing job, or an `on_sealed` error; never a quarantined job.
+pub fn parallel_map_resilient<T, R, F, S>(
+    items: &[(u64, T)],
+    exec: &ExecConfig,
+    stage: Stage,
+    job: F,
+    on_sealed: S,
+) -> Result<Vec<JobReport<R>>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(u64, &T, u64, &mut Vec<Event>) -> Result<R> + Sync,
+    S: Fn(&JobReport<R>) -> Result<()> + Sync,
+{
+    parallel_map(items, exec.threads, |_, (id, item)| {
+        let report = run_resilient(*id, item, exec, stage, &job)?;
+        on_sealed(&report)?;
+        Ok(report)
+    })
+}
+
+/// The per-job retry loop behind [`parallel_map_resilient`].
+fn run_resilient<T, R, F>(
+    id: u64,
+    item: &T,
+    exec: &ExecConfig,
+    stage: Stage,
+    job: &F,
+) -> Result<JobReport<R>>
+where
+    F: Fn(u64, &T, u64, &mut Vec<Event>) -> Result<R>,
+{
+    let budget = exec.retry_budget();
+    let mut events: Vec<Event> = Vec::new();
+    let mut last_error = String::new();
+    let mut saw_divergence = false;
+    for attempt in 0..=budget {
+        let salt = retry_seed(id, attempt);
+        let mut attempt_events = Vec::new();
+        let decision = exec
+            .chaos()
+            .map_or(ChaosOutcome::Pass, |c| c.decide(id, attempt));
+        let result = match decision {
+            ChaosOutcome::Fail => Err(ReduceError::Internal {
+                invariant: format!("chaos injection: forced failure (job {id}, attempt {attempt})"),
+            }),
+            ChaosOutcome::Panic => contain_unwind(id, || {
+                // xtask:allow(panic): chaos harness deliberately injects a contained panic
+                panic!("chaos injection: forced panic (job {id}, attempt {attempt})")
+            }),
+            ChaosOutcome::Pass => contain_unwind(id, || job(id, item, salt, &mut attempt_events)),
+        };
+        match result {
+            Ok(out) => {
+                events.extend(attempt_events);
+                if saw_divergence {
+                    events.push(Event::DivergenceRecovered {
+                        stage,
+                        job: id,
+                        attempts: attempt,
+                    });
+                }
+                return Ok(JobReport {
+                    job: id,
+                    status: JobStatus::Ok(out),
+                    events,
+                });
+            }
+            Err(e) if is_fatal(&e) => return Err(e),
+            Err(e) => {
+                // The failed attempt's events are discarded whole — the
+                // event stream only ever shows complete attempts plus
+                // the typed retry records below.
+                saw_divergence = matches!(e, ReduceError::Divergence { .. });
+                last_error = e.to_string();
+                events.push(Event::JobFailed {
+                    stage,
+                    job: id,
+                    attempt,
+                    error: last_error.clone(),
+                });
+                if attempt < budget {
+                    events.push(Event::RetryScheduled {
+                        stage,
+                        job: id,
+                        attempt: attempt + 1,
+                        seed: retry_seed(id, attempt + 1),
+                    });
+                }
+            }
+        }
+    }
+    Ok(JobReport {
+        job: id,
+        status: JobStatus::Quarantined {
+            attempts: budget + 1,
+            error: last_error,
+        },
+        events,
+    })
+}
+
+/// Closure variant of [`run_contained`]: panics become typed errors.
+fn contain_unwind<R>(id: u64, f: impl FnOnce() -> Result<R>) -> Result<R> {
+    match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(ReduceError::Internal {
+            invariant: format!(
+                "worker jobs must not panic (job {id} panicked: {})",
+                panic_message(payload.as_ref())
+            ),
+        }),
+    }
 }
 
 /// Runs one job with panic containment: a panic becomes
@@ -394,9 +777,283 @@ mod tests {
     fn exec_config_defaults_and_builder() {
         let cfg = ExecConfig::default();
         assert_eq!(cfg.threads, 1);
-        let cfg = ExecConfig::new(4).with_observer(Arc::new(SeqRecorder::default()));
+        assert_eq!(cfg.retry_budget(), 0);
+        assert!(cfg.chaos().is_none());
+        let cfg = ExecConfig::new(4)
+            .with_observer(Arc::new(SeqRecorder::default()))
+            .with_retry_budget(3)
+            .with_chaos(ChaosPolicy::fail_jobs(&[9]));
         assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.retry_budget(), 3);
+        assert!(cfg.chaos().is_some());
         cfg.observer().on_event(&tick(0, 1));
         assert!(format!("{cfg:?}").contains("threads"));
+    }
+
+    #[test]
+    fn retry_seed_is_pure_and_salts_only_retries() {
+        for job in [0u64, 1, 17, u64::MAX] {
+            assert_eq!(retry_seed(job, 0), 0, "first attempt must not be salted");
+            for attempt in 1..5u32 {
+                let salt = retry_seed(job, attempt);
+                assert_ne!(salt, 0, "retry salts must be non-zero");
+                assert_eq!(salt, retry_seed(job, attempt), "must be pure");
+            }
+        }
+        assert_ne!(retry_seed(3, 1), retry_seed(3, 2));
+        assert_ne!(retry_seed(3, 1), retry_seed(4, 1));
+    }
+
+    #[test]
+    fn chaos_policy_is_deterministic() {
+        let pairs = ChaosPolicy::fail_at(&[(2, 0)]);
+        assert_eq!(pairs.decide(2, 0), ChaosOutcome::Fail);
+        assert_eq!(pairs.decide(2, 1), ChaosOutcome::Pass);
+        assert_eq!(pairs.decide(1, 0), ChaosOutcome::Pass);
+        let panics = ChaosPolicy::panic_at(&[(0, 1)]);
+        assert_eq!(panics.decide(0, 1), ChaosOutcome::Panic);
+        let jobs = ChaosPolicy::fail_jobs(&[5]);
+        for attempt in 0..4 {
+            assert_eq!(jobs.decide(5, attempt), ChaosOutcome::Fail);
+            assert_eq!(jobs.decide(6, attempt), ChaosOutcome::Pass);
+        }
+        let seeded = ChaosPolicy::seeded(42, 0.5);
+        let first: Vec<ChaosOutcome> = (0..64).map(|j| seeded.decide(j, 0)).collect();
+        let again: Vec<ChaosOutcome> = (0..64).map(|j| seeded.decide(j, 0)).collect();
+        assert_eq!(first, again, "seeded chaos must be pure");
+        let failures = first.iter().filter(|&&o| o == ChaosOutcome::Fail).count();
+        assert!(failures > 0, "rate 0.5 over 64 jobs should fail some");
+        assert!(failures < 64, "rate 0.5 over 64 jobs should pass some");
+        assert!((0..64).all(|j| ChaosPolicy::seeded(7, 0.0).decide(j, 0) == ChaosOutcome::Pass));
+        assert!((0..64).all(|j| ChaosPolicy::seeded(7, 1.0).decide(j, 0) == ChaosOutcome::Fail));
+    }
+
+    /// Runs a resilient map over `n` synthetic jobs; job bodies succeed
+    /// unless chaos interferes, and report the salt they were given.
+    fn resilient_run(n: u64, exec: &ExecConfig) -> Vec<JobReport<(u64, u64)>> {
+        let items: Vec<(u64, u64)> = (0..n).map(|i| (i, i * 10)).collect();
+        parallel_map_resilient(
+            &items,
+            exec,
+            Stage::Characterize,
+            |id, &payload, salt, events| {
+                events.push(tick(id as usize, 1));
+                Ok((payload, salt))
+            },
+            |_| Ok(()),
+        )
+        .expect("no fatal errors")
+    }
+
+    #[test]
+    fn resilient_map_without_chaos_matches_plain_map() {
+        let reports = resilient_run(8, &ExecConfig::new(4).with_retry_budget(2));
+        assert_eq!(reports.len(), 8);
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(report.job, i as u64);
+            // No failures -> first attempt, zero salt, one buffered tick.
+            assert_eq!(report.status, JobStatus::Ok((i as u64 * 10, 0)));
+            assert_eq!(report.events, vec![tick(i, 1)]);
+        }
+    }
+
+    #[test]
+    fn quarantine_is_contained_and_thread_invariant() {
+        let chaos = ChaosPolicy::fail_jobs(&[1, 5]);
+        let mut runs = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let exec = ExecConfig::new(threads)
+                .with_retry_budget(1)
+                .with_chaos(chaos.clone());
+            runs.push(resilient_run(8, &exec));
+        }
+        let (first, rest) = runs.split_first().expect("three runs");
+        for other in rest {
+            assert_eq!(other, first, "reports varied with thread count");
+        }
+        for (i, report) in first.iter().enumerate() {
+            if i == 1 || i == 5 {
+                match &report.status {
+                    JobStatus::Quarantined { attempts, error } => {
+                        assert_eq!(*attempts, 2, "budget 1 = two attempts");
+                        assert!(error.contains("chaos injection"), "cause kept: {error}");
+                    }
+                    other => panic!("job {i} should be quarantined, got {other:?}"),
+                }
+                // Retry history: failed attempt, scheduled retry, failed again.
+                assert_eq!(report.events.len(), 3);
+                assert!(matches!(
+                    report.events[0],
+                    Event::JobFailed { attempt: 0, .. }
+                ));
+                assert!(matches!(
+                    report.events[1],
+                    Event::RetryScheduled { attempt: 1, seed, .. } if seed == retry_seed(i as u64, 1)
+                ));
+                assert!(matches!(
+                    report.events[2],
+                    Event::JobFailed { attempt: 1, .. }
+                ));
+            } else {
+                // Siblings are untouched: same result and events as a
+                // chaos-free run.
+                assert_eq!(report.status, JobStatus::Ok((i as u64 * 10, 0)));
+                assert_eq!(report.events, vec![tick(i, 1)]);
+            }
+        }
+    }
+
+    #[test]
+    fn retry_recovers_with_a_fresh_salt() {
+        let exec = ExecConfig::new(2)
+            .with_retry_budget(2)
+            .with_chaos(ChaosPolicy::fail_at(&[(3, 0), (3, 1)]));
+        let reports = resilient_run(6, &exec);
+        match &reports[3].status {
+            JobStatus::Ok((payload, salt)) => {
+                assert_eq!(*payload, 30);
+                assert_eq!(*salt, retry_seed(3, 2), "third attempt's salt");
+            }
+            other => panic!("job 3 should recover, got {other:?}"),
+        }
+        // Two failures, two scheduled retries, then the successful
+        // attempt's own events.
+        assert_eq!(reports[3].events.len(), 5);
+        assert_eq!(reports[3].events[4], tick(3, 1));
+    }
+
+    #[test]
+    fn injected_panics_are_quarantined_not_fatal() {
+        let exec = ExecConfig::new(4).with_chaos(ChaosPolicy::panic_jobs(&[2]));
+        let reports = resilient_run(4, &exec);
+        match &reports[2].status {
+            JobStatus::Quarantined { attempts, error } => {
+                assert_eq!(*attempts, 1);
+                assert!(error.contains("panic"), "panic cause kept: {error}");
+            }
+            other => panic!("job 2 should be quarantined, got {other:?}"),
+        }
+        assert!(matches!(reports[0].status, JobStatus::Ok(_)));
+        assert!(matches!(reports[3].status, JobStatus::Ok(_)));
+    }
+
+    #[test]
+    fn job_panics_are_quarantined_too() {
+        let items: Vec<(u64, u64)> = (0..3).map(|i| (i, i)).collect();
+        let exec = ExecConfig::new(2);
+        let reports = parallel_map_resilient(
+            &items,
+            &exec,
+            Stage::Deploy,
+            |id, _, _, _events| {
+                if id == 1 {
+                    panic!("boom in the job body");
+                }
+                Ok(id)
+            },
+            |_| Ok(()),
+        )
+        .expect("panic is contained, not fatal");
+        assert!(
+            matches!(&reports[1].status, JobStatus::Quarantined { error, .. } if error.contains("boom"))
+        );
+    }
+
+    #[test]
+    fn divergence_recovery_emits_typed_event() {
+        let items: Vec<(u64, u64)> = (0..4).map(|i| (i, i)).collect();
+        let exec = ExecConfig::new(2).with_retry_budget(1);
+        let reports = parallel_map_resilient(
+            &items,
+            &exec,
+            Stage::Characterize,
+            |id, _, salt, _events| {
+                if id == 2 && salt == 0 {
+                    // First attempt diverges; the reseeded retry recovers.
+                    return Err(ReduceError::Divergence {
+                        what: "accuracy became NaN at epoch 1".to_string(),
+                    });
+                }
+                Ok(id)
+            },
+            |_| Ok(()),
+        )
+        .expect("divergence is retryable");
+        assert_eq!(reports[2].status, JobStatus::Ok(2));
+        assert!(
+            matches!(
+                reports[2].events.last(),
+                Some(Event::DivergenceRecovered {
+                    job: 2,
+                    attempts: 1,
+                    ..
+                })
+            ),
+            "events were {:?}",
+            reports[2].events
+        );
+    }
+
+    #[test]
+    fn fatal_errors_abort_instead_of_quarantining() {
+        let items: Vec<(u64, u64)> = (0..4).map(|i| (i, i)).collect();
+        let exec = ExecConfig::new(2).with_retry_budget(5);
+        let res = parallel_map_resilient(
+            &items,
+            &exec,
+            Stage::Deploy,
+            |id, _, _, _| {
+                if id == 1 {
+                    return Err(ReduceError::MissingCharacterization {
+                        reason: "no table".to_string(),
+                    });
+                }
+                Ok(id)
+            },
+            |_: &JobReport<u64>| Ok(()),
+        );
+        assert!(
+            matches!(res, Err(ReduceError::MissingCharacterization { .. })),
+            "precondition failures must not burn the retry budget"
+        );
+    }
+
+    #[test]
+    fn on_sealed_sees_every_outcome_and_may_abort() {
+        let items: Vec<(u64, u64)> = (0..6).map(|i| (i, i)).collect();
+        let exec = ExecConfig::new(3).with_chaos(ChaosPolicy::fail_jobs(&[4]));
+        let sealed = Mutex::new(Vec::new());
+        let reports = parallel_map_resilient(
+            &items,
+            &exec,
+            Stage::Characterize,
+            |id, _, _, _| Ok(id),
+            |report| {
+                if let Ok(mut log) = sealed.lock() {
+                    log.push(report.job);
+                }
+                Ok(())
+            },
+        )
+        .expect("quarantine is not fatal");
+        let mut seen = sealed.into_inner().expect("no poisoning");
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        assert!(matches!(reports[4].status, JobStatus::Quarantined { .. }));
+        let res = parallel_map_resilient(
+            &items,
+            &ExecConfig::new(2),
+            Stage::Characterize,
+            |id, _, _, _| Ok(id),
+            |report| {
+                if report.job == 3 {
+                    return Err(ReduceError::InvalidConfig {
+                        what: "journal write failed".to_string(),
+                    });
+                }
+                Ok(())
+            },
+        );
+        assert!(matches!(res, Err(ReduceError::InvalidConfig { .. })));
     }
 }

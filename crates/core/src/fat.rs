@@ -47,6 +47,11 @@ pub struct FatOutcome {
 
 impl FatOutcome {
     /// Test accuracy after all executed epochs (the deployed accuracy).
+    ///
+    /// Outcomes produced by [`FatRunner::run`] are guaranteed finite (the
+    /// runner fails with [`ReduceError::Divergence`] otherwise); callers
+    /// constructing outcomes by hand should run [`FatOutcome::ensure_finite`]
+    /// before aggregating.
     pub fn final_accuracy(&self) -> f32 {
         self.accuracy_after_epoch
             .last()
@@ -54,9 +59,38 @@ impl FatOutcome {
             .unwrap_or(self.pre_retrain_accuracy)
     }
 
+    /// Errors if any recorded accuracy is non-finite.
+    ///
+    /// NaN compares false against every constraint, so a diverged run would
+    /// otherwise read as "constraint never reached" in
+    /// [`FatOutcome::epochs_to_reach`] and poison fleet aggregates silently.
+    /// This surfaces it as a typed [`ReduceError::Divergence`] instead.
+    ///
+    /// # Errors
+    ///
+    /// [`ReduceError::Divergence`] naming the first non-finite quantity.
+    pub fn ensure_finite(&self) -> Result<()> {
+        if !self.pre_retrain_accuracy.is_finite() {
+            return Err(ReduceError::Divergence {
+                what: format!("pre-retrain accuracy is {}", self.pre_retrain_accuracy),
+            });
+        }
+        for (i, &a) in self.accuracy_after_epoch.iter().enumerate() {
+            if !a.is_finite() {
+                return Err(ReduceError::Divergence {
+                    what: format!("accuracy after epoch {} is {a}", i + 1),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// The smallest number of epochs after which accuracy reached
     /// `constraint` (0 = met before retraining), or `None` if it never did
     /// within the executed epochs.
+    ///
+    /// Assumes finite accuracies (see [`FatOutcome::ensure_finite`]): a NaN
+    /// would compare false here and masquerade as an unmet constraint.
     pub fn epochs_to_reach(&self, constraint: f32) -> Option<usize> {
         if self.pre_retrain_accuracy >= constraint {
             return Some(0);
@@ -159,13 +193,27 @@ impl FatRunner {
     ///
     /// # Errors
     ///
-    /// Propagates mapping errors.
+    /// Rejects a fault map whose geometry does not match the workbench's
+    /// systolic array (a wrong-sized map would otherwise mask the wrong
+    /// weight tiles, or panic on an out-of-range index deep inside the
+    /// mapping); propagates mapping errors.
     pub fn derive_masks(
         &self,
         model: &Sequential,
         fault_map: &FaultMap,
         strategy: Mitigation,
     ) -> Result<Vec<Option<Tensor>>> {
+        let (rows, cols) = self.workbench.array_dims();
+        if (fault_map.rows(), fault_map.cols()) != (rows, cols) {
+            return Err(reduce_systolic::SystolicError::BadGeometry {
+                reason: format!(
+                    "fault map is {}x{} but the workbench targets a {rows}x{cols} array",
+                    fault_map.rows(),
+                    fault_map.cols()
+                ),
+            }
+            .into());
+        }
         let mut masks = Vec::with_capacity(self.weight_dims.len());
         match strategy {
             Mitigation::Fap => {
@@ -354,6 +402,11 @@ impl FatRunner {
             self.recalibrate_statistics(&mut model, self.workbench.bn_recalibration_passes)?;
         }
         let pre = self.workbench.evaluate(&mut model, &self.test)?.accuracy;
+        if !pre.is_finite() {
+            return Err(ReduceError::Divergence {
+                what: format!("pre-retrain accuracy is {pre}"),
+            });
+        }
         let mut outcome = FatOutcome {
             pre_retrain_accuracy: pre,
             accuracy_after_epoch: Vec::with_capacity(max_epochs),
@@ -372,6 +425,11 @@ impl FatRunner {
         for epoch in 1..=max_epochs {
             trainer.train_epoch(&mut model, self.train.features(), self.train.labels())?;
             let acc = self.workbench.evaluate(&mut model, &self.test)?.accuracy;
+            if !acc.is_finite() {
+                return Err(ReduceError::Divergence {
+                    what: format!("accuracy after epoch {epoch} is {acc}"),
+                });
+            }
             outcome.accuracy_after_epoch.push(acc);
             on_epoch(epoch, acc);
             if let StopRule::AtAccuracy(c) = stop {
@@ -479,6 +537,63 @@ mod tests {
         assert_eq!(out.epochs_to_reach(0.75), Some(2));
         assert_eq!(out.epochs_to_reach(0.95), None);
         assert_eq!(out.final_accuracy(), 0.9);
+    }
+
+    #[test]
+    fn mismatched_fault_map_geometry_is_a_typed_error() {
+        let (runner, pre) = runner();
+        // The toy workbench targets an 8x8 array; hand it a 4x4 map.
+        let wrong = FaultMap::generate(4, 4, 0.1, FaultModel::Random, 1).expect("valid rate");
+        let err = runner
+            .run(&pre, &wrong, 1, StopRule::Exact, Mitigation::Fap, 0)
+            .expect_err("geometry mismatch must be rejected");
+        match err {
+            ReduceError::Systolic(reduce_systolic::SystolicError::BadGeometry { reason }) => {
+                assert!(reason.contains("4x4"), "reason names the map: {reason}");
+                assert!(reason.contains("8x8"), "reason names the array: {reason}");
+            }
+            other => panic!("expected BadGeometry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_accuracies_are_typed_divergence_errors() {
+        let nan_pre = FatOutcome {
+            pre_retrain_accuracy: f32::NAN,
+            accuracy_after_epoch: vec![0.5],
+            pruned_fraction: 0.1,
+            final_state: Vec::new(),
+            workspace: WorkspaceStats::default(),
+        };
+        match nan_pre.ensure_finite() {
+            Err(ReduceError::Divergence { what }) => {
+                assert!(what.contains("pre-retrain"), "what: {what}");
+            }
+            other => panic!("expected Divergence, got {other:?}"),
+        }
+        let nan_epoch = FatOutcome {
+            pre_retrain_accuracy: 0.5,
+            accuracy_after_epoch: vec![0.6, f32::INFINITY],
+            pruned_fraction: 0.1,
+            final_state: Vec::new(),
+            workspace: WorkspaceStats::default(),
+        };
+        match nan_epoch.ensure_finite() {
+            Err(ReduceError::Divergence { what }) => {
+                assert!(what.contains("epoch 2"), "what: {what}");
+            }
+            other => panic!("expected Divergence, got {other:?}"),
+        }
+        // NaN would otherwise masquerade as "constraint never reached":
+        assert_eq!(nan_epoch.epochs_to_reach(0.55), Some(1));
+        let healthy = FatOutcome {
+            pre_retrain_accuracy: 0.5,
+            accuracy_after_epoch: vec![0.6],
+            pruned_fraction: 0.1,
+            final_state: Vec::new(),
+            workspace: WorkspaceStats::default(),
+        };
+        healthy.ensure_finite().expect("finite outcome passes");
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Step ③ at fleet scale — retraining every chip under a policy and
 //! accounting for the cost (the data behind Fig. 3).
 
-use crate::error::Result;
-use crate::exec::{self, ExecConfig};
+use crate::error::{ReduceError, Result};
+use crate::exec::{self, ExecConfig, JobStatus};
 use crate::fat::{FatRunner, Mitigation, StopRule};
+use crate::journal::{Checkpoint, JournalRecord};
 use crate::policy::RetrainPolicy;
 use crate::resilience::ResilienceTable;
 use crate::telemetry::{self, EpochScope, Event, Stage};
@@ -11,6 +12,7 @@ use crate::workbench::Pretrained;
 use reduce_nn::WorkspaceStats;
 use reduce_systolic::{Chip, CostModel};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// The outcome of retraining one chip under a policy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,6 +38,32 @@ pub struct ChipOutcome {
     pub clamped: bool,
 }
 
+/// A chip whose FAT run exhausted its retry budget and was quarantined.
+///
+/// Quarantined chips are excluded from every aggregate statistic — a
+/// handful of failing chips must not abort (or silently skew) the rest of
+/// the fleet's evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedChip {
+    /// Chip identifier.
+    pub chip_id: usize,
+    /// The chip's fault rate.
+    pub fault_rate: f64,
+    /// Attempts consumed (retry budget + 1).
+    pub attempts: u32,
+    /// The final attempt's error.
+    pub error: String,
+}
+
+/// Containment status of one chip in a [`FleetReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChipStatus {
+    /// The chip was retrained and contributes to the aggregates.
+    Ok,
+    /// The chip exhausted its retry budget and was quarantined.
+    Quarantined,
+}
+
 /// Aggregate results of retraining a fleet under one policy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetReport {
@@ -43,8 +71,12 @@ pub struct FleetReport {
     pub policy: String,
     /// The accuracy constraint evaluated against.
     pub constraint: f32,
-    /// Per-chip outcomes, in fleet order.
+    /// Per-chip outcomes of the successfully retrained chips, in fleet
+    /// order.
     pub chips: Vec<ChipOutcome>,
+    /// Chips quarantined after exhausting the retry budget, in fleet
+    /// order. Empty on a clean run.
+    pub quarantined: Vec<QuarantinedChip>,
     /// Total retraining epochs spent across the fleet — the paper's
     /// overhead metric.
     pub total_epochs: usize,
@@ -75,6 +107,27 @@ impl FleetReport {
             return 0.0;
         }
         self.total_epochs as f32 / self.chips.len() as f32
+    }
+
+    /// The containment status of every evaluated chip, in chip-id order.
+    pub fn statuses(&self) -> Vec<(usize, ChipStatus)> {
+        let mut statuses: Vec<(usize, ChipStatus)> = self
+            .chips
+            .iter()
+            .map(|c| (c.chip_id, ChipStatus::Ok))
+            .chain(
+                self.quarantined
+                    .iter()
+                    .map(|q| (q.chip_id, ChipStatus::Quarantined)),
+            )
+            .collect();
+        statuses.sort_by_key(|&(id, _)| id);
+        statuses
+    }
+
+    /// Number of chips quarantined after exhausting the retry budget.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
     }
 }
 
@@ -125,9 +178,11 @@ impl FleetEvalConfig {
 ///
 /// # Errors
 ///
-/// Propagates the error of the lowest-indexed failing chip. A worker that
-/// panics (which would itself be a bug — the FAT runner returns typed
-/// errors) is contained and surfaced as [`crate::ReduceError::Internal`].
+/// Propagates fatal configuration errors (e.g. the Reduce policy without a
+/// table). A chip whose FAT run fails or panics is retried up to
+/// `exec.retry_budget()` times with a deterministically derived reseed and
+/// then *quarantined* into [`FleetReport::quarantined`] — never fatal to
+/// the rest of the fleet.
 ///
 /// # Examples
 ///
@@ -163,31 +218,166 @@ pub fn evaluate_fleet(
     config: &FleetEvalConfig,
     exec: &ExecConfig,
 ) -> Result<FleetReport> {
-    let chips = telemetry::timed_stage(exec.observer(), Stage::Deploy, || {
-        let outcomes =
-            exec::parallel_map_traced(fleet, exec.threads, exec.observer(), |_, chip, events| {
-                retrain_chip(runner, pretrained, table, config, chip, events)
-            })?;
-        // Sum the per-chip workspace counters and report them while the
-        // stage is still open. Each chip owns a private model workspace,
-        // so the totals depend only on the fleet — not the thread count.
+    evaluate_fleet_resumable(runner, pretrained, fleet, table, config, exec, None)
+}
+
+/// [`evaluate_fleet`] with checkpoint/resume: every sealed chip (retrained
+/// or quarantined) is appended to `checkpoint` keyed by `(policy label,
+/// chip id)`, and chips already journaled under this config's policy are
+/// replayed — their outcomes and buffered telemetry re-emitted
+/// bit-identically, in fleet order — instead of re-run. One journal can
+/// hold several policies' outcomes (the fig3 sweep shares one).
+///
+/// # Errors
+///
+/// Propagates fatal configuration errors and checkpoint-write failures.
+pub fn evaluate_fleet_resumable(
+    runner: &FatRunner,
+    pretrained: &Pretrained,
+    fleet: &[Chip],
+    table: Option<&ResilienceTable>,
+    config: &FleetEvalConfig,
+    exec: &ExecConfig,
+    checkpoint: Option<&Checkpoint>,
+) -> Result<FleetReport> {
+    let policy_label = config.policy.label();
+    let mut replayed: BTreeMap<usize, JournalRecord> = BTreeMap::new();
+    if let Some(cp) = checkpoint {
+        for record in cp.records()? {
+            if let Some((policy, chip_id)) = record.chip_key() {
+                if policy == policy_label {
+                    replayed.insert(chip_id, record);
+                }
+            }
+        }
+    }
+    // Job ids are the chip ids — stable across resume subsetting, so retry
+    // salts and chaos decisions don't depend on which chips already ran.
+    let missing: Vec<(u64, &Chip)> = fleet
+        .iter()
+        .filter(|chip| !replayed.contains_key(&chip.id()))
+        .map(|chip| (chip.id() as u64, chip))
+        .collect();
+    let rates: BTreeMap<u64, f64> = fleet
+        .iter()
+        .map(|chip| (chip.id() as u64, chip.fault_rate()))
+        .collect();
+    let (chips, quarantined) = telemetry::timed_stage(exec.observer(), Stage::Deploy, || {
+        let fresh = exec::parallel_map_resilient(
+            &missing,
+            exec,
+            Stage::Deploy,
+            |_, chip, salt, events| {
+                retrain_chip(runner, pretrained, table, config, chip, salt, events)
+            },
+            |report| {
+                let Some(cp) = checkpoint else {
+                    return Ok(());
+                };
+                let record = match &report.status {
+                    JobStatus::Ok((outcome, workspace)) => JournalRecord::Chip {
+                        job: report.job,
+                        policy: policy_label.clone(),
+                        outcome: outcome.clone(),
+                        workspace: *workspace,
+                        events: report.events.clone(),
+                    },
+                    JobStatus::Quarantined { attempts, error } => JournalRecord::ChipFailed {
+                        job: report.job,
+                        policy: policy_label.clone(),
+                        chip_id: report.job as usize,
+                        fault_rate: rates.get(&report.job).copied().unwrap_or(f64::NAN),
+                        attempts: *attempts,
+                        error: error.clone(),
+                        events: report.events.clone(),
+                    },
+                };
+                cp.append(record)
+            },
+        )?;
+        let mut fresh_by_job: BTreeMap<u64, _> = fresh.into_iter().map(|r| (r.job, r)).collect();
+        // Stitch replayed and fresh outcomes back into fleet order; the
+        // event stream and aggregates are therefore independent of both
+        // thread count and the resume split.
+        let mut chips = Vec::with_capacity(fleet.len());
+        let mut quarantined = Vec::new();
         let mut ws = WorkspaceStats::default();
-        let chips: Vec<ChipOutcome> = outcomes
-            .into_iter()
-            .map(|(chip, stats)| {
-                ws.merge(&stats);
-                chip
-            })
-            .collect();
+        for chip in fleet {
+            if let Some(record) = replayed.get(&chip.id()) {
+                match record {
+                    JournalRecord::Chip {
+                        outcome,
+                        workspace,
+                        events,
+                        ..
+                    } => {
+                        for e in events {
+                            exec.observer().on_event(e);
+                        }
+                        ws.merge(workspace);
+                        chips.push(outcome.clone());
+                    }
+                    JournalRecord::ChipFailed {
+                        attempts,
+                        error,
+                        events,
+                        ..
+                    } => {
+                        for e in events {
+                            exec.observer().on_event(e);
+                        }
+                        quarantined.push(QuarantinedChip {
+                            chip_id: chip.id(),
+                            fault_rate: chip.fault_rate(),
+                            attempts: *attempts,
+                            error: error.clone(),
+                        });
+                    }
+                    _ => {
+                        return Err(ReduceError::Internal {
+                            invariant: "chip-keyed journal records are chip records".to_string(),
+                        })
+                    }
+                }
+            } else if let Some(report) = fresh_by_job.remove(&(chip.id() as u64)) {
+                for e in &report.events {
+                    exec.observer().on_event(e);
+                }
+                match report.status {
+                    JobStatus::Ok((outcome, stats)) => {
+                        ws.merge(&stats);
+                        chips.push(outcome);
+                    }
+                    JobStatus::Quarantined { attempts, error } => {
+                        quarantined.push(QuarantinedChip {
+                            chip_id: chip.id(),
+                            fault_rate: chip.fault_rate(),
+                            attempts,
+                            error,
+                        });
+                    }
+                }
+            } else {
+                return Err(ReduceError::Internal {
+                    invariant: "every chip is either replayed or freshly run".to_string(),
+                });
+            }
+        }
         exec.observer().on_event(&Event::WorkspaceUsed {
             stage: Stage::Deploy,
             hits: ws.hits,
             misses: ws.misses,
             bytes_allocated: ws.bytes_allocated,
         });
-        Ok::<_, crate::ReduceError>(chips)
+        if checkpoint.is_some() {
+            exec.observer().on_event(&Event::CheckpointWritten {
+                stage: Stage::Deploy,
+                completed: fleet.len(),
+            });
+        }
+        Ok::<_, ReduceError>((chips, quarantined))
     })?;
-    build_report(runner, config, chips)
+    build_report(runner, config, chips, quarantined)
 }
 
 /// Steps ②+③ for one chip: select a budget, retrain, record the outcome
@@ -199,6 +389,7 @@ fn retrain_chip(
     table: Option<&ResilienceTable>,
     config: &FleetEvalConfig,
     chip: &Chip,
+    salt: u64,
     events: &mut Vec<Event>,
 ) -> Result<(ChipOutcome, WorkspaceStats)> {
     let rate = chip.fault_rate();
@@ -214,7 +405,9 @@ fn retrain_chip(
         selection.epochs,
         stop,
         config.strategy,
-        config.seed.wrapping_add(chip.id() as u64),
+        // `salt` is 0 on the first attempt; retries re-randomise the
+        // chip's training shuffle without touching its fault map.
+        config.seed.wrapping_add(chip.id() as u64) ^ salt,
         &mut |epoch, accuracy| {
             events.push(Event::EpochCompleted {
                 scope: EpochScope::Chip { chip_id: chip.id() },
@@ -223,6 +416,7 @@ fn retrain_chip(
             });
         },
     )?;
+    outcome.ensure_finite()?;
     let final_accuracy = outcome.final_accuracy();
     events.push(Event::ChipRetrained {
         chip_id: chip.id(),
@@ -254,7 +448,18 @@ fn build_report(
     runner: &FatRunner,
     config: &FleetEvalConfig,
     chips: Vec<ChipOutcome>,
+    quarantined: Vec<QuarantinedChip>,
 ) -> Result<FleetReport> {
+    // FAT runs guard this at the source; re-check here so a hand-edited
+    // journal (or future caller) can't slip a NaN into the aggregates,
+    // where it would poison the means and vanish in `min` comparisons.
+    for c in &chips {
+        if !c.final_accuracy.is_finite() {
+            return Err(ReduceError::Divergence {
+                what: format!("chip {} final accuracy is {}", c.chip_id, c.final_accuracy),
+            });
+        }
+    }
     let satisfied = chips.iter().filter(|c| c.meets_constraint).count();
     let total_epochs = chips.iter().map(|c| c.epochs_run).sum::<usize>();
     let mean_accuracy = if chips.is_empty() {
@@ -280,6 +485,7 @@ fn build_report(
         policy: config.policy.label(),
         constraint: config.constraint,
         chips,
+        quarantined,
         total_epochs,
         satisfied,
         mean_accuracy,

@@ -161,6 +161,32 @@ impl Reduce {
         Ok(self.analysis.insert(analysis))
     }
 
+    /// [`Reduce::characterize`] with checkpoint/resume: sealed grid cells
+    /// are journaled to `checkpoint` and already-journaled cells are
+    /// replayed instead of re-run (see
+    /// [`ResilienceAnalysis::run_resumable`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterisation errors and checkpoint-write failures.
+    pub fn characterize_resumable(
+        &mut self,
+        mut config: ResilienceConfig,
+        exec: &ExecConfig,
+        checkpoint: Option<&crate::journal::Checkpoint>,
+    ) -> Result<&ResilienceAnalysis> {
+        config.constraint = self.constraint;
+        config.strategy = self.strategy;
+        let analysis = ResilienceAnalysis::run_resumable(
+            &self.runner,
+            &self.pretrained,
+            config,
+            exec,
+            checkpoint,
+        )?;
+        Ok(self.analysis.insert(analysis))
+    }
+
     /// The Step-② lookup table.
     ///
     /// # Errors

@@ -1,0 +1,724 @@
+//! Checkpoint journal — the pipeline's crash-recovery log.
+//!
+//! A [`Checkpoint`] records every *sealed* job outcome (a finished grid
+//! cell or retrained chip, successful or quarantined) as one JSON line in
+//! `journal.jsonl`. The whole file is rewritten through
+//! [`crate::artifact::write_atomic`] on every append, so a killed process
+//! always leaves a complete, parseable journal — the worst case loses the
+//! in-flight jobs, never corrupts the finished ones.
+//!
+//! On `--resume`, [`Checkpoint::resume`] reloads the journal and the
+//! resumable entry points ([`crate::ResilienceAnalysis::run_resumable`],
+//! [`crate::evaluate_fleet_resumable`]) replay the recorded outcomes —
+//! including their buffered telemetry events, re-emitted bit-identically —
+//! and compute only the missing jobs. Records carry the stable job id the
+//! retry/chaos layer keys on, so a resumed run salts and injects exactly
+//! like an uninterrupted one.
+//!
+//! Journal lines are written in *completion* order, which depends on
+//! thread scheduling; determinism lives in the replayed artifacts (run
+//! log, manifest, CSVs), not in the journal file itself.
+
+use crate::artifact::write_atomic;
+use crate::error::{ReduceError, Result};
+use crate::fleet::ChipOutcome;
+use crate::resilience::ResiliencePoint;
+use crate::telemetry::json::{parse, push_json_f32, push_json_f64, push_json_string, JsonValue};
+use crate::telemetry::{parse_event, render_event, Event};
+use reduce_nn::WorkspaceStats;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+const HEADER: &str = "{\"journal\":\"reduce-journal\",\"version\":1}\n";
+
+/// One sealed job outcome in the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A completed resilience-grid cell.
+    Point {
+        /// Stable job id (full-grid linear index) the cell was salted with.
+        job: u64,
+        /// The measured point.
+        point: ResiliencePoint,
+        /// The cell's model-workspace counters (for the stage aggregate).
+        workspace: WorkspaceStats,
+        /// The cell's buffered telemetry events, in emission order.
+        events: Vec<Event>,
+    },
+    /// A grid cell that exhausted its retry budget.
+    PointFailed {
+        /// Stable job id (full-grid linear index).
+        job: u64,
+        /// Rate index of the failed cell.
+        rate_index: usize,
+        /// Fault rate of the failed cell.
+        rate: f64,
+        /// Repeat index of the failed cell.
+        repeat: usize,
+        /// Attempts consumed (budget + 1).
+        attempts: u32,
+        /// The final attempt's error.
+        error: String,
+        /// The cell's failure telemetry, in emission order.
+        events: Vec<Event>,
+    },
+    /// A successfully retrained chip.
+    Chip {
+        /// Stable job id (the chip id).
+        job: u64,
+        /// Label of the policy the chip was retrained under (one journal
+        /// can hold several policies' outcomes, as `fig3` sweeps them).
+        policy: String,
+        /// The chip's outcome.
+        outcome: ChipOutcome,
+        /// The chip's model-workspace counters.
+        workspace: WorkspaceStats,
+        /// The chip's buffered telemetry events, in emission order.
+        events: Vec<Event>,
+    },
+    /// A chip that exhausted its retry budget.
+    ChipFailed {
+        /// Stable job id (the chip id).
+        job: u64,
+        /// Label of the policy the chip was retrained under.
+        policy: String,
+        /// The quarantined chip's id.
+        chip_id: usize,
+        /// The quarantined chip's fault rate.
+        fault_rate: f64,
+        /// Attempts consumed (budget + 1).
+        attempts: u32,
+        /// The final attempt's error.
+        error: String,
+        /// The chip's failure telemetry, in emission order.
+        events: Vec<Event>,
+    },
+}
+
+impl JournalRecord {
+    /// `(rate_index, repeat)` for grid-cell records.
+    pub fn grid_key(&self) -> Option<(usize, usize)> {
+        match self {
+            JournalRecord::Point { point, .. } => Some((point.rate_index, point.repeat)),
+            JournalRecord::PointFailed {
+                rate_index, repeat, ..
+            } => Some((*rate_index, *repeat)),
+            _ => None,
+        }
+    }
+
+    /// `(policy label, chip id)` for chip records.
+    pub fn chip_key(&self) -> Option<(&str, usize)> {
+        match self {
+            JournalRecord::Chip {
+                policy, outcome, ..
+            } => Some((policy.as_str(), outcome.chip_id)),
+            JournalRecord::ChipFailed {
+                policy, chip_id, ..
+            } => Some((policy.as_str(), *chip_id)),
+            _ => None,
+        }
+    }
+}
+
+struct CheckpointState {
+    records: Vec<JournalRecord>,
+    /// Rendered journal lines, one per record, each newline-terminated.
+    lines: Vec<String>,
+    appended: usize,
+    halt_after: Option<usize>,
+}
+
+/// An append-only journal of sealed job outcomes backed by one
+/// atomically-rewritten `journal.jsonl` file.
+///
+/// Appends are serialised through an internal mutex, so a `Checkpoint` can
+/// be shared by the executor's worker threads (the `on_sealed` hook of
+/// [`crate::exec::parallel_map_resilient`]).
+pub struct Checkpoint {
+    path: PathBuf,
+    state: Mutex<CheckpointState>,
+}
+
+impl std::fmt::Debug for Checkpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Checkpoint")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Checkpoint {
+    /// A fresh journal at `path`. Nothing is written until the first
+    /// [`Checkpoint::append`].
+    pub fn create(path: &Path) -> Self {
+        Checkpoint {
+            path: path.to_path_buf(),
+            state: Mutex::new(CheckpointState {
+                records: Vec::new(),
+                lines: Vec::new(),
+                appended: 0,
+                halt_after: None,
+            }),
+        }
+    }
+
+    /// Reloads the journal at `path`; a missing file is an empty journal
+    /// (resuming a run that was killed before its first checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// [`ReduceError::InvalidConfig`] for an unreadable or malformed file
+    /// — the journal is written atomically, so damage means the file was
+    /// edited or is not a journal at all.
+    pub fn resume(path: &Path) -> Result<Self> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Self::create(path));
+            }
+            Err(e) => {
+                return Err(ReduceError::InvalidConfig {
+                    what: format!("cannot read journal {}: {e}", path.display()),
+                })
+            }
+        };
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_default();
+        if format!("{header}\n") != HEADER {
+            return Err(ReduceError::InvalidConfig {
+                what: format!(
+                    "unrecognised journal header {header:?} in {}",
+                    path.display()
+                ),
+            });
+        }
+        let mut records = Vec::new();
+        let mut rendered = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            records.push(parse_record(line)?);
+            rendered.push(format!("{line}\n"));
+        }
+        Ok(Checkpoint {
+            path: path.to_path_buf(),
+            state: Mutex::new(CheckpointState {
+                records,
+                lines: rendered,
+                appended: 0,
+                halt_after: None,
+            }),
+        })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn lock(&self) -> Result<std::sync::MutexGuard<'_, CheckpointState>> {
+        self.state.lock().map_err(|_| ReduceError::Internal {
+            invariant: "journal appends must not panic while holding the lock".to_string(),
+        })
+    }
+
+    /// All records currently in the journal (replayed + appended).
+    ///
+    /// # Errors
+    ///
+    /// [`ReduceError::Internal`] if the journal lock was poisoned.
+    pub fn records(&self) -> Result<Vec<JournalRecord>> {
+        Ok(self.lock()?.records.clone())
+    }
+
+    /// Arms the CI kill switch: the process exits (code 3) immediately
+    /// after the `n`-th successful [`Checkpoint::append`] of this run,
+    /// simulating a hard mid-fan-out kill with a complete journal prefix
+    /// on disk. Counts appends only — replayed records don't trigger it.
+    pub fn set_halt_after(&self, n: usize) {
+        if let Ok(mut state) = self.state.lock() {
+            state.halt_after = Some(n);
+        }
+    }
+
+    /// Appends one sealed outcome and atomically rewrites the journal
+    /// file, so the on-disk journal is complete after every append.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the atomic write's error; callers treat a failed
+    /// checkpoint as fatal (the resume contract would otherwise be silently
+    /// broken).
+    pub fn append(&self, record: JournalRecord) -> Result<()> {
+        let mut state = self.lock()?;
+        state.lines.push(render_record(&record));
+        state.records.push(record);
+        let mut contents = String::with_capacity(
+            HEADER.len() + state.lines.iter().map(String::len).sum::<usize>(),
+        );
+        contents.push_str(HEADER);
+        for line in &state.lines {
+            contents.push_str(line);
+        }
+        write_atomic(&self.path, &contents)?;
+        state.appended += 1;
+        if let Some(n) = state.halt_after {
+            if state.appended >= n {
+                // The CI kill switch: die *hard*, mid-fan-out, without
+                // unwinding — exactly what the resume path must survive.
+                eprintln!(
+                    "journal: halting after {} checkpoint append(s) as requested",
+                    state.appended
+                );
+                std::process::exit(3);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn push_workspace(out: &mut String, ws: &WorkspaceStats) {
+    out.push_str(&format!(
+        "{{\"hits\":{},\"misses\":{},\"bytes_allocated\":{}}}",
+        ws.hits, ws.misses, ws.bytes_allocated
+    ));
+}
+
+fn push_events(out: &mut String, events: &[Event]) {
+    out.push('[');
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let line = render_event(e, false);
+        out.push_str(line.trim_end());
+    }
+    out.push(']');
+}
+
+fn push_point(out: &mut String, p: &ResiliencePoint) {
+    out.push_str(&format!("{{\"rate_index\":{},\"rate\":", p.rate_index));
+    push_json_f64(out, p.rate);
+    out.push_str(&format!(
+        ",\"repeat\":{},\"pre_retrain_accuracy\":",
+        p.repeat
+    ));
+    push_json_f32(out, p.pre_retrain_accuracy);
+    out.push_str(",\"accuracy_after_epoch\":[");
+    for (i, &a) in p.accuracy_after_epoch.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_f32(out, a);
+    }
+    out.push_str("],\"epochs_to_constraint\":");
+    match p.epochs_to_constraint {
+        Some(e) => out.push_str(&format!("{e}")),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+}
+
+fn push_chip_outcome(out: &mut String, c: &ChipOutcome) {
+    out.push_str(&format!("{{\"chip_id\":{},\"fault_rate\":", c.chip_id));
+    push_json_f64(out, c.fault_rate);
+    out.push_str(&format!(
+        ",\"epochs_budgeted\":{},\"epochs_run\":{},\"pre_retrain_accuracy\":",
+        c.epochs_budgeted, c.epochs_run
+    ));
+    push_json_f32(out, c.pre_retrain_accuracy);
+    out.push_str(",\"final_accuracy\":");
+    push_json_f32(out, c.final_accuracy);
+    out.push_str(&format!(
+        ",\"meets_constraint\":{},\"pruned_fraction\":",
+        c.meets_constraint
+    ));
+    push_json_f32(out, c.pruned_fraction);
+    out.push_str(&format!(",\"clamped\":{}}}", c.clamped));
+}
+
+fn render_record(record: &JournalRecord) -> String {
+    let mut s = String::with_capacity(256);
+    match record {
+        JournalRecord::Point {
+            job,
+            point,
+            workspace,
+            events,
+        } => {
+            s.push_str(&format!("{{\"kind\":\"point\",\"job\":{job},\"point\":"));
+            push_point(&mut s, point);
+            s.push_str(",\"workspace\":");
+            push_workspace(&mut s, workspace);
+            s.push_str(",\"events\":");
+            push_events(&mut s, events);
+            s.push('}');
+        }
+        JournalRecord::PointFailed {
+            job,
+            rate_index,
+            rate,
+            repeat,
+            attempts,
+            error,
+            events,
+        } => {
+            s.push_str(&format!(
+                "{{\"kind\":\"point_failed\",\"job\":{job},\"rate_index\":{rate_index},\"rate\":"
+            ));
+            push_json_f64(&mut s, *rate);
+            s.push_str(&format!(
+                ",\"repeat\":{repeat},\"attempts\":{attempts},\"error\":"
+            ));
+            push_json_string(&mut s, error);
+            s.push_str(",\"events\":");
+            push_events(&mut s, events);
+            s.push('}');
+        }
+        JournalRecord::Chip {
+            job,
+            policy,
+            outcome,
+            workspace,
+            events,
+        } => {
+            s.push_str(&format!("{{\"kind\":\"chip\",\"job\":{job},\"policy\":"));
+            push_json_string(&mut s, policy);
+            s.push_str(",\"outcome\":");
+            push_chip_outcome(&mut s, outcome);
+            s.push_str(",\"workspace\":");
+            push_workspace(&mut s, workspace);
+            s.push_str(",\"events\":");
+            push_events(&mut s, events);
+            s.push('}');
+        }
+        JournalRecord::ChipFailed {
+            job,
+            policy,
+            chip_id,
+            fault_rate,
+            attempts,
+            error,
+            events,
+        } => {
+            s.push_str(&format!(
+                "{{\"kind\":\"chip_failed\",\"job\":{job},\"policy\":"
+            ));
+            push_json_string(&mut s, policy);
+            s.push_str(&format!(",\"chip_id\":{chip_id},\"fault_rate\":"));
+            push_json_f64(&mut s, *fault_rate);
+            s.push_str(&format!(",\"attempts\":{attempts},\"error\":"));
+            push_json_string(&mut s, error);
+            s.push_str(",\"events\":");
+            push_events(&mut s, events);
+            s.push('}');
+        }
+    }
+    s.push('\n');
+    s
+}
+
+fn parse_record(line: &str) -> Result<JournalRecord> {
+    let value = parse(line)?;
+    let bad = |what: &str| ReduceError::InvalidConfig {
+        what: format!("malformed journal record: {what}"),
+    };
+    let u64_of = |v: &JsonValue, name: &'static str| -> Result<u64> {
+        v.field(name)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| bad(name))
+    };
+    let usize_of = |v: &JsonValue, name: &'static str| -> Result<usize> {
+        v.field(name)
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| bad(name))
+    };
+    let f64_of = |v: &JsonValue, name: &'static str| -> Result<f64> {
+        v.field(name)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| bad(name))
+    };
+    let f32_of = |v: &JsonValue, name: &'static str| -> Result<f32> {
+        v.field(name)
+            .and_then(JsonValue::as_f32)
+            .ok_or_else(|| bad(name))
+    };
+    let str_of = |v: &JsonValue, name: &'static str| -> Result<String> {
+        v.field(name)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| bad(name))
+    };
+    let bool_of = |v: &JsonValue, name: &'static str| -> Result<bool> {
+        v.field(name)
+            .and_then(JsonValue::as_bool)
+            .ok_or_else(|| bad(name))
+    };
+    let attempts_of = |v: &JsonValue| -> Result<u32> {
+        u64_of(v, "attempts")
+            .and_then(|n| u32::try_from(n).map_err(|_| bad("attempts exceeds u32")))
+    };
+    let events_of = |v: &JsonValue| -> Result<Vec<Event>> {
+        match v.field("events") {
+            Some(JsonValue::Arr(items)) => items.iter().map(parse_event).collect(),
+            _ => Err(bad("events")),
+        }
+    };
+    let workspace_of = |v: &JsonValue| -> Result<WorkspaceStats> {
+        let ws = v.field("workspace").ok_or_else(|| bad("workspace"))?;
+        Ok(WorkspaceStats {
+            hits: u64_of(ws, "hits")?,
+            misses: u64_of(ws, "misses")?,
+            bytes_allocated: u64_of(ws, "bytes_allocated")?,
+        })
+    };
+    match value.field("kind").and_then(JsonValue::as_str) {
+        Some("point") => {
+            let p = value.field("point").ok_or_else(|| bad("point"))?;
+            let accuracy_after_epoch = match p.field("accuracy_after_epoch") {
+                Some(JsonValue::Arr(items)) => items
+                    .iter()
+                    .map(|a| a.as_f32().ok_or_else(|| bad("accuracy_after_epoch")))
+                    .collect::<Result<Vec<f32>>>()?,
+                _ => return Err(bad("accuracy_after_epoch")),
+            };
+            let epochs_to_constraint = match p.field("epochs_to_constraint") {
+                Some(v) if v.is_null() => None,
+                Some(v) => Some(v.as_usize().ok_or_else(|| bad("epochs_to_constraint"))?),
+                None => return Err(bad("epochs_to_constraint")),
+            };
+            Ok(JournalRecord::Point {
+                job: u64_of(&value, "job")?,
+                point: ResiliencePoint {
+                    rate_index: usize_of(p, "rate_index")?,
+                    rate: f64_of(p, "rate")?,
+                    repeat: usize_of(p, "repeat")?,
+                    pre_retrain_accuracy: f32_of(p, "pre_retrain_accuracy")?,
+                    accuracy_after_epoch,
+                    epochs_to_constraint,
+                },
+                workspace: workspace_of(&value)?,
+                events: events_of(&value)?,
+            })
+        }
+        Some("point_failed") => Ok(JournalRecord::PointFailed {
+            job: u64_of(&value, "job")?,
+            rate_index: usize_of(&value, "rate_index")?,
+            rate: f64_of(&value, "rate")?,
+            repeat: usize_of(&value, "repeat")?,
+            attempts: attempts_of(&value)?,
+            error: str_of(&value, "error")?,
+            events: events_of(&value)?,
+        }),
+        Some("chip") => {
+            let c = value.field("outcome").ok_or_else(|| bad("outcome"))?;
+            Ok(JournalRecord::Chip {
+                job: u64_of(&value, "job")?,
+                policy: str_of(&value, "policy")?,
+                outcome: ChipOutcome {
+                    chip_id: usize_of(c, "chip_id")?,
+                    fault_rate: f64_of(c, "fault_rate")?,
+                    epochs_budgeted: usize_of(c, "epochs_budgeted")?,
+                    epochs_run: usize_of(c, "epochs_run")?,
+                    pre_retrain_accuracy: f32_of(c, "pre_retrain_accuracy")?,
+                    final_accuracy: f32_of(c, "final_accuracy")?,
+                    meets_constraint: bool_of(c, "meets_constraint")?,
+                    pruned_fraction: f32_of(c, "pruned_fraction")?,
+                    clamped: bool_of(c, "clamped")?,
+                },
+                workspace: workspace_of(&value)?,
+                events: events_of(&value)?,
+            })
+        }
+        Some("chip_failed") => Ok(JournalRecord::ChipFailed {
+            job: u64_of(&value, "job")?,
+            policy: str_of(&value, "policy")?,
+            chip_id: usize_of(&value, "chip_id")?,
+            fault_rate: f64_of(&value, "fault_rate")?,
+            attempts: attempts_of(&value)?,
+            error: str_of(&value, "error")?,
+            events: events_of(&value)?,
+        }),
+        Some(other) => Err(bad(&format!("unknown kind {other:?}"))),
+        None => Err(bad("kind")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{EpochScope, Stage};
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir()
+            .join(format!("reduce_journal_{name}_{}", std::process::id()))
+            .join("journal.jsonl")
+    }
+
+    fn point_record() -> JournalRecord {
+        JournalRecord::Point {
+            job: 3,
+            point: ResiliencePoint {
+                rate_index: 1,
+                rate: 0.15,
+                repeat: 0,
+                pre_retrain_accuracy: 0.625,
+                accuracy_after_epoch: vec![0.75, 0.875],
+                epochs_to_constraint: Some(2),
+            },
+            workspace: WorkspaceStats {
+                hits: 10,
+                misses: 2,
+                bytes_allocated: 4096,
+            },
+            events: vec![
+                Event::EpochCompleted {
+                    scope: EpochScope::Point {
+                        rate_index: 1,
+                        repeat: 0,
+                    },
+                    epoch: 1,
+                    accuracy: 0.75,
+                },
+                Event::PointFinished {
+                    rate_index: 1,
+                    rate: 0.15,
+                    repeat: 0,
+                    epochs_to_constraint: Some(2),
+                    pre_retrain_accuracy: 0.625,
+                    final_accuracy: 0.875,
+                },
+            ],
+        }
+    }
+
+    fn chip_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Chip {
+                job: 0,
+                policy: "Fixed (2 epochs)".to_string(),
+                outcome: ChipOutcome {
+                    chip_id: 0,
+                    fault_rate: 0.1,
+                    epochs_budgeted: 2,
+                    epochs_run: 2,
+                    pre_retrain_accuracy: 0.5,
+                    final_accuracy: 0.9,
+                    meets_constraint: true,
+                    pruned_fraction: 0.25,
+                    clamped: false,
+                },
+                workspace: WorkspaceStats::default(),
+                events: vec![Event::ChipRetrained {
+                    chip_id: 0,
+                    fault_rate: 0.1,
+                    epochs_budgeted: 2,
+                    epochs_run: 2,
+                    final_accuracy: 0.9,
+                    satisfied: true,
+                }],
+            },
+            JournalRecord::ChipFailed {
+                job: 1,
+                policy: "Fixed (2 epochs)".to_string(),
+                chip_id: 1,
+                fault_rate: 0.2,
+                attempts: 3,
+                error: "chaos injection: forced failure (job 1, attempt 2)".to_string(),
+                events: vec![Event::JobFailed {
+                    stage: Stage::Deploy,
+                    job: 1,
+                    attempt: 0,
+                    error: "quoted \"cause\"\nwith newline".to_string(),
+                }],
+            },
+        ]
+    }
+
+    #[test]
+    fn append_resume_round_trips_every_record_kind() {
+        let path = scratch("round_trip");
+        let journal = Checkpoint::create(&path);
+        journal.append(point_record()).expect("append");
+        journal
+            .append(JournalRecord::PointFailed {
+                job: 5,
+                rate_index: 2,
+                rate: 0.3,
+                repeat: 1,
+                attempts: 2,
+                error: "training diverged: accuracy after epoch 1 is NaN".to_string(),
+                events: vec![Event::RetryScheduled {
+                    stage: Stage::Characterize,
+                    job: 5,
+                    attempt: 1,
+                    seed: 0x9E37_79B9_7F4A_7C15,
+                }],
+            })
+            .expect("append");
+        for r in chip_records() {
+            journal.append(r).expect("append");
+        }
+        let original = journal.records().expect("records");
+        let resumed = Checkpoint::resume(&path).expect("parseable journal");
+        assert_eq!(resumed.records().expect("records"), original);
+        // A second resume of the resumed journal is byte-stable.
+        let text = std::fs::read_to_string(&path).expect("journal exists");
+        resumed
+            .append(JournalRecord::PointFailed {
+                job: 9,
+                rate_index: 0,
+                rate: 0.0,
+                repeat: 4,
+                attempts: 1,
+                error: "x".to_string(),
+                events: vec![],
+            })
+            .expect("append after resume");
+        let longer = std::fs::read_to_string(&path).expect("journal exists");
+        assert!(longer.starts_with(&text), "appends extend the journal");
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    #[test]
+    fn resume_of_a_missing_journal_is_empty() {
+        let path = scratch("missing");
+        let journal = Checkpoint::resume(&path).expect("missing file is fine");
+        assert!(journal.records().expect("records").is_empty());
+        assert_eq!(journal.path(), path.as_path());
+    }
+
+    #[test]
+    fn malformed_journals_are_typed_errors() {
+        let path = scratch("malformed");
+        let dir = path.parent().expect("has parent");
+        std::fs::create_dir_all(dir).expect("temp dir");
+        std::fs::write(&path, "not a journal\n").expect("temp write");
+        assert!(Checkpoint::resume(&path).is_err(), "bad header must error");
+        std::fs::write(
+            &path,
+            format!("{HEADER}{{\"kind\":\"mystery\",\"job\":0}}\n"),
+        )
+        .expect("temp write");
+        assert!(
+            Checkpoint::resume(&path).is_err(),
+            "unknown kind must error"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn journal_keys_identify_records() {
+        let r = point_record();
+        assert_eq!(r.grid_key(), Some((1, 0)));
+        assert_eq!(r.chip_key(), None);
+        let chips = chip_records();
+        assert_eq!(chips[0].chip_key(), Some(("Fixed (2 epochs)", 0)));
+        assert_eq!(chips[1].chip_key(), Some(("Fixed (2 epochs)", 1)));
+        assert_eq!(chips[0].grid_key(), None);
+    }
+}

@@ -65,11 +65,13 @@
 // Tests may unwrap/expect freely: a panic there *is* the failure report.
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod artifact;
 mod error;
 pub mod exec;
 mod fat;
 mod fleet;
 mod framework;
+mod journal;
 mod policy;
 pub mod report;
 mod resilience;
@@ -79,11 +81,15 @@ mod workbench;
 pub use error::{ReduceError, Result};
 pub use exec::ExecConfig;
 pub use fat::{FatOutcome, FatRunner, Mitigation, StopRule};
-pub use fleet::{evaluate_fleet, ChipOutcome, FleetEvalConfig, FleetReport};
+pub use fleet::{
+    evaluate_fleet, evaluate_fleet_resumable, ChipOutcome, ChipStatus, FleetEvalConfig,
+    FleetReport, QuarantinedChip,
+};
 pub use framework::Reduce;
+pub use journal::{Checkpoint, JournalRecord};
 pub use policy::RetrainPolicy;
 pub use resilience::{
-    RateSummary, ResilienceAnalysis, ResilienceConfig, ResilienceConfigBuilder, ResiliencePoint,
-    ResilienceTable, Selection, Statistic, TableEntry,
+    FailedPoint, RateSummary, ResilienceAnalysis, ResilienceConfig, ResilienceConfigBuilder,
+    ResiliencePoint, ResilienceTable, Selection, Statistic, TableEntry,
 };
 pub use workbench::{ModelSpec, OptimSpec, Pretrained, TaskSpec, TrainSpec, Workbench};

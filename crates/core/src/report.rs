@@ -96,24 +96,31 @@ pub fn render_fleet_chips(report: &FleetReport) -> String {
             if c.meets_constraint { "yes" } else { "NO" }
         ));
     }
+    for q in &report.quarantined {
+        out.push_str(&format!(
+            "{:>4}  {:>10.4}  quarantined after {} attempt(s): {}\n",
+            q.chip_id, q.fault_rate, q.attempts, q.error
+        ));
+    }
     out
 }
 
 /// Renders the Fig. 3f summary: one row per policy.
 pub fn render_fleet_summary(reports: &[FleetReport]) -> String {
     let mut out = String::from(
-        "policy                 chips  satisfied  yield%  total_epochs  mean_acc  min_acc\n",
+        "policy                 chips  satisfied  yield%  total_epochs  mean_acc  min_acc  quarantined\n",
     );
     for r in reports {
         out.push_str(&format!(
-            "{:<22} {:>5}  {:>9}  {:>5.1}  {:>12}  {:>8.4}  {:>7.4}\n",
+            "{:<22} {:>5}  {:>9}  {:>5.1}  {:>12}  {:>8.4}  {:>7.4}  {:>11}\n",
             r.policy,
             r.chips.len(),
             r.satisfied,
             r.yield_fraction() * 100.0,
             r.total_epochs,
             r.mean_accuracy,
-            r.min_accuracy
+            r.min_accuracy,
+            r.quarantined_count()
         ));
     }
     out
@@ -150,27 +157,27 @@ pub fn csv_escape(field: &str) -> String {
     }
 }
 
-/// Writes a CSV file with a header row.
+/// Writes a CSV file with a header row via the shared atomic artifact
+/// writer (temp file + rename), so an interrupted run never leaves a torn
+/// CSV behind.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors.
+/// Propagates I/O errors as [`crate::ReduceError::InvalidConfig`].
 pub fn write_csv(
     path: &std::path::Path,
     header: &[&str],
     rows: &[Vec<String>],
-) -> std::io::Result<()> {
-    use std::io::Write as _;
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    writeln!(f, "{}", header.join(","))?;
+) -> crate::Result<()> {
+    let mut out = String::with_capacity(64 * (rows.len() + 1));
+    out.push_str(&header.join(","));
+    out.push('\n');
     for row in rows {
         let escaped: Vec<String> = row.iter().map(|s| csv_escape(s)).collect();
-        writeln!(f, "{}", escaped.join(","))?;
+        out.push_str(&escaped.join(","));
+        out.push('\n');
     }
-    Ok(())
+    crate::artifact::write_atomic(path, &out)
 }
 
 /// CSV rows of every raw resilience point: one row per
@@ -273,6 +280,7 @@ mod tests {
                 pruned_fraction: 0.05,
                 clamped: false,
             }],
+            quarantined: vec![],
             total_epochs: 2,
             satisfied: 1,
             mean_accuracy: 0.92,

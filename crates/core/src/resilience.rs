@@ -14,13 +14,15 @@
 //!   amount for an arbitrary chip.
 
 use crate::error::{ReduceError, Result};
-use crate::exec::{self, ExecConfig};
+use crate::exec::{self, ExecConfig, JobStatus};
 use crate::fat::{FatRunner, Mitigation, StopRule};
+use crate::journal::{Checkpoint, JournalRecord};
 use crate::telemetry::{self, EpochScope, Event, Stage};
 use crate::workbench::Pretrained;
 use reduce_nn::WorkspaceStats;
 use reduce_systolic::{FaultMap, FaultModel};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Configuration of the resilience characterisation.
 #[derive(Debug, Clone, PartialEq)]
@@ -253,6 +255,25 @@ pub struct ResiliencePoint {
     pub epochs_to_constraint: Option<usize>,
 }
 
+/// A grid cell that exhausted its retry budget and was quarantined.
+///
+/// Quarantined cells are excluded from every summary statistic; they are
+/// reported here (and in the journal/telemetry) instead of failing the
+/// whole characterisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailedPoint {
+    /// Index of the cell's rate in the sorted characterisation grid.
+    pub rate_index: usize,
+    /// Injected fault rate.
+    pub rate: f64,
+    /// Repeat index.
+    pub repeat: usize,
+    /// Attempts consumed (retry budget + 1).
+    pub attempts: u32,
+    /// The final attempt's error.
+    pub error: String,
+}
+
 /// Per-rate summary across repeats.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RateSummary {
@@ -271,6 +292,9 @@ pub struct RateSummary {
     /// Mean accuracy at each retraining level: index 0 is pre-retraining,
     /// index `e` is after `e` epochs (Fig. 2a's y-values).
     pub mean_accuracy_at_level: Vec<f32>,
+    /// Repeats quarantined after exhausting the retry budget (excluded
+    /// from every other statistic in this summary).
+    pub quarantined: usize,
 }
 
 /// The full Step-① output.
@@ -279,6 +303,7 @@ pub struct ResilienceAnalysis {
     config: ResilienceConfig,
     points: Vec<ResiliencePoint>,
     summaries: Vec<RateSummary>,
+    failures: Vec<FailedPoint>,
 }
 
 impl ResilienceAnalysis {
@@ -297,8 +322,10 @@ impl ResilienceAnalysis {
     ///
     /// # Errors
     ///
-    /// Propagates configuration and training errors; a panicking worker
-    /// surfaces as [`ReduceError::Internal`].
+    /// Propagates configuration errors; a cell whose training fails (or
+    /// panics) is retried up to `exec.retry_budget()` times and then
+    /// quarantined into [`ResilienceAnalysis::failures`] rather than
+    /// failing the whole characterisation.
     ///
     /// # Examples
     ///
@@ -331,94 +358,232 @@ impl ResilienceAnalysis {
         config: ResilienceConfig,
         exec: &ExecConfig,
     ) -> Result<Self> {
+        Self::run_resumable(runner, pretrained, config, exec, None)
+    }
+
+    /// [`ResilienceAnalysis::run`] with checkpoint/resume: every sealed
+    /// grid cell (measured or quarantined) is appended to `checkpoint`,
+    /// and cells already in the journal are *replayed* — their outcomes
+    /// and buffered telemetry re-emitted bit-identically, in grid order —
+    /// instead of re-run. Cells keep their full-grid job id either way, so
+    /// retry salts and chaos decisions are independent of which subset
+    /// actually executes, and an interrupted-then-resumed run produces the
+    /// same analysis and (redacted) artifacts as an uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors and checkpoint-write failures.
+    pub fn run_resumable(
+        runner: &FatRunner,
+        pretrained: &Pretrained,
+        config: ResilienceConfig,
+        exec: &ExecConfig,
+        checkpoint: Option<&Checkpoint>,
+    ) -> Result<Self> {
         config.validate()?;
         let mut rates = config.fault_rates.clone();
         rates.sort_by(|a, b| a.total_cmp(b));
         rates.dedup();
         let (rows, cols) = runner.workbench().array_dims();
-        let cells: Vec<(usize, f64, usize)> = rates
+        // Job ids are the *full-grid* linear cell index — stable across
+        // resume subsetting, which is what keeps retry seeds and chaos
+        // decisions identical between interrupted and uninterrupted runs.
+        let cells: Vec<(u64, (usize, f64, usize))> = rates
             .iter()
             .enumerate()
-            .flat_map(|(ri, &rate)| (0..config.repeats).map(move |rep| (ri, rate, rep)))
+            .flat_map(|(ri, &rate)| {
+                let repeats = config.repeats;
+                (0..repeats).map(move |rep| ((ri * repeats + rep) as u64, (ri, rate, rep)))
+            })
             .collect();
-        let points = telemetry::timed_stage(exec.observer(), Stage::Characterize, || {
-            let cells_run = exec::parallel_map_traced(
-                &cells,
-                exec.threads,
-                exec.observer(),
-                |_, &(ri, rate, rep), events| {
-                    let map_seed = config
-                        .seed
-                        .wrapping_add((ri as u64) << 32)
-                        .wrapping_add(rep as u64);
-                    let map = FaultMap::generate(rows, cols, rate, config.fault_model, map_seed)?;
-                    let outcome = runner.run_observed(
-                        pretrained,
-                        &map,
-                        config.max_epochs,
-                        StopRule::Exact,
-                        config.strategy,
-                        map_seed ^ 0x5EED,
-                        &mut |epoch, accuracy| {
-                            events.push(Event::EpochCompleted {
-                                scope: EpochScope::Point {
+        let mut replayed: BTreeMap<(usize, usize), JournalRecord> = BTreeMap::new();
+        if let Some(cp) = checkpoint {
+            for record in cp.records()? {
+                if let Some(key) = record.grid_key() {
+                    replayed.insert(key, record);
+                }
+            }
+        }
+        let missing: Vec<(u64, (usize, f64, usize))> = cells
+            .iter()
+            .filter(|(_, (ri, _, rep))| !replayed.contains_key(&(*ri, *rep)))
+            .copied()
+            .collect();
+        let (points, failures) =
+            telemetry::timed_stage(exec.observer(), Stage::Characterize, || {
+                let repeats = config.repeats;
+                let fresh = exec::parallel_map_resilient(
+                    &missing,
+                    exec,
+                    Stage::Characterize,
+                    |_, &(ri, rate, rep), salt, events| {
+                        let map_seed = config
+                            .seed
+                            .wrapping_add((ri as u64) << 32)
+                            .wrapping_add(rep as u64);
+                        // The fault map is the cell's identity and survives
+                        // retries; the salt only re-randomises training.
+                        let map =
+                            FaultMap::generate(rows, cols, rate, config.fault_model, map_seed)?;
+                        let outcome = runner.run_observed(
+                            pretrained,
+                            &map,
+                            config.max_epochs,
+                            StopRule::Exact,
+                            config.strategy,
+                            map_seed ^ 0x5EED ^ salt,
+                            &mut |epoch, accuracy| {
+                                events.push(Event::EpochCompleted {
+                                    scope: EpochScope::Point {
+                                        rate_index: ri,
+                                        repeat: rep,
+                                    },
+                                    epoch,
+                                    accuracy,
+                                });
+                            },
+                        )?;
+                        outcome.ensure_finite()?;
+                        let final_accuracy = outcome.final_accuracy();
+                        let epochs_to_constraint = outcome.epochs_to_reach(config.constraint);
+                        events.push(Event::PointFinished {
+                            rate_index: ri,
+                            rate,
+                            repeat: rep,
+                            epochs_to_constraint,
+                            pre_retrain_accuracy: outcome.pre_retrain_accuracy,
+                            final_accuracy,
+                        });
+                        let point = ResiliencePoint {
+                            rate_index: ri,
+                            rate,
+                            repeat: rep,
+                            pre_retrain_accuracy: outcome.pre_retrain_accuracy,
+                            epochs_to_constraint,
+                            accuracy_after_epoch: outcome.accuracy_after_epoch,
+                        };
+                        Ok((point, outcome.workspace))
+                    },
+                    |report| {
+                        let Some(cp) = checkpoint else {
+                            return Ok(());
+                        };
+                        let record = match &report.status {
+                            JobStatus::Ok((point, workspace)) => JournalRecord::Point {
+                                job: report.job,
+                                point: point.clone(),
+                                workspace: *workspace,
+                                events: report.events.clone(),
+                            },
+                            JobStatus::Quarantined { attempts, error } => {
+                                let ri = (report.job as usize) / repeats;
+                                JournalRecord::PointFailed {
+                                    job: report.job,
                                     rate_index: ri,
+                                    rate: rates.get(ri).copied().unwrap_or(f64::NAN),
+                                    repeat: (report.job as usize) % repeats,
+                                    attempts: *attempts,
+                                    error: error.clone(),
+                                    events: report.events.clone(),
+                                }
+                            }
+                        };
+                        cp.append(record)
+                    },
+                )?;
+                let mut fresh_by_job: BTreeMap<u64, _> =
+                    fresh.into_iter().map(|r| (r.job, r)).collect();
+                // Stitch replayed and fresh outcomes back into full-grid order;
+                // the event stream, points and aggregates below are therefore
+                // independent of both thread count and the resume split.
+                let mut points = Vec::with_capacity(cells.len());
+                let mut failures = Vec::new();
+                let mut ws = WorkspaceStats::default();
+                for &(job, (ri, rate, rep)) in &cells {
+                    if let Some(record) = replayed.get(&(ri, rep)) {
+                        match record {
+                            JournalRecord::Point {
+                                point,
+                                workspace,
+                                events,
+                                ..
+                            } => {
+                                for e in events {
+                                    exec.observer().on_event(e);
+                                }
+                                ws.merge(workspace);
+                                points.push(point.clone());
+                            }
+                            JournalRecord::PointFailed {
+                                attempts,
+                                error,
+                                events,
+                                ..
+                            } => {
+                                for e in events {
+                                    exec.observer().on_event(e);
+                                }
+                                failures.push(FailedPoint {
+                                    rate_index: ri,
+                                    rate,
                                     repeat: rep,
-                                },
-                                epoch,
-                                accuracy,
-                            });
-                        },
-                    )?;
-                    let final_accuracy = outcome
-                        .accuracy_after_epoch
-                        .last()
-                        .copied()
-                        .unwrap_or(outcome.pre_retrain_accuracy);
-                    let epochs_to_constraint = outcome.epochs_to_reach(config.constraint);
-                    events.push(Event::PointFinished {
-                        rate_index: ri,
-                        rate,
-                        repeat: rep,
-                        epochs_to_constraint,
-                        pre_retrain_accuracy: outcome.pre_retrain_accuracy,
-                        final_accuracy,
+                                    attempts: *attempts,
+                                    error: error.clone(),
+                                });
+                            }
+                            _ => {
+                                return Err(ReduceError::Internal {
+                                    invariant: "grid-keyed journal records are point records"
+                                        .to_string(),
+                                })
+                            }
+                        }
+                    } else if let Some(report) = fresh_by_job.remove(&job) {
+                        for e in &report.events {
+                            exec.observer().on_event(e);
+                        }
+                        match report.status {
+                            JobStatus::Ok((point, stats)) => {
+                                ws.merge(&stats);
+                                points.push(point);
+                            }
+                            JobStatus::Quarantined { attempts, error } => {
+                                failures.push(FailedPoint {
+                                    rate_index: ri,
+                                    rate,
+                                    repeat: rep,
+                                    attempts,
+                                    error,
+                                });
+                            }
+                        }
+                    } else {
+                        return Err(ReduceError::Internal {
+                            invariant: "every grid cell is either replayed or freshly run"
+                                .to_string(),
+                        });
+                    }
+                }
+                exec.observer().on_event(&Event::WorkspaceUsed {
+                    stage: Stage::Characterize,
+                    hits: ws.hits,
+                    misses: ws.misses,
+                    bytes_allocated: ws.bytes_allocated,
+                });
+                if checkpoint.is_some() {
+                    exec.observer().on_event(&Event::CheckpointWritten {
+                        stage: Stage::Characterize,
+                        completed: cells.len(),
                     });
-                    let point = ResiliencePoint {
-                        rate_index: ri,
-                        rate,
-                        repeat: rep,
-                        pre_retrain_accuracy: outcome.pre_retrain_accuracy,
-                        epochs_to_constraint,
-                        accuracy_after_epoch: outcome.accuracy_after_epoch,
-                    };
-                    Ok((point, outcome.workspace))
-                },
-            )?;
-            // Sum the per-cell workspace counters and report them while the
-            // stage is still open. Each cell owns a private model workspace,
-            // so the totals depend only on the grid — not the thread count.
-            let mut ws = WorkspaceStats::default();
-            let points: Vec<ResiliencePoint> = cells_run
-                .into_iter()
-                .map(|(point, stats)| {
-                    ws.merge(&stats);
-                    point
-                })
-                .collect();
-            exec.observer().on_event(&Event::WorkspaceUsed {
-                stage: Stage::Characterize,
-                hits: ws.hits,
-                misses: ws.misses,
-                bytes_allocated: ws.bytes_allocated,
-            });
-            Ok::<_, ReduceError>(points)
-        })?;
-        let summaries = summarise(&rates, &points, &config);
+                }
+                Ok::<_, ReduceError>((points, failures))
+            })?;
+        let summaries = summarise(&rates, &points, &failures, &config);
         Ok(ResilienceAnalysis {
             config,
             points,
             summaries,
+            failures,
         })
     }
 
@@ -430,6 +595,12 @@ impl ResilienceAnalysis {
     /// All raw `(rate, repeat)` runs.
     pub fn points(&self) -> &[ResiliencePoint] {
         &self.points
+    }
+
+    /// Grid cells quarantined after exhausting their retry budget, in grid
+    /// order. Empty on a clean run.
+    pub fn failures(&self) -> &[FailedPoint] {
+        &self.failures
     }
 
     /// Per-rate summaries, sorted by rate.
@@ -457,6 +628,7 @@ impl ResilienceAnalysis {
 fn summarise(
     rates: &[f64],
     points: &[ResiliencePoint],
+    failures: &[FailedPoint],
     config: &ResilienceConfig,
 ) -> Vec<RateSummary> {
     rates
@@ -471,7 +643,7 @@ fn summarise(
                 .iter()
                 .map(|p| p.epochs_to_constraint.unwrap_or(cap))
                 .collect();
-            let failures = runs
+            let constraint_failures = runs
                 .iter()
                 .filter(|p| p.epochs_to_constraint.is_none())
                 .count();
@@ -507,8 +679,9 @@ fn summarise(
                 min_epochs,
                 mean_epochs,
                 max_epochs,
-                failures,
+                failures: constraint_failures,
                 mean_accuracy_at_level,
+                quarantined: failures.iter().filter(|f| f.rate_index == ri).count(),
             }
         })
         .collect()
@@ -663,18 +836,15 @@ impl ResilienceTable {
         Self::from_entries(entries, epoch_cap)
     }
 
-    /// Writes the table to a file.
+    /// Writes the table to a file via the shared atomic artifact writer
+    /// (temp file + rename; a concurrent reader or a crash never sees a
+    /// torn table).
     ///
     /// # Errors
     ///
     /// Returns [`ReduceError::InvalidConfig`] wrapping the I/O failure.
     pub fn save(&self, path: &std::path::Path) -> Result<()> {
-        if let Some(dir) = path.parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        std::fs::write(path, self.to_text()).map_err(|e| ReduceError::InvalidConfig {
-            what: format!("cannot write table to {}: {e}", path.display()),
-        })
+        crate::artifact::write_atomic(path, &self.to_text())
     }
 
     /// Reads a table written by [`ResilienceTable::save`].
@@ -993,11 +1163,19 @@ mod tests {
                 epochs_to_constraint: None,
             },
         ];
-        let s = summarise(&[0.1], &points, &config);
+        let quarantined = vec![FailedPoint {
+            rate_index: 0,
+            rate: 0.1,
+            repeat: 2,
+            attempts: 2,
+            error: "chaos injection: forced failure (job 2, attempt 1)".to_string(),
+        }];
+        let s = summarise(&[0.1], &points, &quarantined, &config);
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].min_epochs, 1);
         assert_eq!(s[0].max_epochs, 5);
         assert_eq!(s[0].failures, 1);
+        assert_eq!(s[0].quarantined, 1);
         assert!((s[0].mean_epochs - 3.0).abs() < 1e-9);
         assert_eq!(s[0].mean_accuracy_at_level.len(), 6);
         assert!((s[0].mean_accuracy_at_level[0] - 0.45).abs() < 1e-6);

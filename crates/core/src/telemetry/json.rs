@@ -70,8 +70,25 @@ impl JsonValue {
         }
     }
 
+    /// The value parsed as `f32`, if it is a number. Parsing the raw
+    /// token directly (instead of narrowing an `f64`) keeps the
+    /// shortest-round-trip property exact.
+    pub(crate) fn as_f32(&self) -> Option<f32> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub(crate) fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Whether the value is `null`.
-    #[cfg(test)]
     pub(crate) fn is_null(&self) -> bool {
         matches!(self, JsonValue::Null)
     }

@@ -316,17 +316,15 @@ impl RunManifest {
         })
     }
 
-    /// Writes the manifest to `path` (creating parent directories).
+    /// Writes the manifest to `path` (creating parent directories) via the
+    /// shared atomic artifact writer, so an interrupted run never leaves a
+    /// torn manifest behind.
     ///
     /// # Errors
     ///
     /// Returns [`ReduceError::InvalidConfig`] wrapping the I/O failure.
     pub fn save(&self, path: &Path) -> Result<()> {
-        if let Some(dir) = path.parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        std::fs::write(path, self.to_json())
-            .map_err(|e| invalid(&format!("cannot write manifest {}: {e}", path.display())))
+        crate::artifact::write_atomic(path, &self.to_json())
     }
 
     /// Reads and parses a manifest from `path`.

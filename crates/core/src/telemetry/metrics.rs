@@ -100,6 +100,14 @@ pub struct MetricsSnapshot {
     /// Workspace allocation counters per stage, in the order stages first
     /// reported them ([`Event::WorkspaceUsed`]).
     pub workspace: Vec<(String, WorkspaceTotals)>,
+    /// Failed job attempts ([`Event::JobFailed`]).
+    pub jobs_failed: usize,
+    /// Scheduled retries ([`Event::RetryScheduled`]).
+    pub retries_scheduled: usize,
+    /// Jobs recovered from divergence ([`Event::DivergenceRecovered`]).
+    pub divergences_recovered: usize,
+    /// Checkpoint-journal completions ([`Event::CheckpointWritten`]).
+    pub checkpoints_written: usize,
 }
 
 #[derive(Debug, Default)]
@@ -114,6 +122,10 @@ struct MetricsState {
     epochs_per_chip: Accumulator,
     epochs_to_constraint: Accumulator,
     workspace: Vec<(String, WorkspaceTotals)>,
+    jobs_failed: usize,
+    retries_scheduled: usize,
+    divergences_recovered: usize,
+    checkpoints_written: usize,
 }
 
 /// An [`Observer`] that aggregates counters and stat summaries in memory.
@@ -155,6 +167,10 @@ impl MetricsRecorder {
             epochs_per_chip: s.epochs_per_chip.summary(),
             epochs_to_constraint: s.epochs_to_constraint.summary(),
             workspace: s.workspace.clone(),
+            jobs_failed: s.jobs_failed,
+            retries_scheduled: s.retries_scheduled,
+            divergences_recovered: s.divergences_recovered,
+            checkpoints_written: s.checkpoints_written,
         })
     }
 
@@ -199,6 +215,12 @@ impl MetricsRecorder {
                 w.misses,
                 w.bytes_allocated,
                 w.hit_rate() * 100.0,
+            ));
+        }
+        if snap.jobs_failed > 0 || snap.retries_scheduled > 0 {
+            out.push_str(&format!(
+                "job failures       {:>6} ({} retries scheduled, {} divergences recovered)\n",
+                snap.jobs_failed, snap.retries_scheduled, snap.divergences_recovered
             ));
         }
         out
@@ -272,6 +294,10 @@ impl Observer for MetricsRecorder {
                 slot.misses += misses;
                 slot.bytes_allocated += bytes_allocated;
             }
+            Event::JobFailed { .. } => s.jobs_failed += 1,
+            Event::RetryScheduled { .. } => s.retries_scheduled += 1,
+            Event::DivergenceRecovered { .. } => s.divergences_recovered += 1,
+            Event::CheckpointWritten { .. } => s.checkpoints_written += 1,
         });
     }
 }
@@ -386,6 +412,42 @@ mod tests {
         let text = rec.render();
         assert!(text.contains("workspace characterize"));
         assert!(text.contains("allocated 512 B"));
+    }
+
+    #[test]
+    fn failure_counters_aggregate_and_render() {
+        let rec = MetricsRecorder::new();
+        rec.on_event(&Event::JobFailed {
+            stage: Stage::Characterize,
+            job: 2,
+            attempt: 0,
+            error: "chaos".to_string(),
+        });
+        rec.on_event(&Event::RetryScheduled {
+            stage: Stage::Characterize,
+            job: 2,
+            attempt: 1,
+            seed: 99,
+        });
+        rec.on_event(&Event::DivergenceRecovered {
+            stage: Stage::Characterize,
+            job: 2,
+            attempts: 1,
+        });
+        rec.on_event(&Event::CheckpointWritten {
+            stage: Stage::Characterize,
+            completed: 8,
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.jobs_failed, 1);
+        assert_eq!(snap.retries_scheduled, 1);
+        assert_eq!(snap.divergences_recovered, 1);
+        assert_eq!(snap.checkpoints_written, 1);
+        let text = rec.render();
+        assert!(text.contains("job failures"));
+        assert!(text.contains("1 retries scheduled"));
+        // A clean run stays silent about failures.
+        assert!(!MetricsRecorder::new().render().contains("job failures"));
     }
 
     #[test]

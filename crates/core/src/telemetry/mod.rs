@@ -17,7 +17,12 @@
 //! * [`Event::PointFinished`] — one per Step-① `(rate, repeat)` grid cell;
 //! * [`Event::ChipRetrained`] — one per Step-③ fleet chip;
 //! * [`Event::WorkspaceUsed`] — one per fan-out stage, summing the
-//!   workspace-arena allocation counters over the stage's jobs.
+//!   workspace-arena allocation counters over the stage's jobs;
+//! * [`Event::JobFailed`] / [`Event::RetryScheduled`] /
+//!   [`Event::DivergenceRecovered`] — the retry history of a contained
+//!   job failure (see [`crate::exec::parallel_map_resilient`]);
+//! * [`Event::CheckpointWritten`] — the resume journal covers a stage's
+//!   full fan-out.
 //!
 //! # Determinism contract
 //!
@@ -43,7 +48,7 @@
 //! recording everything needed to reproduce its artifacts (workbench
 //! spec, seeds, grid, policies, crate version).
 
-mod json;
+pub(crate) mod json;
 mod manifest;
 mod metrics;
 mod runlog;
@@ -51,6 +56,7 @@ mod runlog;
 pub use manifest::{FleetManifest, GridManifest, RunManifest, StageWorkspace};
 pub use metrics::{MetricsRecorder, MetricsSnapshot, StatSummary, WorkspaceTotals};
 pub use runlog::RunLog;
+pub(crate) use runlog::{parse_event, render_event};
 
 use std::time::Instant;
 
@@ -75,6 +81,18 @@ impl Stage {
             Stage::Characterize => "characterize",
             Stage::Plan => "plan",
             Stage::Deploy => "deploy",
+        }
+    }
+
+    /// The inverse of [`Stage::name`] (used when replaying journaled
+    /// events).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "pretrain" => Some(Stage::Pretrain),
+            "characterize" => Some(Stage::Characterize),
+            "plan" => Some(Stage::Plan),
+            "deploy" => Some(Stage::Deploy),
+            _ => None,
         }
     }
 }
@@ -168,6 +186,52 @@ pub enum Event {
         misses: u64,
         /// Total bytes allocated by misses.
         bytes_allocated: u64,
+    },
+    /// One attempt of a resilient job failed (returned an error, panicked,
+    /// or was failed by an injected [`crate::exec::ChaosPolicy`]). The
+    /// failed attempt's own events are discarded; this record replaces
+    /// them.
+    JobFailed {
+        /// The fan-out stage the job belongs to.
+        stage: Stage,
+        /// The job's stable id (grid-cell / chip index in the full set).
+        job: u64,
+        /// 0-based attempt number that failed.
+        attempt: u32,
+        /// The rendered error.
+        error: String,
+    },
+    /// A failed resilient job still has retry budget; the next attempt is
+    /// scheduled with a deterministically derived seed salt
+    /// ([`crate::exec::retry_seed`]).
+    RetryScheduled {
+        /// The fan-out stage the job belongs to.
+        stage: Stage,
+        /// The job's stable id.
+        job: u64,
+        /// 0-based attempt number being scheduled.
+        attempt: u32,
+        /// The seed salt the attempt will run with.
+        seed: u64,
+    },
+    /// A job succeeded after one or more divergence failures
+    /// ([`crate::ReduceError::Divergence`]): training was rolled back to
+    /// the pre-mask snapshot and reseeded until an attempt converged.
+    DivergenceRecovered {
+        /// The fan-out stage the job belongs to.
+        stage: Stage,
+        /// The job's stable id.
+        job: u64,
+        /// How many failed attempts preceded the recovery.
+        attempts: u32,
+    },
+    /// The resume journal was brought up to date for a stage: every
+    /// outcome of the stage's fan-out is durably recorded.
+    CheckpointWritten {
+        /// The journaled stage.
+        stage: Stage,
+        /// Total outcomes (successes + quarantines) recorded for it.
+        completed: usize,
     },
 }
 
@@ -325,5 +389,14 @@ mod tests {
         assert_eq!(Stage::Characterize.name(), "characterize");
         assert_eq!(Stage::Plan.name(), "plan");
         assert_eq!(Stage::Deploy.name(), "deploy");
+        for stage in [
+            Stage::Pretrain,
+            Stage::Characterize,
+            Stage::Plan,
+            Stage::Deploy,
+        ] {
+            assert_eq!(Stage::from_name(stage.name()), Some(stage));
+        }
+        assert_eq!(Stage::from_name("warp-core"), None);
     }
 }

@@ -5,11 +5,12 @@
 //! *bytes* are too, because the only non-deterministic payload — the
 //! wall-clock `seconds` of `stage_finished` — is written as `null`.
 
-use super::json::{push_json_f32, push_json_f64, push_json_string};
-use super::{EpochScope, Event, Observer};
+use super::json::{push_json_f32, push_json_f64, push_json_string, JsonValue};
+use super::{EpochScope, Event, Observer, Stage};
+use crate::artifact::write_atomic;
 use crate::error::{ReduceError, Result};
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// A JSON-lines run-log writer.
@@ -17,14 +18,26 @@ use std::sync::Mutex;
 /// Write failures do not panic and cannot poison the framework run: the
 /// first error is latched and surfaced by [`RunLog::flush`], which
 /// callers should invoke once the run completes.
+///
+/// [`RunLog::create`] builds a file-backed log that accumulates lines in
+/// memory and writes the whole artifact atomically (temp file + rename,
+/// see [`crate::artifact`]) on [`RunLog::flush`] — an interrupted run
+/// never leaves a torn `run_log.jsonl` behind.
 pub struct RunLog {
     sink: Mutex<LogState>,
     redact_timing: bool,
 }
 
 struct LogState {
-    writer: Box<dyn Write + Send>,
+    sink: LogSink,
     error: Option<String>,
+}
+
+enum LogSink {
+    /// Streams lines to an arbitrary writer (in-memory buffers in tests).
+    Stream(Box<dyn Write + Send>),
+    /// Buffers lines and writes the file atomically on flush.
+    Atomic { path: PathBuf, buf: String },
 }
 
 impl RunLog {
@@ -33,29 +46,31 @@ impl RunLog {
     pub fn new(writer: Box<dyn Write + Send>, redact_timing: bool) -> Self {
         RunLog {
             sink: Mutex::new(LogState {
-                writer,
+                sink: LogSink::Stream(writer),
                 error: None,
             }),
             redact_timing,
         }
     }
 
-    /// Creates the log file at `path` (creating parent directories).
+    /// A file-backed log at `path`: lines accumulate in memory and
+    /// [`RunLog::flush`] writes the complete artifact atomically.
     ///
     /// # Errors
     ///
-    /// Returns [`ReduceError::InvalidConfig`] wrapping the I/O failure.
+    /// Infallible today (the file is only touched at flush time); kept
+    /// fallible for call-site compatibility and future validation.
     pub fn create(path: &Path, redact_timing: bool) -> Result<Self> {
-        if let Some(dir) = path.parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        let file = std::fs::File::create(path).map_err(|e| ReduceError::InvalidConfig {
-            what: format!("cannot create run log {}: {e}", path.display()),
-        })?;
-        Ok(Self::new(
-            Box::new(std::io::BufWriter::new(file)),
+        Ok(RunLog {
+            sink: Mutex::new(LogState {
+                sink: LogSink::Atomic {
+                    path: path.to_path_buf(),
+                    buf: String::new(),
+                },
+                error: None,
+            }),
             redact_timing,
-        ))
+        })
     }
 
     /// Whether wall-clock fields are redacted.
@@ -63,8 +78,9 @@ impl RunLog {
         self.redact_timing
     }
 
-    /// Flushes the underlying writer and reports the first write error
-    /// encountered since creation, if any.
+    /// Flushes the log — for a file-backed log this is the moment the
+    /// artifact is (atomically) written — and reports the first write
+    /// error encountered since creation, if any.
     ///
     /// # Errors
     ///
@@ -75,8 +91,12 @@ impl RunLog {
             Err(poisoned) => poisoned.into_inner(),
         };
         if state.error.is_none() {
-            if let Err(e) = state.writer.flush() {
-                state.error = Some(e.to_string());
+            let flushed = match &mut state.sink {
+                LogSink::Stream(writer) => writer.flush().map_err(|e| e.to_string()),
+                LogSink::Atomic { path, buf } => write_atomic(path, buf).map_err(|e| e.to_string()),
+            };
+            if let Err(e) = flushed {
+                state.error = Some(e);
             }
         }
         match &state.error {
@@ -98,8 +118,13 @@ impl Observer for RunLog {
         if state.error.is_some() {
             return; // latched: drop events after the first write failure
         }
-        if let Err(e) = state.writer.write_all(line.as_bytes()) {
-            state.error = Some(e.to_string());
+        match &mut state.sink {
+            LogSink::Stream(writer) => {
+                if let Err(e) = writer.write_all(line.as_bytes()) {
+                    state.error = Some(e.to_string());
+                }
+            }
+            LogSink::Atomic { buf, .. } => buf.push_str(&line),
         }
     }
 }
@@ -112,8 +137,11 @@ impl std::fmt::Debug for RunLog {
     }
 }
 
-/// Renders one event as a JSON line (with trailing newline).
-fn render_event(event: &Event, redact_timing: bool) -> String {
+/// Renders one event as a JSON line (with trailing newline). The
+/// rendering is deterministic (fixed key order, shortest-round-trip
+/// floats), which is what makes redacted run logs byte-comparable and
+/// lets the resume journal re-emit replayed events bit-identically.
+pub(crate) fn render_event(event: &Event, redact_timing: bool) -> String {
     let mut s = String::with_capacity(96);
     match event {
         Event::StageStarted { stage } => {
@@ -204,18 +232,190 @@ fn render_event(event: &Event, redact_timing: bool) -> String {
                 "\",\"hits\":{hits},\"misses\":{misses},\"bytes_allocated\":{bytes_allocated}}}"
             ));
         }
-    }
-    // `push_json_string` is reserved for payloads that carry free text;
-    // every current field is numeric, boolean or a fixed stage name.
-    debug_assert!(
-        !s.is_empty() || {
-            let mut probe = String::new();
-            push_json_string(&mut probe, "");
-            probe == "\"\""
+        Event::JobFailed {
+            stage,
+            job,
+            attempt,
+            error,
+        } => {
+            s.push_str("{\"event\":\"job_failed\",\"stage\":\"");
+            s.push_str(stage.name());
+            s.push_str(&format!(
+                "\",\"job\":{job},\"attempt\":{attempt},\"error\":"
+            ));
+            push_json_string(&mut s, error);
+            s.push('}');
         }
-    );
+        Event::RetryScheduled {
+            stage,
+            job,
+            attempt,
+            seed,
+        } => {
+            s.push_str("{\"event\":\"retry_scheduled\",\"stage\":\"");
+            s.push_str(stage.name());
+            s.push_str(&format!(
+                "\",\"job\":{job},\"attempt\":{attempt},\"seed\":{seed}}}"
+            ));
+        }
+        Event::DivergenceRecovered {
+            stage,
+            job,
+            attempts,
+        } => {
+            s.push_str("{\"event\":\"divergence_recovered\",\"stage\":\"");
+            s.push_str(stage.name());
+            s.push_str(&format!("\",\"job\":{job},\"attempts\":{attempts}}}"));
+        }
+        Event::CheckpointWritten { stage, completed } => {
+            s.push_str("{\"event\":\"checkpoint_written\",\"stage\":\"");
+            s.push_str(stage.name());
+            s.push_str(&format!("\",\"completed\":{completed}}}"));
+        }
+    }
     s.push('\n');
     s
+}
+
+/// Parses a rendered event object back into an [`Event`] — the inverse
+/// of [`render_event`], used when replaying journaled grid-cell / chip
+/// events on resume. Wall-clock `seconds` round-trips as `None` when the
+/// source was redacted.
+pub(crate) fn parse_event(value: &JsonValue) -> Result<Event> {
+    let bad = |what: &str| ReduceError::InvalidConfig {
+        what: format!("malformed journaled event: {what}"),
+    };
+    let stage_of = |value: &JsonValue| -> Result<Stage> {
+        value
+            .field("stage")
+            .and_then(JsonValue::as_str)
+            .and_then(Stage::from_name)
+            .ok_or_else(|| bad("missing or unknown stage"))
+    };
+    let usize_of = |name: &'static str| -> Result<usize> {
+        value
+            .field(name)
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| bad(name))
+    };
+    let u64_of = |name: &'static str| -> Result<u64> {
+        value
+            .field(name)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| bad(name))
+    };
+    let u32_of = |name: &'static str| -> Result<u32> {
+        value
+            .field(name)
+            .and_then(JsonValue::as_u64)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| bad(name))
+    };
+    let f64_of = |name: &'static str| -> Result<f64> {
+        value
+            .field(name)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| bad(name))
+    };
+    let f32_of = |name: &'static str| -> Result<f32> {
+        value
+            .field(name)
+            .and_then(JsonValue::as_f32)
+            .ok_or_else(|| bad(name))
+    };
+    let kind = value
+        .field("event")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| bad("missing event kind"))?;
+    match kind {
+        "stage_started" => Ok(Event::StageStarted {
+            stage: stage_of(value)?,
+        }),
+        "stage_finished" => {
+            let seconds = match value.field("seconds") {
+                Some(JsonValue::Null) | None => None,
+                Some(v) => Some(v.as_f64().ok_or_else(|| bad("seconds"))?),
+            };
+            Ok(Event::StageFinished {
+                stage: stage_of(value)?,
+                seconds,
+            })
+        }
+        "epoch_completed" => {
+            let scope = match value.field("scope").and_then(JsonValue::as_str) {
+                Some("point") => EpochScope::Point {
+                    rate_index: usize_of("rate_index")?,
+                    repeat: usize_of("repeat")?,
+                },
+                Some("chip") => EpochScope::Chip {
+                    chip_id: usize_of("chip_id")?,
+                },
+                _ => return Err(bad("unknown epoch scope")),
+            };
+            Ok(Event::EpochCompleted {
+                scope,
+                epoch: usize_of("epoch")?,
+                accuracy: f32_of("accuracy")?,
+            })
+        }
+        "point_finished" => {
+            let epochs_to_constraint = match value.field("epochs_to_constraint") {
+                Some(JsonValue::Null) | None => None,
+                Some(v) => Some(v.as_usize().ok_or_else(|| bad("epochs_to_constraint"))?),
+            };
+            Ok(Event::PointFinished {
+                rate_index: usize_of("rate_index")?,
+                rate: f64_of("rate")?,
+                repeat: usize_of("repeat")?,
+                epochs_to_constraint,
+                pre_retrain_accuracy: f32_of("pre_retrain_accuracy")?,
+                final_accuracy: f32_of("final_accuracy")?,
+            })
+        }
+        "chip_retrained" => Ok(Event::ChipRetrained {
+            chip_id: usize_of("chip_id")?,
+            fault_rate: f64_of("fault_rate")?,
+            epochs_budgeted: usize_of("epochs_budgeted")?,
+            epochs_run: usize_of("epochs_run")?,
+            final_accuracy: f32_of("final_accuracy")?,
+            satisfied: value
+                .field("satisfied")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| bad("satisfied"))?,
+        }),
+        "workspace_used" => Ok(Event::WorkspaceUsed {
+            stage: stage_of(value)?,
+            hits: u64_of("hits")?,
+            misses: u64_of("misses")?,
+            bytes_allocated: u64_of("bytes_allocated")?,
+        }),
+        "job_failed" => Ok(Event::JobFailed {
+            stage: stage_of(value)?,
+            job: u64_of("job")?,
+            attempt: u32_of("attempt")?,
+            error: value
+                .field("error")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| bad("error"))?
+                .to_string(),
+        }),
+        "retry_scheduled" => Ok(Event::RetryScheduled {
+            stage: stage_of(value)?,
+            job: u64_of("job")?,
+            attempt: u32_of("attempt")?,
+            seed: u64_of("seed")?,
+        }),
+        "divergence_recovered" => Ok(Event::DivergenceRecovered {
+            stage: stage_of(value)?,
+            job: u64_of("job")?,
+            attempts: u32_of("attempts")?,
+        }),
+        "checkpoint_written" => Ok(Event::CheckpointWritten {
+            stage: stage_of(value)?,
+            completed: usize_of("completed")?,
+        }),
+        other => Err(bad(&format!("unknown event kind {other:?}"))),
+    }
 }
 
 #[cfg(test)]
@@ -342,6 +542,92 @@ mod tests {
         });
         let err = log.flush().expect_err("latched error surfaces");
         assert!(err.to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn failure_events_render_with_escaped_causes() {
+        let text = render_event(
+            &Event::JobFailed {
+                stage: Stage::Characterize,
+                job: 5,
+                attempt: 1,
+                error: "bad \"quote\"\nline".to_string(),
+            },
+            false,
+        );
+        assert!(text.starts_with("{\"event\":\"job_failed\",\"stage\":\"characterize\""));
+        assert!(text.contains("\\\"quote\\\"\\n"));
+        super::super::json::parse(text.trim_end()).expect("line parses");
+        let retry = render_event(
+            &Event::RetryScheduled {
+                stage: Stage::Deploy,
+                job: 3,
+                attempt: 2,
+                seed: 0xDEAD,
+            },
+            false,
+        );
+        assert!(retry.contains("\"seed\":57005"));
+        let recovered = render_event(
+            &Event::DivergenceRecovered {
+                stage: Stage::Deploy,
+                job: 3,
+                attempts: 2,
+            },
+            false,
+        );
+        assert!(recovered.contains("\"divergence_recovered\""));
+        let ckpt = render_event(
+            &Event::CheckpointWritten {
+                stage: Stage::Characterize,
+                completed: 8,
+            },
+            false,
+        );
+        assert!(ckpt.contains("\"checkpoint_written\"") && ckpt.contains("\"completed\":8"));
+    }
+
+    #[test]
+    fn every_event_round_trips_through_parse_event() {
+        let mut all = events();
+        all.extend([
+            Event::JobFailed {
+                stage: Stage::Characterize,
+                job: 7,
+                attempt: 0,
+                error: "training diverged: NaN \"loss\"".to_string(),
+            },
+            Event::RetryScheduled {
+                stage: Stage::Characterize,
+                job: 7,
+                attempt: 1,
+                seed: 9_223_372_036_854_775_809,
+            },
+            Event::DivergenceRecovered {
+                stage: Stage::Characterize,
+                job: 7,
+                attempts: 1,
+            },
+            Event::CheckpointWritten {
+                stage: Stage::Deploy,
+                completed: 12,
+            },
+            Event::StageFinished {
+                stage: Stage::Plan,
+                seconds: None,
+            },
+        ]);
+        for event in &all {
+            let line = render_event(event, false);
+            let value = super::super::json::parse(line.trim_end()).expect("line parses");
+            let back = parse_event(&value).expect("event parses back");
+            assert_eq!(&back, event, "round trip changed {event:?}");
+            // The replay path depends on re-rendering bit-identically.
+            assert_eq!(render_event(&back, false), line);
+        }
+        assert!(parse_event(&JsonValue::Null).is_err());
+        let unknown = super::super::json::parse("{\"event\":\"warp\"}").expect("valid json");
+        assert!(parse_event(&unknown).is_err());
     }
 
     #[test]

@@ -42,11 +42,21 @@ const NUMERIC_CRATES: [&str; 3] = ["crates/tensor", "crates/systolic", "crates/n
 /// where the hot-path-alloc family applies.
 const HOT_PATH_DIR: &str = "crates/nn/src/layers/";
 
+/// The one sanctioned direct-write call site: the atomic temp-file+rename
+/// artifact writer everything else must go through.
+const ATOMIC_WRITER: &str = "crates/core/src/artifact.rs";
+
+/// The bench binaries write result artifacts too (CSVs, run dirs), so the
+/// artifact-io family extends to their sources.
+const BENCH_SRC: &str = "crates/bench/src/";
+
 /// Decides which lint families apply to a workspace-relative path.
 ///
 /// Only `src/` trees of result-producing crates are linted; tests,
-/// benches, examples, the vendored shims and this crate itself are out
-/// of scope (they do not produce results).
+/// examples, the vendored shims and this crate itself are out of scope
+/// (they do not produce results). The bench binaries are the exception:
+/// they write the result artifacts, so the artifact-io family (and only
+/// it) extends to `crates/bench/src/`.
 pub fn scope_for_path(rel: &str) -> Scope {
     let in_src =
         |krate: &str| rel.starts_with(&format!("{krate}/src/")) || rel == format!("{krate}/src");
@@ -55,6 +65,8 @@ pub fn scope_for_path(rel: &str) -> Scope {
         panic_freedom: RESULT_CRATES.iter().any(|c| in_src(c)),
         numeric: NUMERIC_CRATES.iter().any(|c| in_src(c)),
         hot_path: rel.starts_with(HOT_PATH_DIR),
+        artifact_io: (RESULT_CRATES.iter().any(|c| in_src(c)) || rel.starts_with(BENCH_SRC))
+            && rel != ATOMIC_WRITER,
     }
 }
 
@@ -181,9 +193,14 @@ mod tests {
         let s = scope_for_path("crates/nn/src/layers/conv2d.rs");
         assert!(s.hot_path && s.numeric && s.panic_freedom);
         assert!(!scope_for_path("crates/nn/src/trainer.rs").hot_path);
-        // Out of scope: tests, benches, the umbrella package, this crate.
+        // The artifact-io family covers result crates and the bench
+        // binaries, except the atomic writer itself.
+        assert!(scope_for_path("crates/core/src/fleet.rs").artifact_io);
+        let s = scope_for_path("crates/bench/src/bin/fig2.rs");
+        assert!(s.artifact_io && !s.determinism && !s.panic_freedom);
+        assert!(!scope_for_path("crates/core/src/artifact.rs").artifact_io);
+        // Out of scope: tests, the umbrella package, this crate.
         assert_eq!(scope_for_path("crates/core/tests/policy.rs"), Scope::none());
-        assert_eq!(scope_for_path("crates/bench/src/lib.rs"), Scope::none());
         assert_eq!(scope_for_path("src/lib.rs"), Scope::none());
         assert_eq!(scope_for_path("crates/xtask/src/lints.rs"), Scope::none());
     }

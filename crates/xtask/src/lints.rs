@@ -18,6 +18,11 @@
 //!   training iteration and are supposed to draw buffers from the
 //!   `Workspace` arena; fresh `Tensor::zeros`/`.clone()`/`.to_vec()` there
 //!   quietly reintroduces per-step heap churn.
+//! - **artifact-io** — every result artifact (manifests, run logs, CSVs,
+//!   tables, journals) must be written through the atomic temp-file+rename
+//!   writer in `reduce_core::artifact`; a direct `fs::write`/`File::create`
+//!   elsewhere can leave a torn artifact behind when a run is killed,
+//!   which breaks the checkpoint/resume and cross-thread-diff guarantees.
 //!
 //! Escape hatch: a `// xtask:allow(<lint>): <reason>` comment on the same
 //! line or the line above suppresses one lint there. The reason is
@@ -49,6 +54,8 @@ pub enum Lint {
     /// `Tensor::zeros`/`ones`/`full`, `.clone()` or `.to_vec()` inside a
     /// layer `forward*`/`backward*` body (the per-iteration hot path).
     HotPathAlloc,
+    /// `fs::write` / `File::create` outside the atomic artifact writer.
+    ArtifactIo,
     /// An `xtask:allow` comment that suppressed nothing.
     UnusedAllow,
     /// An `xtask:allow` comment with a missing or trivial reason.
@@ -69,6 +76,7 @@ impl Lint {
             Lint::FloatEq => "float-eq",
             Lint::LossyFloatCast => "lossy-float-cast",
             Lint::HotPathAlloc => "hot-path-alloc",
+            Lint::ArtifactIo => "artifact-io",
             Lint::UnusedAllow => "unused-allow",
             Lint::BadAllow => "bad-allow",
         }
@@ -81,6 +89,7 @@ impl Lint {
             Lint::Unwrap | Lint::Expect | Lint::Panic | Lint::Index => "panic-freedom",
             Lint::FloatEq | Lint::LossyFloatCast => "numeric-safety",
             Lint::HotPathAlloc => "hot-path-alloc",
+            Lint::ArtifactIo => "artifact-io",
             Lint::UnusedAllow | Lint::BadAllow => "meta",
         }
     }
@@ -97,6 +106,7 @@ impl Lint {
             Lint::FloatEq,
             Lint::LossyFloatCast,
             Lint::HotPathAlloc,
+            Lint::ArtifactIo,
             Lint::UnusedAllow,
             Lint::BadAllow,
         ]
@@ -116,6 +126,8 @@ pub struct Scope {
     pub numeric: bool,
     /// Enforce the hot-path-alloc family (layer forward/backward bodies).
     pub hot_path: bool,
+    /// Enforce the artifact-io family (atomic artifact writes only).
+    pub artifact_io: bool,
 }
 
 impl Scope {
@@ -126,6 +138,7 @@ impl Scope {
             panic_freedom: true,
             numeric: true,
             hot_path: true,
+            artifact_io: true,
         }
     }
 
@@ -136,11 +149,12 @@ impl Scope {
             panic_freedom: false,
             numeric: false,
             hot_path: false,
+            artifact_io: false,
         }
     }
 
     fn any(self) -> bool {
-        self.determinism || self.panic_freedom || self.numeric || self.hot_path
+        self.determinism || self.panic_freedom || self.numeric || self.hot_path || self.artifact_io
     }
 }
 
@@ -186,6 +200,9 @@ pub fn lint_source(src: &str, scope: Scope) -> Vec<Violation> {
     }
     if scope.hot_path {
         hot_path_pass(&code, &mut raw);
+    }
+    if scope.artifact_io {
+        artifact_io_pass(&code, &mut raw);
     }
     raw.retain(|v| !exempt.contains(&v.line));
 
@@ -646,6 +663,45 @@ fn scan_hot_body(body: &[&Token], out: &mut Vec<Violation>) {
                     ),
                 });
             }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Artifact-write hygiene
+// ---------------------------------------------------------------------------
+
+/// Flags direct artifact writes — `fs::write` (incl. `std::fs::write`) and
+/// `File::create` — outside `reduce_core::artifact`, the one sanctioned
+/// temp-file+rename call site. A direct write can be interrupted half way
+/// and leave a torn manifest/run-log/CSV/journal behind, breaking the
+/// crash-safety contract that checkpoint/resume and the CI artifact diffs
+/// rely on.
+fn artifact_io_pass(code: &[&Token], out: &mut Vec<Violation>) {
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "write" if path_prefix_is(code, i, "fs") => out.push(Violation {
+                lint: Lint::ArtifactIo,
+                line: t.line,
+                col: t.col,
+                message: "`fs::write` is not crash-safe; route artifact writes through \
+                          `reduce_core::artifact::write_atomic` (temp file + rename), or \
+                          justify with `xtask:allow(artifact-io)`"
+                    .to_string(),
+            }),
+            "create" if path_prefix_is(code, i, "File") => out.push(Violation {
+                lint: Lint::ArtifactIo,
+                line: t.line,
+                col: t.col,
+                message: "`File::create` truncates in place and is not crash-safe; route \
+                          artifact writes through `reduce_core::artifact::write_atomic` \
+                          (temp file + rename), or justify with `xtask:allow(artifact-io)`"
+                    .to_string(),
+            }),
             _ => {}
         }
     }

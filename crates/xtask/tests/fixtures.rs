@@ -77,6 +77,11 @@ fn hot_path_fixture_matches_markers() {
 }
 
 #[test]
+fn artifact_io_fixture_matches_markers() {
+    check_fixture("artifact_io.rs");
+}
+
+#[test]
 fn clean_fixture_is_silent() {
     // Belt and braces: the marker comparison would catch stray findings,
     // but assert the stronger statement explicitly.

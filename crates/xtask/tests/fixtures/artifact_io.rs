@@ -1,0 +1,37 @@
+//! Fixture for the artifact-io family: direct artifact writes must fire,
+//! reads and the allow hatch must not.
+
+use std::fs::File;
+use std::path::Path;
+
+pub fn torn_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    std::fs::write(path, contents) //~ artifact-io
+}
+
+pub fn torn_create(path: &Path) -> std::io::Result<File> {
+    File::create(path) //~ artifact-io
+}
+
+pub fn qualified_create(path: &Path) -> std::io::Result<std::fs::File> {
+    std::fs::File::create(path) //~ artifact-io
+}
+
+pub fn reads_are_fine(path: &Path) -> std::io::Result<String> {
+    // Reading cannot tear an artifact; only writes are in scope.
+    let _probe = File::open(path)?;
+    std::fs::read_to_string(path)
+}
+
+pub fn justified(path: &Path, contents: &str) -> std::io::Result<()> {
+    // xtask:allow(artifact-io): scratch file outside any artifact directory
+    std::fs::write(path, contents)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: scratch writes in tests are fine.
+    #[test]
+    fn scratch() {
+        std::fs::write("/tmp/scratch", "x").unwrap();
+    }
+}

@@ -63,4 +63,28 @@ grep -q '"workspace": \[{"stage"' "$det_dir/f3t1/manifest.json"
 echo "    parallel deployment artifacts (run log incl. workspace counters,"
 echo "    manifest) are byte-identical to sequential"
 
+echo "==> kill-and-resume gate (fig2 chaos run, interrupted ≡ uninterrupted)"
+# A run interrupted mid-characterisation (--halt-after exits 3 after N
+# journal appends) and resumed with --resume must publish byte-identical
+# redacted artifacts to an uninterrupted run — including under seeded
+# chaos with retries and quarantine. The journal itself is completion-
+# ordered and is deliberately never diffed.
+chaos="--scale smoke --retries 2 --chaos-rate 0.35 --chaos-seed 7 --redact-timing"
+mkdir -p "$det_dir/ref" "$det_dir/cut"
+cargo run -q -p reduce-bench --release --bin fig2 -- \
+    $chaos --threads 1 --csv "$det_dir/ref" --out "$det_dir/ref" >/dev/null
+rc=0
+cargo run -q -p reduce-bench --release --bin fig2 -- \
+    $chaos --threads 4 --csv "$det_dir/cut" --out "$det_dir/cut" \
+    --halt-after 3 >/dev/null || rc=$?
+[ "$rc" -eq 3 ] || { echo "expected --halt-after to exit 3, got $rc"; exit 1; }
+cargo run -q -p reduce-bench --release --bin fig2 -- \
+    $chaos --threads 4 --csv "$det_dir/cut" --resume "$det_dir/cut" >/dev/null
+diff "$det_dir/ref/fig2_resilience.csv" "$det_dir/cut/fig2_resilience.csv"
+diff "$det_dir/ref/run_log.jsonl" "$det_dir/cut/run_log.jsonl"
+diff "$det_dir/ref/manifest.json" "$det_dir/cut/manifest.json"
+grep -q '"event":"job_failed"' "$det_dir/ref/run_log.jsonl"
+echo "    interrupted+resumed chaos run artifacts (csv, run log, manifest)"
+echo "    are byte-identical to the uninterrupted run"
+
 echo "ci: all stages green"

@@ -1,13 +1,58 @@
 //! Cross-crate property-based tests: invariants that must hold for
-//! arbitrary fault maps, layer shapes and policies.
+//! arbitrary fault maps, layer shapes and policies — and, for the fault
+//! tolerance layer, for arbitrary chaos policies.
 
 use proptest::prelude::*;
-use reduce_repro::core::{ResilienceTable, Statistic, TableEntry};
+use reduce_repro::core::exec::{ChaosOutcome, ChaosPolicy};
+use reduce_repro::core::{
+    ExecConfig, FatRunner, Mitigation, Pretrained, ResilienceAnalysis, ResilienceConfig,
+    ResilienceTable, Statistic, TableEntry, Workbench,
+};
 use reduce_repro::systolic::{
     affected_weights, fam_mapping, fap_mask, pruned_fraction, saliency_loss, FaultMap, FaultModel,
     SystolicArray,
 };
 use reduce_repro::tensor::{ops, Tensor};
+use std::sync::OnceLock;
+
+/// A 2-rate × 2-repeat grid small enough to characterise once per proptest
+/// case.
+fn chaos_grid() -> ResilienceConfig {
+    ResilienceConfig {
+        fault_rates: vec![0.0, 0.15],
+        max_epochs: 3,
+        repeats: 2,
+        constraint: 0.88,
+        fault_model: FaultModel::Random,
+        strategy: Mitigation::Fap,
+        seed: 17,
+    }
+}
+
+/// Shared fixture for the chaos property: pretrain and characterise the
+/// chaos-free reference once, not once per generated case.
+fn chaos_fixture() -> (
+    &'static FatRunner,
+    &'static Pretrained,
+    &'static ResilienceAnalysis,
+) {
+    static FIXTURE: OnceLock<(FatRunner, Pretrained, ResilienceAnalysis)> = OnceLock::new();
+    let (runner, pre, clean) = FIXTURE.get_or_init(|| {
+        let wb = Workbench::toy(801);
+        let pre = wb.pretrain(8).expect("valid workbench");
+        let runner = FatRunner::new(wb).expect("valid workbench");
+        let clean = ResilienceAnalysis::run_resumable(
+            &runner,
+            &pre,
+            chaos_grid(),
+            &ExecConfig::default(),
+            None,
+        )
+        .expect("clean run");
+        (runner, pre, clean)
+    });
+    (runner, pre, clean)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -172,6 +217,73 @@ proptest! {
                 s_lo.epochs <= s_hi.epochs,
                 "{:?} not monotone: {} @ {} > {} @ {}", stat, s_lo.epochs, lo, s_hi.epochs, hi
             );
+        }
+    }
+
+    /// Any seeded chaos policy yields input-order-stable, thread-invariant
+    /// analyses, and quarantined cells never perturb their siblings.
+    #[test]
+    fn chaos_is_thread_invariant_and_contained(
+        chaos_seed in 0u64..1000,
+        fail_rate in 0.0f64..0.9,
+        budget in 0u32..3,
+    ) {
+        let (runner, pre, clean) = chaos_fixture();
+        let chaos = ChaosPolicy::seeded(chaos_seed, fail_rate);
+        let run = |threads: usize| {
+            ResilienceAnalysis::run_resumable(
+                runner,
+                pre,
+                chaos_grid(),
+                &ExecConfig::new(threads)
+                    .with_retry_budget(budget)
+                    .with_chaos(chaos.clone()),
+                None,
+            )
+            .expect("contained failures are never fatal")
+        };
+        let reference = run(1);
+        // Every grid cell is accounted for exactly once, in input order.
+        prop_assert_eq!(reference.points().len() + reference.failures().len(), 4);
+        let mut keys: Vec<(usize, usize)> = reference
+            .points()
+            .iter()
+            .map(|p| (p.rate_index, p.repeat))
+            .chain(reference.failures().iter().map(|f| (f.rate_index, f.repeat)))
+            .collect();
+        keys.sort_unstable();
+        prop_assert_eq!(keys, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        // Thread-count invariance of both outcomes and quarantine records.
+        for threads in [2usize, 4] {
+            let par = run(threads);
+            prop_assert_eq!(par.points(), reference.points());
+            prop_assert_eq!(par.failures(), reference.failures());
+            prop_assert_eq!(par.summaries(), reference.summaries());
+        }
+        // A cell whose first attempt passed ran with salt 0 — bit-identical
+        // to the chaos-free run, no matter what happened to its siblings.
+        for p in reference.points() {
+            let job = (p.rate_index * 2 + p.repeat) as u64;
+            if matches!(chaos.decide(job, 0), ChaosOutcome::Pass) {
+                let clean_point = clean
+                    .points()
+                    .iter()
+                    .find(|c| (c.rate_index, c.repeat) == (p.rate_index, p.repeat))
+                    .expect("clean run covers the grid");
+                prop_assert_eq!(p, clean_point, "untouched cell perturbed by sibling chaos");
+            }
+        }
+        // Quarantined cells are exactly those the policy fails on every
+        // attempt within the budget.
+        for f in reference.failures() {
+            let job = (f.rate_index * 2 + f.repeat) as u64;
+            prop_assert_eq!(f.attempts, budget + 1);
+            for attempt in 0..=budget {
+                prop_assert!(
+                    !matches!(chaos.decide(job, attempt), ChaosOutcome::Pass),
+                    "cell {} quarantined despite a passing attempt {}", job, attempt
+                );
+            }
         }
     }
 
