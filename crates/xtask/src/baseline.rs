@@ -1,22 +1,26 @@
 //! Ratchet baseline: pre-existing violations are tolerated, new ones fail.
 //!
-//! The baseline is a checked-in JSON file mapping workspace-relative file
-//! paths to per-lint violation counts:
+//! The baseline is a checked-in JSON file with two ratchet sections:
+//! `files` maps workspace-relative paths to per-lint violation counts,
+//! and `effects` maps effect-analysis root ids (`cargo xtask graph`) to
+//! per-effect violation counts:
 //!
 //! ```json
 //! {
 //!   "version": 1,
 //!   "files": {
 //!     "crates/systolic/src/mapping.rs": { "index": 12, "unwrap": 1 }
-//!   }
+//!   },
+//!   "effects": {}
 //! }
 //! ```
 //!
 //! Counts (not line numbers) make the ratchet robust to unrelated edits
-//! shifting code up or down a file. The comparison is one-directional:
-//! a file may have **at most** its baselined count per lint; anything
-//! above fails, anything below is an invitation to re-run
-//! `cargo xtask lint --update-baseline` and commit the smaller file.
+//! shifting code up or down a file. A key may have **at most** its
+//! baselined count per lint/effect: anything above fails as a new
+//! violation, and anything *below* fails too — as a stale baseline entry
+//! — so improvements are locked in by re-running
+//! `cargo xtask lint --update-baseline` and committing the smaller file.
 //!
 //! The (de)serializer below is hand-rolled because this workspace
 //! deliberately carries no JSON dependency; the grammar it accepts is
@@ -24,11 +28,14 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed baseline: `path -> lint-name -> allowed count`.
+/// Parsed baseline: `path -> lint-name -> allowed count`, plus the
+/// effect-analysis ratchet `root-fn -> effect -> allowed count`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
     /// Per-file allowed violation counts.
     pub files: BTreeMap<String, BTreeMap<String, u64>>,
+    /// Per-root allowed effect-violation counts (`cargo xtask graph`).
+    pub effects: BTreeMap<String, BTreeMap<String, u64>>,
 }
 
 impl Baseline {
@@ -37,6 +44,15 @@ impl Baseline {
         self.files
             .get(file)
             .and_then(|m| m.get(lint))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Allowed count for a `(root, effect)` pair; zero when absent.
+    pub fn effect_allowed(&self, root: &str, effect: &str) -> u64 {
+        self.effects
+            .get(root)
+            .and_then(|m| m.get(effect))
             .copied()
             .unwrap_or(0)
     }
@@ -50,30 +66,9 @@ impl Baseline {
     /// trailing newline) so regeneration is diff-stable.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"version\": 1,\n  \"files\": {");
-        let mut first_file = true;
-        for (path, lints) in &self.files {
-            if lints.is_empty() {
-                continue;
-            }
-            if !first_file {
-                out.push(',');
-            }
-            first_file = false;
-            out.push_str("\n    ");
-            push_json_string(&mut out, path);
-            out.push_str(": {");
-            let mut first_lint = true;
-            for (lint, count) in lints {
-                if !first_lint {
-                    out.push(',');
-                }
-                first_lint = false;
-                out.push_str("\n      ");
-                push_json_string(&mut out, lint);
-                out.push_str(&format!(": {count}"));
-            }
-            out.push_str("\n    }");
-        }
+        push_count_map(&mut out, &self.files);
+        out.push_str("\n  },\n  \"effects\": {");
+        push_count_map(&mut out, &self.effects);
         out.push_str("\n  }\n}\n");
         out
     }
@@ -102,21 +97,66 @@ impl Baseline {
         else {
             return Err("baseline is missing \"files\" object".to_string());
         };
-        for (path, lints) in files {
-            let Json::Object(lints) = lints else {
-                return Err(format!("entry for {path:?} must be an object"));
+        baseline.files = parse_count_map(files)?;
+        // `effects` is optional so pre-graph baselines still parse.
+        if let Some(effects) = top.iter().find(|(k, _)| k == "effects").map(|(_, v)| v) {
+            let Json::Object(effects) = effects else {
+                return Err("\"effects\" must be an object".to_string());
             };
-            let mut counts = BTreeMap::new();
-            for (lint, count) in lints {
-                let Json::Number(n) = count else {
-                    return Err(format!("count for {path:?}/{lint:?} must be a number"));
-                };
-                counts.insert(lint.clone(), *n);
-            }
-            baseline.files.insert(path.clone(), counts);
+            baseline.effects = parse_count_map(effects)?;
         }
         Ok(baseline)
     }
+}
+
+/// Emits a sorted two-level `key -> subkey -> count` object body
+/// (without the enclosing braces, which differ in indentation context).
+fn push_count_map(out: &mut String, map: &BTreeMap<String, BTreeMap<String, u64>>) {
+    let mut first_key = true;
+    for (key, counts) in map {
+        if counts.is_empty() {
+            continue;
+        }
+        if !first_key {
+            out.push(',');
+        }
+        first_key = false;
+        out.push_str("\n    ");
+        push_json_string(out, key);
+        out.push_str(": {");
+        let mut first_count = true;
+        for (name, count) in counts {
+            if !first_count {
+                out.push(',');
+            }
+            first_count = false;
+            out.push_str("\n      ");
+            push_json_string(out, name);
+            out.push_str(&format!(": {count}"));
+        }
+        out.push_str("\n    }");
+    }
+}
+
+/// Parses a two-level `key -> subkey -> count` object.
+fn parse_count_map(
+    entries: &[(String, Json)],
+) -> Result<BTreeMap<String, BTreeMap<String, u64>>, String> {
+    let mut out = BTreeMap::new();
+    for (key, counts) in entries {
+        let Json::Object(counts) = counts else {
+            return Err(format!("entry for {key:?} must be an object"));
+        };
+        let mut parsed = BTreeMap::new();
+        for (name, count) in counts {
+            let Json::Number(n) = count else {
+                return Err(format!("count for {key:?}/{name:?} must be a number"));
+            };
+            parsed.insert(name.clone(), *n);
+        }
+        out.insert(key.clone(), parsed);
+    }
+    Ok(out)
 }
 
 /// Appends `s` as a JSON string literal (escaping `"`, `\` and control
@@ -314,6 +354,30 @@ mod tests {
         let back = Baseline::from_json(&b.to_json()).expect("empty round trip");
         assert_eq!(b, back);
         assert_eq!(back.total(), 0);
+    }
+
+    #[test]
+    fn effects_section_round_trips_and_is_optional() {
+        let mut b = sample();
+        b.effects.insert(
+            "reduce_core::resilience::characterize::{closure@415}".to_string(),
+            [("wall-clock".to_string(), 1)].into(),
+        );
+        let json = b.to_json();
+        assert!(json.contains("\"effects\""));
+        let back = Baseline::from_json(&json).expect("effects round trip");
+        assert_eq!(b, back);
+        assert_eq!(
+            back.effect_allowed(
+                "reduce_core::resilience::characterize::{closure@415}",
+                "wall-clock"
+            ),
+            1
+        );
+        assert_eq!(back.effect_allowed("no::such::root", "io"), 0);
+        // Pre-graph baselines (no "effects" key) still parse.
+        let legacy = Baseline::from_json("{\"version\": 1, \"files\": {}}").expect("legacy parses");
+        assert!(legacy.effects.is_empty());
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! The effect lattice and per-function effect seeding.
+//!
+//! An *effect* is anything that can make a job body's result depend on
+//! something other than its inputs and its seed: ambient entropy, the
+//! wall clock, filesystem I/O, iteration over unordered containers, and
+//! `unsafe` (which voids every other guarantee the analysis can make).
+//! Effects form a small powerset lattice; [`EffectSet`] is its element
+//! type and union is the join.
+//!
+//! Seeding is a token scan over one function body (the same heuristics
+//! the token-level lints use, deliberately shared); propagation through
+//! the call graph lives in [`crate::graph`].
+//!
+//! Escape hatch: `// xtask:effect(<effect>): <reason>` on the seed's
+//! line or the line above sanctions that *primitive use site* — callers
+//! then see the function as clean of that effect. The hatch is on the
+//! seed, not the function, so a helper cannot launder an unrelated new
+//! seed through an old allow. Reasons are mandatory (≥ 10 chars);
+//! unused or reason-less effect-allows are violations themselves.
+
+use crate::lexer::{Token, TokenKind};
+use crate::lints::unordered_iter_sites;
+
+/// One effect dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Effect {
+    /// Seedless randomness: `thread_rng`, `from_entropy`, `rand::random`.
+    Entropy,
+    /// `Instant::now` / `SystemTime::now`.
+    WallClock,
+    /// Filesystem access: `fs::*`, `File::*`, `OpenOptions`.
+    Io,
+    /// Iteration over a `HashMap`/`HashSet` (order is unspecified).
+    UnorderedIter,
+    /// Any `unsafe` block or function.
+    Unsafe,
+}
+
+/// All effects, in display order.
+pub const ALL_EFFECTS: [Effect; 5] = [
+    Effect::Entropy,
+    Effect::WallClock,
+    Effect::Io,
+    Effect::UnorderedIter,
+    Effect::Unsafe,
+];
+
+impl Effect {
+    /// Stable kebab-case name used in reports, allows and the baseline.
+    pub fn name(self) -> &'static str {
+        match self {
+            Effect::Entropy => "entropy",
+            Effect::WallClock => "wall-clock",
+            Effect::Io => "io",
+            Effect::UnorderedIter => "unordered-iter",
+            Effect::Unsafe => "unsafe",
+        }
+    }
+
+    /// Parses an effect name as written in `xtask:effect(..)`.
+    pub fn from_name(name: &str) -> Option<Effect> {
+        ALL_EFFECTS.into_iter().find(|e| e.name() == name)
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            Effect::Entropy => 1,
+            Effect::WallClock => 2,
+            Effect::Io => 4,
+            Effect::UnorderedIter => 8,
+            Effect::Unsafe => 16,
+        }
+    }
+}
+
+/// A set of effects (element of the powerset lattice).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EffectSet(u8);
+
+impl EffectSet {
+    /// The bottom element: no effects.
+    pub fn empty() -> Self {
+        EffectSet(0)
+    }
+
+    /// Whether `e` is in the set.
+    pub fn contains(self, e: Effect) -> bool {
+        self.0 & e.bit() != 0
+    }
+
+    /// Adds one effect.
+    pub fn insert(&mut self, e: Effect) {
+        self.0 |= e.bit();
+    }
+
+    /// Removes one effect.
+    pub fn remove(&mut self, e: Effect) {
+        self.0 &= !e.bit();
+    }
+
+    /// Lattice join.
+    pub fn union(self, other: EffectSet) -> EffectSet {
+        EffectSet(self.0 | other.0)
+    }
+
+    /// Whether the set is empty (the function infers as pure).
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Members, in [`ALL_EFFECTS`] order.
+    pub fn iter(self) -> impl Iterator<Item = Effect> {
+        ALL_EFFECTS.into_iter().filter(move |e| self.contains(*e))
+    }
+}
+
+/// One concrete effect introduction site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Seed {
+    /// Which effect the site introduces.
+    pub effect: Effect,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What was seen (`Instant::now`, `fs::write`, `for _ in HashMap`).
+    pub what: String,
+}
+
+/// One `xtask:effect(..)` comment found in a file.
+#[derive(Debug)]
+pub struct EffectAllow {
+    /// The sanctioned effect (`None` if the name was unrecognised).
+    pub effect: Option<Effect>,
+    /// Whether the mandatory reason is substantive.
+    pub reason_ok: bool,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Trimmed comment text, for reporting.
+    pub text: String,
+    /// Whether some seed consumed this allow.
+    pub used: bool,
+}
+
+/// Collects `xtask:effect(..)` comments from a file's comment tokens.
+pub fn collect_effect_allows(comments: &[Token]) -> Vec<EffectAllow> {
+    let mut allows = Vec::new();
+    for t in comments {
+        // Like `xtask:allow`, a real effect-allow is a dedicated comment:
+        // the marker must start the comment content. Prose mentions
+        // (mid-sentence, backtick-quoted) are not allow attempts.
+        let content = t.text.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = content.strip_prefix("xtask:effect") else {
+            continue;
+        };
+        if !rest.trim_start().starts_with('(') {
+            continue;
+        }
+        let inner = rest.trim_start();
+        let inner = inner.strip_prefix('(').unwrap_or(inner);
+        let (effect, reason_ok) = match inner.find(')') {
+            Some(close) => {
+                let effect = Effect::from_name(inner[..close].trim());
+                let after = inner[close + 1..].trim_start();
+                let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+                (effect, reason.len() >= 10)
+            }
+            None => (None, false),
+        };
+        allows.push(EffectAllow {
+            effect,
+            reason_ok,
+            line: t.line,
+            text: t.text.trim_start_matches('/').trim().to_string(),
+            used: false,
+        });
+    }
+    allows
+}
+
+/// Scans one body token slice for effect seeds. `sig` is the signature
+/// token slice (for `unordered-iter` parameter bindings).
+///
+/// Allows in `allows` that match a seed (same line or the line above)
+/// are marked used; matched seeds with a substantive reason are dropped.
+/// Seeds whose allow lacks a reason are *kept* — the missing
+/// justification is the actionable finding, reported by the caller via
+/// the unused/bad-allow sweep.
+pub fn seed_effects(sig: &[&Token], body: &[&Token], allows: &mut [EffectAllow]) -> Vec<Seed> {
+    let mut seeds = Vec::new();
+    for (i, t) in body.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "thread_rng" | "from_entropy" => push(&mut seeds, Effect::Entropy, t, &t.text),
+            "random" if prefixed_by(body, i, "rand") => {
+                push(&mut seeds, Effect::Entropy, t, "rand::random")
+            }
+            "Instant" | "SystemTime" if suffixed_by(body, i, "now") => push(
+                &mut seeds,
+                Effect::WallClock,
+                t,
+                &format!("{}::now", t.text),
+            ),
+            "File" | "OpenOptions" if followed_by_path_call(body, i) => {
+                push(&mut seeds, Effect::Io, t, &path_what(body, i))
+            }
+            _ if prefixed_by(body, i, "fs") && followed_by_open_paren(body, i) => {
+                push(&mut seeds, Effect::Io, t, &format!("fs::{}", t.text))
+            }
+            "unsafe" => push(&mut seeds, Effect::Unsafe, t, "unsafe"),
+            _ => {}
+        }
+    }
+    for (line, col, what) in unordered_iter_sites(sig, body) {
+        seeds.push(Seed {
+            effect: Effect::UnorderedIter,
+            line,
+            col,
+            what,
+        });
+    }
+    seeds.sort_by_key(|s| (s.line, s.col));
+
+    // Apply allows: a matching allow on the seed's line or the line above.
+    seeds.retain(|s| {
+        let slot = allows
+            .iter_mut()
+            .find(|a| a.effect == Some(s.effect) && (a.line == s.line || a.line + 1 == s.line));
+        match slot {
+            Some(a) => {
+                a.used = true;
+                // Kept (= still a seed) when the reason is missing.
+                !a.reason_ok
+            }
+            None => true,
+        }
+    });
+    seeds
+}
+
+fn push(seeds: &mut Vec<Seed>, effect: Effect, t: &Token, what: &str) {
+    seeds.push(Seed {
+        effect,
+        line: t.line,
+        col: t.col,
+        what: what.to_string(),
+    });
+}
+
+/// True when `body[i]` is preceded by `prefix ::`.
+fn prefixed_by(body: &[&Token], i: usize, prefix: &str) -> bool {
+    i >= 3 && body[i - 1].text == ":" && body[i - 2].text == ":" && body[i - 3].text == prefix
+}
+
+/// True when `body[i]` is followed by `:: suffix`.
+fn suffixed_by(body: &[&Token], i: usize, suffix: &str) -> bool {
+    body.get(i + 1).is_some_and(|t| t.text == ":")
+        && body.get(i + 2).is_some_and(|t| t.text == ":")
+        && body.get(i + 3).is_some_and(|t| t.text == suffix)
+}
+
+/// True when `body[i]` begins `Name::method(`.
+fn followed_by_path_call(body: &[&Token], i: usize) -> bool {
+    body.get(i + 1).is_some_and(|t| t.text == ":")
+        && body.get(i + 2).is_some_and(|t| t.text == ":")
+        && body.get(i + 3).is_some_and(|t| t.kind == TokenKind::Ident)
+        && body.get(i + 4).is_some_and(|t| t.text == "(")
+}
+
+/// True when `body[i]` is itself a call: `ident (`.
+fn followed_by_open_paren(body: &[&Token], i: usize) -> bool {
+    body.get(i + 1).is_some_and(|t| t.text == "(")
+}
+
+fn path_what(body: &[&Token], i: usize) -> String {
+    let method = body
+        .get(i + 3)
+        .map(|t| t.text.as_str())
+        .unwrap_or("<method>");
+    format!("{}::{}", body[i].text, method)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn seeds_of(src: &str) -> Vec<(Effect, String)> {
+        let tokens = tokenize(src);
+        let comments: Vec<Token> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Comment)
+            .cloned()
+            .collect();
+        let code: Vec<&Token> = tokens
+            .iter()
+            .filter(|t| t.kind != TokenKind::Comment)
+            .collect();
+        let mut allows = collect_effect_allows(&comments);
+        seed_effects(&[], &code, &mut allows)
+            .into_iter()
+            .map(|s| (s.effect, s.what))
+            .collect()
+    }
+
+    #[test]
+    fn each_effect_dimension_seeds() {
+        assert_eq!(
+            seeds_of("let r = thread_rng();"),
+            vec![(Effect::Entropy, "thread_rng".to_string())]
+        );
+        assert_eq!(
+            seeds_of("let t = Instant::now();"),
+            vec![(Effect::WallClock, "Instant::now".to_string())]
+        );
+        assert_eq!(
+            seeds_of("std::fs::write(path, text)?;"),
+            vec![(Effect::Io, "fs::write".to_string())]
+        );
+        assert_eq!(
+            seeds_of("let f = File::create(p)?;"),
+            vec![(Effect::Io, "File::create".to_string())]
+        );
+        assert_eq!(
+            seeds_of("unsafe { ptr.read() }"),
+            vec![(Effect::Unsafe, "unsafe".to_string())]
+        );
+        let iter =
+            seeds_of("let m: HashMap<u32, u32> = HashMap::new(); for k in m.keys() { use_(k); }");
+        assert!(
+            iter.iter().any(|(e, _)| *e == Effect::UnorderedIter),
+            "{iter:?}"
+        );
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_seed() {
+        assert!(seeds_of("let s = \"Instant::now()\"; // fs::write too").is_empty());
+    }
+
+    #[test]
+    fn effect_allow_sanctions_its_line_only() {
+        let src = "\
+            // xtask:effect(wall-clock): the one sanctioned stopwatch read site\n\
+            let t = Instant::now();\n\
+            let u = Instant::now();\n";
+        let got = seeds_of(src);
+        assert_eq!(got.len(), 1, "second read is not covered: {got:?}");
+    }
+
+    #[test]
+    fn reasonless_effect_allow_keeps_the_seed() {
+        let got = seeds_of("// xtask:effect(io): no\nstd::fs::write(p, t)?;");
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn effect_set_is_a_lattice() {
+        let mut a = EffectSet::empty();
+        a.insert(Effect::Io);
+        let mut b = EffectSet::empty();
+        b.insert(Effect::Entropy);
+        let ab = a.union(b);
+        assert!(ab.contains(Effect::Io) && ab.contains(Effect::Entropy));
+        assert_eq!(ab.iter().count(), 2);
+        let mut c = ab;
+        c.remove(Effect::Io);
+        assert!(!c.contains(Effect::Io) && !c.is_empty());
+        assert_eq!(
+            Effect::from_name("unordered-iter"),
+            Some(Effect::UnorderedIter)
+        );
+        assert_eq!(Effect::from_name("nope"), None);
+    }
+}

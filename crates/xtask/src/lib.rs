@@ -15,13 +15,15 @@
 
 pub mod baseline;
 pub mod diagnostics;
+pub mod effects;
+pub mod graph;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
 
 use baseline::Baseline;
 use diagnostics::Diagnostic;
 use lints::{lint_source, Scope};
-use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Crates whose library code must be deterministic and panic-free: they
@@ -50,24 +52,61 @@ const ATOMIC_WRITER: &str = "crates/core/src/artifact.rs";
 /// artifact-io family extends to their sources.
 const BENCH_SRC: &str = "crates/bench/src/";
 
+/// This crate's own sources: linted for determinism, artifact-io and the
+/// unsafe gate, so the linter is held to the invariants it enforces.
+const XTASK_SRC: &str = "crates/xtask/src/";
+
+/// Declared unsafe islands: path prefixes (workspace-relative) where
+/// `unsafe` is sanctioned. Currently empty — all six crate roots carry
+/// `#![forbid(unsafe_code)]` and the gate keeps it that way. When a SIMD
+/// GEMM kernel lands (ROADMAP), its file is added here *and* its crate
+/// root relaxes `forbid` to `deny` with a module-level `allow`; the gate
+/// then confines `unsafe` to exactly that island.
+pub const UNSAFE_ISLANDS: &[&str] = &[];
+
 /// Decides which lint families apply to a workspace-relative path.
 ///
-/// Only `src/` trees of result-producing crates are linted; tests,
-/// examples, the vendored shims and this crate itself are out of scope
-/// (they do not produce results). The bench binaries are the exception:
-/// they write the result artifacts, so the artifact-io family (and only
-/// it) extends to `crates/bench/src/`.
+/// Only `src/` trees of result-producing crates get the full treatment;
+/// tests, examples and the vendored shims are out of scope (they do not
+/// produce results). Two partial scopes: the bench binaries write result
+/// artifacts, so the artifact-io family extends to `crates/bench/src/`;
+/// and this crate's own sources are linted for determinism, artifact-io
+/// and the unsafe gate — a linter whose own report order depends on hash
+/// seeds cannot credibly enforce determinism on anyone else. The unsafe
+/// gate itself covers *every* crate's `src/` tree except declared
+/// [`UNSAFE_ISLANDS`].
 pub fn scope_for_path(rel: &str) -> Scope {
     let in_src =
         |krate: &str| rel.starts_with(&format!("{krate}/src/")) || rel == format!("{krate}/src");
+    let in_xtask = rel.starts_with(XTASK_SRC);
     Scope {
-        determinism: RESULT_CRATES.iter().any(|c| in_src(c)),
+        determinism: RESULT_CRATES.iter().any(|c| in_src(c)) || in_xtask,
         panic_freedom: RESULT_CRATES.iter().any(|c| in_src(c)),
         numeric: NUMERIC_CRATES.iter().any(|c| in_src(c)),
         hot_path: rel.starts_with(HOT_PATH_DIR),
-        artifact_io: (RESULT_CRATES.iter().any(|c| in_src(c)) || rel.starts_with(BENCH_SRC))
+        artifact_io: (RESULT_CRATES.iter().any(|c| in_src(c))
+            || rel.starts_with(BENCH_SRC)
+            || in_xtask)
             && rel != ATOMIC_WRITER,
+        unsafe_gate: is_crate_src(rel) && unsafe_gated(rel, UNSAFE_ISLANDS),
     }
+}
+
+/// Whether `rel` has the exact `crates/<name>/src/**` shape. Tests,
+/// fixture corpora (including mini-workspaces nested under a crate's
+/// `tests/` tree) and the umbrella `src/` are excluded.
+pub fn is_crate_src(rel: &str) -> bool {
+    let mut parts = rel.split('/');
+    parts.next() == Some("crates")
+        && parts.next().is_some_and(|s| !s.is_empty())
+        && parts.next() == Some("src")
+        && parts.next().is_some()
+}
+
+/// Whether `rel` falls under the unsafe gate given an island list —
+/// factored out so the (currently empty) island mechanism is testable.
+pub fn unsafe_gated(rel: &str, islands: &[&str]) -> bool {
+    !islands.iter().any(|p| rel.starts_with(p))
 }
 
 /// Recursively collects `.rs` files under `root`, skipping `target/`,
@@ -105,6 +144,11 @@ pub struct LintRun {
     pub diagnostics: Vec<Diagnostic>,
     /// Fresh per-file counts, i.e. what `--update-baseline` would write.
     pub observed: Baseline,
+    /// Baseline entries that over-tolerate: `(file, lint, allowed,
+    /// observed)` where observed < allowed. The ratchet only holds if
+    /// improvements are locked in, so stale entries fail the run too —
+    /// with a different message ("tighten the file") than new violations.
+    pub stale: Vec<(String, String, u64, u64)>,
 }
 
 impl LintRun {
@@ -131,7 +175,7 @@ pub fn run_lint(root: &Path, baseline: &Baseline) -> std::io::Result<LintRun> {
         if violations.is_empty() {
             continue;
         }
-        let counts: BTreeMap<String, u64> = lints::count_by_lint(&violations).into_iter().collect();
+        let counts = lints::count_by_lint(&violations);
         for v in violations {
             let within = counts.get(v.lint.name()).copied().unwrap_or(0)
                 <= baseline.allowed(&rel, v.lint.name());
@@ -143,9 +187,19 @@ pub fn run_lint(root: &Path, baseline: &Baseline) -> std::io::Result<LintRun> {
         }
         observed.files.insert(rel, counts);
     }
+    let mut stale = Vec::new();
+    for (file, lints) in &baseline.files {
+        for (lint, &allowed) in lints {
+            let seen = observed.allowed(file, lint);
+            if seen < allowed {
+                stale.push((file.clone(), lint.clone(), allowed, seen));
+            }
+        }
+    }
     Ok(LintRun {
         diagnostics,
         observed,
+        stale,
     })
 }
 
@@ -199,10 +253,48 @@ mod tests {
         let s = scope_for_path("crates/bench/src/bin/fig2.rs");
         assert!(s.artifact_io && !s.determinism && !s.panic_freedom);
         assert!(!scope_for_path("crates/core/src/artifact.rs").artifact_io);
-        // Out of scope: tests, the umbrella package, this crate.
+        // Out of scope: tests and the umbrella package.
         assert_eq!(scope_for_path("crates/core/tests/policy.rs"), Scope::none());
         assert_eq!(scope_for_path("src/lib.rs"), Scope::none());
-        assert_eq!(scope_for_path("crates/xtask/src/lints.rs"), Scope::none());
+        // The linter lints itself: determinism + artifact-io + the unsafe
+        // gate, but not the panic-freedom/numeric families (a CLI tool may
+        // index and unwrap; it may not be nondeterministic).
+        let s = scope_for_path("crates/xtask/src/lints.rs");
+        assert!(s.determinism && s.artifact_io && s.unsafe_gate);
+        assert!(!s.panic_freedom && !s.numeric && !s.hot_path);
+        // Fixture files under tests/ stay unlinted — they hold deliberate
+        // violations.
+        assert_eq!(
+            scope_for_path("crates/xtask/tests/fixtures/unsafe_island.rs"),
+            Scope::none()
+        );
+    }
+
+    #[test]
+    fn unsafe_gate_covers_every_crate_src() {
+        for rel in [
+            "crates/core/src/exec.rs",
+            "crates/bench/src/bin/fig2.rs",
+            "crates/xtask/src/graph.rs",
+            "crates/tensor/src/linalg.rs",
+        ] {
+            assert!(scope_for_path(rel).unsafe_gate, "{rel} must be gated");
+        }
+        assert!(!scope_for_path("crates/core/tests/policy.rs").unsafe_gate);
+        // Fixture mini-workspaces nested under a tests tree look like
+        // `crates/*/src/*` by substring but must stay out of scope.
+        let nested = "crates/xtask/tests/effect_fixtures/crates/app/src/lib.rs";
+        assert!(!is_crate_src(nested));
+        assert_eq!(scope_for_path(nested), Scope::none());
+        // UNSAFE_ISLANDS is deliberately empty: all crate roots carry
+        // `#![forbid(unsafe_code)]` today.
+        assert!(UNSAFE_ISLANDS.is_empty());
+        // The island declaration mechanism itself, with a synthetic list:
+        // a declared island prefix exempts exactly its subtree.
+        let islands = ["crates/systolic/src/gemm_simd.rs"];
+        assert!(!unsafe_gated("crates/systolic/src/gemm_simd.rs", &islands));
+        assert!(unsafe_gated("crates/systolic/src/mapping.rs", &islands));
+        assert!(unsafe_gated("crates/core/src/exec.rs", &islands));
     }
 
     #[test]

@@ -6,9 +6,14 @@
 //! - **determinism** — a resilience table measured once (Step ①) is only
 //!   trustworthy for later per-chip selection (Step ②/③) if every
 //!   fault-injection and retraining run is bit-reproducible from its seed.
-//!   Ambient entropy (`thread_rng`, `from_entropy`, `rand::random`) and
-//!   wall-clock reads (`SystemTime::now`, `Instant::now`) in
-//!   result-producing code silently break that contract.
+//!   Ambient entropy (`thread_rng`, `from_entropy`, `rand::random`),
+//!   wall-clock reads (`SystemTime::now`, `Instant::now`) and iteration
+//!   over unordered containers (`HashMap`/`HashSet`) in result-producing
+//!   code silently break that contract.
+//! - **unsafe-island** — every result crate is `#![forbid(unsafe_code)]`;
+//!   the day a SIMD kernel justifies an exception, it must be a declared
+//!   island module (`UNSAFE_ISLANDS`), not an `unsafe` that drifts in
+//!   anywhere. Until an island is declared, any `unsafe` token fails.
 //! - **panic-freedom** — a stray `unwrap()` in library code kills an entire
 //!   fleet evaluation instead of failing one chip with a typed error.
 //! - **numeric-safety** — `f64 as f32` narrowing and `==`/`!=` on floats in
@@ -30,7 +35,7 @@
 //! reason-less allows are themselves violations, so the hatch cannot rot.
 
 use crate::lexer::{tokenize, Token, TokenKind};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Every lint the engine can emit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -39,6 +44,10 @@ pub enum Lint {
     AmbientEntropy,
     /// `SystemTime::now()` / `Instant::now()` in result-producing code.
     WallClock,
+    /// Iterating a `HashMap`/`HashSet` in result-producing code.
+    UnorderedIter,
+    /// Any `unsafe` token outside a declared unsafe-island module.
+    UnsafeIsland,
     /// `.unwrap()` in non-test library code.
     Unwrap,
     /// `.expect(..)` in non-test library code.
@@ -69,6 +78,8 @@ impl Lint {
         match self {
             Lint::AmbientEntropy => "ambient-entropy",
             Lint::WallClock => "wall-clock",
+            Lint::UnorderedIter => "unordered-iter",
+            Lint::UnsafeIsland => "unsafe-island",
             Lint::Unwrap => "unwrap",
             Lint::Expect => "expect",
             Lint::Panic => "panic",
@@ -85,7 +96,8 @@ impl Lint {
     /// The family a lint belongs to (grouping for docs and reports).
     pub fn family(self) -> &'static str {
         match self {
-            Lint::AmbientEntropy | Lint::WallClock => "determinism",
+            Lint::AmbientEntropy | Lint::WallClock | Lint::UnorderedIter => "determinism",
+            Lint::UnsafeIsland => "unsafe-island",
             Lint::Unwrap | Lint::Expect | Lint::Panic | Lint::Index => "panic-freedom",
             Lint::FloatEq | Lint::LossyFloatCast => "numeric-safety",
             Lint::HotPathAlloc => "hot-path-alloc",
@@ -94,11 +106,13 @@ impl Lint {
         }
     }
 
-    /// Parses a lint name as written in an `xtask:allow(..)` comment.
-    pub fn from_name(name: &str) -> Option<Lint> {
+    /// All lints, in stable order (drives `from_name` and `--explain`).
+    pub fn all() -> [Lint; 14] {
         [
             Lint::AmbientEntropy,
             Lint::WallClock,
+            Lint::UnorderedIter,
+            Lint::UnsafeIsland,
             Lint::Unwrap,
             Lint::Expect,
             Lint::Panic,
@@ -110,8 +124,96 @@ impl Lint {
             Lint::UnusedAllow,
             Lint::BadAllow,
         ]
-        .into_iter()
-        .find(|l| l.name() == name)
+    }
+
+    /// The rule, rationale and fix pattern, for `--explain <lint>`.
+    pub fn explain(self) -> (&'static str, &'static str, &'static str) {
+        match self {
+            Lint::AmbientEntropy => (
+                "no `thread_rng()`, `from_entropy()` or `rand::random` in result code",
+                "a resilience table measured from ambient entropy cannot be reproduced, so \
+                 every later per-chip selection decision built on it is untrustworthy",
+                "thread an explicit `u64` seed (`SmallRng::seed_from_u64`) from the config",
+            ),
+            Lint::WallClock => (
+                "no `Instant::now()` / `SystemTime::now()` in result code",
+                "wall-clock reads make artifacts differ across runs and thread counts, \
+                 breaking the byte-identical resume and cross-thread-diff guarantees",
+                "take the time as a parameter, or go through `telemetry::Stopwatch` (the \
+                 sanctioned island) for timing that is redacted from result artifacts",
+            ),
+            Lint::UnorderedIter => (
+                "no iteration over `HashMap`/`HashSet` in result code",
+                "their iteration order is unspecified and can differ between runs and \
+                 toolchains, which silently reorders result artifacts",
+                "use `BTreeMap`/`BTreeSet`, or collect and sort before iterating",
+            ),
+            Lint::UnsafeIsland => (
+                "no `unsafe` outside a declared island module (`UNSAFE_ISLANDS` in xtask)",
+                "every result crate is `#![forbid(unsafe_code)]`; if a SIMD kernel ever \
+                 justifies an island, it must be a declared, reviewable module — not an \
+                 `unsafe` that drifts in anywhere",
+                "keep code safe, or add the module to `UNSAFE_ISLANDS` with review",
+            ),
+            Lint::Unwrap => (
+                "no `.unwrap()` in library code",
+                "one poisoned chip would kill an entire fleet evaluation instead of \
+                 failing soft with a typed error",
+                "return the crate's typed `Error` via `?` / `ok_or_else`",
+            ),
+            Lint::Expect => (
+                "no `.expect(..)` in library code",
+                "same failure mode as `unwrap`: it aborts the whole run",
+                "return the crate's typed `Error` via `?` / `ok_or_else`",
+            ),
+            Lint::Panic => (
+                "no `panic!`/`unreachable!`/`todo!`/`unimplemented!` in library code",
+                "panics abort the caller and break job containment",
+                "return a typed `Error`; for contained chaos tests use `xtask:allow(panic)`",
+            ),
+            Lint::Index => (
+                "no bare slice/array indexing in library code",
+                "`x[i]` panics out of bounds, killing the run instead of one job",
+                "prefer `get`/iterators, or justify with `xtask:allow(index)`",
+            ),
+            Lint::FloatEq => (
+                "no `==`/`!=` against float literals",
+                "exact bit comparison diverges silently across refactors and FMA folds",
+                "compare with an epsilon, or justify exact-zero semantics with an allow",
+            ),
+            Lint::LossyFloatCast => (
+                "no `f64 as f32` narrowing in kernel code",
+                "silent precision loss makes results depend on where the cast sits",
+                "keep the accumulation in one width end to end",
+            ),
+            Lint::HotPathAlloc => (
+                "no fresh allocations in layer `forward*`/`backward*` bodies",
+                "per-iteration heap churn undoes the workspace-arena optimisation",
+                "take buffers from the `Workspace` arena (`ws.take`); O(1) CoW handle \
+                 clones are fine but must say so via `xtask:allow(hot-path-alloc)`",
+            ),
+            Lint::ArtifactIo => (
+                "no `fs::write`/`File::create` outside `reduce_core::artifact`",
+                "a direct write can be interrupted half way and leave a torn artifact, \
+                 breaking checkpoint/resume",
+                "route writes through `artifact::write_atomic` (temp file + rename)",
+            ),
+            Lint::UnusedAllow => (
+                "every `xtask:allow` must suppress something",
+                "stale allows rot into blanket permissions",
+                "delete the comment, or move it next to the code it justifies",
+            ),
+            Lint::BadAllow => (
+                "every `xtask:allow` needs a known lint name and a substantive reason",
+                "an allow without a reason is a decision nobody can audit",
+                "write `// xtask:allow(<lint>): <why this is sound>` (≥ 10 chars)",
+            ),
+        }
+    }
+
+    /// Parses a lint name as written in an `xtask:allow(..)` comment.
+    pub fn from_name(name: &str) -> Option<Lint> {
+        Lint::all().into_iter().find(|l| l.name() == name)
     }
 }
 
@@ -128,6 +230,8 @@ pub struct Scope {
     pub hot_path: bool,
     /// Enforce the artifact-io family (atomic artifact writes only).
     pub artifact_io: bool,
+    /// Enforce the unsafe-island gate (no `unsafe` outside islands).
+    pub unsafe_gate: bool,
 }
 
 impl Scope {
@@ -139,6 +243,7 @@ impl Scope {
             numeric: true,
             hot_path: true,
             artifact_io: true,
+            unsafe_gate: true,
         }
     }
 
@@ -150,11 +255,17 @@ impl Scope {
             numeric: false,
             hot_path: false,
             artifact_io: false,
+            unsafe_gate: false,
         }
     }
 
     fn any(self) -> bool {
-        self.determinism || self.panic_freedom || self.numeric || self.hot_path || self.artifact_io
+        self.determinism
+            || self.panic_freedom
+            || self.numeric
+            || self.hot_path
+            || self.artifact_io
+            || self.unsafe_gate
     }
 }
 
@@ -191,6 +302,10 @@ pub fn lint_source(src: &str, scope: Scope) -> Vec<Violation> {
     let mut raw = Vec::new();
     if scope.determinism {
         determinism_pass(&code, &mut raw);
+        unordered_iter_pass(&code, &mut raw);
+    }
+    if scope.unsafe_gate {
+        unsafe_island_pass(&code, &mut raw);
     }
     if scope.panic_freedom {
         panic_pass(&code, &mut raw);
@@ -228,12 +343,14 @@ fn collect_allows(tokens: &[Token]) -> Vec<Allow> {
         if t.kind != TokenKind::Comment {
             continue;
         }
-        let Some(at) = t.text.find("xtask:allow") else {
+        // A real allow is a dedicated comment: the marker must start the
+        // comment content (after `/`, `!` and whitespace). Prose that
+        // merely *mentions* the syntax mid-sentence or in backticks
+        // (docs, this very file) is not an allow attempt.
+        let content = t.text.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = content.strip_prefix("xtask:allow") else {
             continue;
         };
-        let rest = &t.text[at + "xtask:allow".len()..];
-        // Prose that merely *mentions* xtask:allow (docs, this file) is
-        // only treated as an allow attempt when a `(` follows.
         if !rest.trim_start().starts_with('(') {
             continue;
         }
@@ -321,7 +438,11 @@ fn apply_allows(raw: Vec<Violation>, mut allows: Vec<Allow>) -> Vec<Violation> {
 
 /// Returns the set of lines that belong to `#[cfg(test)]` items or
 /// `#[test]` functions, via attribute detection + brace tracking.
-fn test_exempt_lines(code: &[&Token]) -> std::collections::HashSet<u32> {
+///
+/// Public because the item parser ([`crate::parser`]) reuses the exact
+/// same exemption to keep the effect analysis and the token lints in
+/// agreement about what counts as test code.
+pub fn test_exempt_lines(code: &[&Token]) -> std::collections::HashSet<u32> {
     let mut exempt = std::collections::HashSet::new();
     let mut depth: i32 = 0;
     let mut exempt_until: Vec<i32> = Vec::new(); // stack of depths
@@ -454,6 +575,179 @@ fn determinism_pass(code: &[&Token], out: &mut Vec<Violation>) {
                 ),
             }),
             _ => {}
+        }
+    }
+}
+
+/// Method names whose receiver being a `HashMap`/`HashSet` means the
+/// call observes (or depends on) the container's unspecified order.
+const UNORDERED_ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Finds `HashMap`/`HashSet` iteration sites in a token slice.
+///
+/// Heuristic, deliberately shared between the token lint and the effect
+/// seeder: a name is *unordered-bound* when a `let` statement binding it
+/// mentions `HashMap`/`HashSet` before its terminating `;`, or when a
+/// `name: ..HashMap..` parameter appears in `sig`. A site is reported
+/// when an unordered-bound name is iterated — `name.iter()`-family
+/// calls, or `for .. in [&[mut]] name {`. Field accesses and opaque
+/// return types are out of reach at token level; the call-graph layer
+/// is what makes the under-approximation acceptable (helpers that
+/// iterate are still caught at their own definition site).
+///
+/// Returns `(line, col, description)` triples.
+pub fn unordered_iter_sites(sig: &[&Token], body: &[&Token]) -> Vec<(u32, u32, String)> {
+    let mut bound: Vec<String> = Vec::new();
+    // Parameter bindings: `name : .. HashMap ..` up to the next `,` or
+    // closing paren of the type span.
+    let mut k = 0usize;
+    while k < sig.len() {
+        let t = sig[k];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Ident, _)
+                if sig.get(k + 1).is_some_and(|n| n.text == ":")
+                    && sig.get(k + 2).is_some_and(|n| n.text != ":") =>
+            {
+                // Scan the type span for the unordered containers.
+                let mut j = k + 2;
+                let mut d = 0i32;
+                while j < sig.len() {
+                    let u = sig[j];
+                    match (u.kind, u.text.as_str()) {
+                        (TokenKind::Punct, "(" | "[" | "<") => d += 1,
+                        (TokenKind::Punct, ")" | "]" | ">") if d > 0 => d -= 1,
+                        (TokenKind::Punct, "," | ")") if d == 0 => break,
+                        (TokenKind::Ident, "HashMap" | "HashSet") => {
+                            bound.push(t.text.clone());
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    // Local bindings: `let [mut] name .. HashMap ..;`.
+    let mut i = 0usize;
+    while i < body.len() {
+        let t = body[i];
+        if t.kind == TokenKind::Ident && t.text == "let" {
+            let mut n = i + 1;
+            if body.get(n).is_some_and(|u| u.text == "mut") {
+                n += 1;
+            }
+            if let Some(name) = body.get(n).filter(|u| u.kind == TokenKind::Ident) {
+                let mut j = n + 1;
+                let mut d = 0i32;
+                while j < body.len() {
+                    let u = body[j];
+                    match (u.kind, u.text.as_str()) {
+                        (TokenKind::Punct, "(" | "[" | "{") => d += 1,
+                        (TokenKind::Punct, ")" | "]" | "}") => d -= 1,
+                        (TokenKind::Punct, ";") if d <= 0 => break,
+                        (TokenKind::Ident, "HashMap" | "HashSet") => {
+                            bound.push(name.text.clone());
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    if bound.is_empty() {
+        return Vec::new();
+    }
+
+    let mut sites = Vec::new();
+    for (i, t) in body.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `name.iter()` / `name.keys()` / ... on an unordered-bound name.
+        if bound.contains(&t.text)
+            && body.get(i + 1).is_some_and(|n| n.text == ".")
+            && body.get(i + 3).is_some_and(|n| n.text == "(")
+        {
+            if let Some(m) = body.get(i + 2) {
+                if UNORDERED_ITER_METHODS.contains(&m.text.as_str()) {
+                    sites.push((
+                        t.line,
+                        t.col,
+                        format!("`{}.{}()` iterates a HashMap/HashSet", t.text, m.text),
+                    ));
+                }
+            }
+        }
+        // `for x in [&[mut]] name {` — direct IntoIterator use.
+        if t.text == "in" {
+            let mut n = i + 1;
+            while body
+                .get(n)
+                .is_some_and(|u| u.text == "&" || u.text == "mut")
+            {
+                n += 1;
+            }
+            if let Some(name) = body.get(n).filter(|u| u.kind == TokenKind::Ident) {
+                if bound.contains(&name.text) && body.get(n + 1).is_some_and(|u| u.text == "{") {
+                    sites.push((
+                        name.line,
+                        name.col,
+                        format!("`for .. in {}` iterates a HashMap/HashSet", name.text),
+                    ));
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// The `unordered-iter` lint: flags HashMap/HashSet iteration anywhere
+/// in the file (file-wide binding tracking, no signature context).
+fn unordered_iter_pass(code: &[&Token], out: &mut Vec<Violation>) {
+    for (line, col, what) in unordered_iter_sites(&[], code) {
+        out.push(Violation {
+            lint: Lint::UnorderedIter,
+            line,
+            col,
+            message: format!(
+                "{what}; iteration order is unspecified and can reorder results — use \
+                 `BTreeMap`/`BTreeSet` or sort before iterating"
+            ),
+        });
+    }
+}
+
+/// The `unsafe-island` gate: any `unsafe` token in a file outside the
+/// declared island modules (scope decides which files the pass sees).
+fn unsafe_island_pass(code: &[&Token], out: &mut Vec<Violation>) {
+    for t in code {
+        if t.kind == TokenKind::Ident && t.text == "unsafe" {
+            out.push(Violation {
+                lint: Lint::UnsafeIsland,
+                line: t.line,
+                col: t.col,
+                message: "`unsafe` outside a declared island module; add the module to \
+                          `UNSAFE_ISLANDS` (crates/xtask/src/lib.rs) with review, or keep \
+                          the code safe"
+                    .to_string(),
+            });
         }
     }
 }
@@ -819,8 +1113,13 @@ fn cast_source_mentions_f64(code: &[&Token], as_idx: usize) -> bool {
 }
 
 /// Aggregates violations into `(lint-name -> count)` for baseline keys.
-pub fn count_by_lint(violations: &[Violation]) -> HashMap<String, u64> {
-    let mut counts = HashMap::new();
+///
+/// Returns a `BTreeMap` so everything downstream — report rendering,
+/// baseline emission, JSON output — inherits a deterministic iteration
+/// order. (The linter enforces `unordered-iter` on the workspace; this
+/// is it holding itself to the same rule.)
+pub fn count_by_lint(violations: &[Violation]) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
     for v in violations {
         *counts.entry(v.lint.name().to_string()).or_insert(0u64) += 1;
     }

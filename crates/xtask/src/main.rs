@@ -1,17 +1,27 @@
-//! CLI entry point: `cargo xtask lint [--format json|text]
-//! [--update-baseline] [--root <dir>]`.
+//! CLI entry point:
+//!
+//! - `cargo xtask lint [--format json|text] [--update-baseline]
+//!   [--explain <lint-name>] [--root <dir>]` — the token lints.
+//! - `cargo xtask graph [--format json|text] [--check] [--root <dir>]`
+//!   — the workspace call graph + effect analysis.
 //!
 //! Exit codes: 0 = clean (all findings baselined), 1 = new findings,
 //! 2 = usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use xtask::{diagnostics, find_workspace_root, load_baseline, run_lint, BASELINE_PATH};
+use xtask::graph::{check_against_baseline, observed_effects, render_json, render_text};
+use xtask::lints::Lint;
+use xtask::{
+    diagnostics, find_workspace_root, graph::analyze_workspace, graph::EffectPolicy, load_baseline,
+    run_lint, BASELINE_PATH,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("graph") => graph(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -27,19 +37,44 @@ const USAGE: &str = "\
 xtask — workspace static analysis for the Reduce reproduction
 
 USAGE:
-    cargo xtask lint [OPTIONS]
+    cargo xtask lint  [OPTIONS]
+    cargo xtask graph [OPTIONS]
 
-OPTIONS:
+LINT OPTIONS:
     --format <text|json>   Output format (default: text)
+    --explain <lint-name>  Print a lint's rule, rationale and fix, then exit
     --update-baseline      Rewrite crates/xtask/lint-baseline.json from
-                           the current findings and exit 0
+                           the current findings (lints + effects) and exit 0
     --root <dir>           Workspace root (default: discovered from cwd)
+
+GRAPH OPTIONS:
+    --format <text|json>   Output format (default: text)
+    --check                Exit non-zero on effect violations not covered
+                           by the baseline (the CI gate)
+    --root <dir>           Workspace root (default: discovered from cwd)
+
     -h, --help             Show this help
 ";
+
+/// Parses `--root`/cwd discovery, shared by both subcommands.
+fn resolve_root(root: Option<PathBuf>) -> Result<PathBuf, ExitCode> {
+    if let Some(r) = root {
+        return Ok(r);
+    }
+    let cwd = std::env::current_dir().map_err(|e| {
+        eprintln!("error: cannot determine cwd: {e}");
+        ExitCode::from(2)
+    })?;
+    find_workspace_root(&cwd).ok_or_else(|| {
+        eprintln!("error: no workspace root above {}", cwd.display());
+        ExitCode::from(2)
+    })
+}
 
 fn lint(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut update = false;
+    let mut explain: Option<String> = None;
     let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -53,6 +88,13 @@ fn lint(args: &[String]) -> ExitCode {
                 }
             },
             "--update-baseline" => update = true,
+            "--explain" => match it.next() {
+                Some(name) => explain = Some(name.clone()),
+                None => {
+                    eprintln!("error: --explain expects a lint name");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -67,24 +109,13 @@ fn lint(args: &[String]) -> ExitCode {
         }
     }
 
-    let root = match root {
-        Some(r) => r,
-        None => {
-            let cwd = match std::env::current_dir() {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("error: cannot determine cwd: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            match find_workspace_root(&cwd) {
-                Some(r) => r,
-                None => {
-                    eprintln!("error: no workspace root above {}", cwd.display());
-                    return ExitCode::from(2);
-                }
-            }
-        }
+    if let Some(name) = explain {
+        return explain_lint(&name);
+    }
+
+    let root = match resolve_root(root) {
+        Ok(r) => r,
+        Err(code) => return code,
     };
 
     let baseline = match load_baseline(&root) {
@@ -104,22 +135,38 @@ fn lint(args: &[String]) -> ExitCode {
     };
 
     if update {
+        // The baseline carries both ratchet sections; refresh the effect
+        // half from a fresh graph analysis so one command updates the
+        // whole file.
+        let analysis = match analyze_workspace(&root, &EffectPolicy::default()) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: effect analysis failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut observed = run.observed;
+        observed.effects = observed_effects(&analysis);
         let path = root.join(BASELINE_PATH);
-        if let Err(e) = std::fs::write(&path, run.observed.to_json()) {
+        // xtask:allow(artifact-io): the baseline is a dev-tool config refreshed atomically enough by git; not a run artifact
+        if let Err(e) = std::fs::write(&path, observed.to_json()) {
             eprintln!("error: writing {}: {e}", path.display());
             return ExitCode::from(2);
         }
         println!(
-            "wrote {} ({} tolerated finding(s) across {} file(s))",
+            "wrote {} ({} tolerated finding(s) across {} file(s), {} effect root(s))",
             BASELINE_PATH,
-            run.observed.total(),
-            run.observed.files.len()
+            observed.total(),
+            observed.files.len(),
+            observed.effects.len()
         );
         return ExitCode::SUCCESS;
     }
 
     print!("{}", diagnostics::render_report(&run.diagnostics, json));
+    let mut failed = false;
     if run.new_count() > 0 {
+        failed = true;
         if !json {
             eprintln!(
                 "error: {} new finding(s) not covered by {} — fix them, justify with \
@@ -129,6 +176,128 @@ fn lint(args: &[String]) -> ExitCode {
                 BASELINE_PATH
             );
         }
+    }
+    if !run.stale.is_empty() {
+        failed = true;
+        if !json {
+            for (file, lint, allowed, seen) in &run.stale {
+                eprintln!(
+                    "error: stale baseline entry — {file} tolerates {allowed} `{lint}` but only \
+                     {seen} observed; tighten the file (re-run `cargo xtask lint \
+                     --update-baseline` and commit the smaller baseline)"
+                );
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `cargo xtask lint --explain <name>`: the lint's contract in full.
+fn explain_lint(name: &str) -> ExitCode {
+    match Lint::from_name(name) {
+        Some(lint) => {
+            let (rule, rationale, fix) = lint.explain();
+            println!("{} (family: {})\n", lint.name(), lint.family());
+            println!("rule:      {rule}");
+            println!("rationale: {rationale}");
+            println!("fix:       {fix}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            let known: Vec<&str> = Lint::all().iter().map(|l| l.name()).collect();
+            eprintln!(
+                "error: unknown lint `{name}`; known lints: {}",
+                known.join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn graph(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut check = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!("error: --format expects `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--check" => check = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root expects a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match resolve_root(root) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let baseline = match load_baseline(&root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = match analyze_workspace(&root, &EffectPolicy::default()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: effect analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", render_json(&analysis));
+    } else {
+        print!("{}", render_text(&analysis));
+    }
+
+    if !check {
+        return ExitCode::SUCCESS;
+    }
+    let result = check_against_baseline(&analysis, &baseline);
+    let mut failed = false;
+    for fresh in &result.fresh {
+        failed = true;
+        eprintln!(
+            "error: new effect violation not covered by {BASELINE_PATH} — {fresh}\n  fix the \
+             chain, sanction the seed with `// xtask:effect(<effect>): <reason>`, or (for \
+             legacy debt only) run `cargo xtask lint --update-baseline`"
+        );
+    }
+    for (root_fn, effect) in &result.stale {
+        failed = true;
+        eprintln!(
+            "error: stale baseline entry — root `{root_fn}` no longer leaks `{effect}`; \
+             tighten the file (re-run `cargo xtask lint --update-baseline` and commit the \
+             smaller baseline)"
+        );
+    }
+    if !analysis.allow_findings.is_empty() {
+        failed = true;
+    }
+    if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -1,0 +1,8 @@
+//! The fixture's io island: the test policy declares this file as
+//! sanctioned, so its direct writes must not escape to callers.
+
+pub fn save_result(path: &str, data: &str) {
+    let tmp = "tmp.txt";
+    std::fs::write(tmp, data);
+    std::fs::rename(tmp, path);
+}

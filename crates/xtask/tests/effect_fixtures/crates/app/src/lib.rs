@@ -1,0 +1,81 @@
+//! Effect-analysis fixture workspace: parsed by the graph tests, never
+//! compiled. Each `spawn_*` function is one scenario; the integration
+//! tests in `tests/effects.rs` assert on the exact violations (and
+//! non-violations) the analysis reports for them.
+
+use crate::util::{pure_add, step_one, timed_step};
+
+pub fn parallel_map(seed: u32, job: u32) -> u32 {
+    seed + job
+}
+
+// Scenario: the job body itself reads the wall clock — a direct seed,
+// chain `root → Instant::now`.
+pub fn spawn_direct(items: u32) -> u32 {
+    parallel_map(items, |x| {
+        let t = Instant::now();
+        x + t.elapsed().subsec_nanos()
+    })
+}
+
+// Scenario: entropy two function calls away — chain
+// `root → step_one → step_two → thread_rng`.
+pub fn spawn_two_hop(items: u32) -> u32 {
+    parallel_map(items, |x| step_one(x))
+}
+
+// Scenario: effect behind a method call — chain
+// `root → Widget::sample → SystemTime::now`.
+pub fn spawn_method(items: u32) -> u32 {
+    parallel_map(items, |x| {
+        let gauge = crate::widget::Widget { last: 0 };
+        x + gauge.sample()
+    })
+}
+
+// Scenario: clean job — pure helper, no violation.
+pub fn spawn_clean(items: u32) -> u32 {
+    parallel_map(items, |x| pure_add(x, 1))
+}
+
+// Scenario: io through the sanctioned island — the atomic writer
+// absorbs the effect, no violation.
+pub fn spawn_island_ok(items: u32) -> u32 {
+    parallel_map(items, |x| {
+        crate::island::save_result("out.txt", "data");
+        x
+    })
+}
+
+// Scenario: laundering attempt — calling the island does NOT sanction
+// the job's *own* direct write; chain `root → fs::write`.
+pub fn spawn_launder(items: u32) -> u32 {
+    parallel_map(items, |x| {
+        crate::island::save_result("out.txt", "data");
+        std::fs::write("side.txt", "oops");
+        x
+    })
+}
+
+// Scenario: wall-clock through the stopwatch island — clean.
+pub fn spawn_stopwatch_ok(items: u32) -> u32 {
+    parallel_map(items, |x| {
+        let sw = crate::stopwatch::Stopwatch { t0: 0 };
+        x + sw.elapsed_ms()
+    })
+}
+
+// Scenario: the stopwatch island only absorbs wall-clock; entropy it
+// grows later must still escape — chain
+// `root → Stopwatch::bad_entropy → thread_rng`.
+pub fn spawn_stopwatch_entropy(items: u32) -> u32 {
+    parallel_map(items, |x| {
+        let sw = crate::stopwatch::Stopwatch { t0: 0 };
+        x + sw.bad_entropy()
+    })
+}
+
+// Scenario: a seed sanctioned by `xtask:effect` with a reason — clean.
+pub fn spawn_allowed(items: u32) -> u32 {
+    parallel_map(items, |x| timed_step(x))
+}

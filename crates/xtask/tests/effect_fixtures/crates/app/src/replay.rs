@@ -1,0 +1,19 @@
+//! A named-function root (via the policy's `extra_root_suffixes`, like
+//! the real journal replay path) with an unordered-iteration effect.
+
+pub fn apply_record(map: &HashMap<u32, u32>) -> u32 {
+    let mut total = 0;
+    for k in map.keys() {
+        total += *k;
+    }
+    total
+}
+
+// Ordered replay: same shape over a BTreeMap, clean.
+pub fn apply_record_ordered(map: &BTreeMap<u32, u32>) -> u32 {
+    let mut total = 0;
+    for k in map.keys() {
+        total += *k;
+    }
+    total
+}

@@ -1,0 +1,21 @@
+//! The fixture's wall-clock island: the test policy sanctions
+//! `app::stopwatch::Stopwatch::` for wall-clock ONLY — any other effect
+//! that creeps into the island must still reach callers.
+
+pub struct Stopwatch {
+    pub t0: u64,
+}
+
+impl Stopwatch {
+    // Sanctioned: the island absorbs this wall-clock read.
+    pub fn elapsed_ms(&self) -> u32 {
+        let t = Instant::now();
+        t.elapsed().subsec_nanos() / 1_000_000
+    }
+
+    // NOT sanctioned: entropy is outside the island's charter.
+    pub fn bad_entropy(&self) -> u32 {
+        let mut rng = thread_rng();
+        rng.next_u32()
+    }
+}

@@ -1,0 +1,32 @@
+//! Helpers for the effect fixtures: propagation hops, a sanctioned
+//! seed, and a defective allow comment.
+
+// First hop of the two-hop chain: clean itself, calls the seeder.
+pub fn step_one(x: u32) -> u32 {
+    step_two(x) + 1
+}
+
+// Second hop: the actual entropy seed.
+pub fn step_two(x: u32) -> u32 {
+    let mut rng = thread_rng();
+    x ^ rng.next_u32()
+}
+
+// Pure helper: no effects at all.
+pub fn pure_add(a: u32, b: u32) -> u32 {
+    a + b
+}
+
+// A wall-clock seed sanctioned at the use site: callers see it clean.
+pub fn timed_step(x: u32) -> u32 {
+    // xtask:effect(wall-clock): fixture stand-in for a redacted diagnostic timer
+    let t = Instant::now();
+    x + t.elapsed().subsec_nanos()
+}
+
+// A defective allow: it sanctions nothing on this or the next line, so
+// the analysis must report it instead of letting the hatch rot.
+pub fn decoy(x: u32) -> u32 {
+    // xtask:effect(entropy): this sanctions no seed and must be flagged
+    x + 1
+}

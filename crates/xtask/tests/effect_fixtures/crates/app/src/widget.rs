@@ -1,0 +1,20 @@
+//! A method-call seeder: effects must propagate through `.sample()`
+//! even though the receiver's type is invisible at token level.
+
+pub struct Widget {
+    pub last: u64,
+}
+
+impl Widget {
+    // Wall-clock seed behind a method.
+    pub fn sample(&self) -> u32 {
+        let now = SystemTime::now();
+        now.subsec_nanos() + self.last as u32
+    }
+
+    // Clean method on the same type: over-approximate method linking
+    // must not invent effects for it.
+    pub fn stale(&self) -> u32 {
+        self.last as u32
+    }
+}

@@ -72,6 +72,16 @@ fn allows_fixture_matches_markers() {
 }
 
 #[test]
+fn unordered_iter_fixture_matches_markers() {
+    check_fixture("unordered_iter.rs");
+}
+
+#[test]
+fn unsafe_island_fixture_matches_markers() {
+    check_fixture("unsafe_island.rs");
+}
+
+#[test]
 fn hot_path_fixture_matches_markers() {
     check_fixture("hot_path.rs");
 }

@@ -1,0 +1,83 @@
+//! Fixture: the `unordered-iter` lint (determinism family).
+//!
+//! `HashMap`/`HashSet` iteration order depends on the hash seed, so any
+//! result that flows out of such a loop can reorder run to run. The lint
+//! tracks `let`-bound unordered containers and flags iterator-method
+//! calls and `for` loops over them; ordered containers and non-iterating
+//! methods stay silent.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn keyed_sums(pairs: &[(String, f32)]) -> Vec<(String, f32)> {
+    let mut acc: HashMap<String, f32> = HashMap::new();
+    for (k, v) in pairs {
+        *acc.entry(k.clone()).or_insert(0.0) += v;
+    }
+    let mut out = Vec::new();
+    for kv in &acc {
+        //~^ unordered-iter
+        out.push((kv.0.clone(), *kv.1));
+    }
+    out
+}
+
+pub fn key_list(words: &[String]) -> Vec<String> {
+    let mut dedup: HashSet<String> = HashSet::new();
+    for w in words {
+        dedup.insert(w.clone());
+    }
+    dedup.into_iter().collect() //~ unordered-iter
+}
+
+pub fn drain_everything(budgets: &[(u32, u32)]) -> u32 {
+    let mut spent: HashMap<u32, u32> = HashMap::new();
+    for (id, amount) in budgets {
+        *spent.entry(*id).or_insert(0) += amount;
+    }
+    let mut total = 0;
+    spent.retain(|_, v| *v > 0); //~ unordered-iter
+    for amounts in spent.values() {
+        //~^ unordered-iter
+        total += amounts;
+    }
+    total
+}
+
+// Conforming: ordered container, same shape — silent. (The tracker is
+// file-wide and unscoped, so this uses a name no HashMap binding shares;
+// reusing `acc` here would over-approximate to a finding, by design.)
+pub fn keyed_sums_ordered(pairs: &[(String, f32)]) -> Vec<(String, f32)> {
+    let mut ordered: BTreeMap<String, f32> = BTreeMap::new();
+    for (k, v) in pairs {
+        *ordered.entry(k.clone()).or_insert(0.0) += v;
+    }
+    let mut out = Vec::new();
+    for kv in &ordered {
+        out.push((kv.0.clone(), *kv.1));
+    }
+    out
+}
+
+// Conforming: membership and size queries do not iterate — silent.
+pub fn distinct_count(xs: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    for x in xs {
+        seen.insert(*x);
+    }
+    seen.len()
+}
+
+// Sanctioned: drained into a Vec that is sorted before anything reads it.
+pub fn sorted_output(pairs: &[(String, u32)]) -> Vec<(String, u32)> {
+    let mut acc: HashMap<String, u32> = HashMap::new();
+    for (k, v) in pairs {
+        *acc.entry(k.clone()).or_insert(0) += v;
+    }
+    let mut items: Vec<(String, u32)> = Vec::new();
+    // xtask:allow(unordered-iter): drained into a Vec sorted below before any result reads it
+    for kv in acc.drain() {
+        items.push(kv);
+    }
+    items.sort();
+    items
+}

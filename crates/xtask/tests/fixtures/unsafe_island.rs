@@ -1,0 +1,34 @@
+//! Fixture: the `unsafe-island` gate.
+//!
+//! Every crate root carries `#![forbid(unsafe_code)]`; this lint is the
+//! workspace-level backstop that keeps it so, and — once a SIMD kernel
+//! island is declared in `UNSAFE_ISLANDS` — confines `unsafe` to exactly
+//! that island by dropping the island files from the lint's scope. The
+//! gate is token-level on purpose: *any* `unsafe` keyword fires, whether
+//! a block, a fn, or an impl.
+
+pub fn unchecked_sum(v: &[f32]) -> f32 {
+    let mut acc = 0.0;
+    for i in 0..v.len() {
+        acc += unsafe { *v.as_ptr().add(i) }; //~ unsafe-island
+    }
+    acc
+}
+
+pub unsafe fn load_unaligned(p: *const u32) -> u32 {
+    //~^ unsafe-island
+    p.read_unaligned()
+}
+
+pub struct SharedBuf(*mut f32);
+
+unsafe impl Send for SharedBuf {} //~ unsafe-island
+
+// Conforming: the safe equivalent — silent.
+pub fn checked_sum(v: &[f32]) -> f32 {
+    let mut acc = 0.0;
+    for x in v {
+        acc += x;
+    }
+    acc
+}

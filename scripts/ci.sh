@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: everything a PR must pass before merge.
 #
-#   build → tests → xtask lint (ratcheted) → clippy -D warnings → fmt check
+#   build → tests → xtask lint (ratcheted) → xtask graph --check (effect
+#   analysis) → clippy -D warnings → fmt check
 #   → smoke determinism gate (parallel ≡ sequential artifacts)
 #
 # Run from anywhere inside the repo. Fails fast on the first broken stage.
@@ -16,6 +17,11 @@ cargo test --workspace -q
 
 echo "==> cargo xtask lint --format json"
 cargo xtask lint --format json
+
+echo "==> cargo xtask graph --check"
+# Effect analysis: every parallel job root (and the journal replay path)
+# must infer effect-free through the sanctioned islands.
+cargo xtask graph --check
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -q -- -D warnings
