@@ -8,6 +8,7 @@
 //! output) for all three GEMM orientations.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use reduce_tensor::ops::gemm::{packed_into, reference, GemmVariant};
 use reduce_tensor::{ops, Tensor};
 use std::hint::black_box;
 
@@ -50,5 +51,39 @@ fn bench_matmul_into_vs_matmul(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul_into_vs_matmul);
+/// Blocked baseline vs the packed register-blocked kernel on a 256³
+/// product — the acceptance shape for the packed GEMM work. The public
+/// `matmul_into` dispatches to the packed path here, so the third entry
+/// shows what production callers actually get.
+fn bench_packed_vs_blocked(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_packed_vs_blocked_256");
+    let a = Tensor::rand_uniform([256, 256], -1.0, 1.0, 5);
+    let b = Tensor::rand_uniform([256, 256], -1.0, 1.0, 6);
+    let mut out = Tensor::zeros([256, 256]);
+
+    group.bench_function("blocked_256", |bch| {
+        bch.iter(|| {
+            reference::blocked_into(GemmVariant::NN, black_box(&a), black_box(&b), &mut out)
+                .expect("conformable");
+        })
+    });
+    group.bench_function("packed_256", |bch| {
+        bch.iter(|| {
+            packed_into(GemmVariant::NN, black_box(&a), black_box(&b), &mut out)
+                .expect("conformable");
+        })
+    });
+    group.bench_function("matmul_into_dispatched_256", |bch| {
+        bch.iter(|| {
+            ops::matmul_into(black_box(&a), black_box(&b), &mut out).expect("conformable");
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_into_vs_matmul,
+    bench_packed_vs_blocked
+);
 criterion_main!(benches);

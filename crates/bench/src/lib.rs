@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kernels;
+
 use reduce_core::exec::ChaosPolicy;
 use reduce_core::{Checkpoint, ExecConfig, ReduceError, ResilienceConfig, Workbench};
 use reduce_systolic::{FaultModel, FleetConfig, RateDistribution};
@@ -303,22 +305,41 @@ impl ParsedArgs {
     ///
     /// # Errors
     ///
-    /// Returns [`ReduceError::InvalidConfig`] for a non-numeric value.
+    /// Returns [`ReduceError::InvalidConfig`] for a non-numeric value or
+    /// a count above [`MAX_THREADS`] — a mistyped `--threads 40000`
+    /// should fail here, not when the executor tries to spawn that many
+    /// workers.
     pub fn threads(&self) -> Result<usize, ReduceError> {
         match self.value("--threads") {
-            Some(s) => s.parse().map_err(|_| ReduceError::InvalidConfig {
-                what: format!("bad --threads value {s:?} (expected a count; 0 = auto)"),
-            }),
+            Some(s) => {
+                let n: usize = s.parse().map_err(|_| ReduceError::InvalidConfig {
+                    what: format!("bad --threads value {s:?} (expected a count; 0 = auto)"),
+                })?;
+                if n > MAX_THREADS {
+                    return Err(ReduceError::InvalidConfig {
+                        what: format!(
+                            "--threads {n} out of range (0 = auto, at most {MAX_THREADS})"
+                        ),
+                    });
+                }
+                Ok(n)
+            }
             None => Ok(1),
         }
     }
 }
 
+/// Upper bound accepted by [`ParsedArgs::threads`]: generous for any
+/// machine this framework targets, small enough that a mistyped value is
+/// caught at the command line.
+pub const MAX_THREADS: usize = 512;
+
 /// Parses an argument list against an explicit grammar: `value_keys` take
 /// a value (`--key value` or `--key=value`), `flag_keys` are bare
 /// booleans, and at most `max_positionals` non-flag arguments are
 /// accepted. Anything else — an unknown `--option`, a value-less value
-/// key, or an extra positional — is an error.
+/// key, a repeated option (first-wins lookups would otherwise silently
+/// drop the later value), or an extra positional — is an error.
 ///
 /// # Errors
 ///
@@ -345,6 +366,11 @@ pub fn parse_args(
             };
             let key = format!("--{key_body}");
             if value_keys.contains(&key.as_str()) {
+                if parsed.values.iter().any(|(k, _)| *k == key) {
+                    return Err(ReduceError::InvalidConfig {
+                        what: format!("duplicate option {key} (accepted: {})", grammar()),
+                    });
+                }
                 let value = match inline {
                     Some(v) => v.to_string(),
                     None => it
@@ -359,6 +385,11 @@ pub fn parse_args(
                 if inline.is_some() {
                     return Err(ReduceError::InvalidConfig {
                         what: format!("{key} is a flag and takes no value"),
+                    });
+                }
+                if parsed.flags.contains(&key) {
+                    return Err(ReduceError::InvalidConfig {
+                        what: format!("duplicate option {key} (accepted: {})", grammar()),
                     });
                 }
                 parsed.flags.push(key);
@@ -445,6 +476,35 @@ mod tests {
     }
 
     #[test]
+    fn parse_args_rejects_duplicate_options() {
+        // Lookups are first-wins, so a repeated option would silently drop
+        // the later value; it must be an error in the standard format.
+        let err = parse_args(
+            &to_args(&["--scale", "smoke", "--scale", "full"]),
+            &["--scale", "--threads"],
+            &["--flag"],
+            0,
+        )
+        .expect_err("duplicate value key rejected");
+        assert!(err.to_string().contains("duplicate option --scale"));
+        assert!(err.to_string().contains("accepted:"), "lists accepted opts");
+        assert!(err.to_string().contains("--threads"), "lists accepted opts");
+        // Mixed spellings (`--k v` then `--k=v`) are still duplicates.
+        assert!(parse_args(
+            &to_args(&["--scale", "smoke", "--scale=full"]),
+            &["--scale"],
+            &[],
+            0
+        )
+        .is_err());
+        // Repeated bare flags too.
+        let err = parse_args(&to_args(&["--flag", "--flag"]), &[], &["--flag"], 0)
+            .expect_err("duplicate flag rejected");
+        assert!(err.to_string().contains("duplicate option --flag"));
+        assert!(err.to_string().contains("accepted:"));
+    }
+
+    #[test]
     fn threads_arg() {
         let parse =
             |v: &[&str]| parse_args(&to_args(v), &["--threads"], &[], 0).and_then(|p| p.threads());
@@ -453,6 +513,11 @@ mod tests {
         assert_eq!(parse(&["--threads", "0"]).expect("auto"), 0);
         assert_eq!(parse(&["--threads=2"]).expect("inline"), 2);
         assert!(parse(&["--threads", "many"]).is_err());
+        // Range bound: the top of the range is fine, overflow is not.
+        assert_eq!(parse(&["--threads", "512"]).expect("at bound"), MAX_THREADS);
+        let err = parse(&["--threads", "40000"]).expect_err("overflow rejected");
+        assert!(err.to_string().contains("out of range"));
+        assert!(err.to_string().contains("40000"));
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Executor-parallel GEMM: the packed tensor kernels fanned out over
+//! [`exec::parallel_map`] row blocks.
+//!
+//! The tensor crate's GEMM is single-threaded by design (it has no
+//! dependency on the executor). This module is the bridge for fleet-scale
+//! work — retraining many masked models at once, or one large product on
+//! an otherwise idle pool: it splits the output into fixed-height row
+//! blocks of `A`, computes each with the regular [`reduce_tensor::ops`]
+//! kernels (so each block takes the same packed/blocked dispatch a
+//! sequential call would), and stitches the results back in input order.
+//!
+//! # Determinism
+//!
+//! The partition is a pure function of the shape — [`PAR_ROW_BLOCK`] rows
+//! per job regardless of the thread count — and each block's arithmetic
+//! is the same sequential kernel run on the same operand bytes, so the
+//! result is **bit-identical across every `threads` setting** (and to the
+//! plain `matmul` call, block boundaries included, because row
+//! partitioning never changes any element's reduction chain). The
+//! kernel-comparison harness and the determinism property tests both
+//! pin this.
+
+use crate::error::Result;
+use crate::exec::{self, ExecConfig};
+use reduce_tensor::{ops, Tensor};
+
+/// Rows of `A` per parallel job. Fixed — never derived from the thread
+/// count — so the job partition, and therefore the stitched result, is
+/// identical whether the grid runs on 1 worker or 64. 64 rows of a
+/// typical layer-sized product is enough work to amortise a job
+/// dispatch, small enough to load-balance a handful of workers.
+pub const PAR_ROW_BLOCK: usize = 64;
+
+/// Computes `C = A · B` into `out` using the workspace GEMM kernels over
+/// `cfg.threads` workers. Results are bit-identical to
+/// [`ops::matmul_into`] for every thread count (see the module docs).
+///
+/// # Errors
+///
+/// Returns the same shape/rank errors as [`ops::matmul_into`] (naming
+/// the underlying entry points), or any executor error surfaced by the
+/// worker pool.
+pub fn par_matmul_into(cfg: &ExecConfig, a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+    // Anything invalid (wrong ranks, mismatched shared dim, misshapen
+    // out) or too small to split goes through the sequential entry,
+    // which produces the named tensor-level errors; only a conforming,
+    // tall problem is fanned out.
+    let m = match (a.dims(), b.dims(), out.dims()) {
+        (&[m, ka], &[kb, n], &[mo, no]) if ka == kb && m == mo && n == no && m > PAR_ROW_BLOCK => m,
+        _ => return Ok(ops::matmul_into(a, b, out)?),
+    };
+    let blocks: Vec<(usize, usize)> = (0..m)
+        .step_by(PAR_ROW_BLOCK)
+        .map(|s| (s, (s + PAR_ROW_BLOCK).min(m)))
+        .collect();
+    let results = exec::parallel_map(&blocks, cfg.threads, |_, &(s, e)| {
+        let ablock = a.rows(s, e)?;
+        Ok(ops::matmul(&ablock, b)?)
+    })?;
+    // Stitch in input order: block `i` owns rows `blocks[i]`, which is a
+    // contiguous run of the row-major output.
+    let cd = out.data_mut();
+    let mut off = 0;
+    for block in &results {
+        if let Some(dst) = cd.get_mut(off..off + block.len()) {
+            dst.copy_from_slice(block.data());
+        }
+        off += block.len();
+    }
+    Ok(())
+}
+
+/// Allocating counterpart of [`par_matmul_into`].
+///
+/// # Errors
+///
+/// Same conditions as [`par_matmul_into`].
+pub fn par_matmul(cfg: &ExecConfig, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, n) = match (a.dims(), b.dims()) {
+        (&[m, _], &[_, n]) => (m, n),
+        _ => return Ok(ops::matmul(a, b)?),
+    };
+    let mut out = Tensor::zeros([m, n]);
+    par_matmul_into(cfg, a, b, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        // Tall enough for three uneven row blocks.
+        let a = Tensor::rand_uniform([2 * PAR_ROW_BLOCK + 17, 96], -1.0, 1.0, 1);
+        let b = Tensor::rand_uniform([96, 33], -1.0, 1.0, 2);
+        let seq = ops::matmul(&a, &b).expect("conformable");
+        for threads in [1, 2, 8] {
+            let cfg = ExecConfig::new(threads);
+            let par = par_matmul(&cfg, &a, &b).expect("conformable");
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_into_reuses_dirty_workspace() {
+        let a = Tensor::rand_uniform([PAR_ROW_BLOCK + 5, 40], -1.0, 1.0, 3);
+        let b = Tensor::rand_uniform([40, 7], -1.0, 1.0, 4);
+        let mut out = Tensor::full([PAR_ROW_BLOCK + 5, 7], f32::NAN);
+        par_matmul_into(&ExecConfig::new(4), &a, &b, &mut out).expect("conformable");
+        assert_eq!(out, ops::matmul(&a, &b).expect("conformable"));
+    }
+
+    #[test]
+    fn small_problems_stay_sequential_and_exact() {
+        let a = Tensor::rand_uniform([8, 8], -1.0, 1.0, 5);
+        let b = Tensor::rand_uniform([8, 8], -1.0, 1.0, 6);
+        let par = par_matmul(&ExecConfig::auto(), &a, &b).expect("conformable");
+        assert_eq!(par, ops::matmul(&a, &b).expect("conformable"));
+    }
+
+    #[test]
+    fn errors_propagate_from_the_kernels() {
+        let a = Tensor::rand_uniform([100, 8], -1.0, 1.0, 7);
+        let bad = Tensor::rand_uniform([9, 8], -1.0, 1.0, 8);
+        assert!(par_matmul(&ExecConfig::new(2), &a, &bad).is_err());
+        let rank1 = Tensor::zeros([8]);
+        assert!(par_matmul(&ExecConfig::new(2), &rank1, &a).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Panel packing: strided cache blocks → contiguous, zero-padded panels.
+//!
+//! The packers are the only code in the GEMM that ever sees an operand's
+//! storage layout. They read through a `(row-stride, column-stride)`
+//! pair — so a transposed variant is just a stride swap, never a copy of
+//! the whole matrix — and write *panels*: [`pack_a`] interleaves `MR`
+//! rows per reduction step, [`pack_b`] interleaves `NR` columns, which
+//! is exactly the access order of the microkernel's register tile.
+//! Partial panels at the matrix edges are padded with zeros; padded
+//! lanes flow through the microkernel as exact `+0.0` contributions and
+//! are clipped on store, which is how non-tile-multiple shapes stay on
+//! the fast path.
+//!
+//! Packing is O(block area) against the O(block volume) of the compute
+//! it feeds, so its cost vanishes as shapes grow; [`super::use_packed`]
+//! keeps shapes too small to amortise it on the blocked loops.
+
+use super::microkernel::{MR, NR};
+
+/// Packs the `mc × kc` block of the logical left operand starting at
+/// row `i0`, depth `p0` into `out` as `ceil(mc / MR)` panels of
+/// `kc × MR` floats. Element `a(i, p)` is read from
+/// `ad[(i0 + i) * rs + (p0 + p) * cs]`; rows past `mc` are zeroed.
+// BLAS-style packing signature: strides + block origin + block extent are
+// six independent scalars by nature; bundling them into a struct would
+// only move the argument list.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack_a(
+    ad: &[f32],
+    rs: usize,
+    cs: usize,
+    i0: usize,
+    p0: usize,
+    mc: usize,
+    kc: usize,
+    out: &mut Vec<f32>,
+) {
+    let panels = mc.div_ceil(MR);
+    out.clear();
+    out.resize(panels * kc * MR, 0.0);
+    for (q, panel) in out.chunks_exact_mut(kc * MR).enumerate() {
+        let rows = MR.min(mc - q * MR);
+        for (p, step) in panel.chunks_exact_mut(MR).enumerate() {
+            for (r, slot) in step.iter_mut().enumerate().take(rows) {
+                let i = i0 + q * MR + r;
+                *slot = ad.get(i * rs + (p0 + p) * cs).copied().unwrap_or(0.0);
+            }
+        }
+    }
+}
+
+/// Packs the `kc × nc` block of the logical right operand starting at
+/// depth `p0`, column `j0` into `out` as `ceil(nc / NR)` panels of
+/// `kc × NR` floats. Element `b(p, j)` is read from
+/// `bd[(p0 + p) * rs + (j0 + j) * cs]`; columns past `nc` are zeroed.
+#[allow(clippy::too_many_arguments)] // same shape as pack_a
+pub(crate) fn pack_b(
+    bd: &[f32],
+    rs: usize,
+    cs: usize,
+    p0: usize,
+    j0: usize,
+    kc: usize,
+    nc: usize,
+    out: &mut Vec<f32>,
+) {
+    let panels = nc.div_ceil(NR);
+    out.clear();
+    out.resize(panels * kc * NR, 0.0);
+    for (q, panel) in out.chunks_exact_mut(kc * NR).enumerate() {
+        let cols = NR.min(nc - q * NR);
+        for (p, step) in panel.chunks_exact_mut(NR).enumerate() {
+            let row_base = (p0 + p) * rs;
+            for (c, slot) in step.iter_mut().enumerate().take(cols) {
+                let j = j0 + q * NR + c;
+                *slot = bd.get(row_base + j * cs).copied().unwrap_or(0.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_interleaves_rows_per_step() {
+        // A = [[1, 2], [3, 4]] stored row-major (rs = 2, cs = 1).
+        let ad = [1.0f32, 2.0, 3.0, 4.0];
+        let mut out = Vec::new();
+        pack_a(&ad, 2, 1, 0, 0, 2, 2, &mut out);
+        assert_eq!(out.len(), 2 * MR, "one padded panel, two steps");
+        // Step p=0 holds column 0 of A: [1, 3, pad, pad].
+        assert_eq!(&out[..MR], &[1.0, 3.0, 0.0, 0.0]);
+        // Step p=1 holds column 1 of A: [2, 4, pad, pad].
+        assert_eq!(&out[MR..2 * MR], &[2.0, 4.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_a_transposed_is_a_stride_swap() {
+        // The same logical A as above but stored transposed
+        // ([[1, 3], [2, 4]], shape (k=2, m=2)): rs = 1, cs = 2.
+        let ad_t = [1.0f32, 3.0, 2.0, 4.0];
+        let mut out_t = Vec::new();
+        pack_a(&ad_t, 1, 2, 0, 0, 2, 2, &mut out_t);
+        let ad = [1.0f32, 2.0, 3.0, 4.0];
+        let mut out = Vec::new();
+        pack_a(&ad, 2, 1, 0, 0, 2, 2, &mut out);
+        assert_eq!(out_t, out);
+    }
+
+    #[test]
+    fn pack_b_interleaves_cols_per_step() {
+        // B = [[1, 2, 3], [4, 5, 6]] (k=2, n=3), rs = 3, cs = 1.
+        let bd = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut out = Vec::new();
+        pack_b(&bd, 3, 1, 0, 0, 2, 3, &mut out);
+        assert_eq!(out.len(), 2 * NR);
+        assert_eq!(&out[..3], &[1.0, 2.0, 3.0]);
+        assert_eq!(&out[3..NR], &[0.0; NR - 3], "columns padded to NR");
+        assert_eq!(&out[NR..NR + 3], &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn packers_respect_block_offsets() {
+        // 3x3 row-major matrix; take the 2x2 block at (1, 1).
+        let md: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        let mut out = Vec::new();
+        pack_a(&md, 3, 1, 1, 1, 2, 2, &mut out);
+        assert_eq!(&out[..2], &[4.0, 7.0], "step 0 = column 1, rows 1-2");
+        assert_eq!(&out[MR..MR + 2], &[5.0, 8.0]);
+        pack_b(&md, 3, 1, 1, 1, 2, 2, &mut out);
+        assert_eq!(&out[..2], &[4.0, 5.0], "step 0 = row 1, cols 1-2");
+        assert_eq!(&out[NR..NR + 2], &[7.0, 8.0]);
+    }
+
+    #[test]
+    fn multi_panel_packing_splits_rows() {
+        // mc = MR + 1 rows → two A panels, the second mostly padding.
+        let rows = MR + 1;
+        let ad: Vec<f32> = (0..rows).map(|i| (i + 1) as f32).collect();
+        let mut out = Vec::new();
+        // One column (kc = 1), column-stride irrelevant.
+        pack_a(&ad, 1, 1, 0, 0, rows, 1, &mut out);
+        assert_eq!(out.len(), 2 * MR);
+        assert_eq!(&out[..MR], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&out[MR..], &[5.0, 0.0, 0.0, 0.0]);
+    }
+}

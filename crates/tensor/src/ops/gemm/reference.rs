@@ -1,0 +1,218 @@
+//! Reference GEMM kernels: the correctness oracle and the small-shape
+//! fallback.
+//!
+//! * [`naive_into`] — the textbook triple loop, one dot product per
+//!   output element. Never used in production; it is the oracle every
+//!   other kernel is checked against (by the `reduce-bench` harness and
+//!   the property tests) and deliberately has no blocking or skipping
+//!   cleverness to get wrong.
+//! * [`blocked_into`] — the pre-packing production kernels: cache-blocked
+//!   over the reduction dimension with an `ikj` loop order (plus the
+//!   exact-zero skip that makes FAP-masked operands cheap). This is what
+//!   [`super::dispatch_into`] still runs for shapes too small to
+//!   amortise packing, and the baseline the kernel-comparison harness
+//!   measures speedups against.
+//!
+//! Both accumulate every output element in ascending reduction order
+//! with separate multiply-then-add, so their results are bit-identical
+//! to each other; the packed kernel fuses its multiply-adds and agrees
+//! within tolerance instead (see the determinism and accuracy notes in
+//! [`super`]).
+
+use super::{check_out, GemmVariant};
+use crate::error::Result;
+use crate::tensor::Tensor;
+
+/// Reduction-dimension block size of the blocked kernels; sized so one
+/// `A`-row block plus the output row fit comfortably in L1.
+pub(crate) const BLOCK_K: usize = 64;
+
+/// The textbook triple loop for `variant`, writing into a pre-zeroed
+/// `out`. The correctness oracle for the harness and property tests.
+///
+/// # Errors
+///
+/// Returns the usual rank/shape errors, naming `gemm_naive_into`.
+pub fn naive_into(variant: GemmVariant, a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+    let (m, k, n) = variant.problem_size("gemm_naive_into", a, b)?;
+    check_out("gemm_naive_into", out, m, n)?;
+    out.fill_zero();
+    naive_slices(variant, m, k, n, a.data(), b.data(), out.data_mut());
+    Ok(())
+}
+
+/// The pre-packing blocked kernels for `variant`, writing into a
+/// pre-zeroed `out`. The harness baseline and small-shape fallback.
+///
+/// # Errors
+///
+/// Returns the usual rank/shape errors, naming `gemm_blocked_into`.
+pub fn blocked_into(variant: GemmVariant, a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+    let (m, k, n) = variant.problem_size("gemm_blocked_into", a, b)?;
+    check_out("gemm_blocked_into", out, m, n)?;
+    out.fill_zero();
+    blocked_slices(variant, m, k, n, a.data(), b.data(), out.data_mut());
+    Ok(())
+}
+
+/// Slice-level naive kernel over the logical `(m, k, n)` problem; `cd`
+/// must be pre-zeroed.
+pub(crate) fn naive_slices(
+    variant: GemmVariant,
+    m: usize,
+    k: usize,
+    n: usize,
+    ad: &[f32],
+    bd: &[f32],
+    cd: &mut [f32],
+) {
+    let ((rsa, csa), (rsb, csb)) = variant.strides(m, k, n);
+    for (i, crow) in cd.chunks_exact_mut(n.max(1)).enumerate().take(m) {
+        for (j, c) in crow.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                let av = ad.get(i * rsa + p * csa).copied().unwrap_or(0.0);
+                let bv = bd.get(p * rsb + j * csb).copied().unwrap_or(0.0);
+                acc += av * bv;
+            }
+            *c = acc;
+        }
+    }
+}
+
+/// Slice-level blocked kernels; `cd` must be pre-zeroed. These are the
+/// original `matmul*_into` loop bodies, moved here verbatim when the
+/// packed path became the large-shape default.
+pub(crate) fn blocked_slices(
+    variant: GemmVariant,
+    m: usize,
+    k: usize,
+    n: usize,
+    ad: &[f32],
+    bd: &[f32],
+    cd: &mut [f32],
+) {
+    match variant {
+        GemmVariant::NN => blocked_nn(m, k, n, ad, bd, cd),
+        GemmVariant::TN => blocked_tn(m, k, n, ad, bd, cd),
+        GemmVariant::NT => blocked_nt(m, k, n, ad, bd, cd),
+    }
+}
+
+/// `C += A · B`, cache-blocked over `k`, `ikj` order: the innermost loop
+/// is a contiguous axpy over the output row, which LLVM vectorises.
+fn blocked_nn(m: usize, k: usize, n: usize, ad: &[f32], bd: &[f32], cd: &mut [f32]) {
+    for k0 in (0..k).step_by(BLOCK_K) {
+        let k1 = (k0 + BLOCK_K).min(k);
+        for i in 0..m {
+            // xtask:allow(index): i < m and p < k index m*k / k*n / m*n buffers validated by the entry points
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for p in k0..k1 {
+                // xtask:allow(index): same bounds as the row slices above
+                let aip = ad[i * k + p];
+                // xtask:allow(float-eq): exact-zero skip; FAP masks write literal 0.0
+                if aip == 0.0 {
+                    continue;
+                }
+                // xtask:allow(index): p < k over a k*n buffer
+                let brow = &bd[p * n..(p + 1) * n];
+                for (cx, &bx) in crow.iter_mut().zip(brow) {
+                    *cx += aip * bx;
+                }
+            }
+        }
+    }
+}
+
+/// `C += Aᵀ · B` as a sequence of rank-1 updates: for each shared row
+/// `p`, `C += a_p ⊗ b_p`.
+fn blocked_tn(m: usize, k: usize, n: usize, ad: &[f32], bd: &[f32], cd: &mut [f32]) {
+    for p in 0..k {
+        // xtask:allow(index): p < k over k*m / k*n buffers validated by the entry points
+        let arow = &ad[p * m..(p + 1) * m];
+        // xtask:allow(index): same bound as arow
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &ax) in arow.iter().enumerate() {
+            // xtask:allow(float-eq): exact-zero skip; FAP masks write literal 0.0
+            if ax == 0.0 {
+                continue;
+            }
+            // xtask:allow(index): i < m over an m*n buffer
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for (cx, &bx) in crow.iter_mut().zip(brow) {
+                *cx += ax * bx;
+            }
+        }
+    }
+}
+
+/// `C = A · Bᵀ` as row-by-row dot products over the shared contiguous
+/// `k` axis.
+fn blocked_nt(m: usize, k: usize, n: usize, ad: &[f32], bd: &[f32], cd: &mut [f32]) {
+    for i in 0..m {
+        // xtask:allow(index): i < m over m*k / m*n buffers validated by the entry points
+        let arow = &ad[i * k..(i + 1) * k];
+        // xtask:allow(index): same bound as arow
+        let crow = &mut cd[i * n..(i + 1) * n];
+        for (j, cx) in crow.iter_mut().enumerate() {
+            // xtask:allow(index): j < n over an n*k buffer
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&ax, &bx) in arow.iter().zip(brow) {
+                acc += ax * bx;
+            }
+            *cx = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocked_matches_naive_bitwise() {
+        for (variant, adim, bdim) in [
+            (GemmVariant::NN, [7, 130], [130, 5]),
+            (GemmVariant::TN, [130, 7], [130, 5]),
+            (GemmVariant::NT, [7, 130], [5, 130]),
+        ] {
+            let a = Tensor::rand_uniform(adim, -1.0, 1.0, 3);
+            let b = Tensor::rand_uniform(bdim, -1.0, 1.0, 4);
+            let mut blocked = Tensor::zeros([7, 5]);
+            blocked_into(variant, &a, &b, &mut blocked).expect("conformable");
+            let mut naive = Tensor::zeros([7, 5]);
+            naive_into(variant, &a, &b, &mut naive).expect("conformable");
+            assert_eq!(blocked, naive, "variant {}", variant.name());
+        }
+    }
+
+    #[test]
+    fn zero_skip_is_bitwise_neutral() {
+        // A sparse (FAP-masked) left operand: the skip must not change a
+        // single bit relative to the oracle that never skips.
+        let mut a = Tensor::rand_uniform([9, 70], -1.0, 1.0, 5);
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
+            }
+        }
+        let b = Tensor::rand_uniform([70, 6], -1.0, 1.0, 6);
+        let mut blocked = Tensor::zeros([9, 6]);
+        blocked_into(GemmVariant::NN, &a, &b, &mut blocked).expect("conformable");
+        let mut naive = Tensor::zeros([9, 6]);
+        naive_into(GemmVariant::NN, &a, &b, &mut naive).expect("conformable");
+        assert_eq!(blocked, naive);
+    }
+
+    #[test]
+    fn entry_points_name_themselves() {
+        let a = Tensor::zeros([3]);
+        let b = Tensor::zeros([3, 2]);
+        let mut out = Tensor::zeros([1, 2]);
+        let err = naive_into(GemmVariant::NN, &a, &b, &mut out).expect_err("rank-1");
+        assert!(err.to_string().contains("gemm_naive_into"));
+        let err = blocked_into(GemmVariant::NN, &a, &b, &mut out).expect_err("rank-1");
+        assert!(err.to_string().contains("gemm_blocked_into"));
+    }
+}

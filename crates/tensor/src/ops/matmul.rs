@@ -1,7 +1,7 @@
-//! Blocked matrix multiplication kernels.
+//! Matrix multiplication entry points.
 //!
-//! Three GEMM variants cover everything the NN framework needs without ever
-//! materialising transposes on the hot path:
+//! Three GEMM variants cover everything the NN framework needs without
+//! ever materialising transposes on the hot path:
 //!
 //! * [`matmul`] / [`matmul_into`]       — `C = A · B`
 //! * [`matmul_tn`] / [`matmul_tn_into`] — `C = Aᵀ · B` (weight gradients)
@@ -9,42 +9,21 @@
 //!
 //! The `_into` variants write into a caller-provided output tensor so hot
 //! loops (training epochs, fleet retraining) can reuse workspace buffers
-//! instead of allocating per call. Each `_into` kernel zeroes its output
-//! first and then runs the *exact same loop order* as its allocating
-//! counterpart, so results are bit-identical either way.
+//! instead of allocating per call. Each allocating form zeroes a fresh
+//! output and calls its `_into` twin, so results are bit-identical either
+//! way — and every error names the exact entry point it came from, so a
+//! shape bug deep in a backward pass is diagnosable from the message.
 //!
-//! The kernels are cache-blocked over the reduction dimension and use the
-//! `ikj` loop order so the innermost loop is a contiguous FMA over the
-//! output row, which LLVM auto-vectorises.
+//! The compute itself lives in [`super::gemm`]: large shapes take the
+//! packed, cache-tiled, register-blocked path; small and degenerate
+//! shapes stay on the blocked reference loops. Dispatch is a pure
+//! function of the shape, so a given call site always runs the same
+//! kernel and results are fully deterministic (see the determinism and
+//! accuracy notes in [`super::gemm`]).
 
+use super::gemm::{self, GemmVariant};
 use crate::error::{Result, TensorError};
 use crate::tensor::Tensor;
-
-/// Reduction-dimension block size; sized so one A-row block plus the C row
-/// fit comfortably in L1.
-const BLOCK_K: usize = 64;
-
-fn check_matmul(op: &'static str, a: &Tensor, b: &Tensor, ka: usize, kb: usize) -> Result<()> {
-    if ka != kb {
-        return Err(TensorError::ShapeMismatch {
-            op,
-            lhs: a.dims().to_vec(),
-            rhs: b.dims().to_vec(),
-        });
-    }
-    Ok(())
-}
-
-fn check_out(op: &'static str, out: &Tensor, m: usize, n: usize) -> Result<()> {
-    if out.dims() != [m, n] {
-        return Err(TensorError::ShapeMismatch {
-            op,
-            lhs: vec![m, n],
-            rhs: out.dims().to_vec(),
-        });
-    }
-    Ok(())
-}
 
 /// Computes `C = A · B` for rank-2 tensors `A: (m, k)` and `B: (k, n)`.
 ///
@@ -66,8 +45,7 @@ fn check_out(op: &'static str, out: &Tensor, m: usize, n: usize) -> Result<()> {
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (m, _) = a.shape().as_matrix()?;
-    let (_, n) = b.shape().as_matrix()?;
+    let (m, _, n) = GemmVariant::NN.problem_size("matmul", a, b)?;
     let mut c = Tensor::zeros([m, n]);
     matmul_into(a, b, &mut c)?;
     Ok(c)
@@ -79,33 +57,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// # Errors
 ///
-/// Same conditions as [`matmul`], plus [`TensorError::ShapeMismatch`] for a
-/// misshapen `out`.
+/// Same conditions as [`matmul`], plus [`TensorError::ShapeMismatch`] for
+/// a misshapen `out` — all naming `matmul_into`.
 pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
-    let (m, k) = a.shape().as_matrix()?;
-    let (kb, n) = b.shape().as_matrix()?;
-    check_matmul("matmul", a, b, k, kb)?;
-    check_out("matmul_into", out, m, n)?;
-    out.fill_zero();
-    let (ad, bd, cd) = (a.data(), b.data(), out.data_mut());
-    for k0 in (0..k).step_by(BLOCK_K) {
-        let k1 = (k0 + BLOCK_K).min(k);
-        for i in 0..m {
-            let crow = &mut cd[i * n..(i + 1) * n];
-            for p in k0..k1 {
-                let aip = ad[i * k + p];
-                // xtask:allow(float-eq): exact-zero skip; FAP masks write literal 0.0
-                if aip == 0.0 {
-                    continue;
-                }
-                let brow = &bd[p * n..(p + 1) * n];
-                for (cx, &bx) in crow.iter_mut().zip(brow) {
-                    *cx += aip * bx;
-                }
-            }
-        }
-    }
-    Ok(())
+    gemm_entry("matmul_into", GemmVariant::NN, a, b, out)
 }
 
 /// Computes `C = Aᵀ · B` for `A: (k, m)` and `B: (k, n)` without copying.
@@ -116,8 +71,7 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
 ///
 /// Same conditions as [`matmul`].
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (_, m) = a.shape().as_matrix()?;
-    let (_, n) = b.shape().as_matrix()?;
+    let (m, _, n) = GemmVariant::TN.problem_size("matmul_tn", a, b)?;
     let mut c = Tensor::zeros([m, n]);
     matmul_tn_into(a, b, &mut c)?;
     Ok(c)
@@ -128,30 +82,10 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// # Errors
 ///
-/// Same conditions as [`matmul_tn`], plus a shape check on `out`.
+/// Same conditions as [`matmul_tn`], plus a shape check on `out` — all
+/// naming `matmul_tn_into`.
 pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
-    let (k, m) = a.shape().as_matrix()?;
-    let (kb, n) = b.shape().as_matrix()?;
-    check_matmul("matmul_tn", a, b, k, kb)?;
-    check_out("matmul_tn_into", out, m, n)?;
-    out.fill_zero();
-    let (ad, bd, cd) = (a.data(), b.data(), out.data_mut());
-    // For each shared row p, rank-1 update C += a_p ⊗ b_p.
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for (i, &ax) in arow.iter().enumerate() {
-            // xtask:allow(float-eq): exact-zero skip; FAP masks write literal 0.0
-            if ax == 0.0 {
-                continue;
-            }
-            let crow = &mut cd[i * n..(i + 1) * n];
-            for (cx, &bx) in crow.iter_mut().zip(brow) {
-                *cx += ax * bx;
-            }
-        }
-    }
-    Ok(())
+    gemm_entry("matmul_tn_into", GemmVariant::TN, a, b, out)
 }
 
 /// Computes `C = A · Bᵀ` for `A: (m, k)` and `B: (n, k)` without copying.
@@ -163,8 +97,7 @@ pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
 ///
 /// Same conditions as [`matmul`].
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (m, _) = a.shape().as_matrix()?;
-    let (n, _) = b.shape().as_matrix()?;
+    let (m, _, n) = GemmVariant::NT.problem_size("matmul_nt", a, b)?;
     let mut c = Tensor::zeros([m, n]);
     matmul_nt_into(a, b, &mut c)?;
     Ok(c)
@@ -175,26 +108,26 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// # Errors
 ///
-/// Same conditions as [`matmul_nt`], plus a shape check on `out`.
+/// Same conditions as [`matmul_nt`], plus a shape check on `out` — all
+/// naming `matmul_nt_into`.
 pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
-    let (m, k) = a.shape().as_matrix()?;
-    let (n, kb) = b.shape().as_matrix()?;
-    check_matmul("matmul_nt", a, b, k, kb)?;
-    check_out("matmul_nt_into", out, m, n)?;
+    gemm_entry("matmul_nt_into", GemmVariant::NT, a, b, out)
+}
+
+/// Shared `_into` body: validate (rank-2 first, then the shared
+/// dimension, then `out` — every error naming `op`), zero the output,
+/// and hand the slices to the shape-dispatched kernel.
+fn gemm_entry(
+    op: &'static str,
+    variant: GemmVariant,
+    a: &Tensor,
+    b: &Tensor,
+    out: &mut Tensor,
+) -> Result<()> {
+    let (m, k, n) = variant.problem_size(op, a, b)?;
+    gemm::check_out(op, out, m, n)?;
     out.fill_zero();
-    let (ad, bd, cd) = (a.data(), b.data(), out.data_mut());
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let crow = &mut cd[i * n..(i + 1) * n];
-        for (j, cx) in crow.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&ax, &bx) in arow.iter().zip(brow) {
-                acc += ax * bx;
-            }
-            *cx = acc;
-        }
-    }
+    gemm::dispatch_into(variant, m, k, n, a.data(), b.data(), out.data_mut());
     Ok(())
 }
 
@@ -246,6 +179,7 @@ pub fn add_bias_rows_in_place(x: &mut Tensor, bias: &Tensor) -> Result<()> {
     let bd = bias.data();
     let xd = x.data_mut();
     for i in 0..m {
+        // xtask:allow(index): i < m over an m*n buffer
         let row = &mut xd[i * n..(i + 1) * n];
         for (r, &b) in row.iter_mut().zip(bd) {
             *r += b;
@@ -257,16 +191,14 @@ pub fn add_bias_rows_in_place(x: &mut Tensor, bias: &Tensor) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ops::gemm::reference;
 
     fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
-        let (m, k) = a.shape().as_matrix().expect("matrix");
+        let (m, _) = a.shape().as_matrix().expect("matrix");
         let (_, n) = b.shape().as_matrix().expect("matrix");
-        Tensor::from_fn([m, n], |idx| {
-            let (i, j) = (idx / n, idx % n);
-            (0..k)
-                .map(|p| a.data()[i * k + p] * b.data()[p * n + j])
-                .sum()
-        })
+        let mut out = Tensor::zeros([m, n]);
+        reference::naive_into(GemmVariant::NN, a, b, &mut out).expect("conformable");
+        out
     }
 
     #[test]
@@ -281,7 +213,7 @@ mod tests {
         let a = Tensor::rand_uniform([7, 13], -1.0, 1.0, 2);
         let b = Tensor::rand_uniform([13, 5], -1.0, 1.0, 3);
         let c = matmul(&a, &b).expect("conformable");
-        assert!(c.approx_eq(&naive_matmul(&a, &b), 1e-4));
+        assert_eq!(c, naive_matmul(&a, &b), "small shapes are bit-exact");
     }
 
     #[test]
@@ -290,7 +222,19 @@ mod tests {
         let a = Tensor::rand_uniform([3, 200], -1.0, 1.0, 4);
         let b = Tensor::rand_uniform([200, 2], -1.0, 1.0, 5);
         let c = matmul(&a, &b).expect("conformable");
-        assert!(c.approx_eq(&naive_matmul(&a, &b), 1e-3));
+        assert_eq!(c, naive_matmul(&a, &b));
+    }
+
+    #[test]
+    fn matmul_packed_large_shapes() {
+        // Big enough for the packed path, with edge tiles on every axis.
+        let a = Tensor::rand_uniform([67, 129], -1.0, 1.0, 6);
+        let b = Tensor::rand_uniform([129, 43], -1.0, 1.0, 7);
+        let c = matmul(&a, &b).expect("conformable");
+        assert!(
+            c.approx_eq(&naive_matmul(&a, &b), 1e-3),
+            "packed path agrees with the oracle"
+        );
     }
 
     #[test]
@@ -299,6 +243,25 @@ mod tests {
         let b = Tensor::zeros([4, 2]);
         assert!(matmul(&a, &b).is_err());
         assert!(matmul(&a, &Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
+    fn errors_name_the_entry_point() {
+        let rank1 = Tensor::zeros([3]);
+        let mat = Tensor::zeros([3, 2]);
+        let mut out = Tensor::zeros([2, 2]);
+        let err = matmul_tn_into(&rank1, &mat, &mut out).expect_err("rank-1 lhs");
+        assert!(err.to_string().contains("matmul_tn_into"), "{err}");
+        let err = matmul_nt_into(&mat, &rank1, &mut out).expect_err("rank-1 rhs");
+        assert!(err.to_string().contains("matmul_nt_into"), "{err}");
+        let err = matmul(&rank1, &mat).expect_err("rank-1 lhs");
+        assert!(err.to_string().contains("to matmul:"), "{err}");
+        // A misshapen out names the _into entry too.
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([3, 2]);
+        let mut bad = Tensor::zeros([3, 2]);
+        let err = matmul_into(&a, &b, &mut bad).expect_err("bad out");
+        assert!(err.to_string().contains("matmul_into"), "{err}");
     }
 
     #[test]

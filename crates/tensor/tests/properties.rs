@@ -2,7 +2,50 @@
 //! must hold for arbitrary shapes and data.
 
 use proptest::prelude::*;
+use reduce_tensor::ops::gemm::{self, GemmVariant};
 use reduce_tensor::{ops, Shape, Tensor};
+
+/// Strategy: a randomized GEMM problem size, weighted to include the
+/// degenerate GEMV-like axes (`m = 1`, `n = 1`, `k = 1`) alongside
+/// shapes large enough to cross tile and cache-block boundaries.
+fn gemm_axis() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        3 => 1usize..=40,
+        1 => Just(1usize),
+        1 => 120usize..=150,
+    ]
+}
+
+fn gemm_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (gemm_axis(), gemm_axis(), gemm_axis())
+}
+
+/// Tolerance for comparing the fused (FMA) packed kernel against the
+/// separate-rounding naive oracle over a length-`k` reduction of
+/// entries bounded by ~10 (see `gemm` module docs).
+fn fma_tol(k: usize) -> f32 {
+    1e-3f32.max(k as f32 * 1e-4)
+}
+
+/// The three variants with operand tensors generated for a logical
+/// `(m, k, n)` problem.
+fn variant_operands(
+    variant: GemmVariant,
+    m: usize,
+    k: usize,
+    n: usize,
+    seed: u64,
+) -> (Tensor, Tensor) {
+    let (adim, bdim) = match variant {
+        GemmVariant::NN => ([m, k], [k, n]),
+        GemmVariant::TN => ([k, m], [k, n]),
+        GemmVariant::NT => ([m, k], [n, k]),
+    };
+    (
+        Tensor::rand_uniform(adim, -10.0, 10.0, seed),
+        Tensor::rand_uniform(bdim, -10.0, 10.0, seed.wrapping_add(1)),
+    )
+}
 
 /// Strategy: a small matrix with bounded entries.
 fn matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
@@ -140,5 +183,78 @@ proptest! {
         let rows: Vec<Tensor> = (0..r).map(|i| a.row(i).expect("in range")).collect();
         let restacked = Tensor::stack_rows(&rows).expect("consistent rows");
         prop_assert_eq!(restacked, a);
+    }
+
+    #[test]
+    fn packed_kernel_agrees_with_naive_oracle(
+        (m, k, n) in gemm_dims(),
+        seed in 0u64..1000,
+    ) {
+        // The packed path is forced regardless of shape, so this also
+        // covers the degenerate m/n/k = 1 cases production dispatch
+        // would route to the blocked loops.
+        for variant in [GemmVariant::NN, GemmVariant::TN, GemmVariant::NT] {
+            let (a, b) = variant_operands(variant, m, k, n, seed);
+            let mut packed = Tensor::full([m, n], f32::NAN);
+            gemm::packed_into(variant, &a, &b, &mut packed).expect("conformable");
+            let mut naive = Tensor::zeros([m, n]);
+            gemm::reference::naive_into(variant, &a, &b, &mut naive).expect("conformable");
+            prop_assert!(
+                packed.approx_eq(&naive, fma_tol(k)),
+                "variant {} shape {}x{}x{}", variant.name(), m, k, n
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_is_bit_identical_to_naive(
+        (m, k, n) in gemm_dims(),
+        seed in 0u64..1000,
+    ) {
+        for variant in [GemmVariant::NN, GemmVariant::TN, GemmVariant::NT] {
+            let (a, b) = variant_operands(variant, m, k, n, seed);
+            let mut blocked = Tensor::zeros([m, n]);
+            gemm::reference::blocked_into(variant, &a, &b, &mut blocked).expect("conformable");
+            let mut naive = Tensor::zeros([m, n]);
+            gemm::reference::naive_into(variant, &a, &b, &mut naive).expect("conformable");
+            prop_assert_eq!(blocked, naive, "variant {} shape {}x{}x{}", variant.name(), m, k, n);
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_bit_for_bit(
+        (m, k, n) in gemm_dims(),
+        seed in 0u64..1000,
+        fill in prop_oneof![Just(0.0f32), Just(f32::NAN), Just(-7.5f32)],
+    ) {
+        // The `_into` kernels must fully overwrite a reused output
+        // workspace: dirty contents (NaN poison, stale values from a
+        // previous step) must never leak into the result.
+        let results = [
+            (GemmVariant::NN, {
+                let (a, b) = variant_operands(GemmVariant::NN, m, k, n, seed);
+                let mut out = Tensor::full([m, n], fill);
+                ops::matmul_into(&a, &b, &mut out).expect("conformable");
+                (out, ops::matmul(&a, &b).expect("conformable"))
+            }),
+            (GemmVariant::TN, {
+                let (a, b) = variant_operands(GemmVariant::TN, m, k, n, seed);
+                let mut out = Tensor::full([m, n], fill);
+                ops::matmul_tn_into(&a, &b, &mut out).expect("conformable");
+                (out, ops::matmul_tn(&a, &b).expect("conformable"))
+            }),
+            (GemmVariant::NT, {
+                let (a, b) = variant_operands(GemmVariant::NT, m, k, n, seed);
+                let mut out = Tensor::full([m, n], fill);
+                ops::matmul_nt_into(&a, &b, &mut out).expect("conformable");
+                (out, ops::matmul_nt(&a, &b).expect("conformable"))
+            }),
+        ];
+        for (variant, (reused, fresh)) in results {
+            prop_assert_eq!(
+                reused.data(), fresh.data(),
+                "variant {} shape {}x{}x{} fill {}", variant.name(), m, k, n, fill
+            );
+        }
     }
 }

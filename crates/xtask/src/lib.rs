@@ -44,6 +44,11 @@ const NUMERIC_CRATES: [&str; 3] = ["crates/tensor", "crates/systolic", "crates/n
 /// where the hot-path-alloc family applies.
 const HOT_PATH_DIR: &str = "crates/nn/src/layers/";
 
+/// The GEMM kernel directory: drivers, packers and microkernels run
+/// inside the innermost matmul loops, so the hot-path-alloc family
+/// applies there too — with its own function-name prefixes.
+const GEMM_HOT_DIR: &str = "crates/tensor/src/ops/gemm/";
+
 /// The one sanctioned direct-write call site: the atomic temp-file+rename
 /// artifact writer everything else must go through.
 const ATOMIC_WRITER: &str = "crates/core/src/artifact.rs";
@@ -83,7 +88,13 @@ pub fn scope_for_path(rel: &str) -> Scope {
         determinism: RESULT_CRATES.iter().any(|c| in_src(c)) || in_xtask,
         panic_freedom: RESULT_CRATES.iter().any(|c| in_src(c)),
         numeric: NUMERIC_CRATES.iter().any(|c| in_src(c)),
-        hot_path: rel.starts_with(HOT_PATH_DIR),
+        hot_path: if rel.starts_with(HOT_PATH_DIR) {
+            lints::LAYER_HOT_PREFIXES
+        } else if rel.starts_with(GEMM_HOT_DIR) {
+            lints::GEMM_HOT_PREFIXES
+        } else {
+            &[]
+        },
         artifact_io: (RESULT_CRATES.iter().any(|c| in_src(c))
             || rel.starts_with(BENCH_SRC)
             || in_xtask)
@@ -238,15 +249,32 @@ mod tests {
     #[test]
     fn scope_covers_result_crates_only() {
         let s = scope_for_path("crates/core/src/fleet.rs");
-        assert!(s.determinism && s.panic_freedom && !s.numeric && !s.hot_path);
+        assert!(s.determinism && s.panic_freedom && !s.numeric && s.hot_path.is_empty());
         let s = scope_for_path("crates/systolic/src/mapping.rs");
-        assert!(s.determinism && s.panic_freedom && s.numeric && !s.hot_path);
+        assert!(s.determinism && s.panic_freedom && s.numeric && s.hot_path.is_empty());
         let s = scope_for_path("crates/tensor/src/linalg.rs");
         assert!(s.numeric);
-        // The hot-path-alloc family applies only to layer implementations.
+        // The hot-path-alloc family applies to layer implementations
+        // (forward/backward bodies) …
         let s = scope_for_path("crates/nn/src/layers/conv2d.rs");
-        assert!(s.hot_path && s.numeric && s.panic_freedom);
-        assert!(!scope_for_path("crates/nn/src/trainer.rs").hot_path);
+        assert!(s.numeric && s.panic_freedom);
+        assert_eq!(s.hot_path, lints::LAYER_HOT_PREFIXES);
+        assert!(scope_for_path("crates/nn/src/trainer.rs")
+            .hot_path
+            .is_empty());
+        // … and to the GEMM kernel directory, with its own prefixes
+        // (drivers, packers, microkernels).
+        let s = scope_for_path("crates/tensor/src/ops/gemm/microkernel.rs");
+        assert_eq!(s.hot_path, lints::GEMM_HOT_PREFIXES);
+        assert!(s.numeric && s.panic_freedom && s.determinism);
+        assert_eq!(
+            scope_for_path("crates/tensor/src/ops/gemm/mod.rs").hot_path,
+            lints::GEMM_HOT_PREFIXES
+        );
+        // Sibling ops files outside the kernel directory stay uncovered.
+        assert!(scope_for_path("crates/tensor/src/ops/matmul.rs")
+            .hot_path
+            .is_empty());
         // The artifact-io family covers result crates and the bench
         // binaries, except the atomic writer itself.
         assert!(scope_for_path("crates/core/src/fleet.rs").artifact_io);
@@ -261,7 +289,7 @@ mod tests {
         // index and unwrap; it may not be nondeterministic).
         let s = scope_for_path("crates/xtask/src/lints.rs");
         assert!(s.determinism && s.artifact_io && s.unsafe_gate);
-        assert!(!s.panic_freedom && !s.numeric && !s.hot_path);
+        assert!(!s.panic_freedom && !s.numeric && s.hot_path.is_empty());
         // Fixture files under tests/ stay unlinted — they hold deliberate
         // violations.
         assert_eq!(

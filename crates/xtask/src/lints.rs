@@ -217,6 +217,15 @@ impl Lint {
     }
 }
 
+/// Hot-function prefixes for layer implementations: the per-iteration
+/// `forward*` / `backward*` bodies.
+pub const LAYER_HOT_PREFIXES: &[&str] = &["forward", "backward"];
+
+/// Hot-function prefixes for the GEMM kernel directory: the drivers
+/// (`gemm*`), the panel packers (`pack*`) and the microkernel
+/// (`micro*`) all run inside the innermost matmul loops.
+pub const GEMM_HOT_PREFIXES: &[&str] = &["gemm", "pack", "micro"];
+
 /// Which lint families apply to a file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scope {
@@ -226,8 +235,11 @@ pub struct Scope {
     pub panic_freedom: bool,
     /// Enforce the numeric-safety family.
     pub numeric: bool,
-    /// Enforce the hot-path-alloc family (layer forward/backward bodies).
-    pub hot_path: bool,
+    /// Function-name prefixes whose bodies the hot-path-alloc family
+    /// covers (empty slice = family off for this file). Layer files use
+    /// [`LAYER_HOT_PREFIXES`]; the GEMM kernel directory uses
+    /// [`GEMM_HOT_PREFIXES`].
+    pub hot_path: &'static [&'static str],
     /// Enforce the artifact-io family (atomic artifact writes only).
     pub artifact_io: bool,
     /// Enforce the unsafe-island gate (no `unsafe` outside islands).
@@ -241,7 +253,7 @@ impl Scope {
             determinism: true,
             panic_freedom: true,
             numeric: true,
-            hot_path: true,
+            hot_path: LAYER_HOT_PREFIXES,
             artifact_io: true,
             unsafe_gate: true,
         }
@@ -253,7 +265,7 @@ impl Scope {
             determinism: false,
             panic_freedom: false,
             numeric: false,
-            hot_path: false,
+            hot_path: &[],
             artifact_io: false,
             unsafe_gate: false,
         }
@@ -263,7 +275,7 @@ impl Scope {
         self.determinism
             || self.panic_freedom
             || self.numeric
-            || self.hot_path
+            || !self.hot_path.is_empty()
             || self.artifact_io
             || self.unsafe_gate
     }
@@ -313,8 +325,8 @@ pub fn lint_source(src: &str, scope: Scope) -> Vec<Violation> {
     if scope.numeric {
         numeric_pass(&code, &mut raw);
     }
-    if scope.hot_path {
-        hot_path_pass(&code, &mut raw);
+    if !scope.hot_path.is_empty() {
+        hot_path_pass(&code, scope.hot_path, &mut raw);
     }
     if scope.artifact_io {
         artifact_io_pass(&code, &mut raw);
@@ -841,22 +853,23 @@ fn is_index_base(prev: &Token) -> bool {
 // Hot-path allocation hygiene
 // ---------------------------------------------------------------------------
 
-/// Flags fresh allocations inside layer `forward*` / `backward*` bodies —
-/// the code that runs once per training iteration. Steady-state epochs are
-/// supposed to run allocation-free out of the `Workspace` arena; a stray
-/// `Tensor::zeros` or buffer copy there silently reintroduces per-step heap
-/// traffic. O(1) copy-on-write handle clones are fine but must say so via
-/// the allow hatch, so every remaining `clone()` in a hot path is a
-/// documented decision.
-fn hot_path_pass(code: &[&Token], out: &mut Vec<Violation>) {
+/// Flags fresh allocations inside hot function bodies — functions whose
+/// names start with one of the scope's `hot_path` prefixes (layer
+/// `forward*`/`backward*` bodies run once per training iteration; the
+/// GEMM drivers/packers/microkernels run inside the innermost matmul
+/// loops). Steady-state epochs are supposed to run allocation-free out of
+/// the `Workspace` arena; a stray `Tensor::zeros` or buffer copy there
+/// silently reintroduces per-step heap traffic. O(1) copy-on-write handle
+/// clones are fine but must say so via the allow hatch, so every
+/// remaining `clone()` in a hot path is a documented decision.
+fn hot_path_pass(code: &[&Token], prefixes: &[&str], out: &mut Vec<Violation>) {
     let mut i = 0usize;
     while i < code.len() {
         let t = code[i];
         let is_hot_fn = t.kind == TokenKind::Ident
             && t.text == "fn"
             && code.get(i + 1).is_some_and(|n| {
-                n.kind == TokenKind::Ident
-                    && (n.text.starts_with("forward") || n.text.starts_with("backward"))
+                n.kind == TokenKind::Ident && prefixes.iter().any(|p| n.text.starts_with(p))
             });
         if !is_hot_fn {
             i += 1;

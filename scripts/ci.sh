@@ -93,4 +93,21 @@ grep -q '"event":"job_failed"' "$det_dir/ref/run_log.jsonl"
 echo "    interrupted+resumed chaos run artifacts (csv, run log, manifest)"
 echo "    are byte-identical to the uninterrupted run"
 
+echo "==> GEMM kernel-comparison gate (gemm_bench --check)"
+# Every registered GEMM kernel must agree with the naive reference on the
+# full workload set (exact for the blocked kernels, FMA tolerance for the
+# packed ones) — the binary exits non-zero on any gate failure. The JSON
+# document it writes must also keep the checked-in schema: numeric
+# literals are normalised away (timings and error magnitudes vary run to
+# run) but structure, names and the "ok" booleans must match
+# BENCH_gemm.json byte for byte.
+mkdir -p "$det_dir/gemm"
+cargo run -q -p reduce-bench --release --bin gemm_bench -- \
+    --check --out "$det_dir/gemm/BENCH_gemm.json" --threads 2 >/dev/null
+normalise_nums() { sed -E 's/-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?/N/g' "$1"; }
+diff <(normalise_nums BENCH_gemm.json) \
+     <(normalise_nums "$det_dir/gemm/BENCH_gemm.json")
+echo "    all kernels pass their correctness gates; BENCH_gemm.json schema"
+echo "    matches the checked-in document"
+
 echo "ci: all stages green"

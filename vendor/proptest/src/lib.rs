@@ -3,8 +3,9 @@
 //! Implements the subset of the proptest API this workspace's property
 //! tests use: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`,
 //! the [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`,
-//! range and tuple strategies, `prop::collection::vec`, `prop::bool::ANY`
-//! and `ProptestConfig::with_cases`.
+//! range and tuple strategies, `prop::collection::vec`, `prop::bool::ANY`,
+//! `Just`, weighted [`prop_oneof!`] unions and
+//! `ProptestConfig::with_cases`.
 //!
 //! Differences from real proptest, by design:
 //!
@@ -80,9 +81,9 @@ pub mod test_runner {
 /// Everything a property-test module needs, mirroring
 /// `proptest::prelude::*`.
 pub mod prelude {
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
 
     /// Mirror of the `prop` module re-export in proptest's prelude.
     pub mod prop {
@@ -139,6 +140,23 @@ macro_rules! proptest {
     )*};
     ($($rest:tt)*) => {
         $crate::proptest!(@run ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Picks one of several strategies per draw, optionally weighted
+/// (`weight => strategy`). All branches must yield the same value type.
+/// Unweighted branches draw with equal probability.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<(
+            u32,
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        )> = vec![$(($weight as u32, ::std::boxed::Box::new($strat))),+];
+        $crate::strategy::Union::new_weighted(options)
+    }};
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
     };
 }
 

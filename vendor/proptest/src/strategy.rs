@@ -139,3 +139,40 @@ impl<T: Clone> Strategy for Just<T> {
         self.0.clone()
     }
 }
+
+/// Weighted union of strategies yielding the same value type — the
+/// engine behind [`crate::prop_oneof!`]. Each draw first picks a branch
+/// with probability proportional to its weight, then draws from it.
+pub struct Union<T> {
+    options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights sum to zero — a union that can never pick a
+    /// branch is a bug at the definition site, not at draw time.
+    pub fn new_weighted(options: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total = options.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! requires a positive total weight");
+        Union { options, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut SmallRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, strat) in &self.options {
+            if pick < *weight {
+                return strat.new_value(rng);
+            }
+            pick -= *weight;
+        }
+        unreachable!("pick < sum of weights")
+    }
+}
