@@ -257,10 +257,7 @@ fn margin(scale: Scale, exec: &ExecConfig) -> Result<(), Box<dyn Error>> {
         let r = reduce.deploy(&fleet, policy, exec)?;
         println!(
             "{:<22} {:>6}/{:<3}  {:>12}",
-            r.policy,
-            r.satisfied,
-            r.chips.len(),
-            r.total_epochs
+            r.policy, r.satisfied, r.evaluated, r.total_epochs
         );
     }
     println!(

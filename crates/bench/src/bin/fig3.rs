@@ -9,7 +9,7 @@
 //! ```text
 //! cargo run -p reduce-bench --release --bin fig3 -- \
 //!     [--scale smoke|default|full] [--policy reduce-max|reduce-mean|fixed:N|all] \
-//!     [--chips N] [--threads N] [--table PATH] [--csv DIR] \
+//!     [--chips N | --fleet-size N] [--threads N] [--table PATH] [--csv DIR] \
 //!     [--out DIR] [--redact-timing] [--cost] [--early-stop] [--per-chip] \
 //!     [--retries N] [--chaos-rate P] [--chaos-seed S] \
 //!     [--resume DIR] [--halt-after N]
@@ -30,16 +30,25 @@
 //! that path. An interrupted run (e.g. via `--halt-after N`) is continued
 //! with `--resume DIR`: journaled jobs are replayed and only missing ones
 //! are computed.
+//!
+//! Large fleets: chips are streamed from a seeded [`SeededChips`] source
+//! and evaluated through the constant-memory [`FleetEvaluation`] pipeline,
+//! so `--fleet-size N` scales to 10⁵–10⁶ chips without materialising the
+//! fleet. Because per-chip outcomes are the one O(fleet) collection left,
+//! `--fleet-size` conflicts with `--per-chip` and `--csv` (and with
+//! `--chips`, which it replaces). Deploy throughput (chips/sec) and
+//! `peak_rss_kb` are printed after the summary.
 
 use reduce_bench::{
     apply_fault_args, open_journal, parse_args, resolve_run_dir, Scale, FAULT_VALUE_KEYS,
 };
 use reduce_core::telemetry::{
     self, Fanout, FleetManifest, GridManifest, MetricsRecorder, Observer, RunLog, RunManifest,
-    Stage, StageWorkspace,
+    Stage, StageWorkspace, Stopwatch, ThroughputManifest,
 };
-use reduce_core::{report, ExecConfig, Reduce, ReduceError, RetrainPolicy, Statistic};
-use reduce_systolic::generate_fleet;
+use reduce_core::{
+    report, ExecConfig, FleetEvaluation, Reduce, ReduceError, RetrainPolicy, SeededChips, Statistic,
+};
 use std::error::Error;
 use std::sync::Arc;
 
@@ -69,6 +78,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         "--scale",
         "--policy",
         "--chips",
+        "--fleet-size",
         "--threads",
         "--table",
         "--csv",
@@ -87,6 +97,25 @@ fn main() -> Result<(), Box<dyn Error>> {
         Some(s) => Some(s.parse()?),
         None => None,
     };
+    let fleet_size: Option<usize> = match args.value("--fleet-size") {
+        Some(s) => Some(s.parse()?),
+        None => None,
+    };
+    if fleet_size.is_some() {
+        if chips.is_some() {
+            return Err(Box::new(ReduceError::InvalidConfig {
+                what: "--fleet-size conflicts with --chips (it replaces it for streaming runs)"
+                    .to_string(),
+            }));
+        }
+        if args.flag("--per-chip") || args.value("--csv").is_some() {
+            return Err(Box::new(ReduceError::InvalidConfig {
+                what: "--fleet-size conflicts with --per-chip/--csv (per-chip outcomes are the \
+                       one O(fleet) collection; streaming runs do not collect them)"
+                    .to_string(),
+            }));
+        }
+    }
     let threads = args.threads()?;
     let redact = args.flag("--redact-timing");
     let (out_dir, resuming) = resolve_run_dir(&args)?;
@@ -168,10 +197,17 @@ fn main() -> Result<(), Box<dyn Error>> {
         );
     }
 
-    let fleet_config = scale.fleet_config(array, chips);
-    let fleet = generate_fleet(&fleet_config)?;
-    println!("steps 2+3: retraining {} chips per policy…\n", fleet.len());
+    let fleet_config = scale.fleet_config(array, chips.or(fleet_size));
+    // Chips are streamed from the seeded source — never materialised as a
+    // Vec — so memory stays constant at any --fleet-size.
+    let source = SeededChips::new(fleet_config);
+    let collect_outcomes = args.flag("--per-chip") || args.value("--csv").is_some();
+    println!(
+        "steps 2+3: retraining {} chips per policy (streamed)…\n",
+        fleet_config.chips
+    );
 
+    let deploy_clock = Stopwatch::start();
     let mut reports = Vec::new();
     for policy in policies {
         let table = if policy.needs_table() {
@@ -182,20 +218,21 @@ fn main() -> Result<(), Box<dyn Error>> {
         } else {
             None
         };
-        let mut config = reduce_core::FleetEvalConfig::new(policy, constraint);
+        let mut eval = FleetEvaluation::new(policy, constraint)
+            .source(&source)
+            .early_stop(args.flag("--early-stop"))
+            .collect_outcomes(collect_outcomes)
+            .exec(&exec);
         if args.flag("--cost") {
-            config.cost_model = Some(reduce_systolic::CostModel::small(array.0, array.1));
+            eval = eval.cost_model(reduce_systolic::CostModel::small(array.0, array.1));
         }
-        config.early_stop = args.flag("--early-stop");
-        let report = reduce_core::evaluate_fleet_resumable(
-            reduce.runner(),
-            reduce.pretrained(),
-            &fleet,
-            table.as_ref(),
-            &config,
-            &exec,
-            journal.as_ref(),
-        )?;
+        if let Some(table) = table.as_ref() {
+            eval = eval.table(table);
+        }
+        if let Some(cp) = journal.as_ref() {
+            eval = eval.journal(cp);
+        }
+        let report = eval.run(reduce.runner(), reduce.pretrained())?;
         let quarantined = if report.quarantined.is_empty() {
             String::new()
         } else {
@@ -203,16 +240,29 @@ fn main() -> Result<(), Box<dyn Error>> {
         };
         println!(
             "{:<22} satisfied {:>3}/{:<3}  total epochs {:>5}{}",
-            report.policy,
-            report.satisfied,
-            report.chips.len(),
-            report.total_epochs,
-            quarantined,
+            report.policy, report.satisfied, report.evaluated, report.total_epochs, quarantined,
         );
         if args.flag("--per-chip") {
             println!("{}", report::render_fleet_chips(&report));
         }
         reports.push(report);
+    }
+    let deploy_seconds = deploy_clock.seconds();
+    let deployed_chips: usize = reports
+        .iter()
+        .map(|r| r.evaluated + r.quarantined_count())
+        .sum();
+    let chips_per_sec = if deploy_seconds > 0.0 {
+        deployed_chips as f64 / deploy_seconds
+    } else {
+        0.0
+    };
+    println!(
+        "\ndeploy throughput: {deployed_chips} chips in {deploy_seconds:.2}s = \
+         {chips_per_sec:.1} chips/sec"
+    );
+    if let Some(kb) = peak_rss_kb() {
+        println!("peak_rss_kb={kb}");
     }
 
     println!("\n— Fig. 3f summary —");
@@ -283,6 +333,15 @@ fn main() -> Result<(), Box<dyn Error>> {
                 bytes_allocated: w.bytes_allocated,
             })
             .collect();
+        manifest.throughput = if redact {
+            None
+        } else {
+            Some(ThroughputManifest {
+                chips: deployed_chips,
+                seconds: deploy_seconds,
+                chips_per_sec,
+            })
+        };
         manifest.fleet = Some(FleetManifest::from_config(&fleet_config));
         manifest.save(&dir.join("manifest.json"))?;
         println!("run log and manifest written to {}", dir.display());
@@ -292,4 +351,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
     println!("{}", metrics.render());
     Ok(())
+}
+
+/// Peak resident-set size in kB (`VmHWM` from `/proc/self/status`), if
+/// the platform exposes it — the large-fleet CI gate asserts constant
+/// memory with it.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }

@@ -497,14 +497,27 @@ where
     S: Fn(&JobReport<R>) -> Result<()> + Sync,
 {
     parallel_map(items, exec.threads, |_, (id, item)| {
-        let report = run_resilient(*id, item, exec, stage, &job)?;
+        let report = run_job_resilient(*id, item, exec, stage, &job)?;
         on_sealed(&report)?;
         Ok(report)
     })
 }
 
-/// The per-job retry loop behind [`parallel_map_resilient`].
-fn run_resilient<T, R, F>(
+/// The per-job retry loop behind [`parallel_map_resilient`], exposed for
+/// schedulers that batch several logical jobs inside one executor job
+/// (e.g. the fleet epoch-budget batches, where a batch of chips shares a
+/// workspace but each chip keeps its own id-keyed retry/chaos schedule).
+///
+/// Semantics are identical to one item of [`parallel_map_resilient`]:
+/// per-attempt salts come from [`retry_seed`], chaos is consulted per
+/// `(id, attempt)`, failed attempts' events are replaced by the typed
+/// retry records, and only fatal errors propagate.
+///
+/// # Errors
+///
+/// Configuration-class errors ([`is_fatal`]) only; exhausted retries
+/// surface as [`JobStatus::Quarantined`], never as `Err`.
+pub fn run_job_resilient<T, R, F>(
     id: u64,
     item: &T,
     exec: &ExecConfig,

@@ -10,7 +10,7 @@
 use crate::error::{ReduceError, Result};
 use crate::workbench::{Pretrained, Workbench};
 use reduce_data::Dataset;
-use reduce_nn::{Sequential, WorkspaceStats};
+use reduce_nn::{Sequential, Workspace, WorkspaceStats};
 use reduce_systolic::{fam_mapping, fap_mask, FaultMap};
 use reduce_tensor::Tensor;
 
@@ -397,7 +397,74 @@ impl FatRunner {
         run_seed: u64,
         on_epoch: &mut dyn FnMut(usize, f32),
     ) -> Result<FatOutcome> {
+        self.run_inner(
+            pretrained, fault_map, max_epochs, stop, strategy, run_seed, None, on_epoch,
+        )
+    }
+
+    /// [`FatRunner::run_observed`] sharing a caller-owned workspace arena:
+    /// the epoch-budget scheduler runs a whole batch of same-budget chips
+    /// through one pool, so only the first chip of a batch pays the
+    /// warm-up allocations and every later chip trains entirely from
+    /// recycled buffers.
+    ///
+    /// The pool is swapped into the model for the duration of the run and
+    /// swapped back out before returning, with all the chip's allocation
+    /// traffic accumulated into the pool's counters — so
+    /// [`FatOutcome::workspace`] is left at zero and the caller reads the
+    /// batch total from [`reduce_nn::Workspace::stats`] once per batch.
+    /// Accuracy results are bit-identical to the unpooled runner:
+    /// recycled buffers are zeroed on `take`, so numerics never observe
+    /// the pool.
+    ///
+    /// If the run fails (divergence, injected chaos) the model — holding
+    /// the swapped-in arena — is dropped with it, and the pool is left
+    /// holding an empty arena; the next chip in the batch simply warms it
+    /// up again. The loss is deterministic because failures are.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training/evaluation errors.
+    #[allow(clippy::too_many_arguments)] // mirrors `run_observed` plus the pool
+    pub fn run_pooled_observed(
+        &self,
+        pretrained: &Pretrained,
+        fault_map: &FaultMap,
+        max_epochs: usize,
+        stop: StopRule,
+        strategy: Mitigation,
+        run_seed: u64,
+        pool: &mut Workspace,
+        on_epoch: &mut dyn FnMut(usize, f32),
+    ) -> Result<FatOutcome> {
+        self.run_inner(
+            pretrained,
+            fault_map,
+            max_epochs,
+            stop,
+            strategy,
+            run_seed,
+            Some(pool),
+            on_epoch,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_inner(
+        &self,
+        pretrained: &Pretrained,
+        fault_map: &FaultMap,
+        max_epochs: usize,
+        stop: StopRule,
+        strategy: Mitigation,
+        run_seed: u64,
+        mut pool: Option<&mut Workspace>,
+        on_epoch: &mut dyn FnMut(usize, f32),
+    ) -> Result<FatOutcome> {
         let (mut model, pruned_fraction) = self.masked_model(pretrained, fault_map, strategy)?;
+        if let Some(pool) = pool.as_deref_mut() {
+            std::mem::swap(model.workspace_mut(), pool);
+        }
         if self.workbench.bn_recalibration_passes > 0 {
             self.recalibrate_statistics(&mut model, self.workbench.bn_recalibration_passes)?;
         }
@@ -414,38 +481,39 @@ impl FatRunner {
             final_state: Vec::new(),
             workspace: WorkspaceStats::default(),
         };
-        if let StopRule::AtAccuracy(c) = stop {
-            if pre >= c {
-                outcome.final_state = model.state_dict();
-                outcome.workspace = model.workspace_stats();
-                return Ok(outcome);
-            }
-        }
-        let mut trainer = self.workbench.fat_trainer(run_seed);
-        for epoch in 1..=max_epochs {
-            trainer.train_epoch(&mut model, self.train.features(), self.train.labels())?;
-            let acc = self.workbench.evaluate(&mut model, &self.test)?.accuracy;
-            if !acc.is_finite() {
-                return Err(ReduceError::Divergence {
-                    what: format!("accuracy after epoch {epoch} is {acc}"),
-                });
-            }
-            outcome.accuracy_after_epoch.push(acc);
-            on_epoch(epoch, acc);
-            if let StopRule::AtAccuracy(c) = stop {
-                if acc >= c {
-                    break;
+        let met_before_retraining = matches!(stop, StopRule::AtAccuracy(c) if pre >= c);
+        if !met_before_retraining {
+            let mut trainer = self.workbench.fat_trainer(run_seed);
+            for epoch in 1..=max_epochs {
+                trainer.train_epoch(&mut model, self.train.features(), self.train.labels())?;
+                let acc = self.workbench.evaluate(&mut model, &self.test)?.accuracy;
+                if !acc.is_finite() {
+                    return Err(ReduceError::Divergence {
+                        what: format!("accuracy after epoch {epoch} is {acc}"),
+                    });
+                }
+                outcome.accuracy_after_epoch.push(acc);
+                on_epoch(epoch, acc);
+                if let StopRule::AtAccuracy(c) = stop {
+                    if acc >= c {
+                        break;
+                    }
                 }
             }
-        }
-        debug_assert!(model.mask_invariants_hold(), "FAT broke the mask invariant");
-        if !model.mask_invariants_hold() {
-            return Err(ReduceError::InvalidConfig {
-                what: "mask invariant violated after FAT".to_string(),
-            });
+            debug_assert!(model.mask_invariants_hold(), "FAT broke the mask invariant");
+            if !model.mask_invariants_hold() {
+                return Err(ReduceError::InvalidConfig {
+                    what: "mask invariant violated after FAT".to_string(),
+                });
+            }
         }
         outcome.final_state = model.state_dict();
-        outcome.workspace = model.workspace_stats();
+        match pool {
+            // Pooled runs hand their allocation traffic back to the shared
+            // arena; the batch accounts it once via `Workspace::stats`.
+            Some(pool) => std::mem::swap(model.workspace_mut(), pool),
+            None => outcome.workspace = model.workspace_stats(),
+        }
         Ok(outcome)
     }
 }

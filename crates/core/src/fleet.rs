@@ -1,5 +1,26 @@
-//! Step ③ at fleet scale — retraining every chip under a policy and
-//! accounting for the cost (the data behind Fig. 3).
+//! Step ③ at fleet scale — streaming evaluation of chip populations under
+//! a retraining policy (the data behind Fig. 3).
+//!
+//! The evaluator is built for fleets of 10⁴–10⁶ chips, far beyond what a
+//! materialised `Vec<Chip>` + `Vec<FatOutcome>` pipeline can hold:
+//!
+//! * **Intake** is a [`ChipSource`] — chips are pulled on demand by id
+//!   ([`SeededChips`] regenerates them from the fleet seed), never stored.
+//! * **Scheduling** walks the fleet in fixed windows; within a window the
+//!   epoch-budget scheduler groups chips by the budget the policy selects
+//!   for them, so a batch of same-budget chips shares one pooled model
+//!   workspace (only the first chip of a batch pays warm-up allocations).
+//! * **Accounting** streams into a constant-size [`FleetReport`]: counts,
+//!   epoch-spend histogram and running min/mean/max — per-chip
+//!   [`ChipOutcome`]s are only kept when
+//!   [`FleetEvaluation::collect_outcomes`] asks for them.
+//! * **Checkpointing** journals one [`crate::journal::JournalRecord::FleetBatch`]
+//!   per sealed batch; batch composition is a pure function of the config,
+//!   so a resumed run recomputes the same batches, replays the sealed ones
+//!   bit-identically, and runs only the missing ones.
+//!
+//! Everything is keyed on stable chip ids, so reports and telemetry are
+//! byte-identical across thread counts and across kill-and-resume.
 
 use crate::error::{ReduceError, Result};
 use crate::exec::{self, ExecConfig, JobStatus};
@@ -9,9 +30,10 @@ use crate::policy::RetrainPolicy;
 use crate::resilience::ResilienceTable;
 use crate::telemetry::{self, EpochScope, Event, Stage};
 use crate::workbench::Pretrained;
-use reduce_nn::WorkspaceStats;
-use reduce_systolic::{Chip, CostModel};
+use reduce_nn::{Workspace, WorkspaceStats};
+use reduce_systolic::{chip_rate, generate_chip, Chip, CostModel, FleetConfig};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 /// The outcome of retraining one chip under a policy.
@@ -64,17 +86,187 @@ pub enum ChipStatus {
     Quarantined,
 }
 
+/// One chip's sealed fate inside an evaluated batch: the unit the fleet
+/// journal records and the report accumulator absorbs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SealedChip {
+    /// The chip was retrained (successfully or not w.r.t. the constraint).
+    Retrained(ChipOutcome),
+    /// The chip exhausted its retry budget.
+    Quarantined(QuarantinedChip),
+}
+
+impl SealedChip {
+    /// The chip's identifier.
+    pub fn chip_id(&self) -> usize {
+        match self {
+            SealedChip::Retrained(c) => c.chip_id,
+            SealedChip::Quarantined(q) => q.chip_id,
+        }
+    }
+
+    /// The chip's containment status.
+    pub fn status(&self) -> ChipStatus {
+        match self {
+            SealedChip::Retrained(_) => ChipStatus::Ok,
+            SealedChip::Quarantined(_) => ChipStatus::Quarantined,
+        }
+    }
+}
+
+/// A source of chips addressed by stable id — the streaming intake of the
+/// fleet evaluator.
+///
+/// Implementations must be pure: `chip(id)` returns the same chip every
+/// call (the evaluator may re-pull a chip on retry or resume), and
+/// `fault_rate(id)` equals `chip(id)?.fault_rate()`. Slices satisfy this
+/// trivially; [`SeededChips`] regenerates chips from the fleet seed so a
+/// 10⁶-chip fleet never exists in memory at once.
+pub trait ChipSource: Sync {
+    /// Number of chips in the fleet.
+    fn len(&self) -> usize;
+
+    /// Whether the fleet is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialises chip `id`.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; ids in `0..len()` must succeed on a valid
+    /// source.
+    fn chip(&self, id: usize) -> Result<Chip>;
+
+    /// The fault rate of chip `id` — ideally without materialising the
+    /// chip (the scheduler calls this for every chip in a window before
+    /// running any of them).
+    ///
+    /// # Errors
+    ///
+    /// Same domain as [`ChipSource::chip`].
+    fn fault_rate(&self, id: usize) -> Result<f64> {
+        Ok(self.chip(id)?.fault_rate())
+    }
+}
+
+impl ChipSource for [Chip] {
+    fn len(&self) -> usize {
+        <[Chip]>::len(self)
+    }
+
+    fn chip(&self, id: usize) -> Result<Chip> {
+        let chip = self.get(id).ok_or_else(|| ReduceError::InvalidConfig {
+            what: format!(
+                "chip id {id} outside fleet of {} chips",
+                <[Chip]>::len(self)
+            ),
+        })?;
+        if chip.id() != id {
+            return Err(ReduceError::InvalidConfig {
+                what: format!(
+                    "slice chip sources must be in id order (found chip {} at index {id})",
+                    chip.id()
+                ),
+            });
+        }
+        Ok(chip.clone())
+    }
+
+    fn fault_rate(&self, id: usize) -> Result<f64> {
+        self.get(id)
+            .map(Chip::fault_rate)
+            .ok_or_else(|| ReduceError::InvalidConfig {
+                what: format!(
+                    "chip id {id} outside fleet of {} chips",
+                    <[Chip]>::len(self)
+                ),
+            })
+    }
+}
+
+impl ChipSource for &[Chip] {
+    fn len(&self) -> usize {
+        ChipSource::len(&**self)
+    }
+
+    fn chip(&self, id: usize) -> Result<Chip> {
+        ChipSource::chip(&**self, id)
+    }
+
+    fn fault_rate(&self, id: usize) -> Result<f64> {
+        ChipSource::fault_rate(&**self, id)
+    }
+}
+
+impl ChipSource for Vec<Chip> {
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    fn chip(&self, id: usize) -> Result<Chip> {
+        ChipSource::chip(self.as_slice(), id)
+    }
+
+    fn fault_rate(&self, id: usize) -> Result<f64> {
+        ChipSource::fault_rate(self.as_slice(), id)
+    }
+}
+
+/// A [`ChipSource`] that regenerates each chip on demand from a
+/// [`FleetConfig`] seed ([`reduce_systolic::generate_chip`]), so the fleet
+/// is never materialised: the intake primitive behind
+/// `fig3 --fleet-size 100000`.
+#[derive(Debug, Clone)]
+pub struct SeededChips {
+    config: FleetConfig,
+}
+
+impl SeededChips {
+    /// A streaming view of the fleet `config` describes.
+    pub fn new(config: FleetConfig) -> Self {
+        SeededChips { config }
+    }
+
+    /// The underlying fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+}
+
+impl ChipSource for SeededChips {
+    fn len(&self) -> usize {
+        self.config.chips
+    }
+
+    fn chip(&self, id: usize) -> Result<Chip> {
+        Ok(generate_chip(&self.config, id)?)
+    }
+
+    fn fault_rate(&self, id: usize) -> Result<f64> {
+        // The rate draw alone — no fault map is generated, so scheduling a
+        // window costs O(window) RNG seeds, not O(window) fault maps.
+        Ok(chip_rate(&self.config, id)?)
+    }
+}
+
 /// Aggregate results of retraining a fleet under one policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The report is constant-size by construction — counts, a histogram and
+/// streaming extrema — so evaluating 10⁶ chips needs no per-chip memory.
+/// Per-chip [`ChipOutcome`]s appear in [`FleetReport::outcomes`] only when
+/// [`FleetEvaluation::collect_outcomes`] requested them.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
     /// Policy label (for tables/figures).
     pub policy: String,
     /// The accuracy constraint evaluated against.
     pub constraint: f32,
-    /// Per-chip outcomes of the successfully retrained chips, in fleet
-    /// order.
-    pub chips: Vec<ChipOutcome>,
-    /// Chips quarantined after exhausting the retry budget, in fleet
+    /// Number of successfully retrained chips (quarantined chips are
+    /// counted separately).
+    pub evaluated: usize,
+    /// Chips quarantined after exhausting the retry budget, in scheduler
     /// order. Empty on a clean run.
     pub quarantined: Vec<QuarantinedChip>,
     /// Total retraining epochs spent across the fleet — the paper's
@@ -83,46 +275,48 @@ pub struct FleetReport {
     /// Number of chips meeting the constraint — the paper's robustness
     /// metric.
     pub satisfied: usize,
-    /// Mean deployed accuracy.
+    /// Mean deployed accuracy (f64-accumulated in scheduler order).
     pub mean_accuracy: f32,
     /// Worst deployed accuracy.
     pub min_accuracy: f32,
+    /// Best deployed accuracy.
+    pub max_accuracy: f32,
+    /// Epoch-spend histogram: `epochs_run → chips` — the streaming
+    /// replacement for walking per-chip outcomes.
+    pub epoch_histogram: BTreeMap<usize, usize>,
     /// Estimated retraining cycles on the accelerator (cost-model based),
     /// if a cost model was supplied.
     pub retrain_cycles: Option<u64>,
+    /// Per-chip outcomes in scheduler order, present only when
+    /// [`FleetEvaluation::collect_outcomes`] was enabled — the one opt-in
+    /// path back to O(fleet) memory.
+    pub outcomes: Option<Vec<ChipOutcome>>,
 }
 
 impl FleetReport {
-    /// Fraction of chips meeting the constraint.
+    /// Fraction of retrained chips meeting the constraint.
     pub fn yield_fraction(&self) -> f32 {
-        if self.chips.is_empty() {
+        if self.evaluated == 0 {
             return 0.0;
         }
-        self.satisfied as f32 / self.chips.len() as f32
+        self.satisfied as f32 / self.evaluated as f32
     }
 
-    /// Mean epochs per chip.
+    /// Mean epochs per retrained chip.
     pub fn mean_epochs(&self) -> f32 {
-        if self.chips.is_empty() {
+        if self.evaluated == 0 {
             return 0.0;
         }
-        self.total_epochs as f32 / self.chips.len() as f32
+        self.total_epochs as f32 / self.evaluated as f32
     }
 
-    /// The containment status of every evaluated chip, in chip-id order.
-    pub fn statuses(&self) -> Vec<(usize, ChipStatus)> {
-        let mut statuses: Vec<(usize, ChipStatus)> = self
-            .chips
-            .iter()
-            .map(|c| (c.chip_id, ChipStatus::Ok))
-            .chain(
-                self.quarantined
-                    .iter()
-                    .map(|q| (q.chip_id, ChipStatus::Quarantined)),
-            )
-            .collect();
-        statuses.sort_by_key(|&(id, _)| id);
-        statuses
+    /// Chip counts per containment status — the constant-size summary
+    /// that replaced the per-chip status listing.
+    pub fn status_counts(&self) -> [(ChipStatus, usize); 2] {
+        [
+            (ChipStatus::Ok, self.evaluated),
+            (ChipStatus::Quarantined, self.quarantined.len()),
+        ]
     }
 
     /// Number of chips quarantined after exhausting the retry budget.
@@ -131,370 +325,699 @@ impl FleetReport {
     }
 }
 
-/// Configuration of a fleet evaluation run.
+/// One chip's slot in a scheduled batch.
 #[derive(Debug, Clone)]
-pub struct FleetEvalConfig {
-    /// The retraining policy to apply.
-    pub policy: RetrainPolicy,
-    /// The user's accuracy constraint.
-    pub constraint: f32,
-    /// Mitigation strategy (FAP per the paper; FAM as ablation).
-    pub strategy: Mitigation,
-    /// Stop each chip's FAT as soon as its test accuracy reaches the
-    /// constraint instead of spending the whole budget (the early-stop
-    /// extension, ablation A5). The paper's Step ③ spends the budget
-    /// exactly, so this defaults to `false`.
-    pub early_stop: bool,
-    /// Optional accelerator cost model for cycle accounting.
-    pub cost_model: Option<CostModel>,
-    /// Per-chip run-seed base (decorrelates shuffling across chips).
-    pub seed: u64,
+struct ChipPlan {
+    id: usize,
+    budget: usize,
+    clamped: bool,
 }
 
-impl FleetEvalConfig {
-    /// A plain-FAP evaluation of `policy` against `constraint`.
-    pub fn new(policy: RetrainPolicy, constraint: f32) -> Self {
-        FleetEvalConfig {
+/// One scheduled batch: same-budget chips of one intake window sharing a
+/// pooled workspace. `(window, budget, chunk)` is the batch's stable
+/// identity in the journal.
+#[derive(Debug, Clone)]
+struct BatchPlan {
+    window: usize,
+    budget: usize,
+    chunk: usize,
+    members: Vec<ChipPlan>,
+}
+
+/// The sealed output of one batch, fresh or replayed.
+struct BatchResult {
+    chips: Vec<SealedChip>,
+    workspace: WorkspaceStats,
+    events: Vec<Event>,
+}
+
+/// Streaming accumulator behind [`FleetReport`] — absorbs sealed chips
+/// one at a time in scheduler order.
+struct ReportAccumulator {
+    evaluated: usize,
+    quarantined: Vec<QuarantinedChip>,
+    total_epochs: usize,
+    satisfied: usize,
+    accuracy_sum: f64,
+    min_accuracy: f32,
+    max_accuracy: f32,
+    epoch_histogram: BTreeMap<usize, usize>,
+    outcomes: Option<Vec<ChipOutcome>>,
+}
+
+impl ReportAccumulator {
+    fn new(collect_outcomes: bool) -> Self {
+        ReportAccumulator {
+            evaluated: 0,
+            quarantined: Vec::new(),
+            total_epochs: 0,
+            satisfied: 0,
+            accuracy_sum: 0.0,
+            min_accuracy: f32::INFINITY,
+            max_accuracy: f32::NEG_INFINITY,
+            epoch_histogram: BTreeMap::new(),
+            outcomes: collect_outcomes.then(Vec::new),
+        }
+    }
+
+    fn absorb(&mut self, sealed: SealedChip) -> Result<()> {
+        match sealed {
+            SealedChip::Retrained(c) => {
+                // FAT runs guard this at the source; re-check here so a
+                // hand-edited journal can't slip a NaN into the
+                // aggregates, where it would poison the mean and vanish
+                // in `min` comparisons.
+                if !c.final_accuracy.is_finite() {
+                    return Err(ReduceError::Divergence {
+                        what: format!("chip {} final accuracy is {}", c.chip_id, c.final_accuracy),
+                    });
+                }
+                self.evaluated += 1;
+                self.total_epochs += c.epochs_run;
+                if c.meets_constraint {
+                    self.satisfied += 1;
+                }
+                self.accuracy_sum += f64::from(c.final_accuracy);
+                self.min_accuracy = self.min_accuracy.min(c.final_accuracy);
+                self.max_accuracy = self.max_accuracy.max(c.final_accuracy);
+                *self.epoch_histogram.entry(c.epochs_run).or_insert(0) += 1;
+                if let Some(outcomes) = &mut self.outcomes {
+                    outcomes.push(c);
+                }
+            }
+            SealedChip::Quarantined(q) => self.quarantined.push(q),
+        }
+        Ok(())
+    }
+
+    fn finish(self, policy: String, constraint: f32, retrain_cycles: Option<u64>) -> FleetReport {
+        let mean_accuracy = if self.evaluated == 0 {
+            0.0
+        } else {
+            (self.accuracy_sum / self.evaluated as f64) as f32
+        };
+        FleetReport {
             policy,
             constraint,
-            strategy: Mitigation::Fap,
-            early_stop: false,
-            cost_model: None,
-            seed: 0xF1EE7,
+            evaluated: self.evaluated,
+            quarantined: self.quarantined,
+            total_epochs: self.total_epochs,
+            satisfied: self.satisfied,
+            mean_accuracy,
+            min_accuracy: if self.min_accuracy.is_finite() {
+                self.min_accuracy
+            } else {
+                0.0
+            },
+            max_accuracy: if self.max_accuracy.is_finite() {
+                self.max_accuracy
+            } else {
+                0.0
+            },
+            epoch_histogram: self.epoch_histogram,
+            retrain_cycles,
+            outcomes: self.outcomes,
         }
     }
 }
 
-/// Retrains every chip in `fleet` under the configured policy and collects
-/// the per-chip and aggregate statistics of Fig. 3.
-///
-/// Chips are distributed over `exec.threads` workers on the shared
-/// deterministic executor ([`crate::exec`]). Each chip's FAT run is fully
-/// self-contained and seeded and the executor returns outcomes in fleet
-/// order, so the report is byte-identical at any thread count
-/// (`exec.threads == 0` auto-sizes the pool). `exec`'s observer receives
-/// a `Deploy` stage pair plus per-epoch ticks and one
-/// [`Event::ChipRetrained`] per chip, flushed in fleet order.
-///
-/// # Errors
-///
-/// Propagates fatal configuration errors (e.g. the Reduce policy without a
-/// table). A chip whose FAT run fails or panics is retried up to
-/// `exec.retry_budget()` times with a deterministically derived reseed and
-/// then *quarantined* into [`FleetReport::quarantined`] — never fatal to
-/// the rest of the fleet.
+/// Builder for a streaming fleet evaluation — the single entry point that
+/// replaced `evaluate_fleet` / `evaluate_fleet_resumable`.
 ///
 /// # Examples
 ///
 /// ```
 /// use reduce_core::exec::ExecConfig;
-/// use reduce_core::{evaluate_fleet, FatRunner, FleetEvalConfig, RetrainPolicy, Workbench};
-/// use reduce_systolic::{generate_fleet, FaultModel, FleetConfig, RateDistribution};
+/// use reduce_core::{FatRunner, FleetEvaluation, RetrainPolicy, SeededChips, Workbench};
+/// use reduce_systolic::{FaultModel, FleetConfig, RateDistribution};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let workbench = Workbench::toy(1);
 /// let pretrained = workbench.pretrain(5)?;
 /// let runner = FatRunner::new(workbench)?;
-/// let fleet = generate_fleet(&FleetConfig {
+/// let chips = SeededChips::new(FleetConfig {
 ///     chips: 3,
 ///     rows: 8,
 ///     cols: 8,
 ///     rates: RateDistribution::Fixed(0.1),
 ///     model: FaultModel::Random,
 ///     seed: 2,
-/// })?;
-/// let config = FleetEvalConfig::new(RetrainPolicy::Fixed(1), 0.8);
-/// let report =
-///     evaluate_fleet(&runner, &pretrained, &fleet, None, &config, &ExecConfig::default())?;
+/// });
+/// let exec = ExecConfig::default();
+/// let report = FleetEvaluation::new(RetrainPolicy::Fixed(1), 0.8)
+///     .source(&chips)
+///     .exec(&exec)
+///     .run(&runner, &pretrained)?;
 /// assert_eq!(report.total_epochs, 3);
 /// # Ok(())
 /// # }
 /// ```
-pub fn evaluate_fleet(
-    runner: &FatRunner,
-    pretrained: &Pretrained,
-    fleet: &[Chip],
-    table: Option<&ResilienceTable>,
-    config: &FleetEvalConfig,
-    exec: &ExecConfig,
-) -> Result<FleetReport> {
-    evaluate_fleet_resumable(runner, pretrained, fleet, table, config, exec, None)
+pub struct FleetEvaluation<'a> {
+    policy: RetrainPolicy,
+    constraint: f32,
+    source: Option<&'a dyn ChipSource>,
+    table: Option<&'a ResilienceTable>,
+    strategy: Mitigation,
+    early_stop: bool,
+    cost_model: Option<CostModel>,
+    seed: u64,
+    window: usize,
+    batch_cap: usize,
+    journal: Option<&'a Checkpoint>,
+    exec: Option<&'a ExecConfig>,
+    collect_outcomes: bool,
 }
 
-/// [`evaluate_fleet`] with checkpoint/resume: every sealed chip (retrained
-/// or quarantined) is appended to `checkpoint` keyed by `(policy label,
-/// chip id)`, and chips already journaled under this config's policy are
-/// replayed — their outcomes and buffered telemetry re-emitted
-/// bit-identically, in fleet order — instead of re-run. One journal can
-/// hold several policies' outcomes (the fig3 sweep shares one).
-///
-/// # Errors
-///
-/// Propagates fatal configuration errors and checkpoint-write failures.
-pub fn evaluate_fleet_resumable(
-    runner: &FatRunner,
-    pretrained: &Pretrained,
-    fleet: &[Chip],
-    table: Option<&ResilienceTable>,
-    config: &FleetEvalConfig,
-    exec: &ExecConfig,
-    checkpoint: Option<&Checkpoint>,
-) -> Result<FleetReport> {
-    let policy_label = config.policy.label();
-    let mut replayed: BTreeMap<usize, JournalRecord> = BTreeMap::new();
-    if let Some(cp) = checkpoint {
-        for record in cp.records()? {
-            if let Some((policy, chip_id)) = record.chip_key() {
-                if policy == policy_label {
-                    replayed.insert(chip_id, record);
+impl<'a> FleetEvaluation<'a> {
+    /// Default chips per intake window: the upper bound on scheduling
+    /// state held at once.
+    pub const DEFAULT_WINDOW: usize = 1024;
+
+    /// Default chips per executor batch: bounds both a worker's pooled
+    /// workspace lifetime and the size of one journal record.
+    pub const DEFAULT_BATCH_CAP: usize = 32;
+
+    /// A plain-FAP evaluation of `policy` against `constraint`; configure
+    /// the rest with the builder methods and launch with
+    /// [`FleetEvaluation::run`].
+    pub fn new(policy: RetrainPolicy, constraint: f32) -> Self {
+        FleetEvaluation {
+            policy,
+            constraint,
+            source: None,
+            table: None,
+            strategy: Mitigation::Fap,
+            early_stop: false,
+            cost_model: None,
+            seed: 0xF1EE7,
+            window: Self::DEFAULT_WINDOW,
+            batch_cap: Self::DEFAULT_BATCH_CAP,
+            journal: None,
+            exec: None,
+            collect_outcomes: false,
+        }
+    }
+
+    /// The chip intake (required).
+    #[must_use]
+    pub fn source(mut self, source: &'a dyn ChipSource) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// The characterised resilience table (required by the Reduce
+    /// policies, unused by Fixed).
+    #[must_use]
+    pub fn table(mut self, table: &'a ResilienceTable) -> Self {
+        self.table = Some(table);
+        self
+    }
+
+    /// Mitigation strategy (FAP per the paper; FAM as ablation).
+    #[must_use]
+    pub fn strategy(mut self, strategy: Mitigation) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Stop each chip's FAT as soon as its test accuracy reaches the
+    /// constraint instead of spending the whole budget (the early-stop
+    /// extension, ablation A5). The paper's Step ③ spends the budget
+    /// exactly, so this defaults to `false`.
+    #[must_use]
+    pub fn early_stop(mut self, early_stop: bool) -> Self {
+        self.early_stop = early_stop;
+        self
+    }
+
+    /// Accelerator cost model for cycle accounting.
+    #[must_use]
+    pub fn cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = Some(cost_model);
+        self
+    }
+
+    /// Per-chip run-seed base (decorrelates shuffling across chips).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Chips per intake window (defaults to
+    /// [`FleetEvaluation::DEFAULT_WINDOW`]); must be non-zero.
+    #[must_use]
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Maximum chips per scheduled batch (defaults to
+    /// [`FleetEvaluation::DEFAULT_BATCH_CAP`]); must be non-zero.
+    #[must_use]
+    pub fn batch_cap(mut self, batch_cap: usize) -> Self {
+        self.batch_cap = batch_cap;
+        self
+    }
+
+    /// Checkpoint journal for crash recovery: every sealed batch is
+    /// appended, and batches already journaled under this policy are
+    /// replayed bit-identically instead of re-run. Per-chip records from
+    /// legacy (version 1) journals replay too, when a batch's chips are
+    /// all present.
+    #[must_use]
+    pub fn journal(mut self, journal: &'a Checkpoint) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Executor configuration (threads, observer, retries, chaos);
+    /// defaults to the sequential [`ExecConfig::default`].
+    #[must_use]
+    pub fn exec(mut self, exec: &'a ExecConfig) -> Self {
+        self.exec = Some(exec);
+        self
+    }
+
+    /// Also collect per-chip [`ChipOutcome`]s into
+    /// [`FleetReport::outcomes`] — the explicit opt-in to O(fleet) memory
+    /// that per-chip tables and CSVs need.
+    #[must_use]
+    pub fn collect_outcomes(mut self, collect: bool) -> Self {
+        self.collect_outcomes = collect;
+        self
+    }
+
+    fn validated(&self) -> Result<&'a dyn ChipSource> {
+        let reject = |what: String| ReduceError::InvalidConfig {
+            what: format!("fleet evaluation rejected: {what}"),
+        };
+        let source = self
+            .source
+            .ok_or_else(|| reject("no chip source configured (call .source())".to_string()))?;
+        if source.is_empty() {
+            return Err(reject("empty fleet (zero chips)".to_string()));
+        }
+        if self.window == 0 {
+            return Err(reject("zero intake window".to_string()));
+        }
+        if self.batch_cap == 0 {
+            return Err(reject("zero batch cap".to_string()));
+        }
+        if !self.constraint.is_finite() || !(0.0..=1.0).contains(&self.constraint) {
+            return Err(reject(format!(
+                "constraint {} not in [0, 1]",
+                self.constraint
+            )));
+        }
+        Ok(source)
+    }
+
+    /// Retrains the whole fleet under the configured policy and streams
+    /// the aggregate statistics of Fig. 3.
+    ///
+    /// Batches are distributed over `exec.threads` workers on the shared
+    /// deterministic executor ([`crate::exec`]); outcomes are stitched
+    /// back in scheduler order (window-major, then ascending budget,
+    /// chunk and chip id), so the report and the flushed telemetry are
+    /// byte-identical at any thread count and across resume splits.
+    /// `exec`'s observer receives a `Deploy` stage pair plus per-epoch
+    /// ticks and one [`Event::ChipRetrained`] per chip.
+    ///
+    /// # Errors
+    ///
+    /// [`ReduceError::InvalidConfig`] for a rejected configuration
+    /// (missing source, empty fleet, zero window or batch cap, constraint
+    /// outside `[0, 1]`, or a Reduce policy without a table), and
+    /// propagates chip-generation and checkpoint-write failures. A chip
+    /// whose FAT run fails or panics is retried up to
+    /// `exec.retry_budget()` times with a deterministically derived
+    /// reseed and then *quarantined* into [`FleetReport::quarantined`] —
+    /// never fatal to the rest of the fleet.
+    pub fn run(&self, runner: &FatRunner, pretrained: &Pretrained) -> Result<FleetReport> {
+        let source = self.validated()?;
+        let default_exec;
+        let exec = match self.exec {
+            Some(exec) => exec,
+            None => {
+                default_exec = ExecConfig::default();
+                &default_exec
+            }
+        };
+        let policy_label = self.policy.label();
+        let n = source.len();
+
+        // Index the journal: batch-keyed records from this format, plus
+        // chip-keyed records from legacy single-file journals.
+        let mut replayed: BTreeMap<(usize, usize, usize), JournalRecord> = BTreeMap::new();
+        let mut legacy: BTreeMap<usize, JournalRecord> = BTreeMap::new();
+        if let Some(cp) = self.journal {
+            for record in cp.records()? {
+                if let Some((policy, window, budget, chunk)) = record.batch_key() {
+                    if policy == policy_label {
+                        replayed.insert((window, budget, chunk), record);
+                    }
+                } else if let Some((policy, chip_id)) = record.chip_key() {
+                    if policy == policy_label {
+                        legacy.insert(chip_id, record);
+                    }
                 }
             }
         }
+
+        let accumulator = telemetry::timed_stage(exec.observer(), Stage::Deploy, || {
+            let mut acc = ReportAccumulator::new(self.collect_outcomes);
+            let mut stage_ws = WorkspaceStats::default();
+            let mut window_index = 0usize;
+            let mut start = 0usize;
+            while start < n {
+                let end = (start + self.window).min(n);
+                let plans = self.schedule_window(source, window_index, start..end)?;
+                self.run_window(
+                    runner,
+                    pretrained,
+                    source,
+                    exec,
+                    &policy_label,
+                    &plans,
+                    &replayed,
+                    &legacy,
+                    &mut acc,
+                    &mut stage_ws,
+                )?;
+                window_index += 1;
+                start = end;
+            }
+            exec.observer().on_event(&Event::WorkspaceUsed {
+                stage: Stage::Deploy,
+                hits: stage_ws.hits,
+                misses: stage_ws.misses,
+                bytes_allocated: stage_ws.bytes_allocated,
+            });
+            if self.journal.is_some() {
+                exec.observer().on_event(&Event::CheckpointWritten {
+                    stage: Stage::Deploy,
+                    completed: n,
+                });
+            }
+            Ok::<_, ReduceError>(acc)
+        })?;
+
+        let retrain_cycles = match &self.cost_model {
+            Some(cm) => {
+                let wb = runner.workbench();
+                let shapes = wb.model.gemm_shapes(wb.train.batch_size)?;
+                let samples = runner.train_data().len();
+                let per_epoch = cm.epoch_cycles(&shapes, samples, wb.train.batch_size)?;
+                Some(per_epoch * accumulator.total_epochs as u64)
+            }
+            None => None,
+        };
+        Ok(accumulator.finish(policy_label, self.constraint, retrain_cycles))
     }
-    // Job ids are the chip ids — stable across resume subsetting, so retry
-    // salts and chaos decisions don't depend on which chips already ran.
-    let missing: Vec<(u64, &Chip)> = fleet
-        .iter()
-        .filter(|chip| !replayed.contains_key(&chip.id()))
-        .map(|chip| (chip.id() as u64, chip))
-        .collect();
-    let rates: BTreeMap<u64, f64> = fleet
-        .iter()
-        .map(|chip| (chip.id() as u64, chip.fault_rate()))
-        .collect();
-    let (chips, quarantined) = telemetry::timed_stage(exec.observer(), Stage::Deploy, || {
-        let fresh = exec::parallel_map_resilient(
-            &missing,
-            exec,
-            Stage::Deploy,
-            |_, chip, salt, events| {
-                retrain_chip(runner, pretrained, table, config, chip, salt, events)
-            },
-            |report| {
-                let Some(cp) = checkpoint else {
-                    return Ok(());
-                };
-                let record = match &report.status {
-                    JobStatus::Ok((outcome, workspace)) => JournalRecord::Chip {
-                        job: report.job,
-                        policy: policy_label.clone(),
-                        outcome: outcome.clone(),
-                        workspace: *workspace,
-                        events: report.events.clone(),
-                    },
-                    JobStatus::Quarantined { attempts, error } => JournalRecord::ChipFailed {
-                        job: report.job,
-                        policy: policy_label.clone(),
-                        chip_id: report.job as usize,
-                        fault_rate: rates.get(&report.job).copied().unwrap_or(f64::NAN),
-                        attempts: *attempts,
-                        error: error.clone(),
-                        events: report.events.clone(),
-                    },
-                };
-                cp.append(record)
-            },
-        )?;
-        let mut fresh_by_job: BTreeMap<u64, _> = fresh.into_iter().map(|r| (r.job, r)).collect();
-        // Stitch replayed and fresh outcomes back into fleet order; the
-        // event stream and aggregates are therefore independent of both
-        // thread count and the resume split.
-        let mut chips = Vec::with_capacity(fleet.len());
-        let mut quarantined = Vec::new();
-        let mut ws = WorkspaceStats::default();
-        for chip in fleet {
-            if let Some(record) = replayed.get(&chip.id()) {
-                match record {
-                    JournalRecord::Chip {
-                        outcome,
-                        workspace,
-                        events,
-                        ..
-                    } => {
-                        for e in events {
-                            exec.observer().on_event(e);
-                        }
-                        ws.merge(workspace);
-                        chips.push(outcome.clone());
-                    }
-                    JournalRecord::ChipFailed {
-                        attempts,
-                        error,
-                        events,
-                        ..
-                    } => {
-                        for e in events {
-                            exec.observer().on_event(e);
-                        }
-                        quarantined.push(QuarantinedChip {
-                            chip_id: chip.id(),
-                            fault_rate: chip.fault_rate(),
-                            attempts: *attempts,
-                            error: error.clone(),
-                        });
-                    }
-                    _ => {
-                        return Err(ReduceError::Internal {
-                            invariant: "chip-keyed journal records are chip records".to_string(),
-                        })
-                    }
-                }
-            } else if let Some(report) = fresh_by_job.remove(&(chip.id() as u64)) {
-                for e in &report.events {
-                    exec.observer().on_event(e);
-                }
-                match report.status {
-                    JobStatus::Ok((outcome, stats)) => {
-                        ws.merge(&stats);
-                        chips.push(outcome);
-                    }
-                    JobStatus::Quarantined { attempts, error } => {
-                        quarantined.push(QuarantinedChip {
-                            chip_id: chip.id(),
-                            fault_rate: chip.fault_rate(),
-                            attempts,
-                            error,
-                        });
-                    }
-                }
-            } else {
-                return Err(ReduceError::Internal {
-                    invariant: "every chip is either replayed or freshly run".to_string(),
+
+    /// The scheduling pass for one window: select a budget for every chip
+    /// (from its fault rate alone — no fault maps are generated), group
+    /// by budget, and chunk each group at the batch cap. The result is a
+    /// pure function of the config, independent of threads and resume
+    /// state — the property batch replay keys on.
+    fn schedule_window(
+        &self,
+        source: &dyn ChipSource,
+        window: usize,
+        ids: std::ops::Range<usize>,
+    ) -> Result<Vec<BatchPlan>> {
+        let mut groups: BTreeMap<usize, Vec<ChipPlan>> = BTreeMap::new();
+        for id in ids {
+            let rate = source.fault_rate(id)?;
+            let selection = self.policy.epochs_for_chip(self.table, rate)?;
+            groups.entry(selection.epochs).or_default().push(ChipPlan {
+                id,
+                budget: selection.epochs,
+                clamped: selection.clamped,
+            });
+        }
+        let mut plans = Vec::new();
+        for (budget, members) in groups {
+            for (chunk, slice) in members.chunks(self.batch_cap).enumerate() {
+                plans.push(BatchPlan {
+                    window,
+                    budget,
+                    chunk,
+                    members: slice.to_vec(),
                 });
             }
         }
-        exec.observer().on_event(&Event::WorkspaceUsed {
-            stage: Stage::Deploy,
-            hits: ws.hits,
-            misses: ws.misses,
-            bytes_allocated: ws.bytes_allocated,
-        });
-        if checkpoint.is_some() {
-            exec.observer().on_event(&Event::CheckpointWritten {
-                stage: Stage::Deploy,
-                completed: fleet.len(),
-            });
-        }
-        Ok::<_, ReduceError>((chips, quarantined))
-    })?;
-    build_report(runner, config, chips, quarantined)
-}
+        Ok(plans)
+    }
 
-/// Steps ②+③ for one chip: select a budget, retrain, record the outcome
-/// (and its telemetry events, in chip order) plus the run's workspace
-/// counters for the stage-level aggregate.
-fn retrain_chip(
-    runner: &FatRunner,
-    pretrained: &Pretrained,
-    table: Option<&ResilienceTable>,
-    config: &FleetEvalConfig,
-    chip: &Chip,
-    salt: u64,
-    events: &mut Vec<Event>,
-) -> Result<(ChipOutcome, WorkspaceStats)> {
-    let rate = chip.fault_rate();
-    let selection = config.policy.epochs_for_chip(table, rate)?;
-    let stop = if config.early_stop {
-        StopRule::AtAccuracy(config.constraint)
-    } else {
-        StopRule::Exact
-    };
-    let outcome = runner.run_observed(
-        pretrained,
-        chip.fault_map(),
-        selection.epochs,
-        stop,
-        config.strategy,
-        // `salt` is 0 on the first attempt; retries re-randomise the
-        // chip's training shuffle without touching its fault map.
-        config.seed.wrapping_add(chip.id() as u64) ^ salt,
-        &mut |epoch, accuracy| {
-            events.push(Event::EpochCompleted {
-                scope: EpochScope::Chip { chip_id: chip.id() },
-                epoch,
-                accuracy,
-            });
-        },
-    )?;
-    outcome.ensure_finite()?;
-    let final_accuracy = outcome.final_accuracy();
-    events.push(Event::ChipRetrained {
-        chip_id: chip.id(),
-        fault_rate: rate,
-        epochs_budgeted: selection.epochs,
-        epochs_run: outcome.epochs_run(),
-        final_accuracy,
-        satisfied: final_accuracy >= config.constraint,
-    });
-    Ok((
-        ChipOutcome {
+    /// Executes one window's batches (replaying journaled ones) and
+    /// stitches their outputs into the accumulator in scheduler order.
+    #[allow(clippy::too_many_arguments)] // internal plumbing of one call site
+    fn run_window(
+        &self,
+        runner: &FatRunner,
+        pretrained: &Pretrained,
+        source: &dyn ChipSource,
+        exec: &ExecConfig,
+        policy_label: &str,
+        plans: &[BatchPlan],
+        replayed: &BTreeMap<(usize, usize, usize), JournalRecord>,
+        legacy: &BTreeMap<usize, JournalRecord>,
+        acc: &mut ReportAccumulator,
+        stage_ws: &mut WorkspaceStats,
+    ) -> Result<()> {
+        // Partition into journal-replayable and fresh batches.
+        let fresh: Vec<&BatchPlan> = plans
+            .iter()
+            .filter(|plan| {
+                replayed
+                    .get(&(plan.window, plan.budget, plan.chunk))
+                    .is_none()
+                    && !plan.members.iter().all(|m| legacy.contains_key(&m.id))
+            })
+            .collect();
+        let fresh_results = exec::parallel_map(&fresh, exec.threads, |_, plan| {
+            self.run_batch(runner, pretrained, source, exec, policy_label, plan)
+        })?;
+        let mut fresh_iter = fresh_results.into_iter();
+        for plan in plans {
+            let result = if let Some(record) = replayed.get(&(plan.window, plan.budget, plan.chunk))
+            {
+                replay_batch(record)?
+            } else if plan.members.iter().all(|m| legacy.contains_key(&m.id)) {
+                replay_legacy_batch(plan, legacy)?
+            } else {
+                fresh_iter.next().ok_or_else(|| ReduceError::Internal {
+                    invariant: "every scheduled batch is either replayed or freshly run"
+                        .to_string(),
+                })?
+            };
+            for event in &result.events {
+                exec.observer().on_event(event);
+            }
+            stage_ws.merge(&result.workspace);
+            for sealed in result.chips {
+                acc.absorb(sealed)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one batch of same-budget chips through a shared workspace
+    /// pool, seals every chip (retrained or quarantined) and journals the
+    /// batch. Runs on an executor worker; all telemetry is buffered into
+    /// the result for in-order flushing.
+    fn run_batch(
+        &self,
+        runner: &FatRunner,
+        pretrained: &Pretrained,
+        source: &dyn ChipSource,
+        exec: &ExecConfig,
+        policy_label: &str,
+        plan: &BatchPlan,
+    ) -> Result<BatchResult> {
+        let pool = RefCell::new(Workspace::new());
+        let mut events = Vec::new();
+        let mut chips = Vec::with_capacity(plan.members.len());
+        for member in &plan.members {
+            let chip = source.chip(member.id)?;
+            // Job ids are the chip ids — stable across batching and
+            // resume subsetting, so retry salts and chaos decisions are
+            // per-chip properties, independent of scheduling.
+            let report = exec::run_job_resilient(
+                member.id as u64,
+                &chip,
+                exec,
+                Stage::Deploy,
+                &|_, chip: &Chip, salt, job_events: &mut Vec<Event>| {
+                    self.retrain_chip_pooled(
+                        runner, pretrained, member, chip, salt, &pool, job_events,
+                    )
+                },
+            )?;
+            events.extend(report.events);
+            match report.status {
+                JobStatus::Ok(outcome) => chips.push(SealedChip::Retrained(outcome)),
+                JobStatus::Quarantined { attempts, error } => {
+                    chips.push(SealedChip::Quarantined(QuarantinedChip {
+                        chip_id: member.id,
+                        fault_rate: chip.fault_rate(),
+                        attempts,
+                        error,
+                    }));
+                }
+            }
+        }
+        let workspace = pool.borrow().stats();
+        if let Some(cp) = self.journal {
+            cp.append(JournalRecord::FleetBatch {
+                policy: policy_label.to_string(),
+                window: plan.window,
+                budget: plan.budget,
+                chunk: plan.chunk,
+                chips: chips.clone(),
+                workspace,
+                events: events.clone(),
+            })?;
+        }
+        Ok(BatchResult {
+            chips,
+            workspace,
+            events,
+        })
+    }
+
+    /// Steps ②+③ for one chip, training out of the batch's shared
+    /// workspace pool.
+    #[allow(clippy::too_many_arguments)] // internal plumbing of one call site
+    fn retrain_chip_pooled(
+        &self,
+        runner: &FatRunner,
+        pretrained: &Pretrained,
+        member: &ChipPlan,
+        chip: &Chip,
+        salt: u64,
+        pool: &RefCell<Workspace>,
+        events: &mut Vec<Event>,
+    ) -> Result<ChipOutcome> {
+        let rate = chip.fault_rate();
+        let stop = if self.early_stop {
+            StopRule::AtAccuracy(self.constraint)
+        } else {
+            StopRule::Exact
+        };
+        let mut pool = pool.borrow_mut();
+        let outcome = runner.run_pooled_observed(
+            pretrained,
+            chip.fault_map(),
+            member.budget,
+            stop,
+            self.strategy,
+            // `salt` is 0 on the first attempt; retries re-randomise the
+            // chip's training shuffle without touching its fault map.
+            self.seed.wrapping_add(chip.id() as u64) ^ salt,
+            &mut pool,
+            &mut |epoch, accuracy| {
+                events.push(Event::EpochCompleted {
+                    scope: EpochScope::Chip { chip_id: chip.id() },
+                    epoch,
+                    accuracy,
+                });
+            },
+        )?;
+        outcome.ensure_finite()?;
+        let final_accuracy = outcome.final_accuracy();
+        events.push(Event::ChipRetrained {
             chip_id: chip.id(),
             fault_rate: rate,
-            epochs_budgeted: selection.epochs,
+            epochs_budgeted: member.budget,
+            epochs_run: outcome.epochs_run(),
+            final_accuracy,
+            satisfied: final_accuracy >= self.constraint,
+        });
+        Ok(ChipOutcome {
+            chip_id: chip.id(),
+            fault_rate: rate,
+            epochs_budgeted: member.budget,
             epochs_run: outcome.epochs_run(),
             pre_retrain_accuracy: outcome.pre_retrain_accuracy,
             final_accuracy,
-            meets_constraint: final_accuracy >= config.constraint,
+            meets_constraint: final_accuracy >= self.constraint,
             pruned_fraction: outcome.pruned_fraction,
-            clamped: selection.clamped,
-        },
-        outcome.workspace,
-    ))
+            clamped: member.clamped,
+        })
+    }
 }
 
-/// Aggregates per-chip outcomes into a [`FleetReport`] — the one builder
-/// behind both the sequential and the parallel evaluation path.
-fn build_report(
-    runner: &FatRunner,
-    config: &FleetEvalConfig,
-    chips: Vec<ChipOutcome>,
-    quarantined: Vec<QuarantinedChip>,
-) -> Result<FleetReport> {
-    // FAT runs guard this at the source; re-check here so a hand-edited
-    // journal (or future caller) can't slip a NaN into the aggregates,
-    // where it would poison the means and vanish in `min` comparisons.
-    for c in &chips {
-        if !c.final_accuracy.is_finite() {
-            return Err(ReduceError::Divergence {
-                what: format!("chip {} final accuracy is {}", c.chip_id, c.final_accuracy),
-            });
+/// Reconstructs a batch's output from its journal record.
+fn replay_batch(record: &JournalRecord) -> Result<BatchResult> {
+    match record {
+        JournalRecord::FleetBatch {
+            chips,
+            workspace,
+            events,
+            ..
+        } => Ok(BatchResult {
+            chips: chips.clone(),
+            workspace: *workspace,
+            events: events.clone(),
+        }),
+        _ => Err(ReduceError::Internal {
+            invariant: "batch-keyed journal records are fleet-batch records".to_string(),
+        }),
+    }
+}
+
+/// Reconstructs a batch's output from legacy per-chip (version 1) journal
+/// records; callable only when every member chip is journaled. Workspace
+/// counters reflect the original unpooled runs.
+fn replay_legacy_batch(
+    plan: &BatchPlan,
+    legacy: &BTreeMap<usize, JournalRecord>,
+) -> Result<BatchResult> {
+    let mut chips = Vec::with_capacity(plan.members.len());
+    let mut workspace = WorkspaceStats::default();
+    let mut events = Vec::new();
+    for member in &plan.members {
+        match legacy.get(&member.id) {
+            Some(JournalRecord::Chip {
+                outcome,
+                workspace: ws,
+                events: chip_events,
+                ..
+            }) => {
+                events.extend(chip_events.iter().cloned());
+                workspace.merge(ws);
+                chips.push(SealedChip::Retrained(outcome.clone()));
+            }
+            Some(JournalRecord::ChipFailed {
+                chip_id,
+                fault_rate,
+                attempts,
+                error,
+                events: chip_events,
+                ..
+            }) => {
+                events.extend(chip_events.iter().cloned());
+                chips.push(SealedChip::Quarantined(QuarantinedChip {
+                    chip_id: *chip_id,
+                    fault_rate: *fault_rate,
+                    attempts: *attempts,
+                    error: error.clone(),
+                }));
+            }
+            _ => {
+                return Err(ReduceError::Internal {
+                    invariant: "chip-keyed journal records are chip records".to_string(),
+                })
+            }
         }
     }
-    let satisfied = chips.iter().filter(|c| c.meets_constraint).count();
-    let total_epochs = chips.iter().map(|c| c.epochs_run).sum::<usize>();
-    let mean_accuracy = if chips.is_empty() {
-        0.0
-    } else {
-        chips.iter().map(|c| c.final_accuracy).sum::<f32>() / chips.len() as f32
-    };
-    let min_accuracy = chips
-        .iter()
-        .map(|c| c.final_accuracy)
-        .fold(f32::INFINITY, f32::min);
-    let retrain_cycles = match &config.cost_model {
-        Some(cm) => {
-            let wb = runner.workbench();
-            let shapes = wb.model.gemm_shapes(wb.train.batch_size)?;
-            let samples = runner.train_data().len();
-            let per_epoch = cm.epoch_cycles(&shapes, samples, wb.train.batch_size)?;
-            Some(per_epoch * total_epochs as u64)
-        }
-        None => None,
-    };
-    Ok(FleetReport {
-        policy: config.policy.label(),
-        constraint: config.constraint,
+    Ok(BatchResult {
         chips,
-        quarantined,
-        total_epochs,
-        satisfied,
-        mean_accuracy,
-        min_accuracy: if min_accuracy.is_finite() {
-            min_accuracy
-        } else {
-            0.0
-        },
-        retrain_cycles,
+        workspace,
+        events,
     })
 }
 
@@ -503,21 +1026,24 @@ mod tests {
     use super::*;
     use crate::resilience::{Statistic, TableEntry};
     use crate::workbench::Workbench;
-    use reduce_systolic::{generate_fleet, FaultModel, FleetConfig, RateDistribution};
+    use reduce_systolic::{generate_fleet, FaultModel, RateDistribution};
 
-    fn setup() -> (FatRunner, Pretrained, Vec<Chip>) {
-        let wb = Workbench::toy(21);
-        let pre = wb.pretrain(12).expect("valid workbench");
-        let runner = FatRunner::new(wb).expect("valid workbench");
-        let fleet = generate_fleet(&FleetConfig {
+    fn fleet_config() -> FleetConfig {
+        FleetConfig {
             chips: 6,
             rows: 8,
             cols: 8,
             rates: RateDistribution::Uniform { lo: 0.0, hi: 0.25 },
             model: FaultModel::Random,
             seed: 5,
-        })
-        .expect("valid fleet");
+        }
+    }
+
+    fn setup() -> (FatRunner, Pretrained, Vec<Chip>) {
+        let wb = Workbench::toy(21);
+        let pre = wb.pretrain(12).expect("valid workbench");
+        let runner = FatRunner::new(wb).expect("valid workbench");
+        let fleet = generate_fleet(&fleet_config()).expect("valid fleet");
         (runner, pre, fleet)
     }
 
@@ -543,37 +1069,35 @@ mod tests {
     #[test]
     fn fixed_policy_charges_every_chip_equally() {
         let (runner, pre, fleet) = setup();
-        let config = FleetEvalConfig::new(RetrainPolicy::Fixed(2), 0.85);
-        let report = evaluate_fleet(&runner, &pre, &fleet, None, &config, &ExecConfig::default())
+        let report = FleetEvaluation::new(RetrainPolicy::Fixed(2), 0.85)
+            .source(&fleet)
+            .run(&runner, &pre)
             .expect("valid run");
-        assert_eq!(report.chips.len(), 6);
-        assert!(report.chips.iter().all(|c| c.epochs_run == 2));
+        assert_eq!(report.evaluated, 6);
+        assert_eq!(report.epoch_histogram, BTreeMap::from([(2, 6)]));
         assert_eq!(report.total_epochs, 12);
         assert_eq!(report.policy, "Fixed (2 epochs)");
+        assert_eq!(report.outcomes, None, "per-chip memory is opt-in");
     }
 
     #[test]
     fn reduce_policy_scales_epochs_with_fault_rate() {
         let (runner, pre, fleet) = setup();
         let t = table();
-        let config = FleetEvalConfig::new(RetrainPolicy::Reduce(Statistic::Max), 0.85);
-        let report = evaluate_fleet(
-            &runner,
-            &pre,
-            &fleet,
-            Some(&t),
-            &config,
-            &ExecConfig::default(),
-        )
-        .expect("valid run");
+        let report = FleetEvaluation::new(RetrainPolicy::Reduce(Statistic::Max), 0.85)
+            .source(&fleet)
+            .table(&t)
+            .collect_outcomes(true)
+            .run(&runner, &pre)
+            .expect("valid run");
         // Chips with higher fault rates get more epochs (monotone table).
-        let mut sorted = report.chips.clone();
+        let mut sorted = report.outcomes.clone().expect("collected");
         sorted.sort_by(|a, b| a.fault_rate.partial_cmp(&b.fault_rate).expect("finite"));
         for pair in sorted.windows(2) {
             assert!(pair[0].epochs_budgeted <= pair[1].epochs_budgeted);
         }
         // A clean chip costs nothing.
-        if let Some(clean) = report.chips.iter().find(|c| c.fault_rate == 0.0) {
+        if let Some(clean) = sorted.iter().find(|c| c.fault_rate == 0.0) {
             assert_eq!(clean.epochs_run, 0);
         }
     }
@@ -583,24 +1107,15 @@ mod tests {
         let (runner, pre, fleet) = setup();
         let t = table();
         let constraint = 0.85;
-        let reduce = evaluate_fleet(
-            &runner,
-            &pre,
-            &fleet,
-            Some(&t),
-            &FleetEvalConfig::new(RetrainPolicy::Reduce(Statistic::Max), constraint),
-            &ExecConfig::default(),
-        )
-        .expect("valid run");
-        let fixed_high = evaluate_fleet(
-            &runner,
-            &pre,
-            &fleet,
-            None,
-            &FleetEvalConfig::new(RetrainPolicy::Fixed(5), constraint),
-            &ExecConfig::default(),
-        )
-        .expect("valid run");
+        let reduce = FleetEvaluation::new(RetrainPolicy::Reduce(Statistic::Max), constraint)
+            .source(&fleet)
+            .table(&t)
+            .run(&runner, &pre)
+            .expect("valid run");
+        let fixed_high = FleetEvaluation::new(RetrainPolicy::Fixed(5), constraint)
+            .source(&fleet)
+            .run(&runner, &pre)
+            .expect("valid run");
         assert!(
             reduce.total_epochs < fixed_high.total_epochs,
             "Reduce ({}) should be cheaper than Fixed-5 ({})",
@@ -612,39 +1127,46 @@ mod tests {
     #[test]
     fn report_aggregates() {
         let (runner, pre, fleet) = setup();
-        let config = FleetEvalConfig::new(RetrainPolicy::Fixed(1), 0.5);
-        let report = evaluate_fleet(&runner, &pre, &fleet, None, &config, &ExecConfig::default())
+        let report = FleetEvaluation::new(RetrainPolicy::Fixed(1), 0.5)
+            .source(&fleet)
+            .collect_outcomes(true)
+            .run(&runner, &pre)
             .expect("valid run");
         assert!(report.yield_fraction() > 0.0);
         assert!((report.mean_epochs() - 1.0).abs() < 1e-6);
         assert!(report.min_accuracy <= report.mean_accuracy);
+        assert!(report.mean_accuracy <= report.max_accuracy);
+        let outcomes = report.outcomes.as_ref().expect("collected");
         assert_eq!(
             report.satisfied,
-            report.chips.iter().filter(|c| c.meets_constraint).count()
+            outcomes.iter().filter(|c| c.meets_constraint).count()
+        );
+        assert_eq!(
+            report.status_counts(),
+            [(ChipStatus::Ok, 6), (ChipStatus::Quarantined, 0)]
+        );
+        assert_eq!(
+            report.epoch_histogram.values().sum::<usize>(),
+            report.evaluated
         );
     }
 
     #[test]
     fn cycle_accounting_present_with_cost_model() {
         let (runner, pre, fleet) = setup();
-        let mut config = FleetEvalConfig::new(RetrainPolicy::Fixed(1), 0.5);
-        config.cost_model = Some(CostModel::small(8, 8));
-        let report = evaluate_fleet(&runner, &pre, &fleet, None, &config, &ExecConfig::default())
+        let report = FleetEvaluation::new(RetrainPolicy::Fixed(1), 0.5)
+            .source(&fleet)
+            .cost_model(CostModel::small(8, 8))
+            .run(&runner, &pre)
             .expect("valid run");
         let cycles = report.retrain_cycles.expect("cost model supplied");
         assert!(cycles > 0);
         // Double the epochs, double the cycles.
-        let mut config2 = FleetEvalConfig::new(RetrainPolicy::Fixed(2), 0.5);
-        config2.cost_model = Some(CostModel::small(8, 8));
-        let report2 = evaluate_fleet(
-            &runner,
-            &pre,
-            &fleet,
-            None,
-            &config2,
-            &ExecConfig::default(),
-        )
-        .expect("valid run");
+        let report2 = FleetEvaluation::new(RetrainPolicy::Fixed(2), 0.5)
+            .source(&fleet)
+            .cost_model(CostModel::small(8, 8))
+            .run(&runner, &pre)
+            .expect("valid run");
         assert_eq!(
             report2.retrain_cycles.expect("cost model supplied"),
             2 * cycles
@@ -654,24 +1176,21 @@ mod tests {
     #[test]
     fn early_stop_fleet_never_spends_more() {
         let (runner, pre, fleet) = setup();
-        let exact = evaluate_fleet(
-            &runner,
-            &pre,
-            &fleet,
-            None,
-            &FleetEvalConfig::new(RetrainPolicy::Fixed(4), 0.85),
-            &ExecConfig::default(),
-        )
-        .expect("valid run");
-        let mut cfg = FleetEvalConfig::new(RetrainPolicy::Fixed(4), 0.85);
-        cfg.early_stop = true;
-        let stopped = evaluate_fleet(&runner, &pre, &fleet, None, &cfg, &ExecConfig::default())
+        let exact = FleetEvaluation::new(RetrainPolicy::Fixed(4), 0.85)
+            .source(&fleet)
+            .run(&runner, &pre)
+            .expect("valid run");
+        let stopped = FleetEvaluation::new(RetrainPolicy::Fixed(4), 0.85)
+            .source(&fleet)
+            .early_stop(true)
+            .collect_outcomes(true)
+            .run(&runner, &pre)
             .expect("valid run");
         assert!(stopped.total_epochs <= exact.total_epochs);
         // Early stop only stops *after* the constraint is met, so yield
         // cannot be worse.
         assert!(stopped.satisfied >= exact.satisfied.saturating_sub(1));
-        for c in &stopped.chips {
+        for c in stopped.outcomes.as_ref().expect("collected") {
             assert!(c.epochs_run <= c.epochs_budgeted);
         }
     }
@@ -679,22 +1198,62 @@ mod tests {
     #[test]
     fn parallel_fleet_matches_sequential() {
         let (runner, pre, fleet) = setup();
-        let config = FleetEvalConfig::new(RetrainPolicy::Fixed(2), 0.85);
-        let seq = evaluate_fleet(&runner, &pre, &fleet, None, &config, &ExecConfig::default())
+        let seq = FleetEvaluation::new(RetrainPolicy::Fixed(2), 0.85)
+            .source(&fleet)
+            .collect_outcomes(true)
+            .run(&runner, &pre)
             .expect("valid run");
         // 0 auto-sizes from the hardware; the report must still match.
         for threads in [0usize, 1, 2, 4] {
-            let par = evaluate_fleet(
-                &runner,
-                &pre,
-                &fleet,
-                None,
-                &config,
-                &ExecConfig::new(threads),
-            )
-            .expect("valid run");
+            let exec = ExecConfig::new(threads);
+            let par = FleetEvaluation::new(RetrainPolicy::Fixed(2), 0.85)
+                .source(&fleet)
+                .collect_outcomes(true)
+                .exec(&exec)
+                .run(&runner, &pre)
+                .expect("valid run");
             assert_eq!(par, seq, "{threads}-thread report differs from sequential");
         }
+    }
+
+    #[test]
+    fn window_and_batch_partitioning_do_not_change_the_report() {
+        let (runner, pre, fleet) = setup();
+        let baseline = FleetEvaluation::new(RetrainPolicy::Fixed(2), 0.85)
+            .source(&fleet)
+            .collect_outcomes(true)
+            .run(&runner, &pre)
+            .expect("valid run");
+        for (window, batch_cap) in [(1usize, 1usize), (2, 1), (4, 2), (100, 3)] {
+            let report = FleetEvaluation::new(RetrainPolicy::Fixed(2), 0.85)
+                .source(&fleet)
+                .window(window)
+                .batch_cap(batch_cap)
+                .collect_outcomes(true)
+                .run(&runner, &pre)
+                .expect("valid run");
+            assert_eq!(
+                report, baseline,
+                "window {window} / batch {batch_cap} changed the report"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_source_matches_materialised_fleet() {
+        let (runner, pre, fleet) = setup();
+        let materialised = FleetEvaluation::new(RetrainPolicy::Fixed(2), 0.85)
+            .source(&fleet)
+            .collect_outcomes(true)
+            .run(&runner, &pre)
+            .expect("valid run");
+        let seeded = SeededChips::new(fleet_config());
+        let streamed = FleetEvaluation::new(RetrainPolicy::Fixed(2), 0.85)
+            .source(&seeded)
+            .collect_outcomes(true)
+            .run(&runner, &pre)
+            .expect("valid run");
+        assert_eq!(streamed, materialised);
     }
 
     #[test]
@@ -728,20 +1287,38 @@ mod tests {
     #[test]
     fn reduce_without_table_fails() {
         let (runner, pre, fleet) = setup();
-        let config = FleetEvalConfig::new(RetrainPolicy::Reduce(Statistic::Max), 0.85);
         assert!(
-            evaluate_fleet(&runner, &pre, &fleet, None, &config, &ExecConfig::default()).is_err()
+            FleetEvaluation::new(RetrainPolicy::Reduce(Statistic::Max), 0.85)
+                .source(&fleet)
+                .run(&runner, &pre)
+                .is_err()
         );
     }
 
     #[test]
-    fn empty_fleet_is_empty_report() {
-        let (runner, pre, _) = setup();
-        let config = FleetEvalConfig::new(RetrainPolicy::Fixed(1), 0.5);
-        let report = evaluate_fleet(&runner, &pre, &[], None, &config, &ExecConfig::default())
-            .expect("valid run");
-        assert_eq!(report.chips.len(), 0);
-        assert_eq!(report.yield_fraction(), 0.0);
-        assert_eq!(report.min_accuracy, 0.0);
+    fn invalid_configurations_are_rejected() {
+        let (runner, pre, fleet) = setup();
+        let rejected = |eval: FleetEvaluation| {
+            let err = eval.run(&runner, &pre).expect_err("must reject");
+            assert!(
+                err.to_string().contains("fleet evaluation rejected"),
+                "unexpected error: {err}"
+            );
+        };
+        rejected(FleetEvaluation::new(RetrainPolicy::Fixed(1), 0.5));
+        let empty: Vec<Chip> = Vec::new();
+        rejected(FleetEvaluation::new(RetrainPolicy::Fixed(1), 0.5).source(&empty));
+        rejected(
+            FleetEvaluation::new(RetrainPolicy::Fixed(1), 0.5)
+                .source(&fleet)
+                .window(0),
+        );
+        rejected(
+            FleetEvaluation::new(RetrainPolicy::Fixed(1), 0.5)
+                .source(&fleet)
+                .batch_cap(0),
+        );
+        rejected(FleetEvaluation::new(RetrainPolicy::Fixed(1), 1.5).source(&fleet));
+        rejected(FleetEvaluation::new(RetrainPolicy::Fixed(1), f32::NAN).source(&fleet));
     }
 }

@@ -12,7 +12,7 @@
 use crate::error::{ReduceError, Result};
 use crate::exec::ExecConfig;
 use crate::fat::{FatRunner, Mitigation};
-use crate::fleet::{evaluate_fleet, FleetEvalConfig, FleetReport};
+use crate::fleet::{FleetEvaluation, FleetReport};
 use crate::policy::RetrainPolicy;
 use crate::resilience::{ResilienceAnalysis, ResilienceConfig, ResilienceTable, Selection};
 use crate::telemetry::{self, Stage};
@@ -245,16 +245,15 @@ impl Reduce {
         } else {
             None
         };
-        let mut config = FleetEvalConfig::new(policy, self.constraint);
-        config.strategy = self.strategy;
-        evaluate_fleet(
-            &self.runner,
-            &self.pretrained,
-            fleet,
-            table.as_ref(),
-            &config,
-            exec,
-        )
+        let mut eval = FleetEvaluation::new(policy, self.constraint)
+            .source(&fleet)
+            .strategy(self.strategy)
+            .exec(exec)
+            .collect_outcomes(true);
+        if let Some(table) = table.as_ref() {
+            eval = eval.table(table);
+        }
+        eval.run(&self.runner, &self.pretrained)
     }
 }
 
@@ -328,7 +327,7 @@ mod tests {
         let report = reduce
             .deploy(&chips, RetrainPolicy::Reduce(Statistic::Max), &exec)
             .expect("deployment runs");
-        assert_eq!(report.chips.len(), 6);
+        assert_eq!(report.evaluated, 6);
         assert!(
             report.satisfied >= 4,
             "Reduce(max) satisfied only {}/6 chips",

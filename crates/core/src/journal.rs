@@ -1,15 +1,25 @@
 //! Checkpoint journal — the pipeline's crash-recovery log.
 //!
 //! A [`Checkpoint`] records every *sealed* job outcome (a finished grid
-//! cell or retrained chip, successful or quarantined) as one JSON line in
-//! `journal.jsonl`. The whole file is rewritten through
-//! [`crate::artifact::write_atomic`] on every append, so a killed process
-//! always leaves a complete, parseable journal — the worst case loses the
-//! in-flight jobs, never corrupts the finished ones.
+//! cell, retrained chip, or fleet batch, successful or quarantined) as one
+//! JSON line. The current (version 2) format splits the journal into
+//! fixed-size *shard* segments: `journal.jsonl` holds only a one-line
+//! manifest naming the shard size, and records live in headerless
+//! `journal-00000.jsonl`, `journal-00001.jsonl`, … files beside it. Each
+//! append atomically rewrites only the active shard (through
+//! [`crate::artifact::write_atomic`]), so the I/O cost of sealing a job is
+//! bounded by the shard size — not by the total number of records — while
+//! a killed process still always leaves a complete, parseable journal: the
+//! worst case loses the in-flight jobs, never corrupts the finished ones.
+//!
+//! Version-1 journals (a single header-prefixed file rewritten whole on
+//! every append) are still read and extended transparently:
+//! [`Checkpoint::resume`] detects the header and keeps such journals in
+//! the legacy single-file layout.
 //!
 //! On `--resume`, [`Checkpoint::resume`] reloads the journal and the
 //! resumable entry points ([`crate::ResilienceAnalysis::run_resumable`],
-//! [`crate::evaluate_fleet_resumable`]) replay the recorded outcomes —
+//! [`crate::FleetEvaluation::run`]) replay the recorded outcomes —
 //! including their buffered telemetry events, re-emitted bit-identically —
 //! and compute only the missing jobs. Records carry the stable job id the
 //! retry/chaos layer keys on, so a resumed run salts and injects exactly
@@ -17,11 +27,11 @@
 //!
 //! Journal lines are written in *completion* order, which depends on
 //! thread scheduling; determinism lives in the replayed artifacts (run
-//! log, manifest, CSVs), not in the journal file itself.
+//! log, manifest, CSVs), not in the journal files themselves.
 
 use crate::artifact::write_atomic;
 use crate::error::{ReduceError, Result};
-use crate::fleet::ChipOutcome;
+use crate::fleet::{ChipOutcome, QuarantinedChip, SealedChip};
 use crate::resilience::ResiliencePoint;
 use crate::telemetry::json::{parse, push_json_f32, push_json_f64, push_json_string, JsonValue};
 use crate::telemetry::{parse_event, render_event, Event};
@@ -29,7 +39,24 @@ use reduce_nn::WorkspaceStats;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-const HEADER: &str = "{\"journal\":\"reduce-journal\",\"version\":1}\n";
+const V1_HEADER: &str = "{\"journal\":\"reduce-journal\",\"version\":1}\n";
+
+/// Default records per shard segment: large enough that a shard rewrite
+/// stays one buffered write, small enough that per-append I/O is trivially
+/// bounded even for million-chip journals.
+pub const DEFAULT_SHARD_RECORDS: usize = 256;
+
+fn render_manifest(shard_records: usize) -> String {
+    format!("{{\"journal\":\"reduce-journal\",\"version\":2,\"shard_records\":{shard_records}}}\n")
+}
+
+fn shard_path(manifest: &Path, index: usize) -> PathBuf {
+    let stem = manifest.file_stem().map_or_else(
+        || "journal".to_string(),
+        |s| s.to_string_lossy().into_owned(),
+    );
+    manifest.with_file_name(format!("{stem}-{index:05}.jsonl"))
+}
 
 /// One sealed job outcome in the journal.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +120,28 @@ pub enum JournalRecord {
         /// The chip's failure telemetry, in emission order.
         events: Vec<Event>,
     },
+    /// One sealed batch of the streaming fleet evaluator: every chip the
+    /// epoch-budget scheduler ran through one shared workspace, with the
+    /// batch's pooled workspace counters and buffered telemetry. The
+    /// `(policy, window, budget, chunk)` key is a pure function of the
+    /// evaluation config, so a resumed run recomputes the same batches and
+    /// replays the sealed ones.
+    FleetBatch {
+        /// Label of the policy the batch was retrained under.
+        policy: String,
+        /// Intake-window index the batch belongs to.
+        window: usize,
+        /// The epoch budget shared by every chip in the batch.
+        budget: usize,
+        /// Chunk index within the window's budget group.
+        chunk: usize,
+        /// Sealed per-chip fates, in ascending chip-id order.
+        chips: Vec<SealedChip>,
+        /// The batch's pooled-workspace counters.
+        workspace: WorkspaceStats,
+        /// The batch's buffered telemetry events, in emission order.
+        events: Vec<Event>,
+    },
 }
 
 impl JournalRecord {
@@ -107,7 +156,8 @@ impl JournalRecord {
         }
     }
 
-    /// `(policy label, chip id)` for chip records.
+    /// `(policy label, chip id)` for per-chip records (the version-1
+    /// fleet journal granularity).
     pub fn chip_key(&self) -> Option<(&str, usize)> {
         match self {
             JournalRecord::Chip {
@@ -119,22 +169,75 @@ impl JournalRecord {
             _ => None,
         }
     }
+
+    /// `(policy label, window, budget, chunk)` for fleet-batch records.
+    pub fn batch_key(&self) -> Option<(&str, usize, usize, usize)> {
+        match self {
+            JournalRecord::FleetBatch {
+                policy,
+                window,
+                budget,
+                chunk,
+                ..
+            } => Some((policy.as_str(), *window, *budget, *chunk)),
+            _ => None,
+        }
+    }
+}
+
+/// Cumulative journal-write accounting for this process: the evidence that
+/// per-append I/O is bounded by the shard size, not the journal length.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Appends performed (replayed records don't count).
+    pub appends: u64,
+    /// Total bytes handed to the atomic writer across all appends.
+    pub bytes_written: u64,
+    /// Largest single append's bytes — bounded by one shard's rendered
+    /// size in the sharded layout.
+    pub max_append_bytes: u64,
+}
+
+/// On-disk layout of a journal.
+enum Store {
+    /// Legacy version 1: header plus every record in one atomically
+    /// rewritten file.
+    Single {
+        /// Rendered record lines, each newline-terminated.
+        lines: Vec<String>,
+    },
+    /// Version 2: a one-line manifest at the journal path, records in
+    /// fixed-size shard segments beside it.
+    Sharded {
+        /// Records per shard segment.
+        shard_records: usize,
+        /// Whether the manifest file exists on disk yet (it is written
+        /// lazily with the first append).
+        manifest_written: bool,
+        /// Fully sealed shard files on disk; the active shard has this
+        /// index.
+        sealed_shards: usize,
+        /// Rendered lines of the active (partial) shard.
+        active: Vec<String>,
+    },
 }
 
 struct CheckpointState {
     records: Vec<JournalRecord>,
-    /// Rendered journal lines, one per record, each newline-terminated.
-    lines: Vec<String>,
+    store: Store,
     appended: usize,
     halt_after: Option<usize>,
+    io: IoStats,
 }
 
-/// An append-only journal of sealed job outcomes backed by one
-/// atomically-rewritten `journal.jsonl` file.
+/// An append-only journal of sealed job outcomes backed by an atomically
+/// maintained manifest-plus-shards layout (or, for resumed version-1
+/// journals, one whole-file-rewritten `journal.jsonl`).
 ///
 /// Appends are serialised through an internal mutex, so a `Checkpoint` can
 /// be shared by the executor's worker threads (the `on_sealed` hook of
-/// [`crate::exec::parallel_map_resilient`]).
+/// [`crate::exec::parallel_map_resilient`], or the fleet evaluator's batch
+/// jobs).
 pub struct Checkpoint {
     path: PathBuf,
     state: Mutex<CheckpointState>,
@@ -149,22 +252,54 @@ impl std::fmt::Debug for Checkpoint {
 }
 
 impl Checkpoint {
-    /// A fresh journal at `path`. Nothing is written until the first
-    /// [`Checkpoint::append`].
+    /// A fresh sharded (version 2) journal whose manifest lives at `path`.
+    /// Nothing is written until the first [`Checkpoint::append`].
     pub fn create(path: &Path) -> Self {
         Checkpoint {
             path: path.to_path_buf(),
             state: Mutex::new(CheckpointState {
                 records: Vec::new(),
-                lines: Vec::new(),
+                store: Store::Sharded {
+                    shard_records: DEFAULT_SHARD_RECORDS,
+                    manifest_written: false,
+                    sealed_shards: 0,
+                    active: Vec::new(),
+                },
                 appended: 0,
                 halt_after: None,
+                io: IoStats::default(),
             }),
         }
     }
 
+    /// Overrides the records-per-shard size of a fresh journal. Must be
+    /// called before the first append; ignored once the manifest is on
+    /// disk (resumed journals keep the shard size they were created with)
+    /// and for legacy single-file journals. Zero is ignored.
+    #[must_use]
+    pub fn with_shard_records(self, n: usize) -> Self {
+        if n > 0 {
+            if let Ok(mut state) = self.state.lock() {
+                if let Store::Sharded {
+                    shard_records,
+                    manifest_written: false,
+                    active,
+                    ..
+                } = &mut state.store
+                {
+                    if active.is_empty() {
+                        *shard_records = n;
+                    }
+                }
+            }
+        }
+        self
+    }
+
     /// Reloads the journal at `path`; a missing file is an empty journal
-    /// (resuming a run that was killed before its first checkpoint).
+    /// (resuming a run that was killed before its first checkpoint). A
+    /// version-1 header keeps the journal in the legacy single-file
+    /// layout; a version-2 manifest loads every shard segment beside it.
     ///
     /// # Errors
     ///
@@ -185,14 +320,19 @@ impl Checkpoint {
         };
         let mut lines = text.lines();
         let header = lines.next().unwrap_or_default();
-        if format!("{header}\n") != HEADER {
-            return Err(ReduceError::InvalidConfig {
-                what: format!(
-                    "unrecognised journal header {header:?} in {}",
-                    path.display()
-                ),
-            });
+        if format!("{header}\n") == V1_HEADER {
+            return Self::resume_v1(path, lines);
         }
+        let shard_records = parse_manifest(header).ok_or_else(|| ReduceError::InvalidConfig {
+            what: format!(
+                "unrecognised journal header {header:?} in {}",
+                path.display()
+            ),
+        })?;
+        Self::resume_sharded(path, shard_records)
+    }
+
+    fn resume_v1<'t>(path: &Path, lines: impl Iterator<Item = &'t str>) -> Result<Self> {
         let mut records = Vec::new();
         let mut rendered = Vec::new();
         for line in lines {
@@ -206,14 +346,83 @@ impl Checkpoint {
             path: path.to_path_buf(),
             state: Mutex::new(CheckpointState {
                 records,
-                lines: rendered,
+                store: Store::Single { lines: rendered },
                 appended: 0,
                 halt_after: None,
+                io: IoStats::default(),
             }),
         })
     }
 
-    /// The journal file path.
+    fn resume_sharded(path: &Path, shard_records: usize) -> Result<Self> {
+        let mut records = Vec::new();
+        let mut sealed_shards = 0;
+        let mut active: Vec<String> = Vec::new();
+        loop {
+            let shard = shard_path(path, sealed_shards);
+            let text = match std::fs::read_to_string(&shard) {
+                Ok(text) => text,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => break,
+                Err(e) => {
+                    return Err(ReduceError::InvalidConfig {
+                        what: format!("cannot read journal shard {}: {e}", shard.display()),
+                    })
+                }
+            };
+            active.clear();
+            for line in text.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                records.push(parse_record(line)?);
+                active.push(format!("{line}\n"));
+            }
+            if active.len() < shard_records {
+                // A partial last shard stays active; appends extend it.
+                return Ok(Self::resumed_sharded_state(
+                    path,
+                    shard_records,
+                    records,
+                    sealed_shards,
+                    active,
+                ));
+            }
+            sealed_shards += 1;
+        }
+        Ok(Self::resumed_sharded_state(
+            path,
+            shard_records,
+            records,
+            sealed_shards,
+            Vec::new(),
+        ))
+    }
+
+    fn resumed_sharded_state(
+        path: &Path,
+        shard_records: usize,
+        records: Vec<JournalRecord>,
+        sealed_shards: usize,
+        active: Vec<String>,
+    ) -> Self {
+        Checkpoint {
+            path: path.to_path_buf(),
+            state: Mutex::new(CheckpointState {
+                records,
+                store: Store::Sharded {
+                    shard_records,
+                    manifest_written: true,
+                    sealed_shards,
+                    active,
+                },
+                appended: 0,
+                halt_after: None,
+                io: IoStats::default(),
+            }),
+        }
+    }
+
+    /// The journal manifest path.
     pub fn path(&self) -> &Path {
         &self.path
     }
@@ -233,6 +442,15 @@ impl Checkpoint {
         Ok(self.lock()?.records.clone())
     }
 
+    /// This process's cumulative append-I/O accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`ReduceError::Internal`] if the journal lock was poisoned.
+    pub fn io_stats(&self) -> Result<IoStats> {
+        Ok(self.lock()?.io)
+    }
+
     /// Arms the CI kill switch: the process exits (code 3) immediately
     /// after the `n`-th successful [`Checkpoint::append`] of this run,
     /// simulating a hard mid-fan-out kill with a complete journal prefix
@@ -243,27 +461,59 @@ impl Checkpoint {
         }
     }
 
-    /// Appends one sealed outcome and atomically rewrites the journal
-    /// file, so the on-disk journal is complete after every append.
+    /// Appends one sealed outcome, atomically rewriting only the active
+    /// shard (or, for legacy journals, the whole file) so the on-disk
+    /// journal is complete after every append.
     ///
     /// # Errors
     ///
     /// Propagates the atomic write's error; callers treat a failed
-    /// checkpoint as fatal (the resume contract would otherwise be silently
-    /// broken).
+    /// checkpoint as fatal (the resume contract would otherwise be
+    /// silently broken).
     pub fn append(&self, record: JournalRecord) -> Result<()> {
         let mut state = self.lock()?;
-        state.lines.push(render_record(&record));
+        let line = render_record(&record);
         state.records.push(record);
-        let mut contents = String::with_capacity(
-            HEADER.len() + state.lines.iter().map(String::len).sum::<usize>(),
-        );
-        contents.push_str(HEADER);
-        for line in &state.lines {
-            contents.push_str(line);
+        let mut bytes: u64 = 0;
+        match &mut state.store {
+            Store::Single { lines } => {
+                lines.push(line);
+                let mut contents = String::with_capacity(
+                    V1_HEADER.len() + lines.iter().map(String::len).sum::<usize>(),
+                );
+                contents.push_str(V1_HEADER);
+                for l in lines.iter() {
+                    contents.push_str(l);
+                }
+                bytes += contents.len() as u64;
+                write_atomic(&self.path, &contents)?;
+            }
+            Store::Sharded {
+                shard_records,
+                manifest_written,
+                sealed_shards,
+                active,
+            } => {
+                if !*manifest_written {
+                    let manifest = render_manifest(*shard_records);
+                    bytes += manifest.len() as u64;
+                    write_atomic(&self.path, &manifest)?;
+                    *manifest_written = true;
+                }
+                active.push(line);
+                let contents = active.concat();
+                bytes += contents.len() as u64;
+                write_atomic(&shard_path(&self.path, *sealed_shards), &contents)?;
+                if active.len() >= *shard_records {
+                    *sealed_shards += 1;
+                    active.clear();
+                }
+            }
         }
-        write_atomic(&self.path, &contents)?;
         state.appended += 1;
+        state.io.appends += 1;
+        state.io.bytes_written += bytes;
+        state.io.max_append_bytes = state.io.max_append_bytes.max(bytes);
         if let Some(n) = state.halt_after {
             if state.appended >= n {
                 // The CI kill switch: die *hard*, mid-fan-out, without
@@ -277,6 +527,20 @@ impl Checkpoint {
         }
         Ok(())
     }
+}
+
+fn parse_manifest(header: &str) -> Option<usize> {
+    let value = parse(header).ok()?;
+    if value.field("journal").and_then(JsonValue::as_str) != Some("reduce-journal") {
+        return None;
+    }
+    if value.field("version").and_then(JsonValue::as_u64) != Some(2) {
+        return None;
+    }
+    value
+        .field("shard_records")
+        .and_then(JsonValue::as_usize)
+        .filter(|&n| n > 0)
 }
 
 fn push_workspace(out: &mut String, ws: &WorkspaceStats) {
@@ -337,6 +601,26 @@ fn push_chip_outcome(out: &mut String, c: &ChipOutcome) {
     ));
     push_json_f32(out, c.pruned_fraction);
     out.push_str(&format!(",\"clamped\":{}}}", c.clamped));
+}
+
+fn push_sealed_chip(out: &mut String, sealed: &SealedChip) {
+    match sealed {
+        SealedChip::Retrained(outcome) => {
+            out.push_str("{\"status\":\"ok\",\"outcome\":");
+            push_chip_outcome(out, outcome);
+            out.push('}');
+        }
+        SealedChip::Quarantined(q) => {
+            out.push_str(&format!(
+                "{{\"status\":\"quarantined\",\"chip_id\":{},\"fault_rate\":",
+                q.chip_id
+            ));
+            push_json_f64(out, q.fault_rate);
+            out.push_str(&format!(",\"attempts\":{},\"error\":", q.attempts));
+            push_json_string(out, &q.error);
+            out.push('}');
+        }
+    }
 }
 
 fn render_record(record: &JournalRecord) -> String {
@@ -415,6 +699,32 @@ fn render_record(record: &JournalRecord) -> String {
             push_events(&mut s, events);
             s.push('}');
         }
+        JournalRecord::FleetBatch {
+            policy,
+            window,
+            budget,
+            chunk,
+            chips,
+            workspace,
+            events,
+        } => {
+            s.push_str("{\"kind\":\"fleet_batch\",\"policy\":");
+            push_json_string(&mut s, policy);
+            s.push_str(&format!(
+                ",\"window\":{window},\"budget\":{budget},\"chunk\":{chunk},\"chips\":["
+            ));
+            for (i, sealed) in chips.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                push_sealed_chip(&mut s, sealed);
+            }
+            s.push_str("],\"workspace\":");
+            push_workspace(&mut s, workspace);
+            s.push_str(",\"events\":");
+            push_events(&mut s, events);
+            s.push('}');
+        }
     }
     s.push('\n');
     s
@@ -474,6 +784,19 @@ fn parse_record(line: &str) -> Result<JournalRecord> {
             bytes_allocated: u64_of(ws, "bytes_allocated")?,
         })
     };
+    let outcome_of = |c: &JsonValue| -> Result<ChipOutcome> {
+        Ok(ChipOutcome {
+            chip_id: usize_of(c, "chip_id")?,
+            fault_rate: f64_of(c, "fault_rate")?,
+            epochs_budgeted: usize_of(c, "epochs_budgeted")?,
+            epochs_run: usize_of(c, "epochs_run")?,
+            pre_retrain_accuracy: f32_of(c, "pre_retrain_accuracy")?,
+            final_accuracy: f32_of(c, "final_accuracy")?,
+            meets_constraint: bool_of(c, "meets_constraint")?,
+            pruned_fraction: f32_of(c, "pruned_fraction")?,
+            clamped: bool_of(c, "clamped")?,
+        })
+    };
     match value.field("kind").and_then(JsonValue::as_str) {
         Some("point") => {
             let p = value.field("point").ok_or_else(|| bad("point"))?;
@@ -517,17 +840,7 @@ fn parse_record(line: &str) -> Result<JournalRecord> {
             Ok(JournalRecord::Chip {
                 job: u64_of(&value, "job")?,
                 policy: str_of(&value, "policy")?,
-                outcome: ChipOutcome {
-                    chip_id: usize_of(c, "chip_id")?,
-                    fault_rate: f64_of(c, "fault_rate")?,
-                    epochs_budgeted: usize_of(c, "epochs_budgeted")?,
-                    epochs_run: usize_of(c, "epochs_run")?,
-                    pre_retrain_accuracy: f32_of(c, "pre_retrain_accuracy")?,
-                    final_accuracy: f32_of(c, "final_accuracy")?,
-                    meets_constraint: bool_of(c, "meets_constraint")?,
-                    pruned_fraction: f32_of(c, "pruned_fraction")?,
-                    clamped: bool_of(c, "clamped")?,
-                },
+                outcome: outcome_of(c)?,
                 workspace: workspace_of(&value)?,
                 events: events_of(&value)?,
             })
@@ -541,6 +854,38 @@ fn parse_record(line: &str) -> Result<JournalRecord> {
             error: str_of(&value, "error")?,
             events: events_of(&value)?,
         }),
+        Some("fleet_batch") => {
+            let chips = match value.field("chips") {
+                Some(JsonValue::Arr(items)) => items
+                    .iter()
+                    .map(
+                        |entry| match entry.field("status").and_then(JsonValue::as_str) {
+                            Some("ok") => {
+                                let c = entry.field("outcome").ok_or_else(|| bad("outcome"))?;
+                                Ok(SealedChip::Retrained(outcome_of(c)?))
+                            }
+                            Some("quarantined") => Ok(SealedChip::Quarantined(QuarantinedChip {
+                                chip_id: usize_of(entry, "chip_id")?,
+                                fault_rate: f64_of(entry, "fault_rate")?,
+                                attempts: attempts_of(entry)?,
+                                error: str_of(entry, "error")?,
+                            })),
+                            _ => Err(bad("chip status")),
+                        },
+                    )
+                    .collect::<Result<Vec<SealedChip>>>()?,
+                _ => return Err(bad("chips")),
+            };
+            Ok(JournalRecord::FleetBatch {
+                policy: str_of(&value, "policy")?,
+                window: usize_of(&value, "window")?,
+                budget: usize_of(&value, "budget")?,
+                chunk: usize_of(&value, "chunk")?,
+                chips,
+                workspace: workspace_of(&value)?,
+                events: events_of(&value)?,
+            })
+        }
         Some(other) => Err(bad(&format!("unknown kind {other:?}"))),
         None => Err(bad("kind")),
     }
@@ -594,22 +939,26 @@ mod tests {
         }
     }
 
+    fn sample_outcome(chip_id: usize) -> ChipOutcome {
+        ChipOutcome {
+            chip_id,
+            fault_rate: 0.1,
+            epochs_budgeted: 2,
+            epochs_run: 2,
+            pre_retrain_accuracy: 0.5,
+            final_accuracy: 0.9,
+            meets_constraint: true,
+            pruned_fraction: 0.25,
+            clamped: false,
+        }
+    }
+
     fn chip_records() -> Vec<JournalRecord> {
         vec![
             JournalRecord::Chip {
                 job: 0,
                 policy: "Fixed (2 epochs)".to_string(),
-                outcome: ChipOutcome {
-                    chip_id: 0,
-                    fault_rate: 0.1,
-                    epochs_budgeted: 2,
-                    epochs_run: 2,
-                    pre_retrain_accuracy: 0.5,
-                    final_accuracy: 0.9,
-                    meets_constraint: true,
-                    pruned_fraction: 0.25,
-                    clamped: false,
-                },
+                outcome: sample_outcome(0),
                 workspace: WorkspaceStats::default(),
                 events: vec![Event::ChipRetrained {
                     chip_id: 0,
@@ -637,6 +986,37 @@ mod tests {
         ]
     }
 
+    fn batch_record() -> JournalRecord {
+        JournalRecord::FleetBatch {
+            policy: "Reduce (max)".to_string(),
+            window: 1,
+            budget: 3,
+            chunk: 0,
+            chips: vec![
+                SealedChip::Retrained(sample_outcome(7)),
+                SealedChip::Quarantined(QuarantinedChip {
+                    chip_id: 8,
+                    fault_rate: 0.15,
+                    attempts: 2,
+                    error: "training diverged: accuracy after epoch 1 is NaN".to_string(),
+                }),
+            ],
+            workspace: WorkspaceStats {
+                hits: 7,
+                misses: 1,
+                bytes_allocated: 1024,
+            },
+            events: vec![Event::ChipRetrained {
+                chip_id: 7,
+                fault_rate: 0.1,
+                epochs_budgeted: 3,
+                epochs_run: 3,
+                final_accuracy: 0.9,
+                satisfied: true,
+            }],
+        }
+    }
+
     #[test]
     fn append_resume_round_trips_every_record_kind() {
         let path = scratch("round_trip");
@@ -661,11 +1041,11 @@ mod tests {
         for r in chip_records() {
             journal.append(r).expect("append");
         }
+        journal.append(batch_record()).expect("append");
         let original = journal.records().expect("records");
         let resumed = Checkpoint::resume(&path).expect("parseable journal");
         assert_eq!(resumed.records().expect("records"), original);
-        // A second resume of the resumed journal is byte-stable.
-        let text = std::fs::read_to_string(&path).expect("journal exists");
+        // Appends after resume extend the same shard layout.
         resumed
             .append(JournalRecord::PointFailed {
                 job: 9,
@@ -677,8 +1057,8 @@ mod tests {
                 events: vec![],
             })
             .expect("append after resume");
-        let longer = std::fs::read_to_string(&path).expect("journal exists");
-        assert!(longer.starts_with(&text), "appends extend the journal");
+        let again = Checkpoint::resume(&path).expect("parseable journal");
+        assert_eq!(again.records().expect("records").len(), original.len() + 1);
         if let Some(dir) = path.parent() {
             let _ = std::fs::remove_dir_all(dir);
         }
@@ -701,7 +1081,7 @@ mod tests {
         assert!(Checkpoint::resume(&path).is_err(), "bad header must error");
         std::fs::write(
             &path,
-            format!("{HEADER}{{\"kind\":\"mystery\",\"job\":0}}\n"),
+            format!("{V1_HEADER}{{\"kind\":\"mystery\",\"job\":0}}\n"),
         )
         .expect("temp write");
         assert!(
@@ -716,9 +1096,83 @@ mod tests {
         let r = point_record();
         assert_eq!(r.grid_key(), Some((1, 0)));
         assert_eq!(r.chip_key(), None);
+        assert_eq!(r.batch_key(), None);
         let chips = chip_records();
         assert_eq!(chips[0].chip_key(), Some(("Fixed (2 epochs)", 0)));
         assert_eq!(chips[1].chip_key(), Some(("Fixed (2 epochs)", 1)));
         assert_eq!(chips[0].grid_key(), None);
+        let batch = batch_record();
+        assert_eq!(batch.batch_key(), Some(("Reduce (max)", 1, 3, 0)));
+        assert_eq!(batch.chip_key(), None);
+        assert_eq!(batch.grid_key(), None);
+    }
+
+    #[test]
+    fn shards_bound_bytes_per_append() {
+        let path = scratch("shard_bound");
+        let journal = Checkpoint::create(&path).with_shard_records(4);
+        let mut max_line = 0u64;
+        for i in 0..64 {
+            let record = JournalRecord::PointFailed {
+                job: i,
+                rate_index: 0,
+                rate: 0.1,
+                repeat: i as usize,
+                attempts: 1,
+                error: "synthetic failure for shard accounting".to_string(),
+                events: vec![],
+            };
+            max_line = max_line.max(render_record(&record).len() as u64);
+            journal.append(record).expect("append");
+        }
+        let io = journal.io_stats().expect("stats");
+        assert_eq!(io.appends, 64);
+        // The largest single rewrite covers at most one full shard (plus
+        // the one-time manifest), never the whole 64-record journal.
+        let manifest_bytes = render_manifest(4).len() as u64;
+        assert!(
+            io.max_append_bytes <= 4 * max_line + manifest_bytes,
+            "append rewrote more than a shard: {} > {}",
+            io.max_append_bytes,
+            4 * max_line + manifest_bytes
+        );
+        // 64 records over 4-record shards => 16 sealed segments on disk.
+        for shard in 0..16 {
+            let text = std::fs::read_to_string(shard_path(&path, shard)).expect("shard exists");
+            assert_eq!(text.lines().count(), 4, "shard {shard} holds one chunk");
+        }
+        assert!(!shard_path(&path, 16).exists(), "no stray 17th shard");
+        // Resume stitches every shard back together.
+        let resumed = Checkpoint::resume(&path).expect("parseable journal");
+        assert_eq!(resumed.records().expect("records").len(), 64);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    #[test]
+    fn legacy_v1_journals_still_resume_and_extend() {
+        let path = scratch("legacy_v1");
+        let dir = path.parent().expect("has parent");
+        std::fs::create_dir_all(dir).expect("temp dir");
+        let mut contents = String::from(V1_HEADER);
+        for r in chip_records() {
+            contents.push_str(&render_record(&r));
+        }
+        std::fs::write(&path, &contents).expect("temp write");
+        let journal = Checkpoint::resume(&path).expect("v1 journal parses");
+        assert_eq!(journal.records().expect("records"), chip_records());
+        // Appends keep the legacy whole-file layout: no shards appear and
+        // the file stays a valid v1 journal.
+        journal.append(point_record()).expect("append");
+        assert!(!shard_path(&path, 0).exists(), "v1 journals stay unsharded");
+        let text = std::fs::read_to_string(&path).expect("journal exists");
+        assert!(text.starts_with(V1_HEADER));
+        assert_eq!(text.lines().count(), 4, "header + three records");
+        let resumed = Checkpoint::resume(&path).expect("still parseable");
+        assert_eq!(resumed.records().expect("records").len(), 3);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
     }
 }

@@ -13,8 +13,8 @@
 //! 2. [`RetrainPolicy::Reduce`] (Step ②) — per chip, interpolate the
 //!    [`ResilienceTable`] at the chip's fault rate to pick its epoch budget
 //!    ([`Statistic::Max`] is the paper's high-confidence recommendation);
-//! 3. [`FatRunner`] / [`evaluate_fleet`] (Step ③) — run FAT per chip and
-//!    verify the accuracy constraint (Fig. 3).
+//! 3. [`FatRunner`] / [`FleetEvaluation`] (Step ③) — stream FAT over the
+//!    fleet and verify the accuracy constraint (Fig. 3).
 //!
 //! [`Reduce`] wires the steps together; [`Workbench`] describes the
 //! model/task/training setup; the fixed-policy baseline of Zhang et al. is
@@ -54,7 +54,7 @@
 //!     seed: 2,
 //! })?;
 //! let report = reduce.deploy(&fleet, RetrainPolicy::Reduce(Statistic::Max), &exec)?;
-//! assert_eq!(report.chips.len(), 2);
+//! assert_eq!(report.evaluated, 2);
 //! # Ok(())
 //! # }
 //! ```
@@ -83,11 +83,11 @@ pub use error::{ReduceError, Result};
 pub use exec::ExecConfig;
 pub use fat::{FatOutcome, FatRunner, Mitigation, StopRule};
 pub use fleet::{
-    evaluate_fleet, evaluate_fleet_resumable, ChipOutcome, ChipStatus, FleetEvalConfig,
-    FleetReport, QuarantinedChip,
+    ChipOutcome, ChipSource, ChipStatus, FleetEvaluation, FleetReport, QuarantinedChip, SealedChip,
+    SeededChips,
 };
 pub use framework::Reduce;
-pub use journal::{Checkpoint, JournalRecord};
+pub use journal::{Checkpoint, IoStats, JournalRecord, DEFAULT_SHARD_RECORDS};
 pub use policy::RetrainPolicy;
 pub use resilience::{
     FailedPoint, RateSummary, ResilienceAnalysis, ResilienceConfig, ResilienceConfigBuilder,

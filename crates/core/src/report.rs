@@ -79,13 +79,28 @@ pub fn render_epochs_to_constraint(analysis: &ResilienceAnalysis) -> String {
 }
 
 /// Renders a per-chip table for one fleet report (Fig. 3a–e style).
+///
+/// Per-chip rows need [`FleetReport::outcomes`], which the streaming
+/// evaluator only keeps when asked
+/// ([`crate::FleetEvaluation::collect_outcomes`]); without them only the
+/// quarantine rows render, after a note.
 pub fn render_fleet_chips(report: &FleetReport) -> String {
     let mut out = format!(
         "policy: {}  (constraint {:.2}%)\nchip  fault_rate  epochs  pre_acc  final_acc  meets\n",
         report.policy,
         report.constraint * 100.0
     );
-    for c in &report.chips {
+    let Some(outcomes) = report.outcomes.as_deref() else {
+        out.push_str("(per-chip outcomes not collected for this run)\n");
+        for q in &report.quarantined {
+            out.push_str(&format!(
+                "{:>4}  {:>10.4}  quarantined after {} attempt(s): {}\n",
+                q.chip_id, q.fault_rate, q.attempts, q.error
+            ));
+        }
+        return out;
+    };
+    for c in outcomes {
         out.push_str(&format!(
             "{:>4}  {:>10.4}  {:>6}  {:>7.4}  {:>9.4}  {}\n",
             c.chip_id,
@@ -114,7 +129,7 @@ pub fn render_fleet_summary(reports: &[FleetReport]) -> String {
         out.push_str(&format!(
             "{:<22} {:>5}  {:>9}  {:>5.1}  {:>12}  {:>8.4}  {:>7.4}  {:>11}\n",
             r.policy,
-            r.chips.len(),
+            r.evaluated,
             r.satisfied,
             r.yield_fraction() * 100.0,
             r.total_epochs,
@@ -230,7 +245,9 @@ pub fn fleet_csv(report: &FleetReport) -> (Vec<&'static str>, Vec<Vec<String>>) 
         "pruned_fraction",
     ];
     let rows = report
-        .chips
+        .outcomes
+        .as_deref()
+        .unwrap_or_default()
         .iter()
         .map(|c| {
             vec![
@@ -269,7 +286,16 @@ mod tests {
         FleetReport {
             policy: "Fixed (2 epochs)".into(),
             constraint: 0.91,
-            chips: vec![ChipOutcome {
+            evaluated: 1,
+            quarantined: vec![],
+            total_epochs: 2,
+            satisfied: 1,
+            mean_accuracy: 0.92,
+            min_accuracy: 0.92,
+            max_accuracy: 0.92,
+            epoch_histogram: std::collections::BTreeMap::from([(2, 1)]),
+            retrain_cycles: None,
+            outcomes: Some(vec![ChipOutcome {
                 chip_id: 0,
                 fault_rate: 0.05,
                 epochs_budgeted: 2,
@@ -279,13 +305,7 @@ mod tests {
                 meets_constraint: true,
                 pruned_fraction: 0.05,
                 clamped: false,
-            }],
-            quarantined: vec![],
-            total_epochs: 2,
-            satisfied: 1,
-            mean_accuracy: 0.92,
-            min_accuracy: 0.92,
-            retrain_cycles: None,
+            }]),
         }
     }
 

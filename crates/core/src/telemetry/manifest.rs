@@ -95,6 +95,21 @@ pub struct StageWorkspace {
     pub bytes_allocated: u64,
 }
 
+/// Fleet-evaluation throughput, as recorded in a run's manifest.
+///
+/// Wall-clock derived, so runs that redact timing leave the field
+/// `None` — exactly like [`RunManifest::threads`] — keeping redacted
+/// artifacts byte-identical across thread counts and machines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputManifest {
+    /// Chips evaluated (retrained or quarantined).
+    pub chips: usize,
+    /// Wall-clock seconds spent in the deploy stage.
+    pub seconds: f64,
+    /// `chips / seconds` (0 when `seconds` is 0).
+    pub chips_per_sec: f64,
+}
+
 /// Everything needed to reproduce a bench run's artifacts.
 ///
 /// Serialised as pretty-printed JSON with struct-driven key order, so a
@@ -125,6 +140,9 @@ pub struct RunManifest {
     /// record them). Deterministic for a given configuration, so recording
     /// them preserves cross-thread-count manifest identity.
     pub workspace: Vec<StageWorkspace>,
+    /// Deploy-stage throughput; `None` when timing is redacted (like
+    /// `threads`, wall-clock never affects results).
+    pub throughput: Option<ThroughputManifest>,
     /// Deployed fleet, when the run performed Step ③.
     pub fleet: Option<FleetManifest>,
 }
@@ -143,6 +161,7 @@ impl RunManifest {
             grid: None,
             policies: Vec::new(),
             workspace: Vec::new(),
+            throughput: None,
             fleet: None,
         }
     }
@@ -210,6 +229,20 @@ impl RunManifest {
         }
         workspace.push(']');
         push_field(&mut s, "workspace", &workspace);
+        match &self.throughput {
+            Some(t) => {
+                s.push_str("  \"throughput\": {\n");
+                push_nested_field(&mut s, "chips", &t.chips.to_string());
+                let mut seconds = String::new();
+                push_json_f64(&mut seconds, t.seconds);
+                push_nested_field(&mut s, "seconds", &seconds);
+                let mut rate = String::new();
+                push_json_f64(&mut rate, t.chips_per_sec);
+                push_nested_field_last(&mut s, "chips_per_sec", &rate);
+                s.push_str("  },\n");
+            }
+            None => s.push_str("  \"throughput\": null,\n"),
+        }
         match &self.fleet {
             Some(fleet) => {
                 s.push_str("  \"fleet\": {\n");
@@ -296,6 +329,16 @@ impl RunManifest {
             }
             Some(_) => return Err(invalid("manifest field `workspace` is not an array")),
         };
+        // Absent in manifests written before throughput was recorded:
+        // treat a missing field as "not recorded" rather than an error.
+        let throughput = match doc.field("throughput") {
+            None | Some(JsonValue::Null) => None,
+            Some(t) => Some(ThroughputManifest {
+                chips: require_usize(t, "chips")?,
+                seconds: require_f64(t, "seconds")?,
+                chips_per_sec: require_f64(t, "chips_per_sec")?,
+            }),
+        };
         Ok(RunManifest {
             tool: require_str(&doc, "tool")?,
             crate_version: require_str(&doc, "crate_version")?,
@@ -312,6 +355,7 @@ impl RunManifest {
             grid,
             policies,
             workspace,
+            throughput,
             fleet,
         })
     }
@@ -445,6 +489,11 @@ mod tests {
                 bytes_allocated: 512,
             },
         ];
+        m.throughput = Some(ThroughputManifest {
+            chips: 20,
+            seconds: 1.25,
+            chips_per_sec: 16.0,
+        });
         m.fleet = Some(FleetManifest {
             chips: 20,
             rows: 16,
@@ -473,18 +522,23 @@ mod tests {
         assert!(parsed.threads.is_none());
         assert!(parsed.grid.is_none());
         assert!(parsed.workspace.is_empty());
+        assert!(parsed.throughput.is_none());
         assert!(parsed.fleet.is_none());
     }
 
     #[test]
     fn manifests_without_a_workspace_field_still_parse() {
-        // A pre-counter manifest: strip the field entirely.
+        // A pre-counter manifest: strip the fields entirely.
         let mut m = RunManifest::new("fig2", "default");
         m.constraint = 0.9;
         m.workbench = "wb".to_string();
-        let doc = m.to_json().replace("  \"workspace\": [],\n", "");
+        let doc = m
+            .to_json()
+            .replace("  \"workspace\": [],\n", "")
+            .replace("  \"throughput\": null,\n", "");
         let parsed = RunManifest::from_json(&doc).expect("older manifests parse");
         assert!(parsed.workspace.is_empty());
+        assert!(parsed.throughput.is_none());
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod manifest;
 mod metrics;
 mod runlog;
 
-pub use manifest::{FleetManifest, GridManifest, RunManifest, StageWorkspace};
+pub use manifest::{FleetManifest, GridManifest, RunManifest, StageWorkspace, ThroughputManifest};
 pub use metrics::{MetricsRecorder, MetricsSnapshot, StatSummary, WorkspaceTotals};
 pub use runlog::RunLog;
 pub(crate) use runlog::{parse_event, render_event};

@@ -157,20 +157,85 @@ impl FleetConfig {
 /// # }
 /// ```
 pub fn generate_fleet(config: &FleetConfig) -> Result<Vec<Chip>> {
+    validate_fleet(config)?;
+    let mut fleet = Vec::with_capacity(config.chips);
+    for id in 0..config.chips {
+        fleet.push(generate_chip(config, id)?);
+    }
+    Ok(fleet)
+}
+
+/// Generates chip `id` of the fleet described by `config` without
+/// materialising any other chip.
+///
+/// Each chip owns an independent RNG stream derived from
+/// `splitmix64(seed + id)`, so `generate_chip(config, i)` equals
+/// `generate_fleet(config)?[i]` while letting streaming consumers pull
+/// chips on demand in any order — the intake primitive behind
+/// constant-memory fleet evaluation.
+///
+/// # Errors
+///
+/// Returns [`SystolicError::InvalidConfig`] for zero chips, an id outside
+/// the fleet, or an invalid distribution, and propagates fault-map
+/// generation errors.
+pub fn generate_chip(config: &FleetConfig, id: usize) -> Result<Chip> {
+    validate_fleet(config)?;
+    if id >= config.chips {
+        return Err(SystolicError::InvalidConfig {
+            what: format!("chip id {id} outside fleet of {} chips", config.chips),
+        });
+    }
+    let mut rng = chip_rng(config, id);
+    let rate = config.rates.sample(&mut rng)?;
+    let map_seed: u64 = rng.gen();
+    let map = FaultMap::generate(config.rows, config.cols, rate, config.model, map_seed)?;
+    Ok(Chip::new(id, map))
+}
+
+/// The fault rate chip `id` would carry after generation — the rate draw
+/// of [`generate_chip`] snapped to the whole-PE count the fault map would
+/// realise (`round(rate · rows · cols) / (rows · cols)`), without paying
+/// for the map itself. Scheduling passes use this to group chips by epoch
+/// budget before materialising any of them; the value equals
+/// `generate_chip(config, id)?.fault_rate()` for the random fault model.
+///
+/// # Errors
+///
+/// Same domain as [`generate_chip`].
+pub fn chip_rate(config: &FleetConfig, id: usize) -> Result<f64> {
+    validate_fleet(config)?;
+    if id >= config.chips {
+        return Err(SystolicError::InvalidConfig {
+            what: format!("chip id {id} outside fleet of {} chips", config.chips),
+        });
+    }
+    let sampled = config.rates.sample(&mut chip_rng(config, id))?;
+    let total = (config.rows * config.cols) as f64;
+    Ok((sampled * total).round() / total)
+}
+
+fn validate_fleet(config: &FleetConfig) -> Result<()> {
     if config.chips == 0 {
         return Err(SystolicError::InvalidConfig {
             what: "zero chips requested".to_string(),
         });
     }
-    let mut rng = SmallRng::seed_from_u64(config.seed);
-    let mut fleet = Vec::with_capacity(config.chips);
-    for id in 0..config.chips {
-        let rate = config.rates.sample(&mut rng)?;
-        let map_seed: u64 = rng.gen();
-        let map = FaultMap::generate(config.rows, config.cols, rate, config.model, map_seed)?;
-        fleet.push(Chip::new(id, map));
-    }
-    Ok(fleet)
+    Ok(())
+}
+
+fn chip_rng(config: &FleetConfig, id: usize) -> SmallRng {
+    SmallRng::seed_from_u64(splitmix64(config.seed.wrapping_add(id as u64)))
+}
+
+/// One splitmix64 mixing round: decorrelates the per-chip seeds so that
+/// adjacent ids do not get adjacent (and thus correlated) SmallRng
+/// states.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -205,6 +270,24 @@ mod tests {
         assert_eq!(a, b);
         // Different chips in the same fleet have different maps.
         assert_ne!(a[0].fault_map(), a[1].fault_map());
+    }
+
+    #[test]
+    fn per_chip_generation_matches_the_fleet() {
+        let cfg = small_config();
+        let fleet = generate_fleet(&cfg).expect("valid");
+        // Any chip can be regenerated in isolation and in any order.
+        for id in [19usize, 0, 7, 3] {
+            let chip = generate_chip(&cfg, id).expect("valid id");
+            assert_eq!(chip, fleet[id]);
+            let rate = chip_rate(&cfg, id).expect("valid id");
+            assert_eq!(rate, fleet[id].fault_rate());
+        }
+        assert!(generate_chip(&cfg, 20).is_err());
+        assert!(chip_rate(&cfg, 20).is_err());
+        let mut zero = cfg;
+        zero.chips = 0;
+        assert!(generate_chip(&zero, 0).is_err());
     }
 
     #[test]

@@ -48,7 +48,7 @@ mod perf;
 mod quant;
 
 pub use array::SystolicArray;
-pub use chip::{generate_fleet, Chip, FleetConfig, RateDistribution};
+pub use chip::{chip_rate, generate_chip, generate_fleet, Chip, FleetConfig, RateDistribution};
 pub use dataflow::{simulate_tiled_gemm, DataflowOutput, DataflowSim};
 pub use error::{Result, SystolicError};
 pub use fault::{FaultMap, FaultModel};

@@ -42,10 +42,11 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
 /// Call names whose closure arguments are parallel job roots.
-pub const ROOT_MARKERS: [&str; 3] = [
+pub const ROOT_MARKERS: [&str; 4] = [
     "parallel_map",
     "parallel_map_traced",
     "parallel_map_resilient",
+    "run_job_resilient",
 ];
 
 /// Function-id suffixes rooted directly: the resumable journal replay
@@ -569,12 +570,16 @@ fn closures_in_args(
             (TokenKind::Punct, "(" | "[" | "{") => depth += 1,
             (TokenKind::Punct, ")" | "]" | "}") => depth -= 1,
             // A closure argument: `|` as the first token of an argument
-            // (preceded by `(` or `,` at depth 1) or preceded by `move`.
+            // (preceded by `(` or `,` at depth 1), preceded by `move`, or
+            // passed by reference (`&|…|`, as `run_job_resilient` takes).
             (TokenKind::Punct, "|") if depth == 1 => {
                 let starts_arg = i > 0
                     && (code[i - 1].text == "("
                         || code[i - 1].text == ","
-                        || code[i - 1].text == "move");
+                        || code[i - 1].text == "move"
+                        || (code[i - 1].text == "&"
+                            && i > 1
+                            && (code[i - 2].text == "(" || code[i - 2].text == ",")));
                 if !starts_arg {
                     i += 1;
                     continue;

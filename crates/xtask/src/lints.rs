@@ -841,8 +841,19 @@ fn is_index_base(prev: &Token) -> bool {
     match prev.kind {
         TokenKind::Ident => !matches!(
             prev.text.as_str(),
-            // Keywords that can directly precede an array literal/pattern.
-            "return" | "break" | "in" | "as" | "mut" | "ref" | "else" | "match" | "if" | "move"
+            // Keywords that can directly precede an array literal/pattern
+            // or a slice type (`impl Trait for [T]`).
+            "return"
+                | "break"
+                | "in"
+                | "as"
+                | "mut"
+                | "ref"
+                | "else"
+                | "match"
+                | "if"
+                | "move"
+                | "for"
         ),
         TokenKind::Punct => matches!(prev.text.as_str(), ")" | "]"),
         _ => false,

@@ -110,4 +110,20 @@ diff <(normalise_nums BENCH_gemm.json) \
 echo "    all kernels pass their correctness gates; BENCH_gemm.json schema"
 echo "    matches the checked-in document"
 
+echo "==> large-fleet streaming gate (fig3 --fleet-size 20000)"
+# The streaming fleet pipeline must hold memory constant at 10^4+ chips:
+# chips come from a seeded source (never a materialised Vec), outcomes
+# fold into a constant-size report, and the journal is sharded. Gate on
+# the process peak RSS and require the throughput line.
+fleet_out="$det_dir/fleet"
+mkdir -p "$fleet_out"
+cargo run -q -p reduce-bench --release --bin fig3 -- \
+    --scale smoke --policy fixed:0 --fleet-size 20000 --threads 4 \
+    > "$fleet_out/stdout.txt"
+grep -E "chips/sec" "$fleet_out/stdout.txt"
+rss_kb=$(grep -oE 'peak_rss_kb=[0-9]+' "$fleet_out/stdout.txt" | cut -d= -f2)
+[ -n "$rss_kb" ] || { echo "fig3 did not report peak_rss_kb"; exit 1; }
+[ "$rss_kb" -lt 786432 ] || { echo "peak RSS ${rss_kb} kB breaks the 768 MB ceiling"; exit 1; }
+echo "    20000-chip streamed fleet held peak RSS at ${rss_kb} kB (< 768 MB ceiling)"
+
 echo "ci: all stages green"

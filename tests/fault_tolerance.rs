@@ -14,8 +14,8 @@
 use reduce_repro::core::exec::ChaosPolicy;
 use reduce_repro::core::telemetry::{Observer, RunLog};
 use reduce_repro::core::{
-    evaluate_fleet_resumable, Checkpoint, ChipStatus, ExecConfig, FatRunner, FleetEvalConfig,
-    Mitigation, ResilienceAnalysis, ResilienceConfig, RetrainPolicy, Workbench,
+    Checkpoint, ChipStatus, ExecConfig, FatRunner, FleetEvaluation, Mitigation, ResilienceAnalysis,
+    ResilienceConfig, RetrainPolicy, Workbench,
 };
 use reduce_repro::systolic::{generate_fleet, Chip, FaultModel, FleetConfig, RateDistribution};
 use std::io::Write;
@@ -81,37 +81,28 @@ fn fleet_quarantine_is_exact_and_thread_invariant() {
     let pre = wb.pretrain(10).expect("valid workbench");
     let runner = FatRunner::new(wb).expect("valid workbench");
     let fleet = toy_fleet(6);
-    let config = FleetEvalConfig::new(RetrainPolicy::Fixed(2), 0.85);
+    let evaluate = |exec: &ExecConfig| {
+        FleetEvaluation::new(RetrainPolicy::Fixed(2), 0.85)
+            .source(&fleet)
+            .collect_outcomes(true)
+            .exec(exec)
+            .run(&runner, &pre)
+            .expect("contained failures are not fatal")
+    };
 
-    let baseline = evaluate_fleet_resumable(
-        &runner,
-        &pre,
-        &fleet,
-        None,
-        &config,
-        &ExecConfig::default(),
-        None,
-    )
-    .expect("clean run");
-    assert_eq!(baseline.chips.len(), 6);
+    let baseline = evaluate(&ExecConfig::default());
+    assert_eq!(baseline.evaluated, 6);
     assert!(baseline.quarantined.is_empty());
 
     // Chips 1 and 4 fail on every attempt; the retry budget cannot save
     // them, so they must be quarantined — and only them.
     let chaos = ChaosPolicy::fail_jobs(&[1, 4]);
-    let reference = evaluate_fleet_resumable(
-        &runner,
-        &pre,
-        &fleet,
-        None,
-        &config,
+    let reference = evaluate(
         &ExecConfig::new(1)
             .with_retry_budget(1)
             .with_chaos(chaos.clone()),
-        None,
-    )
-    .expect("contained failures are not fatal");
-    assert_eq!(reference.chips.len(), 4, "N - k chips retrained");
+    );
+    assert_eq!(reference.evaluated, 4, "N - k chips retrained");
     assert_eq!(reference.quarantined.len(), 2, "k chips quarantined");
     let quarantined_ids: Vec<usize> = reference.quarantined.iter().map(|q| q.chip_id).collect();
     assert_eq!(quarantined_ids, vec![1, 4]);
@@ -119,21 +110,17 @@ fn fleet_quarantine_is_exact_and_thread_invariant() {
         assert_eq!(q.attempts, 2, "initial attempt + 1 retry");
         assert!(!q.error.is_empty());
     }
-    let statuses = reference.statuses();
-    assert_eq!(statuses.len(), 6);
-    for (id, status) in &statuses {
-        let expected = if [1usize, 4].contains(id) {
-            ChipStatus::Quarantined
-        } else {
-            ChipStatus::Ok
-        };
-        assert_eq!(*status, expected, "chip {id}");
-    }
+    assert_eq!(
+        reference.status_counts(),
+        [(ChipStatus::Ok, 4), (ChipStatus::Quarantined, 2)]
+    );
     // Quarantined chips never perturb their siblings: the surviving chips
     // are bit-identical to the chaos-free baseline.
-    for chip in &reference.chips {
-        let clean = baseline
-            .chips
+    let baseline_outcomes = baseline.outcomes.as_deref().expect("collected");
+    let reference_outcomes = reference.outcomes.as_deref().expect("collected");
+    assert_eq!(reference_outcomes.len(), 4);
+    for chip in reference_outcomes {
+        let clean = baseline_outcomes
             .iter()
             .find(|c| c.chip_id == chip.chip_id)
             .expect("present in baseline");
@@ -144,18 +131,11 @@ fn fleet_quarantine_is_exact_and_thread_invariant() {
         );
     }
     for threads in [2usize, 8] {
-        let par = evaluate_fleet_resumable(
-            &runner,
-            &pre,
-            &fleet,
-            None,
-            &config,
+        let par = evaluate(
             &ExecConfig::new(threads)
                 .with_retry_budget(1)
                 .with_chaos(chaos.clone()),
-            None,
-        )
-        .expect("contained failures are not fatal");
+        );
         assert_eq!(par, reference, "{threads}-thread report differs");
     }
 }
@@ -284,16 +264,18 @@ fn interrupted_run_resumes_to_identical_artifacts() {
     let (reference, reference_log, reference_records) = journaled_run(&runner, &pre, &full_cp, 1);
     assert_eq!(reference_records, 6, "every grid cell journaled");
 
-    // "Interrupted" run: complete it, then truncate its journal to a
-    // 3-record prefix — exactly the file a killed process leaves behind
-    // (the journal is rewritten atomically per append, so a crash always
-    // leaves a valid prefix).
-    let cut_path = dir.join("cut/journal.jsonl");
-    let cut_cp = Checkpoint::create(&cut_path);
+    // "Interrupted" run: complete it, then rebuild a 3-record prefix of
+    // its journal in a sibling directory — exactly the state a killed
+    // process leaves behind (appends are atomic, so a crash always leaves
+    // a valid record prefix, whatever the on-disk layout).
+    let cut_cp = Checkpoint::create(&dir.join("scratch/journal.jsonl"));
     let _ = journaled_run(&runner, &pre, &cut_cp, 4);
-    let text = std::fs::read_to_string(&cut_path).expect("journal written");
-    let prefix: Vec<&str> = text.lines().take(4).collect(); // header + 3 records
-    std::fs::write(&cut_path, format!("{}\n", prefix.join("\n"))).expect("truncate");
+    let completed = cut_cp.records().expect("journal readable");
+    let cut_path = dir.join("cut/journal.jsonl");
+    let prefix_cp = Checkpoint::create(&cut_path);
+    for record in completed.into_iter().take(3) {
+        prefix_cp.append(record).expect("prefix journal writable");
+    }
 
     // Resume at a different thread count: replays the 3 journaled cells,
     // computes the 3 missing ones.
@@ -309,6 +291,60 @@ fn interrupted_run_resumes_to_identical_artifacts() {
         resumed_log, reference_log,
         "resumed redacted run log differs from uninterrupted"
     );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Fleet kill-and-resume across a shard boundary: with 2-record shards a
+/// 3-record prefix spans one sealed shard plus a partial one; resuming
+/// from it at a different thread count reproduces the report and the
+/// redacted run log byte-for-byte.
+#[test]
+fn fleet_resume_crosses_shard_boundaries() {
+    let wb = Workbench::toy(706);
+    let pre = wb.pretrain(10).expect("valid workbench");
+    let runner = FatRunner::new(wb).expect("valid workbench");
+    let fleet = toy_fleet(6);
+    let dir = scratch_dir("fleet_shards");
+
+    let run = |cp: &Checkpoint, threads: usize| {
+        let sink = VecSink::default();
+        let log: Arc<dyn Observer> = Arc::new(RunLog::new(Box::new(sink.clone()), true));
+        let exec = ExecConfig::new(threads).with_observer(log);
+        let report = FleetEvaluation::new(RetrainPolicy::Fixed(2), 0.85)
+            .source(&fleet)
+            .batch_cap(1) // one chip per batch: 6 journal records
+            .journal(cp)
+            .exec(&exec)
+            .run(&runner, &pre)
+            .expect("fleet runs");
+        (report, sink.contents())
+    };
+
+    // Uninterrupted reference: 6 records in 2-record shards.
+    let full_cp = Checkpoint::create(&dir.join("full/journal.jsonl")).with_shard_records(2);
+    let (reference, reference_log) = run(&full_cp, 1);
+    let completed = full_cp.records().expect("journal readable");
+    assert_eq!(completed.len(), 6, "every batch journaled");
+
+    // Interrupt mid-shard: a 3-record prefix = shard 0 sealed + shard 1
+    // partial.
+    let cut_path = dir.join("cut/journal.jsonl");
+    let prefix_cp = Checkpoint::create(&cut_path).with_shard_records(2);
+    for record in completed.into_iter().take(3) {
+        prefix_cp.append(record).expect("prefix journal writable");
+    }
+    assert!(dir.join("cut/journal-00000.jsonl").exists());
+    assert!(dir.join("cut/journal-00001.jsonl").exists());
+
+    let resumed_cp = Checkpoint::resume(&cut_path).expect("valid prefix journal");
+    assert_eq!(resumed_cp.records().expect("readable").len(), 3);
+    let (resumed, resumed_log) = run(&resumed_cp, 8);
+    assert_eq!(resumed, reference, "resumed report differs");
+    assert_eq!(
+        resumed_log, reference_log,
+        "resumed redacted run log differs from uninterrupted"
+    );
+    assert_eq!(resumed_cp.records().expect("readable").len(), 6);
     let _ = std::fs::remove_dir_all(dir);
 }
 

@@ -4,8 +4,8 @@
 //! worker panics must surface as typed errors instead of aborts.
 
 use reduce_repro::core::{
-    evaluate_fleet, exec, ExecConfig, FatRunner, FleetEvalConfig, Mitigation, ReduceError,
-    ResilienceAnalysis, ResilienceConfig, RetrainPolicy, Workbench,
+    exec, ExecConfig, FatRunner, FleetEvaluation, Mitigation, ReduceError, ResilienceAnalysis,
+    ResilienceConfig, RetrainPolicy, Workbench,
 };
 use reduce_repro::systolic::{generate_fleet, FaultModel, FleetConfig, RateDistribution};
 
@@ -61,19 +61,20 @@ fn fleet_evaluation_is_identical_across_thread_counts() {
         seed: 9,
     })
     .expect("valid fleet");
-    let config = FleetEvalConfig::new(RetrainPolicy::Fixed(2), 0.85);
-    let seq = evaluate_fleet(&runner, &pre, &fleet, None, &config, &ExecConfig::default())
-        .expect("valid run");
+    // A 2-chip intake window forces several scheduler windows, so the
+    // batched pipeline itself is exercised across thread counts.
+    let evaluate = |exec: &ExecConfig| {
+        FleetEvaluation::new(RetrainPolicy::Fixed(2), 0.85)
+            .source(&fleet)
+            .window(2)
+            .collect_outcomes(true)
+            .exec(exec)
+            .run(&runner, &pre)
+            .expect("valid run")
+    };
+    let seq = evaluate(&ExecConfig::default());
     for threads in [0usize, 1, 2, 8] {
-        let par = evaluate_fleet(
-            &runner,
-            &pre,
-            &fleet,
-            None,
-            &config,
-            &ExecConfig::new(threads),
-        )
-        .expect("valid run");
+        let par = evaluate(&ExecConfig::new(threads));
         assert_eq!(par, seq, "{threads}-thread report differs from sequential");
     }
 }

@@ -5,12 +5,13 @@
 use proptest::prelude::*;
 use reduce_repro::core::exec::{ChaosOutcome, ChaosPolicy};
 use reduce_repro::core::{
-    ExecConfig, FatRunner, Mitigation, Pretrained, ResilienceAnalysis, ResilienceConfig,
-    ResilienceTable, Statistic, TableEntry, Workbench,
+    ChipSource, ExecConfig, FatRunner, FleetEvaluation, Mitigation, Pretrained, ResilienceAnalysis,
+    ResilienceConfig, ResilienceTable, RetrainPolicy, SeededChips, Statistic, TableEntry,
+    Workbench,
 };
 use reduce_repro::systolic::{
-    affected_weights, fam_mapping, fap_mask, pruned_fraction, saliency_loss, FaultMap, FaultModel,
-    SystolicArray,
+    affected_weights, fam_mapping, fap_mask, generate_fleet, pruned_fraction, saliency_loss,
+    FaultMap, FaultModel, FleetConfig, RateDistribution, SystolicArray,
 };
 use reduce_repro::tensor::{ops, Tensor};
 use std::sync::OnceLock;
@@ -285,6 +286,40 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Streaming chips from a seeded source yields a report identical to
+    /// materialising the fleet first — for any small fleet and any
+    /// window/batch partitioning of the scheduler.
+    #[test]
+    fn streaming_equals_materialised_fleets(
+        chips in 1usize..5,
+        hi in 0.05f64..0.3,
+        seed in 0u64..200,
+        window in 1usize..6,
+        batch_cap in 1usize..4,
+    ) {
+        let (runner, pre, _) = chaos_fixture();
+        let config = FleetConfig {
+            chips,
+            rows: 8,
+            cols: 8,
+            rates: RateDistribution::Uniform { lo: 0.0, hi },
+            model: FaultModel::Random,
+            seed,
+        };
+        let evaluate = |source: &dyn ChipSource| {
+            FleetEvaluation::new(RetrainPolicy::Fixed(1), 0.85)
+                .source(source)
+                .window(window)
+                .batch_cap(batch_cap)
+                .collect_outcomes(true)
+                .run(runner, pre)
+                .expect("valid run")
+        };
+        let materialised = generate_fleet(&config).expect("valid fleet");
+        let streamed = SeededChips::new(config);
+        prop_assert_eq!(evaluate(&materialised), evaluate(&streamed));
     }
 
     /// Union of fault maps is commutative and only grows the fault count.

@@ -7,8 +7,8 @@ use reduce_repro::core::telemetry::{
     FleetManifest, GridManifest, MetricsRecorder, Observer, RunLog, RunManifest,
 };
 use reduce_repro::core::{
-    evaluate_fleet, ExecConfig, FatRunner, FleetEvalConfig, Mitigation, ResilienceAnalysis,
-    ResilienceConfig, RetrainPolicy, Workbench,
+    ExecConfig, FatRunner, FleetEvaluation, Mitigation, ResilienceAnalysis, ResilienceConfig,
+    RetrainPolicy, Workbench,
 };
 use reduce_repro::systolic::{generate_fleet, FaultModel, FleetConfig, RateDistribution};
 use std::io::Write;
@@ -72,8 +72,11 @@ fn logged_run(threads: usize) -> String {
     let exec = ExecConfig::new(threads).with_observer(log);
     ResilienceAnalysis::run(&runner, &pre, grid_config(), &exec).expect("characterisation runs");
     let fleet = toy_fleet();
-    let config = FleetEvalConfig::new(RetrainPolicy::Fixed(2), 0.85);
-    evaluate_fleet(&runner, &pre, &fleet, None, &config, &exec).expect("valid run");
+    FleetEvaluation::new(RetrainPolicy::Fixed(2), 0.85)
+        .source(&fleet)
+        .exec(&exec)
+        .run(&runner, &pre)
+        .expect("valid run");
     sink.contents()
 }
 
@@ -108,22 +111,26 @@ fn observed_and_unobserved_runs_produce_identical_reports() {
     let pre = wb.pretrain(8).expect("valid workbench");
     let runner = FatRunner::new(wb).expect("valid workbench");
     let fleet = toy_fleet();
-    let config = FleetEvalConfig::new(RetrainPolicy::Fixed(2), 0.85);
+    let evaluate = |exec: &ExecConfig| {
+        FleetEvaluation::new(RetrainPolicy::Fixed(2), 0.85)
+            .source(&fleet)
+            .exec(exec)
+            .run(&runner, &pre)
+            .expect("valid run")
+    };
 
     // Default ExecConfig: the zero-cost NullObserver.
     let plain_exec = ExecConfig::default();
     let plain_analysis = ResilienceAnalysis::run(&runner, &pre, grid_config(), &plain_exec)
         .expect("characterisation runs");
-    let plain_report =
-        evaluate_fleet(&runner, &pre, &fleet, None, &config, &plain_exec).expect("valid run");
+    let plain_report = evaluate(&plain_exec);
 
     // Fully instrumented run.
     let metrics = Arc::new(MetricsRecorder::new());
     let observed_exec = ExecConfig::new(2).with_observer(metrics.clone());
     let observed_analysis = ResilienceAnalysis::run(&runner, &pre, grid_config(), &observed_exec)
         .expect("characterisation runs");
-    let observed_report =
-        evaluate_fleet(&runner, &pre, &fleet, None, &config, &observed_exec).expect("valid run");
+    let observed_report = evaluate(&observed_exec);
 
     assert_eq!(plain_analysis.points(), observed_analysis.points());
     assert_eq!(plain_analysis.table(), observed_analysis.table());
