@@ -9,6 +9,7 @@
 //! ```text
 //! cargo run -p reduce-bench --release --bin fig3 -- \
 //!     [--scale smoke|default|full] [--policy reduce-max|reduce-mean|fixed:N|all] \
+//!     [--strategy reduce|efat|fixed|all] \
 //!     [--chips N | --fleet-size N] [--threads N] [--table PATH] [--csv DIR] \
 //!     [--out DIR] [--redact-timing] [--cost] [--early-stop] [--per-chip] \
 //!     [--retries N] [--chaos-rate P] [--chaos-seed S] \
@@ -37,19 +38,32 @@
 //! fleet. Because per-chip outcomes are the one O(fleet) collection left,
 //! `--fleet-size` conflicts with `--per-chip` and `--csv` (and with
 //! `--chips`, which it replaces). Deploy throughput (chips/sec) and
-//! `peak_rss_kb` are printed after the summary.
+//! `peak_rss_kb` are printed after the summary, and a machine-readable
+//! `BENCH_fleet.json` is written to the current directory.
+//!
+//! Strategy comparison: `--strategy reduce|efat|fixed|all` pits whole
+//! *retraining strategies* against each other on the same seeded fleet —
+//! per-chip Reduce (max statistic), eFAT (the same policy with
+//! fault-similarity clustering and warm-started members), and the
+//! mid-range fixed budget — and replaces the Fig. 3f summary with a
+//! cost table carrying cluster and warm-start accounting. Because the
+//! mode picks its own policy list, it conflicts with `--policy`.
 
 use reduce_bench::{
-    apply_fault_args, open_journal, parse_args, resolve_run_dir, Scale, FAULT_VALUE_KEYS,
+    apply_fault_args, open_journal, parse_args, reject_conflicts, resolve_run_dir, Scale,
+    FAULT_VALUE_KEYS,
 };
 use reduce_core::telemetry::{
     self, Fanout, FleetManifest, GridManifest, MetricsRecorder, Observer, RunLog, RunManifest,
     Stage, StageWorkspace, Stopwatch, ThroughputManifest,
 };
 use reduce_core::{
-    report, ExecConfig, FleetEvaluation, Reduce, ReduceError, RetrainPolicy, SeededChips, Statistic,
+    artifact, report, ExecConfig, FleetEvaluation, FleetStrategy, Reduce, ReduceError,
+    RetrainPolicy, SeededChips, Statistic,
 };
+use reduce_systolic::ClusterConfig;
 use std::error::Error;
+use std::path::Path;
 use std::sync::Arc;
 
 fn parse_policy(s: &str) -> Result<Vec<RetrainPolicy>, ReduceError> {
@@ -72,11 +86,58 @@ fn parse_policy(s: &str) -> Result<Vec<RetrainPolicy>, ReduceError> {
     }
 }
 
+/// Resolves `--strategy` into the `(policy, fleet strategy)` runs of the
+/// Reduce-vs-eFAT-vs-fixed comparison. `mid` is the scale's mid-range
+/// fixed budget, so the fixed baseline matches Fig. 3's panel (d).
+fn parse_strategy(s: &str, mid: usize) -> Result<Vec<(RetrainPolicy, FleetStrategy)>, ReduceError> {
+    let reduce = (
+        RetrainPolicy::Reduce(Statistic::Max),
+        FleetStrategy::PerChip,
+    );
+    let efat = (
+        RetrainPolicy::Reduce(Statistic::Max),
+        FleetStrategy::Clustered(ClusterConfig::default()),
+    );
+    let fixed = (RetrainPolicy::Fixed(mid), FleetStrategy::PerChip);
+    match s {
+        "reduce" => Ok(vec![reduce]),
+        "efat" => Ok(vec![efat]),
+        "fixed" => Ok(vec![fixed]),
+        "all" => Ok(vec![reduce, efat, fixed]),
+        other => Err(ReduceError::InvalidConfig {
+            what: format!("unknown strategy {other:?} (reduce|efat|fixed|all)"),
+        }),
+    }
+}
+
+/// Renders the `BENCH_fleet.json` throughput document. Key order and
+/// separators are fixed; numeric literals are the only run-to-run
+/// variation, which the CI stage normalises away before diffing.
+fn render_fleet_bench(
+    chips: usize,
+    seconds: f64,
+    chips_per_sec: f64,
+    aggregate_epochs: usize,
+    peak_rss_kb: u64,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"reduce-bench/fleet-throughput/v1\",\n");
+    s.push_str(&format!("  \"chips\": {chips},\n"));
+    s.push_str(&format!("  \"seconds\": {seconds:e},\n"));
+    s.push_str(&format!("  \"chips_per_sec\": {chips_per_sec:e},\n"));
+    s.push_str(&format!("  \"aggregate_epochs\": {aggregate_epochs},\n"));
+    s.push_str(&format!("  \"peak_rss_kb\": {peak_rss_kb}\n"));
+    s.push_str("}\n");
+    s
+}
+
 fn main() -> Result<(), Box<dyn Error>> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut value_keys = vec![
         "--scale",
         "--policy",
+        "--strategy",
         "--chips",
         "--fleet-size",
         "--threads",
@@ -92,7 +153,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         0,
     )?;
     let scale = Scale::parse(args.value("--scale").unwrap_or("default"))?;
-    let policy_arg = args.value("--policy").unwrap_or("all").to_string();
+    let policy_arg = args.value("--policy").map(str::to_string);
+    let strategy_arg = args.value("--strategy").map(str::to_string);
     let chips: Option<usize> = match args.value("--chips") {
         Some(s) => Some(s.parse()?),
         None => None,
@@ -101,21 +163,22 @@ fn main() -> Result<(), Box<dyn Error>> {
         Some(s) => Some(s.parse()?),
         None => None,
     };
-    if fleet_size.is_some() {
-        if chips.is_some() {
-            return Err(Box::new(ReduceError::InvalidConfig {
-                what: "--fleet-size conflicts with --chips (it replaces it for streaming runs)"
-                    .to_string(),
-            }));
-        }
-        if args.flag("--per-chip") || args.value("--csv").is_some() {
-            return Err(Box::new(ReduceError::InvalidConfig {
-                what: "--fleet-size conflicts with --per-chip/--csv (per-chip outcomes are the \
-                       one O(fleet) collection; streaming runs do not collect them)"
-                    .to_string(),
-            }));
-        }
-    }
+    // Streaming runs never collect the O(fleet) per-chip outcomes, and a
+    // strategy comparison picks its own policy list.
+    reject_conflicts(
+        "--fleet-size",
+        fleet_size.is_some(),
+        &[
+            ("--chips", chips.is_some()),
+            ("--csv", args.value("--csv").is_some()),
+            ("--per-chip", args.flag("--per-chip")),
+        ],
+    )?;
+    reject_conflicts(
+        "--strategy",
+        strategy_arg.is_some(),
+        &[("--policy", policy_arg.is_some())],
+    )?;
     let threads = args.threads()?;
     let redact = args.flag("--redact-timing");
     let (out_dir, resuming) = resolve_run_dir(&args)?;
@@ -146,17 +209,26 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
     }
 
-    let mut policies = parse_policy(&policy_arg)?;
-    if policies.is_empty() {
-        let [lo, mid, hi] = scale.fixed_budgets();
-        policies = vec![
-            RetrainPolicy::Reduce(Statistic::Max),
-            RetrainPolicy::Reduce(Statistic::Mean),
-            RetrainPolicy::Fixed(lo),
-            RetrainPolicy::Fixed(mid),
-            RetrainPolicy::Fixed(hi),
-        ];
-    }
+    let [lo, mid, hi] = scale.fixed_budgets();
+    let runs: Vec<(RetrainPolicy, FleetStrategy)> = match &strategy_arg {
+        Some(s) => parse_strategy(s, mid)?,
+        None => {
+            let mut policies = parse_policy(policy_arg.as_deref().unwrap_or("all"))?;
+            if policies.is_empty() {
+                policies = vec![
+                    RetrainPolicy::Reduce(Statistic::Max),
+                    RetrainPolicy::Reduce(Statistic::Mean),
+                    RetrainPolicy::Fixed(lo),
+                    RetrainPolicy::Fixed(mid),
+                    RetrainPolicy::Fixed(hi),
+                ];
+            }
+            policies
+                .into_iter()
+                .map(|p| (p, FleetStrategy::PerChip))
+                .collect()
+        }
+    };
 
     let workbench = scale.workbench(1);
     let workbench_spec = format!("{:?}", workbench.model);
@@ -176,7 +248,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         reduce.pretrained().baseline_accuracy * 100.0
     );
 
-    let needs_table = policies.iter().any(RetrainPolicy::needs_table);
+    let needs_table = runs.iter().any(|(p, _)| p.needs_table());
     let loaded_table = match args.value("--table") {
         Some(path) => {
             let table = reduce_core::ResilienceTable::load(std::path::Path::new(path))?;
@@ -209,7 +281,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let deploy_clock = Stopwatch::start();
     let mut reports = Vec::new();
-    for policy in policies {
+    for (policy, fleet_strategy) in runs {
         let table = if policy.needs_table() {
             match &loaded_table {
                 Some(t) => Some(t.clone()),
@@ -220,6 +292,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         };
         let mut eval = FleetEvaluation::new(policy, constraint)
             .source(&source)
+            .fleet_strategy(fleet_strategy)
             .early_stop(args.flag("--early-stop"))
             .collect_outcomes(collect_outcomes)
             .exec(&exec);
@@ -261,12 +334,30 @@ fn main() -> Result<(), Box<dyn Error>> {
         "\ndeploy throughput: {deployed_chips} chips in {deploy_seconds:.2}s = \
          {chips_per_sec:.1} chips/sec"
     );
-    if let Some(kb) = peak_rss_kb() {
+    let rss_kb = peak_rss_kb();
+    if let Some(kb) = rss_kb {
         println!("peak_rss_kb={kb}");
     }
+    if fleet_size.is_some() {
+        let aggregate_epochs: usize = reports.iter().map(|r| r.total_epochs).sum();
+        let doc = render_fleet_bench(
+            deployed_chips,
+            deploy_seconds,
+            chips_per_sec,
+            aggregate_epochs,
+            rss_kb.unwrap_or(0),
+        );
+        artifact::write_atomic(Path::new("BENCH_fleet.json"), &doc)?;
+        println!("fleet throughput written to BENCH_fleet.json");
+    }
 
-    println!("\n— Fig. 3f summary —");
-    println!("{}", report::render_fleet_summary(&reports));
+    if strategy_arg.is_some() {
+        println!("\n— strategy comparison (Reduce vs eFAT vs fixed) —");
+        println!("{}", report::render_strategy_comparison(&reports));
+    } else {
+        println!("\n— Fig. 3f summary —");
+        println!("{}", report::render_fleet_summary(&reports));
+    }
     if args.flag("--cost") {
         let cm = reduce_systolic::CostModel::small(array.0, array.1);
         println!("accelerator-side retraining cost (cost-model estimate):");

@@ -251,8 +251,29 @@ impl FatRunner {
         fault_map: &FaultMap,
         strategy: Mitigation,
     ) -> Result<(Sequential, f32)> {
+        self.masked_model_from_state(&pretrained.state, fault_map, strategy)
+    }
+
+    /// [`FatRunner::masked_model`] starting from an arbitrary state dict —
+    /// the warm-start entry point. The eFAT scheduler passes a cluster
+    /// representative's converged [`FatOutcome::final_state`] here, which is
+    /// keyed exactly like [`Pretrained::state`] (`"{layer}.{param}"`), so
+    /// members begin retraining from the representative's weights instead
+    /// of the pretrained baseline. The same CoW sharing applies: the state
+    /// dict's storage is aliased until the member's masks un-share the
+    /// weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build/load/mask errors.
+    pub fn masked_model_from_state(
+        &self,
+        base_state: &[(String, Tensor)],
+        fault_map: &FaultMap,
+        strategy: Mitigation,
+    ) -> Result<(Sequential, f32)> {
         let mut model = self.workbench.model.build(self.workbench.seed)?;
-        model.load_state_dict(&pretrained.state)?;
+        model.load_state_dict(base_state)?;
         let masks = self.derive_masks(&model, fault_map, strategy)?;
         model.set_weight_masks(&masks)?;
         let (mut pruned, mut total) = (0usize, 0usize);
@@ -398,7 +419,79 @@ impl FatRunner {
         on_epoch: &mut dyn FnMut(usize, f32),
     ) -> Result<FatOutcome> {
         self.run_inner(
-            pretrained, fault_map, max_epochs, stop, strategy, run_seed, None, on_epoch,
+            &pretrained.state,
+            fault_map,
+            max_epochs,
+            stop,
+            strategy,
+            run_seed,
+            None,
+            on_epoch,
+        )
+    }
+
+    /// Runs fault-aware retraining *warm-started* from an arbitrary state
+    /// dict (eFAT: a cluster representative's converged
+    /// [`FatOutcome::final_state`]) instead of the pretrained baseline.
+    ///
+    /// Semantics otherwise match [`FatRunner::run`]; with
+    /// [`StopRule::AtAccuracy`] a member whose warm-started accuracy
+    /// already meets the constraint spends zero retraining epochs — the
+    /// source of eFAT's aggregate savings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training/evaluation errors.
+    pub fn run_warm(
+        &self,
+        base_state: &[(String, Tensor)],
+        fault_map: &FaultMap,
+        max_epochs: usize,
+        stop: StopRule,
+        strategy: Mitigation,
+        run_seed: u64,
+    ) -> Result<FatOutcome> {
+        self.run_inner(
+            base_state,
+            fault_map,
+            max_epochs,
+            stop,
+            strategy,
+            run_seed,
+            None,
+            &mut |_, _| {},
+        )
+    }
+
+    /// [`FatRunner::run_warm`] with a shared workspace pool and an epoch
+    /// tick — the warm-start analogue of
+    /// [`FatRunner::run_pooled_observed`], used by the clustered fleet
+    /// scheduler for member chips.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training/evaluation errors.
+    #[allow(clippy::too_many_arguments)] // mirrors `run_pooled_observed`
+    pub fn run_warm_pooled_observed(
+        &self,
+        base_state: &[(String, Tensor)],
+        fault_map: &FaultMap,
+        max_epochs: usize,
+        stop: StopRule,
+        strategy: Mitigation,
+        run_seed: u64,
+        pool: &mut Workspace,
+        on_epoch: &mut dyn FnMut(usize, f32),
+    ) -> Result<FatOutcome> {
+        self.run_inner(
+            base_state,
+            fault_map,
+            max_epochs,
+            stop,
+            strategy,
+            run_seed,
+            Some(pool),
+            on_epoch,
         )
     }
 
@@ -438,7 +531,7 @@ impl FatRunner {
         on_epoch: &mut dyn FnMut(usize, f32),
     ) -> Result<FatOutcome> {
         self.run_inner(
-            pretrained,
+            &pretrained.state,
             fault_map,
             max_epochs,
             stop,
@@ -452,7 +545,7 @@ impl FatRunner {
     #[allow(clippy::too_many_arguments)]
     fn run_inner(
         &self,
-        pretrained: &Pretrained,
+        base_state: &[(String, Tensor)],
         fault_map: &FaultMap,
         max_epochs: usize,
         stop: StopRule,
@@ -461,7 +554,8 @@ impl FatRunner {
         mut pool: Option<&mut Workspace>,
         on_epoch: &mut dyn FnMut(usize, f32),
     ) -> Result<FatOutcome> {
-        let (mut model, pruned_fraction) = self.masked_model(pretrained, fault_map, strategy)?;
+        let (mut model, pruned_fraction) =
+            self.masked_model_from_state(base_state, fault_map, strategy)?;
         if let Some(pool) = pool.as_deref_mut() {
             std::mem::swap(model.workspace_mut(), pool);
         }
@@ -843,6 +937,64 @@ mod tests {
             .expect("valid")
             .accuracy;
         assert_eq!(before, after, "BN-free model must be unaffected");
+    }
+
+    #[test]
+    fn warm_start_resumes_from_the_donor_state() {
+        let (runner, pre) = runner();
+        let m = map(0.2, 12);
+        // Representative: full FAT from the pretrained baseline.
+        let rep = runner
+            .run(&pre, &m, 6, StopRule::Exact, Mitigation::Fap, 0)
+            .expect("valid run");
+        // A zero-epoch warm run on the same fault map re-evaluates the
+        // representative's converged state exactly.
+        let warm = runner
+            .run_warm(&rep.final_state, &m, 0, StopRule::Exact, Mitigation::Fap, 1)
+            .expect("valid run");
+        assert_eq!(
+            warm.pre_retrain_accuracy,
+            rep.final_accuracy(),
+            "warm start must pick up where the donor finished"
+        );
+        // Warm-starting from the donor begins at or near its converged
+        // accuracy; cold-starting the same chip begins at the masked
+        // pretrained accuracy, which retraining had to climb from.
+        let cold = runner
+            .run(&pre, &m, 0, StopRule::Exact, Mitigation::Fap, 1)
+            .expect("valid run");
+        assert!(
+            warm.pre_retrain_accuracy >= cold.pre_retrain_accuracy,
+            "warm {} must not start below cold {}",
+            warm.pre_retrain_accuracy,
+            cold.pre_retrain_accuracy
+        );
+    }
+
+    #[test]
+    fn warm_start_meets_constraint_without_spending_epochs() {
+        let (runner, pre) = runner();
+        let m = map(0.15, 13);
+        let rep = runner
+            .run(&pre, &m, 6, StopRule::Exact, Mitigation::Fap, 0)
+            .expect("valid run");
+        let constraint = rep.final_accuracy() - 0.01;
+        let member = runner
+            .run_warm(
+                &rep.final_state,
+                &m,
+                6,
+                StopRule::AtAccuracy(constraint),
+                Mitigation::Fap,
+                2,
+            )
+            .expect("valid run");
+        assert_eq!(
+            member.epochs_run(),
+            0,
+            "a member whose warm accuracy meets the constraint spends nothing"
+        );
+        assert_eq!(member.epochs_to_reach(constraint), Some(0));
     }
 
     #[test]

@@ -31,7 +31,15 @@ use crate::resilience::ResilienceTable;
 use crate::telemetry::{self, EpochScope, Event, Stage};
 use crate::workbench::Pretrained;
 use reduce_nn::{Workspace, WorkspaceStats};
-use reduce_systolic::{chip_rate, generate_chip, Chip, CostModel, FleetConfig};
+use reduce_systolic::{
+    chip_rate, cluster_fault_maps, generate_chip, Chip, Cluster, ClusterConfig, CostModel,
+    FaultMap, FleetConfig,
+};
+use reduce_tensor::Tensor;
+
+/// A model's named-parameter snapshot (`state_dict()` order) — the
+/// warm-start payload a cluster representative donates to its members.
+type ModelState = Vec<(String, Tensor)>;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -58,6 +66,12 @@ pub struct ChipOutcome {
     pub pruned_fraction: f32,
     /// Whether the chip's fault rate fell outside the characterised range.
     pub clamped: bool,
+    /// Whether the chip warm-started from a cluster representative's
+    /// converged state instead of the pretrained baseline
+    /// ([`FleetStrategy::Clustered`]). Defaults to `false` when absent so
+    /// records written before the eFAT extension still deserialize.
+    #[serde(default)]
+    pub warm_started: bool,
 }
 
 /// A chip whose FAT run exhausted its retry budget and was quarantined.
@@ -112,6 +126,23 @@ impl SealedChip {
             SealedChip::Quarantined(_) => ChipStatus::Quarantined,
         }
     }
+}
+
+/// How the epoch-budget scheduler shares retraining across a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FleetStrategy {
+    /// Every chip runs FAT from the pretrained baseline — the paper's
+    /// Step ③ and the default.
+    #[default]
+    PerChip,
+    /// eFAT (arXiv:2304.12949): chips in a batch are clustered by
+    /// fault-map similarity; each cluster's highest-fault representative
+    /// runs FAT from the pretrained baseline and the members warm-start
+    /// from its converged state. The whole pipeline is constraint-aware —
+    /// every chip stops the moment it meets the constraint (eFAT computes
+    /// the *required* retraining, where Reduce spends the selected budget
+    /// open-loop) — and the policy budget stays the upper bound.
+    Clustered(ClusterConfig),
 }
 
 /// A source of chips addressed by stable id — the streaming intake of the
@@ -287,6 +318,14 @@ pub struct FleetReport {
     /// Estimated retraining cycles on the accelerator (cost-model based),
     /// if a cost model was supplied.
     pub retrain_cycles: Option<u64>,
+    /// Fault-similarity clusters formed across all batches (0 for
+    /// [`FleetStrategy::PerChip`] runs).
+    pub clusters: usize,
+    /// Chips that warm-started from a cluster representative.
+    pub warm_started: usize,
+    /// Epochs the warm-started chips left unspent of their policy budgets
+    /// — the eFAT savings metric (Σ budgeted − run over warm chips).
+    pub warm_start_epochs_saved: usize,
     /// Per-chip outcomes in scheduler order, present only when
     /// [`FleetEvaluation::collect_outcomes`] was enabled — the one opt-in
     /// path back to O(fleet) memory.
@@ -346,6 +385,7 @@ struct BatchPlan {
 
 /// The sealed output of one batch, fresh or replayed.
 struct BatchResult {
+    clusters: Vec<Cluster>,
     chips: Vec<SealedChip>,
     workspace: WorkspaceStats,
     events: Vec<Event>,
@@ -362,6 +402,9 @@ struct ReportAccumulator {
     min_accuracy: f32,
     max_accuracy: f32,
     epoch_histogram: BTreeMap<usize, usize>,
+    clusters: usize,
+    warm_started: usize,
+    warm_start_epochs_saved: usize,
     outcomes: Option<Vec<ChipOutcome>>,
 }
 
@@ -376,6 +419,9 @@ impl ReportAccumulator {
             min_accuracy: f32::INFINITY,
             max_accuracy: f32::NEG_INFINITY,
             epoch_histogram: BTreeMap::new(),
+            clusters: 0,
+            warm_started: 0,
+            warm_start_epochs_saved: 0,
             outcomes: collect_outcomes.then(Vec::new),
         }
     }
@@ -401,6 +447,10 @@ impl ReportAccumulator {
                 self.min_accuracy = self.min_accuracy.min(c.final_accuracy);
                 self.max_accuracy = self.max_accuracy.max(c.final_accuracy);
                 *self.epoch_histogram.entry(c.epochs_run).or_insert(0) += 1;
+                if c.warm_started {
+                    self.warm_started += 1;
+                    self.warm_start_epochs_saved += c.epochs_budgeted.saturating_sub(c.epochs_run);
+                }
                 if let Some(outcomes) = &mut self.outcomes {
                     outcomes.push(c);
                 }
@@ -436,6 +486,9 @@ impl ReportAccumulator {
             },
             epoch_histogram: self.epoch_histogram,
             retrain_cycles,
+            clusters: self.clusters,
+            warm_started: self.warm_started,
+            warm_start_epochs_saved: self.warm_start_epochs_saved,
             outcomes: self.outcomes,
         }
     }
@@ -478,6 +531,7 @@ pub struct FleetEvaluation<'a> {
     source: Option<&'a dyn ChipSource>,
     table: Option<&'a ResilienceTable>,
     strategy: Mitigation,
+    fleet_strategy: FleetStrategy,
     early_stop: bool,
     cost_model: Option<CostModel>,
     seed: u64,
@@ -507,6 +561,7 @@ impl<'a> FleetEvaluation<'a> {
             source: None,
             table: None,
             strategy: Mitigation::Fap,
+            fleet_strategy: FleetStrategy::PerChip,
             early_stop: false,
             cost_model: None,
             seed: 0xF1EE7,
@@ -537,6 +592,17 @@ impl<'a> FleetEvaluation<'a> {
     #[must_use]
     pub fn strategy(mut self, strategy: Mitigation) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Retraining-sharing strategy: per-chip FAT (the paper's Step ③,
+    /// the default) or eFAT clustered warm-starting
+    /// ([`FleetStrategy::Clustered`]). Clustered runs get a distinct
+    /// policy label (`"… + eFAT"`), so their journal batches never
+    /// collide with a per-chip run of the same policy.
+    #[must_use]
+    pub fn fleet_strategy(mut self, fleet_strategy: FleetStrategy) -> Self {
+        self.fleet_strategy = fleet_strategy;
         self
     }
 
@@ -630,7 +696,21 @@ impl<'a> FleetEvaluation<'a> {
                 self.constraint
             )));
         }
+        if let FleetStrategy::Clustered(config) = &self.fleet_strategy {
+            config
+                .validate()
+                .map_err(|e| reject(format!("invalid cluster config: {e}")))?;
+        }
         Ok(source)
+    }
+
+    /// The evaluation's label: the policy label, suffixed for clustered
+    /// runs. This is the key reports and journal batches carry.
+    fn label(&self) -> String {
+        match self.fleet_strategy {
+            FleetStrategy::PerChip => self.policy.label(),
+            FleetStrategy::Clustered(_) => format!("{} + eFAT", self.policy.label()),
+        }
     }
 
     /// Retrains the whole fleet under the configured policy and streams
@@ -664,7 +744,7 @@ impl<'a> FleetEvaluation<'a> {
                 &default_exec
             }
         };
-        let policy_label = self.policy.label();
+        let policy_label = self.label();
         let n = source.len();
 
         // Index the journal: batch-keyed records from this format, plus
@@ -817,6 +897,7 @@ impl<'a> FleetEvaluation<'a> {
                 exec.observer().on_event(event);
             }
             stage_ws.merge(&result.workspace);
+            acc.clusters += result.clusters.len();
             for sealed in result.chips {
                 acc.absorb(sealed)?;
             }
@@ -838,37 +919,30 @@ impl<'a> FleetEvaluation<'a> {
         plan: &BatchPlan,
     ) -> Result<BatchResult> {
         let pool = RefCell::new(Workspace::new());
-        let mut events = Vec::new();
-        let mut chips = Vec::with_capacity(plan.members.len());
-        for member in &plan.members {
-            let chip = source.chip(member.id)?;
-            // Job ids are the chip ids — stable across batching and
-            // resume subsetting, so retry salts and chaos decisions are
-            // per-chip properties, independent of scheduling.
-            let report = exec::run_job_resilient(
-                member.id as u64,
-                &chip,
-                exec,
-                Stage::Deploy,
-                &|_, chip: &Chip, salt, job_events: &mut Vec<Event>| {
-                    self.retrain_chip_pooled(
-                        runner, pretrained, member, chip, salt, &pool, job_events,
-                    )
-                },
-            )?;
-            events.extend(report.events);
-            match report.status {
-                JobStatus::Ok(outcome) => chips.push(SealedChip::Retrained(outcome)),
-                JobStatus::Quarantined { attempts, error } => {
-                    chips.push(SealedChip::Quarantined(QuarantinedChip {
-                        chip_id: member.id,
-                        fault_rate: chip.fault_rate(),
-                        attempts,
-                        error,
-                    }));
+        let (clusters, chips, events) = match &self.fleet_strategy {
+            FleetStrategy::PerChip => {
+                let mut events = Vec::new();
+                let mut chips = Vec::with_capacity(plan.members.len());
+                for member in &plan.members {
+                    let chip = source.chip(member.id)?;
+                    let sealed = self.seal_chip(
+                        runner,
+                        &pretrained.state,
+                        exec,
+                        member,
+                        &chip,
+                        None,
+                        &pool,
+                        &mut events,
+                    )?;
+                    chips.push(sealed.0);
                 }
+                (Vec::new(), chips, events)
             }
-        }
+            FleetStrategy::Clustered(config) => {
+                self.run_clustered_batch(runner, pretrained, source, exec, plan, config, &pool)?
+            }
+        };
         let workspace = pool.borrow().stats();
         if let Some(cp) = self.journal {
             cp.append(JournalRecord::FleetBatch {
@@ -876,40 +950,197 @@ impl<'a> FleetEvaluation<'a> {
                 window: plan.window,
                 budget: plan.budget,
                 chunk: plan.chunk,
+                clusters: clusters.clone(),
                 chips: chips.clone(),
                 workspace,
                 events: events.clone(),
             })?;
         }
         Ok(BatchResult {
+            clusters,
             chips,
             workspace,
             events,
         })
     }
 
+    /// The eFAT batch path: cluster the batch's chips by fault-map
+    /// similarity, run each cluster's representative cold (full FAT from
+    /// the pretrained baseline), then warm-start the members from the
+    /// representative's converged state.
+    ///
+    /// Output normalisation keeps the per-chip journal invariant and the
+    /// determinism contract: sealed chips and their buffered events come
+    /// out in ascending chip-id order (not cluster execution order),
+    /// preceded by one [`Event::ClusterFormed`] per cluster in leader
+    /// order. A quarantined representative demotes its members to cold
+    /// per-chip runs — containment never cascades through a cluster.
+    #[allow(clippy::too_many_arguments)] // internal plumbing of one call site
+    fn run_clustered_batch(
+        &self,
+        runner: &FatRunner,
+        pretrained: &Pretrained,
+        source: &dyn ChipSource,
+        exec: &ExecConfig,
+        plan: &BatchPlan,
+        config: &ClusterConfig,
+        pool: &RefCell<Workspace>,
+    ) -> Result<(Vec<Cluster>, Vec<SealedChip>, Vec<Event>)> {
+        // Batches are bounded by the batch cap, so materialising the
+        // batch's chips (fault maps included) is O(batch_cap), not
+        // O(fleet).
+        let mut batch_chips = Vec::with_capacity(plan.members.len());
+        for member in &plan.members {
+            batch_chips.push(source.chip(member.id)?);
+        }
+        let pairs: Vec<(usize, &FaultMap)> = batch_chips
+            .iter()
+            .map(|chip| (chip.id(), chip.fault_map()))
+            .collect();
+        let clusters = cluster_fault_maps(&pairs, config)?;
+        let plan_of: BTreeMap<usize, &ChipPlan> = plan.members.iter().map(|m| (m.id, m)).collect();
+        let chip_of: BTreeMap<usize, &Chip> = batch_chips.iter().map(|c| (c.id(), c)).collect();
+        let member_of = |id: usize| -> Result<(&ChipPlan, &Chip)> {
+            match (plan_of.get(&id), chip_of.get(&id)) {
+                (Some(member), Some(chip)) => Ok((member, chip)),
+                _ => Err(ReduceError::Internal {
+                    invariant: "clusters partition the batch's members".to_string(),
+                }),
+            }
+        };
+        let mut events = Vec::with_capacity(clusters.len());
+        let mut sealed_by_id: BTreeMap<usize, SealedChip> = BTreeMap::new();
+        let mut events_by_id: BTreeMap<usize, Vec<Event>> = BTreeMap::new();
+        for cluster in &clusters {
+            events.push(Event::ClusterFormed {
+                representative: cluster.representative,
+                size: cluster.size(),
+            });
+            let (rep_member, rep_chip) = member_of(cluster.representative)?;
+            let mut rep_events = Vec::new();
+            let (rep_sealed, rep_state) = self.seal_chip(
+                runner,
+                &pretrained.state,
+                exec,
+                rep_member,
+                rep_chip,
+                None,
+                pool,
+                &mut rep_events,
+            )?;
+            sealed_by_id.insert(cluster.representative, rep_sealed);
+            events_by_id.insert(cluster.representative, rep_events);
+            for &member_id in &cluster.members {
+                let (member, chip) = member_of(member_id)?;
+                let mut member_events = Vec::new();
+                // A quarantined representative leaves no converged state:
+                // its members run cold, exactly as in a per-chip batch.
+                let warm = rep_state
+                    .as_ref()
+                    .map(|state| (state.as_slice(), cluster.representative));
+                let (member_sealed, _) = self.seal_chip(
+                    runner,
+                    warm.map_or(&pretrained.state, |(state, _)| state),
+                    exec,
+                    member,
+                    chip,
+                    warm.map(|(_, rep)| rep),
+                    pool,
+                    &mut member_events,
+                )?;
+                sealed_by_id.insert(member_id, member_sealed);
+                events_by_id.insert(member_id, member_events);
+            }
+        }
+        for (_, chip_events) in events_by_id {
+            events.extend(chip_events);
+        }
+        Ok((clusters, sealed_by_id.into_values().collect(), events))
+    }
+
+    /// Runs one chip resiliently (retry/chaos/quarantine) and seals its
+    /// fate, returning the converged state of a successful run so cluster
+    /// representatives can donate it to their members.
+    #[allow(clippy::too_many_arguments)] // internal plumbing of two call sites
+    fn seal_chip(
+        &self,
+        runner: &FatRunner,
+        base_state: &[(String, Tensor)],
+        exec: &ExecConfig,
+        member: &ChipPlan,
+        chip: &Chip,
+        warm_from: Option<usize>,
+        pool: &RefCell<Workspace>,
+        events: &mut Vec<Event>,
+    ) -> Result<(SealedChip, Option<ModelState>)> {
+        // Job ids are the chip ids — stable across batching, clustering
+        // and resume subsetting, so retry salts and chaos decisions are
+        // per-chip properties, independent of scheduling.
+        let report = exec::run_job_resilient(
+            member.id as u64,
+            chip,
+            exec,
+            Stage::Deploy,
+            &|_, chip: &Chip, salt, job_events: &mut Vec<Event>| {
+                self.retrain_chip_pooled(
+                    runner, base_state, member, chip, salt, warm_from, pool, job_events,
+                )
+            },
+        )?;
+        events.extend(report.events);
+        match report.status {
+            JobStatus::Ok((outcome, state)) => Ok((SealedChip::Retrained(outcome), Some(state))),
+            JobStatus::Quarantined { attempts, error } => Ok((
+                SealedChip::Quarantined(QuarantinedChip {
+                    chip_id: member.id,
+                    fault_rate: chip.fault_rate(),
+                    attempts,
+                    error,
+                }),
+                None,
+            )),
+        }
+    }
+
     /// Steps ②+③ for one chip, training out of the batch's shared
-    /// workspace pool.
+    /// workspace pool. `base_state` is the pretrained baseline for cold
+    /// runs or a cluster representative's converged state when
+    /// `warm_from` names the donor; warm runs stop at the constraint (the
+    /// eFAT savings mechanism) while cold runs follow the early-stop
+    /// setting. Returns the outcome together with the converged state.
     #[allow(clippy::too_many_arguments)] // internal plumbing of one call site
     fn retrain_chip_pooled(
         &self,
         runner: &FatRunner,
-        pretrained: &Pretrained,
+        base_state: &[(String, Tensor)],
         member: &ChipPlan,
         chip: &Chip,
         salt: u64,
+        warm_from: Option<usize>,
         pool: &RefCell<Workspace>,
         events: &mut Vec<Event>,
-    ) -> Result<ChipOutcome> {
+    ) -> Result<(ChipOutcome, ModelState)> {
         let rate = chip.fault_rate();
-        let stop = if self.early_stop {
+        // The clustered pipeline is constraint-aware end to end: eFAT
+        // computes the *required* retraining per chip, so representatives
+        // and warm-started members alike stop the moment the constraint
+        // is met — unlike Reduce's open-loop budget spending, which only
+        // stops early when the user opts in.
+        let clustered = matches!(self.fleet_strategy, FleetStrategy::Clustered(_));
+        let stop = if clustered || warm_from.is_some() || self.early_stop {
             StopRule::AtAccuracy(self.constraint)
         } else {
             StopRule::Exact
         };
+        if let Some(representative) = warm_from {
+            events.push(Event::WarmStartHit {
+                chip_id: chip.id(),
+                representative,
+            });
+        }
         let mut pool = pool.borrow_mut();
-        let outcome = runner.run_pooled_observed(
-            pretrained,
+        let mut outcome = runner.run_warm_pooled_observed(
+            base_state,
             chip.fault_map(),
             member.budget,
             stop,
@@ -936,7 +1167,7 @@ impl<'a> FleetEvaluation<'a> {
             final_accuracy,
             satisfied: final_accuracy >= self.constraint,
         });
-        Ok(ChipOutcome {
+        let chip_outcome = ChipOutcome {
             chip_id: chip.id(),
             fault_rate: rate,
             epochs_budgeted: member.budget,
@@ -946,7 +1177,9 @@ impl<'a> FleetEvaluation<'a> {
             meets_constraint: final_accuracy >= self.constraint,
             pruned_fraction: outcome.pruned_fraction,
             clamped: member.clamped,
-        })
+            warm_started: warm_from.is_some(),
+        };
+        Ok((chip_outcome, std::mem::take(&mut outcome.final_state)))
     }
 }
 
@@ -954,11 +1187,13 @@ impl<'a> FleetEvaluation<'a> {
 fn replay_batch(record: &JournalRecord) -> Result<BatchResult> {
     match record {
         JournalRecord::FleetBatch {
+            clusters,
             chips,
             workspace,
             events,
             ..
         } => Ok(BatchResult {
+            clusters: clusters.clone(),
             chips: chips.clone(),
             workspace: *workspace,
             events: events.clone(),
@@ -1015,6 +1250,7 @@ fn replay_legacy_batch(
         }
     }
     Ok(BatchResult {
+        clusters: Vec::new(),
         chips,
         workspace,
         events,
@@ -1320,5 +1556,115 @@ mod tests {
         );
         rejected(FleetEvaluation::new(RetrainPolicy::Fixed(1), 1.5).source(&fleet));
         rejected(FleetEvaluation::new(RetrainPolicy::Fixed(1), f32::NAN).source(&fleet));
+        rejected(
+            FleetEvaluation::new(RetrainPolicy::Fixed(1), 0.5)
+                .source(&fleet)
+                .fleet_strategy(FleetStrategy::Clustered(ClusterConfig {
+                    threshold: 2.0,
+                    ..ClusterConfig::default()
+                })),
+        );
+    }
+
+    #[test]
+    fn clustered_strategy_saves_epochs_at_equal_or_better_yield() {
+        let (runner, pre, fleet) = setup();
+        let constraint = 0.5;
+        let per_chip = FleetEvaluation::new(RetrainPolicy::Fixed(3), constraint)
+            .source(&fleet)
+            .collect_outcomes(true)
+            .run(&runner, &pre)
+            .expect("valid run");
+        let clustered = FleetEvaluation::new(RetrainPolicy::Fixed(3), constraint)
+            .source(&fleet)
+            .fleet_strategy(FleetStrategy::Clustered(ClusterConfig::default()))
+            .collect_outcomes(true)
+            .run(&runner, &pre)
+            .expect("valid run");
+        assert_eq!(clustered.policy, "Fixed (3 epochs) + eFAT");
+        assert!(clustered.clusters > 0, "batch formed no clusters");
+        assert!(
+            clustered.warm_started > 0,
+            "default config should merge same-band 8x8 maps into shared clusters"
+        );
+        // The eFAT claim: warm-started members stop at the constraint, so
+        // the fleet spends strictly fewer epochs without losing yield.
+        assert!(
+            clustered.total_epochs < per_chip.total_epochs,
+            "clustered ({}) should undercut per-chip ({})",
+            clustered.total_epochs,
+            per_chip.total_epochs
+        );
+        assert!(clustered.satisfied >= per_chip.satisfied);
+        let outcomes = clustered.outcomes.as_ref().expect("collected");
+        let saved: usize = outcomes
+            .iter()
+            .filter(|c| c.warm_started)
+            .map(|c| c.epochs_budgeted - c.epochs_run)
+            .sum();
+        assert_eq!(clustered.warm_start_epochs_saved, saved);
+        assert_eq!(
+            clustered.warm_started,
+            outcomes.iter().filter(|c| c.warm_started).count()
+        );
+        assert_eq!(per_chip.clusters, 0);
+        assert_eq!(per_chip.warm_started, 0);
+    }
+
+    #[test]
+    fn cluster_assignment_is_invariant_across_thread_counts() {
+        let (runner, pre, fleet) = setup();
+        let baseline = FleetEvaluation::new(RetrainPolicy::Fixed(3), 0.5)
+            .source(&fleet)
+            .fleet_strategy(FleetStrategy::Clustered(ClusterConfig::default()))
+            .collect_outcomes(true)
+            .run(&runner, &pre)
+            .expect("valid run");
+        for threads in [1usize, 2, 8] {
+            let exec = ExecConfig::new(threads);
+            let report = FleetEvaluation::new(RetrainPolicy::Fixed(3), 0.5)
+                .source(&fleet)
+                .fleet_strategy(FleetStrategy::Clustered(ClusterConfig::default()))
+                .collect_outcomes(true)
+                .exec(&exec)
+                .run(&runner, &pre)
+                .expect("valid run");
+            assert_eq!(
+                report, baseline,
+                "{threads}-thread clustered report differs from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_batches_replay_from_the_journal() {
+        let (runner, pre, fleet) = setup();
+        let path = std::env::temp_dir()
+            .join(format!("reduce_fleet_cluster_{}", std::process::id()))
+            .join("journal.jsonl");
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        let eval = |journal: &Checkpoint| {
+            FleetEvaluation::new(RetrainPolicy::Fixed(3), 0.5)
+                .source(&fleet)
+                .fleet_strategy(FleetStrategy::Clustered(ClusterConfig::default()))
+                .collect_outcomes(true)
+                .journal(journal)
+                .run(&runner, &pre)
+                .expect("valid run")
+        };
+        let journal = Checkpoint::create(&path);
+        let fresh = eval(&journal);
+        // A resumed run finds every batch journaled and replays it; the
+        // report — cluster and warm-start accounting included — must be
+        // indistinguishable from the fresh run.
+        let resumed = Checkpoint::create(&path);
+        let replayed = eval(&resumed);
+        assert_eq!(replayed, fresh);
+        assert!(replayed.clusters > 0, "replay dropped cluster accounting");
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
     }
 }

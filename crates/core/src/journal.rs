@@ -36,6 +36,7 @@ use crate::resilience::ResiliencePoint;
 use crate::telemetry::json::{parse, push_json_f32, push_json_f64, push_json_string, JsonValue};
 use crate::telemetry::{parse_event, render_event, Event};
 use reduce_nn::WorkspaceStats;
+use reduce_systolic::Cluster;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -135,6 +136,10 @@ pub enum JournalRecord {
         budget: usize,
         /// Chunk index within the window's budget group.
         chunk: usize,
+        /// Fault-similarity clusters the batch formed (empty for per-chip
+        /// runs and for records written before the eFAT extension — the
+        /// parser defaults the field, so v2 journals stay readable).
+        clusters: Vec<Cluster>,
         /// Sealed per-chip fates, in ascending chip-id order.
         chips: Vec<SealedChip>,
         /// The batch's pooled-workspace counters.
@@ -600,7 +605,10 @@ fn push_chip_outcome(out: &mut String, c: &ChipOutcome) {
         c.meets_constraint
     ));
     push_json_f32(out, c.pruned_fraction);
-    out.push_str(&format!(",\"clamped\":{}}}", c.clamped));
+    out.push_str(&format!(
+        ",\"clamped\":{},\"warm_started\":{}}}",
+        c.clamped, c.warm_started
+    ));
 }
 
 fn push_sealed_chip(out: &mut String, sealed: &SealedChip) {
@@ -704,6 +712,7 @@ fn render_record(record: &JournalRecord) -> String {
             window,
             budget,
             chunk,
+            clusters,
             chips,
             workspace,
             events,
@@ -711,8 +720,25 @@ fn render_record(record: &JournalRecord) -> String {
             s.push_str("{\"kind\":\"fleet_batch\",\"policy\":");
             push_json_string(&mut s, policy);
             s.push_str(&format!(
-                ",\"window\":{window},\"budget\":{budget},\"chunk\":{chunk},\"chips\":["
+                ",\"window\":{window},\"budget\":{budget},\"chunk\":{chunk},\"clusters\":["
             ));
+            for (i, cluster) in clusters.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"representative\":{},\"members\":[",
+                    cluster.representative
+                ));
+                for (j, member) in cluster.members.iter().enumerate() {
+                    if j > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!("{member}"));
+                }
+                s.push_str("]}");
+            }
+            s.push_str("],\"chips\":[");
             for (i, sealed) in chips.iter().enumerate() {
                 if i > 0 {
                     s.push(',');
@@ -795,6 +821,11 @@ fn parse_record(line: &str) -> Result<JournalRecord> {
             meets_constraint: bool_of(c, "meets_constraint")?,
             pruned_fraction: f32_of(c, "pruned_fraction")?,
             clamped: bool_of(c, "clamped")?,
+            // Absent in records written before the eFAT extension.
+            warm_started: c
+                .field("warm_started")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false),
         })
     };
     match value.field("kind").and_then(JsonValue::as_str) {
@@ -876,11 +907,33 @@ fn parse_record(line: &str) -> Result<JournalRecord> {
                     .collect::<Result<Vec<SealedChip>>>()?,
                 _ => return Err(bad("chips")),
             };
+            // Absent in records written before the eFAT extension.
+            let clusters = match value.field("clusters") {
+                Some(JsonValue::Arr(items)) => items
+                    .iter()
+                    .map(|entry| {
+                        let members = match entry.field("members") {
+                            Some(JsonValue::Arr(ids)) => ids
+                                .iter()
+                                .map(|id| id.as_usize().ok_or_else(|| bad("cluster member")))
+                                .collect::<Result<Vec<usize>>>()?,
+                            _ => return Err(bad("cluster members")),
+                        };
+                        Ok(Cluster {
+                            representative: usize_of(entry, "representative")?,
+                            members,
+                        })
+                    })
+                    .collect::<Result<Vec<Cluster>>>()?,
+                Some(_) => return Err(bad("clusters")),
+                None => Vec::new(),
+            };
             Ok(JournalRecord::FleetBatch {
                 policy: str_of(&value, "policy")?,
                 window: usize_of(&value, "window")?,
                 budget: usize_of(&value, "budget")?,
                 chunk: usize_of(&value, "chunk")?,
+                clusters,
                 chips,
                 workspace: workspace_of(&value)?,
                 events: events_of(&value)?,
@@ -950,6 +1003,7 @@ mod tests {
             meets_constraint: true,
             pruned_fraction: 0.25,
             clamped: false,
+            warm_started: false,
         }
     }
 
@@ -992,6 +1046,10 @@ mod tests {
             window: 1,
             budget: 3,
             chunk: 0,
+            clusters: vec![Cluster {
+                representative: 7,
+                members: vec![8],
+            }],
             chips: vec![
                 SealedChip::Retrained(sample_outcome(7)),
                 SealedChip::Quarantined(QuarantinedChip {
@@ -1006,14 +1064,50 @@ mod tests {
                 misses: 1,
                 bytes_allocated: 1024,
             },
-            events: vec![Event::ChipRetrained {
-                chip_id: 7,
-                fault_rate: 0.1,
-                epochs_budgeted: 3,
-                epochs_run: 3,
-                final_accuracy: 0.9,
-                satisfied: true,
-            }],
+            events: vec![
+                Event::ClusterFormed {
+                    representative: 7,
+                    size: 2,
+                },
+                Event::WarmStartHit {
+                    chip_id: 8,
+                    representative: 7,
+                },
+                Event::ChipRetrained {
+                    chip_id: 7,
+                    fault_rate: 0.1,
+                    epochs_budgeted: 3,
+                    epochs_run: 3,
+                    final_accuracy: 0.9,
+                    satisfied: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn pre_cluster_records_parse_with_defaults() {
+        // A fleet_batch line written before the eFAT extension: no
+        // "clusters" on the batch, no "warm_started" on the outcome.
+        let legacy = concat!(
+            "{\"kind\":\"fleet_batch\",\"policy\":\"Reduce (max)\",\"window\":1,",
+            "\"budget\":3,\"chunk\":0,\"chips\":[{\"status\":\"ok\",\"outcome\":",
+            "{\"chip_id\":7,\"fault_rate\":0.1,\"epochs_budgeted\":3,\"epochs_run\":2,",
+            "\"pre_retrain_accuracy\":0.5,\"final_accuracy\":0.9,\"meets_constraint\":true,",
+            "\"pruned_fraction\":0.25,\"clamped\":false}}],",
+            "\"workspace\":{\"hits\":7,\"misses\":1,\"bytes_allocated\":1024},\"events\":[]}"
+        );
+        match parse_record(legacy).expect("legacy line parses") {
+            JournalRecord::FleetBatch {
+                clusters, chips, ..
+            } => {
+                assert!(clusters.is_empty(), "missing clusters default to none");
+                match &chips[0] {
+                    SealedChip::Retrained(outcome) => assert!(!outcome.warm_started),
+                    other => panic!("expected retrained chip, got {other:?}"),
+                }
+            }
+            other => panic!("expected fleet batch, got {other:?}"),
         }
     }
 

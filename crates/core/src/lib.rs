@@ -83,8 +83,8 @@ pub use error::{ReduceError, Result};
 pub use exec::ExecConfig;
 pub use fat::{FatOutcome, FatRunner, Mitigation, StopRule};
 pub use fleet::{
-    ChipOutcome, ChipSource, ChipStatus, FleetEvaluation, FleetReport, QuarantinedChip, SealedChip,
-    SeededChips,
+    ChipOutcome, ChipSource, ChipStatus, FleetEvaluation, FleetReport, FleetStrategy,
+    QuarantinedChip, SealedChip, SeededChips,
 };
 pub use framework::Reduce;
 pub use journal::{Checkpoint, IoStats, JournalRecord, DEFAULT_SHARD_RECORDS};

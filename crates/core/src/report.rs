@@ -141,6 +141,29 @@ pub fn render_fleet_summary(reports: &[FleetReport]) -> String {
     out
 }
 
+/// Renders the Reduce-vs-eFAT-vs-fixed cost comparison: one row per
+/// retraining strategy over the same seeded fleet, with the cluster and
+/// warm-start accounting that explains where eFAT's savings come from.
+pub fn render_strategy_comparison(reports: &[FleetReport]) -> String {
+    let mut out = String::from(
+        "strategy               chips  satisfied  yield%  total_epochs  clusters  warm_starts  epochs_saved\n",
+    );
+    for r in reports {
+        out.push_str(&format!(
+            "{:<22} {:>5}  {:>9}  {:>5.1}  {:>12}  {:>8}  {:>11}  {:>12}\n",
+            r.policy,
+            r.evaluated,
+            r.satisfied,
+            r.yield_fraction() * 100.0,
+            r.total_epochs,
+            r.clusters,
+            r.warm_started,
+            r.warm_start_epochs_saved
+        ));
+    }
+    out
+}
+
 /// Renders a crude ASCII bar chart of `(label, value)` pairs.
 pub fn render_bars(rows: &[(String, f64)], width: usize) -> String {
     let max = rows
@@ -243,6 +266,7 @@ pub fn fleet_csv(report: &FleetReport) -> (Vec<&'static str>, Vec<Vec<String>>) 
         "final_accuracy",
         "meets_constraint",
         "pruned_fraction",
+        "warm_started",
     ];
     let rows = report
         .outcomes
@@ -260,6 +284,7 @@ pub fn fleet_csv(report: &FleetReport) -> (Vec<&'static str>, Vec<Vec<String>>) 
                 format!("{}", c.final_accuracy),
                 c.meets_constraint.to_string(),
                 format!("{}", c.pruned_fraction),
+                c.warm_started.to_string(),
             ]
         })
         .collect();
@@ -295,6 +320,9 @@ mod tests {
             max_accuracy: 0.92,
             epoch_histogram: std::collections::BTreeMap::from([(2, 1)]),
             retrain_cycles: None,
+            clusters: 0,
+            warm_started: 0,
+            warm_start_epochs_saved: 0,
             outcomes: Some(vec![ChipOutcome {
                 chip_id: 0,
                 fault_rate: 0.05,
@@ -305,6 +333,7 @@ mod tests {
                 meets_constraint: true,
                 pruned_fraction: 0.05,
                 clamped: false,
+                warm_started: false,
             }]),
         }
     }
@@ -331,10 +360,29 @@ mod tests {
     fn fleet_csv_has_row_per_chip() {
         let r = fake_report();
         let (header, rows) = fleet_csv(&r);
-        assert_eq!(header.len(), 9);
+        assert_eq!(header.len(), 10);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][1], "0");
         assert_eq!(rows[0][7], "true");
+        assert_eq!(rows[0][9], "false");
+    }
+
+    #[test]
+    fn strategy_comparison_renders_cluster_accounting() {
+        let mut efat = fake_report();
+        efat.policy = "Fixed (2 epochs) + eFAT".into();
+        efat.clusters = 1;
+        efat.warm_started = 1;
+        efat.warm_start_epochs_saved = 2;
+        let table = render_strategy_comparison(&[fake_report(), efat]);
+        assert!(table.contains("epochs_saved"));
+        assert!(table.contains("Fixed (2 epochs) + eFAT"));
+        let saved_column: Vec<&str> = table
+            .lines()
+            .skip(1)
+            .map(|l| l.split_whitespace().last().expect("non-empty row"))
+            .collect();
+        assert_eq!(saved_column, ["0", "2"]);
     }
 
     #[test]

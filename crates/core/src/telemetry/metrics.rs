@@ -108,6 +108,11 @@ pub struct MetricsSnapshot {
     pub divergences_recovered: usize,
     /// Checkpoint-journal completions ([`Event::CheckpointWritten`]).
     pub checkpoints_written: usize,
+    /// Fault-similarity clusters formed ([`Event::ClusterFormed`]).
+    pub clusters_formed: usize,
+    /// Member chips warm-started from a cluster representative
+    /// ([`Event::WarmStartHit`]).
+    pub warm_start_hits: usize,
 }
 
 #[derive(Debug, Default)]
@@ -126,6 +131,8 @@ struct MetricsState {
     retries_scheduled: usize,
     divergences_recovered: usize,
     checkpoints_written: usize,
+    clusters_formed: usize,
+    warm_start_hits: usize,
 }
 
 /// An [`Observer`] that aggregates counters and stat summaries in memory.
@@ -171,6 +178,8 @@ impl MetricsRecorder {
             retries_scheduled: s.retries_scheduled,
             divergences_recovered: s.divergences_recovered,
             checkpoints_written: s.checkpoints_written,
+            clusters_formed: s.clusters_formed,
+            warm_start_hits: s.warm_start_hits,
         })
     }
 
@@ -206,6 +215,12 @@ impl MetricsRecorder {
             out.push_str(&format!(
                 "epochs per chip    min {:.1} mean {:.1} max {:.1}\n",
                 snap.epochs_per_chip.min, snap.epochs_per_chip.mean, snap.epochs_per_chip.max,
+            ));
+        }
+        if snap.clusters_formed > 0 {
+            out.push_str(&format!(
+                "clusters formed    {:>6} ({} warm starts)\n",
+                snap.clusters_formed, snap.warm_start_hits
             ));
         }
         for (stage, w) in &snap.workspace {
@@ -298,6 +313,8 @@ impl Observer for MetricsRecorder {
             Event::RetryScheduled { .. } => s.retries_scheduled += 1,
             Event::DivergenceRecovered { .. } => s.divergences_recovered += 1,
             Event::CheckpointWritten { .. } => s.checkpoints_written += 1,
+            Event::ClusterFormed { .. } => s.clusters_formed += 1,
+            Event::WarmStartHit { .. } => s.warm_start_hits += 1,
         });
     }
 }

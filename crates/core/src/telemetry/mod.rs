@@ -16,6 +16,10 @@
 //!   grid cell or chip that ran it;
 //! * [`Event::PointFinished`] — one per Step-① `(rate, repeat)` grid cell;
 //! * [`Event::ChipRetrained`] — one per Step-③ fleet chip;
+//! * [`Event::ClusterFormed`] / [`Event::WarmStartHit`] — the eFAT
+//!   extension: one per fault-similarity cluster a clustered fleet batch
+//!   forms, and one per member chip warm-started from its cluster
+//!   representative's converged state;
 //! * [`Event::WorkspaceUsed`] — one per fan-out stage, summing the
 //!   workspace-arena allocation counters over the stage's jobs;
 //! * [`Event::JobFailed`] / [`Event::RetryScheduled`] /
@@ -168,6 +172,24 @@ pub enum Event {
         final_accuracy: f32,
         /// Whether the deployed accuracy meets the constraint.
         satisfied: bool,
+    },
+    /// A clustered fleet batch grouped fault-similar chips around a
+    /// representative (eFAT). Emitted once per cluster, in leader order,
+    /// before the batch's per-chip events.
+    ClusterFormed {
+        /// Chip id of the cluster representative (runs full FAT).
+        representative: usize,
+        /// Total chips in the cluster, including the representative.
+        size: usize,
+    },
+    /// A member chip warm-started retraining from its cluster
+    /// representative's converged state instead of the pretrained
+    /// baseline.
+    WarmStartHit {
+        /// The warm-started member chip.
+        chip_id: usize,
+        /// The representative whose converged state seeded the member.
+        representative: usize,
     },
     /// Workspace-arena allocation counters for one fan-out stage, summed
     /// over the stage's jobs after the fan-out completes.

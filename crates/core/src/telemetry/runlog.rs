@@ -220,6 +220,22 @@ pub(crate) fn render_event(event: &Event, redact_timing: bool) -> String {
             push_json_f32(&mut s, *final_accuracy);
             s.push_str(&format!(",\"satisfied\":{satisfied}}}"));
         }
+        Event::ClusterFormed {
+            representative,
+            size,
+        } => {
+            s.push_str(&format!(
+                "{{\"event\":\"cluster_formed\",\"representative\":{representative},\"size\":{size}}}"
+            ));
+        }
+        Event::WarmStartHit {
+            chip_id,
+            representative,
+        } => {
+            s.push_str(&format!(
+                "{{\"event\":\"warm_start_hit\",\"chip_id\":{chip_id},\"representative\":{representative}}}"
+            ));
+        }
         Event::WorkspaceUsed {
             stage,
             hits,
@@ -382,6 +398,14 @@ pub(crate) fn parse_event(value: &JsonValue) -> Result<Event> {
                 .field("satisfied")
                 .and_then(JsonValue::as_bool)
                 .ok_or_else(|| bad("satisfied"))?,
+        }),
+        "cluster_formed" => Ok(Event::ClusterFormed {
+            representative: usize_of("representative")?,
+            size: usize_of("size")?,
+        }),
+        "warm_start_hit" => Ok(Event::WarmStartHit {
+            chip_id: usize_of("chip_id")?,
+            representative: usize_of("representative")?,
         }),
         "workspace_used" => Ok(Event::WorkspaceUsed {
             stage: stage_of(value)?,
@@ -615,6 +639,14 @@ mod tests {
             Event::StageFinished {
                 stage: Stage::Plan,
                 seconds: None,
+            },
+            Event::ClusterFormed {
+                representative: 4,
+                size: 3,
+            },
+            Event::WarmStartHit {
+                chip_id: 6,
+                representative: 4,
             },
         ]);
         for event in &all {

@@ -1,0 +1,424 @@
+//! Fault-map similarity and chip clustering — the hardware-side half of
+//! the eFAT extension (Hanif & Shafique, arXiv:2304.12949).
+//!
+//! eFAT's observation is that fault-aware retraining need not start from
+//! the pretrained baseline for every chip: chips whose fault maps are
+//! *similar* converge to similar weights, so one representative can run
+//! full FAT and the rest can warm-start from its converged state. This
+//! module provides the two primitives that makes that scheduling decision:
+//!
+//! * [`fault_map_distance`] — a normalized, symmetric distance in `[0, 1]`
+//!   over two fault maps, combining the weighted overlap of faulty-PE
+//!   positions (Jaccard distance of the faulty coordinate sets) with a
+//!   fault-rate term quantised into resilience-class bands;
+//! * [`cluster_fault_maps`] — a pure, deterministic leader-style greedy
+//!   clustering pass under a distance threshold: chips are visited in the
+//!   caller's order (ascending chip id in the fleet scheduler), each
+//!   joining the nearest existing cluster within the threshold or
+//!   founding a new one; the highest-fault member is then elected
+//!   representative.
+//!
+//! Both are pure functions of their inputs — no RNG, no clock, no I/O —
+//! so cluster assignments are byte-identical across thread counts and
+//! kill-and-resume, which is what lets the fleet journal replay them.
+
+use crate::error::{Result, SystolicError};
+use crate::fault::FaultMap;
+
+/// Tuning knobs of [`fault_map_distance`] and [`cluster_fault_maps`].
+///
+/// The distance is the weight-normalized convex combination
+/// `(position_weight · overlap + rate_weight · band) / (position_weight +
+/// rate_weight)`, so it stays in `[0, 1]` for any non-degenerate weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Maximum distance at which a chip joins an existing cluster leader;
+    /// must lie in `[0, 1]`.
+    pub threshold: f64,
+    /// Weight of the faulty-PE position-overlap term (Jaccard distance).
+    pub position_weight: f64,
+    /// Weight of the fault-rate / resilience-class band term.
+    pub rate_weight: f64,
+    /// Width of one resilience-class band in fault-rate units: chips in
+    /// different bands get the maximal rate term, chips in the same band
+    /// a proportional one. Must be positive.
+    pub band_width: f64,
+}
+
+impl Default for ClusterConfig {
+    /// Defaults tuned for the fleet scheduler, which clusters within
+    /// same-epoch-budget groups: random fault maps share few positions
+    /// (Jaccard distance near 1), so the position term separates only
+    /// genuinely overlapping maps while the band term keeps chips of
+    /// different resilience classes apart.
+    fn default() -> Self {
+        ClusterConfig {
+            threshold: 0.85,
+            position_weight: 0.5,
+            rate_weight: 0.5,
+            band_width: 0.05,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SystolicError::InvalidConfig`] when the threshold leaves `[0, 1]`,
+    /// a weight is negative or non-finite, both weights are zero, or the
+    /// band width is not strictly positive.
+    pub fn validate(&self) -> Result<()> {
+        let reject = |what: String| SystolicError::InvalidConfig { what };
+        if !self.threshold.is_finite() || !(0.0..=1.0).contains(&self.threshold) {
+            return Err(reject(format!(
+                "cluster threshold {} not in [0, 1]",
+                self.threshold
+            )));
+        }
+        for (name, w) in [
+            ("position_weight", self.position_weight),
+            ("rate_weight", self.rate_weight),
+        ] {
+            if !w.is_finite() || w < 0.0 {
+                return Err(reject(format!(
+                    "cluster {name} {w} must be finite and >= 0"
+                )));
+            }
+        }
+        if self.position_weight + self.rate_weight <= 0.0 {
+            return Err(reject("cluster weights must not both be zero".to_string()));
+        }
+        if !self.band_width.is_finite() || self.band_width <= 0.0 {
+            return Err(reject(format!(
+                "cluster band_width {} must be finite and > 0",
+                self.band_width
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One cluster of fault-similar chips, as produced by
+/// [`cluster_fault_maps`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// Chip id of the cluster representative — the member with the most
+    /// faulty PEs (ties break toward the lowest id). The hardest chip
+    /// runs full FAT; the others warm-start from its converged state,
+    /// which transfers downhill to their milder fault patterns.
+    pub representative: usize,
+    /// The other member chip ids, ascending; does not include the
+    /// representative.
+    pub members: Vec<usize>,
+}
+
+impl Cluster {
+    /// Total chips in the cluster, including the representative.
+    pub fn size(&self) -> usize {
+        1 + self.members.len()
+    }
+}
+
+/// The resilience-class band a fault rate falls into.
+fn band(rate: f64, band_width: f64) -> u64 {
+    (rate / band_width).floor() as u64
+}
+
+/// Normalized weighted distance between two fault maps in `[0, 1]`.
+///
+/// The position term is the Jaccard distance of the two faulty-PE
+/// coordinate sets (`1 − |A∩B| / |A∪B|`; two fault-free maps are at
+/// position distance 0). The rate term is maximal when the maps' fault
+/// rates fall in different resilience-class bands and proportional to the
+/// in-band rate difference otherwise. The metric is symmetric, zero
+/// exactly on identical maps, and bounded in `[0, 1]` — properties the
+/// test suite checks over seeded map populations.
+///
+/// # Errors
+///
+/// [`SystolicError::BadGeometry`] when the maps' geometries differ, and
+/// configuration errors per [`ClusterConfig::validate`].
+pub fn fault_map_distance(a: &FaultMap, b: &FaultMap, config: &ClusterConfig) -> Result<f64> {
+    config.validate()?;
+    if (a.rows(), a.cols()) != (b.rows(), b.cols()) {
+        return Err(SystolicError::BadGeometry {
+            reason: format!(
+                "cannot compare a {}x{} fault map with a {}x{} one",
+                a.rows(),
+                a.cols(),
+                b.rows(),
+                b.cols()
+            ),
+        });
+    }
+    let intersection = a
+        .faulty_coords()
+        .filter(|&(r, c)| b.is_faulty(r, c))
+        .count();
+    let union = a.faulty_count() + b.faulty_count() - intersection;
+    let position = if union == 0 {
+        0.0
+    } else {
+        1.0 - intersection as f64 / union as f64
+    };
+    let (ra, rb) = (a.fault_rate(), b.fault_rate());
+    let rate = if band(ra, config.band_width) == band(rb, config.band_width) {
+        ((ra - rb).abs() / config.band_width).min(1.0)
+    } else {
+        1.0
+    };
+    let weight = config.position_weight + config.rate_weight;
+    Ok((config.position_weight * position + config.rate_weight * rate) / weight)
+}
+
+/// Leader-style greedy clustering of `(chip id, fault map)` pairs under
+/// `config.threshold`.
+///
+/// Maps are visited in slice order (the fleet scheduler passes ascending
+/// chip ids). Each chip joins the *nearest* existing cluster founder
+/// whose distance is within the threshold — ties break toward the
+/// earliest founder — or opens a new cluster otherwise. Once membership
+/// is settled, each cluster elects the member with the *most faulty PEs*
+/// as its representative (ties break toward the lowest id): eFAT retrains
+/// the hardest chip and transfers its converged state downhill, so the
+/// milder members start as close to their own optima as possible. The
+/// pass is a pure function of its inputs: same maps, same config, same
+/// clusters, at any thread count and across resume.
+///
+/// # Errors
+///
+/// Configuration errors per [`ClusterConfig::validate`], and
+/// [`SystolicError::BadGeometry`] when the maps disagree on geometry.
+pub fn cluster_fault_maps(
+    maps: &[(usize, &FaultMap)],
+    config: &ClusterConfig,
+) -> Result<Vec<Cluster>> {
+    config.validate()?;
+    let mut groups: Vec<Vec<(usize, &FaultMap)>> = Vec::new();
+    for &(id, map) in maps {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, group) in groups.iter().enumerate() {
+            let Some(&(_, founder)) = group.first() else {
+                continue; // groups are born non-empty
+            };
+            let d = fault_map_distance(founder, map, config)?;
+            if d <= config.threshold && best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        match best.and_then(|(i, _)| groups.get_mut(i)) {
+            Some(group) => group.push((id, map)),
+            None => groups.push(vec![(id, map)]),
+        }
+    }
+    let clusters = groups
+        .into_iter()
+        .map(|group| {
+            let representative = group
+                .iter()
+                // max_by_key takes the *last* maximum; compare on
+                // (count, Reverse(id)) so ties elect the lowest id.
+                .max_by_key(|(id, map)| (map.faulty_count(), std::cmp::Reverse(*id)))
+                .map(|(id, _)| *id)
+                .unwrap_or_default();
+            let mut members: Vec<usize> = group
+                .iter()
+                .map(|(id, _)| *id)
+                .filter(|&id| id != representative)
+                .collect();
+            members.sort_unstable();
+            Cluster {
+                representative,
+                members,
+            }
+        })
+        .collect();
+    Ok(clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultModel;
+
+    fn map(rate: f64, seed: u64) -> FaultMap {
+        FaultMap::generate(8, 8, rate, FaultModel::Random, seed).expect("valid rate")
+    }
+
+    fn population() -> Vec<FaultMap> {
+        let mut maps = Vec::new();
+        for seed in 0..12u64 {
+            let rate = f64::from(seed as u32 % 6) * 0.05;
+            maps.push(map(rate, seed));
+        }
+        maps
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let cfg = ClusterConfig::default();
+        let maps = population();
+        for a in &maps {
+            for b in &maps {
+                let ab = fault_map_distance(a, b, &cfg).expect("same geometry");
+                let ba = fault_map_distance(b, a, &cfg).expect("same geometry");
+                assert_eq!(ab, ba, "distance must be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_maps_are_at_distance_zero() {
+        let cfg = ClusterConfig::default();
+        for m in &population() {
+            assert_eq!(
+                fault_map_distance(m, m, &cfg).expect("same geometry"),
+                0.0,
+                "identity of indiscernibles"
+            );
+        }
+        // Two distinct fault-free maps are indiscernible too.
+        let clean_a = FaultMap::fault_free(8, 8).expect("valid dims");
+        let clean_b = map(0.0, 99);
+        assert_eq!(
+            fault_map_distance(&clean_a, &clean_b, &cfg).expect("same geometry"),
+            0.0
+        );
+    }
+
+    #[test]
+    fn distance_is_bounded_in_unit_interval() {
+        let cfg = ClusterConfig::default();
+        let maps = population();
+        for a in &maps {
+            for b in &maps {
+                let d = fault_map_distance(a, b, &cfg).expect("same geometry");
+                assert!((0.0..=1.0).contains(&d), "distance {d} escapes [0, 1]");
+            }
+        }
+        // Extreme weights keep the bound thanks to normalization.
+        let lopsided = ClusterConfig {
+            position_weight: 9.0,
+            rate_weight: 0.25,
+            ..ClusterConfig::default()
+        };
+        let d = fault_map_distance(&maps[0], &maps[7], &lopsided).expect("same geometry");
+        assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn disjoint_same_band_maps_sit_between_the_extremes() {
+        let cfg = ClusterConfig::default();
+        // Two maps with identical rates but disjoint faulty positions:
+        // maximal position term, near-zero rate term.
+        let a = FaultMap::from_coords(8, 8, &[(0, 0), (1, 1)]).expect("valid coords");
+        let b = FaultMap::from_coords(8, 8, &[(6, 6), (7, 7)]).expect("valid coords");
+        let d = fault_map_distance(&a, &b, &cfg).expect("same geometry");
+        assert!(
+            (d - 0.5).abs() < 1e-9,
+            "expected pure position term, got {d}"
+        );
+        // Different resilience bands push the distance to the maximum.
+        let heavy = map(0.4, 3);
+        let light = map(0.02, 4);
+        let far = fault_map_distance(&heavy, &light, &cfg).expect("same geometry");
+        assert!(far > 0.9, "cross-band distance {far} should be near 1");
+    }
+
+    #[test]
+    fn geometry_mismatch_is_a_typed_error() {
+        let cfg = ClusterConfig::default();
+        let small = FaultMap::generate(4, 4, 0.1, FaultModel::Random, 1).expect("valid rate");
+        let err = fault_map_distance(&small, &map(0.1, 1), &cfg).expect_err("must reject");
+        match err {
+            SystolicError::BadGeometry { reason } => {
+                assert!(reason.contains("4x4") && reason.contains("8x8"), "{reason}");
+            }
+            other => panic!("expected BadGeometry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = [
+            ClusterConfig {
+                threshold: 1.5,
+                ..ClusterConfig::default()
+            },
+            ClusterConfig {
+                threshold: f64::NAN,
+                ..ClusterConfig::default()
+            },
+            ClusterConfig {
+                position_weight: -1.0,
+                ..ClusterConfig::default()
+            },
+            ClusterConfig {
+                position_weight: 0.0,
+                rate_weight: 0.0,
+                ..ClusterConfig::default()
+            },
+            ClusterConfig {
+                band_width: 0.0,
+                ..ClusterConfig::default()
+            },
+        ];
+        for cfg in bad {
+            assert!(cfg.validate().is_err(), "config {cfg:?} must be rejected");
+        }
+        ClusterConfig::default()
+            .validate()
+            .expect("default is valid");
+    }
+
+    #[test]
+    fn clustering_is_deterministic_and_partitions_the_input() {
+        let cfg = ClusterConfig::default();
+        let maps = population();
+        let pairs: Vec<(usize, &FaultMap)> = maps.iter().enumerate().collect();
+        let a = cluster_fault_maps(&pairs, &cfg).expect("valid config");
+        let b = cluster_fault_maps(&pairs, &cfg).expect("valid config");
+        assert_eq!(a, b, "clustering must be a pure function of its inputs");
+        let mut seen: Vec<usize> = a
+            .iter()
+            .flat_map(|c| std::iter::once(c.representative).chain(c.members.iter().copied()))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..maps.len()).collect::<Vec<_>>(), "exact partition");
+        for c in &a {
+            assert!(
+                c.members
+                    .iter()
+                    .all(|&m| maps[m].faulty_count() <= maps[c.representative].faulty_count()),
+                "representative is the highest-fault member"
+            );
+            assert!(!c.members.contains(&c.representative));
+            assert!(c.members.windows(2).all(|w| w[0] < w[1]), "members ascend");
+            assert_eq!(c.size(), 1 + c.members.len());
+        }
+    }
+
+    #[test]
+    fn identical_maps_cluster_together_and_threshold_zero_splits_everything() {
+        let cfg = ClusterConfig::default();
+        let shared = map(0.15, 42);
+        let other = map(0.4, 43);
+        let pairs = vec![(0usize, &shared), (1, &other), (2, &shared)];
+        let clusters = cluster_fault_maps(&pairs, &cfg).expect("valid config");
+        assert!(
+            clusters
+                .iter()
+                .any(|c| c.representative == 0 && c.members == vec![2]),
+            "identical maps must share a cluster: {clusters:?}"
+        );
+        let strict = ClusterConfig {
+            threshold: 0.0,
+            ..ClusterConfig::default()
+        };
+        let split =
+            cluster_fault_maps(&[(0, &shared), (1, &other)], &strict).expect("valid config");
+        assert_eq!(split.len(), 2, "threshold 0 admits only identical maps");
+    }
+}

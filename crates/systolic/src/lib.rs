@@ -15,7 +15,9 @@
 //! * [`SystolicArray`] — a functional bypass-level emulator used as the
 //!   oracle for the mask semantics;
 //! * [`CostModel`] — cycle/energy accounting for inference and retraining;
-//! * [`Chip`]/[`generate_fleet`] — seeded fleets of faulty chips.
+//! * [`Chip`]/[`generate_fleet`] — seeded fleets of faulty chips;
+//! * [`fault_map_distance`]/[`cluster_fault_maps`] — fault-map similarity
+//!   and deterministic chip clustering for eFAT-style shared retraining.
 //!
 //! # Examples
 //!
@@ -40,6 +42,7 @@
 
 mod array;
 mod chip;
+mod cluster;
 mod dataflow;
 mod error;
 mod fault;
@@ -49,6 +52,7 @@ mod quant;
 
 pub use array::SystolicArray;
 pub use chip::{chip_rate, generate_chip, generate_fleet, Chip, FleetConfig, RateDistribution};
+pub use cluster::{cluster_fault_maps, fault_map_distance, Cluster, ClusterConfig};
 pub use dataflow::{simulate_tiled_gemm, DataflowOutput, DataflowSim};
 pub use error::{Result, SystolicError};
 pub use fault::{FaultMap, FaultModel};
