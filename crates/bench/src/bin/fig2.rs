@@ -12,7 +12,8 @@
 //!     [--scale smoke|default|full] [--part a|b|both] [--threads N] \
 //!     [--csv DIR] [--table-out PATH] [--out DIR] [--redact-timing] \
 //!     [--retries N] [--chaos-rate P] [--chaos-seed S] \
-//!     [--resume DIR] [--halt-after N]
+//!     [--resume DIR] [--halt-after N] \
+//!     [--io-fault KIND@INDEX] [--io-fault-seed S]
 //! ```
 //!
 //! `--threads N` fans the Step-① `(rate, repeat)` grid out over `N`
@@ -31,9 +32,18 @@
 //! `--resume DIR`: journaled cells are replayed, only missing cells are
 //! computed, and the rewritten redacted artifacts are byte-identical to an
 //! uninterrupted run's.
+//!
+//! Storage faults: `--io-fault KIND@INDEX` (with optional
+//! `--io-fault-seed S`) injects one deterministic storage fault — `torn`,
+//! `short`, `enospc` or `rename-fail` — at the `INDEX`-th artifact IO
+//! operation inside the run directory, after which the artifact backend
+//! stays offline (a simulated crash). The process exits with code **4**
+//! when the fault fires; a subsequent `--resume` self-heals the journal
+//! and completes the run.
 
 use reduce_bench::{
-    apply_fault_args, open_journal, parse_args, resolve_run_dir, Scale, FAULT_VALUE_KEYS,
+    apply_fault_args, finish_io_fault, install_io_fault, open_journal, parse_args, resolve_run_dir,
+    IoFault, Scale, FAULT_VALUE_KEYS,
 };
 use reduce_core::telemetry::{
     self, Fanout, GridManifest, MetricsRecorder, Observer, RunLog, RunManifest, Stage,
@@ -43,7 +53,13 @@ use reduce_core::{report, ExecConfig, FatRunner, ResilienceAnalysis};
 use std::error::Error;
 use std::sync::Arc;
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn main() -> std::process::ExitCode {
+    let mut fault = None;
+    let result = run(&mut fault);
+    finish_io_fault(result, fault)
+}
+
+fn run(fault: &mut Option<IoFault>) -> Result<(), Box<dyn Error>> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut value_keys = vec![
         "--scale",
@@ -60,6 +76,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let threads = args.threads()?;
     let redact = args.flag("--redact-timing");
     let (out_dir, resuming) = resolve_run_dir(&args)?;
+    *fault = install_io_fault(&args, out_dir.as_deref())?;
 
     let metrics = Arc::new(MetricsRecorder::new());
     let mut sinks: Vec<Arc<dyn Observer>> = vec![metrics.clone()];

@@ -13,7 +13,8 @@
 //!     [--chips N | --fleet-size N] [--threads N] [--table PATH] [--csv DIR] \
 //!     [--out DIR] [--redact-timing] [--cost] [--early-stop] [--per-chip] \
 //!     [--retries N] [--chaos-rate P] [--chaos-seed S] \
-//!     [--resume DIR] [--halt-after N]
+//!     [--resume DIR] [--halt-after N] \
+//!     [--io-fault KIND@INDEX] [--io-fault-seed S]
 //! ```
 //!
 //! `--threads N` parallelises both the Step-① characterisation grid and
@@ -30,7 +31,11 @@
 //! `--chaos-rate P --chaos-seed S` injects seeded failures to exercise
 //! that path. An interrupted run (e.g. via `--halt-after N`) is continued
 //! with `--resume DIR`: journaled jobs are replayed and only missing ones
-//! are computed.
+//! are computed. `--io-fault KIND@INDEX` (`torn`|`short`|`enospc`|
+//! `rename-fail`, optional `--io-fault-seed S`) injects one deterministic
+//! storage fault at the `INDEX`-th artifact IO operation in the run
+//! directory and exits with code **4** when it fires — the crash half of
+//! the storage-fault sweep; `--resume` then self-heals the journal.
 //!
 //! Large fleets: chips are streamed from a seeded [`SeededChips`] source
 //! and evaluated through the constant-memory [`FleetEvaluation`] pipeline,
@@ -50,8 +55,8 @@
 //! mode picks its own policy list, it conflicts with `--policy`.
 
 use reduce_bench::{
-    apply_fault_args, open_journal, parse_args, reject_conflicts, resolve_run_dir, Scale,
-    FAULT_VALUE_KEYS,
+    apply_fault_args, finish_io_fault, install_io_fault, open_journal, parse_args,
+    reject_conflicts, resolve_run_dir, IoFault, Scale, FAULT_VALUE_KEYS,
 };
 use reduce_core::telemetry::{
     self, Fanout, FleetManifest, GridManifest, MetricsRecorder, Observer, RunLog, RunManifest,
@@ -132,7 +137,13 @@ fn render_fleet_bench(
     s
 }
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn main() -> std::process::ExitCode {
+    let mut fault = None;
+    let result = run(&mut fault);
+    finish_io_fault(result, fault)
+}
+
+fn run(fault: &mut Option<IoFault>) -> Result<(), Box<dyn Error>> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut value_keys = vec![
         "--scale",
@@ -182,6 +193,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let threads = args.threads()?;
     let redact = args.flag("--redact-timing");
     let (out_dir, resuming) = resolve_run_dir(&args)?;
+    *fault = install_io_fault(&args, out_dir.as_deref())?;
 
     let metrics = Arc::new(MetricsRecorder::new());
     let mut sinks: Vec<Arc<dyn Observer>> = vec![metrics.clone()];

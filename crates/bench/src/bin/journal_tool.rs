@@ -1,0 +1,115 @@
+//! `journal-tool` — verify, repair and summarise resume journals.
+//!
+//! The journals the experiment binaries write (`journal.jsonl` plus its
+//! shard files) carry per-record CRC32 framing, sealed-shard footers and a
+//! digest manifest (format v3). This tool is the operator's interface to
+//! that integrity data:
+//!
+//! ```text
+//! journal-tool verify PATH    # exit 0 clean, 2 healable, 3 corrupt
+//! journal-tool repair PATH    # truncate to the valid prefix, fix manifest
+//! journal-tool stat   PATH    # record counts, shard layout, byte sizes
+//! ```
+//!
+//! `PATH` is the journal file or the run directory containing
+//! `journal.jsonl`. `verify` and `stat` never modify anything. `repair`
+//! performs the explicit truncation that self-healing resume refuses to do
+//! on its own (dropping valid records stranded after a corrupt middle),
+//! printing each heal action to stderr. Exit code 1 reports usage or
+//! filesystem errors.
+
+use reduce_bench::HealNotices;
+use reduce_core::{inspect_journal, repair_journal, JournalStatus};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: journal-tool verify|repair|stat PATH\n\
+                     PATH is a journal file or a run directory containing journal.jsonl";
+
+/// Resolves the journal path: a directory means `DIR/journal.jsonl`.
+fn journal_path(arg: &str) -> PathBuf {
+    let path = Path::new(arg);
+    if path.is_dir() {
+        path.join("journal.jsonl")
+    } else {
+        path.to_path_buf()
+    }
+}
+
+fn verify(path: &Path, verbose: bool) -> ExitCode {
+    let health = match inspect_journal(path) {
+        Ok(health) => health,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!(
+        "{}: {} (v{}, {} record(s), {} sealed shard(s), {} B)",
+        path.display(),
+        health.status.name(),
+        health.version,
+        health.records,
+        health.sealed_shards,
+        health.total_bytes,
+    );
+    if verbose {
+        if health.shard_records > 0 {
+            println!("  shard size: {} record(s)", health.shard_records);
+        }
+        for (kind, count) in &health.kinds {
+            println!("  {kind}: {count}");
+        }
+    }
+    for note in &health.notes {
+        println!("  note: {note}");
+    }
+    match health.status {
+        JournalStatus::Clean => ExitCode::SUCCESS,
+        JournalStatus::Healable => ExitCode::from(2),
+        JournalStatus::Corrupt => ExitCode::from(3),
+    }
+}
+
+fn repair(path: &Path) -> ExitCode {
+    match repair_journal(path, &HealNotices) {
+        Ok(summary) => {
+            if summary.was_clean {
+                println!("{}: already clean, nothing to repair", path.display());
+            } else {
+                println!(
+                    "{}: repaired — kept {} record(s), dropped {} record(s) / {} B",
+                    path.display(),
+                    summary.kept,
+                    summary.dropped_records,
+                    summary.dropped_bytes,
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, target) = match args.as_slice() {
+        [command, target] => (command.as_str(), journal_path(target)),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(1);
+        }
+    };
+    match command {
+        "verify" => verify(&target, false),
+        "stat" => verify(&target, true),
+        "repair" => repair(&target),
+        other => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -18,10 +18,13 @@
 
 pub mod kernels;
 
+use reduce_core::artifact::{install_io_policy, FaultKind, FaultyIo, IoPolicy, IoPolicyGuard};
 use reduce_core::exec::ChaosPolicy;
+use reduce_core::telemetry::{Event, Observer};
 use reduce_core::{Checkpoint, ExecConfig, ReduceError, ResilienceConfig, Workbench};
 use reduce_systolic::{FaultModel, FleetConfig, RateDistribution};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Experiment scale preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -157,13 +160,21 @@ impl Scale {
 ///   and rewrite the artifacts in `DIR` (conflicts with `--out`; pass the
 ///   same remaining flags as the interrupted run);
 /// * `--halt-after N` — exit the process after `N` journal appends
-///   (deterministic mid-run "kill" for crash testing).
-pub const FAULT_VALUE_KEYS: [&str; 5] = [
+///   (deterministic mid-run "kill" for crash testing);
+/// * `--io-fault KIND@INDEX` / `--io-fault-seed S` — inject one storage
+///   fault (`torn`, `short`, `enospc` or `rename-fail`) at the `INDEX`-th
+///   artifact IO operation inside the run directory, after which the
+///   backend stays offline — an ALICE-style crash point. The binary exits
+///   with code 4 when the fault fires, or prints `io-fault: unfired` to
+///   stderr when `INDEX` lies beyond the run's operation count.
+pub const FAULT_VALUE_KEYS: [&str; 7] = [
     "--resume",
     "--retries",
     "--chaos-rate",
     "--chaos-seed",
     "--halt-after",
+    "--io-fault",
+    "--io-fault-seed",
 ];
 
 /// Resolves the run directory from `--out` / `--resume`.
@@ -233,14 +244,136 @@ pub fn apply_fault_args(
     Ok(exec)
 }
 
+/// A deterministic storage fault armed from `--io-fault`, alive for the
+/// duration of the run. Dropping it uninstalls the injection policy.
+pub struct IoFault {
+    _guard: IoPolicyGuard,
+    /// The injection backend, for querying [`FaultyIo::fired`] /
+    /// [`FaultyIo::ops_seen`] at exit.
+    pub io: Arc<FaultyIo>,
+    kind: FaultKind,
+    index: u64,
+}
+
+/// Parses `--io-fault KIND@INDEX` (+ optional `--io-fault-seed S`) and
+/// installs the fault-injecting IO policy, scoped to the run directory.
+/// `None` when the flag is absent.
+///
+/// # Errors
+///
+/// Returns [`ReduceError::InvalidConfig`] for a malformed spec, a seed
+/// without `--io-fault`, or `--io-fault` without a run directory.
+pub fn install_io_fault(
+    args: &ParsedArgs,
+    dir: Option<&std::path::Path>,
+) -> Result<Option<IoFault>, ReduceError> {
+    let Some(spec) = args.value("--io-fault") else {
+        if args.value("--io-fault-seed").is_some() {
+            return Err(ReduceError::InvalidConfig {
+                what: "--io-fault-seed without --io-fault has no effect".to_string(),
+            });
+        }
+        return Ok(None);
+    };
+    let Some(dir) = dir else {
+        return Err(ReduceError::InvalidConfig {
+            what: "--io-fault needs a run directory (pass --out or --resume)".to_string(),
+        });
+    };
+    let (kind, index) = spec
+        .split_once('@')
+        .ok_or_else(|| ReduceError::InvalidConfig {
+            what: format!("bad --io-fault value {spec:?} (expected KIND@INDEX)"),
+        })?;
+    let kind = FaultKind::parse(kind)?;
+    let index: u64 = index.parse().map_err(|_| ReduceError::InvalidConfig {
+        what: format!("bad --io-fault index in {spec:?} (expected a count)"),
+    })?;
+    let seed: u64 = match args.value("--io-fault-seed") {
+        Some(s) => s.parse().map_err(|_| ReduceError::InvalidConfig {
+            what: format!("bad --io-fault-seed value {s:?} (expected a u64)"),
+        })?,
+        None => 0xC0FFEE,
+    };
+    let io = Arc::new(FaultyIo::armed(dir, seed, index, kind));
+    let guard = install_io_policy(IoPolicy::Faulty(io.clone()));
+    Ok(Some(IoFault {
+        _guard: guard,
+        io,
+        kind,
+        index,
+    }))
+}
+
+/// Converts a run's outcome plus its armed [`IoFault`] into the process
+/// exit code: **4** when the injected fault fired (the simulated crash —
+/// whatever error it surfaced as), **0** on success, **1** on an ordinary
+/// error. An armed-but-unfired fault prints `io-fault: unfired` to stderr
+/// so sweep harnesses know the op index lies beyond the run.
+pub fn finish_io_fault(
+    result: Result<(), Box<dyn std::error::Error>>,
+    fault: Option<IoFault>,
+) -> std::process::ExitCode {
+    if let Some(fault) = &fault {
+        if fault.io.fired() {
+            eprintln!(
+                "io-fault: injected {} at op {} fired; exiting as crashed",
+                fault.kind.name(),
+                fault.index
+            );
+            return std::process::ExitCode::from(4);
+        }
+        eprintln!(
+            "io-fault: unfired ({} beyond the run's {} artifact IO op(s))",
+            fault.index,
+            fault.io.ops_seen()
+        );
+    }
+    match result {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::from(1)
+        }
+    }
+}
+
+/// Routes journal self-healing telemetry to stderr. Heal events must
+/// never reach `run_log.jsonl`: the run log is byte-diffed against
+/// uninterrupted reference runs in CI, and healing is a property of the
+/// crash being recovered from, not of the workload.
+pub struct HealNotices;
+
+impl Observer for HealNotices {
+    fn on_event(&self, event: &Event) {
+        match event {
+            Event::ShardTruncated {
+                shard,
+                kept,
+                dropped_bytes,
+            } => eprintln!(
+                "journal heal: shard {shard} truncated to {kept} record(s) \
+                 ({dropped_bytes} B of damaged tail dropped)"
+            ),
+            Event::RecordDropped { shard, record } => {
+                eprintln!("journal heal: dropped shard {shard} record {record}");
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Opens the journal for a run directory: fresh for `--out`, replayed for
 /// `--resume`, with `--halt-after` applied. `None` when the run has no
-/// directory (nothing to checkpoint into).
+/// directory (nothing to checkpoint into). Resume verifies the journal
+/// and self-heals tail damage, reporting heals on stderr via
+/// [`HealNotices`].
 ///
 /// # Errors
 ///
 /// Returns [`ReduceError::InvalidConfig`] for a malformed journal or a
-/// non-numeric `--halt-after`.
+/// non-numeric `--halt-after`, and [`ReduceError::JournalCorrupt`] for
+/// damage `journal-tool repair` must clear first.
 pub fn open_journal(
     args: &ParsedArgs,
     dir: Option<&std::path::Path>,
@@ -256,7 +389,7 @@ pub fn open_journal(
     };
     let path = dir.join("journal.jsonl");
     let checkpoint = if resuming {
-        Checkpoint::resume(&path)?
+        Checkpoint::resume_observed(&path, &HealNotices)?
     } else {
         Checkpoint::create(&path)
     };
@@ -674,6 +807,43 @@ mod tests {
             .expect("out alone is fine");
         assert_eq!(dir, Some(PathBuf::from("a")));
         assert!(!resuming);
+    }
+
+    #[test]
+    fn io_fault_args_parse_and_validate() {
+        use std::path::Path;
+        // Well-formed spec with a run dir installs the policy.
+        let args = fault_parse(&["--io-fault", "torn@3", "--io-fault-seed", "7"]).expect("valid");
+        let fault = install_io_fault(&args, Some(Path::new("/tmp/run")))
+            .expect("valid spec")
+            .expect("installed");
+        assert!(!fault.io.fired());
+        drop(fault); // uninstalls; later tests may install their own
+                     // Every documented kind parses.
+        for kind in ["torn", "short", "enospc", "rename-fail"] {
+            let args = fault_parse(&["--io-fault", &format!("{kind}@0")]).expect("valid");
+            assert!(install_io_fault(&args, Some(Path::new("/tmp/run")))
+                .expect("valid spec")
+                .is_some());
+        }
+        // Absent flag is a no-op.
+        let args = fault_parse(&[]).expect("valid");
+        assert!(install_io_fault(&args, Some(Path::new("/tmp/run")))
+            .expect("absent is fine")
+            .is_none());
+        // Malformed specs are errors.
+        for bad in ["torn", "torn@", "torn@many", "sideways@3", "@3"] {
+            let args = fault_parse(&["--io-fault", bad]).expect("parses as strings");
+            assert!(
+                install_io_fault(&args, Some(Path::new("/tmp/run"))).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+        // A seed without a fault, and a fault without a run dir.
+        let args = fault_parse(&["--io-fault-seed", "7"]).expect("parses as strings");
+        assert!(install_io_fault(&args, Some(Path::new("/tmp/run"))).is_err());
+        let args = fault_parse(&["--io-fault", "torn@3"]).expect("parses as strings");
+        assert!(install_io_fault(&args, None).is_err());
     }
 
     #[test]

@@ -38,6 +38,20 @@ pub enum ReduceError {
         /// What diverged (which quantity, at which epoch).
         what: String,
     },
+    /// A resume journal is damaged in a way self-healing cannot repair
+    /// automatically: a record in the *middle* of the journal (with valid
+    /// records after it) failed verification, so truncating to the valid
+    /// prefix would silently drop completed work. Resume surfaces this
+    /// typed error instead of guessing; `journal-tool repair` performs the
+    /// explicit, operator-sanctioned truncation.
+    JournalCorrupt {
+        /// 0-based shard index (0 for single-file v1 journals).
+        shard: usize,
+        /// 0-based record index within the shard where damage was found.
+        record: usize,
+        /// What kind of damage verification found.
+        kind: CorruptKind,
+    },
     /// An internal invariant was violated — always a bug in this crate,
     /// surfaced as an error instead of a panic so fleet runs fail softly.
     /// Worker panics contained by the parallel executor ([`crate::exec`])
@@ -47,6 +61,52 @@ pub enum ReduceError {
         /// Which invariant broke.
         invariant: String,
     },
+}
+
+/// The damage class a journal verification failure reports
+/// ([`ReduceError::JournalCorrupt`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// The manifest line itself is unreadable or structurally invalid.
+    Manifest,
+    /// The manifest names a sealed shard whose file is missing.
+    MissingShard,
+    /// A v3 frame is malformed (bad hex CRC, bad length, or the framed
+    /// length disagrees with the payload).
+    BadFrame,
+    /// A v3 frame's CRC32 does not match its payload — a detected bitflip.
+    BadCrc,
+    /// A line parses as a frame but its payload is not a valid journal
+    /// record.
+    BadRecord,
+    /// A sealed shard's footer is missing or its record count disagrees
+    /// with the records actually present.
+    BadFooter,
+    /// A sealed shard's whole-file digest disagrees with the digest the
+    /// manifest recorded for it.
+    DigestMismatch,
+}
+
+impl CorruptKind {
+    /// Stable kebab-case name (used in error messages and `journal-tool`
+    /// output).
+    pub fn name(self) -> &'static str {
+        match self {
+            CorruptKind::Manifest => "manifest",
+            CorruptKind::MissingShard => "missing-shard",
+            CorruptKind::BadFrame => "bad-frame",
+            CorruptKind::BadCrc => "bad-crc",
+            CorruptKind::BadRecord => "bad-record",
+            CorruptKind::BadFooter => "bad-footer",
+            CorruptKind::DigestMismatch => "digest-mismatch",
+        }
+    }
+}
+
+impl fmt::Display for CorruptKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 impl fmt::Display for ReduceError {
@@ -62,6 +122,17 @@ impl fmt::Display for ReduceError {
             }
             ReduceError::Divergence { what } => {
                 write!(f, "training diverged: {what}")
+            }
+            ReduceError::JournalCorrupt {
+                shard,
+                record,
+                kind,
+            } => {
+                write!(
+                    f,
+                    "journal corrupt: shard {shard} record {record}: {kind} \
+                     (run `journal-tool repair` to truncate to the valid prefix)"
+                )
             }
             ReduceError::Internal { invariant } => {
                 write!(f, "internal invariant violated: {invariant}")
@@ -127,6 +198,20 @@ mod tests {
             reason: "no table".into(),
         };
         assert!(e.to_string().contains("characterisation"));
+    }
+
+    #[test]
+    fn journal_corrupt_names_shard_record_and_kind() {
+        let e = ReduceError::JournalCorrupt {
+            shard: 2,
+            record: 17,
+            kind: CorruptKind::BadCrc,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("shard 2"), "{msg}");
+        assert!(msg.contains("record 17"), "{msg}");
+        assert!(msg.contains("bad-crc"), "{msg}");
+        assert!(msg.contains("journal-tool repair"), "{msg}");
     }
 
     #[test]

@@ -2,20 +2,54 @@
 //!
 //! A [`Checkpoint`] records every *sealed* job outcome (a finished grid
 //! cell, retrained chip, or fleet batch, successful or quarantined) as one
-//! JSON line. The current (version 2) format splits the journal into
-//! fixed-size *shard* segments: `journal.jsonl` holds only a one-line
-//! manifest naming the shard size, and records live in headerless
-//! `journal-00000.jsonl`, `journal-00001.jsonl`, … files beside it. Each
-//! append atomically rewrites only the active shard (through
+//! framed JSON line. The current (version 3) format splits the journal
+//! into fixed-size *shard* segments: `journal.jsonl` holds only a one-line
+//! manifest naming the shard size and each sealed shard's whole-file
+//! digest, and records live in `journal-00000.jsonl`,
+//! `journal-00001.jsonl`, … files beside it. Each append atomically
+//! rewrites only the active shard (through
 //! [`crate::artifact::write_atomic`]), so the I/O cost of sealing a job is
 //! bounded by the shard size — not by the total number of records — while
 //! a killed process still always leaves a complete, parseable journal: the
 //! worst case loses the in-flight jobs, never corrupts the finished ones.
 //!
+//! # Version-3 integrity framing
+//!
+//! Every v3 line is framed as `CCCCCCCC LEN JSON\n`: eight lowercase hex
+//! digits of the payload's CRC-32 (IEEE), the payload's byte length in
+//! decimal, one space, and the JSON payload. A sealed shard ends with a
+//! framed footer `{"footer":"reduce-shard","records":N}` asserting its
+//! record count, and the (itself framed) manifest records each sealed
+//! shard's whole-file CRC-32 digest. The shard is sealed on disk *before*
+//! the manifest names it, so a crash between the two leaves a footered
+//! shard the manifest lags behind — resume detects and heals that without
+//! data loss. A single flipped or lost byte anywhere in a v3 journal is
+//! therefore *detected* (frame length, frame CRC, footer count, or
+//! manifest digest), never silently replayed.
+//!
+//! # Self-healing resume
+//!
+//! [`Checkpoint::resume`] (and [`Checkpoint::resume_observed`], which
+//! reports healing through a [`crate::telemetry::Observer`]) verifies the
+//! journal on open. Damage confined to the journal's *tail* — a torn
+//! final shard write, trailing garbage, a detected bitflip with no valid
+//! record after it — is healed by truncating back to the last valid
+//! record, emitting [`Event::ShardTruncated`] / [`Event::RecordDropped`],
+//! and the dropped jobs are simply recomputed. Damage in the *middle* —
+//! where truncation would silently discard valid completed work after the
+//! damage — is a typed [`ReduceError::JournalCorrupt`] naming the shard,
+//! record, and [`crate::error::CorruptKind`]; `journal-tool repair`
+//! ([`repair_journal`]) performs the explicit truncation. Resume never
+//! panics on journal bytes and never replays a record that fails
+//! verification.
+//!
 //! Version-1 journals (a single header-prefixed file rewritten whole on
-//! every append) are still read and extended transparently:
-//! [`Checkpoint::resume`] detects the header and keeps such journals in
-//! the legacy single-file layout.
+//! every append) and version-2 journals (unframed shards) are still read,
+//! healed, and extended transparently in their own layouts: resume
+//! detects the header and keeps the journal in the format it was created
+//! with. For v1/v2, record validity means "parses as a journal record" —
+//! a bitflip that keeps the JSON valid is undetectable there, which is
+//! precisely why v3 adds the CRC framing.
 //!
 //! On `--resume`, [`Checkpoint::resume`] reloads the journal and the
 //! resumable entry points ([`crate::ResilienceAnalysis::run_resumable`],
@@ -30,11 +64,11 @@
 //! log, manifest, CSVs), not in the journal files themselves.
 
 use crate::artifact::write_atomic;
-use crate::error::{ReduceError, Result};
+use crate::error::{CorruptKind, ReduceError, Result};
 use crate::fleet::{ChipOutcome, QuarantinedChip, SealedChip};
 use crate::resilience::ResiliencePoint;
 use crate::telemetry::json::{parse, push_json_f32, push_json_f64, push_json_string, JsonValue};
-use crate::telemetry::{parse_event, render_event, Event};
+use crate::telemetry::{parse_event, render_event, Event, NullObserver, Observer};
 use reduce_nn::WorkspaceStats;
 use reduce_systolic::Cluster;
 use std::path::{Path, PathBuf};
@@ -49,6 +83,114 @@ pub const DEFAULT_SHARD_RECORDS: usize = 256;
 
 fn render_manifest(shard_records: usize) -> String {
     format!("{{\"journal\":\"reduce-journal\",\"version\":2,\"shard_records\":{shard_records}}}\n")
+}
+
+/// CRC-32 (IEEE 802.3, the `cksum`/zlib polynomial), bit-reflected. A
+/// hand-rolled bitwise implementation: journal lines are short and shard
+/// digests are computed once per seal, so a lookup table isn't worth the
+/// footprint.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Frames a JSON payload as one v3 journal line:
+/// `CCCCCCCC LEN JSON\n`.
+fn frame_line(json: &str) -> String {
+    format!("{:08x} {} {json}\n", crc32(json.as_bytes()), json.len())
+}
+
+/// Unframes one v3 line (without trailing newline), verifying the CRC and
+/// length. Returns the JSON payload.
+fn parse_frame(line: &str) -> std::result::Result<&str, CorruptKind> {
+    let (crc_hex, rest) = line.split_once(' ').ok_or(CorruptKind::BadFrame)?;
+    if crc_hex.len() != 8
+        || crc_hex
+            .bytes()
+            .any(|b| !b.is_ascii_hexdigit() || b.is_ascii_uppercase())
+    {
+        return Err(CorruptKind::BadFrame);
+    }
+    let crc = u32::from_str_radix(crc_hex, 16).map_err(|_| CorruptKind::BadFrame)?;
+    let (len_str, payload) = rest.split_once(' ').ok_or(CorruptKind::BadFrame)?;
+    if len_str.is_empty() || len_str.bytes().any(|b| !b.is_ascii_digit()) {
+        return Err(CorruptKind::BadFrame);
+    }
+    let len: usize = len_str.parse().map_err(|_| CorruptKind::BadFrame)?;
+    if payload.len() != len {
+        return Err(CorruptKind::BadFrame);
+    }
+    if crc32(payload.as_bytes()) != crc {
+        return Err(CorruptKind::BadCrc);
+    }
+    Ok(payload)
+}
+
+fn render_footer(records: usize) -> String {
+    frame_line(&format!(
+        "{{\"footer\":\"reduce-shard\",\"records\":{records}}}"
+    ))
+}
+
+/// `Some(record count)` if the (already unframed) payload is a shard
+/// footer.
+fn parse_footer(payload: &str) -> Option<usize> {
+    let value = parse(payload).ok()?;
+    if value.field("footer").and_then(JsonValue::as_str) != Some("reduce-shard") {
+        return None;
+    }
+    value.field("records").and_then(JsonValue::as_usize)
+}
+
+fn render_manifest_v3(shard_records: usize, sealed: &[String]) -> String {
+    let mut json = format!(
+        "{{\"journal\":\"reduce-journal\",\"version\":3,\"shard_records\":{shard_records},\"sealed\":["
+    );
+    for (i, digest) in sealed.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push('"');
+        json.push_str(digest);
+        json.push('"');
+    }
+    json.push_str("]}");
+    frame_line(&json)
+}
+
+/// `Some((shard_records, sealed digests))` if the (already unframed)
+/// payload is a v3 manifest.
+fn parse_manifest_v3(payload: &str) -> Option<(usize, Vec<String>)> {
+    let value = parse(payload).ok()?;
+    if value.field("journal").and_then(JsonValue::as_str) != Some("reduce-journal") {
+        return None;
+    }
+    if value.field("version").and_then(JsonValue::as_u64) != Some(3) {
+        return None;
+    }
+    let shard_records = value
+        .field("shard_records")
+        .and_then(JsonValue::as_usize)
+        .filter(|&n| n > 0)?;
+    let sealed = match value.field("sealed") {
+        Some(JsonValue::Arr(items)) => items
+            .iter()
+            .map(|d| d.as_str().map(str::to_string))
+            .collect::<Option<Vec<String>>>()?,
+        _ => return None,
+    };
+    Some((shard_records, sealed))
+}
+
+fn shard_digest(contents: &str) -> String {
+    format!("{:08x}", crc32(contents.as_bytes()))
 }
 
 fn shard_path(manifest: &Path, index: usize) -> PathBuf {
@@ -211,8 +353,8 @@ enum Store {
         /// Rendered record lines, each newline-terminated.
         lines: Vec<String>,
     },
-    /// Version 2: a one-line manifest at the journal path, records in
-    /// fixed-size shard segments beside it.
+    /// Legacy version 2: a one-line manifest at the journal path, unframed
+    /// records in fixed-size shard segments beside it.
     Sharded {
         /// Records per shard segment.
         shard_records: usize,
@@ -223,6 +365,21 @@ enum Store {
         /// index.
         sealed_shards: usize,
         /// Rendered lines of the active (partial) shard.
+        active: Vec<String>,
+    },
+    /// Version 3: CRC-framed lines, footered shards, digest-bearing
+    /// manifest.
+    Sharded3 {
+        /// Records per shard segment.
+        shard_records: usize,
+        /// Whether the manifest file exists on disk yet (it is written
+        /// lazily with the first append).
+        manifest_written: bool,
+        /// Whole-file digest of each sealed shard, in shard order; the
+        /// active shard's index is `sealed.len()`.
+        sealed: Vec<String>,
+        /// Framed lines of the active (partial) shard, exactly as on
+        /// disk.
         active: Vec<String>,
     },
 }
@@ -257,17 +414,17 @@ impl std::fmt::Debug for Checkpoint {
 }
 
 impl Checkpoint {
-    /// A fresh sharded (version 2) journal whose manifest lives at `path`.
+    /// A fresh sharded (version 3) journal whose manifest lives at `path`.
     /// Nothing is written until the first [`Checkpoint::append`].
     pub fn create(path: &Path) -> Self {
         Checkpoint {
             path: path.to_path_buf(),
             state: Mutex::new(CheckpointState {
                 records: Vec::new(),
-                store: Store::Sharded {
+                store: Store::Sharded3 {
                     shard_records: DEFAULT_SHARD_RECORDS,
                     manifest_written: false,
-                    sealed_shards: 0,
+                    sealed: Vec::new(),
                     active: Vec::new(),
                 },
                 appended: 0,
@@ -285,16 +442,22 @@ impl Checkpoint {
     pub fn with_shard_records(self, n: usize) -> Self {
         if n > 0 {
             if let Ok(mut state) = self.state.lock() {
-                if let Store::Sharded {
-                    shard_records,
-                    manifest_written: false,
-                    active,
-                    ..
-                } = &mut state.store
-                {
-                    if active.is_empty() {
+                match &mut state.store {
+                    Store::Sharded {
+                        shard_records,
+                        manifest_written: false,
+                        active,
+                        ..
+                    }
+                    | Store::Sharded3 {
+                        shard_records,
+                        manifest_written: false,
+                        active,
+                        ..
+                    } if active.is_empty() => {
                         *shard_records = n;
                     }
+                    _ => {}
                 }
             }
         }
@@ -304,127 +467,46 @@ impl Checkpoint {
     /// Reloads the journal at `path`; a missing file is an empty journal
     /// (resuming a run that was killed before its first checkpoint). A
     /// version-1 header keeps the journal in the legacy single-file
-    /// layout; a version-2 manifest loads every shard segment beside it.
+    /// layout; a version-2 manifest loads every unframed shard segment; a
+    /// version-3 manifest verifies frames, footers, and digests.
+    ///
+    /// Healable tail damage is truncated away silently — use
+    /// [`Checkpoint::resume_observed`] to watch it happen.
     ///
     /// # Errors
     ///
-    /// [`ReduceError::InvalidConfig`] for an unreadable or malformed file
-    /// — the journal is written atomically, so damage means the file was
-    /// edited or is not a journal at all.
+    /// [`ReduceError::JournalCorrupt`] when damage sits in the *middle*
+    /// of the journal (valid records exist after it, so truncation would
+    /// silently discard completed work — [`repair_journal`] performs it
+    /// explicitly); [`ReduceError::InvalidConfig`] for an unreadable file
+    /// or an unrecognised v1/v2 header.
     pub fn resume(path: &Path) -> Result<Self> {
-        let text = match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Ok(Self::create(path));
-            }
-            Err(e) => {
-                return Err(ReduceError::InvalidConfig {
-                    what: format!("cannot read journal {}: {e}", path.display()),
-                })
-            }
-        };
-        let mut lines = text.lines();
-        let header = lines.next().unwrap_or_default();
-        if format!("{header}\n") == V1_HEADER {
-            return Self::resume_v1(path, lines);
-        }
-        let shard_records = parse_manifest(header).ok_or_else(|| ReduceError::InvalidConfig {
-            what: format!(
-                "unrecognised journal header {header:?} in {}",
-                path.display()
-            ),
-        })?;
-        Self::resume_sharded(path, shard_records)
+        Self::resume_observed(path, &NullObserver)
     }
 
-    fn resume_v1<'t>(path: &Path, lines: impl Iterator<Item = &'t str>) -> Result<Self> {
-        let mut records = Vec::new();
-        let mut rendered = Vec::new();
-        for line in lines {
-            if line.trim().is_empty() {
-                continue;
-            }
-            records.push(parse_record(line)?);
-            rendered.push(format!("{line}\n"));
-        }
+    /// [`Checkpoint::resume`], reporting any self-healing through
+    /// `observer`: one [`Event::ShardTruncated`] per truncated shard and
+    /// one [`Event::RecordDropped`] per discarded record slot.
+    ///
+    /// # Errors
+    ///
+    /// As [`Checkpoint::resume`].
+    pub fn resume_observed(path: &Path, observer: &dyn Observer) -> Result<Self> {
+        let Some(scan) = scan_journal(path)? else {
+            return Ok(Self::create(path));
+        };
+        scan.corrupt_error()?;
+        let healed = heal_journal(path, scan, observer)?;
         Ok(Checkpoint {
             path: path.to_path_buf(),
             state: Mutex::new(CheckpointState {
-                records,
-                store: Store::Single { lines: rendered },
+                records: healed.records,
+                store: healed.store,
                 appended: 0,
                 halt_after: None,
                 io: IoStats::default(),
             }),
         })
-    }
-
-    fn resume_sharded(path: &Path, shard_records: usize) -> Result<Self> {
-        let mut records = Vec::new();
-        let mut sealed_shards = 0;
-        let mut active: Vec<String> = Vec::new();
-        loop {
-            let shard = shard_path(path, sealed_shards);
-            let text = match std::fs::read_to_string(&shard) {
-                Ok(text) => text,
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => break,
-                Err(e) => {
-                    return Err(ReduceError::InvalidConfig {
-                        what: format!("cannot read journal shard {}: {e}", shard.display()),
-                    })
-                }
-            };
-            active.clear();
-            for line in text.lines() {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                records.push(parse_record(line)?);
-                active.push(format!("{line}\n"));
-            }
-            if active.len() < shard_records {
-                // A partial last shard stays active; appends extend it.
-                return Ok(Self::resumed_sharded_state(
-                    path,
-                    shard_records,
-                    records,
-                    sealed_shards,
-                    active,
-                ));
-            }
-            sealed_shards += 1;
-        }
-        Ok(Self::resumed_sharded_state(
-            path,
-            shard_records,
-            records,
-            sealed_shards,
-            Vec::new(),
-        ))
-    }
-
-    fn resumed_sharded_state(
-        path: &Path,
-        shard_records: usize,
-        records: Vec<JournalRecord>,
-        sealed_shards: usize,
-        active: Vec<String>,
-    ) -> Self {
-        Checkpoint {
-            path: path.to_path_buf(),
-            state: Mutex::new(CheckpointState {
-                records,
-                store: Store::Sharded {
-                    shard_records,
-                    manifest_written: true,
-                    sealed_shards,
-                    active,
-                },
-                appended: 0,
-                halt_after: None,
-                io: IoStats::default(),
-            }),
-        }
     }
 
     /// The journal manifest path.
@@ -514,6 +596,39 @@ impl Checkpoint {
                     active.clear();
                 }
             }
+            Store::Sharded3 {
+                shard_records,
+                manifest_written,
+                sealed,
+                active,
+            } => {
+                if !*manifest_written {
+                    let manifest = render_manifest_v3(*shard_records, sealed);
+                    bytes += manifest.len() as u64;
+                    write_atomic(&self.path, &manifest)?;
+                    *manifest_written = true;
+                }
+                active.push(frame_line(line.trim_end()));
+                if active.len() >= *shard_records {
+                    // Seal: the footered shard goes to disk *before* the
+                    // manifest that names its digest — a crash between
+                    // the two leaves a footered shard resume detects and
+                    // adopts without data loss.
+                    let mut contents = active.concat();
+                    contents.push_str(&render_footer(active.len()));
+                    bytes += contents.len() as u64;
+                    write_atomic(&shard_path(&self.path, sealed.len()), &contents)?;
+                    sealed.push(shard_digest(&contents));
+                    active.clear();
+                    let manifest = render_manifest_v3(*shard_records, sealed);
+                    bytes += manifest.len() as u64;
+                    write_atomic(&self.path, &manifest)?;
+                } else {
+                    let contents = active.concat();
+                    bytes += contents.len() as u64;
+                    write_atomic(&shard_path(&self.path, sealed.len()), &contents)?;
+                }
+            }
         }
         state.appended += 1;
         state.io.appends += 1;
@@ -546,6 +661,752 @@ fn parse_manifest(header: &str) -> Option<usize> {
         .field("shard_records")
         .and_then(JsonValue::as_usize)
         .filter(|&n| n > 0)
+}
+
+/// Read-only verification scan of one shard file (or, for v1, the whole
+/// record section of the single journal file).
+struct ShardScan {
+    /// Whether the file exists (`false` only for manifest-named shards
+    /// whose file is gone).
+    exists: bool,
+    /// File length in bytes.
+    bytes: usize,
+    /// The valid record prefix: `(on-disk line incl. newline, record)`.
+    valid: Vec<(String, JournalRecord)>,
+    /// v3: footer record-count, when a well-formed footer follows the
+    /// valid prefix.
+    footer: Option<usize>,
+    /// First damage: `(record index, kind)`. Record index equals the
+    /// valid-prefix length at the point of damage.
+    damage: Option<(usize, CorruptKind)>,
+    /// Fully valid record lines found *after* the damage — if nonzero,
+    /// truncation would discard completed work (corrupt middle).
+    valid_after: usize,
+    /// Non-empty lines a truncation at the damage point discards.
+    dropped_lines: usize,
+    /// Cleanly sealed (v3: footer verifies; v2: holds a full shard).
+    sealed: bool,
+    /// v3: footered but absent from the manifest (crash between the
+    /// shard seal and the manifest update) — healed by adding its digest.
+    needs_manifest_entry: bool,
+    /// v3: the manifest's digest disagrees with an otherwise-valid shard
+    /// — healed by recomputing (per-record CRCs are authoritative).
+    stale_digest: bool,
+    /// v3: whole-file CRC-32 digest, as eight hex digits.
+    digest: String,
+}
+
+impl ShardScan {
+    fn empty(exists: bool, bytes: usize) -> Self {
+        ShardScan {
+            exists,
+            bytes,
+            valid: Vec::new(),
+            footer: None,
+            damage: None,
+            valid_after: 0,
+            dropped_lines: 0,
+            sealed: false,
+            needs_manifest_entry: false,
+            stale_digest: false,
+            digest: String::new(),
+        }
+    }
+
+    fn missing() -> Self {
+        let mut scan = Self::empty(false, 0);
+        scan.damage = Some((0, CorruptKind::MissingShard));
+        scan
+    }
+
+    fn has_content(&self) -> bool {
+        !self.valid.is_empty() || self.valid_after > 0
+    }
+}
+
+/// Splits a file into lines, dropping only the trailing empty segment
+/// after a final newline (empty lines elsewhere are real content).
+fn split_file_lines(bytes: &[u8]) -> Vec<&[u8]> {
+    let mut lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    if lines.last().is_some_and(|l| l.is_empty()) {
+        lines.pop();
+    }
+    lines
+}
+
+/// Scans one v3 shard: framed lines, optionally terminated by a footer.
+fn scan_v3_shard(bytes: &[u8]) -> ShardScan {
+    enum Line<'a> {
+        Footer(usize),
+        Rec(&'a str, JournalRecord),
+        Bad(CorruptKind),
+    }
+    let mut scan = ShardScan::empty(true, bytes.len());
+    scan.digest = format!("{:08x}", crc32(bytes));
+    for raw in split_file_lines(bytes) {
+        let line = match std::str::from_utf8(raw) {
+            Ok(line) => match parse_frame(line) {
+                Ok(payload) => match parse_footer(payload) {
+                    Some(n) => Line::Footer(n),
+                    None => match parse_record(payload) {
+                        Ok(r) => Line::Rec(line, r),
+                        Err(_) => Line::Bad(CorruptKind::BadRecord),
+                    },
+                },
+                Err(kind) => Line::Bad(kind),
+            },
+            Err(_) => Line::Bad(CorruptKind::BadFrame),
+        };
+        if scan.damage.is_none() {
+            match line {
+                Line::Footer(n) if scan.footer.is_none() => scan.footer = Some(n),
+                Line::Footer(_) => {
+                    scan.damage = Some((scan.valid.len(), CorruptKind::BadFooter));
+                    scan.dropped_lines += 1;
+                }
+                Line::Rec(line, r) if scan.footer.is_none() => {
+                    scan.valid.push((format!("{line}\n"), r));
+                }
+                Line::Rec(..) => {
+                    // A record after the footer: trailing garbage at best,
+                    // a misplaced seal at worst.
+                    scan.damage = Some((scan.valid.len(), CorruptKind::BadFooter));
+                    scan.dropped_lines += 1;
+                    scan.valid_after += 1;
+                }
+                Line::Bad(kind) => {
+                    scan.damage = Some((scan.valid.len(), kind));
+                    scan.dropped_lines += 1;
+                }
+            }
+        } else {
+            scan.dropped_lines += 1;
+            if matches!(line, Line::Rec(..)) {
+                scan.valid_after += 1;
+            }
+        }
+    }
+    scan
+}
+
+/// Scans one v2 shard (or the v1 record section): unframed JSON record
+/// lines, blank lines skipped (v1/v2 never wrote them, but always
+/// tolerated them).
+fn scan_v2_shard(bytes: &[u8]) -> ShardScan {
+    let mut scan = ShardScan::empty(true, bytes.len());
+    for raw in split_file_lines(bytes) {
+        let parsed = match std::str::from_utf8(raw) {
+            Ok(line) if line.trim().is_empty() => continue,
+            Ok(line) => parse_record(line).ok().map(|r| (line, r)),
+            Err(_) => None,
+        };
+        match (&scan.damage, parsed) {
+            (None, Some((line, r))) => scan.valid.push((format!("{line}\n"), r)),
+            (None, None) => {
+                scan.damage = Some((scan.valid.len(), CorruptKind::BadRecord));
+                scan.dropped_lines += 1;
+            }
+            (Some(_), parsed) => {
+                scan.dropped_lines += 1;
+                if parsed.is_some() {
+                    scan.valid_after += 1;
+                }
+            }
+        }
+    }
+    scan
+}
+
+/// The full verification scan [`Checkpoint::resume_observed`],
+/// [`inspect_journal`], and [`repair_journal`] share.
+struct JournalScan {
+    version: u8,
+    /// Records per shard (0 for v1).
+    shard_records: usize,
+    /// Number of sealed digests the v3 manifest names.
+    manifest_sealed: usize,
+    /// `Some` when the v3 manifest itself is unreadable (rebuilt from the
+    /// shard files when any exist).
+    manifest_damage: Option<CorruptKind>,
+    manifest_bytes: usize,
+    shards: Vec<ShardScan>,
+}
+
+impl JournalScan {
+    fn first_damage(&self) -> Option<(usize, usize, CorruptKind)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| s.damage.map(|(r, k)| (i, r, k)))
+    }
+
+    /// Errors out for damage self-healing must not touch: a missing
+    /// sealed shard, valid records after the damage point, or a manifest
+    /// that is unreadable with no shard files to rebuild it from.
+    fn corrupt_error(&self) -> Result<()> {
+        if self.manifest_damage.is_some() && !self.shards.iter().any(|s| s.exists) {
+            return Err(ReduceError::JournalCorrupt {
+                shard: 0,
+                record: 0,
+                kind: CorruptKind::Manifest,
+            });
+        }
+        if let Some((shard, record, kind)) = self.first_damage() {
+            let valid_after = self.shards.get(shard).is_some_and(|s| s.valid_after > 0)
+                || self
+                    .shards
+                    .iter()
+                    .skip(shard + 1)
+                    .any(ShardScan::has_content);
+            if valid_after || kind == CorruptKind::MissingShard {
+                return Err(ReduceError::JournalCorrupt {
+                    shard,
+                    record,
+                    kind,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn needs_heal(&self) -> bool {
+        self.first_damage().is_some()
+            || self.manifest_damage.is_some()
+            || self
+                .shards
+                .iter()
+                .any(|s| s.needs_manifest_entry || s.stale_digest)
+    }
+}
+
+/// Reads and scans every consecutive shard file (plus manifest-named
+/// shards whose files are missing).
+fn scan_shard_files(path: &Path, named: usize, v3: bool) -> Result<Vec<ShardScan>> {
+    let mut shards = Vec::new();
+    let mut index = 0;
+    loop {
+        let shard = shard_path(path, index);
+        match std::fs::read(&shard) {
+            Ok(bytes) => shards.push(if v3 {
+                scan_v3_shard(&bytes)
+            } else {
+                scan_v2_shard(&bytes)
+            }),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if index < named {
+                    shards.push(ShardScan::missing());
+                } else {
+                    break;
+                }
+            }
+            Err(e) => {
+                return Err(ReduceError::InvalidConfig {
+                    what: format!("cannot read journal shard {}: {e}", shard.display()),
+                })
+            }
+        }
+        index += 1;
+    }
+    Ok(shards)
+}
+
+/// After per-shard classification: anything following the first unsealed
+/// shard is orphaned — it must not be adopted as sealed, and content
+/// there makes the unsealed shard a corrupt middle.
+fn mark_orphans(shards: &mut [ShardScan]) {
+    let Some(t) = shards.iter().position(|s| !s.sealed) else {
+        return;
+    };
+    // `t` comes from `position`, so the split never panics.
+    let Some((trunc, rest)) = shards.split_at_mut(t).1.split_first_mut() else {
+        return;
+    };
+    if rest.iter().any(ShardScan::has_content) && trunc.damage.is_none() {
+        trunc.damage = Some((trunc.valid.len(), CorruptKind::MissingShard));
+    }
+    for s in rest {
+        s.sealed = false;
+        s.needs_manifest_entry = false;
+    }
+}
+
+/// Scans the journal at `path`. `Ok(None)` means the journal file does
+/// not exist (an empty journal).
+///
+/// # Errors
+///
+/// [`ReduceError::InvalidConfig`] for filesystem read failures and for
+/// unrecognised v1/v2-style (`{`-headed) files.
+fn scan_journal(path: &Path) -> Result<Option<JournalScan>> {
+    let manifest_bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(ReduceError::InvalidConfig {
+                what: format!("cannot read journal {}: {e}", path.display()),
+            })
+        }
+    };
+    if manifest_bytes.first() == Some(&b'{') {
+        // v1 or v2: both start with a bare JSON header line. Lossy UTF-8
+        // only alters damaged bytes — valid lines pass through untouched.
+        let text = String::from_utf8_lossy(&manifest_bytes);
+        let (header, rest) = match text.split_once('\n') {
+            Some((header, rest)) => (header, rest),
+            None => (text.as_ref(), ""),
+        };
+        if format!("{header}\n") == V1_HEADER {
+            let mut shard = scan_v2_shard(rest.as_bytes());
+            shard.bytes = manifest_bytes.len();
+            return Ok(Some(JournalScan {
+                version: 1,
+                shard_records: 0,
+                manifest_sealed: 0,
+                manifest_damage: None,
+                manifest_bytes: 0,
+                shards: vec![shard],
+            }));
+        }
+        let shard_records = parse_manifest(header).ok_or_else(|| ReduceError::InvalidConfig {
+            what: format!(
+                "unrecognised journal header {header:?} in {}",
+                path.display()
+            ),
+        })?;
+        let mut shards = scan_shard_files(path, 0, false)?;
+        for shard in &mut shards {
+            if shard.exists && shard.damage.is_none() && shard.valid.len() >= shard_records {
+                shard.sealed = true;
+            }
+        }
+        mark_orphans(&mut shards);
+        return Ok(Some(JournalScan {
+            version: 2,
+            shard_records,
+            manifest_sealed: 0,
+            manifest_damage: None,
+            manifest_bytes: manifest_bytes.len(),
+            shards,
+        }));
+    }
+    // v3: a framed manifest line.
+    let manifest = std::str::from_utf8(&manifest_bytes).ok().and_then(|text| {
+        let (first, rest) = text.split_once('\n').unwrap_or((text, ""));
+        if !rest.trim().is_empty() {
+            return None; // a manifest is exactly one line
+        }
+        parse_frame(first).ok().and_then(parse_manifest_v3)
+    });
+    let (mut shard_records, digests, manifest_damage) = match manifest {
+        Some((shard_records, digests)) => (shard_records, digests, None),
+        None => (0, Vec::new(), Some(CorruptKind::Manifest)),
+    };
+    let mut shards = scan_shard_files(path, digests.len(), true)?;
+    for (i, shard) in shards.iter_mut().enumerate() {
+        if !shard.exists || shard.damage.is_some() {
+            continue;
+        }
+        match shard.footer {
+            Some(n) if n == shard.valid.len() => {
+                shard.sealed = true;
+                match digests.get(i) {
+                    Some(named) if *named == shard.digest => {}
+                    Some(_) => shard.stale_digest = true,
+                    None => shard.needs_manifest_entry = true,
+                }
+            }
+            Some(_) => shard.damage = Some((shard.valid.len(), CorruptKind::BadFooter)),
+            None if i < digests.len() => {
+                shard.damage = Some((shard.valid.len(), CorruptKind::BadFooter));
+            }
+            None => {} // the active shard
+        }
+    }
+    mark_orphans(&mut shards);
+    if shard_records == 0 {
+        // Manifest being rebuilt: recover the shard size from a footer.
+        shard_records = shards
+            .iter()
+            .find_map(|s| s.footer.filter(|&n| n > 0))
+            .unwrap_or(DEFAULT_SHARD_RECORDS);
+    }
+    Ok(Some(JournalScan {
+        version: 3,
+        shard_records,
+        manifest_sealed: digests.len(),
+        manifest_damage,
+        manifest_bytes: manifest_bytes.len(),
+        shards,
+    }))
+}
+
+/// The healed in-memory layout [`heal_journal`] hands back to resume.
+struct HealedLayout {
+    records: Vec<JournalRecord>,
+    store: Store,
+    kept: usize,
+    dropped_records: usize,
+    dropped_bytes: usize,
+}
+
+/// Truncates the journal at the first damage point (rewriting files as
+/// needed), brings the manifest back in sync, and reports what happened
+/// through `observer`. Callers enforcing the tail-only rule run
+/// [`JournalScan::corrupt_error`] first; [`repair_journal`] calls this
+/// unconditionally.
+fn heal_journal(path: &Path, scan: JournalScan, observer: &dyn Observer) -> Result<HealedLayout> {
+    let JournalScan {
+        version,
+        shard_records,
+        manifest_sealed,
+        manifest_damage,
+        shards,
+        ..
+    } = scan;
+    let shard_count = shards.len();
+    let damage_shard = shards.iter().position(|s| s.damage.is_some());
+    let mut records = Vec::new();
+    let mut dropped_records = 0usize;
+    let mut dropped_bytes = 0usize;
+
+    if version == 1 {
+        let Some(shard) = shards.into_iter().next() else {
+            return Err(ReduceError::Internal {
+                invariant: "a v1 scan always carries one pseudo-shard".to_string(),
+            });
+        };
+        let mut lines = Vec::with_capacity(shard.valid.len());
+        for (line, record) in shard.valid {
+            lines.push(line);
+            records.push(record);
+        }
+        if shard.damage.is_some() {
+            let mut contents = String::from(V1_HEADER);
+            for line in &lines {
+                contents.push_str(line);
+            }
+            write_atomic(path, &contents)?;
+            let dropped = shard.bytes.saturating_sub(contents.len());
+            observer.on_event(&Event::ShardTruncated {
+                shard: 0,
+                kept: lines.len(),
+                dropped_bytes: dropped,
+            });
+            for record in lines.len()..lines.len() + shard.dropped_lines {
+                observer.on_event(&Event::RecordDropped { shard: 0, record });
+            }
+            dropped_records += shard.valid_after;
+            dropped_bytes += dropped;
+        }
+        let kept = records.len();
+        return Ok(HealedLayout {
+            records,
+            store: Store::Single { lines },
+            kept,
+            dropped_records,
+            dropped_bytes,
+        });
+    }
+
+    let v3 = version == 3;
+    let mut sealed_digests: Vec<String> = Vec::new();
+    let mut sealed_shards = 0usize;
+    let mut active: Vec<String> = Vec::new();
+    let mut manifest_dirty = manifest_damage.is_some();
+    for (i, shard) in shards.into_iter().enumerate() {
+        if damage_shard == Some(i) {
+            // Truncate this shard back to its valid record prefix.
+            let mut lines = Vec::with_capacity(shard.valid.len());
+            for (line, record) in shard.valid {
+                lines.push(line);
+                records.push(record);
+            }
+            let kept_here = lines.len();
+            let resealable = shard_records > 0 && kept_here == shard_records;
+            let mut contents = lines.concat();
+            if resealable && v3 {
+                contents.push_str(&render_footer(kept_here));
+            }
+            write_atomic(&shard_path(path, i), &contents)?;
+            if resealable {
+                if v3 {
+                    sealed_digests.push(shard_digest(&contents));
+                }
+                sealed_shards += 1;
+            } else {
+                active = lines;
+            }
+            manifest_dirty = true;
+            let dropped = shard.bytes.saturating_sub(contents.len());
+            observer.on_event(&Event::ShardTruncated {
+                shard: i,
+                kept: kept_here,
+                dropped_bytes: dropped,
+            });
+            for record in kept_here..kept_here + shard.dropped_lines {
+                observer.on_event(&Event::RecordDropped { shard: i, record });
+            }
+            dropped_records += shard.valid_after;
+            dropped_bytes += dropped;
+        } else if damage_shard.is_some_and(|d| i > d) {
+            // Everything after the truncation point is discarded. (Valid
+            // content here only survives to this point under
+            // [`repair_journal`] — resume's corrupt check refuses it.)
+            dropped_records += shard.valid.len() + shard.valid_after;
+            dropped_bytes += shard.bytes;
+            manifest_dirty = true;
+            if shard.exists {
+                observer.on_event(&Event::ShardTruncated {
+                    shard: i,
+                    kept: 0,
+                    dropped_bytes: shard.bytes,
+                });
+                for record in 0..shard.valid.len() + shard.dropped_lines {
+                    observer.on_event(&Event::RecordDropped { shard: i, record });
+                }
+                let _ = std::fs::remove_file(shard_path(path, i));
+            }
+        } else if shard.sealed {
+            if v3 {
+                sealed_digests.push(shard.digest.clone());
+            }
+            sealed_shards += 1;
+            if shard.needs_manifest_entry || shard.stale_digest {
+                manifest_dirty = true;
+            }
+            for (_, record) in shard.valid {
+                records.push(record);
+            }
+        } else {
+            // The clean active (partial) shard.
+            for (line, record) in shard.valid {
+                active.push(line);
+                records.push(record);
+            }
+        }
+    }
+    // Strays beyond the scanned range (one stat in the clean case).
+    let mut stray = shard_count;
+    while shard_path(path, stray).exists() {
+        let _ = std::fs::remove_file(shard_path(path, stray));
+        stray += 1;
+    }
+    if v3 && (manifest_dirty || sealed_digests.len() != manifest_sealed) {
+        write_atomic(path, &render_manifest_v3(shard_records, &sealed_digests))?;
+    }
+    let kept = records.len();
+    let store = if v3 {
+        Store::Sharded3 {
+            shard_records,
+            manifest_written: true,
+            sealed: sealed_digests,
+            active,
+        }
+    } else {
+        Store::Sharded {
+            shard_records,
+            manifest_written: true,
+            sealed_shards,
+            active,
+        }
+    };
+    Ok(HealedLayout {
+        records,
+        store,
+        kept,
+        dropped_records,
+        dropped_bytes,
+    })
+}
+
+fn record_kind_name(record: &JournalRecord) -> &'static str {
+    match record {
+        JournalRecord::Point { .. } => "point",
+        JournalRecord::PointFailed { .. } => "point_failed",
+        JournalRecord::Chip { .. } => "chip",
+        JournalRecord::ChipFailed { .. } => "chip_failed",
+        JournalRecord::FleetBatch { .. } => "fleet_batch",
+    }
+}
+
+/// Verdict of [`inspect_journal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalStatus {
+    /// Every frame, footer, and digest verifies; resume replays every
+    /// record.
+    Clean,
+    /// Damage is confined to the journal's tail (or the manifest lags a
+    /// sealed shard); resume heals it automatically, recomputing at most
+    /// the dropped tail records.
+    Healable,
+    /// Damage sits in the middle: resume refuses with
+    /// [`ReduceError::JournalCorrupt`]; [`repair_journal`] (or
+    /// `journal-tool repair`) truncates explicitly.
+    Corrupt,
+}
+
+impl JournalStatus {
+    /// Stable lowercase name (the `journal-tool verify` output).
+    pub fn name(self) -> &'static str {
+        match self {
+            JournalStatus::Clean => "clean",
+            JournalStatus::Healable => "healable",
+            JournalStatus::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// Read-only integrity summary of a journal, produced by
+/// [`inspect_journal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHealth {
+    /// Journal format version (1, 2, or 3).
+    pub version: u8,
+    /// Records per shard segment (0 for single-file v1 journals).
+    pub shard_records: usize,
+    /// Cleanly sealed shard files.
+    pub sealed_shards: usize,
+    /// Records in the replayable valid prefix.
+    pub records: usize,
+    /// Valid-prefix record counts per kind, in first-seen order.
+    pub kinds: Vec<(&'static str, usize)>,
+    /// Total bytes across the manifest and every shard file.
+    pub total_bytes: usize,
+    /// Overall verdict.
+    pub status: JournalStatus,
+    /// Human-readable findings (empty when clean).
+    pub notes: Vec<String>,
+}
+
+/// Verifies the journal at `path` without modifying anything — the
+/// engine behind `journal-tool verify` and `stat`. A missing journal
+/// file reports as an empty, clean journal.
+///
+/// # Errors
+///
+/// [`ReduceError::InvalidConfig`] for filesystem read failures or an
+/// unrecognised v1/v2 header; corruption is reported in the returned
+/// [`JournalHealth`], not as an error.
+pub fn inspect_journal(path: &Path) -> Result<JournalHealth> {
+    let Some(scan) = scan_journal(path)? else {
+        return Ok(JournalHealth {
+            version: 3,
+            shard_records: DEFAULT_SHARD_RECORDS,
+            sealed_shards: 0,
+            records: 0,
+            kinds: Vec::new(),
+            total_bytes: 0,
+            status: JournalStatus::Clean,
+            notes: vec!["journal file does not exist (empty journal)".to_string()],
+        });
+    };
+    let mut notes = Vec::new();
+    if scan.manifest_damage.is_some() {
+        notes.push("manifest unreadable (rebuilt from shard files on heal)".to_string());
+    }
+    let damage_shard = scan.first_damage().map(|(i, _, _)| i);
+    let mut records = 0usize;
+    let mut kinds: Vec<(&'static str, usize)> = Vec::new();
+    for (i, shard) in scan.shards.iter().enumerate() {
+        if damage_shard.is_some_and(|d| i > d) {
+            continue; // beyond the truncation point — not replayable
+        }
+        for (_, record) in &shard.valid {
+            records += 1;
+            let name = record_kind_name(record);
+            match kinds.iter_mut().find(|(k, _)| *k == name) {
+                Some((_, n)) => *n += 1,
+                None => kinds.push((name, 1)),
+            }
+        }
+        if let Some((record, kind)) = shard.damage {
+            notes.push(format!("shard {i} record {record}: {kind}"));
+        }
+        if shard.needs_manifest_entry {
+            notes.push(format!(
+                "shard {i} sealed but not yet named in the manifest"
+            ));
+        }
+        if shard.stale_digest {
+            notes.push(format!("shard {i}: manifest digest out of date"));
+        }
+    }
+    let status = if scan.corrupt_error().is_err() {
+        JournalStatus::Corrupt
+    } else if scan.needs_heal() {
+        JournalStatus::Healable
+    } else {
+        JournalStatus::Clean
+    };
+    Ok(JournalHealth {
+        version: scan.version,
+        shard_records: scan.shard_records,
+        sealed_shards: scan.shards.iter().filter(|s| s.sealed).count(),
+        records,
+        kinds,
+        total_bytes: scan.manifest_bytes + scan.shards.iter().map(|s| s.bytes).sum::<usize>(),
+        status,
+        notes,
+    })
+}
+
+/// Outcome of [`repair_journal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairSummary {
+    /// Records the repaired journal replays (the kept valid prefix).
+    pub kept: usize,
+    /// Fully valid records discarded because they sat after the damage
+    /// point — the work an operator explicitly agreed to redo.
+    pub dropped_records: usize,
+    /// Bytes of damaged or discarded journal content removed.
+    pub dropped_bytes: usize,
+    /// Whether the journal was already clean (repair changed nothing).
+    pub was_clean: bool,
+}
+
+/// Explicitly truncates the journal at `path` back to its last valid
+/// record before the first damage point, discarding everything after —
+/// including valid records a corrupt middle strands (which is exactly why
+/// resume refuses to do this on its own). Healing is reported through
+/// `observer`; a clean journal is left untouched. A corrupt manifest with
+/// no shard content resets to an empty journal.
+///
+/// # Errors
+///
+/// [`ReduceError::InvalidConfig`] for filesystem failures or an
+/// unrecognised v1/v2 header.
+pub fn repair_journal(path: &Path, observer: &dyn Observer) -> Result<RepairSummary> {
+    let Some(scan) = scan_journal(path)? else {
+        return Ok(RepairSummary {
+            kept: 0,
+            dropped_records: 0,
+            dropped_bytes: 0,
+            was_clean: true,
+        });
+    };
+    if scan.manifest_damage.is_some() && !scan.shards.iter().any(|s| s.exists) {
+        let dropped = scan.manifest_bytes;
+        write_atomic(path, &render_manifest_v3(scan.shard_records, &[]))?;
+        observer.on_event(&Event::ShardTruncated {
+            shard: 0,
+            kept: 0,
+            dropped_bytes: dropped,
+        });
+        return Ok(RepairSummary {
+            kept: 0,
+            dropped_records: 0,
+            dropped_bytes: dropped,
+            was_clean: false,
+        });
+    }
+    let was_clean = !scan.needs_heal();
+    let healed = heal_journal(path, scan, observer)?;
+    Ok(RepairSummary {
+        kept: healed.kept,
+        dropped_records: healed.dropped_records,
+        dropped_bytes: healed.dropped_bytes,
+        was_clean,
+    })
 }
 
 fn push_workspace(out: &mut String, ws: &WorkspaceStats) {
@@ -1171,17 +2032,43 @@ mod tests {
         let path = scratch("malformed");
         let dir = path.parent().expect("has parent");
         std::fs::create_dir_all(dir).expect("temp dir");
+        // A file that is neither a JSON header nor a framed manifest.
         std::fs::write(&path, "not a journal\n").expect("temp write");
-        assert!(Checkpoint::resume(&path).is_err(), "bad header must error");
+        match Checkpoint::resume(&path) {
+            Err(ReduceError::JournalCorrupt { kind, .. }) => {
+                assert_eq!(kind, CorruptKind::Manifest);
+            }
+            other => panic!("bad header must be JournalCorrupt, got {other:?}"),
+        }
+        // An unknown record kind in the MIDDLE (a valid record follows it)
+        // cannot be healed by tail truncation: typed corruption error.
+        let valid = render_record(&chip_records()[0]);
         std::fs::write(
             &path,
-            format!("{V1_HEADER}{{\"kind\":\"mystery\",\"job\":0}}\n"),
+            format!("{V1_HEADER}{{\"kind\":\"mystery\",\"job\":0}}\n{valid}"),
         )
         .expect("temp write");
-        assert!(
-            Checkpoint::resume(&path).is_err(),
-            "unknown kind must error"
-        );
+        match Checkpoint::resume(&path) {
+            Err(ReduceError::JournalCorrupt {
+                shard,
+                record,
+                kind,
+            }) => {
+                assert_eq!((shard, record, kind), (0, 0, CorruptKind::BadRecord));
+            }
+            other => panic!("corrupt middle must be JournalCorrupt, got {other:?}"),
+        }
+        // The same damage at the TAIL self-heals: resume keeps the valid
+        // prefix and truncates the garbage away.
+        std::fs::write(
+            &path,
+            format!("{V1_HEADER}{valid}{{\"kind\":\"mystery\",\"job\":0}}\n"),
+        )
+        .expect("temp write");
+        let journal = Checkpoint::resume(&path).expect("tail damage heals");
+        assert_eq!(journal.records().expect("records").len(), 1);
+        let text = std::fs::read_to_string(&path).expect("journal exists");
+        assert!(!text.contains("mystery"), "damaged tail was truncated away");
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -1216,24 +2103,28 @@ mod tests {
                 error: "synthetic failure for shard accounting".to_string(),
                 events: vec![],
             };
-            max_line = max_line.max(render_record(&record).len() as u64);
+            max_line = max_line.max(frame_line(render_record(&record).trim_end()).len() as u64);
             journal.append(record).expect("append");
         }
         let io = journal.io_stats().expect("stats");
         assert_eq!(io.appends, 64);
-        // The largest single rewrite covers at most one full shard (plus
-        // the one-time manifest), never the whole 64-record journal.
-        let manifest_bytes = render_manifest(4).len() as u64;
+        // The largest single rewrite covers at most one full shard (with
+        // its seal footer) plus the manifest, never the whole 64-record
+        // journal. The on-disk manifest names all 16 digests — the largest
+        // it ever gets.
+        let manifest_bytes = std::fs::metadata(&path).expect("manifest exists").len();
+        let footer_bytes = render_footer(4).len() as u64;
+        let bound = 4 * max_line + footer_bytes + manifest_bytes;
         assert!(
-            io.max_append_bytes <= 4 * max_line + manifest_bytes,
-            "append rewrote more than a shard: {} > {}",
+            io.max_append_bytes <= bound,
+            "append rewrote more than a shard: {} > {bound}",
             io.max_append_bytes,
-            4 * max_line + manifest_bytes
         );
-        // 64 records over 4-record shards => 16 sealed segments on disk.
+        // 64 records over 4-record shards => 16 sealed segments on disk,
+        // each holding its records plus the seal footer.
         for shard in 0..16 {
             let text = std::fs::read_to_string(shard_path(&path, shard)).expect("shard exists");
-            assert_eq!(text.lines().count(), 4, "shard {shard} holds one chunk");
+            assert_eq!(text.lines().count(), 5, "shard {shard}: 4 records + footer");
         }
         assert!(!shard_path(&path, 16).exists(), "no stray 17th shard");
         // Resume stitches every shard back together.
@@ -1267,6 +2158,384 @@ mod tests {
         assert_eq!(resumed.records().expect("records").len(), 3);
         if let Some(dir) = path.parent() {
             let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    /// A collecting observer for asserting on heal telemetry.
+    #[derive(Default)]
+    struct EventLog(Mutex<Vec<Event>>);
+
+    impl Observer for EventLog {
+        fn on_event(&self, event: &Event) {
+            self.0.lock().unwrap().push(event.clone());
+        }
+    }
+
+    fn small_record(i: u64) -> JournalRecord {
+        JournalRecord::PointFailed {
+            job: i,
+            rate_index: 0,
+            rate: 0.1,
+            repeat: i as usize,
+            attempts: 1,
+            error: format!("synthetic failure {i}"),
+            events: vec![],
+        }
+    }
+
+    fn cleanup(path: &Path) {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The standard IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn any_single_byte_flip_in_a_frame_is_detected() {
+        let line = frame_line("{\"kind\":\"x\"}");
+        let trimmed = line.trim_end();
+        assert!(parse_frame(trimmed).is_ok());
+        let bytes = trimmed.as_bytes();
+        for pos in 0..bytes.len() {
+            for bit in 0..8u8 {
+                let mut flipped = bytes.to_vec();
+                flipped[pos] ^= 1 << bit;
+                let damaged = String::from_utf8_lossy(&flipped).into_owned();
+                assert!(
+                    parse_frame(&damaged).is_err(),
+                    "flip at byte {pos} bit {bit} went undetected: {damaged:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_v2_journals_still_resume_and_extend() {
+        let path = scratch("legacy_v2");
+        let dir = path.parent().expect("has parent");
+        std::fs::create_dir_all(dir).expect("temp dir");
+        // Hand-write the frozen v2 layout: a bare JSON manifest line and
+        // unframed shard files.
+        std::fs::write(&path, render_manifest(2)).expect("temp write");
+        let sealed: String = (0..2).map(|i| render_record(&small_record(i))).collect();
+        std::fs::write(shard_path(&path, 0), &sealed).expect("temp write");
+        std::fs::write(shard_path(&path, 1), render_record(&small_record(2))).expect("temp write");
+        let journal = Checkpoint::resume(&path).expect("v2 journal parses");
+        let records = journal.records().expect("records");
+        assert_eq!(records, (0..3).map(small_record).collect::<Vec<_>>());
+        // Appends keep the v2 layout: the new seal of shard 1 stays
+        // unframed and the manifest line stays bare JSON.
+        journal.append(small_record(3)).expect("append");
+        let manifest = std::fs::read_to_string(&path).expect("manifest");
+        assert!(manifest.starts_with('{'), "v2 manifest stays bare JSON");
+        let shard1 = std::fs::read_to_string(shard_path(&path, 1)).expect("shard 1");
+        assert_eq!(shard1.lines().count(), 2);
+        assert!(shard1.starts_with('{'), "v2 shards stay unframed");
+        let resumed = Checkpoint::resume(&path).expect("still parseable");
+        assert_eq!(resumed.records().expect("records").len(), 4);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn empty_active_shard_resumes_cleanly() {
+        let path = scratch("empty_active");
+        let journal = Checkpoint::create(&path).with_shard_records(2);
+        for i in 0..2 {
+            journal.append(small_record(i)).expect("append");
+        }
+        // A crash immediately after sealing shard 0 can leave a created
+        // but empty next shard file.
+        std::fs::write(shard_path(&path, 1), "").expect("temp write");
+        let health = inspect_journal(&path).expect("inspect");
+        assert_eq!(health.status, JournalStatus::Clean);
+        let resumed = Checkpoint::resume(&path).expect("resume");
+        assert_eq!(resumed.records().expect("records").len(), 2);
+        resumed
+            .append(small_record(2))
+            .expect("append after resume");
+        assert_eq!(
+            Checkpoint::resume(&path)
+                .expect("resume")
+                .records()
+                .expect("records")
+                .len(),
+            3
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn trailing_garbage_after_footer_heals() {
+        let path = scratch("post_footer_garbage");
+        let journal = Checkpoint::create(&path).with_shard_records(2);
+        for i in 0..2 {
+            journal.append(small_record(i)).expect("append");
+        }
+        let shard = shard_path(&path, 0);
+        let mut contents = std::fs::read_to_string(&shard).expect("sealed shard");
+        contents.push_str("garbage tail\n");
+        std::fs::write(&shard, &contents).expect("temp write");
+        assert_eq!(
+            inspect_journal(&path).expect("inspect").status,
+            JournalStatus::Healable
+        );
+        let log = EventLog::default();
+        let resumed = Checkpoint::resume_observed(&path, &log).expect("heals");
+        assert_eq!(resumed.records().expect("records").len(), 2);
+        let events = log.0.lock().unwrap();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::ShardTruncated {
+                shard: 0,
+                kept: 2,
+                ..
+            }
+        )));
+        // The reseal restored a byte-valid sealed shard.
+        assert_eq!(
+            inspect_journal(&path).expect("inspect").status,
+            JournalStatus::Clean
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn manifest_naming_missing_shard_is_corrupt_and_repairable() {
+        let path = scratch("missing_shard");
+        let journal = Checkpoint::create(&path).with_shard_records(2);
+        for i in 0..2 {
+            journal.append(small_record(i)).expect("append");
+        }
+        std::fs::remove_file(shard_path(&path, 0)).expect("remove sealed shard");
+        match Checkpoint::resume(&path) {
+            Err(ReduceError::JournalCorrupt { shard, kind, .. }) => {
+                assert_eq!((shard, kind), (0, CorruptKind::MissingShard));
+            }
+            other => panic!("missing sealed shard must be corrupt, got {other:?}"),
+        }
+        assert_eq!(
+            inspect_journal(&path).expect("inspect").status,
+            JournalStatus::Corrupt
+        );
+        let summary = repair_journal(&path, &NullObserver).expect("repair");
+        assert!(!summary.was_clean);
+        assert_eq!(summary.kept, 0);
+        let resumed = Checkpoint::resume(&path).expect("repaired journal resumes");
+        assert!(resumed.records().expect("records").is_empty());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn zero_record_journal_round_trips() {
+        let path = scratch("zero_records");
+        let dir = path.parent().expect("has parent");
+        std::fs::create_dir_all(dir).expect("temp dir");
+        // A manifest naming no shards (what repair of a wrecked manifest
+        // leaves behind).
+        std::fs::write(&path, render_manifest_v3(8, &[])).expect("temp write");
+        let health = inspect_journal(&path).expect("inspect");
+        assert_eq!(health.status, JournalStatus::Clean);
+        assert_eq!(health.records, 0);
+        assert_eq!(health.version, 3);
+        let journal = Checkpoint::resume(&path).expect("resume");
+        assert!(journal.records().expect("records").is_empty());
+        journal.append(small_record(0)).expect("append");
+        assert_eq!(
+            Checkpoint::resume(&path)
+                .expect("resume")
+                .records()
+                .expect("records")
+                .len(),
+            1
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_active_shard_heals_to_valid_prefix() {
+        let path = scratch("torn_active");
+        let journal = Checkpoint::create(&path).with_shard_records(8);
+        for i in 0..3 {
+            journal.append(small_record(i)).expect("append");
+        }
+        // Tear the last line of the active shard mid-write.
+        let shard = shard_path(&path, 0);
+        let contents = std::fs::read(&shard).expect("active shard");
+        std::fs::write(&shard, &contents[..contents.len() - 7]).expect("temp write");
+        let log = EventLog::default();
+        let resumed = Checkpoint::resume_observed(&path, &log).expect("tail tear heals");
+        assert_eq!(
+            resumed.records().expect("records"),
+            (0..2).map(small_record).collect::<Vec<_>>()
+        );
+        let events = log.0.lock().unwrap();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::ShardTruncated {
+                shard: 0,
+                kept: 2,
+                ..
+            }
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::RecordDropped {
+                shard: 0,
+                record: 2
+            }
+        )));
+        drop(events);
+        // The healed journal extends normally.
+        resumed.append(small_record(2)).expect("append");
+        assert_eq!(
+            Checkpoint::resume(&path)
+                .expect("resume")
+                .records()
+                .expect("records")
+                .len(),
+            3
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn manifest_lag_behind_sealed_shard_heals() {
+        let path = scratch("manifest_lag");
+        let journal = Checkpoint::create(&path).with_shard_records(2);
+        for i in 0..2 {
+            journal.append(small_record(i)).expect("append");
+        }
+        // Rewind the manifest to before the seal: the sealed shard exists
+        // on disk but the manifest does not name it yet — exactly the
+        // window a crash between the two writes leaves behind.
+        std::fs::write(&path, render_manifest_v3(2, &[])).expect("temp write");
+        assert_eq!(
+            inspect_journal(&path).expect("inspect").status,
+            JournalStatus::Healable
+        );
+        let resumed = Checkpoint::resume(&path).expect("manifest lag heals");
+        assert_eq!(resumed.records().expect("records").len(), 2);
+        assert_eq!(
+            inspect_journal(&path).expect("inspect").status,
+            JournalStatus::Clean,
+            "heal rewrote the manifest"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn any_single_byte_flip_in_a_v3_journal_is_never_clean() {
+        let path = scratch("bitflip_sweep");
+        let journal = Checkpoint::create(&path).with_shard_records(2);
+        for i in 0..3 {
+            journal.append(small_record(i)).expect("append");
+        }
+        for target in [path.clone(), shard_path(&path, 0), shard_path(&path, 1)] {
+            let pristine = std::fs::read(&target).expect("file exists");
+            for pos in 0..pristine.len() {
+                let mut flipped = pristine.clone();
+                flipped[pos] ^= 0x04; // keeps ASCII printable bytes printable
+                std::fs::write(&target, &flipped).expect("temp write");
+                let health = inspect_journal(&path).expect("inspect never errors");
+                assert_ne!(
+                    health.status,
+                    JournalStatus::Clean,
+                    "flip at {} byte {pos} went undetected",
+                    target.display()
+                );
+            }
+            std::fs::write(&target, &pristine).expect("restore");
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn fault_sweep_every_io_op_resumes_or_reports_typed_corruption() {
+        use crate::artifact::{install_io_policy, FaultKind, FaultyIo, IoPolicy};
+        use std::sync::Arc;
+
+        let records: Vec<JournalRecord> = (0..8).map(small_record).collect();
+        // Pass 1: count the IO operations a clean run performs.
+        let path = scratch("sweep_count");
+        std::fs::create_dir_all(path.parent().unwrap()).expect("temp dir");
+        let scope = path.parent().unwrap().to_path_buf();
+        let counter = Arc::new(FaultyIo::counting(&scope));
+        {
+            let _guard = install_io_policy(IoPolicy::Faulty(counter.clone()));
+            let journal = Checkpoint::create(&path).with_shard_records(3);
+            for r in &records {
+                journal.append(r.clone()).expect("clean run");
+            }
+        }
+        let total_ops = counter.ops_seen();
+        assert!(
+            total_ops > 20,
+            "expected a rich op sequence, got {total_ops}"
+        );
+        cleanup(&path);
+
+        // Pass 2: re-run the same append sequence, killing the backend at
+        // every operation index with every fault kind. Every crash point
+        // must either resume to a strict prefix or report typed corruption
+        // that `repair_journal` fixes — and re-appending the remainder must
+        // always reconstruct the full record sequence.
+        for index in 0..total_ops {
+            for kind in FaultKind::ALL {
+                let path = scratch(&format!("sweep_{index}_{}", kind.name()));
+                std::fs::create_dir_all(path.parent().unwrap()).expect("temp dir");
+                let scope = path.parent().unwrap().to_path_buf();
+                let injected = Arc::new(FaultyIo::armed(&scope, 0xC0FFEE, index, kind));
+                {
+                    let _guard = install_io_policy(IoPolicy::Faulty(injected.clone()));
+                    let journal = Checkpoint::create(&path).with_shard_records(3);
+                    for r in &records {
+                        if journal.append(r.clone()).is_err() {
+                            break; // the crash point
+                        }
+                    }
+                }
+                assert!(injected.fired(), "op {index} never executed");
+                // Recovery runs with real IO (the process restarted).
+                let resumed = match Checkpoint::resume(&path) {
+                    Ok(journal) => journal,
+                    Err(ReduceError::JournalCorrupt { .. }) => {
+                        repair_journal(&path, &NullObserver).expect("repair succeeds");
+                        Checkpoint::resume(&path).expect("repaired journal resumes")
+                    }
+                    Err(other) => {
+                        panic!("op {index} kind {} gave untyped {other}", kind.name())
+                    }
+                };
+                let kept = resumed.records().expect("records");
+                assert!(
+                    kept.len() <= records.len(),
+                    "op {index} kind {} resurrected records",
+                    kind.name()
+                );
+                assert_eq!(
+                    kept[..],
+                    records[..kept.len()],
+                    "op {index} kind {} broke the prefix property",
+                    kind.name()
+                );
+                for r in &records[kept.len()..] {
+                    resumed.append(r.clone()).expect("re-append");
+                }
+                let full = Checkpoint::resume(&path).expect("final resume");
+                assert_eq!(
+                    full.records().expect("records"),
+                    records,
+                    "op {index} kind {} lost records",
+                    kind.name()
+                );
+                cleanup(&path);
+            }
         }
     }
 }

@@ -79,7 +79,7 @@ mod resilience;
 pub mod telemetry;
 mod workbench;
 
-pub use error::{ReduceError, Result};
+pub use error::{CorruptKind, ReduceError, Result};
 pub use exec::ExecConfig;
 pub use fat::{FatOutcome, FatRunner, Mitigation, StopRule};
 pub use fleet::{
@@ -87,7 +87,10 @@ pub use fleet::{
     QuarantinedChip, SealedChip, SeededChips,
 };
 pub use framework::Reduce;
-pub use journal::{Checkpoint, IoStats, JournalRecord, DEFAULT_SHARD_RECORDS};
+pub use journal::{
+    inspect_journal, repair_journal, Checkpoint, IoStats, JournalHealth, JournalRecord,
+    JournalStatus, RepairSummary, DEFAULT_SHARD_RECORDS,
+};
 pub use policy::RetrainPolicy;
 pub use resilience::{
     FailedPoint, RateSummary, ResilienceAnalysis, ResilienceConfig, ResilienceConfigBuilder,

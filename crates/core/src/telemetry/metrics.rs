@@ -113,6 +113,12 @@ pub struct MetricsSnapshot {
     /// Member chips warm-started from a cluster representative
     /// ([`Event::WarmStartHit`]).
     pub warm_start_hits: usize,
+    /// Journal shards truncated back to their valid prefix during
+    /// self-healing resume ([`Event::ShardTruncated`]).
+    pub shards_truncated: usize,
+    /// Journal records dropped by those truncations
+    /// ([`Event::RecordDropped`]).
+    pub records_dropped: usize,
 }
 
 #[derive(Debug, Default)]
@@ -133,6 +139,8 @@ struct MetricsState {
     checkpoints_written: usize,
     clusters_formed: usize,
     warm_start_hits: usize,
+    shards_truncated: usize,
+    records_dropped: usize,
 }
 
 /// An [`Observer`] that aggregates counters and stat summaries in memory.
@@ -180,6 +188,8 @@ impl MetricsRecorder {
             checkpoints_written: s.checkpoints_written,
             clusters_formed: s.clusters_formed,
             warm_start_hits: s.warm_start_hits,
+            shards_truncated: s.shards_truncated,
+            records_dropped: s.records_dropped,
         })
     }
 
@@ -230,6 +240,12 @@ impl MetricsRecorder {
                 w.misses,
                 w.bytes_allocated,
                 w.hit_rate() * 100.0,
+            ));
+        }
+        if snap.shards_truncated > 0 {
+            out.push_str(&format!(
+                "journal healing    {:>6} shards truncated ({} records dropped)\n",
+                snap.shards_truncated, snap.records_dropped
             ));
         }
         if snap.jobs_failed > 0 || snap.retries_scheduled > 0 {
@@ -315,6 +331,8 @@ impl Observer for MetricsRecorder {
             Event::CheckpointWritten { .. } => s.checkpoints_written += 1,
             Event::ClusterFormed { .. } => s.clusters_formed += 1,
             Event::WarmStartHit { .. } => s.warm_start_hits += 1,
+            Event::ShardTruncated { .. } => s.shards_truncated += 1,
+            Event::RecordDropped { .. } => s.records_dropped += 1,
         });
     }
 }

@@ -26,7 +26,10 @@
 //!   [`Event::DivergenceRecovered`] — the retry history of a contained
 //!   job failure (see [`crate::exec::parallel_map_resilient`]);
 //! * [`Event::CheckpointWritten`] — the resume journal covers a stage's
-//!   full fan-out.
+//!   full fan-out;
+//! * [`Event::ShardTruncated`] / [`Event::RecordDropped`] — self-healing
+//!   resume discarded a corrupt journal tail (see
+//!   [`crate::journal::Checkpoint::resume_observed`]).
 //!
 //! # Determinism contract
 //!
@@ -254,6 +257,26 @@ pub enum Event {
         stage: Stage,
         /// Total outcomes (successes + quarantines) recorded for it.
         completed: usize,
+    },
+    /// Self-healing resume (or `journal-tool repair`) truncated a journal
+    /// shard back to its last valid record, discarding a corrupt tail
+    /// (torn final write, detected bitflip, or trailing garbage).
+    ShardTruncated {
+        /// 0-based shard index (0 for single-file v1 journals).
+        shard: usize,
+        /// Valid records kept in the shard after truncation.
+        kept: usize,
+        /// Bytes of corrupt tail discarded.
+        dropped_bytes: usize,
+    },
+    /// One journal record was dropped by a heal or repair truncation.
+    /// Emitted per record (after the covering [`Event::ShardTruncated`])
+    /// so operators can see exactly which completed work will be redone.
+    RecordDropped {
+        /// 0-based shard index the record lived in.
+        shard: usize,
+        /// 0-based record index within the shard.
+        record: usize,
     },
 }
 

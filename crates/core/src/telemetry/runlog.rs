@@ -288,6 +288,20 @@ pub(crate) fn render_event(event: &Event, redact_timing: bool) -> String {
             s.push_str(stage.name());
             s.push_str(&format!("\",\"completed\":{completed}}}"));
         }
+        Event::ShardTruncated {
+            shard,
+            kept,
+            dropped_bytes,
+        } => {
+            s.push_str(&format!(
+                "{{\"event\":\"shard_truncated\",\"shard\":{shard},\"kept\":{kept},\"dropped_bytes\":{dropped_bytes}}}"
+            ));
+        }
+        Event::RecordDropped { shard, record } => {
+            s.push_str(&format!(
+                "{{\"event\":\"record_dropped\",\"shard\":{shard},\"record\":{record}}}"
+            ));
+        }
     }
     s.push('\n');
     s
@@ -437,6 +451,15 @@ pub(crate) fn parse_event(value: &JsonValue) -> Result<Event> {
         "checkpoint_written" => Ok(Event::CheckpointWritten {
             stage: stage_of(value)?,
             completed: usize_of("completed")?,
+        }),
+        "shard_truncated" => Ok(Event::ShardTruncated {
+            shard: usize_of("shard")?,
+            kept: usize_of("kept")?,
+            dropped_bytes: usize_of("dropped_bytes")?,
+        }),
+        "record_dropped" => Ok(Event::RecordDropped {
+            shard: usize_of("shard")?,
+            record: usize_of("record")?,
         }),
         other => Err(bad(&format!("unknown event kind {other:?}"))),
     }
@@ -647,6 +670,15 @@ mod tests {
             Event::WarmStartHit {
                 chip_id: 6,
                 representative: 4,
+            },
+            Event::ShardTruncated {
+                shard: 2,
+                kept: 5,
+                dropped_bytes: 131,
+            },
+            Event::RecordDropped {
+                shard: 2,
+                record: 5,
             },
         ]);
         for event in &all {

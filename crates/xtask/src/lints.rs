@@ -990,12 +990,15 @@ fn scan_hot_body(body: &[&Token], out: &mut Vec<Violation>) {
 // Artifact-write hygiene
 // ---------------------------------------------------------------------------
 
-/// Flags direct artifact writes — `fs::write` (incl. `std::fs::write`) and
-/// `File::create` — outside `reduce_core::artifact`, the one sanctioned
+/// Flags direct artifact writes — `fs::write` (incl. `std::fs::write`),
+/// `File::create`, `fs::rename`, and raw file syncs (`.sync_all()` /
+/// `.sync_data()`) — outside `reduce_core::artifact`, the one sanctioned
 /// temp-file+rename call site. A direct write can be interrupted half way
-/// and leave a torn manifest/run-log/CSV/journal behind, breaking the
-/// crash-safety contract that checkpoint/resume and the CI artifact diffs
-/// rely on.
+/// and leave a torn manifest/run-log/CSV/journal behind; a raw rename or
+/// fsync bypasses the write→sync→rename→dir-sync durability ordering the
+/// atomic writer enforces (and the IO-fault injection seam that tests it),
+/// breaking the crash-safety contract that checkpoint/resume and the CI
+/// artifact diffs rely on.
 fn artifact_io_pass(code: &[&Token], out: &mut Vec<Violation>) {
     for (i, t) in code.iter().enumerate() {
         if t.kind != TokenKind::Ident {
@@ -1020,6 +1023,35 @@ fn artifact_io_pass(code: &[&Token], out: &mut Vec<Violation>) {
                           (temp file + rename), or justify with `xtask:allow(artifact-io)`"
                     .to_string(),
             }),
+            "rename" if path_prefix_is(code, i, "fs") => out.push(Violation {
+                lint: Lint::ArtifactIo,
+                line: t.line,
+                col: t.col,
+                message: "`fs::rename` outside the atomic writer publishes data that was \
+                          never fsynced; route artifact writes through \
+                          `reduce_core::artifact::write_atomic` (which orders \
+                          write→sync→rename→dir-sync), or justify with \
+                          `xtask:allow(artifact-io)`"
+                    .to_string(),
+            }),
+            "sync_all" | "sync_data"
+                if i > 0
+                    && code[i - 1].text == "."
+                    && code.get(i + 1).is_some_and(|n| n.text == "(") =>
+            {
+                out.push(Violation {
+                    lint: Lint::ArtifactIo,
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "raw `.{}()` bypasses the atomic writer's durability ordering and \
+                         its IO-fault injection seam; route artifact writes through \
+                         `reduce_core::artifact::write_atomic`, or justify with \
+                         `xtask:allow(artifact-io)`",
+                        t.text
+                    ),
+                });
+            }
             _ => {}
         }
     }

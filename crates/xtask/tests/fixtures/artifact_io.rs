@@ -16,6 +16,25 @@ pub fn qualified_create(path: &Path) -> std::io::Result<std::fs::File> {
     std::fs::File::create(path) //~ artifact-io
 }
 
+pub fn raw_rename(from: &Path, to: &Path) -> std::io::Result<()> {
+    std::fs::rename(from, to) //~ artifact-io
+}
+
+pub fn raw_sync(file: &File) -> std::io::Result<()> {
+    file.sync_all() //~ artifact-io
+}
+
+pub fn raw_sync_data(file: &File) -> std::io::Result<()> {
+    file.sync_data() //~ artifact-io
+}
+
+pub fn sync_all_as_a_name_is_fine() -> usize {
+    // Only the method-call shape is a durability bypass; a local named
+    // sync_all is unrelated.
+    let sync_all = 1;
+    sync_all
+}
+
 pub fn reads_are_fine(path: &Path) -> std::io::Result<String> {
     // Reading cannot tear an artifact; only writes are in scope.
     let _probe = File::open(path)?;

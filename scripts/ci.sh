@@ -4,6 +4,7 @@
 #   build → tests → xtask lint (ratcheted) → xtask graph --check (effect
 #   analysis) → clippy -D warnings → fmt check
 #   → smoke determinism gate (parallel ≡ sequential artifacts)
+#   → kill-and-resume + storage-fault sweep (every IO op crash-tested)
 #
 # Run from anywhere inside the repo. Fails fast on the first broken stage.
 set -euo pipefail
@@ -92,6 +93,58 @@ diff "$det_dir/ref/manifest.json" "$det_dir/cut/manifest.json"
 grep -q '"event":"job_failed"' "$det_dir/ref/run_log.jsonl"
 echo "    interrupted+resumed chaos run artifacts (csv, run log, manifest)"
 echo "    are byte-identical to the uninterrupted run"
+
+echo "==> storage-fault sweep gate (fig2 chaos run, every artifact IO op)"
+# ALICE-style crash sweep: arm the deterministic IO-fault injector at
+# every artifact IO operation index of the chaos campaign in turn. Each
+# armed run must die with exit 4 (the simulated crash), journal-tool must
+# classify the surviving journal (repairing the rare corrupt middles),
+# and --resume must publish byte-identical redacted artifacts to the
+# uninterrupted reference. Fault kinds rotate so torn writes, short
+# writes, ENOSPC, and failed renames all land on every phase of the run.
+jt() { cargo run -q -p reduce-bench --release --bin journal-tool -- "$@"; }
+jt verify "$det_dir/cut" >/dev/null || {
+    echo "resumed kill-and-resume journal did not verify clean"; exit 1; }
+sweep_dir="$det_dir/sweep"
+mkdir -p "$sweep_dir/probe"
+rc=0
+cargo run -q -p reduce-bench --release --bin fig2 -- \
+    $chaos --threads 4 --csv "$sweep_dir/probe" --out "$sweep_dir/probe" \
+    --io-fault enospc@1000000 >/dev/null 2>"$sweep_dir/probe.err" || rc=$?
+[ "$rc" -eq 0 ] || { echo "op-count probe failed ($rc)"; cat "$sweep_dir/probe.err"; exit 1; }
+total_ops=$(grep -oE "beyond the run's [0-9]+" "$sweep_dir/probe.err" | grep -oE '[0-9]+')
+[ -n "$total_ops" ] && [ "$total_ops" -ge 30 ] || {
+    echo "probe reported too few artifact IO ops: '${total_ops:-none}'"; exit 1; }
+kinds=(torn short enospc rename-fail)
+repaired=0
+for ((i = 0; i < total_ops; i++)); do
+    kind=${kinds[i % 4]}
+    cut="$sweep_dir/cut"
+    rm -rf "$cut"
+    mkdir -p "$cut"
+    rc=0
+    cargo run -q -p reduce-bench --release --bin fig2 -- \
+        $chaos --threads 4 --csv "$cut" --out "$cut" \
+        --io-fault "$kind@$i" >/dev/null 2>&1 || rc=$?
+    [ "$rc" -eq 4 ] || { echo "fault $kind@$i: expected crash exit 4, got $rc"; exit 1; }
+    vrc=0
+    jt verify "$cut" >/dev/null || vrc=$?
+    case "$vrc" in
+        0|2) ;;
+        3) jt repair "$cut" >/dev/null || { echo "fault $kind@$i: repair failed"; exit 1; }
+           repaired=$((repaired + 1)) ;;
+        *) echo "fault $kind@$i: journal-tool verify exited $vrc"; exit 1 ;;
+    esac
+    cargo run -q -p reduce-bench --release --bin fig2 -- \
+        $chaos --threads 4 --csv "$cut" --resume "$cut" >/dev/null
+    diff "$det_dir/ref/fig2_resilience.csv" "$cut/fig2_resilience.csv"
+    diff "$det_dir/ref/run_log.jsonl" "$cut/run_log.jsonl"
+    diff "$det_dir/ref/manifest.json" "$cut/manifest.json"
+    jt verify "$cut" >/dev/null || {
+        echo "fault $kind@$i: resumed journal did not verify clean"; exit 1; }
+done
+echo "    $total_ops fault points x {torn,short,enospc,rename-fail}: every"
+echo "    crash resumed to byte-identical artifacts ($repaired needed repair)"
 
 echo "==> GEMM kernel-comparison gate (gemm_bench --check)"
 # Every registered GEMM kernel must agree with the naive reference on the
@@ -186,7 +239,9 @@ cargo run -q -p reduce-bench --release --bin fig3 -- \
     --resume "$efat_dir/cut" --redact-timing >/dev/null
 diff "$efat_dir/ref/run_log.jsonl" "$efat_dir/cut/run_log.jsonl"
 diff "$efat_dir/ref/manifest.json" "$efat_dir/cut/manifest.json"
+jt verify "$efat_dir/cut" >/dev/null || {
+    echo "resumed eFAT journal did not verify clean"; exit 1; }
 echo "    clustered artifacts are byte-identical across thread counts and"
-echo "    across kill-and-resume"
+echo "    across kill-and-resume (journal verifies clean after resume)"
 
 echo "ci: all stages green"
