@@ -34,14 +34,21 @@
 //! journal on open. Damage confined to the journal's *tail* — a torn
 //! final shard write, trailing garbage, a detected bitflip with no valid
 //! record after it — is healed by truncating back to the last valid
-//! record, emitting [`Event::ShardTruncated`] / [`Event::RecordDropped`],
-//! and the dropped jobs are simply recomputed. Damage in the *middle* —
-//! where truncation would silently discard valid completed work after the
-//! damage — is a typed [`ReduceError::JournalCorrupt`] naming the shard,
-//! record, and [`crate::error::CorruptKind`]; `journal-tool repair`
-//! ([`repair_journal`]) performs the explicit truncation. Resume never
-//! panics on journal bytes and never replays a record that fails
-//! verification.
+//! record, emitting [`Event::ShardTruncated`] / [`Event::RecordDropped`]
+//! (one per discarded record slot, not per damaged line), and the dropped
+//! jobs are simply recomputed. Damage in the *middle* — where truncation
+//! would silently discard valid completed work after the damage — is a
+//! typed [`ReduceError::JournalCorrupt`] naming the shard, record, and
+//! [`crate::error::CorruptKind`]; `journal-tool repair`
+//! ([`repair_journal`]) performs the explicit truncation. Two whole-file
+//! checks are treated the same way: a sealed shard whose content digest
+//! disagrees with the manifest (every record may verify individually, but
+//! the content is not what the manifest committed to — repair adopts it
+//! and recomputes the digest), and an unreadable manifest whose shard
+//! files contain no v3-framed line at all (a corrupted v1/v2 journal, or
+//! not a journal — never adopted and truncated as an empty v3 one).
+//! Resume never panics on journal bytes and never replays a record that
+//! fails verification.
 //!
 //! Version-1 journals (a single header-prefixed file rewritten whole on
 //! every append) and version-2 journals (unframed shards) are still read,
@@ -478,7 +485,9 @@ impl Checkpoint {
     /// [`ReduceError::JournalCorrupt`] when damage sits in the *middle*
     /// of the journal (valid records exist after it, so truncation would
     /// silently discard completed work — [`repair_journal`] performs it
-    /// explicitly); [`ReduceError::InvalidConfig`] for an unreadable file
+    /// explicitly), when a sealed shard's content digest disagrees with
+    /// the manifest, or when nothing in the directory is recognisably a
+    /// v3 journal; [`ReduceError::InvalidConfig`] for an unreadable file
     /// or an unrecognised v1/v2 header.
     pub fn resume(path: &Path) -> Result<Self> {
         Self::resume_observed(path, &NullObserver)
@@ -682,16 +691,27 @@ struct ShardScan {
     /// Fully valid record lines found *after* the damage — if nonzero,
     /// truncation would discard completed work (corrupt middle).
     valid_after: usize,
-    /// Non-empty lines a truncation at the damage point discards.
-    dropped_lines: usize,
     /// Cleanly sealed (v3: footer verifies; v2: holds a full shard).
     sealed: bool,
     /// v3: footered but absent from the manifest (crash between the
     /// shard seal and the manifest update) — healed by adding its digest.
     needs_manifest_entry: bool,
-    /// v3: the manifest's digest disagrees with an otherwise-valid shard
-    /// — healed by recomputing (per-record CRCs are authoritative).
-    stale_digest: bool,
+    /// v3: the manifest's digest disagrees with an otherwise-valid sealed
+    /// shard. The append path's ordered seal protocol never leaves this
+    /// behind (the footered shard reaches disk *before* the manifest
+    /// names it), so the content is not what the manifest committed to —
+    /// a wholesale-replaced shard, a restored backup, or a crash in the
+    /// middle of an earlier repair. Resume refuses with
+    /// [`CorruptKind::DigestMismatch`]; [`repair_journal`] adopts the
+    /// shard and recomputes the digest (per-record CRCs are
+    /// authoritative).
+    digest_mismatch: bool,
+    /// v3: lines whose `CRC LEN payload` frame structure parsed (CRC
+    /// match or not). Zero across a contentful directory means the files
+    /// are not recognisably v3 at all — e.g. a v1/v2 journal whose
+    /// manifest first byte was corrupted — and must not be adopted (and
+    /// truncated) as a v3 journal.
+    framed_lines: usize,
     /// v3: whole-file CRC-32 digest, as eight hex digits.
     digest: String,
 }
@@ -705,10 +725,10 @@ impl ShardScan {
             footer: None,
             damage: None,
             valid_after: 0,
-            dropped_lines: 0,
             sealed: false,
             needs_manifest_entry: false,
-            stale_digest: false,
+            digest_mismatch: false,
+            framed_lines: 0,
             digest: String::new(),
         }
     }
@@ -721,6 +741,23 @@ impl ShardScan {
 
     fn has_content(&self) -> bool {
         !self.valid.is_empty() || self.valid_after > 0
+    }
+
+    /// Dropped lines that held (or were torn from) records: the fully
+    /// valid records stranded after the damage point, plus the
+    /// damage-point line itself when it failed *record* verification (a
+    /// torn or corrupted record slot). Garbage and footer lines beyond
+    /// those are dropped bytes, not dropped records —
+    /// [`Event::RecordDropped`] is emitted once per slot counted here.
+    fn dropped_record_slots(&self) -> usize {
+        let torn = matches!(
+            self.damage,
+            Some((
+                _,
+                CorruptKind::BadFrame | CorruptKind::BadCrc | CorruptKind::BadRecord
+            ))
+        );
+        self.valid_after + usize::from(torn)
     }
 }
 
@@ -746,14 +783,24 @@ fn scan_v3_shard(bytes: &[u8]) -> ShardScan {
     for raw in split_file_lines(bytes) {
         let line = match std::str::from_utf8(raw) {
             Ok(line) => match parse_frame(line) {
-                Ok(payload) => match parse_footer(payload) {
-                    Some(n) => Line::Footer(n),
-                    None => match parse_record(payload) {
-                        Ok(r) => Line::Rec(line, r),
-                        Err(_) => Line::Bad(CorruptKind::BadRecord),
-                    },
-                },
-                Err(kind) => Line::Bad(kind),
+                Ok(payload) => {
+                    scan.framed_lines += 1;
+                    match parse_footer(payload) {
+                        Some(n) => Line::Footer(n),
+                        None => match parse_record(payload) {
+                            Ok(r) => Line::Rec(line, r),
+                            Err(_) => Line::Bad(CorruptKind::BadRecord),
+                        },
+                    }
+                }
+                Err(kind) => {
+                    // A CRC mismatch still means the frame *structure*
+                    // parsed — only a framed v3 line fails that way.
+                    if kind == CorruptKind::BadCrc {
+                        scan.framed_lines += 1;
+                    }
+                    Line::Bad(kind)
+                }
             },
             Err(_) => Line::Bad(CorruptKind::BadFrame),
         };
@@ -762,7 +809,6 @@ fn scan_v3_shard(bytes: &[u8]) -> ShardScan {
                 Line::Footer(n) if scan.footer.is_none() => scan.footer = Some(n),
                 Line::Footer(_) => {
                     scan.damage = Some((scan.valid.len(), CorruptKind::BadFooter));
-                    scan.dropped_lines += 1;
                 }
                 Line::Rec(line, r) if scan.footer.is_none() => {
                     scan.valid.push((format!("{line}\n"), r));
@@ -771,19 +817,14 @@ fn scan_v3_shard(bytes: &[u8]) -> ShardScan {
                     // A record after the footer: trailing garbage at best,
                     // a misplaced seal at worst.
                     scan.damage = Some((scan.valid.len(), CorruptKind::BadFooter));
-                    scan.dropped_lines += 1;
                     scan.valid_after += 1;
                 }
                 Line::Bad(kind) => {
                     scan.damage = Some((scan.valid.len(), kind));
-                    scan.dropped_lines += 1;
                 }
             }
-        } else {
-            scan.dropped_lines += 1;
-            if matches!(line, Line::Rec(..)) {
-                scan.valid_after += 1;
-            }
+        } else if matches!(line, Line::Rec(..)) {
+            scan.valid_after += 1;
         }
     }
     scan
@@ -804,10 +845,8 @@ fn scan_v2_shard(bytes: &[u8]) -> ShardScan {
             (None, Some((line, r))) => scan.valid.push((format!("{line}\n"), r)),
             (None, None) => {
                 scan.damage = Some((scan.valid.len(), CorruptKind::BadRecord));
-                scan.dropped_lines += 1;
             }
             (Some(_), parsed) => {
-                scan.dropped_lines += 1;
                 if parsed.is_some() {
                     scan.valid_after += 1;
                 }
@@ -841,14 +880,24 @@ impl JournalScan {
     }
 
     /// Errors out for damage self-healing must not touch: a missing
-    /// sealed shard, valid records after the damage point, or a manifest
-    /// that is unreadable with no shard files to rebuild it from.
+    /// sealed shard, valid records after the damage point, a sealed
+    /// shard whose content digest disagrees with the manifest, or a
+    /// manifest that is unreadable with no v3-framed shard content to
+    /// rebuild it from — a corrupted v1/v2 journal (or a non-journal)
+    /// must never be adopted, and truncated, as an empty v3 one.
     fn corrupt_error(&self) -> Result<()> {
-        if self.manifest_damage.is_some() && !self.shards.iter().any(|s| s.exists) {
+        if self.manifest_damage.is_some() && self.shards.iter().all(|s| s.framed_lines == 0) {
             return Err(ReduceError::JournalCorrupt {
                 shard: 0,
                 record: 0,
                 kind: CorruptKind::Manifest,
+            });
+        }
+        if let Some(shard) = self.shards.iter().position(|s| s.digest_mismatch) {
+            return Err(ReduceError::JournalCorrupt {
+                shard,
+                record: 0,
+                kind: CorruptKind::DigestMismatch,
             });
         }
         if let Some((shard, record, kind)) = self.first_damage() {
@@ -875,16 +924,58 @@ impl JournalScan {
             || self
                 .shards
                 .iter()
-                .any(|s| s.needs_manifest_entry || s.stale_digest)
+                .any(|s| s.needs_manifest_entry || s.digest_mismatch)
     }
 }
 
-/// Reads and scans every consecutive shard file (plus manifest-named
-/// shards whose files are missing).
+/// Largest index for which a shard file of `manifest` exists, found by
+/// listing the journal's directory — shard numbering can be left gapped
+/// by tampering or a restored backup, and a purely sequential probe
+/// would stop at the first hole. `None` when no shard file exists (or
+/// the directory cannot be read; scanning then covers only the
+/// manifest-named range).
+fn last_shard_on_disk(manifest: &Path) -> Option<usize> {
+    let dir = match manifest.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let stem = manifest.file_stem().map_or_else(
+        || "journal".to_string(),
+        |s| s.to_string_lossy().into_owned(),
+    );
+    let prefix = format!("{stem}-");
+    let mut last = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(digits) = name
+            .strip_prefix(&prefix)
+            .and_then(|rest| rest.strip_suffix(".jsonl"))
+        else {
+            continue;
+        };
+        if digits.len() < 5 || digits.bytes().any(|b| !b.is_ascii_digit()) {
+            continue;
+        }
+        if let Ok(index) = digits.parse::<usize>() {
+            last = Some(last.map_or(index, |l: usize| l.max(index)));
+        }
+    }
+    last
+}
+
+/// Reads and scans every shard file of the journal at `path`: the
+/// manifest-named range plus anything numbered beyond it on disk, with
+/// [`ShardScan::missing`] placeholders for holes — so contentful files
+/// past a numbering gap surface as orphans (refused by resume, removed
+/// by explicit repair) instead of being silently ignored and eventually
+/// overwritten by the writer. Trailing placeholders and empty files
+/// beyond the named range are harmless and dropped from the scan.
 fn scan_shard_files(path: &Path, named: usize, v3: bool) -> Result<Vec<ShardScan>> {
+    let last_on_disk = last_shard_on_disk(path);
     let mut shards = Vec::new();
     let mut index = 0;
-    loop {
+    while index < named || last_on_disk.is_some_and(|last| index <= last) {
         let shard = shard_path(path, index);
         match std::fs::read(&shard) {
             Ok(bytes) => shards.push(if v3 {
@@ -893,11 +984,7 @@ fn scan_shard_files(path: &Path, named: usize, v3: bool) -> Result<Vec<ShardScan
                 scan_v2_shard(&bytes)
             }),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                if index < named {
-                    shards.push(ShardScan::missing());
-                } else {
-                    break;
-                }
+                shards.push(ShardScan::missing());
             }
             Err(e) => {
                 return Err(ReduceError::InvalidConfig {
@@ -906,6 +993,9 @@ fn scan_shard_files(path: &Path, named: usize, v3: bool) -> Result<Vec<ShardScan
             }
         }
         index += 1;
+    }
+    while shards.len() > named && shards.last().is_some_and(|s| !s.exists || s.bytes == 0) {
+        shards.pop();
     }
     Ok(shards)
 }
@@ -1011,7 +1101,7 @@ fn scan_journal(path: &Path) -> Result<Option<JournalScan>> {
                 shard.sealed = true;
                 match digests.get(i) {
                     Some(named) if *named == shard.digest => {}
-                    Some(_) => shard.stale_digest = true,
+                    Some(_) => shard.digest_mismatch = true,
                     None => shard.needs_manifest_entry = true,
                 }
             }
@@ -1075,6 +1165,7 @@ fn heal_journal(path: &Path, scan: JournalScan, observer: &dyn Observer) -> Resu
                 invariant: "a v1 scan always carries one pseudo-shard".to_string(),
             });
         };
+        let dropped_slots = shard.dropped_record_slots();
         let mut lines = Vec::with_capacity(shard.valid.len());
         for (line, record) in shard.valid {
             lines.push(line);
@@ -1092,7 +1183,7 @@ fn heal_journal(path: &Path, scan: JournalScan, observer: &dyn Observer) -> Resu
                 kept: lines.len(),
                 dropped_bytes: dropped,
             });
-            for record in lines.len()..lines.len() + shard.dropped_lines {
+            for record in lines.len()..lines.len() + dropped_slots {
                 observer.on_event(&Event::RecordDropped { shard: 0, record });
             }
             dropped_records += shard.valid_after;
@@ -1116,6 +1207,7 @@ fn heal_journal(path: &Path, scan: JournalScan, observer: &dyn Observer) -> Resu
     for (i, shard) in shards.into_iter().enumerate() {
         if damage_shard == Some(i) {
             // Truncate this shard back to its valid record prefix.
+            let dropped_slots = shard.dropped_record_slots();
             let mut lines = Vec::with_capacity(shard.valid.len());
             for (line, record) in shard.valid {
                 lines.push(line);
@@ -1143,7 +1235,7 @@ fn heal_journal(path: &Path, scan: JournalScan, observer: &dyn Observer) -> Resu
                 kept: kept_here,
                 dropped_bytes: dropped,
             });
-            for record in kept_here..kept_here + shard.dropped_lines {
+            for record in kept_here..kept_here + dropped_slots {
                 observer.on_event(&Event::RecordDropped { shard: i, record });
             }
             dropped_records += shard.valid_after;
@@ -1161,7 +1253,7 @@ fn heal_journal(path: &Path, scan: JournalScan, observer: &dyn Observer) -> Resu
                     kept: 0,
                     dropped_bytes: shard.bytes,
                 });
-                for record in 0..shard.valid.len() + shard.dropped_lines {
+                for record in 0..shard.valid.len() + shard.dropped_record_slots() {
                     observer.on_event(&Event::RecordDropped { shard: i, record });
                 }
                 let _ = std::fs::remove_file(shard_path(path, i));
@@ -1171,7 +1263,7 @@ fn heal_journal(path: &Path, scan: JournalScan, observer: &dyn Observer) -> Resu
                 sealed_digests.push(shard.digest.clone());
             }
             sealed_shards += 1;
-            if shard.needs_manifest_entry || shard.stale_digest {
+            if shard.needs_manifest_entry || shard.digest_mismatch {
                 manifest_dirty = true;
             }
             for (_, record) in shard.valid {
@@ -1185,7 +1277,10 @@ fn heal_journal(path: &Path, scan: JournalScan, observer: &dyn Observer) -> Resu
             }
         }
     }
-    // Strays beyond the scanned range (one stat in the clean case).
+    // Leftovers beyond the scanned range: the scan covered every
+    // contentful shard on disk (contentful strays either entered the
+    // shard list or refused resume upstream), so anything left here is
+    // an empty file the trailing trim dropped — safe to clear.
     let mut stray = shard_count;
     while shard_path(path, stray).exists() {
         let _ = std::fs::remove_file(shard_path(path, stray));
@@ -1302,7 +1397,15 @@ pub fn inspect_journal(path: &Path) -> Result<JournalHealth> {
     };
     let mut notes = Vec::new();
     if scan.manifest_damage.is_some() {
-        notes.push("manifest unreadable (rebuilt from shard files on heal)".to_string());
+        if scan.shards.iter().any(|s| s.framed_lines > 0) {
+            notes.push("manifest unreadable (rebuilt from shard files on heal)".to_string());
+        } else {
+            notes.push(
+                "manifest unreadable and no shard content is v3-framed — not adoptable as a \
+                 v3 journal; repair resets it"
+                    .to_string(),
+            );
+        }
     }
     let damage_shard = scan.first_damage().map(|(i, _, _)| i);
     let mut records = 0usize;
@@ -1327,8 +1430,10 @@ pub fn inspect_journal(path: &Path) -> Result<JournalHealth> {
                 "shard {i} sealed but not yet named in the manifest"
             ));
         }
-        if shard.stale_digest {
-            notes.push(format!("shard {i}: manifest digest out of date"));
+        if shard.digest_mismatch {
+            notes.push(format!(
+                "shard {i}: content digest disagrees with the manifest"
+            ));
         }
     }
     let status = if scan.corrupt_error().is_err() {
@@ -2452,6 +2557,158 @@ mod tests {
             }
             std::fs::write(&target, &pristine).expect("restore");
         }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn v2_journal_with_corrupt_manifest_byte_refuses_resume() {
+        let path = scratch("v2_manifest_flip");
+        let dir = path.parent().expect("has parent");
+        std::fs::create_dir_all(dir).expect("temp dir");
+        std::fs::write(&path, render_manifest(2)).expect("temp write");
+        let sealed: String = (0..2).map(|i| render_record(&small_record(i))).collect();
+        std::fs::write(shard_path(&path, 0), &sealed).expect("temp write");
+        std::fs::write(shard_path(&path, 1), render_record(&small_record(2))).expect("temp write");
+        // Flip the manifest's first byte: the file no longer starts with
+        // `{`, so it is not recognisably v1/v2 — and its unframed shard
+        // lines are not recognisably v3 either. Resume must refuse with a
+        // typed error rather than adopt the directory as an (empty) v3
+        // journal and truncate the shards away.
+        let mut manifest = std::fs::read(&path).expect("manifest");
+        manifest[0] ^= 0x04;
+        std::fs::write(&path, &manifest).expect("temp write");
+        match Checkpoint::resume(&path) {
+            Err(ReduceError::JournalCorrupt { kind, .. }) => {
+                assert_eq!(kind, CorruptKind::Manifest);
+            }
+            other => panic!("flipped v2 manifest must refuse resume, got {other:?}"),
+        }
+        assert_eq!(
+            std::fs::read_to_string(shard_path(&path, 0)).expect("shard 0 intact"),
+            sealed,
+            "refused resume must not touch shard data"
+        );
+        assert!(
+            shard_path(&path, 1).exists(),
+            "shard 1 survives the refusal"
+        );
+        assert_eq!(
+            inspect_journal(&path).expect("inspect").status,
+            JournalStatus::Corrupt
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn replaced_sealed_shard_is_a_digest_mismatch_not_a_heal() {
+        let path = scratch("digest_mismatch");
+        let journal = Checkpoint::create(&path).with_shard_records(2);
+        for i in 0..2 {
+            journal.append(small_record(i)).expect("append");
+        }
+        // Wholesale-replace the sealed shard with different, individually
+        // valid framed records and a correct footer — a shard from another
+        // run, or a restored backup. Every per-record CRC verifies; only
+        // the manifest digest can tell the content is not what this
+        // journal committed to, so resume must refuse instead of silently
+        // adopting it.
+        let mut replaced = String::new();
+        for i in [7u64, 8] {
+            replaced.push_str(&frame_line(render_record(&small_record(i)).trim_end()));
+        }
+        replaced.push_str(&render_footer(2));
+        std::fs::write(shard_path(&path, 0), &replaced).expect("temp write");
+        match Checkpoint::resume(&path) {
+            Err(ReduceError::JournalCorrupt { shard, kind, .. }) => {
+                assert_eq!((shard, kind), (0, CorruptKind::DigestMismatch));
+            }
+            other => panic!("digest mismatch must refuse resume, got {other:?}"),
+        }
+        assert_eq!(
+            inspect_journal(&path).expect("inspect").status,
+            JournalStatus::Corrupt
+        );
+        // Explicit repair adopts the shard content (per-record CRCs are
+        // authoritative) and recomputes the manifest digest.
+        repair_journal(&path, &NullObserver).expect("repair");
+        assert_eq!(
+            Checkpoint::resume(&path)
+                .expect("repaired journal resumes")
+                .records()
+                .expect("records"),
+            vec![small_record(7), small_record(8)]
+        );
+        assert_eq!(
+            inspect_journal(&path).expect("inspect").status,
+            JournalStatus::Clean
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn contentful_shard_after_a_numbering_gap_refuses_resume() {
+        let path = scratch("post_gap_stray");
+        let journal = Checkpoint::create(&path).with_shard_records(2);
+        for i in 0..4 {
+            journal.append(small_record(i)).expect("append");
+        }
+        // Two sealed shards (0, 1), no active file yet. Plant a contentful
+        // shard file past a numbering gap: it must neither be silently
+        // ignored (the writer would eventually overwrite it) nor deleted
+        // by resume — only explicit repair may discard it.
+        let stray = shard_path(&path, 5);
+        std::fs::copy(shard_path(&path, 0), &stray).expect("plant stray");
+        match Checkpoint::resume(&path) {
+            Err(ReduceError::JournalCorrupt { shard, kind, .. }) => {
+                assert_eq!((shard, kind), (2, CorruptKind::MissingShard));
+            }
+            other => panic!("post-gap stray must refuse resume, got {other:?}"),
+        }
+        assert!(stray.exists(), "refused resume must not delete the stray");
+        repair_journal(&path, &NullObserver).expect("repair");
+        assert!(!stray.exists(), "repair removes the stray");
+        let resumed = Checkpoint::resume(&path).expect("resume after repair");
+        assert_eq!(resumed.records().expect("records").len(), 4);
+        // An *empty* post-gap file is harmless: resume stays clean.
+        std::fs::write(&stray, "").expect("empty stray");
+        let resumed = Checkpoint::resume(&path).expect("empty stray is harmless");
+        assert_eq!(resumed.records().expect("records").len(), 4);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn heal_reports_one_drop_per_record_slot_not_per_garbage_line() {
+        let path = scratch("drop_accounting");
+        let journal = Checkpoint::create(&path).with_shard_records(8);
+        for i in 0..2 {
+            journal.append(small_record(i)).expect("append");
+        }
+        // Three garbage lines after the valid prefix: one torn record
+        // slot's worth of loss, not three dropped records.
+        let shard = shard_path(&path, 0);
+        let mut contents = std::fs::read_to_string(&shard).expect("active shard");
+        contents.push_str("torn half-written li\nnoise\nmore noise\n");
+        std::fs::write(&shard, &contents).expect("temp write");
+        let log = EventLog::default();
+        let resumed = Checkpoint::resume_observed(&path, &log).expect("tail garbage heals");
+        assert_eq!(resumed.records().expect("records").len(), 2);
+        let events = log.0.lock().unwrap();
+        let dropped: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e, Event::RecordDropped { .. }))
+            .collect();
+        assert_eq!(
+            dropped.len(),
+            1,
+            "garbage lines are dropped bytes, not dropped records: {dropped:?}"
+        );
+        assert!(matches!(
+            dropped[0],
+            Event::RecordDropped {
+                shard: 0,
+                record: 2
+            }
+        ));
         cleanup(&path);
     }
 
